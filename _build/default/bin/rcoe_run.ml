@@ -1,0 +1,189 @@
+(* rcoe_run: command-line front end.
+
+   - `rcoe_run list` — available workloads
+   - `rcoe_run run -w dhrystone -m lc -n 3 -a arm` — run one workload
+     under a replication configuration and report timing and stats
+   - `rcoe_run kv -m cc -n 2 --workload A` — run the KV/YCSB benchmark
+   - `rcoe_run disasm -w whetstone` — show the assembled program *)
+
+open Cmdliner
+open Rcoe_core
+open Rcoe_workloads
+open Rcoe_harness
+
+let workload_names =
+  [ "dhrystone"; "whetstone"; "membw"; "datarace"; "datarace-locked"; "md5sum" ]
+  @ List.map (fun k -> "splash:" ^ k) Splash.names
+
+let program_of_name name ~branch_count =
+  match name with
+  | "dhrystone" -> Dhrystone.program ~branch_count ()
+  | "whetstone" -> Whetstone.program ~branch_count ()
+  | "membw" -> Membw.program ~branch_count ()
+  | "datarace" -> Datarace.program ~branch_count ()
+  | "datarace-locked" -> Datarace.program ~locked:true ~branch_count ()
+  | "md5sum" -> Md5sum.program ~branch_count ()
+  | other ->
+      let prefix = "splash:" in
+      let plen = String.length prefix in
+      if String.length other > plen && String.sub other 0 plen = prefix then
+        Splash.program (String.sub other plen (String.length other - plen))
+          ~branch_count ()
+      else
+        invalid_arg
+          (Printf.sprintf "unknown workload %s (try `rcoe_run list`)" other)
+
+(* --- common options --------------------------------------------------- *)
+
+let mode_arg =
+  let mode_conv = Arg.enum [ ("base", Config.Base); ("lc", Config.LC); ("cc", Config.CC) ] in
+  Arg.(value & opt mode_conv Config.Base & info [ "m"; "mode" ] ~doc:"base | lc | cc")
+
+let replicas_arg =
+  Arg.(value & opt int 1 & info [ "n"; "replicas" ] ~doc:"replica count (1/2/3)")
+
+let arch_arg =
+  let arch_conv =
+    Arg.enum [ ("x86", Rcoe_machine.Arch.X86); ("arm", Rcoe_machine.Arch.Arm) ]
+  in
+  Arg.(value & opt arch_conv Rcoe_machine.Arch.X86 & info [ "a"; "arch" ] ~doc:"x86 | arm")
+
+let vm_arg = Arg.(value & flag & info [ "vm" ] ~doc:"run as a virtual-machine guest")
+
+let level_arg =
+  let level_conv =
+    Arg.enum
+      [ ("N", Config.Sync_none); ("A", Config.Sync_args); ("S", Config.Sync_vote) ]
+  in
+  Arg.(value & opt level_conv Config.Sync_args & info [ "level" ] ~doc:"sync level N | A | S")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"simulation seed")
+
+let fast_catchup_arg =
+  Arg.(value & flag
+       & info [ "fast-catchup" ]
+           ~doc:"PMU-assisted CC catch-up (the paper's Section VI proposal)")
+
+let mk_config ?(fast_catchup = false) ?(masking = false) mode n arch vm level
+    seed ~with_net =
+  {
+    (Runner.config_for ~mode ~nreplicas:n ~arch ~vm ~sync_level:level ~seed
+       ~with_net ())
+    with
+    Config.fast_catchup;
+    masking;
+  }
+
+(* --- commands ---------------------------------------------------------- *)
+
+let list_cmd =
+  let doc = "list available workloads" in
+  let run () =
+    List.iter print_endline workload_names;
+    print_endline "kv (via the `kv` subcommand)"
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "run a workload under a replication configuration" in
+  let wl_arg =
+    Arg.(required & opt (some string) None & info [ "w"; "workload" ] ~doc:"workload name")
+  in
+  let run wl mode n arch vm level seed fast_catchup =
+    let branch_count = Wl.branch_count_for arch in
+    let program = program_of_name wl ~branch_count in
+    let config =
+      mk_config ~fast_catchup mode n arch vm level seed ~with_net:false
+    in
+    let r = Runner.run_program ~config ~program () in
+    let profile = Rcoe_machine.Arch.profile_of arch in
+    Printf.printf "workload:   %s\n" wl;
+    Printf.printf "config:     %s on %s%s, level %s\n"
+      (Config.replicas_label config)
+      (Rcoe_machine.Arch.to_string arch)
+      (if vm then " (VM)" else "")
+      (Config.sync_level_to_string level);
+    Printf.printf "finished:   %b\n" r.Runner.finished;
+    (match r.Runner.halted with
+    | Some h -> Printf.printf "halted:     %s\n" (System.halt_reason_to_string h)
+    | None -> ());
+    Printf.printf "cycles:     %d (%.1f us at %d MHz)\n" r.Runner.cycles
+      (Rcoe_machine.Arch.cycles_to_us profile r.Runner.cycles)
+      profile.Rcoe_machine.Arch.freq_mhz;
+    let st = r.Runner.stats in
+    Printf.printf
+      "sync:       %d rounds, %d ticks, %d votes, %d bp fires, %d FT rounds\n"
+      st.System.rounds st.System.ticks_delivered st.System.votes
+      st.System.bp_fires st.System.ft_rounds;
+    let out = System.output r.Runner.sys 0 in
+    if out <> "" then Printf.printf "output:     %S\n" out
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ wl_arg $ mode_arg $ replicas_arg $ arch_arg $ vm_arg
+      $ level_arg $ seed_arg $ fast_catchup_arg)
+
+let kv_cmd =
+  let doc = "run the KV server under a YCSB workload" in
+  let ycsb_arg =
+    Arg.(value & opt string "A" & info [ "workload" ] ~doc:"YCSB workload A-F")
+  in
+  let records_arg =
+    Arg.(value & opt int 200 & info [ "records" ] ~doc:"record count")
+  in
+  let ops_arg =
+    Arg.(value & opt int 1000 & info [ "operations" ] ~doc:"operation count")
+  in
+  let masking_arg =
+    Arg.(value & flag
+         & info [ "masking" ]
+             ~doc:"enable TMR->DMR error masking (requires -n 3)")
+  in
+  let run mode n arch level seed wl records operations masking =
+    let config = mk_config ~masking mode n arch false level seed ~with_net:true in
+    let res =
+      Kv_run.run ~config ~workload:(Ycsb.workload_of_string wl) ~records
+        ~operations ()
+    in
+    let c = res.Kv_run.counters in
+    Printf.printf "config:      %s on %s, level %s, YCSB-%s\n"
+      (Config.replicas_label config)
+      (Rcoe_machine.Arch.to_string arch)
+      (Config.sync_level_to_string level)
+      wl;
+    Printf.printf "throughput:  %.1f kops/s (run phase: %d ops, %d cycles)\n"
+      res.Kv_run.kops_per_sec res.Kv_run.ops_completed res.Kv_run.elapsed_cycles;
+    Printf.printf "client:      %d issued, %d completed, %d corrupted, %d errors\n"
+      c.Ycsb.issued c.Ycsb.completed c.Ycsb.corrupted c.Ycsb.client_errors;
+    match System.halted res.Kv_run.sys with
+    | Some h -> Printf.printf "halted:      %s\n" (System.halt_reason_to_string h)
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "kv" ~doc)
+    Term.(
+      const run $ mode_arg $ replicas_arg $ arch_arg $ level_arg $ seed_arg
+      $ ycsb_arg $ records_arg $ ops_arg $ masking_arg)
+
+let disasm_cmd =
+  let doc = "disassemble a workload program" in
+  let wl_arg =
+    Arg.(required & opt (some string) None & info [ "w"; "workload" ] ~doc:"workload name")
+  in
+  let counted_arg =
+    Arg.(value & flag & info [ "branch-count" ] ~doc:"apply the branch-counting pass")
+  in
+  let run wl counted =
+    let program = program_of_name wl ~branch_count:counted in
+    Printf.printf "%s: %d instructions, %d data words%s\n\n"
+      program.Rcoe_isa.Program.name
+      (Rcoe_isa.Program.instruction_count program)
+      program.Rcoe_isa.Program.data_words
+      (if counted then " (branch-counted)" else "");
+    print_string (Rcoe_isa.Program.disassemble program)
+  in
+  Cmd.v (Cmd.info "disasm" ~doc) Term.(const run $ wl_arg $ counted_arg)
+
+let () =
+  let doc = "redundant co-execution on a simulated COTS multicore" in
+  let info = Cmd.info "rcoe_run" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; kv_cmd; disasm_cmd ]))

@@ -1,0 +1,1 @@
+examples/datarace_cc.ml: Config Datarace List Printf Rcoe_core Rcoe_harness Rcoe_isa Rcoe_kernel Rcoe_machine Rcoe_workloads Runner System

@@ -1,0 +1,1 @@
+examples/datarace_cc.mli:

@@ -1,0 +1,1 @@
+examples/fault_masking_demo.ml: Config Kv_run List Printf Rcoe_core Rcoe_harness Rcoe_machine Rcoe_workloads Runner String System Ycsb

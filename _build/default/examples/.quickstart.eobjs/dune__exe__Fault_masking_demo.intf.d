@@ -1,0 +1,1 @@
+examples/fault_masking_demo.mli:

@@ -1,0 +1,1 @@
+examples/kv_replicated.ml: Config Kv_run Printf Rcoe_core Rcoe_harness Rcoe_machine Rcoe_workloads Runner System Ycsb

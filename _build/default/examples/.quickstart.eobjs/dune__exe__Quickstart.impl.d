@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asm Char Config Instr List Printf Program Rcoe_core Rcoe_harness Rcoe_isa Rcoe_kernel Rcoe_machine Reg Runner System

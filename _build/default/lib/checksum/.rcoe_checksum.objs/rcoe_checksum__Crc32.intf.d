@@ -1,0 +1,1 @@
+lib/checksum/crc32.mli:

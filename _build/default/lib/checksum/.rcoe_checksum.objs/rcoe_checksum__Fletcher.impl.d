@@ -1,0 +1,1 @@
+lib/checksum/fletcher.ml: Array Char String

@@ -1,0 +1,1 @@
+lib/checksum/md5.ml: Array Buffer Bytes Char Float Printf String

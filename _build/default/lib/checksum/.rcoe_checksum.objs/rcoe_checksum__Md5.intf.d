@@ -1,0 +1,1 @@
+lib/checksum/md5.mli:

@@ -1,0 +1,31 @@
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update_byte crc byte =
+  let t = Lazy.force table in
+  t.((crc lxor byte) land 0xFF) lxor (crc lsr 8)
+
+let update crc c = update_byte crc (Char.code c)
+
+let finish crc = crc lxor 0xFFFFFFFF
+
+let string s =
+  let crc = ref 0xFFFFFFFF in
+  String.iter (fun c -> crc := update_byte !crc (Char.code c)) s;
+  finish !crc
+
+let words ws =
+  let crc = ref 0xFFFFFFFF in
+  Array.iter
+    (fun w ->
+      for shift = 0 to 3 do
+        crc := update_byte !crc ((w lsr (8 * shift)) land 0xFF)
+      done)
+    ws;
+  finish !crc

@@ -1,0 +1,17 @@
+(** CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+
+    The paper's fault-injection client "embeds CRC32 checksums into the
+    values sent to the store" so that it can detect silent data corruption
+    end-to-end (Section V-C1). Our YCSB-style load generator does the
+    same with this implementation. *)
+
+val string : string -> int
+(** CRC-32 of a byte string, in \[0, 2^32). *)
+
+val words : int array -> int
+(** CRC-32 over an array of machine words, each contributing its low 32
+    bits in little-endian byte order. This is the form used for values
+    stored in simulated memory. *)
+
+val update : int -> char -> int
+(** [update crc c] extends a running CRC (start from [0]) by one byte. *)

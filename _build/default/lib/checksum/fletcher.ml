@@ -1,0 +1,53 @@
+(* The running signature uses 32-bit blocks with mod-(2^32-1) reduction, a
+   Fletcher-64-style construction: c0 accumulates values, c1 accumulates
+   running c0, making the pair order-sensitive. *)
+
+type t = { mutable c0 : int; mutable c1 : int }
+
+let modulus = 0xFFFFFFFF (* 2^32 - 1 *)
+
+let create () = { c0 = 0; c1 = 0 }
+
+let reset t =
+  t.c0 <- 0;
+  t.c1 <- 0
+
+let add_word t w =
+  let w32 = w land 0xFFFFFFFF in
+  t.c0 <- (t.c0 + w32) mod modulus;
+  t.c1 <- (t.c1 + t.c0) mod modulus
+
+let add_words t ws = Array.iter (add_word t) ws
+
+let add_string t s =
+  let n = String.length s in
+  let word_at i =
+    let byte j = if i + j < n then Char.code s.[i + j] else 0 in
+    byte 0 lor (byte 1 lsl 8) lor (byte 2 lsl 16) lor (byte 3 lsl 24)
+  in
+  let rec go i = if i < n then (add_word t (word_at i); go (i + 4)) in
+  go 0
+
+let value t = (t.c0, t.c1)
+
+let digest t = (t.c1 lsl 32) lor t.c0
+
+let equal a b = a.c0 = b.c0 && a.c1 = b.c1
+
+let copy t = { c0 = t.c0; c1 = t.c1 }
+
+let fletcher32 s =
+  let n = String.length s in
+  let block_at i =
+    let lo = Char.code s.[i] in
+    let hi = if i + 1 < n then Char.code s.[i + 1] else 0 in
+    lo lor (hi lsl 8)
+  in
+  let rec go i c0 c1 =
+    if i >= n then (c1 lsl 16) lor c0
+    else
+      let c0 = (c0 + block_at i) mod 65535 in
+      let c1 = (c1 + c0) mod 65535 in
+      go (i + 2) c0 c1
+  in
+  go 0 0 0

@@ -1,0 +1,40 @@
+(** Order-sensitive Fletcher checksums.
+
+    The paper reduces kernel state updates, driver-contributed data and
+    system-call parameters to a small signature using a Fletcher checksum,
+    chosen because it "is dependent on the values forming the checksum as
+    well as the order in which they are applied" (Section III-C). The
+    replication engine accumulates one of these per replica and compares
+    them when voting.
+
+    The accumulator ingests machine words; [value] exposes the running
+    checksum as two words (sum and order-sensitive sum-of-sums), which
+    together with the event count form the paper's three-word signature. *)
+
+type t
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val add_word : t -> int -> unit
+(** Feed one machine word (folded to 32 bits before accumulation). *)
+
+val add_words : t -> int array -> unit
+
+val add_string : t -> string -> unit
+(** Feed a byte string (packed little-endian into words). *)
+
+val value : t -> int * int
+(** [(c0, c1)]: the two running sums, each in \[0, 2^32). *)
+
+val digest : t -> int
+(** A single 64-bit-word rendering of [value]: [c1 lsl 32 lor c0]. *)
+
+val equal : t -> t -> bool
+
+val copy : t -> t
+
+val fletcher32 : string -> int
+(** One-shot classical Fletcher-32 of a byte string (16-bit blocks,
+    modulo 65535); used by tests as an independent reference. *)

@@ -1,0 +1,97 @@
+let mask32 = 0xFFFFFFFF
+
+let k =
+  Array.init 64 (fun i ->
+      let x = Float.abs (sin (float_of_int (i + 1))) *. 4294967296.0 in
+      int_of_float (Float.trunc x) land mask32)
+
+let s =
+  [|
+    7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22;
+    5;  9; 14; 20; 5;  9; 14; 20; 5;  9; 14; 20; 5;  9; 14; 20;
+    4; 11; 16; 23; 4; 11; 16; 23; 4; 11; 16; 23; 4; 11; 16; 23;
+    6; 10; 15; 21; 6; 10; 15; 21; 6; 10; 15; 21; 6; 10; 15; 21;
+  |]
+
+let rotl32 x n = ((x lsl n) lor (x lsr (32 - n))) land mask32
+
+(* One 512-bit block; [m] holds 16 little-endian 32-bit words. *)
+let process_block state m =
+  let a0, b0, c0, d0 = state in
+  let a = ref a0 and b = ref b0 and c = ref c0 and d = ref d0 in
+  for i = 0 to 63 do
+    let f, g =
+      if i < 16 then ((!b land !c) lor (lnot !b land !d) land mask32, i)
+      else if i < 32 then
+        ((!d land !b) lor (lnot !d land !c) land mask32, ((5 * i) + 1) mod 16)
+      else if i < 48 then (!b lxor !c lxor !d, ((3 * i) + 5) mod 16)
+      else (!c lxor (!b lor (lnot !d land mask32)), 7 * i mod 16)
+    in
+    let f = (f + !a + k.(i) + m.(g)) land mask32 in
+    a := !d;
+    d := !c;
+    c := !b;
+    b := (!b + rotl32 f s.(i)) land mask32
+  done;
+  ( (a0 + !a) land mask32,
+    (b0 + !b) land mask32,
+    (c0 + !c) land mask32,
+    (d0 + !d) land mask32 )
+
+let initial_state = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476)
+
+(* Pad per RFC 1321: 0x80, zeros, 64-bit little-endian bit length. *)
+let padded_bytes s =
+  let n = String.length s in
+  let total = ((n + 8) / 64 * 64) + 64 in
+  let buf = Bytes.make total '\000' in
+  Bytes.blit_string s 0 buf 0 n;
+  Bytes.set buf n '\x80';
+  let bitlen = n * 8 in
+  for i = 0 to 7 do
+    Bytes.set buf (total - 8 + i) (Char.chr ((bitlen lsr (8 * i)) land 0xFF))
+  done;
+  buf
+
+let digest_bytes buf =
+  let nblocks = Bytes.length buf / 64 in
+  let m = Array.make 16 0 in
+  let state = ref initial_state in
+  for blk = 0 to nblocks - 1 do
+    for w = 0 to 15 do
+      let base = (blk * 64) + (w * 4) in
+      let byte i = Char.code (Bytes.get buf (base + i)) in
+      m.(w) <- byte 0 lor (byte 1 lsl 8) lor (byte 2 lsl 16) lor (byte 3 lsl 24)
+    done;
+    state := process_block !state m
+  done;
+  let a, b, c, d = !state in
+  let out = Bytes.create 16 in
+  let put off v =
+    for i = 0 to 3 do
+      Bytes.set out (off + i) (Char.chr ((v lsr (8 * i)) land 0xFF))
+    done
+  in
+  put 0 a;
+  put 4 b;
+  put 8 c;
+  put 12 d;
+  Bytes.to_string out
+
+let string s = digest_bytes (padded_bytes s)
+
+let hex s =
+  let d = string s in
+  let buf = Buffer.create 32 in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) d;
+  Buffer.contents buf
+
+let words ws =
+  let buf = Buffer.create (Array.length ws * 4) in
+  Array.iter
+    (fun w ->
+      for i = 0 to 3 do
+        Buffer.add_char buf (Char.chr ((w lsr (8 * i)) land 0xFF))
+      done)
+    ws;
+  string (Buffer.contents buf)

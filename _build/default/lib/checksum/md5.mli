@@ -1,0 +1,29 @@
+(** MD5 (RFC 1321), implemented from the specification.
+
+    Used as the host-side reference for the register-fault experiment
+    (paper Table VIII): the simulated `md5sum` workload computes digests on
+    the simulated ISA and the experiment compares them against this
+    implementation to classify silent corruptions.
+
+    Not OCaml's [Digest] module: having our own keeps the word-level round
+    functions available to the ISA code generator, which emits the same
+    rounds as simulated instructions. *)
+
+val string : string -> string
+(** [string s] is the 16-byte binary digest of [s]. *)
+
+val hex : string -> string
+(** [hex s] is the 32-character lowercase hex digest of [s]. *)
+
+val words : int array -> string
+(** Digest of an array of machine words, each contributing its low 32 bits
+    little-endian — matching the byte order the simulated workload uses. *)
+
+(** Round schedule constants, exposed for the ISA code generator so that
+    the simulated md5sum provably runs the same algorithm. *)
+
+val k : int array
+(** The 64 sine-derived constants, each in \[0, 2^32). *)
+
+val s : int array
+(** The 64 per-round left-rotation amounts. *)

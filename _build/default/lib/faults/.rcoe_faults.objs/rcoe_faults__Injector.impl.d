@@ -1,0 +1,1 @@
+lib/faults/injector.ml: Array Context Layout List Printf Rcoe_kernel Rcoe_machine Rcoe_util Rng

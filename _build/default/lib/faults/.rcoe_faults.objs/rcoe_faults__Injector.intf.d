@@ -1,0 +1,1 @@
+lib/faults/injector.mli: Rcoe_kernel Rcoe_machine

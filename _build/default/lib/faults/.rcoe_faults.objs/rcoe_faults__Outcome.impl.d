@@ -1,0 +1,1 @@
+lib/faults/outcome.ml: Config Hashtbl List Option Rcoe_core System

@@ -1,0 +1,1 @@
+lib/faults/outcome.mli: Rcoe_core

@@ -1,0 +1,1 @@
+lib/faults/overclock.ml: Array Layout List Option Printf Rcoe_kernel Rcoe_machine Rcoe_util Rng

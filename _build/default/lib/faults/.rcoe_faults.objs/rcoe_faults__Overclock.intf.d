@@ -1,0 +1,1 @@
+lib/faults/overclock.mli: Rcoe_kernel Rcoe_machine

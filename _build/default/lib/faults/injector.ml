@@ -1,0 +1,101 @@
+open Rcoe_util
+open Rcoe_kernel
+
+type region = { r_base : int; r_words : int; r_name : string }
+
+let kernel_regions (lay : Layout.t) =
+  let per_replica =
+    Array.to_list lay.Layout.partitions
+    |> List.mapi (fun i (p : Layout.partition) ->
+           {
+             r_base = p.Layout.p_base;
+             r_words = p.Layout.user_base - p.Layout.p_base;
+             r_name = Printf.sprintf "kernel%d" i;
+           })
+  in
+  per_replica
+  @ [
+      {
+        r_base = lay.Layout.shared.Layout.s_base;
+        r_words = lay.Layout.shared.Layout.s_words;
+        r_name = "shared";
+      };
+    ]
+
+let user_region (lay : Layout.t) ~rid =
+  let p = lay.Layout.partitions.(rid) in
+  {
+    r_base = p.Layout.user_base;
+    r_words = p.Layout.user_words;
+    r_name = Printf.sprintf "user%d" rid;
+  }
+
+let all_replica_regions (lay : Layout.t) =
+  kernel_regions lay
+  @ List.init lay.Layout.nreplicas (fun rid -> user_region lay ~rid)
+
+let dma_region (lay : Layout.t) =
+  { r_base = lay.Layout.dma_base; r_words = lay.Layout.dma_words; r_name = "dma" }
+
+let active_user_region (lay : Layout.t) ~rid ~used_words =
+  let p = lay.Layout.partitions.(rid) in
+  {
+    r_base = p.Layout.user_base;
+    r_words = max Layout.page_size (min used_words p.Layout.user_words);
+    r_name = Printf.sprintf "user%d" rid;
+  }
+
+let x86_active_campaign lay ~used_words =
+  kernel_regions lay
+  @ [ active_user_region lay ~rid:0 ~used_words:(used_words 0); dma_region lay ]
+
+let arm_active_campaign (lay : Layout.t) ~used_words =
+  kernel_regions lay
+  @ List.init lay.Layout.nreplicas (fun rid ->
+        active_user_region lay ~rid ~used_words:(used_words rid))
+  @ [ dma_region lay ]
+
+let x86_campaign lay =
+  kernel_regions lay @ [ user_region lay ~rid:0; dma_region lay ]
+
+let arm_campaign lay = all_replica_regions lay @ [ dma_region lay ]
+
+type t = {
+  rng : Rng.t;
+  pools : region array;
+  total_words : int;
+  mutable nflips : int;
+}
+
+let create ~seed pools =
+  if pools = [] then invalid_arg "Injector.create: no regions";
+  let pools = Array.of_list pools in
+  let total_words = Array.fold_left (fun n r -> n + r.r_words) 0 pools in
+  { rng = Rng.create seed; pools; total_words; nflips = 0 }
+
+let flip_one t mem =
+  let w = Rng.int t.rng t.total_words in
+  let rec locate i remaining =
+    let r = t.pools.(i) in
+    if remaining < r.r_words then (r.r_base + remaining, r.r_name)
+    else locate (i + 1) (remaining - r.r_words)
+  in
+  let addr, name = locate 0 w in
+  let bit = Rng.int t.rng 32 in
+  Rcoe_machine.Mem.flip_bit mem ~addr ~bit;
+  t.nflips <- t.nflips + 1;
+  (addr, bit, name)
+
+let flips t = t.nflips
+
+let reg_flip_hook ~seed ~only_rid ~armed ~count mem ~rid ~tid:_ ~ctx_addr =
+  if rid = only_rid && !armed then begin
+    armed := false;
+    incr count;
+    let rng = Rng.create (seed + !count) in
+    (* 16 integer registers + the instruction pointer. *)
+    let word = Rng.int rng 17 in
+    let off = if word = 16 then Context.ip_offset else Context.reg_offset word in
+    let bit = Rng.int rng 32 in
+    Rcoe_machine.Mem.flip_bit mem ~addr:(ctx_addr + off) ~bit
+  end

@@ -1,0 +1,69 @@
+(** Software fault injection (paper Section V-C).
+
+    The paper injects single-bit flips from a spare core; here the
+    injector flips bits in simulated physical memory between simulation
+    steps, and into saved user contexts through the engine's after-save
+    hook (the paper's method for register faults: "on an interrupt, the
+    kernel preempts the running thread and saves its context; we pick a
+    random bit in the saved user register state and flip it").
+
+    Target pools reproduce the paper's two memory campaigns:
+    - x86 (Table VII left): kernel memory of every replica, the shared
+      framework region, and the *primary's* user memory;
+    - Arm (Table VII right): all replicas' memory.
+
+    The DMA region can be included to exercise the
+    outside-the-sphere-of-replication hole. *)
+
+type region = { r_base : int; r_words : int; r_name : string }
+
+val kernel_regions : Rcoe_kernel.Layout.t -> region list
+(** Page tables, contexts, signatures of every replica + shared region. *)
+
+val user_region : Rcoe_kernel.Layout.t -> rid:int -> region
+
+val all_replica_regions : Rcoe_kernel.Layout.t -> region list
+(** Kernel + user of every replica + shared region. *)
+
+val dma_region : Rcoe_kernel.Layout.t -> region
+
+val x86_campaign : Rcoe_kernel.Layout.t -> region list
+(** Kernel of all replicas + shared + primary user + DMA. *)
+
+val arm_campaign : Rcoe_kernel.Layout.t -> region list
+(** Everything (all replicas + shared + DMA). *)
+
+val active_user_region :
+  Rcoe_kernel.Layout.t -> rid:int -> used_words:int -> region
+(** Like {!user_region} but restricted to the frames actually allocated
+    (live data, stacks), so small scaled-down workloads see fault rates
+    comparable to the paper's fully-populated memory. *)
+
+val x86_active_campaign :
+  Rcoe_kernel.Layout.t -> used_words:(int -> int) -> region list
+
+val arm_active_campaign :
+  Rcoe_kernel.Layout.t -> used_words:(int -> int) -> region list
+
+type t
+
+val create : seed:int -> region list -> t
+
+val flip_one : t -> Rcoe_machine.Mem.t -> int * int * string
+(** Flip a uniformly chosen bit (bits 0–31, as the paper flips bits in
+    32/64-bit words of real memory) in a uniformly chosen word of the
+    pools; returns (address, bit, region name). *)
+
+val flips : t -> int
+(** Total flips injected so far. *)
+
+val reg_flip_hook :
+  seed:int ->
+  only_rid:int ->
+  armed:bool ref ->
+  count:int ref ->
+  Rcoe_machine.Mem.t ->
+  rid:int -> tid:int -> ctx_addr:int -> unit
+(** After-save hook flipping one bit in the saved integer registers or
+    instruction pointer of replica [only_rid]'s preempted thread, each
+    time [armed] is true (the hook resets it and increments [count]). *)

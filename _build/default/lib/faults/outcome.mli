@@ -1,0 +1,48 @@
+(** Classification of fault-injection trial outcomes into the paper's
+    taxonomy (Tables VII, VIII and IX).
+
+    "Controlled" errors are those the replication machinery reports
+    before corrupt state escapes (signature mismatches, barrier
+    timeouts, masked downgrades, and — with exception-handler barriers —
+    kernel aborts). "Uncontrolled" errors reach the outside world:
+    client-visible corruption or errors, crashes of the unreplicated
+    base system, and kernel exceptions on configurations without
+    exception barriers. *)
+
+type t =
+  | No_error
+  | Ycsb_corruption  (** Client CRC mismatch on returned data. *)
+  | Ycsb_error  (** Client-visible failure (no response / bad reply). *)
+  | User_mem_fault
+  | User_other_fault
+  | Kernel_exception
+  | Barrier_timeout
+  | Signature_mismatch
+  | Masked  (** TMR downgrade; service continued. *)
+  | System_reboot  (** Overclocking: catastrophic multi-component burst. *)
+
+val to_string : t -> string
+
+val controlled : t -> bool
+(** [No_error] and [Masked] count as controlled. *)
+
+val classify :
+  sys:Rcoe_core.System.t ->
+  client_corrupt:bool ->
+  client_error:bool ->
+  t
+(** Precedence mirrors the paper's accounting: detection by the
+    replication machinery (mismatch / timeout / masking) wins over
+    client-observed effects; on the base system the client and fault
+    observations are all there is. *)
+
+type tally
+
+val tally_create : unit -> tally
+val tally_add : tally -> t -> unit
+val tally_get : tally -> t -> int
+val tally_total : tally -> int
+val tally_controlled : tally -> int
+val tally_uncontrolled : tally -> int
+val tally_rows : tally -> (string * int) list
+(** All outcome counts in display order. *)

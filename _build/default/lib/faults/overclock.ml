@@ -1,0 +1,59 @@
+open Rcoe_util
+open Rcoe_kernel
+
+type event =
+  | Burst of (int * int) list
+  | Reg_burst of int
+  | Reboot
+  | Irq_loss
+
+let event_to_string = function
+  | Burst fs -> Printf.sprintf "burst(%d flips)" (List.length fs)
+  | Reg_burst rid -> Printf.sprintf "reg-burst(r%d)" rid
+  | Reboot -> "reboot"
+  | Irq_loss -> "irq-loss"
+
+type t = { rng : Rng.t; lay : Layout.t; active_user : int -> int }
+
+let create ?active_user ~seed lay =
+  let default rid = lay.Layout.partitions.(rid).Layout.user_words in
+  { rng = Rng.create seed; lay; active_user = Option.value ~default active_user }
+
+(* Bias toward user memory: timing-marginal circuitry is exercised most
+   by the hot user-mode code paths. *)
+let pick_focus t =
+  let lay = t.lay in
+  let r = Rng.int t.rng 100 in
+  if r < 75 then begin
+    let rid = Rng.int t.rng lay.Layout.nreplicas in
+    let p = lay.Layout.partitions.(rid) in
+    let live = max Layout.page_size (min (t.active_user rid) p.Layout.user_words) in
+    p.Layout.user_base + Rng.int t.rng live
+  end
+  else if r < 97 then begin
+    let rid = Rng.int t.rng lay.Layout.nreplicas in
+    let p = lay.Layout.partitions.(rid) in
+    p.Layout.p_base + Rng.int t.rng (p.Layout.user_base - p.Layout.p_base)
+  end
+  else lay.Layout.shared.Layout.s_base + Rng.int t.rng lay.Layout.shared.Layout.s_words
+
+let step t mem =
+  let roll = Rng.int t.rng 1000 in
+  if roll < 2 then Reboot
+  else if roll < 5 then Irq_loss
+  else if roll < 550 then Reg_burst (Rng.int t.rng t.lay.Layout.nreplicas)
+  else begin
+    let nflips = if roll < 700 then 1 else 2 + Rng.int t.rng 5 in
+    let focus = pick_focus t in
+    let flips =
+      List.init nflips (fun _ ->
+          let addr =
+            let a = focus + Rng.int t.rng 64 - 32 in
+            max 0 (min a (Rcoe_machine.Mem.size mem - 1))
+          in
+          let bit = Rng.int t.rng 32 in
+          Rcoe_machine.Mem.flip_bit mem ~addr ~bit;
+          (addr, bit))
+    in
+    Burst flips
+  end

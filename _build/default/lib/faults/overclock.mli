@@ -1,0 +1,32 @@
+(** Overclocking fault model (paper Section V-C3, Table IX).
+
+    Overclocking "is more likely to cause multiple faults in the same
+    circuitry within a short period" — a much more pessimistic scenario
+    than independent SEUs. The model injects correlated *bursts*:
+    clusters of bit flips within a small window of nearby words, heavily
+    biased toward user memory (the paper observes user-mode errors
+    dominating), with occasional catastrophic events — a spontaneous
+    reboot or a wedged interrupt path (which the client observes as an
+    unresponsive system / network exception). *)
+
+type event =
+  | Burst of (int * int) list  (** (address, bit) flips applied. *)
+  | Reg_burst of int
+      (** Corrupt in-flight CPU state of the given replica: the harness
+          arms a register flip at the next context save. Overclocking
+          stresses the core's timing paths first, so these dominate. *)
+  | Reboot  (** Catastrophic: the whole system resets. *)
+  | Irq_loss  (** NIC wedged; the system goes quiet. *)
+
+val event_to_string : event -> string
+
+type t
+
+val create :
+  ?active_user:(int -> int) -> seed:int -> Rcoe_kernel.Layout.t -> t
+(** [active_user rid] bounds each replica's user-area focus to its live
+    words (defaults to the whole user area). *)
+
+val step : t -> Rcoe_machine.Mem.t -> event
+(** Inject one overclocking event (flips are applied before return;
+    [Reboot]/[Irq_loss] are for the harness to enact). *)

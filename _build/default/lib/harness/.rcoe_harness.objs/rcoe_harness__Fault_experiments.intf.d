@@ -1,0 +1,1 @@
+lib/harness/fault_experiments.mli: Rcoe_core Rcoe_faults

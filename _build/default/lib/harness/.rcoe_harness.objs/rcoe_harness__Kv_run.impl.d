@@ -1,0 +1,1 @@
+lib/harness/kv_run.ml: Config Kvstore List Option Rcoe_core Rcoe_machine Rcoe_workloads System Wl Ycsb

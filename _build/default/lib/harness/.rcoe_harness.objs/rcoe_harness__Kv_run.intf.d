@@ -1,0 +1,1 @@
+lib/harness/kv_run.mli: Rcoe_core Rcoe_workloads

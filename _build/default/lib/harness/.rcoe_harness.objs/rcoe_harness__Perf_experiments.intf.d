@@ -1,0 +1,1 @@
+lib/harness/perf_experiments.mli:

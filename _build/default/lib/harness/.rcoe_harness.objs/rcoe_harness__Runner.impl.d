@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Config Rcoe_core System

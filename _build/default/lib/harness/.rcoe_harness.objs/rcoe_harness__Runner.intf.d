@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Rcoe_core Rcoe_isa Rcoe_machine

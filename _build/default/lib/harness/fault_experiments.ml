@@ -1,0 +1,427 @@
+open Rcoe_core
+open Rcoe_workloads
+open Rcoe_faults
+open Rcoe_util
+
+let x86 = Rcoe_machine.Arch.X86
+let arm = Rcoe_machine.Arch.Arm
+
+let header title expectation =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "paper expectation: %s\n" expectation;
+  Printf.printf "================================================================\n%!"
+
+(* ----------------------------------------------------------- Table VII -- *)
+
+type t7_config = {
+  t7_label : string;
+  t7_mode : Config.mode;
+  t7_n : int;
+  t7_trace : bool;
+}
+
+let t7_configs =
+  [
+    { t7_label = "Base"; t7_mode = Config.Base; t7_n = 1; t7_trace = true };
+    { t7_label = "LC-D"; t7_mode = Config.LC; t7_n = 2; t7_trace = true };
+    { t7_label = "LC-T"; t7_mode = Config.LC; t7_n = 3; t7_trace = true };
+    { t7_label = "CC-D"; t7_mode = Config.CC; t7_n = 2; t7_trace = true };
+    { t7_label = "CC-T"; t7_mode = Config.CC; t7_n = 3; t7_trace = true };
+    { t7_label = "LC-D-N"; t7_mode = Config.LC; t7_n = 2; t7_trace = false };
+    { t7_label = "LC-T-N"; t7_mode = Config.LC; t7_n = 3; t7_trace = false };
+  ]
+
+(* One fault-injection trial: run the KV workload while flipping memory
+   bits at a fixed cadence; classify what the trial produced. *)
+let kv_fault_trial ~arch ~mode ~n ~trace ~barriers ~campaign ~seed
+    ~flip_interval =
+  let config =
+    {
+      (Runner.config_for ~mode ~nreplicas:n ~arch ~with_net:true ~seed ())
+      with
+      Config.trace_output = trace;
+      exception_barriers = barriers;
+      (* Detection must win the race against the client's patience: the
+         paper's barrier timeout is milliseconds while clients wait much
+         longer before declaring the server dead. *)
+      barrier_timeout = 200_000;
+    }
+  in
+  let injector = ref None in
+  let next_flip = ref flip_interval in
+  let flips = ref 0 in
+  let inject sys =
+    let inj =
+      match !injector with
+      | Some i -> i
+      | None ->
+          let used rid = Rcoe_kernel.Kernel.used_user_words (System.kernel sys rid) in
+          let i =
+            Injector.create ~seed:(seed * 7919)
+              (campaign (System.layout sys) ~used_words:used)
+          in
+          injector := Some i;
+          i
+    in
+    if System.now sys >= !next_flip then begin
+      next_flip := System.now sys + flip_interval;
+      ignore (Injector.flip_one inj (System.machine sys).Rcoe_machine.Machine.mem);
+      incr flips
+    end
+  in
+  let res =
+    Kv_run.run ~config ~workload:Ycsb.A ~records:100 ~operations:120
+      ~gen_seed:(seed + 5000) ~stall_limit:700_000 ~max_cycles:2_500_000
+      ~inject ~stop_on_error:true ()
+  in
+  let c = res.Kv_run.counters in
+  let outcome =
+    Outcome.classify ~sys:res.Kv_run.sys
+      ~client_corrupt:(c.Ycsb.corrupted > 0)
+      ~client_error:(c.Ycsb.client_errors > 0 || res.Kv_run.stalled)
+  in
+  (outcome, !flips)
+
+let print_tally tbl label tally total_flips =
+  let open Outcome in
+  Table.add_row tbl
+    ([ label; string_of_int total_flips ]
+    @ List.map
+        (fun o -> string_of_int (tally_get tally o))
+        [
+          Ycsb_corruption; Ycsb_error; User_mem_fault; User_other_fault;
+          Kernel_exception; Barrier_timeout; Signature_mismatch;
+        ]
+    @ [ string_of_int (tally_uncontrolled tally) ])
+
+let one_trial_for_debug ~mode ~n ~seed =
+  kv_fault_trial ~arch:x86 ~mode ~n ~trace:true ~barriers:false
+    ~campaign:Injector.x86_active_campaign ~seed ~flip_interval:3_000
+
+let table7 ?(trials = 40) ~variant () =
+  let arch, barriers, campaign, vname =
+    match variant with
+    | `X86 ->
+        (x86, false, Injector.x86_active_campaign, "x86 (no exception barriers)")
+    | `Arm ->
+        (arm, true, Injector.arm_active_campaign, "Arm (with exception barriers)")
+  in
+  header
+    (Printf.sprintf "Table VII (%s): memory fault injection on the KV server"
+       vname)
+    "base: faults escape as corruption/errors/crashes; LC/CC detect all \
+     but ~1-1.5% (timeouts + signature mismatches); kernel aborts are \
+     uncontrolled kernel exceptions on x86 but caught by barriers on \
+     Arm; the -N rows (no output tracing) fail at 10-40x the rate";
+  let tbl =
+    Table.create
+      ~headers:
+        [
+          "config"; "flips"; "ycsb-corru"; "ycsb-err"; "user-mem"; "user-oth";
+          "kern-exc"; "timeout"; "mismatch"; "UNCONTROLLED";
+        ]
+  in
+  List.iter
+    (fun tc ->
+      if not (variant = `X86 && not tc.t7_trace) then begin
+        (* The paper shows the -N rows for the Arm campaign. *)
+        let tally = Outcome.tally_create () in
+        let total_flips = ref 0 in
+        for seed = 1 to trials do
+          let outcome, flips =
+            kv_fault_trial ~arch ~mode:tc.t7_mode ~n:tc.t7_n ~trace:tc.t7_trace
+              ~barriers ~campaign ~seed:(seed * 31) ~flip_interval:3_000
+          in
+          Outcome.tally_add tally outcome;
+          total_flips := !total_flips + flips
+        done;
+        print_tally tbl tc.t7_label tally !total_flips
+      end)
+    t7_configs;
+  Table.print tbl;
+  Printf.printf
+    "(UNCONTROLLED counts trials whose error escaped: corruption, client \
+     errors, crashes, kernel exceptions; detected and error-free trials \
+     are controlled)\n%!"
+
+(* ---------------------------------------------------------- Table VIII -- *)
+
+let table8 ?(trials = 60) () =
+  header "Table VIII: register fault injection on md5sum (VM, x86)"
+    "base: 100% uncontrolled (about one third crashes, two thirds silent \
+     digest corruptions); CC-D: 100% controlled (~96% signature \
+     mismatches, ~4% timeouts), zero corrupt outputs escape";
+  let tbl =
+    Table.create
+      ~headers:
+        [ "config"; "injected"; "crashes"; "corruptions"; "timeouts";
+          "mismatches"; "uncontrolled"; "controlled" ]
+  in
+  let run_campaign label mode n =
+    let crashes = ref 0
+    and corruptions = ref 0
+    and timeouts = ref 0
+    and mismatches = ref 0
+    and injected = ref 0 in
+    for seed = 1 to trials do
+      let config =
+        {
+          (Runner.config_for ~mode ~nreplicas:n ~arch:x86 ~vm:true
+             ~seed:(seed * 17) ())
+          with
+          Config.barrier_timeout = 600_000;
+        }
+      in
+      let program =
+        Md5sum.program ~message_words:96 ~iters:40 ~seed:(seed * 3)
+          ~branch_count:false ()
+      in
+      let sys = System.create ~config ~program in
+      let armed = ref false and count = ref 0 in
+      System.set_after_save_hook sys
+        (Some
+           (Injector.reg_flip_hook ~seed:(seed * 101) ~only_rid:0 ~armed ~count
+              (System.machine sys).Rcoe_machine.Machine.mem));
+      (* Arm the injector before every tick until the trial resolves. *)
+      let resolved = ref false in
+      while not !resolved do
+        armed := true;
+        System.run sys ~max_cycles:60_000;
+        let out = System.output sys 0 in
+        let crashed =
+          List.exists
+            (fun (_, k) -> match k with System.E_user_fault _ -> true | _ -> false)
+            (System.events sys)
+        in
+        match System.halted sys with
+        | Some System.H_timeout ->
+            incr timeouts;
+            resolved := true
+        | Some (System.H_mismatch | System.H_no_consensus | System.H_masking_blocked) ->
+            incr mismatches;
+            resolved := true
+        | Some (System.H_kernel_exception _) ->
+            incr crashes;
+            resolved := true
+        | None ->
+            if String.contains out 'X' then begin
+              incr corruptions;
+              resolved := true
+            end
+            else if crashed && n = 1 then begin
+              (* Unreplicated: a dead thread is a crash. Replicated: the
+                 dead replica leaves the others to time the round out, so
+                 keep running until the detector fires. *)
+              incr crashes;
+              resolved := true
+            end
+            else if System.finished sys then resolved := true
+      done;
+      injected := !injected + !count
+    done;
+    Table.add_row tbl
+      [
+        label;
+        string_of_int !injected;
+        string_of_int !crashes;
+        string_of_int !corruptions;
+        string_of_int !timeouts;
+        string_of_int !mismatches;
+        string_of_int (!crashes + !corruptions);
+        string_of_int (!timeouts + !mismatches);
+      ]
+  in
+  run_campaign "Base (VM)" Config.Base 1;
+  run_campaign "CC-D (VM)" Config.CC 2;
+  Table.print tbl
+
+(* ------------------------------------------------------------ Table IX -- *)
+
+let table9 ?(trials = 50) () =
+  header "Table IX: overclocking (correlated fault bursts) on Arm"
+    "user-mode errors dominate the unprotected system; LC detects all \
+     but ~2.5% (mostly barrier timeouts); occasional reboots and wedged \
+     interrupts remain externally visible";
+  let tbl =
+    Table.create
+      ~headers:
+        [
+          "config"; "user-flt"; "ycsb-corru"; "ycsb-err"; "reboot"; "timeout";
+          "mismatch"; "uncontrolled";
+        ]
+  in
+  let run_campaign label mode n =
+    let tally = Outcome.tally_create () in
+    for seed = 1 to trials do
+      let config =
+        {
+          (Runner.config_for ~mode ~nreplicas:n ~arch:arm ~with_net:true
+             ~seed:(seed * 23) ())
+          with
+          Config.exception_barriers = true;
+          barrier_timeout = 200_000;
+        }
+      in
+      let oc = ref None in
+      let next_burst = ref 30_000 in
+      let rebooted = ref false in
+      let reg_target = ref None in
+      let hook_installed = ref false in
+      let inject sys =
+        if not !hook_installed then begin
+          hook_installed := true;
+          (* Register corruption: flip a bit in the saved context of the
+             targeted replica at its next preemption. *)
+          let rng = Rcoe_util.Rng.create (seed * 4099) in
+          System.set_after_save_hook sys
+            (Some
+               (fun ~rid ~tid:_ ~ctx_addr ->
+                 match !reg_target with
+                 | Some r when r = rid ->
+                     reg_target := None;
+                     let word = Rcoe_util.Rng.int rng 17 in
+                     let off =
+                       if word = 16 then Rcoe_kernel.Context.ip_offset
+                       else Rcoe_kernel.Context.reg_offset word
+                     in
+                     Rcoe_machine.Mem.flip_bit
+                       (System.machine sys).Rcoe_machine.Machine.mem
+                       ~addr:(ctx_addr + off)
+                       ~bit:(Rcoe_util.Rng.int rng 32)
+                 | _ -> ()))
+        end;
+        let o =
+          match !oc with
+          | Some o -> o
+          | None ->
+              let used rid =
+                Rcoe_kernel.Kernel.used_user_words (System.kernel sys rid)
+              in
+              let o =
+                Overclock.create ~active_user:used ~seed:(seed * 577)
+                  (System.layout sys)
+              in
+              oc := Some o;
+              o
+        in
+        if (not !rebooted) && System.now sys >= !next_burst then begin
+          next_burst := System.now sys + 18_000;
+          match Overclock.step o (System.machine sys).Rcoe_machine.Machine.mem with
+          | Overclock.Burst _ -> ()
+          | Overclock.Reg_burst rid -> reg_target := Some rid
+          | Overclock.Reboot ->
+              rebooted := true;
+              Array.iter
+                (fun c -> c.Rcoe_machine.Core.halted <- true)
+                (System.machine sys).Rcoe_machine.Machine.cores
+          | Overclock.Irq_loss -> (
+              match System.netdev sys with
+              | Some nd -> Rcoe_machine.Netdev.set_wedged nd true
+              | None -> ())
+        end
+      in
+      let res =
+        Kv_run.run ~config ~workload:Ycsb.A ~records:24 ~operations:60
+          ~gen_seed:(seed + 9000) ~stall_limit:500_000 ~max_cycles:2_500_000
+          ~inject ~stop_on_error:true ()
+      in
+      let c = res.Kv_run.counters in
+      let outcome =
+        if !rebooted then Outcome.System_reboot
+        else
+          Outcome.classify ~sys:res.Kv_run.sys
+            ~client_corrupt:(c.Ycsb.corrupted > 0)
+            ~client_error:(c.Ycsb.client_errors > 0 || res.Kv_run.stalled)
+      in
+      Outcome.tally_add tally outcome
+    done;
+    let open Outcome in
+    Table.add_row tbl
+      [
+        label;
+        string_of_int
+          (tally_get tally User_mem_fault + tally_get tally User_other_fault);
+        string_of_int (tally_get tally Ycsb_corruption);
+        string_of_int (tally_get tally Ycsb_error);
+        string_of_int (tally_get tally System_reboot);
+        string_of_int (tally_get tally Barrier_timeout);
+        string_of_int (tally_get tally Signature_mismatch);
+        string_of_int (tally_uncontrolled tally);
+      ]
+  in
+  run_campaign "Base" Config.Base 1;
+  run_campaign "LC-D" Config.LC 2;
+  run_campaign "LC-T" Config.LC 3;
+  Table.print tbl
+
+(* ----------------------------------------------- detection latency -- *)
+
+let detection_latency ?(runs = 5) () =
+  header "Detection latency vs tick interval and sync level"
+    "latency ~ tick interval at level A (detected at the next \
+     synchronisation); roughly the inter-syscall gap at level S (every \
+     syscall votes) - the paper's tunable performance-safety trade-off";
+  let tbl =
+    Table.create
+      ~headers:[ "tick interval"; "level"; "mean latency (cycles)"; "max" ]
+  in
+  (* A compute loop with a syscall every ~600 cycles. *)
+  let program =
+    let a = Rcoe_isa.Asm.create "latency" in
+    let open Rcoe_isa in
+    Asm.label a "main";
+    Asm.for_up a Reg.R4 ~start:0 ~stop:(Instr.Imm 1_000_000) (fun () ->
+        Asm.remi a Reg.R5 Reg.R4 199;
+        Asm.if_ a Instr.Eq Reg.R5 (Instr.Imm 0) (fun () ->
+            Asm.movi a Reg.R0 46;
+            Asm.syscall a Rcoe_kernel.Syscall.sys_putchar));
+    Asm.syscall a Rcoe_kernel.Syscall.sys_exit;
+    Asm.assemble ~entry:"main" a
+  in
+  List.iter
+    (fun tick_interval ->
+      List.iter
+        (fun (lname, level) ->
+          let lats = ref [] in
+          for seed = 1 to runs do
+            let config =
+              Runner.config_for ~mode:Config.LC ~nreplicas:2 ~arch:x86
+                ~sync_level:level ~tick_interval ~seed:(seed * 41) ()
+            in
+            let sys = System.create ~config ~program in
+            let warm = 30_000 + (seed * 1_000) in
+            System.run sys ~max_cycles:warm;
+            let injected_at = System.now sys in
+            Rcoe_machine.Mem.flip_bit
+              (System.machine sys).Rcoe_machine.Machine.mem
+              ~addr:(System.sig_base sys 1 + 1)
+              ~bit:(seed mod 30);
+            System.run sys ~max_cycles:3_000_000;
+            match System.halted sys with
+            | Some System.H_mismatch ->
+                lats := float_of_int (System.now sys - injected_at) :: !lats
+            | _ -> ()
+          done;
+          match !lats with
+          | [] -> Table.add_row tbl [ string_of_int tick_interval; lname; "n/a"; "" ]
+          | ls ->
+              Table.add_row tbl
+                [
+                  string_of_int tick_interval;
+                  lname;
+                  Printf.sprintf "%.0f" (Rcoe_util.Stats.mean ls);
+                  Printf.sprintf "%.0f"
+                    (List.fold_left Float.max 0.0 ls);
+                ])
+        [ ("A", Config.Sync_args); ("S", Config.Sync_vote) ])
+    [ 5_000; 20_000; 50_000; 100_000 ];
+  Table.print tbl
+
+let all ~quick =
+  let t = if quick then 25 else 80 in
+  table7 ~trials:t ~variant:`X86 ();
+  table7 ~trials:t ~variant:`Arm ();
+  table8 ~trials:(if quick then 20 else 60) ();
+  table9 ~trials:(if quick then 20 else 60) ();
+  detection_latency ~runs:(if quick then 3 else 8) ()

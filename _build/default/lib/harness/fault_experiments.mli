@@ -1,0 +1,42 @@
+(** Reproduction of the paper's fault-injection experiments (Section V-C).
+
+    Counts are scaled: the paper injects 60k–91k faults per
+    configuration; these campaigns default to a few hundred trials so the
+    whole bench finishes in minutes. EXPERIMENTS.md records the scaling
+    and the shape comparison. *)
+
+val one_trial_for_debug :
+  mode:Rcoe_core.Config.mode -> n:int -> seed:int ->
+  Rcoe_faults.Outcome.t * int
+(** Single x86-campaign trial (exposed for tests and debugging). *)
+
+val table7 : ?trials:int -> variant:[ `X86 | `Arm ] -> unit -> unit
+(** Memory fault injection on the running KV server.
+    [`X86]: inject into every replica's kernel memory, the shared
+    framework region, the primary's user memory, and the DMA buffers; no
+    exception-handler barriers (kernel aborts escape as kernel
+    exceptions). [`Arm]: inject into all replicas' memory; kernel aborts
+    are caught by barriers. Includes the LC-*-N rows (no driver output
+    tracing) that show the failure rate exploding when output voting is
+    disabled. *)
+
+val table8 : ?trials:int -> unit -> unit
+(** Register fault injection on md5sum in a VM: the base system shows
+    only crashes and silent corruptions; CC-D controls 100% of errors
+    (mostly signature mismatches, a few timeouts). *)
+
+val table9 : ?trials:int -> unit -> unit
+(** Overclocking (correlated multi-fault bursts) on the Arm KV setup:
+    user-mode errors dominate the base system; LC detects all but a few
+    percent, mostly by barrier timeouts; reboots and wedged interrupt
+    paths remain externally visible failures. *)
+
+val detection_latency : ?runs:int -> unit -> unit
+(** The paper's performance-safety trade-off made explicit (Sections
+    III-C and V-B): error-detection latency as a function of the kernel
+    timer-tick interval and of the sync level (A: vote at sync points
+    only; S: vote on every system call). A fault is injected into a
+    replica's signature accumulator at a known cycle; latency is the
+    cycles until the vote detects it. *)
+
+val all : quick:bool -> unit

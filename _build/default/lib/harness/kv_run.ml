@@ -1,0 +1,95 @@
+open Rcoe_core
+open Rcoe_workloads
+
+type result = {
+  elapsed_cycles : int;
+  ops_completed : int;
+  kops_per_sec : float;
+  counters : Ycsb.counters;
+  stalled : bool;
+  sys : System.t;
+}
+
+let run ~config ~workload ~records ~operations ?(window = 8) ?(gen_seed = 11)
+    ?(chunk = 400) ?(stall_limit = 3_000_000) ?(max_cycles = 600_000_000)
+    ?inject ?(stop_on_error = false) () =
+  let config = { config with Config.with_net = true } in
+  let branch_count = Wl.branch_count_for config.Config.arch in
+  let program =
+    Kvstore.program ~max_records:(records + operations + 64) ~net_dpn:0
+      ~branch_count ()
+  in
+  let sys = System.create ~config ~program in
+  let net =
+    match System.netdev sys with
+    | Some n -> n
+    | None -> invalid_arg "Kv_run.run: no network device"
+  in
+  let gen = Ycsb.create { Ycsb.records; operations; seed = gen_seed } workload in
+  let start = System.now sys in
+  let run_start = ref None in
+  let run_completed = ref 0 in
+  let last_progress = ref (System.now sys) in
+  let stalled = ref false in
+  let stop = ref false in
+  while
+    (not !stop)
+    && (not (Ycsb.finished gen))
+    && System.halted sys = None
+    && (not !stalled)
+    && (not (System.finished sys))
+    (* A "finished" server means its threads died: the service is dead. *)
+    && System.now sys - start < max_cycles
+  do
+    (* Top up the outstanding window. The run phase starts only once the
+       load phase has fully drained, so throughput is measured cleanly. *)
+    let may_issue =
+      (not (Ycsb.load_phase_done gen)) || !run_start <> None
+    in
+    let continue_topup = ref may_issue in
+    while Ycsb.outstanding gen < window && !continue_topup do
+      match Ycsb.next_request gen with
+      | Some req -> Rcoe_machine.Netdev.inject net ~now:(System.now sys) req
+      | None -> continue_topup := false
+    done;
+    let before = (Ycsb.counters gen).Ycsb.completed in
+    System.run sys ~max_cycles:chunk;
+    (* Drain responses. *)
+    List.iter
+      (fun (_, payload) ->
+        Ycsb.on_response gen payload;
+        if !run_start <> None then incr run_completed)
+      (Rcoe_machine.Netdev.take_tx net);
+    let c = Ycsb.counters gen in
+    if c.Ycsb.completed > before then last_progress := System.now sys;
+    if
+      !run_start = None
+      && Ycsb.load_phase_done gen
+      && Ycsb.outstanding gen = 0
+    then begin
+      run_start := Some (System.now sys);
+      last_progress := System.now sys
+    end;
+    if System.now sys - !last_progress > stall_limit then stalled := true;
+    (match inject with Some f -> f sys | None -> ());
+    if
+      stop_on_error
+      && (c.Ycsb.corrupted > 0 || c.Ycsb.client_errors > 0)
+    then stop := true
+  done;
+  let c = Ycsb.counters gen in
+  if System.finished sys && not (Ycsb.finished gen) then stalled := true;
+  let run_start_cycle = Option.value ~default:(System.now sys) !run_start in
+  let elapsed = max 1 (System.now sys - run_start_cycle) in
+  let profile = Rcoe_machine.Arch.profile_of config.Config.arch in
+  let secs =
+    float_of_int elapsed /. (float_of_int profile.Rcoe_machine.Arch.freq_mhz *. 1e6)
+  in
+  {
+    elapsed_cycles = elapsed;
+    ops_completed = !run_completed;
+    kops_per_sec = (if secs > 0.0 then float_of_int !run_completed /. secs /. 1e3 else 0.0);
+    counters = c;
+    stalled = !stalled;
+    sys;
+  }

@@ -1,0 +1,52 @@
+(** Reproduction of the paper's performance experiments.
+
+    Each function runs the experiment and prints a table in the shape of
+    the corresponding paper table/figure, with the paper's qualitative
+    expectation noted so the output is self-checking. [runs] controls
+    repetitions (the paper averages 10); the default keeps bench runtime
+    in minutes.
+
+    See DESIGN.md Section 4 for the experiment index and EXPERIMENTS.md
+    for recorded paper-vs-measured comparisons. *)
+
+val e1_datarace : ?runs:int -> unit -> unit
+(** Section V-A1: LC diverges on racy multithreaded code with high
+    probability; CC never does. *)
+
+val table2 : ?runs:int -> unit -> unit
+(** Native Dhrystone/Whetstone across Base/LC-D/LC-T/CC-D/CC-T on both
+    architectures. *)
+
+val table3 : ?runs:int -> unit -> unit
+(** Virtualised Dhrystone/Whetstone under CC-D on x86: VM exits dominate
+    (paper: 1.55x and ~2.9x). *)
+
+val table4 : ?runs:int -> unit -> unit
+(** SPLASH-2 kernels in a VM under CC-D: overheads 1.1x–12x, geometric
+    mean ~2.3. *)
+
+val table5 : ?runs:int -> unit -> unit
+(** Memory-bandwidth copy: x86 DMR ~50% / TMR ~33% of baseline
+    throughput; Arm degrades less (bus reserve). *)
+
+val fig3 : ?workloads:string list -> ?records:int -> ?ops_factor:int -> unit -> unit
+(** YCSB throughput over the KV server for N/A/S sync levels across
+    Base/LC-D/LC-T/CC-D/CC-T on both architectures. *)
+
+val table10 : ?runs:int -> unit -> unit
+(** Error-recovery (downgrade) time: removing the primary is two orders
+    of magnitude more expensive than another replica; CC primary > LC
+    primary; no CC masking on Arm. *)
+
+val fig4 : unit -> unit
+(** Throughput timeline of a TMR KV system that downgrades to DMR when a
+    fault is injected mid-run (error masking keeps it serving), then
+    re-admits the repaired replica (the Section IV-C extension),
+    returning to TMR without a reboot. *)
+
+val ablation_fast_catchup : ?runs:int -> unit -> unit
+(** Ablation of the fast catch-up extension (paper Section VI): CC-RCoE
+    Whetstone with breakpoint-only catch-up vs PMU-assisted catch-up —
+    debug-exception counts and overhead factors side by side. *)
+
+val all : quick:bool -> unit

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Array Branch_count Check Hashtbl Instr List Printf Program String

@@ -1,0 +1,1 @@
+lib/isa/branch_count.ml: Array Instr List

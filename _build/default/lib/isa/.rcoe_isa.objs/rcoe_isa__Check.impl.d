@@ -1,0 +1,1 @@
+lib/isa/check.ml: Array Instr List Program Reg

@@ -1,0 +1,1 @@
+lib/isa/program.ml: Array Buffer Instr Int32 List Printf String

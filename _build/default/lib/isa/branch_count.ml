@@ -1,0 +1,19 @@
+type item = I of Instr.t | L of string
+
+let insert items =
+  (* Walk the stream keeping track of whether the previous emitted
+     instruction is already a [Cntinc] (idempotence). Labels pass through
+     before the inserted increment. *)
+  let rec go acc prev_was_cnt = function
+    | [] -> List.rev acc
+    | L l :: rest -> go (L l :: acc) false rest
+    | I i :: rest when Instr.is_branch i ->
+        let acc = if prev_was_cnt then acc else I Instr.Cntinc :: acc in
+        go (I i :: acc) false rest
+    | I Instr.Cntinc :: rest -> go (I Instr.Cntinc :: acc) true rest
+    | I i :: rest -> go (I i :: acc) false rest
+  in
+  go [] false items
+
+let counted_branches code =
+  Array.fold_left (fun n i -> if Instr.is_branch i then n + 1 else n) 0 code

@@ -1,0 +1,26 @@
+(** Compiler-assisted branch counting.
+
+    Models the paper's GCC plugin for Armv7-A (Section III-D, after Slye &
+    Elnozahy): a counter increment on a reserved register is inserted
+    immediately before every branch, call, and return, so that the kernel
+    can reconstruct a precise logical clock on processors whose PMU cannot
+    count branches accurately.
+
+    The pass runs on the assembler's pre-resolution item stream so that
+    symbolic labels survive the insertion: a label that precedes a branch
+    stays before the inserted [Cntinc], meaning every path to the branch
+    (jump or fall-through) executes the increment exactly once.
+
+    The increment is deliberately a separate instruction from the branch:
+    preemption can land between the two, reproducing the counter/branch
+    race the paper must handle during leader election (their Listing 3). *)
+
+type item = I of Instr.t | L of string
+
+val insert : item list -> item list
+(** Insert a [Cntinc] before every counting branch. Idempotent on streams
+    that already carry a [Cntinc] directly before each branch. *)
+
+val counted_branches : Instr.t array -> int
+(** Number of instructions in a code array that would be counted
+    (static count, for tests and tooling). *)

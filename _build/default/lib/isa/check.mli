@@ -1,0 +1,32 @@
+(** Static program checks.
+
+    The paper notes that compiler-assisted CC-RCoE requires recompiling
+    everything with a reserved register and scanning assembly code for
+    violations, and that Arm exclusives ([ldrex]/[strex]) must be turned
+    into system calls because their retry counts can diverge between
+    replicas. These checks are the simulated counterparts of those
+    build-time tools. *)
+
+val regs_used : Instr.t -> Reg.t list
+(** Every integer register an instruction reads or writes (not including
+    the implicit [sp]/[lr] uses of [Push]/[Pop]/[Jal]/[Ret], which are
+    listed explicitly). *)
+
+val reserved_register_violations : Program.t -> (int * Instr.t) list
+(** Instructions (with their addresses) that touch the reserved
+    branch-counter register {!Reg.branch_counter} other than [Cntinc]
+    itself. Must be empty for a program to run under compiler-assisted
+    CC-RCoE. *)
+
+val exclusives : Program.t -> (int * Instr.t) list
+(** All [Ldex]/[Stex] instructions. Must be empty for a program to run
+    under CC-RCoE (atomics must go through the kernel's atomic-update
+    system call); LC-RCoE and base configurations may use them. *)
+
+val rep_strings : Program.t -> (int * Instr.t) list
+(** All [Rep_movs] instructions (informational; used by the VM cost model
+    and by tests). *)
+
+val unresolved_targets : Program.t -> (int * Instr.t) list
+(** Branches whose target is still symbolic or out of range; always empty
+    for the output of {!Asm.assemble}. *)

@@ -1,0 +1,167 @@
+type target = Lbl of string | Abs of int
+
+type operand = Reg of Reg.t | Imm of int
+
+type cond = Eq | Ne | Lt | Le | Gt | Ge
+
+type alu = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Asr
+
+type falu = Fadd | Fsub | Fmul | Fdiv
+
+type funop = Fmov | Fneg | Fabs | Fsqrt
+
+type t =
+  | Nop
+  | Halt
+  | Mov of Reg.t * operand
+  | La of Reg.t * string
+  | Alu of alu * Reg.t * Reg.t * operand
+  | Not of Reg.t * Reg.t
+  | Ld of Reg.t * Reg.t * int
+  | St of Reg.t * Reg.t * int
+  | Push of Reg.t
+  | Pop of Reg.t
+  | B of cond * Reg.t * operand * target
+  | Jmp of target
+  | Jal of target
+  | Jr of Reg.t
+  | Ret
+  | Syscall of int
+  | Rep_movs
+  | Ldex of Reg.t * Reg.t
+  | Stex of Reg.t * Reg.t * Reg.t
+  | Atomic_add of Reg.t * Reg.t * operand
+  | Cas of Reg.t * Reg.t * Reg.t * Reg.t
+  | Cntinc
+  | Falu of falu * Reg.f * Reg.f * Reg.f
+  | Funop of funop * Reg.f * Reg.f
+  | Fldi of Reg.f * float
+  | Fld of Reg.f * Reg.t * int
+  | Fst of Reg.f * Reg.t * int
+  | Fb of cond * Reg.f * Reg.f * target
+  | Itof of Reg.f * Reg.t
+  | Ftoi of Reg.t * Reg.f
+
+let is_branch = function
+  | B _ | Jmp _ | Jal _ | Jr _ | Ret | Fb _ -> true
+  | Nop | Halt | Mov _ | La _ | Alu _ | Not _ | Ld _ | St _ | Push _ | Pop _
+  | Syscall _ | Rep_movs | Ldex _ | Stex _ | Atomic_add _ | Cas _ | Cntinc
+  | Falu _ | Funop _ | Fldi _ | Fld _ | Fst _ | Itof _ | Ftoi _ ->
+      false
+
+let is_memory_access = function
+  | Ld _ | St _ | Push _ | Pop _ | Rep_movs | Ldex _ | Stex _ | Atomic_add _
+  | Cas _ | Fld _ | Fst _ ->
+      true
+  | Nop | Halt | Mov _ | La _ | Alu _ | Not _ | B _ | Jmp _ | Jal _ | Jr _
+  | Ret | Syscall _ | Cntinc | Falu _ | Funop _ | Fldi _ | Fb _ | Itof _
+  | Ftoi _ ->
+      false
+
+let target_of = function
+  | B (_, _, _, t) | Jmp t | Jal t | Fb (_, _, _, t) -> Some t
+  | Nop | Halt | Mov _ | La _ | Alu _ | Not _ | Ld _ | St _ | Push _ | Pop _
+  | Jr _ | Ret | Syscall _ | Rep_movs | Ldex _ | Stex _ | Atomic_add _
+  | Cas _ | Cntinc | Falu _ | Funop _ | Fldi _ | Fld _ | Fst _ | Itof _
+  | Ftoi _ ->
+      None
+
+let with_target i t =
+  match i with
+  | B (c, r, o, _) -> B (c, r, o, t)
+  | Jmp _ -> Jmp t
+  | Jal _ -> Jal t
+  | Fb (c, a, b, _) -> Fb (c, a, b, t)
+  | _ -> invalid_arg "Instr.with_target: instruction has no target"
+
+let cond_to_string = function
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+
+let eval_cond c a b =
+  match c with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+
+let eval_fcond c (a : float) (b : float) =
+  match c with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+
+let alu_to_string = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+  | And -> "and" | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Shr -> "shr"
+  | Asr -> "asr"
+
+let falu_to_string = function
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+
+let funop_to_string = function
+  | Fmov -> "fmov" | Fneg -> "fneg" | Fabs -> "fabs" | Fsqrt -> "fsqrt"
+
+let operand_to_string = function
+  | Reg r -> Reg.to_string r
+  | Imm i -> "#" ^ string_of_int i
+
+let target_to_string = function
+  | Lbl s -> s
+  | Abs i -> "@" ^ string_of_int i
+
+let to_string = function
+  | Nop -> "nop"
+  | Halt -> "halt"
+  | Mov (rd, o) -> Printf.sprintf "mov %s, %s" (Reg.to_string rd) (operand_to_string o)
+  | La (rd, l) -> Printf.sprintf "la %s, %s" (Reg.to_string rd) l
+  | Alu (op, rd, rs, o) ->
+      Printf.sprintf "%s %s, %s, %s" (alu_to_string op) (Reg.to_string rd)
+        (Reg.to_string rs) (operand_to_string o)
+  | Not (rd, rs) -> Printf.sprintf "not %s, %s" (Reg.to_string rd) (Reg.to_string rs)
+  | Ld (rd, rs, off) ->
+      Printf.sprintf "ld %s, [%s+%d]" (Reg.to_string rd) (Reg.to_string rs) off
+  | St (rd, rs, off) ->
+      Printf.sprintf "st %s, [%s+%d]" (Reg.to_string rs) (Reg.to_string rd) off
+  | Push r -> "push " ^ Reg.to_string r
+  | Pop r -> "pop " ^ Reg.to_string r
+  | B (c, r, o, t) ->
+      Printf.sprintf "b%s %s, %s, %s" (cond_to_string c) (Reg.to_string r)
+        (operand_to_string o) (target_to_string t)
+  | Jmp t -> "jmp " ^ target_to_string t
+  | Jal t -> "jal " ^ target_to_string t
+  | Jr r -> "jr " ^ Reg.to_string r
+  | Ret -> "ret"
+  | Syscall n -> "syscall #" ^ string_of_int n
+  | Rep_movs -> "rep movs"
+  | Ldex (rd, rs) -> Printf.sprintf "ldex %s, [%s]" (Reg.to_string rd) (Reg.to_string rs)
+  | Stex (rres, rval, raddr) ->
+      Printf.sprintf "stex %s, %s, [%s]" (Reg.to_string rres)
+        (Reg.to_string rval) (Reg.to_string raddr)
+  | Atomic_add (rd, raddr, o) ->
+      Printf.sprintf "xadd %s, [%s], %s" (Reg.to_string rd)
+        (Reg.to_string raddr) (operand_to_string o)
+  | Cas (rd, raddr, rexp, rnew) ->
+      Printf.sprintf "cas %s, [%s], %s, %s" (Reg.to_string rd)
+        (Reg.to_string raddr) (Reg.to_string rexp) (Reg.to_string rnew)
+  | Cntinc -> "cntinc"
+  | Falu (op, fd, fa, fb) ->
+      Printf.sprintf "%s %s, %s, %s" (falu_to_string op) (Reg.f_to_string fd)
+        (Reg.f_to_string fa) (Reg.f_to_string fb)
+  | Funop (op, fd, fs) ->
+      Printf.sprintf "%s %s, %s" (funop_to_string op) (Reg.f_to_string fd)
+        (Reg.f_to_string fs)
+  | Fldi (fd, x) -> Printf.sprintf "fldi %s, %g" (Reg.f_to_string fd) x
+  | Fld (fd, rs, off) ->
+      Printf.sprintf "fld %s, [%s+%d]" (Reg.f_to_string fd) (Reg.to_string rs) off
+  | Fst (fs, rd, off) ->
+      Printf.sprintf "fst %s, [%s+%d]" (Reg.f_to_string fs) (Reg.to_string rd) off
+  | Fb (c, fa, fb, t) ->
+      Printf.sprintf "fb%s %s, %s, %s" (cond_to_string c) (Reg.f_to_string fa)
+        (Reg.f_to_string fb) (target_to_string t)
+  | Itof (fd, rs) -> Printf.sprintf "itof %s, %s" (Reg.f_to_string fd) (Reg.to_string rs)
+  | Ftoi (rd, fs) -> Printf.sprintf "ftoi %s, %s" (Reg.to_string rd) (Reg.f_to_string fs)

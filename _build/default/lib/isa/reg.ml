@@ -1,0 +1,43 @@
+type t =
+  | R0 | R1 | R2 | R3 | R4 | R5 | R6 | R7
+  | R8 | R9 | R10 | R11 | R12 | R13 | R14 | R15
+
+type f = F0 | F1 | F2 | F3 | F4 | F5 | F6 | F7
+
+let count = 16
+let fcount = 8
+
+let index = function
+  | R0 -> 0 | R1 -> 1 | R2 -> 2 | R3 -> 3
+  | R4 -> 4 | R5 -> 5 | R6 -> 6 | R7 -> 7
+  | R8 -> 8 | R9 -> 9 | R10 -> 10 | R11 -> 11
+  | R12 -> 12 | R13 -> 13 | R14 -> 14 | R15 -> 15
+
+let of_index = function
+  | 0 -> R0 | 1 -> R1 | 2 -> R2 | 3 -> R3
+  | 4 -> R4 | 5 -> R5 | 6 -> R6 | 7 -> R7
+  | 8 -> R8 | 9 -> R9 | 10 -> R10 | 11 -> R11
+  | 12 -> R12 | 13 -> R13 | 14 -> R14 | 15 -> R15
+  | n -> invalid_arg (Printf.sprintf "Reg.of_index: %d" n)
+
+let findex = function
+  | F0 -> 0 | F1 -> 1 | F2 -> 2 | F3 -> 3
+  | F4 -> 4 | F5 -> 5 | F6 -> 6 | F7 -> 7
+
+let f_of_index = function
+  | 0 -> F0 | 1 -> F1 | 2 -> F2 | 3 -> F3
+  | 4 -> F4 | 5 -> F5 | 6 -> F6 | 7 -> F7
+  | n -> invalid_arg (Printf.sprintf "Reg.f_of_index: %d" n)
+
+let to_string r = "r" ^ string_of_int (index r)
+let f_to_string r = "f" ^ string_of_int (findex r)
+
+let branch_counter = R9
+let sp = R13
+let lr = R14
+
+let all =
+  [ R0; R1; R2; R3; R4; R5; R6; R7; R8; R9; R10; R11; R12; R13; R14; R15 ]
+
+let equal (a : t) (b : t) = a = b
+let fequal (a : f) (b : f) = a = b

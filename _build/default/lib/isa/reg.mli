@@ -1,0 +1,47 @@
+(** General-purpose and floating-point register names.
+
+    Sixteen integer registers with Arm-flavoured conventions:
+    - [R0]..[R3]: arguments / return value,
+    - [R4]..[R8], [R10]..[R12]: callee-saved temporaries,
+    - [R9]: reserved for the compiler-maintained branch counter when the
+      program is built for compiler-assisted CC-RCoE (the paper reserves
+      r9 with [--ffixed-r9]); user code must not touch it in that mode,
+    - [R13]: stack pointer, [R14]: link register, [R15]: scratch.
+
+    Eight floating-point registers [F0]..[F7]. *)
+
+type t =
+  | R0 | R1 | R2 | R3 | R4 | R5 | R6 | R7
+  | R8 | R9 | R10 | R11 | R12 | R13 | R14 | R15
+
+type f = F0 | F1 | F2 | F3 | F4 | F5 | F6 | F7
+
+val count : int
+(** Number of integer registers (16). *)
+
+val fcount : int
+(** Number of float registers (8). *)
+
+val index : t -> int
+val of_index : int -> t
+(** Raises [Invalid_argument] outside \[0, 15\]. *)
+
+val findex : f -> int
+val f_of_index : int -> f
+(** Raises [Invalid_argument] outside \[0, 7\]. *)
+
+val to_string : t -> string
+val f_to_string : f -> string
+
+val branch_counter : t
+(** [R9], the register reserved for compiler-assisted branch counting. *)
+
+val sp : t
+(** [R13], the stack pointer. *)
+
+val lr : t
+(** [R14], the link register written by [Jal]. *)
+
+val all : t list
+val equal : t -> t -> bool
+val fequal : f -> f -> bool

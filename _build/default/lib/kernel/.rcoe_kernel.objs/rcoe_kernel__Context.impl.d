@@ -1,0 +1,1 @@
+lib/kernel/context.ml: Array Core Int64 Layout Mem Rcoe_isa Rcoe_machine

@@ -1,0 +1,1 @@
+lib/kernel/context.mli: Rcoe_machine

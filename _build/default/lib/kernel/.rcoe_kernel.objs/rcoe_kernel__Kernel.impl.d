@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Arch Array Buffer Char Context Core Hashtbl Layout Machine Mem Option Page_table Printf Queue Rcoe_isa Rcoe_machine Syscall

@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Buffer Layout Rcoe_isa Rcoe_machine

@@ -1,0 +1,1 @@
+lib/kernel/layout.ml: Array Printf Rcoe_isa Rcoe_machine

@@ -1,0 +1,48 @@
+open Rcoe_machine
+
+let nregs = Rcoe_isa.Reg.count
+let nfregs = Rcoe_isa.Reg.fcount
+
+let reg_offset i = i
+let ip_offset = 16
+let branches_offset = 17
+let cntflag_offset = 18
+let freg_offset i = 20 + (2 * i)
+
+let mask32 = 0xFFFFFFFF
+
+let save mem ~addr (core : Core.t) =
+  for i = 0 to nregs - 1 do
+    Mem.write mem (addr + reg_offset i) core.regs.(i)
+  done;
+  Mem.write mem (addr + ip_offset) core.ip;
+  Mem.write mem (addr + branches_offset) core.hw_branches;
+  Mem.write mem (addr + cntflag_offset) (if core.last_was_cntinc then 1 else 0);
+  for i = 0 to nfregs - 1 do
+    let bits = Int64.bits_of_float core.fregs.(i) in
+    Mem.write mem (addr + freg_offset i)
+      (Int64.to_int (Int64.shift_right_logical bits 32));
+    Mem.write mem (addr + freg_offset i + 1) (Int64.to_int bits land mask32)
+  done
+
+let restore mem ~addr (core : Core.t) =
+  for i = 0 to nregs - 1 do
+    core.regs.(i) <- Mem.read mem (addr + reg_offset i)
+  done;
+  core.ip <- Mem.read mem (addr + ip_offset);
+  core.hw_branches <- Mem.read mem (addr + branches_offset);
+  core.last_was_cntinc <- Mem.read mem (addr + cntflag_offset) <> 0;
+  for i = 0 to nfregs - 1 do
+    let hi = Mem.read mem (addr + freg_offset i) in
+    let lo = Mem.read mem (addr + freg_offset i + 1) in
+    let bits = Int64.logor (Int64.shift_left (Int64.of_int hi) 32) (Int64.of_int lo) in
+    core.fregs.(i) <- Int64.float_of_bits bits
+  done
+
+let init mem ~addr ~entry ~sp ~arg =
+  for i = 0 to Layout.ctx_words - 1 do
+    Mem.write mem (addr + i) 0
+  done;
+  Mem.write mem (addr + reg_offset 0) arg;
+  Mem.write mem (addr + reg_offset (Rcoe_isa.Reg.index Rcoe_isa.Reg.sp)) sp;
+  Mem.write mem (addr + ip_offset) entry

@@ -1,0 +1,34 @@
+(** Thread contexts saved in simulated memory.
+
+    On every preemption the kernel saves the full user context — integer
+    registers, FP registers, instruction pointer, branch counter, and the
+    counter-race flag — into the thread's context area inside the
+    replica's kernel memory. Keeping contexts in simulated memory is what
+    makes the register fault-injection experiment (paper Table VIII)
+    honest: the injector flips a bit in the *saved* context while the
+    thread is preempted, exactly as the paper's injector does, and the
+    corruption takes effect on restore.
+
+    Layout (within {!Layout.ctx_words} words):
+    - 0–15: integer registers
+    - 16: instruction pointer
+    - 17: PMU branch counter (thread-virtualised, as the paper
+      context-switches the reserved register / counter)
+    - 18: counter-race flag (last retired instruction was [Cntinc])
+    - 20–35: FP registers, two words each (high/low 32 bits of the
+      IEEE-754 double) *)
+
+val save : Rcoe_machine.Mem.t -> addr:int -> Rcoe_machine.Core.t -> unit
+(** Store the core's user context at [addr]. *)
+
+val restore : Rcoe_machine.Mem.t -> addr:int -> Rcoe_machine.Core.t -> unit
+(** Load the context at [addr] into the core. *)
+
+val ip_offset : int
+val reg_offset : int -> int
+val branches_offset : int
+
+val init :
+  Rcoe_machine.Mem.t -> addr:int -> entry:int -> sp:int -> arg:int -> unit
+(** Initialise a fresh context: zero registers, [r0 = arg], the given
+    stack pointer and entry point. *)

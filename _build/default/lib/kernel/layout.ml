@@ -1,0 +1,151 @@
+let page_size = Rcoe_machine.Page_table.page_size
+
+let va_data = Rcoe_isa.Program.data_base
+let va_stack_area = 0x40000
+let stack_words_per_thread = 2 * page_size
+let va_mmio = 0x60000
+let va_dma = 0x70000
+let va_shared_in = 0x74000
+let va_scratch = 0x78000
+let va_pages = 0x80000 / page_size (* 2048 pages *)
+
+let max_threads = 40
+let ctx_words = 40
+
+let stack_top ~tid = va_stack_area + ((tid + 1) * stack_words_per_thread)
+
+type partition = {
+  p_base : int;
+  p_words : int;
+  pt_base : int;
+  ctx_base : int;
+  sig_base : int;
+  kmisc_base : int;
+  user_base : int;
+  user_words : int;
+}
+
+type shared = {
+  s_base : int;
+  s_words : int;
+  bar_base : int;
+  time_base : int;
+  cksum_base : int;
+  votes_base : int;
+  fault_base : int;
+  sync_base : int;
+  scratch_base : int;
+  inbuf_base : int;
+  inbuf_words : int;
+}
+
+type t = {
+  nreplicas : int;
+  partitions : partition array;
+  shared : shared;
+  dma_base : int;
+  dma_words : int;
+  total_words : int;
+}
+
+let round_up_page n = (n + page_size - 1) / page_size * page_size
+
+let make_partition ~base ~user_words =
+  let pt_base = base in
+  let ctx_base = pt_base + va_pages in
+  let sig_base = ctx_base + (max_threads * ctx_words) in
+  let kmisc_base = sig_base + 4 in
+  let kernel_end = kmisc_base + 60 in
+  let user_base = round_up_page kernel_end in
+  let user_words = round_up_page user_words in
+  {
+    p_base = base;
+    p_words = user_base - base + user_words;
+    pt_base;
+    ctx_base;
+    sig_base;
+    kmisc_base;
+    user_base;
+    user_words;
+  }
+
+let sync_words = 16
+
+let compute ~nreplicas ~user_words =
+  if nreplicas < 1 then invalid_arg "Layout.compute: need at least 1 replica";
+  let partitions = Array.make nreplicas (make_partition ~base:0 ~user_words) in
+  let base = ref 0 in
+  for r = 0 to nreplicas - 1 do
+    let p = make_partition ~base:!base ~user_words in
+    partitions.(r) <- p;
+    base := round_up_page (p.p_base + p.p_words)
+  done;
+  let s_base = !base in
+  let bar_base = s_base in
+  let time_base = bar_base + nreplicas in
+  let cksum_base = time_base + (4 * nreplicas) in
+  let votes_base = cksum_base + (3 * nreplicas) in
+  let fault_base = votes_base + nreplicas in
+  let sync_base = fault_base + nreplicas in
+  let scratch_base = sync_base + sync_words in
+  let inbuf_base = round_up_page (scratch_base + 64) in
+  let inbuf_words = 16 * page_size in
+  let shared =
+    {
+      s_base;
+      s_words = inbuf_base + inbuf_words - s_base;
+      bar_base;
+      time_base;
+      cksum_base;
+      votes_base;
+      fault_base;
+      sync_base;
+      scratch_base;
+      inbuf_base;
+      inbuf_words;
+    }
+  in
+  let dma_base = round_up_page (s_base + shared.s_words) in
+  let dma_words = 16 * page_size in
+  {
+    nreplicas;
+    partitions;
+    shared;
+    dma_base;
+    dma_words;
+    total_words = dma_base + dma_words;
+  }
+
+let partition_of_addr t addr =
+  if addr < 0 then `Outside
+  else
+    let in_partition r =
+      let p = t.partitions.(r) in
+      addr >= p.p_base && addr < p.p_base + p.p_words
+    in
+    let rec find r =
+      if r >= t.nreplicas then
+        if addr >= t.shared.s_base && addr < t.shared.s_base + t.shared.s_words
+        then `Shared
+        else if addr >= t.dma_base && addr < t.dma_base + t.dma_words then `Dma
+        else `Outside
+      else if in_partition r then `Replica r
+      else find (r + 1)
+    in
+    find 0
+
+let region_of_addr t addr =
+  match partition_of_addr t addr with
+  | `Outside -> "outside"
+  | `Dma -> "dma"
+  | `Shared -> "shared"
+  | `Replica r ->
+      let p = t.partitions.(r) in
+      let sub =
+        if addr < p.ctx_base then "page-table"
+        else if addr < p.sig_base then "contexts"
+        else if addr < p.kmisc_base then "signature"
+        else if addr < p.user_base then "kernel-misc"
+        else "user"
+      in
+      Printf.sprintf "replica%d/%s" r sub

@@ -1,0 +1,93 @@
+(** Physical- and virtual-memory layout.
+
+    Physical memory is partitioned like the paper's system: one equal
+    partition per replica (kernel data first, then user frames), followed
+    by the small cross-replica shared region that implements the
+    replication framework (barriers, published logical times, checksums,
+    vote arrays, the input-replication buffer), followed by the DMA
+    region, which is outside the sphere of replication.
+
+    All kernel data that the fault-injection experiments target — page
+    tables, saved thread contexts, signature accumulators, the shared
+    words — lives at addresses computed here, inside simulated memory.
+
+    Virtual layout per replica address space (word addresses):
+    - [0x10000] program data ({!Rcoe_isa.Program.data_base})
+    - [0x40000] thread stacks (2 pages per thread, growing down from the
+      top of each slot)
+    - [0x60000] device MMIO window (primary: real devices; others: a
+      scratch alias so identical driver code is harmless)
+    - [0x70000] DMA window (primary only: the real DMA region)
+    - [0x74000] shared input-replication buffer (all replicas; writable
+      by the primary only)
+    - [0x78000] scratch page *)
+
+val page_size : int
+
+(* Virtual addresses. *)
+
+val va_data : int
+val va_stack_area : int
+val stack_words_per_thread : int
+val va_mmio : int
+val va_dma : int
+val va_shared_in : int
+val va_scratch : int
+val va_pages : int
+(** Virtual pages covered by each address space's page table. *)
+
+val stack_top : tid:int -> int
+(** Initial stack pointer for thread [tid] (exclusive upper bound of its
+    stack slot). *)
+
+(* Per-replica partition. *)
+
+type partition = {
+  p_base : int;  (** First physical word of the partition. *)
+  p_words : int;
+  pt_base : int;  (** Page table (one word per virtual page). *)
+  ctx_base : int;  (** Thread context save areas. *)
+  sig_base : int;  (** Signature accumulator: event count, c0, c1. *)
+  kmisc_base : int;  (** Misc kernel words (scheduler bookkeeping). *)
+  user_base : int;  (** First user frame (page-aligned). *)
+  user_words : int;
+}
+
+val max_threads : int
+val ctx_words : int
+
+(* Shared region. *)
+
+type shared = {
+  s_base : int;
+  s_words : int;
+  bar_base : int;  (** Barrier arrival words, one per replica. *)
+  time_base : int;  (** Published logical times, 4 words per replica:
+                        event count, branches, ip, flags. *)
+  cksum_base : int;  (** Published signatures, 3 words per replica. *)
+  votes_base : int;  (** [ft_votes], one word per replica. *)
+  fault_base : int;  (** [ft_fault_replica], one word per replica. *)
+  sync_base : int;  (** Sync-control words (request flag, target, leader). *)
+  scratch_base : int;  (** Kernel-to-kernel value passing (device reads). *)
+  inbuf_base : int;  (** Input-replication buffer. *)
+  inbuf_words : int;
+}
+
+type t = {
+  nreplicas : int;
+  partitions : partition array;
+  shared : shared;
+  dma_base : int;
+  dma_words : int;
+  total_words : int;
+}
+
+val compute : nreplicas:int -> user_words:int -> t
+(** Lay out memory for [nreplicas] partitions with [user_words] of user
+    frames each (rounded up to pages). *)
+
+val partition_of_addr : t -> int -> [ `Replica of int | `Shared | `Dma | `Outside ]
+(** Classify a physical address — used by fault-injection reporting. *)
+
+val region_of_addr : t -> int -> string
+(** Human-readable region name for diagnostics. *)

@@ -1,0 +1,42 @@
+let sys_exit = 0
+let sys_yield = 1
+let sys_spawn = 2
+let sys_putchar = 3
+let sys_atomic = 4
+let sys_get_info = 5
+let sys_join = 6
+let sys_ticks = 7
+let sys_wait_irq = 8
+let sys_ft_add_trace = 16
+let sys_ft_mem_access = 17
+let sys_ft_mem_rep = 18
+let sys_input_wait = 19
+
+let name n =
+  if n = sys_exit then "exit"
+  else if n = sys_yield then "yield"
+  else if n = sys_spawn then "spawn"
+  else if n = sys_putchar then "putchar"
+  else if n = sys_atomic then "atomic"
+  else if n = sys_get_info then "get_info"
+  else if n = sys_join then "join"
+  else if n = sys_ticks then "ticks"
+  else if n = sys_wait_irq then "wait_irq"
+  else if n = sys_ft_add_trace then "ft_add_trace"
+  else if n = sys_ft_mem_access then "ft_mem_access"
+  else if n = sys_ft_mem_rep then "ft_mem_rep"
+  else if n = sys_input_wait then "input_wait"
+  else Printf.sprintf "unknown(%d)" n
+
+let is_ft n =
+  n = sys_ft_add_trace || n = sys_ft_mem_access || n = sys_ft_mem_rep
+  || n = sys_input_wait
+
+let arg_count n =
+  if n = sys_exit || n = sys_yield || n = sys_ticks || n = sys_input_wait then 0
+  else if n = sys_putchar || n = sys_get_info || n = sys_join
+          || n = sys_wait_irq then 1
+  else if n = sys_spawn || n = sys_ft_add_trace then 2
+  else if n = sys_ft_mem_rep then 3
+  else if n = sys_atomic || n = sys_ft_mem_access then 4
+  else 4

@@ -1,0 +1,66 @@
+(** System call numbers and argument conventions.
+
+    Arguments are passed in [r0]–[r3]; the result, if any, is returned in
+    [r0]. The FT_* calls are the paper's driver-support and
+    fault-tolerance interface (Listings 4 and the [FT_Add_Trace] call of
+    Section III-C); they are handled by the replication engine because
+    they are synchronisation points. *)
+
+val sys_exit : int
+(** Terminate the calling thread. *)
+
+val sys_yield : int
+
+val sys_spawn : int
+(** r0 = entry address, r1 = argument; returns the new tid. *)
+
+val sys_putchar : int
+(** r0 = character code. *)
+
+val sys_atomic : int
+(** Kernel-mediated atomic update — the syscall the paper requires in
+    place of ldrex/strex under CC-RCoE. r0 = address, r1 = value,
+    r2 = op (0 add, 1 exchange, 2 compare-and-swap with r3 = expected);
+    returns the old value. *)
+
+val sys_get_info : int
+(** r0 = key: 0 replica id, 1 replica count, 2 primary id, 3 driver mode
+    (0 direct/LC, 1 kernel-mediated/CC), 4 current tid, 5 synchronized
+    tick count. *)
+
+val sys_join : int
+(** r0 = tid; blocks until that thread exits. *)
+
+val sys_ticks : int
+(** Returns the synchronized tick count. *)
+
+val sys_wait_irq : int
+(** r0 = device page id; blocks until an interrupt is delivered. *)
+
+val sys_ft_add_trace : int
+(** r0 = va, r1 = nwords: add user data to the state signature (drivers
+    use it to contribute output data — Section III-C). *)
+
+val sys_ft_mem_access : int
+(** r0 = access type (0 read / 1 write), r1 = MMIO va, r2 = src/dst va,
+    r3 = nwords. Kernel-mediated, synchronized device access (paper
+    Listing 4). *)
+
+val sys_ft_mem_rep : int
+(** r0 = destination va, r1 = nwords, r2 = word offset within the DMA
+    region. Replicates a DMA buffer into every replica (paper Listing 4;
+    the explicit offset is a simulator addition). *)
+
+val sys_input_wait : int
+(** Cross-replica rendezvous used by LC drivers after user-mode input
+    replication: non-primaries wait until the primary has arrived. *)
+
+val name : int -> string
+
+val arg_count : int -> int
+(** Number of declared arguments (the kernel folds only these into the
+    signature at sync level A/S; trailing registers hold caller-local
+    garbage that may legitimately differ between replicas). *)
+
+val is_ft : int -> bool
+(** True for the syscalls handled by the replication engine. *)

@@ -1,0 +1,1 @@
+lib/machine/core.ml: Arch Array Bus Float Mem Page_table Printf Rcoe_isa Rcoe_util Rng

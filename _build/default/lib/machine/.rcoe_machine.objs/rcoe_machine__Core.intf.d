@@ -1,0 +1,1 @@
+lib/machine/core.mli: Arch Bus Mem Page_table Rcoe_isa Rcoe_util

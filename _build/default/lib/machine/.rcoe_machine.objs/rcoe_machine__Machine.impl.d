@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Arch Array Bus Core Device Mem Rcoe_util Rng

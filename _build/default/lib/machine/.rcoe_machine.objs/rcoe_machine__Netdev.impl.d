@@ -1,0 +1,1 @@
+lib/machine/netdev.ml: Array Device List Mem Queue

@@ -1,0 +1,1 @@
+lib/machine/netdev.mli: Device Mem

@@ -1,0 +1,25 @@
+(** Shared memory bus with bounded bandwidth.
+
+    Cores acquire one credit per word transferred; credits refill at
+    [rate] per global cycle up to a small burst allowance. A core that
+    cannot acquire a credit stalls for that cycle and retries — this is
+    what makes replicas of a memory-bound program contend, reproducing the
+    Table V result that DMR/TMR divide the observable memory bandwidth on
+    a machine whose single core can already saturate the bus. *)
+
+type t
+
+val create : rate:float -> t
+(** [rate] is in word-transfers per cycle. Burst allowance is fixed at
+    4 credits. *)
+
+val tick : t -> unit
+(** Advance one global cycle (refill credits). *)
+
+val try_acquire : t -> int -> bool
+(** [try_acquire t n] takes [n] credits if available. *)
+
+val rate : t -> float
+
+val utilisation : t -> float
+(** Fraction of offered credits consumed since creation (diagnostic). *)

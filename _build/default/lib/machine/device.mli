@@ -1,0 +1,27 @@
+(** Memory-mapped devices.
+
+    A device occupies one or more device pages; user code reaches it
+    through page-table entries with the device bit set (only the primary
+    replica's driver is mapped to real devices — other replicas see
+    aliased RAM, per the paper's sphere-of-replication boundary).
+
+    Devices are records of closures so tests can build synthetic devices
+    easily. *)
+
+type t = {
+  dev_name : string;
+  read_reg : int -> int;
+      (** [read_reg off]: MMIO read of word [off] within the device's
+          page(s). Reads may have side effects (e.g. popping a FIFO). *)
+  write_reg : int -> int -> unit;  (** [write_reg off v]. *)
+  dev_tick : now:int -> unit;  (** Advance device time by one cycle. *)
+  irq_pending : unit -> bool;
+  irq_ack : unit -> unit;
+}
+
+val null : string -> t
+(** A device that reads 0, ignores writes, never interrupts. *)
+
+val console : unit -> t * Buffer.t
+(** A write-only character console; returns the device and the buffer
+    collecting output. Register 0: write a character code. *)

@@ -1,0 +1,72 @@
+open Rcoe_util
+
+type t = {
+  profile : Arch.profile;
+  mem : Mem.t;
+  bus : Bus.t;
+  cores : Core.t array;
+  mutable devices : Device.t array;
+  mutable now : int;
+  mutable irq_route : int;
+  ipi_pending : int array;
+}
+
+let create ~profile ~mem_words ~ncores ~seed =
+  let root = Rng.create seed in
+  let cores =
+    Array.init ncores (fun id -> Core.create ~id ~jitter_seed:(Rng.next root))
+  in
+  {
+    profile;
+    mem = Mem.create mem_words;
+    bus = Bus.create ~rate:profile.Arch.bus_rate;
+    cores;
+    devices = [||];
+    now = 0;
+    irq_route = 0;
+    ipi_pending = Array.make ncores max_int;
+  }
+
+let add_device t dev =
+  t.devices <- Array.append t.devices [| dev |];
+  Array.length t.devices - 1
+
+let tick t =
+  t.now <- t.now + 1;
+  Bus.tick t.bus;
+  Array.iter (fun d -> d.Device.dev_tick ~now:t.now) t.devices
+
+let dev_read t dpn off =
+  if dpn >= 0 && dpn < Array.length t.devices then
+    t.devices.(dpn).Device.read_reg off
+  else 0
+
+let dev_write t dpn off v =
+  if dpn >= 0 && dpn < Array.length t.devices then
+    t.devices.(dpn).Device.write_reg off v
+
+let pending_irq t ~core_id =
+  if core_id <> t.irq_route then None
+  else
+    let n = Array.length t.devices in
+    let rec find i =
+      if i >= n then None
+      else if t.devices.(i).Device.irq_pending () then Some i
+      else find (i + 1)
+    in
+    find 0
+
+let ack_irq t dpn =
+  if dpn >= 0 && dpn < Array.length t.devices then
+    t.devices.(dpn).Device.irq_ack ()
+
+let send_ipi t ~target =
+  if target >= 0 && target < Array.length t.ipi_pending then
+    t.ipi_pending.(target) <-
+      min t.ipi_pending.(target) (t.now + t.profile.Arch.ipi_latency)
+
+let ipi_visible t ~core_id = t.ipi_pending.(core_id) <= t.now
+
+let clear_ipi t ~core_id = t.ipi_pending.(core_id) <- max_int
+
+let route_irqs_to t core_id = t.irq_route <- core_id

@@ -1,0 +1,53 @@
+(** The multicore machine: physical memory, shared bus, cores, devices,
+    and interrupt routing.
+
+    External (device) interrupts are routed to a single core — the
+    primary replica's core under RCoE; re-routing on primary removal is
+    part of error masking (paper Section IV-A). Inter-processor
+    interrupts are modelled as per-core pending flags with a delivery
+    latency. *)
+
+type t = {
+  profile : Arch.profile;
+  mem : Mem.t;
+  bus : Bus.t;
+  cores : Core.t array;
+  mutable devices : Device.t array;  (** Index = device page id. *)
+  mutable now : int;  (** Global cycle counter. *)
+  mutable irq_route : int;  (** Core id receiving device interrupts. *)
+  ipi_pending : int array;  (** Per-core cycle at which a pending IPI
+                                becomes visible; [max_int] = none. *)
+}
+
+val create :
+  profile:Arch.profile -> mem_words:int -> ncores:int -> seed:int -> t
+(** Cores get distinct deterministic jitter streams derived from
+    [seed]. *)
+
+val add_device : t -> Device.t -> int
+(** Register a device; returns its device page id. *)
+
+val tick : t -> unit
+(** Advance global time one cycle: bus refill, device ticks. Core
+    stepping is driven by the replica scheduler, not here. *)
+
+val dev_read : t -> int -> int -> int
+(** [dev_read m dpn off]; unknown device pages read 0. *)
+
+val dev_write : t -> int -> int -> int -> unit
+
+val pending_irq : t -> core_id:int -> int option
+(** The lowest device page id with its interrupt line raised, if device
+    interrupts are routed to [core_id]. *)
+
+val ack_irq : t -> int -> unit
+(** Acknowledge (lower) a device's interrupt line. *)
+
+val send_ipi : t -> target:int -> unit
+(** Raise an IPI to core [target]; it becomes visible after the
+    profile's IPI latency. *)
+
+val ipi_visible : t -> core_id:int -> bool
+val clear_ipi : t -> core_id:int -> unit
+
+val route_irqs_to : t -> int -> unit

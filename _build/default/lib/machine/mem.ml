@@ -1,0 +1,41 @@
+exception Abort of int
+
+type t = { words : int array }
+
+let create size = { words = Array.make size 0 }
+
+let size t = Array.length t.words
+
+let read t addr =
+  if addr < 0 || addr >= Array.length t.words then raise (Abort addr);
+  Array.unsafe_get t.words addr
+
+let write t addr v =
+  if addr < 0 || addr >= Array.length t.words then raise (Abort addr);
+  Array.unsafe_set t.words addr v
+
+let blit t ~src ~dst ~len =
+  let n = Array.length t.words in
+  if len < 0 then invalid_arg "Mem.blit: negative length";
+  if src < 0 || src + len > n then raise (Abort src);
+  if dst < 0 || dst + len > n then raise (Abort dst);
+  Array.blit t.words src t.words dst len
+
+let read_block t addr len =
+  if addr < 0 || len < 0 || addr + len > Array.length t.words then
+    raise (Abort addr);
+  Array.sub t.words addr len
+
+let write_block t addr block =
+  let len = Array.length block in
+  if addr < 0 || addr + len > Array.length t.words then raise (Abort addr);
+  Array.blit block 0 t.words addr len
+
+let flip_bit t ~addr ~bit =
+  if bit < 0 || bit > 61 then invalid_arg "Mem.flip_bit: bit out of range";
+  write t addr (read t addr lxor (1 lsl bit))
+
+let fill t ~addr ~len v =
+  if addr < 0 || len < 0 || addr + len > Array.length t.words then
+    raise (Abort addr);
+  Array.fill t.words addr len v

@@ -1,0 +1,38 @@
+(** Physical memory.
+
+    One flat, word-addressed array shared by all replicas, like the real
+    machine: the kernel partitions it between replicas and a small shared
+    region, and fault injection flips bits anywhere in it. Out-of-range
+    accesses raise {!Abort}, which the core/kernel turn into a (kernel)
+    data abort — this is how a corrupted page-table entry whose frame
+    number decodes to garbage manifests, as in the paper's Table VII
+    "kernel exceptions" row. *)
+
+exception Abort of int
+(** Physical address out of range. *)
+
+type t
+
+val create : int -> t
+(** [create size] is zeroed memory of [size] words. *)
+
+val size : t -> int
+
+val read : t -> int -> int
+(** Raises {!Abort}. *)
+
+val write : t -> int -> int -> unit
+(** Raises {!Abort}. *)
+
+val blit : t -> src:int -> dst:int -> len:int -> unit
+(** Word copy within physical memory; raises {!Abort} on any
+    out-of-range word. *)
+
+val read_block : t -> int -> int -> int array
+val write_block : t -> int -> int array -> unit
+
+val flip_bit : t -> addr:int -> bit:int -> unit
+(** Fault injection: XOR bit [bit] (0–61) of the word at [addr].
+    Raises {!Abort} if out of range, [Invalid_argument] on a bad bit. *)
+
+val fill : t -> addr:int -> len:int -> int -> unit

@@ -1,0 +1,124 @@
+let reg_rx_count = 0
+let reg_rx_addr = 1
+let reg_rx_len = 2
+let reg_rx_consume = 3
+let reg_tx_addr = 4
+let reg_tx_len = 5
+let reg_tx_doorbell = 6
+let reg_irq_status = 7
+
+let slot_words = 64
+
+type rx_desc = { slot_offset : int; len : int }
+
+type t = {
+  mem : Mem.t;
+  dma_base : int;
+  dma_words : int;
+  nslots : int;
+  host_q : (int * int array) Queue.t; (* deliver_at, payload *)
+  rx_ring : rx_desc Queue.t;
+  mutable next_slot : int;
+  mutable irq_line : bool;
+  mutable tx_addr : int;
+  mutable tx_len : int;
+  mutable tx_done : (int * int array) list; (* reversed *)
+  mutable dropped : int;
+  mutable now_cache : int;
+  mutable wedged : bool;
+}
+
+let create ~mem ~dma_base ~dma_words =
+  let nslots = dma_words / 2 / slot_words in
+  if nslots < 2 then invalid_arg "Netdev.create: DMA region too small";
+  {
+    mem;
+    dma_base;
+    dma_words;
+    nslots;
+    host_q = Queue.create ();
+    rx_ring = Queue.create ();
+    next_slot = 0;
+    irq_line = false;
+    tx_addr = 0;
+    tx_len = 0;
+    tx_done = [];
+    dropped = 0;
+    now_cache = 0;
+    wedged = false;
+  }
+
+let inject t ~now payload =
+  if Array.length payload > slot_words then
+    invalid_arg "Netdev.inject: packet too long";
+  Queue.add (now, payload) t.host_q
+
+let pending_host_packets t = Queue.length t.host_q
+
+let take_tx t =
+  let out = List.rev t.tx_done in
+  t.tx_done <- [];
+  out
+
+let rx_dropped t = t.dropped
+
+let rx_region_bounds t = (t.dma_base, t.nslots * slot_words)
+
+let deliver t payload =
+  if Queue.length t.rx_ring >= t.nslots then t.dropped <- t.dropped + 1
+  else begin
+    let slot = t.next_slot in
+    t.next_slot <- (t.next_slot + 1) mod t.nslots;
+    let offset = slot * slot_words in
+    Mem.write_block t.mem (t.dma_base + offset) payload;
+    Queue.add { slot_offset = offset; len = Array.length payload } t.rx_ring;
+    t.irq_line <- true
+  end
+
+let set_wedged t w = t.wedged <- w
+
+let dev_tick t ~now =
+  t.now_cache <- now;
+  if t.wedged then ()
+  else
+  let rec drain () =
+    match Queue.peek_opt t.host_q with
+    | Some (at, payload)
+      when at <= now && Queue.length t.rx_ring < t.nslots ->
+        ignore (Queue.pop t.host_q);
+        deliver t payload;
+        drain ()
+    | Some _ | None -> ()
+  in
+  drain ()
+
+let read_reg t off =
+  if off = reg_rx_count then Queue.length t.rx_ring
+  else if off = reg_rx_addr then
+    match Queue.peek_opt t.rx_ring with
+    | Some d -> d.slot_offset
+    | None -> -1
+  else if off = reg_rx_len then
+    match Queue.peek_opt t.rx_ring with Some d -> d.len | None -> 0
+  else if off = reg_irq_status then if t.irq_line then 1 else 0
+  else 0
+
+let write_reg t off v =
+  if off = reg_rx_consume then ignore (Queue.take_opt t.rx_ring)
+  else if off = reg_tx_addr then t.tx_addr <- v
+  else if off = reg_tx_len then t.tx_len <- v
+  else if off = reg_tx_doorbell then begin
+    let len = max 0 (min t.tx_len (t.dma_words - t.tx_addr)) in
+    let payload = Mem.read_block t.mem (t.dma_base + t.tx_addr) len in
+    t.tx_done <- (t.now_cache, payload) :: t.tx_done
+  end
+
+let device t =
+  {
+    Device.dev_name = "netdev";
+    read_reg = read_reg t;
+    write_reg = write_reg t;
+    dev_tick = (fun ~now -> dev_tick t ~now);
+    irq_pending = (fun () -> t.irq_line);
+    irq_ack = (fun () -> t.irq_line <- false);
+  }

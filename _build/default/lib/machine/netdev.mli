@@ -1,0 +1,63 @@
+(** Simulated network card with descriptor rings and DMA.
+
+    The device DMAs received packets directly into a physical-memory
+    region that is *outside* the sphere of replication (only the primary
+    replica's driver sees the real device; the DMA region is not
+    replicated). This preserves the paper's residual vulnerability: bit
+    flips in DMA buffers are invisible to the replication machinery and
+    surface as silent data corruption (Table VII "YCSB corruptions").
+
+    Register map (word offsets within the device page):
+    - 0 [RX_COUNT] (r): packets waiting in the RX ring
+    - 1 [RX_ADDR] (r): DMA-region word offset of the head packet
+    - 2 [RX_LEN] (r): length of the head packet in words
+    - 3 [RX_CONSUME] (w): pop the head packet
+    - 4 [TX_ADDR] (w): DMA-region word offset of the packet to send
+    - 5 [TX_LEN] (w): its length
+    - 6 [TX_DOORBELL] (w): transmit
+    - 7 [IRQ_STATUS] (r): 1 if the interrupt line is raised *)
+
+type t
+
+val reg_rx_count : int
+val reg_rx_addr : int
+val reg_rx_len : int
+val reg_rx_consume : int
+val reg_tx_addr : int
+val reg_tx_len : int
+val reg_tx_doorbell : int
+val reg_irq_status : int
+
+val slot_words : int
+(** Fixed RX slot size (64 words); injected packets must fit. *)
+
+val create : mem:Mem.t -> dma_base:int -> dma_words:int -> t
+(** The DMA region must hold at least two RX slots plus TX space; the RX
+    ring uses the first half, TX may use the second. Raises
+    [Invalid_argument] if too small. *)
+
+val device : t -> Device.t
+
+val inject : t -> now:int -> int array -> unit
+(** Host side: enqueue a packet for delivery (at the next device tick at
+    or after [now]). Raises [Invalid_argument] if longer than
+    [slot_words]. *)
+
+val pending_host_packets : t -> int
+
+val take_tx : t -> (int * int array) list
+(** Drain transmitted packets as [(completion_cycle, payload)] in
+    transmission order. *)
+
+val set_wedged : t -> bool -> unit
+(** A wedged NIC stops delivering queued packets and raising interrupts
+    (the overclocking campaigns use this for catastrophic I/O-path
+    failures; the host keeps queueing into the void). *)
+
+val rx_dropped : t -> int
+(** Packets dropped because the RX ring was full (diagnostic). *)
+
+val rx_region_bounds : t -> int * int
+(** [(base, words)] of the RX slot area within physical memory — the
+    part of the DMA region the device writes; used by the fault injector
+    to target "input buffers outside the SoR". *)

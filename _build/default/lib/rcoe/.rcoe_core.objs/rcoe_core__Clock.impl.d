@@ -1,0 +1,1 @@
+lib/rcoe/clock.ml: Array Printf Rcoe_machine Stdlib

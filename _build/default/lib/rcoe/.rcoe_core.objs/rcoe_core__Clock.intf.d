@@ -1,0 +1,1 @@
+lib/rcoe/clock.mli: Rcoe_machine

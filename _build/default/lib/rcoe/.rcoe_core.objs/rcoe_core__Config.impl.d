@@ -1,0 +1,1 @@
+lib/rcoe/config.ml: Printf Rcoe_machine

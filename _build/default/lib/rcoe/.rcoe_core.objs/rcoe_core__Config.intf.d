@@ -1,0 +1,1 @@
+lib/rcoe/config.mli: Rcoe_machine

@@ -1,0 +1,1 @@
+lib/rcoe/signature.ml: Array Mem Rcoe_machine

@@ -1,0 +1,1 @@
+lib/rcoe/signature.mli: Rcoe_machine

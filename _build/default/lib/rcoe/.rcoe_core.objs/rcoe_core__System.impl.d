@@ -1,0 +1,1 @@
+lib/rcoe/system.ml: Arch Array Buffer Clock Config Core Kernel Layout List Machine Mem Netdev Option Page_table Printf Rcoe_isa Rcoe_kernel Rcoe_machine Signature Syscall Vote

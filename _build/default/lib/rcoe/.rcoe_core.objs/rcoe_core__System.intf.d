@@ -1,0 +1,1 @@
+lib/rcoe/system.mli: Config Rcoe_isa Rcoe_kernel Rcoe_machine

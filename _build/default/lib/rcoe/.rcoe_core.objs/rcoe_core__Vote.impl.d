@@ -1,0 +1,1 @@
+lib/rcoe/vote.ml: Layout List Mem Rcoe_kernel Rcoe_machine Signature

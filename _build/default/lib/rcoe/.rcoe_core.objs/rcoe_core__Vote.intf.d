@@ -1,0 +1,1 @@
+lib/rcoe/vote.mli: Rcoe_kernel Rcoe_machine

@@ -1,0 +1,43 @@
+type kind =
+  | At_user of { branches_adj : int; ip : int }
+  | In_kernel
+
+type t = { count : int; pos : kind }
+
+let capture profile ~count (core : Rcoe_machine.Core.t) =
+  let raw = Rcoe_machine.Core.branch_count core profile in
+  let adj = if core.Rcoe_machine.Core.last_was_cntinc then raw - 1 else raw in
+  { count; pos = At_user { branches_adj = adj; ip = core.Rcoe_machine.Core.ip } }
+
+let in_kernel ~count = { count; pos = In_kernel }
+
+let compare a b =
+  match Stdlib.compare a.count b.count with
+  | 0 -> (
+      match (a.pos, b.pos) with
+      | In_kernel, In_kernel -> 0
+      | In_kernel, At_user _ -> 1
+      | At_user _, In_kernel -> -1
+      | At_user x, At_user y -> (
+          match Stdlib.compare x.branches_adj y.branches_adj with
+          | 0 -> Stdlib.compare x.ip y.ip
+          | c -> c))
+  | c -> c
+
+let equal_position a b = compare a b = 0
+
+let to_string t =
+  match t.pos with
+  | In_kernel -> Printf.sprintf "(%d, kernel)" t.count
+  | At_user { branches_adj; ip } ->
+      Printf.sprintf "(%d, %d, %d)" t.count branches_adj ip
+
+let encode t =
+  match t.pos with
+  | In_kernel -> [| t.count; 0; 0; 1 |]
+  | At_user { branches_adj; ip } -> [| t.count; branches_adj; ip; 0 |]
+
+let decode w =
+  if Array.length w <> 4 then invalid_arg "Clock.decode: need 4 words";
+  if w.(3) = 1 then { count = w.(0); pos = In_kernel }
+  else { count = w.(0); pos = At_user { branches_adj = w.(1); ip = w.(2) } }

@@ -1,0 +1,42 @@
+(** Logical clocks (paper Section III-B).
+
+    LC-RCoE time is the deterministic-event count alone. CC-RCoE time is
+    the triple [(event count, user branches, user ip)], which identifies
+    a unique point in the user instruction stream because at least one
+    branch executes between two visits to the same instruction.
+
+    Under compiler-assisted counting the counter is incremented by a
+    separate instruction *before* its branch, so a replica preempted
+    between the two has a counter that already reflects an untaken
+    branch (the paper's Listing 3 race). [branches_adj] therefore stores
+    the number of *completed* branches: the raw counter minus one when
+    the last retired instruction was the increment. *)
+
+type kind =
+  | At_user of { branches_adj : int; ip : int }
+  | In_kernel  (** Parked in the kernel (all threads blocked). *)
+
+type t = { count : int; pos : kind }
+
+val capture :
+  Rcoe_machine.Arch.profile -> count:int -> Rcoe_machine.Core.t -> t
+(** Snapshot a running replica's position (adjusting for the
+    counter/branch race). *)
+
+val in_kernel : count:int -> t
+
+val compare : t -> t -> int
+(** Total order: event count, then kernel-parked after any user position
+    at the same count, then completed branches, then ip (valid within a
+    straight-line segment). Used to elect the leading replica. *)
+
+val equal_position : t -> t -> bool
+(** Same count and same precise user position (or both in-kernel). *)
+
+val to_string : t -> string
+
+val encode : t -> int array
+(** Four words [count; branches_adj; ip; kind] for publication in the
+    shared region (so fault injection can corrupt a published time). *)
+
+val decode : int array -> t

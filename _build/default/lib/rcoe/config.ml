@@ -1,0 +1,77 @@
+type mode = Base | LC | CC
+
+type sync_level = Sync_none | Sync_args | Sync_vote
+
+type t = {
+  mode : mode;
+  nreplicas : int;
+  arch : Rcoe_machine.Arch.t;
+  sync_level : sync_level;
+  vm : bool;
+  tick_interval : int;
+  barrier_timeout : int;
+  user_words : int;
+  seed : int;
+  exception_barriers : bool;
+  masking : bool;
+  timeout_masking : bool;
+  fast_catchup : bool;
+  trace_output : bool;
+  with_net : bool;
+}
+
+let default =
+  {
+    mode = Base;
+    nreplicas = 1;
+    arch = Rcoe_machine.Arch.X86;
+    sync_level = Sync_args;
+    vm = false;
+    tick_interval = 50_000;
+    barrier_timeout = 400_000;
+    user_words = 192 * 1024;
+    seed = 1;
+    exception_barriers = false;
+    masking = false;
+    timeout_masking = false;
+    fast_catchup = false;
+    trace_output = true;
+    with_net = false;
+  }
+
+let mode_to_string = function Base -> "Base" | LC -> "LC" | CC -> "CC"
+
+let sync_level_to_string = function
+  | Sync_none -> "N"
+  | Sync_args -> "A"
+  | Sync_vote -> "S"
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if t.mode = Base && t.nreplicas <> 1 then
+    err "Base mode requires exactly 1 replica (got %d)" t.nreplicas
+  else if t.mode <> Base && t.nreplicas < 2 then
+    err "%s mode requires at least 2 replicas" (mode_to_string t.mode)
+  else if t.masking && t.nreplicas < 3 then
+    err "error masking requires TMR (at least 3 replicas)"
+  else if t.vm && t.arch = Rcoe_machine.Arch.Arm then
+    err "virtual machines are not supported on the Arm platform"
+  else if t.vm && t.mode = LC then
+    err "LC-RCoE cannot support virtual machines (data races in guests)"
+  else if t.masking && t.mode = CC && t.arch = Rcoe_machine.Arch.Arm then
+    err "CC error masking is unsupported on 32-bit Arm (no spare PTE bit)"
+  else if t.timeout_masking && not t.masking then
+    err "timeout_masking requires masking"
+  else if t.tick_interval <= 0 then err "tick_interval must be positive"
+  else if t.barrier_timeout <= t.tick_interval / 10 then
+    err "barrier_timeout too small relative to tick_interval"
+  else Ok ()
+
+let replicas_label t =
+  match (t.mode, t.nreplicas) with
+  | Base, _ -> "Base"
+  | LC, 2 -> "LC-D"
+  | LC, 3 -> "LC-T"
+  | CC, 2 -> "CC-D"
+  | CC, 3 -> "CC-T"
+  | m, n -> Printf.sprintf "%s-%d" (mode_to_string m) n

@@ -1,0 +1,63 @@
+(** Replication configuration.
+
+    The paper's design space: coupling mode (none / loosely / closely
+    coupled), redundancy level (DMR / TMR), architecture profile,
+    signature effort (the N / A / S trade-off of Section V-B),
+    virtualisation, and error-masking options. *)
+
+type mode = Base | LC | CC
+
+type sync_level =
+  | Sync_none  (** "N": synchronise on I/O only. *)
+  | Sync_args  (** "A": add syscall number and arguments to the
+                   signature (the paper's default). *)
+  | Sync_vote  (** "S": additionally vote on every system call. *)
+
+type t = {
+  mode : mode;
+  nreplicas : int;  (** 1 for [Base]; 2 (DMR) or 3+ (TMR) otherwise. *)
+  arch : Rcoe_machine.Arch.t;
+  sync_level : sync_level;
+  vm : bool;  (** Run the workload as a guest: kernel crossings and debug
+                  exceptions pay VM-exit costs (x86 only, like the
+                  paper). *)
+  tick_interval : int;  (** Cycles between synchronized preemption ticks. *)
+  barrier_timeout : int;  (** Spin budget before declaring divergence. *)
+  user_words : int;  (** User-frame area per replica partition. *)
+  seed : int;
+  exception_barriers : bool;
+      (** Catch kernel data aborts with barriers (the Arm configuration
+          of Table VII) instead of letting them become uncontrolled
+          kernel exceptions. *)
+  masking : bool;  (** Enable TMR->DMR downgrade on signature mismatch. *)
+  timeout_masking : bool;
+      (** Extension (paper Section IV-A calls it "not hard to lift"):
+          also downgrade on a barrier timeout by shutting down the one
+          straggling replica, instead of halting. Requires [masking]. *)
+  fast_catchup : bool;
+      (** Extension (paper Section VI): when a catching-up CC replica is
+          many branches behind the leader, use a PMU-overflow interrupt
+          to skip most of the distance and arm the breakpoint only for
+          the final stretch, instead of taking a debug exception on
+          every pass over the leader's address. *)
+  trace_output : bool;
+      (** Honour [FT_Add_Trace] (the LC-*-N rows of Table VII set this
+          to false to show the cost of losing driver output voting). *)
+  with_net : bool;  (** Attach the network device. *)
+}
+
+val default : t
+(** Base mode, one replica, x86, [Sync_args], no VM, sane intervals. *)
+
+val validate : t -> (unit, string) result
+(** Reject inconsistent configurations: [Base] with replicas <> 1, LC/CC
+    with fewer than 2, masking with fewer than 3, VM on Arm (the paper's
+    seL4 version lacks Arm hypervisor mode), CC masking on Arm (no spare
+    page-table bit — Section IV-A). *)
+
+val replicas_label : t -> string
+(** "Base", "LC-D", "LC-T", "CC-D", "CC-T", … as the paper labels
+    configurations. *)
+
+val mode_to_string : mode -> string
+val sync_level_to_string : sync_level -> string

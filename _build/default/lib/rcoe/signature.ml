@@ -1,0 +1,27 @@
+open Rcoe_machine
+
+let words = 3
+
+let modulus = 0xFFFFFFFF
+
+let reset mem ~base =
+  Mem.write mem base 0;
+  Mem.write mem (base + 1) 0;
+  Mem.write mem (base + 2) 0
+
+let bump_event mem ~base = Mem.write mem base (Mem.read mem base + 1)
+
+let event_count mem ~base = Mem.read mem base
+
+let add_word mem ~base w =
+  let c0 = (Mem.read mem (base + 1) + (w land modulus)) mod modulus in
+  Mem.write mem (base + 1) c0;
+  let c1 = (Mem.read mem (base + 2) + c0) mod modulus in
+  Mem.write mem (base + 2) c1
+
+let add_words mem ~base ws = Array.iter (add_word mem ~base) ws
+
+let read mem ~base =
+  (Mem.read mem base, Mem.read mem (base + 1), Mem.read mem (base + 2))
+
+let equal3 (a, b, c) (x, y, z) = a = x && b = y && c = z

@@ -1,0 +1,34 @@
+(** The three-word state signature (paper Section III-C).
+
+    Each replica reduces its critical state history — kernel data
+    structure updates, system-call parameters (at sync level A/S), and
+    driver-contributed data ([FT_Add_Trace]) — to a signature of three
+    words: the deterministic-event count plus a running, order-sensitive
+    Fletcher checksum pair.
+
+    The accumulator lives *in simulated memory*, at the replica's
+    [sig_base] (event count, c0, c1), so that the fault-injection
+    campaigns can corrupt it; a corrupted accumulator produces a
+    signature mismatch at the next vote — a controlled detection, as the
+    paper observes for faults in the framework region. *)
+
+val words : int
+(** Footprint: 3 words. *)
+
+val reset : Rcoe_machine.Mem.t -> base:int -> unit
+
+val bump_event : Rcoe_machine.Mem.t -> base:int -> unit
+(** Increment the deterministic-event count. *)
+
+val event_count : Rcoe_machine.Mem.t -> base:int -> int
+
+val add_word : Rcoe_machine.Mem.t -> base:int -> int -> unit
+(** Fold one word into the running Fletcher pair (same recurrence as
+    {!Rcoe_checksum.Fletcher}: c0 += w, c1 += c0, both mod 2^32-1). *)
+
+val add_words : Rcoe_machine.Mem.t -> base:int -> int array -> unit
+
+val read : Rcoe_machine.Mem.t -> base:int -> int * int * int
+(** [(event_count, c0, c1)]. *)
+
+val equal3 : int * int * int -> int * int * int -> bool

@@ -1,0 +1,1339 @@
+open Rcoe_machine
+open Rcoe_kernel
+
+type halt_reason =
+  | H_mismatch
+  | H_no_consensus
+  | H_timeout
+  | H_kernel_exception of string
+  | H_masking_blocked
+
+let halt_reason_to_string = function
+  | H_mismatch -> "signature mismatch (halt)"
+  | H_no_consensus -> "vote: no consensus on faulty replica"
+  | H_timeout -> "barrier timeout"
+  | H_kernel_exception s -> "kernel exception: " ^ s
+  | H_masking_blocked -> "faulty primary during I/O: cannot downgrade"
+
+type event_kind =
+  | E_user_fault of int
+  | E_kernel_abort of int
+  | E_mismatch
+  | E_timeout
+  | E_downgrade of int
+  | E_reintegrate of int
+
+type stats = {
+  mutable ticks_delivered : int;
+  mutable rounds : int;
+  mutable votes : int;
+  mutable ipis : int;
+  mutable bp_fires : int;
+  mutable ft_rounds : int;
+  mutable rendezvous : int;
+}
+
+(* Pending events delivered at the end of an asynchronous round. *)
+type ev = Tick | Dev_irq of int
+
+type catchup = {
+  leader_clock : Clock.t;
+  mutable bp_set : bool;
+  mutable overshoot : bool;
+  mutable pmu_active : bool;
+      (* Fast catch-up: running freely towards a PMU overflow target. *)
+  mutable pmu_done : bool;
+}
+
+type rstate =
+  | Rs_run
+  | Rs_gather_wait
+  | Rs_chase of int (* LC: target event count *)
+  | Rs_catchup of catchup
+  | Rs_vote_wait
+  | Rs_rendezvous
+  | Rs_halted
+  | Rs_removed
+
+type replica = {
+  rid : int;
+  kern : Kernel.t;
+  mutable state : rstate;
+  mutable finished : bool;
+  mutable pending_ft : (int * int array) option;
+  mutable joined : bool;
+  mutable defer_publish : bool;
+}
+
+type phase =
+  | Ph_idle
+  | Ph_async of async_round
+  | Ph_rdv of { mutable rdv_started : int }
+
+and async_round = {
+  events : ev list;
+  mutable stage : [ `Gather | `Move ];
+  mutable round_started : int;
+}
+
+type t = {
+  cfg : Config.t;
+  mach : Machine.t;
+  lay : Layout.t;
+  replicas : replica array;
+  net : Netdev.t option;
+  net_dpn : int;
+  mmio_plan : (int * Page_table.pte) list; (* primary-role MMIO PTEs *)
+  dma_plan : (int * Page_table.pte) list; (* primary-role DMA-window PTEs *)
+  mutable prim : int;
+  mutable phase : phase;
+  mutable next_tick : int;
+  mutable ticks : int;
+  mutable halt : halt_reason option;
+  mutable downgrade_log : (int * int * int) list;
+  mutable event_log : (int * event_kind) list;
+  mutable round_seq : int;
+  mutable after_save : (rid:int -> tid:int -> ctx_addr:int -> unit) option;
+  mutable pending_reintegrate : int option;
+  mutable reintegration_log : (int * int) list;
+  st : stats;
+}
+
+(* Engine-internal cycle costs not covered by the architecture profile. *)
+let publish_cost = 60
+let vote_cost = 140
+let ft_word_cost = 2
+let ft_op_cost = 180
+
+let config t = t.cfg
+let machine t = t.mach
+let layout t = t.lay
+let netdev t = t.net
+let kernel t rid = t.replicas.(rid).kern
+let primary t = t.prim
+let now t = t.mach.Machine.now
+let stats t = t.st
+let halted t = t.halt
+let downgrades t = t.downgrade_log
+let events t = t.event_log
+let tick_count t = t.ticks
+let output t rid = Buffer.contents (Kernel.output t.replicas.(rid).kern)
+let replica_done t rid = t.replicas.(rid).finished
+let set_after_save_hook t h = t.after_save <- h
+
+let sig_base t rid = t.lay.Layout.partitions.(rid).Layout.sig_base
+
+let live t =
+  Array.to_list t.replicas
+  |> List.filter_map (fun r ->
+         match r.state with Rs_removed -> None | _ -> Some r.rid)
+
+let live_replicas t =
+  Array.to_list t.replicas
+  |> List.filter (fun r -> r.state <> Rs_removed)
+
+let finished t =
+  t.halt = None && List.for_all (fun r -> r.finished) (live_replicas t)
+
+let log_event t k = t.event_log <- (now t, k) :: t.event_log
+
+let halt_system t reason =
+  if t.halt = None then begin
+    t.halt <- Some reason;
+    match reason with
+    | H_timeout -> log_event t E_timeout
+    | H_mismatch | H_no_consensus | H_masking_blocked -> log_event t E_mismatch
+    | H_kernel_exception _ -> ()
+  end
+
+let mem t = t.mach.Machine.mem
+let profile t = t.mach.Machine.profile
+let shared t = t.lay.Layout.shared
+
+let event_count t r = Signature.event_count (mem t) ~base:(sig_base t r.rid)
+
+let charge r n = Core.add_stall (Kernel.core r.kern) n
+
+let vm_charge t r = if t.cfg.Config.vm then charge r (profile t).Arch.vm_exit_cost
+
+(* ---------------------------------------------------------------------- *)
+(* Construction                                                            *)
+(* ---------------------------------------------------------------------- *)
+
+let check_program cfg (program : Rcoe_isa.Program.t) =
+  let profile = Arch.profile_of cfg.Config.arch in
+  if cfg.Config.mode = Config.CC then begin
+    (match Rcoe_isa.Check.exclusives program with
+    | [] -> ()
+    | (addr, i) :: _ ->
+        invalid_arg
+          (Printf.sprintf
+             "System.create: CC-RCoE forbids exclusives (use Sys_atomic): %s \
+              at %d"
+             (Rcoe_isa.Instr.to_string i) addr));
+    if
+      profile.Arch.count_mode = Arch.Compiler_assisted
+      && not program.Rcoe_isa.Program.branch_counted
+    then
+      invalid_arg
+        "System.create: compiler-assisted CC-RCoE requires a branch-counted \
+         program (assemble with ~branch_count:true)"
+  end
+
+let create ~config:cfg ~program =
+  (match Config.validate cfg with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("System.create: " ^ msg));
+  check_program cfg program;
+  let profile = Arch.profile_of cfg.Config.arch in
+  let lay =
+    Layout.compute ~nreplicas:cfg.Config.nreplicas
+      ~user_words:cfg.Config.user_words
+  in
+  let mach =
+    Machine.create ~profile ~mem_words:lay.Layout.total_words
+      ~ncores:cfg.Config.nreplicas ~seed:cfg.Config.seed
+  in
+  let net, net_dpn =
+    if cfg.Config.with_net then begin
+      let nd =
+        Netdev.create ~mem:mach.Machine.mem ~dma_base:lay.Layout.dma_base
+          ~dma_words:lay.Layout.dma_words
+      in
+      let dpn = Machine.add_device mach (Netdev.device nd) in
+      (Some nd, dpn)
+    end
+    else (None, -1)
+  in
+  let st =
+    {
+      ticks_delivered = 0;
+      rounds = 0;
+      votes = 0;
+      ipis = 0;
+      bp_fires = 0;
+      ft_rounds = 0;
+      rendezvous = 0;
+    }
+  in
+  let tref = ref None in
+  let callbacks =
+    {
+      Kernel.cb_info =
+        (fun rid key ->
+          match !tref with
+          | None -> 0
+          | Some t -> (
+              match key with
+              | 0 -> rid
+              | 1 -> t.cfg.Config.nreplicas
+              | 2 -> t.prim
+              | 3 -> if t.cfg.Config.mode = Config.CC then 1 else 0
+              | 4 -> Kernel.current_tid t.replicas.(rid).kern
+              | 5 -> t.ticks
+              | _ -> 0));
+      Kernel.cb_kernel_update =
+        (fun rid words ->
+          match !tref with
+          | None -> ()
+          | Some t ->
+              if t.cfg.Config.mode <> Config.Base then
+                Signature.add_words (mem t) ~base:(sig_base t rid) words);
+    }
+  in
+  let replicas =
+    Array.init cfg.Config.nreplicas (fun rid ->
+        let kern =
+          Kernel.create ~machine:mach ~rid ~core_id:rid ~layout:lay ~program
+            ~callbacks
+        in
+        {
+          rid;
+          kern;
+          state = Rs_run;
+          finished = false;
+          pending_ft = None;
+          joined = false;
+          defer_publish = false;
+        })
+  in
+  (* Device-window mapping plans (primary role). *)
+  let page = Layout.page_size in
+  let mmio_plan =
+    if cfg.Config.with_net then
+      [ ( Layout.va_mmio / page,
+          {
+            Page_table.valid = true;
+            writable = true;
+            dma = false;
+            device = true;
+            ppn = net_dpn;
+          } ) ]
+    else []
+  in
+  let dma_plan =
+    if cfg.Config.with_net then
+      List.init (lay.Layout.dma_words / page) (fun i ->
+          ( (Layout.va_dma / page) + i,
+            {
+              Page_table.valid = true;
+              writable = true;
+              dma = true;
+              device = false;
+              ppn = (lay.Layout.dma_base / page) + i;
+            } ))
+    else []
+  in
+  let t =
+    {
+      cfg;
+      mach;
+      lay;
+      replicas;
+      net;
+      net_dpn;
+      mmio_plan;
+      dma_plan;
+      prim = 0;
+      phase = Ph_idle;
+      next_tick = cfg.Config.tick_interval;
+      ticks = 0;
+      halt = None;
+      downgrade_log = [];
+      event_log = [];
+      round_seq = 0;
+      after_save = None;
+      pending_reintegrate = None;
+      reintegration_log = [];
+      st;
+    }
+  in
+  tref := Some t;
+  (* Per-replica address spaces and role-dependent windows. *)
+  Array.iter
+    (fun r ->
+      let k = r.kern in
+      Kernel.setup_address_space k;
+      if cfg.Config.with_net then begin
+        let is_primary = r.rid = t.prim in
+        (* MMIO window. *)
+        if is_primary then
+          List.iter
+            (fun (vpn, pte) -> Kernel.map_page ~quiet:true k ~vpn pte)
+            mmio_plan
+        else begin
+          let alias = Kernel.alloc_frame_high k in
+          Kernel.map_page ~quiet:true k ~vpn:(Layout.va_mmio / page)
+            {
+              Page_table.valid = true;
+              writable = true;
+              dma = false;
+              device = false;
+              ppn = alias;
+            }
+        end;
+        (* DMA window: the primary sees the real region; others see private
+           shadow frames. All carry the DMA mark so a new primary can find
+           and patch them (paper Section IV-A). *)
+        if is_primary then
+          List.iter
+            (fun (vpn, pte) -> Kernel.map_page ~quiet:true k ~vpn pte)
+            dma_plan
+        else
+          List.iter
+            (fun (vpn, _) ->
+              let shadow = Kernel.alloc_frame_high k in
+              Kernel.map_page ~quiet:true k ~vpn
+                {
+                  Page_table.valid = true;
+                  writable = true;
+                  dma = true;
+                  device = false;
+                  ppn = shadow;
+                })
+            dma_plan;
+        (* Shared input-replication buffer: same physical pages everywhere;
+           writable by the primary only. *)
+        let in_pages = lay.Layout.shared.Layout.inbuf_words / page in
+        for i = 0 to in_pages - 1 do
+          Kernel.map_page ~quiet:true k
+            ~vpn:((Layout.va_shared_in / page) + i)
+            {
+              Page_table.valid = true;
+              writable = is_primary;
+              dma = false;
+              device = false;
+              ppn = (lay.Layout.shared.Layout.inbuf_base / page) + i;
+            }
+        done
+      end;
+      ignore (Kernel.spawn k ~entry:program.Rcoe_isa.Program.entry ~arg:0);
+      Kernel.start k;
+      (* Role mappings differ per replica; baseline the signature after
+         setup so replicas start equal. *)
+      Signature.reset (mem t) ~base:(sig_base t r.rid))
+    replicas;
+  Machine.route_irqs_to mach t.prim;
+  t
+
+(* ---------------------------------------------------------------------- *)
+(* FT operations                                                           *)
+(* ---------------------------------------------------------------------- *)
+
+(* Transfer size of an FT operation, for cost accounting. *)
+let ft_words num args =
+  if num = Syscall.sys_ft_mem_access then max 0 args.(3)
+  else if num = Syscall.sys_ft_add_trace || num = Syscall.sys_ft_mem_rep then
+    max 0 args.(1)
+  else 0
+
+(* Stage an FT operation: fold its data into every replica's signature and
+   return the commit action (externally-visible side effects), which runs
+   only after a successful vote — so corrupted output is caught before it
+   reaches the device. *)
+let ft_stage t num args =
+  let sh = shared t in
+  let live = live_replicas t in
+  let add_sig r ws =
+    Array.iter (fun w -> Signature.add_word (mem t) ~base:(sig_base t r.rid) w) ws
+  in
+  let read_block r ~va ~len =
+    try Some (Kernel.read_user_block r.kern ~va ~len)
+    with Kernel.User_mem_error _ | Mem.Abort _ -> None
+  in
+  let set_result r v =
+    (Kernel.core r.kern).Core.regs.(0) <- v
+  in
+  List.iter
+    (fun r -> charge r (ft_op_cost + (ft_word_cost * ft_words num args)))
+    live;
+  if num = Syscall.sys_ft_add_trace then begin
+    let va = args.(0) and len = max 0 (min args.(1) 4096) in
+    List.iter
+      (fun r ->
+        match read_block r ~va ~len with
+        | Some block -> if t.cfg.Config.trace_output then add_sig r block
+        | None -> add_sig r [| -1 |])
+      live;
+    fun () -> List.iter (fun r -> set_result r 0) live
+  end
+  else if num = Syscall.sys_ft_mem_access then begin
+    let access = args.(0) and mmio_va = args.(1) and va = args.(2) in
+    let len = max 0 (min args.(3) Netdev.slot_words) in
+    let prim_k = t.replicas.(t.prim).kern in
+    match Kernel.translate_mmio prim_k ~va:mmio_va with
+    | None -> fun () -> List.iter (fun r -> set_result r (-1)) live
+    | Some (dpn, off) ->
+        if access = 0 then begin
+          (* Read: the primary reads the device once; the values pass
+             through the shared scratch area to every replica and every
+             signature. *)
+          let values =
+            Array.init len (fun i -> Machine.dev_read t.mach dpn (off + i))
+          in
+          Array.iteri
+            (fun i v ->
+              if i < 32 then Mem.write (mem t) (sh.Layout.scratch_base + i) v)
+            values;
+          List.iter (fun r -> add_sig r values) live;
+          fun () ->
+            List.iter
+              (fun r ->
+                (try Kernel.write_user_block r.kern ~va values
+                 with Kernel.User_mem_error _ -> ());
+                set_result r 0)
+              live
+        end
+        else begin
+          (* Write: fold every replica's outgoing data; the device write
+             (from the then-primary's copy) happens only after the vote. *)
+          let blocks =
+            List.map (fun r -> (r.rid, read_block r ~va ~len)) live
+          in
+          List.iter
+            (fun (_, b) ->
+              match b with Some _ -> () | None -> ())
+            blocks;
+          List.iter2
+            (fun r (_, b) ->
+              match b with Some ws -> add_sig r ws | None -> add_sig r [| -1 |])
+            live blocks;
+          fun () ->
+            (match List.assoc_opt t.prim blocks with
+            | Some (Some ws) ->
+                Array.iteri (fun i v -> Machine.dev_write t.mach dpn (off + i) v) ws
+            | Some None | None -> ());
+            List.iter (fun r -> set_result r 0) live
+        end
+  end
+  else if num = Syscall.sys_ft_mem_rep then begin
+    let va = args.(0)
+    and len = max 0 (min args.(1) sh.Layout.inbuf_words)
+    and dma_off = max 0 args.(2) in
+    (* The primary's kernel copies the DMA buffer into the shared region;
+       every replica's kernel then copies it inward and folds it. *)
+    let src = t.lay.Layout.dma_base + min dma_off (t.lay.Layout.dma_words - len) in
+    Mem.blit (mem t) ~src ~dst:sh.Layout.inbuf_base ~len;
+    let data = Mem.read_block (mem t) sh.Layout.inbuf_base len in
+    List.iter (fun r -> add_sig r data) live;
+    fun () ->
+      List.iter
+        (fun r ->
+          (try Kernel.write_user_block r.kern ~va data
+           with Kernel.User_mem_error _ -> ());
+          set_result r 0)
+        live
+  end
+  else begin
+    (* input_wait: pure rendezvous. *)
+    fun () -> List.iter (fun r -> set_result r 0) live
+  end
+
+(* Base-mode (unreplicated) FT syscalls act directly. *)
+let ft_base t r num args =
+  let k = r.kern in
+  let set v = (Kernel.core k).Core.regs.(0) <- v in
+  charge r (ft_op_cost + (ft_word_cost * ft_words num args));
+  if num = Syscall.sys_ft_add_trace || num = Syscall.sys_input_wait then set 0
+  else if num = Syscall.sys_ft_mem_access then begin
+    let access = args.(0) and mmio_va = args.(1) and va = args.(2) in
+    let len = max 0 (min args.(3) Netdev.slot_words) in
+    match Kernel.translate_mmio k ~va:mmio_va with
+    | None -> set (-1)
+    | Some (dpn, off) ->
+        (try
+           if access = 0 then
+             for i = 0 to len - 1 do
+               Kernel.write_user k ~va:(va + i) (Machine.dev_read t.mach dpn (off + i))
+             done
+           else
+             for i = 0 to len - 1 do
+               Machine.dev_write t.mach dpn (off + i) (Kernel.read_user k ~va:(va + i))
+             done;
+           set 0
+         with Kernel.User_mem_error _ -> set (-1))
+  end
+  else if num = Syscall.sys_ft_mem_rep then begin
+    let va = args.(0)
+    and len = max 0 (min args.(1) t.lay.Layout.dma_words)
+    and dma_off = max 0 args.(2) in
+    let src = t.lay.Layout.dma_base + min dma_off (t.lay.Layout.dma_words - len) in
+    try
+      for i = 0 to len - 1 do
+        Kernel.write_user k ~va:(va + i) (Mem.read (mem t) (src + i))
+      done;
+      set 0
+    with Kernel.User_mem_error _ -> set (-1)
+  end
+  else set (-1)
+
+(* ---------------------------------------------------------------------- *)
+(* Downgrade (error masking, Section IV)                                   *)
+(* ---------------------------------------------------------------------- *)
+
+let promote_new_primary t new_prim =
+  let p = profile t in
+  let k = t.replicas.(new_prim).kern in
+  (* Scan the page table for DMA-marked pages (the spare-bit trick) and
+     re-point them at the real DMA region and device window. *)
+  let marked = Kernel.dma_pages_mapped k in
+  List.iter (fun (vpn, pte) -> Kernel.map_page ~quiet:true k ~vpn pte) t.dma_plan;
+  List.iter (fun (vpn, pte) -> Kernel.map_page ~quiet:true k ~vpn pte) t.mmio_plan;
+  (* The primary role includes write access to the shared input-
+     replication buffer (it performs the user-mode input copies). *)
+  if t.cfg.Config.with_net then begin
+    let page = Layout.page_size in
+    let in_pages = (shared t).Layout.inbuf_words / page in
+    for i = 0 to in_pages - 1 do
+      Kernel.map_page ~quiet:true k
+        ~vpn:((Layout.va_shared_in / page) + i)
+        {
+          Page_table.valid = true;
+          writable = true;
+          dma = false;
+          device = false;
+          ppn = ((shared t).Layout.inbuf_base / page) + i;
+        }
+    done
+  end;
+  t.prim <- new_prim;
+  Machine.route_irqs_to t.mach new_prim;
+  let cc_factor = if t.cfg.Config.mode = Config.CC then 5 else 1 in
+  let pte_scan =
+    match p.Arch.arch with Arch.X86 -> 850 | Arch.Arm -> 1250
+  in
+  (Layout.va_pages * pte_scan * cc_factor)
+  + (List.length marked * 2000 * cc_factor)
+  + 30_000
+
+let removal_cost t =
+  match (profile t).Arch.arch with Arch.X86 -> 24_000 | Arch.Arm -> 21_000
+
+let downgrade t faulty =
+  let r = t.replicas.(faulty) in
+  r.state <- Rs_removed;
+  r.pending_ft <- None;
+  (Kernel.core r.kern).Core.halted <- true;
+  let cost =
+    if faulty = t.prim then
+      let new_prim =
+        List.fold_left min max_int (live t)
+      in
+      promote_new_primary t new_prim
+    else removal_cost t
+  in
+  List.iter (fun s -> charge s cost) (live_replicas t);
+  t.downgrade_log <- (now t, faulty, cost) :: t.downgrade_log;
+  log_event t (E_downgrade faulty)
+
+(* Barrier timeout: halt, or — with the timeout-masking extension (the
+   paper's "shut down the straggler's core") — downgrade a single
+   straggling replica and let the round continue with the survivors.
+   Returns true if the system may continue. *)
+let handle_timeout t ~stragglers =
+  if
+    t.cfg.Config.timeout_masking
+    && List.length (live t) >= 3
+    && List.length stragglers = 1
+  then begin
+    log_event t E_timeout;
+    downgrade t (List.hd stragglers).rid;
+    true
+  end
+  else begin
+    halt_system t H_timeout;
+    false
+  end
+
+(* Publish every live replica's signature into the shared region. *)
+let publish_signatures t =
+  List.iter
+    (fun r ->
+      charge r publish_cost;
+      Vote.publish_signature (mem t) (shared t) ~rid:r.rid
+        (Signature.read (mem t) ~base:(sig_base t r.rid)))
+    (live_replicas t)
+
+(* Handle a detected signature mismatch. Returns true if the system may
+   continue (successful downgrade), false if it halted. *)
+let handle_mismatch t ~io_in_flight =
+  log_event t E_mismatch;
+  let lv = live t in
+  if t.cfg.Config.masking && List.length lv >= 3 then
+    match Vote.run (mem t) (shared t) ~live:lv with
+    | Vote.No_consensus ->
+        halt_system t H_no_consensus;
+        false
+    | Vote.Faulty f ->
+        if f = t.prim && io_in_flight then begin
+          halt_system t H_masking_blocked;
+          false
+        end
+        else begin
+          downgrade t f;
+          if Vote.signatures_agree (mem t) (shared t) ~live:(live t) then true
+          else begin
+            halt_system t H_mismatch;
+            false
+          end
+        end
+  else begin
+    halt_system t H_mismatch;
+    false
+  end
+
+(* Vote on signatures; on success run [k]; on mismatch try masking and, if
+   it succeeds, still run [k] for the survivors. *)
+let vote_signatures t ~io_in_flight k =
+  t.st.votes <- t.st.votes + 1;
+  List.iter (fun r -> charge r vote_cost) (live_replicas t);
+  publish_signatures t;
+  if Vote.signatures_agree (mem t) (shared t) ~live:(live t) then k ()
+  else if handle_mismatch t ~io_in_flight then k ()
+
+(* ---------------------------------------------------------------------- *)
+(* Re-integration (paper Section IV-C, implemented extension)              *)
+(* ---------------------------------------------------------------------- *)
+
+let request_reintegration t ~rid =
+  if rid < 0 || rid >= Array.length t.replicas then Error "no such replica"
+  else if t.replicas.(rid).state <> Rs_removed then
+    Error "replica is not removed"
+  else if t.halt <> None then Error "system halted"
+  else begin
+    t.pending_reintegrate <- Some rid;
+    Ok ()
+  end
+
+let reintegrations t = t.reintegration_log
+
+(* Runs at the end of an asynchronous round, when every live replica is
+   parked at the same logical point: copy a healthy non-primary replica's
+   entire partition into the returning replica's partition, rebase its
+   page-table frame numbers, and adopt the source's kernel bookkeeping
+   and core state. *)
+let perform_reintegration t rid =
+  let dst = t.replicas.(rid) in
+  let src =
+    match List.filter (fun r -> r.rid <> t.prim) (live_replicas t) with
+    | s :: _ -> s
+    | [] -> t.replicas.(t.prim)
+  in
+  let sp = t.lay.Layout.partitions.(src.rid)
+  and dp = t.lay.Layout.partitions.(rid) in
+  Mem.blit (mem t) ~src:sp.Layout.p_base ~dst:dp.Layout.p_base
+    ~len:(min sp.Layout.p_words dp.Layout.p_words);
+  let delta_pages = (dp.Layout.p_base - sp.Layout.p_base) / Layout.page_size in
+  let table = { Page_table.base = dp.Layout.pt_base; npages = Layout.va_pages } in
+  let src_lo = sp.Layout.p_base / Layout.page_size in
+  let src_hi = (sp.Layout.p_base + sp.Layout.p_words) / Layout.page_size in
+  for vpn = 0 to Layout.va_pages - 1 do
+    let pte = Page_table.get (mem t) table ~vpn in
+    if
+      pte.Page_table.valid
+      && (not pte.Page_table.device)
+      && pte.Page_table.ppn >= src_lo
+      && pte.Page_table.ppn < src_hi
+    then
+      Page_table.set (mem t) table ~vpn
+        { pte with Page_table.ppn = pte.Page_table.ppn + delta_pages }
+  done;
+  Kernel.adopt_runtime_from dst.kern ~src:src.kern;
+  dst.finished <- src.finished;
+  dst.pending_ft <- None;
+  dst.joined <- false;
+  dst.defer_publish <- false;
+  dst.state <- Rs_run;
+  (* The copy stalls everyone (a DMA-rate partition copy). *)
+  let cost = dp.Layout.p_words / 8 in
+  List.iter (fun r -> charge r cost) (live_replicas t);
+  t.reintegration_log <- (now t, rid) :: t.reintegration_log;
+  log_event t (E_reintegrate rid)
+
+let maybe_reintegrate t =
+  match t.pending_reintegrate with
+  | Some rid when t.halt = None && t.replicas.(rid).state = Rs_removed ->
+      t.pending_reintegrate <- None;
+      perform_reintegration t rid
+  | Some _ -> t.pending_reintegrate <- None
+  | None -> ()
+
+(* ---------------------------------------------------------------------- *)
+(* Round lifecycle                                                         *)
+(* ---------------------------------------------------------------------- *)
+
+(* All replicas leave a barrier together: the round completes when the
+   slowest replica's pending kernel work (e.g. the last arriver's final
+   debug exception) is done, so every survivor resumes with the *same*
+   residual stall. Without equalisation the last arriver would restart
+   behind the pack and permanently seed the next round's drift; zeroing
+   instead would erase legitimately charged kernel time. *)
+let equalize_stalls t =
+  let mx =
+    List.fold_left
+      (fun acc r -> max acc (Kernel.core r.kern).Core.stall)
+      0 (live_replicas t)
+  in
+  List.iter
+    (fun r ->
+      match r.state with
+      | Rs_removed | Rs_halted -> ()
+      | _ -> (Kernel.core r.kern).Core.stall <- mx)
+    (live_replicas t)
+
+let resume_replica t r =
+  r.joined <- false;
+  r.defer_publish <- false;
+  match r.state with
+  | Rs_removed | Rs_halted -> ()
+  | _ ->
+      charge r 60;
+      vm_charge t r;
+      r.state <- Rs_run
+
+let deliver_events t evs =
+  List.iter
+    (fun ev ->
+      match ev with
+      | Tick ->
+          t.ticks <- t.ticks + 1;
+          t.st.ticks_delivered <- t.st.ticks_delivered + 1;
+          let hook = t.after_save in
+          List.iter
+            (fun r ->
+              if not r.finished then
+                Kernel.preempt
+                  ?after_save:
+                    (Option.map
+                       (fun f ~tid ~ctx_addr -> f ~rid:r.rid ~tid ~ctx_addr)
+                       hook)
+                  r.kern)
+            (live_replicas t)
+      | Dev_irq dpn ->
+          List.iter
+            (fun r ->
+              if not r.finished then ignore (Kernel.wake_irq_waiters r.kern ~dpn))
+            (live_replicas t))
+    evs
+
+(* Completion of an asynchronous round: all live replicas are at the same
+   logical time. Execute any rendezvoused FT operation, vote, deliver. *)
+let finish_async_round t round =
+  let lv = live_replicas t in
+  let fts = List.map (fun r -> r.pending_ft) lv in
+  let all_none = List.for_all (fun f -> f = None) fts in
+  let all_same =
+    match fts with
+    | [] -> true
+    | f0 :: rest -> List.for_all (fun f -> f = f0) rest
+  in
+  let continue_round () =
+    (match List.find_opt (fun r -> r.pending_ft <> None) lv with
+    | Some { pending_ft = Some (num, args); _ } ->
+        t.st.ft_rounds <- t.st.ft_rounds + 1;
+        let commit = ft_stage t num args in
+        (* Only reads touch the device *before* the vote (the primary has
+           already distributed device data); writes commit after a
+           successful vote, so a faulty primary can be removed safely. *)
+        let io =
+          (num = Syscall.sys_ft_mem_access && args.(0) = 0)
+          || num = Syscall.sys_ft_mem_rep
+        in
+        vote_signatures t ~io_in_flight:io (fun () ->
+            commit ();
+            deliver_events t round.events;
+            List.iter (fun r -> r.pending_ft <- None) (live_replicas t);
+            maybe_reintegrate t;
+            equalize_stalls t;
+            List.iter (resume_replica t) (live_replicas t);
+            t.phase <- Ph_idle)
+    | _ ->
+        vote_signatures t ~io_in_flight:false (fun () ->
+            deliver_events t round.events;
+            maybe_reintegrate t;
+            equalize_stalls t;
+            List.iter (resume_replica t) (live_replicas t);
+            t.phase <- Ph_idle))
+  in
+  if all_none || all_same then continue_round ()
+  else begin
+    (* Divergent pending syscalls: treat as detected divergence. *)
+    publish_signatures t;
+    if handle_mismatch t ~io_in_flight:false then begin
+      List.iter (fun r -> r.pending_ft <- None) (live_replicas t);
+      equalize_stalls t;
+            List.iter (resume_replica t) (live_replicas t);
+      t.phase <- Ph_idle
+    end
+  end
+
+let finish_rendezvous t =
+  t.st.rendezvous <- t.st.rendezvous + 1;
+  let lv = live_replicas t in
+  let fts = List.map (fun r -> r.pending_ft) lv in
+  let all_same =
+    match fts with [] -> true | f0 :: rest -> List.for_all (fun f -> f = f0) rest
+  in
+  let resume () =
+    List.iter (fun r -> r.pending_ft <- None) (live_replicas t);
+    equalize_stalls t;
+            List.iter (resume_replica t) (live_replicas t);
+    t.phase <- Ph_idle
+  in
+  if all_same then
+    match List.hd fts with
+    | Some (num, args) ->
+        t.st.ft_rounds <- t.st.ft_rounds + 1;
+        let commit = ft_stage t num args in
+        (* Only reads touch the device *before* the vote (the primary has
+           already distributed device data); writes commit after a
+           successful vote, so a faulty primary can be removed safely. *)
+        let io =
+          (num = Syscall.sys_ft_mem_access && args.(0) = 0)
+          || num = Syscall.sys_ft_mem_rep
+        in
+        vote_signatures t ~io_in_flight:io (fun () ->
+            commit ();
+            resume ())
+    | None ->
+        (* Sync_vote rendezvous: vote only. *)
+        vote_signatures t ~io_in_flight:false resume
+  else begin
+    publish_signatures t;
+    if handle_mismatch t ~io_in_flight:false then resume ()
+  end
+
+(* ---------------------------------------------------------------------- *)
+(* Joining and catch-up                                                    *)
+(* ---------------------------------------------------------------------- *)
+
+let publish_clock t r clk =
+  let enc = Clock.encode clk in
+  let base = (shared t).Layout.time_base + (4 * r.rid) in
+  Array.iteri (fun i w -> Mem.write (mem t) (base + i) w) enc;
+  Mem.write (mem t) ((shared t).Layout.bar_base + r.rid) t.round_seq;
+  charge r publish_cost
+
+let read_clock t rid =
+  let base = (shared t).Layout.time_base + (4 * rid) in
+  Clock.decode (Array.init 4 (fun i -> Mem.read (mem t) (base + i)))
+
+let arrived_bar t rid =
+  Mem.read (mem t) ((shared t).Layout.bar_base + rid) = t.round_seq
+
+(* Join the gather stage at a kernel entry. *)
+let join_gather t r =
+  if not r.joined then begin
+    r.joined <- true;
+    Machine.clear_ipi t.mach ~core_id:r.rid;
+    let count = event_count t r in
+    let clk =
+      (* LC logical time is the event count alone: a replica at a kernel
+         entry after [count] events is at position "kernel boundary",
+         whatever user instruction it was interrupted at. Only CC
+         publishes the precise user position. *)
+      if
+        t.cfg.Config.mode = Config.CC
+        && Kernel.current_tid r.kern >= 0
+        && not r.finished
+      then Clock.capture (profile t) ~count (Kernel.core r.kern)
+      else Clock.in_kernel ~count
+    in
+    publish_clock t r clk;
+    (* Publishing and parking at the barrier are hypervisor crossings
+       when the stack runs virtualised. *)
+    vm_charge t r;
+    r.state <- Rs_gather_wait
+  end
+
+(* Mark a replica arrived at the final barrier. *)
+let arrive t r =
+  (Kernel.core r.kern).Core.bp <- None;
+  Mem.write (mem t) ((shared t).Layout.bar_base + r.rid) t.round_seq;
+  vm_charge t r;
+  r.state <- Rs_vote_wait
+
+(* After the gather completes: elect the leader and set every replica
+   moving (or arrived). *)
+let start_move t round =
+  let lv = live_replicas t in
+  let joined = List.filter (fun r -> r.joined) lv in
+  let clocks = List.map (fun r -> (r, read_clock t r.rid)) joined in
+  match clocks with
+  | [] -> ()
+  | (_, c0) :: _ ->
+      let leader_clock =
+        List.fold_left
+          (fun acc (_, c) -> if Clock.compare c acc > 0 then c else acc)
+          c0 clocks
+      in
+      t.round_seq <- t.round_seq + 1;
+      (* Fresh sequence for the arrival barrier. *)
+      List.iter
+        (fun (r, c) ->
+          if Clock.equal_position c leader_clock then arrive t r
+          else
+            match t.cfg.Config.mode with
+            | Config.LC | Config.Base -> r.state <- Rs_chase leader_clock.Clock.count
+            | Config.CC ->
+                r.state <-
+                  Rs_catchup
+                    {
+                      leader_clock;
+                      bp_set = false;
+                      overshoot = false;
+                      pmu_active = false;
+                      pmu_done = false;
+                    })
+        clocks;
+      round.stage <- `Move
+
+(* ---------------------------------------------------------------------- *)
+(* Per-cycle replica stepping                                              *)
+(* ---------------------------------------------------------------------- *)
+
+let enter_rendezvous t r =
+  (match t.phase with
+  | Ph_idle ->
+      t.round_seq <- t.round_seq + 1;
+      t.phase <- Ph_rdv { rdv_started = now t }
+  | Ph_rdv _ -> ()
+  | Ph_async _ -> () (* cannot happen: async joins are taken first *));
+  r.state <- Rs_rendezvous;
+  Mem.write (mem t) ((shared t).Layout.bar_base + r.rid) t.round_seq
+
+(* Post-syscall bookkeeping shared by every mode: join/arrive/rendezvous. *)
+let post_syscall t r num =
+  match t.phase with
+  | Ph_async round when round.stage = `Gather -> join_gather t r
+  | Ph_async _ -> (
+      (* Move stage: arrival checks. *)
+      match r.state with
+      | Rs_chase target when event_count t r >= target -> arrive t r
+      | Rs_catchup cu
+        when cu.leader_clock.Clock.pos = Clock.In_kernel
+             && event_count t r >= cu.leader_clock.Clock.count
+             && Kernel.current_tid r.kern < 0 ->
+          arrive t r
+      | _ -> ())
+  | Ph_idle | Ph_rdv _ -> (
+      match r.pending_ft with
+      | Some _ -> enter_rendezvous t r
+      | None ->
+          if
+            t.cfg.Config.sync_level = Config.Sync_vote
+            && t.cfg.Config.mode <> Config.Base
+            && num <> Syscall.sys_exit
+          then enter_rendezvous t r)
+
+let on_syscall t r num =
+  Signature.bump_event (mem t) ~base:(sig_base t r.rid);
+  vm_charge t r;
+  if
+    t.cfg.Config.mode <> Config.Base
+    && (t.cfg.Config.sync_level = Config.Sync_args
+       || t.cfg.Config.sync_level = Config.Sync_vote)
+  then begin
+    let regs = (Kernel.core r.kern).Core.regs in
+    let nargs = Syscall.arg_count num in
+    let words = Array.init (1 + nargs) (fun i -> if i = 0 then num else regs.(i - 1)) in
+    Signature.add_words (mem t) ~base:(sig_base t r.rid) words
+  end;
+  (match Kernel.handle_syscall r.kern num with
+  | Kernel.Sr_local -> ()
+  | Kernel.Sr_ft { num = fnum; args } ->
+      if t.cfg.Config.mode = Config.Base then ft_base t r fnum args
+      else r.pending_ft <- Some (fnum, args));
+  if Kernel.all_exited r.kern then r.finished <- true;
+  post_syscall t r num
+
+let on_fault t r fault =
+  vm_charge t r;
+  (match Kernel.handle_fault r.kern fault with
+  | Kernel.Fd_user_fault | Kernel.Fd_user_exception ->
+      log_event t (E_user_fault r.rid)
+  | Kernel.Fd_kernel_abort a ->
+      log_event t (E_kernel_abort r.rid);
+      if t.cfg.Config.exception_barriers then begin
+        (* Caught by the exception-handler barrier: halt this replica in a
+           detectable (fail-stop) way; the others will time out. *)
+        r.state <- Rs_halted;
+        (Kernel.core r.kern).Core.halted <- true
+      end
+      else if t.cfg.Config.mode = Config.Base then begin
+        r.state <- Rs_halted;
+        (Kernel.core r.kern).Core.halted <- true;
+        halt_system t (H_kernel_exception (Printf.sprintf "phys abort @%d" a))
+      end
+      else
+        halt_system t (H_kernel_exception (Printf.sprintf "phys abort @%d" a)));
+  if Kernel.all_exited r.kern then r.finished <- true;
+  if r.state <> Rs_halted then
+    match t.phase with
+    | Ph_async round when round.stage = `Gather -> join_gather t r
+    | _ -> ()
+
+(* Execute one core cycle of user code for a running/chasing replica. *)
+let run_user t r =
+  (* An externally halted core (crashed/overclocked/hung) freezes: it
+     neither executes nor reaches kernel entries, so the others' barrier
+     times out — do not mistake it for a clean thread exit. *)
+  if (Kernel.core r.kern).Core.halted then ()
+  else if Kernel.current_tid r.kern < 0 then ()
+  else
+    match Core.step (Kernel.core r.kern) (Kernel.env r.kern) with
+    | Core.Ran | Core.Stalled -> (
+        (* Deferred publication: a replica IPI'd at a rep-string first
+           steps past it (Section III-D). *)
+        if r.defer_publish then
+          match t.phase with
+          | Ph_async { stage = `Gather; _ }
+            when not (Core.rep_in_progress (Kernel.core r.kern) (Kernel.env r.kern))
+            ->
+              r.defer_publish <- false;
+              join_gather t r
+          | _ -> ())
+    | Core.Event (Core.Ev_syscall n) -> on_syscall t r n
+    | Core.Event (Core.Ev_fault f) -> on_fault t r f
+    | Core.Event Core.Ev_halt ->
+        Kernel.exit_current r.kern;
+        if Kernel.all_exited r.kern then r.finished <- true
+    | Core.Event Core.Ev_breakpoint ->
+        (* Stale breakpoint outside a catch-up: clear and continue. *)
+        (Kernel.core r.kern).Core.bp <- None
+
+let on_ipi t r =
+  Machine.clear_ipi t.mach ~core_id:r.rid;
+  t.st.ipis <- t.st.ipis + 1;
+  charge r (profile t).Arch.irq_cost;
+  vm_charge t r;
+  match t.phase with
+  | Ph_async { stage = `Gather; _ } ->
+      if
+        t.cfg.Config.mode = Config.CC
+        && Kernel.current_tid r.kern >= 0
+        && Core.rep_in_progress (Kernel.core r.kern) (Kernel.env r.kern)
+      then begin
+        charge r (profile t).Arch.rep_walk_cost;
+        r.defer_publish <- true
+      end
+      else join_gather t r
+  | _ -> ()
+
+let step_catchup t r cu =
+  let core = Kernel.core r.kern in
+  let p = profile t in
+  let leader = cu.leader_clock in
+  let count = event_count t r in
+  if count < leader.Clock.count then run_user t r
+  else begin
+    match leader.Clock.pos with
+    | Clock.In_kernel ->
+        (* Arrival for kernel-parked leaders happens in post_syscall; a
+           replica still running here with the full count has diverged and
+           will time the round out. *)
+        run_user t r
+    | Clock.At_user { branches_adj = leader_adj; ip } ->
+        let adj_now () =
+          let raw = Core.branch_count core p in
+          if core.Core.last_was_cntinc then raw - 1 else raw
+        in
+        if t.cfg.Config.fast_catchup && (not cu.pmu_done) && not cu.bp_set
+        then begin
+          (* Paper Section VI: cover most of the branch deficit with a
+             PMU-overflow interrupt instead of a debug exception per pass
+             over the leader's address; arm the breakpoint only for the
+             final stretch. *)
+          if cu.pmu_active then begin
+            (match Core.step core (Kernel.env r.kern) with
+            | Core.Ran | Core.Stalled -> ()
+            | Core.Event (Core.Ev_syscall n) ->
+                on_syscall t r n;
+                cu.overshoot <- true
+            | Core.Event (Core.Ev_fault f) -> on_fault t r f
+            | Core.Event Core.Ev_halt ->
+                Kernel.exit_current r.kern;
+                if Kernel.all_exited r.kern then r.finished <- true
+            | Core.Event Core.Ev_breakpoint -> core.Core.bp <- None);
+            if adj_now () >= leader_adj - 8 then begin
+              cu.pmu_active <- false;
+              cu.pmu_done <- true;
+              (* The overflow interrupt that ends the fast phase. *)
+              charge r p.Arch.irq_cost;
+              vm_charge t r
+            end
+          end
+          else if leader_adj - adj_now () > 32 then begin
+            cu.pmu_active <- true;
+            charge r p.Arch.breakpoint_set_cost
+            (* programming the counter *)
+          end
+          else cu.pmu_done <- true
+        end
+        else if not cu.bp_set then begin
+          cu.bp_set <- true;
+          charge r p.Arch.breakpoint_set_cost;
+          core.Core.bp <- Some ip;
+          (* Already exactly at the leader's position? *)
+          let here = Clock.capture p ~count core in
+          if Clock.equal_position here leader then arrive t r
+        end
+        else
+          match Core.step core (Kernel.env r.kern) with
+          | Core.Ran | Core.Stalled -> ()
+          | Core.Event Core.Ev_breakpoint ->
+              t.st.bp_fires <- t.st.bp_fires + 1;
+              charge r p.Arch.debug_exception_cost;
+              vm_charge t r;
+              let here = Clock.capture p ~count:(event_count t r) core in
+              if Clock.equal_position here leader then arrive t r
+              else begin
+                if Clock.compare here leader > 0 then cu.overshoot <- true;
+                core.Core.bp_suppress <- true
+              end
+          | Core.Event (Core.Ev_syscall n) ->
+              (* Divergence: more syscalls than the leader. *)
+              on_syscall t r n;
+              cu.overshoot <- true
+          | Core.Event (Core.Ev_fault f) -> on_fault t r f
+          | Core.Event Core.Ev_halt ->
+              Kernel.exit_current r.kern;
+              if Kernel.all_exited r.kern then r.finished <- true
+  end
+
+let step_replica t r =
+  match r.state with
+  | Rs_removed | Rs_halted -> ()
+  | Rs_gather_wait | Rs_vote_wait | Rs_rendezvous ->
+      (* Spinning at a barrier: charged kernel work (publishing, voting,
+         VM crossings) overlaps the wait instead of deferring resume. *)
+      let core = Kernel.core r.kern in
+      if core.Core.stall > 0 then core.Core.stall <- core.Core.stall - 1
+  | Rs_chase target ->
+      if event_count t r >= target then arrive t r else run_user t r
+  | Rs_catchup cu -> step_catchup t r cu
+  | Rs_run ->
+      if (Kernel.core r.kern).Core.halted then ()
+      (* A hung core answers neither IPIs nor its own work. *)
+      else if Machine.ipi_visible t.mach ~core_id:r.rid then on_ipi t r
+      else if r.finished then begin
+        match t.phase with
+        | Ph_async { stage = `Gather; _ } -> join_gather t r
+        | _ -> ()
+      end
+      else if Kernel.current_tid r.kern < 0 then begin
+        (* Idle: all threads blocked. *)
+        match t.phase with
+        | Ph_async { stage = `Gather; _ } -> join_gather t r
+        | _ -> ()
+      end
+      else run_user t r
+
+(* ---------------------------------------------------------------------- *)
+(* Phase advancement and round initiation                                  *)
+(* ---------------------------------------------------------------------- *)
+
+let initiate_round t evs =
+  t.st.rounds <- t.st.rounds + 1;
+  t.round_seq <- t.round_seq + 1;
+  List.iter
+    (fun r ->
+      r.joined <- false;
+      Machine.send_ipi t.mach ~target:r.rid)
+    (live_replicas t);
+  t.phase <- Ph_async { events = evs; stage = `Gather; round_started = now t }
+
+let base_tick t =
+  let r = t.replicas.(0) in
+  if not r.finished then begin
+    charge r (profile t).Arch.irq_cost;
+    vm_charge t r;
+    t.ticks <- t.ticks + 1;
+    t.st.ticks_delivered <- t.st.ticks_delivered + 1;
+    let hook = t.after_save in
+    Kernel.preempt
+      ?after_save:
+        (Option.map (fun f ~tid ~ctx_addr -> f ~rid:0 ~tid ~ctx_addr) hook)
+      r.kern
+  end
+
+let advance_phase t =
+  match t.phase with
+  | Ph_idle ->
+      if t.cfg.Config.mode = Config.Base then begin
+        if now t >= t.next_tick then begin
+          t.next_tick <- now t + t.cfg.Config.tick_interval;
+          base_tick t
+        end;
+        match Machine.pending_irq t.mach ~core_id:0 with
+        | Some dpn ->
+            Machine.ack_irq t.mach dpn;
+            let r = t.replicas.(0) in
+            charge r (profile t).Arch.irq_cost;
+            vm_charge t r;
+            ignore (Kernel.wake_irq_waiters r.kern ~dpn)
+        | None -> ()
+      end
+      else begin
+        let evs = ref [] in
+        if now t >= t.next_tick then begin
+          (* Absolute cadence: a round that overruns the tick interval
+             does not push the next tick out, otherwise replica drift —
+             and hence catch-up cost — grows with round duration. Keep a
+             quarter-interval minimum spacing so an overloaded system
+             still makes forward progress. *)
+          t.next_tick <-
+            max
+              (t.next_tick + t.cfg.Config.tick_interval)
+              (now t + (t.cfg.Config.tick_interval / 4));
+          if not (finished t) then evs := Tick :: !evs
+        end;
+        (match Machine.pending_irq t.mach ~core_id:t.prim with
+        | Some dpn ->
+            Machine.ack_irq t.mach dpn;
+            evs := Dev_irq dpn :: !evs
+        | None -> ());
+        if !evs <> [] then initiate_round t !evs
+      end
+  | Ph_async round -> (
+      if now t - round.round_started > t.cfg.Config.barrier_timeout then begin
+        let stragglers =
+          List.filter
+            (fun r ->
+              match round.stage with
+              | `Gather -> not r.joined
+              | `Move -> r.state <> Rs_vote_wait)
+            (live_replicas t)
+        in
+        if handle_timeout t ~stragglers then
+          round.round_started <- now t (* fresh budget for the survivors *)
+      end
+      else
+        match round.stage with
+        | `Gather ->
+            if List.for_all (fun r -> r.joined) (live_replicas t) then
+              start_move t round
+        | `Move ->
+            if
+              List.for_all
+                (fun r -> r.state = Rs_vote_wait && arrived_bar t r.rid)
+                (live_replicas t)
+            then finish_async_round t round)
+  | Ph_rdv rdv ->
+      if now t - rdv.rdv_started > t.cfg.Config.barrier_timeout then begin
+        let stragglers =
+          List.filter (fun r -> r.state <> Rs_rendezvous) (live_replicas t)
+        in
+        if handle_timeout t ~stragglers then rdv.rdv_started <- now t
+      end
+      else if
+        List.for_all
+          (fun r -> r.state = Rs_rendezvous && arrived_bar t r.rid)
+          (live_replicas t)
+      then finish_rendezvous t
+      (* A replica that exited (or hung) while the others rendezvous is a
+         straggler; without timeout masking it is caught by the barrier
+         timeout above, not by a vote — the paper's hanging-replica case. *)
+
+(* ---------------------------------------------------------------------- *)
+(* Run loop                                                                 *)
+(* ---------------------------------------------------------------------- *)
+
+let run ?stop t ~max_cycles =
+  let start = now t in
+  let continue_ = ref true in
+  while
+    !continue_ && t.halt = None
+    && (not (finished t))
+    && now t - start < max_cycles
+  do
+    Machine.tick t.mach;
+    Array.iter (fun r -> step_replica t r) t.replicas;
+    advance_phase t;
+    (match stop with
+    | Some f when now t land 127 = 0 -> if f t then continue_ := false
+    | _ -> ())
+  done
+
+let replica_state_name t rid =
+  let r = t.replicas.(rid) in
+  let state =
+    match r.state with
+    | Rs_run -> if r.finished then "run(finished)" else "run"
+    | Rs_gather_wait -> "gather"
+    | Rs_chase n -> Printf.sprintf "chase(%d)" n
+    | Rs_catchup _ -> "catchup"
+    | Rs_vote_wait -> "vote-wait"
+    | Rs_rendezvous -> "rendezvous"
+    | Rs_halted -> "halted"
+    | Rs_removed -> "removed"
+  in
+  let phase =
+    match t.phase with
+    | Ph_idle -> "idle"
+    | Ph_async { stage = `Gather; _ } -> "async-gather"
+    | Ph_async { stage = `Move; _ } -> "async-move"
+    | Ph_rdv _ -> "rdv"
+  in
+  Printf.sprintf "%s/%s count=%d" state phase
+    (Signature.event_count (mem t) ~base:(sig_base t rid))

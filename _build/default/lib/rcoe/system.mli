@@ -1,0 +1,122 @@
+(** The redundant co-execution engine.
+
+    Owns the machine, the per-replica kernels, and the synchronisation
+    protocol of Section III:
+
+    - Interrupts (the preemption tick and device IRQs) are received
+      conceptually by the primary; the engine raises IPIs to every live
+      replica, each of which joins the round at its next kernel entry and
+      publishes its logical time in the shared region.
+    - Once all have published, the leading replica is elected by logical
+      time. LC followers resume until their event count reaches the
+      leader's; CC followers additionally catch up to the leader's exact
+      instruction position using a global breakpoint (paying a debug
+      exception per hit, doubled on Arm, plus VM exits when virtualised —
+      the costs Sections III-D/F analyse). A replica stopped at a
+      rep-string instruction cannot publish a precise position; it first
+      steps past it (paying a guest-page-walk cost in a VM).
+    - At the barrier the replicas vote on their three-word signatures.
+      Mismatch in a DMR (or unmasked) system halts it; a masked TMR
+      system runs the Listing-5 vote and downgrades to DMR, re-electing
+      a primary and patching DMA page mappings when the primary was the
+      faulty one (Section IV).
+    - [FT_*] syscalls and (at sync level S) every syscall are rendezvous
+      points: all replicas meet at the same event count, the operation
+      executes once against the device with its data folded into every
+      signature, and a vote runs.
+
+    A replica that hangs, diverges, or crashes fails to join within
+    [barrier_timeout] and the round times out — the paper's second
+    detection mechanism. *)
+
+type halt_reason =
+  | H_mismatch  (** Signature divergence detected; no masking possible. *)
+  | H_no_consensus  (** Listing-5 vote failed to agree on the faulter. *)
+  | H_timeout  (** Barrier timeout: straggling or hung replica. *)
+  | H_kernel_exception of string
+      (** Uncontrolled kernel abort (x86 without exception barriers). *)
+  | H_masking_blocked
+      (** Faulty primary during device I/O: downgrade is unsafe. *)
+
+val halt_reason_to_string : halt_reason -> string
+
+type event_kind =
+  | E_user_fault of int  (** rid *)
+  | E_kernel_abort of int
+  | E_mismatch
+  | E_timeout
+  | E_downgrade of int  (** removed rid *)
+  | E_reintegrate of int  (** re-admitted rid *)
+
+type stats = {
+  mutable ticks_delivered : int;
+  mutable rounds : int;
+  mutable votes : int;
+  mutable ipis : int;
+  mutable bp_fires : int;
+  mutable ft_rounds : int;
+  mutable rendezvous : int;
+}
+
+type t
+
+val create : config:Config.t -> program:Rcoe_isa.Program.t -> t
+(** Validates the configuration and program compatibility (CC forbids
+    exclusives; compiler-assisted profiles require a branch-counted
+    program), builds the machine, partitions memory, sets up one kernel
+    per replica with role-dependent device mappings, and spawns the
+    program's main thread everywhere. Raises [Invalid_argument] on an
+    invalid configuration. *)
+
+val config : t -> Config.t
+val machine : t -> Rcoe_machine.Machine.t
+val layout : t -> Rcoe_kernel.Layout.t
+val netdev : t -> Rcoe_machine.Netdev.t option
+val kernel : t -> int -> Rcoe_kernel.Kernel.t
+val primary : t -> int
+val live : t -> int list
+val now : t -> int
+val stats : t -> stats
+
+val run : ?stop:(t -> bool) -> t -> max_cycles:int -> unit
+(** Advance the simulation until the program finishes on every live
+    replica, the system halts, [max_cycles] elapse (counted from this
+    call), or [stop] returns true (checked every 128 cycles). *)
+
+val finished : t -> bool
+val halted : t -> halt_reason option
+
+val downgrades : t -> (int * int * int) list
+(** [(cycle, removed_rid, downgrade_cycles)] — most recent first. *)
+
+val request_reintegration : t -> rid:int -> (unit, string) result
+(** Extension (paper Section IV-C): schedule a previously removed
+    replica to be re-admitted at the end of the next synchronisation
+    round, by copying a healthy non-primary replica's full partition
+    (kernel and user state), rebasing its page table, and adopting its
+    execution state — upgrading DMR back to TMR without a reboot. *)
+
+val reintegrations : t -> (int * int) list
+(** [(cycle, rid)] re-admissions, most recent first. *)
+
+val events : t -> (int * event_kind) list
+(** Notable events with their cycle, most recent first. *)
+
+val output : t -> int -> string
+(** Replica [rid]'s console output. *)
+
+val replica_done : t -> int -> bool
+
+val tick_count : t -> int
+
+val set_after_save_hook :
+  t -> (rid:int -> tid:int -> ctx_addr:int -> unit) option -> unit
+(** Hook running after a preempted thread's context is saved — the
+    register fault injector's window. *)
+
+val sig_base : t -> int -> int
+(** Physical address of replica [rid]'s signature accumulator (for the
+    fault injector and tests). *)
+
+val replica_state_name : t -> int -> string
+(** Diagnostic: the replica's engine state plus the global phase. *)

@@ -1,0 +1,69 @@
+open Rcoe_machine
+open Rcoe_kernel
+
+type result =
+  | Faulty of int
+  | No_consensus
+
+let publish_signature mem (sh : Layout.shared) ~rid (count, c0, c1) =
+  let base = sh.Layout.cksum_base + (3 * rid) in
+  Mem.write mem base count;
+  Mem.write mem (base + 1) c0;
+  Mem.write mem (base + 2) c1
+
+let read_signature mem (sh : Layout.shared) ~rid =
+  let base = sh.Layout.cksum_base + (3 * rid) in
+  (Mem.read mem base, Mem.read mem (base + 1), Mem.read mem (base + 2))
+
+let signatures_agree mem sh ~live =
+  match live with
+  | [] | [ _ ] -> true
+  | first :: rest ->
+      let s0 = read_signature mem sh ~rid:first in
+      List.for_all (fun r -> Signature.equal3 s0 (read_signature mem sh ~rid:r)) rest
+
+let run mem (sh : Layout.shared) ~live =
+  let nlive = List.length live in
+  if nlive < 3 then invalid_arg "Vote.run: need at least 3 live replicas";
+  (* Stage 1 (paper lines 8-12): each replica counts the signatures that
+     agree with its own and publishes the count. *)
+  List.iter
+    (fun my ->
+      let mine = read_signature mem sh ~rid:my in
+      let agreeing =
+        List.fold_left
+          (fun n j ->
+            if Signature.equal3 (read_signature mem sh ~rid:j) mine then n + 1
+            else n)
+          0 live
+      in
+      Mem.write mem (sh.Layout.votes_base + my) agreeing)
+    live;
+  (* Stage 2 (lines 13-23): each replica nominates a faulty replica. *)
+  List.iter
+    (fun my ->
+      let least_vote = ref (nlive + 1) and fault = ref (nlive + 1) in
+      List.iter
+        (fun j ->
+          let v = Mem.read mem (sh.Layout.votes_base + j) in
+          if v < !least_vote then begin
+            least_vote := v;
+            fault := j
+          end)
+        live;
+      let my_votes = Mem.read mem (sh.Layout.votes_base + my) in
+      let nomination = if my_votes <> nlive - 1 then my else !fault in
+      Mem.write mem (sh.Layout.fault_base + my) nomination)
+    live;
+  (* Stage 3 (lines 24-28): cross-check nominations. *)
+  match live with
+  | [] -> No_consensus
+  | first :: _ ->
+      let nominated = Mem.read mem (sh.Layout.fault_base + first) in
+      let consensus =
+        List.for_all
+          (fun my -> Mem.read mem (sh.Layout.fault_base + my) = nominated)
+          live
+      in
+      if consensus && List.mem nominated live then Faulty nominated
+      else No_consensus

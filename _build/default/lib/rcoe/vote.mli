@@ -1,0 +1,41 @@
+(** The distributed faulty-replica voting algorithm (paper Listing 5).
+
+    Invoked when the published signatures differ. Every live replica
+    redundantly executes the algorithm against the signature words in
+    the shared region: it counts how many signatures agree with its own
+    ([ft_votes]), then nominates a faulty replica ([ft_fault_replica]) —
+    itself if its own vote count shows it is the odd one out, otherwise
+    the replica with the fewest agreements — and finally all replicas
+    cross-check their nominations. Stages are separated by barriers; a
+    disagreement between nominations (multiple faulty replicas, corrupted
+    checksums, or a fault during voting itself) yields
+    [No_consensus], upon which the system halts.
+
+    All reads and writes go through the shared-region words so that
+    faults injected *during* the voting window corrupt the vote itself,
+    as the paper notes is possible. Works for any number of live
+    replicas >= 3. *)
+
+type result =
+  | Faulty of int  (** Consensus on the diverging replica's id. *)
+  | No_consensus
+
+val run :
+  Rcoe_machine.Mem.t -> Rcoe_kernel.Layout.shared -> live:int list -> result
+(** [run mem shared ~live] executes the algorithm for every replica in
+    [live] (redundantly, as the paper does), using the signatures
+    previously published at [cksum_base] (3 words per replica) and
+    scratch arrays at [votes_base] / [fault_base].
+    Raises [Invalid_argument] if [live] has fewer than 3 replicas. *)
+
+val publish_signature :
+  Rcoe_machine.Mem.t -> Rcoe_kernel.Layout.shared -> rid:int ->
+  int * int * int -> unit
+(** Copy a replica's signature into the shared checksum array. *)
+
+val read_signature :
+  Rcoe_machine.Mem.t -> Rcoe_kernel.Layout.shared -> rid:int ->
+  int * int * int
+
+val signatures_agree :
+  Rcoe_machine.Mem.t -> Rcoe_kernel.Layout.shared -> live:int list -> bool

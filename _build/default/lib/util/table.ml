@@ -1,0 +1,46 @@
+type row = Cells of string list | Separator
+
+type t = { headers : string list; mutable rows : row list (* reversed *) }
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells > List.length t.headers then
+    invalid_arg "Table.add_row: more cells than headers";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad_left width s = String.make (max 0 (width - String.length s)) ' ' ^ s
+let pad_right width s = s ^ String.make (max 0 (width - String.length s)) ' '
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let observe cells =
+    List.iteri
+      (fun i c -> if i < ncols then widths.(i) <- max widths.(i) (String.length c))
+      cells
+  in
+  observe t.headers;
+  List.iter (function Cells c -> observe c | Separator -> ()) rows;
+  let render_cells cells =
+    let padded =
+      List.mapi
+        (fun i c ->
+          if i = 0 then pad_right widths.(i) c else pad_left widths.(i) c)
+        (cells @ List.init (ncols - List.length cells) (fun _ -> ""))
+    in
+    String.concat "  " padded
+  in
+  let sep =
+    String.concat "--"
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let body =
+    List.map (function Cells c -> render_cells c | Separator -> sep) rows
+  in
+  String.concat "\n" ((render_cells t.headers :: sep :: body) @ [ "" ])
+
+let print t = print_string (render t)

@@ -1,0 +1,19 @@
+(** Plain-text table rendering for the benchmark harness output.
+
+    Produces aligned, boxless tables so that `bench/main.exe` output can be
+    compared side-by-side with the paper's tables. *)
+
+type t
+
+val create : headers:string list -> t
+val add_row : t -> string list -> unit
+(** Rows may be shorter than the header row; missing cells render empty.
+    Raises [Invalid_argument] if a row is longer than the header row. *)
+
+val add_separator : t -> unit
+
+val render : t -> string
+(** Render with each column padded to its widest cell; first column
+    left-aligned, remaining columns right-aligned (numeric convention). *)
+
+val print : t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/datarace.ml: Asm Instr Rcoe_isa Rcoe_kernel Reg Wl

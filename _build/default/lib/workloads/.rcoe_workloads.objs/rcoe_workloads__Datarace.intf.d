@@ -1,0 +1,1 @@
+lib/workloads/datarace.mli: Rcoe_isa

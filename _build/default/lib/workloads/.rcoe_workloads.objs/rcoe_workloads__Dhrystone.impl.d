@@ -1,0 +1,1 @@
+lib/workloads/dhrystone.ml: Array Asm Instr Rcoe_isa Reg Wl

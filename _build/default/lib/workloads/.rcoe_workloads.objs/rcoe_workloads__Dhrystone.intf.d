@@ -1,0 +1,1 @@
+lib/workloads/dhrystone.mli: Rcoe_isa

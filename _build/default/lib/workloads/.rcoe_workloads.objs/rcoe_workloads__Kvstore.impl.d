@@ -1,0 +1,1 @@
+lib/workloads/kvstore.ml: Asm Instr Rcoe_isa Rcoe_kernel Rcoe_machine Reg Wl

@@ -1,0 +1,1 @@
+lib/workloads/md5sum.ml: Array Asm Char Instr Rcoe_checksum Rcoe_isa Rcoe_util Reg Rng String Wl

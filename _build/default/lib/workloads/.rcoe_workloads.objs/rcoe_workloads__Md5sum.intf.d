@@ -1,0 +1,1 @@
+lib/workloads/md5sum.mli: Rcoe_isa

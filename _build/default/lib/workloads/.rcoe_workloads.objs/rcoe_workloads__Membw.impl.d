@@ -1,0 +1,1 @@
+lib/workloads/membw.ml: Asm Instr Rcoe_isa Reg Wl

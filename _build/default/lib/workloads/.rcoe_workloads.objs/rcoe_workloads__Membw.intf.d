@@ -1,0 +1,1 @@
+lib/workloads/membw.mli: Rcoe_isa

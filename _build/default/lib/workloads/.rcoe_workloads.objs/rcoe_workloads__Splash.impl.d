@@ -1,0 +1,1 @@
+lib/workloads/splash.ml: Array Asm Instr Printf Rcoe_isa Rcoe_kernel Rcoe_util Reg Rng Wl

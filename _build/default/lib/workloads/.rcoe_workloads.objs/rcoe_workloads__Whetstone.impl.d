@@ -1,0 +1,1 @@
+lib/workloads/whetstone.ml: Asm Instr Rcoe_isa Reg Wl

@@ -1,0 +1,1 @@
+lib/workloads/whetstone.mli: Rcoe_isa

@@ -1,0 +1,1 @@
+lib/workloads/wl.ml: Asm Char Program Rcoe_isa Rcoe_kernel Rcoe_machine Reg

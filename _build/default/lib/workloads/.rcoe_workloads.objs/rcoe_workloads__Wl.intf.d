@@ -1,0 +1,1 @@
+lib/workloads/wl.mli: Asm Program Rcoe_isa Rcoe_machine

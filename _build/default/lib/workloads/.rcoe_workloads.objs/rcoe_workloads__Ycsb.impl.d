@@ -1,0 +1,1 @@
+lib/workloads/ycsb.ml: Array Hashtbl Kvstore Rcoe_checksum Rcoe_util Rng

@@ -1,0 +1,52 @@
+open Rcoe_isa
+open Reg
+
+let default_threads = 32
+let default_iters = 40
+
+let counter_label = "shared_counter"
+
+(* Worker: [iters] times { load counter; idle; bump register; store }.
+   The idle delay widens the race window, as in the paper's benchmark. *)
+let program ?(threads = default_threads) ?(iters = default_iters)
+    ?(locked = false) ~branch_count () =
+  let build worker_addr =
+    let a = Asm.create "datarace" in
+    Asm.space a counter_label 2;
+    Asm.label a "worker";
+    Asm.for_up a R7 ~start:0 ~stop:(Instr.Imm iters) (fun () ->
+        if locked then begin
+          (* Kernel-mediated atomic increment (the CC-safe idiom). *)
+          Asm.la a R0 counter_label;
+          Asm.movi a R1 1;
+          Asm.movi a R2 0;
+          Asm.movi a R3 0;
+          Asm.syscall a Rcoe_kernel.Syscall.sys_atomic
+        end
+        else begin
+          Asm.la a R4 counter_label;
+          Asm.ld a R5 R4 0;
+          (* Idle for a short interval with the value in a register. *)
+          Asm.for_up a R6 ~start:0 ~stop:(Instr.Imm 15) (fun () -> Asm.nop a);
+          Asm.addi a R5 R5 1;
+          Asm.st a R4 R5 0
+        end);
+    Wl.exit_thread a;
+    Asm.label a "main";
+    (* Spawn the workers, remembering the first tid. *)
+    Wl.spawn_label ~entry:worker_addr a ~arg:0;
+    Asm.mov a R10 R0;
+    for _ = 2 to threads do
+      Wl.spawn_label ~entry:worker_addr a ~arg:0
+    done;
+    (* Join all workers (tids are contiguous from the first). *)
+    Asm.mov a R11 R10;
+    Asm.addi a R12 R10 threads;
+    Asm.while_ a Instr.Lt R11 (Instr.Reg R12) (fun () ->
+        Asm.mov a R0 R11;
+        Asm.syscall a Rcoe_kernel.Syscall.sys_join;
+        Asm.addi a R11 R11 1);
+    Wl.exit_thread a;
+    Asm.assemble ~entry:"main" ~branch_count a
+  in
+  Wl.resolve_entry build ~label:"worker"

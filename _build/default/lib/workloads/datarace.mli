@@ -1,0 +1,24 @@
+(** The data-race tolerance microbenchmark (paper Section V-A1).
+
+    32 threads each repeatedly: read a shared counter into a register,
+    idle briefly, increment the register, write it back — with no lock,
+    so increments are lost nondeterministically depending on exactly
+    where preemptions land. Under LC-RCoE replicas preempt at the same
+    *event count* but different instructions, so replicas lose different
+    increments and their counters diverge (caught when the final counter
+    enters the signature). Under CC-RCoE preemptions land at identical
+    instructions, so all replicas compute the same (still "wrong"
+    relative to locking) value and never diverge.
+
+    The [locked] variant performs the increment through the kernel's
+    atomic-update syscall instead — the paper's prescribed replacement —
+    and is deterministic under both modes. *)
+
+val default_threads : int
+val default_iters : int
+
+val program :
+  ?threads:int -> ?iters:int -> ?locked:bool -> branch_count:bool -> unit ->
+  Rcoe_isa.Program.t
+
+val counter_label : string

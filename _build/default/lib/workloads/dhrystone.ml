@@ -1,0 +1,109 @@
+open Rcoe_isa
+open Reg
+
+let default_loops = 2_000
+
+let result_label = "dhry_result"
+
+(* Working set: two "records" (8 words each), a 40-word array, and two
+   30-word strings, as in Dhrystone's global data. *)
+let program ?(loops = default_loops) ~branch_count () =
+  let a = Asm.create "dhrystone" in
+  Asm.data a "rec1" (Array.make 8 0);
+  Asm.data a "rec2" (Array.make 8 0);
+  Asm.data a "arr1" (Array.init 40 (fun i -> i));
+  Asm.data a "str1" (Array.init 30 (fun i -> (i * 7) land 0xFF));
+  Asm.data a "str2" (Array.init 30 (fun i -> (i * 7) land 0xFF));
+  Asm.space a result_label 2;
+
+  (* proc1: copy rec1 -> rec2 and tweak fields (Dhrystone Proc_1). *)
+  Wl.func a "proc1" (fun () ->
+      Asm.la a R4 "rec1";
+      Asm.la a R5 "rec2";
+      for i = 0 to 7 do
+        Asm.ld a R6 R4 i;
+        Asm.st a R5 R6 i
+      done;
+      Asm.ld a R6 R5 2;
+      Asm.addi a R6 R6 5;
+      Asm.st a R5 R6 2);
+
+  (* proc2: integer identity chains (Proc_2/Func_1 flavour). *)
+  Wl.func a "proc2" (fun () ->
+      Asm.addi a R6 R0 10;
+      Asm.muli a R6 R6 3;
+      Asm.subi a R6 R6 7;
+      Asm.divi a R6 R6 2;
+      Asm.andi a R6 R6 0xFFFF;
+      Asm.mov a R0 R6);
+
+  Asm.label a "main";
+  Asm.movi a R10 0;
+  (* accumulator *)
+  Asm.movi a R11 0;
+  (* loop counter *)
+  let top = "dhry_top" and exit = "dhry_exit" in
+  Asm.label a top;
+  Asm.b a Instr.Ge R11 (Instr.Imm loops) exit;
+
+  (* Record manipulation via proc1. *)
+  Wl.call a "proc1";
+
+  (* Array writes/reads: arr1[i mod 40] and a dependent second index. *)
+  Asm.remi a R4 R11 40;
+  Asm.la a R5 "arr1";
+  Asm.add a R5 R5 R4;
+  Asm.ld a R6 R5 0;
+  Asm.add a R6 R6 R11;
+  Asm.st a R5 R6 0;
+  Asm.remi a R7 R6 37;
+  Asm.la a R5 "arr1";
+  Asm.remi a R7 R7 40;
+  Asm.add a R5 R5 R7;
+  Asm.ld a R8 R5 0;
+  Asm.add a R10 R10 R8;
+
+  (* String comparison, unrolled over 30 words (no inner loop: this is
+     what makes the Dhrystone body long and straight-line). *)
+  Asm.la a R4 "str1";
+  Asm.la a R5 "str2";
+  Asm.movi a R7 0;
+  for i = 0 to 29 do
+    Asm.ld a R6 R4 i;
+    Asm.ld a R8 R5 i;
+    Asm.sub a R6 R6 R8;
+    Asm.add a R7 R7 R6
+  done;
+  Asm.add a R10 R10 R7;
+
+  (* Conditional blocks exercising branches within the long body. *)
+  Asm.andi a R4 R11 1;
+  Asm.if_ a Instr.Eq R4 (Instr.Imm 0)
+    ~else_:(fun () ->
+      Asm.mov a R0 R11;
+      Wl.call a "proc2";
+      Asm.add a R10 R10 R0)
+    (fun () ->
+      Asm.muli a R6 R11 13;
+      Asm.remi a R6 R6 101;
+      Asm.add a R10 R10 R6);
+
+  (* More straight-line integer mixing (shift/logic chains). *)
+  Asm.shli a R6 R11 3;
+  Asm.xor a R6 R6 R10;
+  Asm.shri a R7 R10 2;
+  Asm.or_ a R6 R6 R7;
+  Asm.andi a R6 R6 0xFFFFF;
+  Asm.add a R10 R10 R6;
+
+  Asm.addi a R11 R11 1;
+  Asm.jmp a top;
+  Asm.label a exit;
+
+  (* Publish the result and finish. *)
+  Asm.la a R4 result_label;
+  Asm.st a R4 R10 0;
+  Asm.st a R4 R11 1;
+  Wl.add_trace a ~label:result_label ~words:2;
+  Wl.exit_thread a;
+  Asm.assemble ~entry:"main" ~branch_count a

@@ -1,0 +1,21 @@
+(** Dhrystone-like integer benchmark.
+
+    Mirrors what matters about Dhrystone 2.1 for the paper's evaluation
+    (Table II): CPU-bound integer code with a small working set that fits
+    in cache, no system calls in the hot path, and — crucially — a main
+    body that is *one long loop* (a few hundred instructions per
+    iteration). A synchronisation point is therefore rarely inside a
+    tight loop, which is why CC-RCoE's overhead on Dhrystone is only a
+    few percent while Whetstone's tight loops suffer ~20%.
+
+    Each iteration performs record assignments, array indexing, string
+    comparison over a small buffer, and two function calls, then the
+    program reports completion through [FT_Add_Trace] of its result block
+    and exits. *)
+
+val default_loops : int
+
+val program : ?loops:int -> branch_count:bool -> unit -> Rcoe_isa.Program.t
+
+val result_label : string
+(** Data block holding the final accumulator (for output checks). *)

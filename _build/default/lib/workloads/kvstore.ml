@@ -1,0 +1,326 @@
+open Rcoe_isa
+open Reg
+module L = Rcoe_kernel.Layout
+module Nd = Rcoe_machine.Netdev
+
+let vlen = 8
+let nbuckets = 256
+let node_words = 2 + vlen
+
+let req_magic = 0x5251
+let resp_magic = 0x5250
+
+let op_get = 0
+let op_put = 1
+let op_scan = 2
+
+let req_words_get = 4
+let req_words_put = 4 + vlen
+let req_words_scan = 5
+
+(* Offset of the TX staging area within the DMA region: the RX slots use
+   the first half (see Netdev). *)
+let tx_off dma_words = dma_words / 2
+
+let program ?(max_records = 8192) ?(net_dpn = 0) ~branch_count () =
+  let a = Asm.create "kvstore" in
+  Asm.space a "htab" nbuckets;
+  Asm.space a "nodes" (max_records * node_words);
+  Asm.space a "nfree" 1;
+  Asm.space a "rxbuf" Nd.slot_words;
+  Asm.space a "txbuf" Nd.slot_words;
+  Asm.space a "ftregs" 4;
+  Asm.data a "one" [| 1 |];
+  Asm.space a "txctl" 3;
+
+  let mmio r = L.va_mmio + r in
+  let txo = tx_off (16 * L.page_size) in
+
+  let sys = Asm.syscall a in
+  let get_info key =
+    Asm.movi a R0 key;
+    sys Rcoe_kernel.Syscall.sys_get_info
+  in
+
+  (* lookup: in R4 = key; out R6 = bucket, R7 = node address (0 if absent).
+     Clobbers R12, R15. *)
+  Wl.func a "kv_lookup" (fun () ->
+      Asm.remi a R6 R4 nbuckets;
+      Asm.la a R7 "htab";
+      Asm.add a R7 R7 R6;
+      Asm.ld a R7 R7 0;
+      Asm.label a "kvl_loop";
+      Asm.b a Instr.Eq R7 (Instr.Imm 0) "kvl_done";
+      Asm.la a R15 "nodes";
+      Asm.subi a R12 R7 1;
+      Asm.muli a R12 R12 node_words;
+      Asm.add a R15 R15 R12;
+      Asm.ld a R12 R15 0;
+      Asm.b a Instr.Eq R12 (Instr.Reg R4) "kvl_hit";
+      Asm.ld a R7 R15 1;
+      Asm.jmp a "kvl_loop";
+      Asm.label a "kvl_hit";
+      Asm.mov a R7 R15;
+      Asm.label a "kvl_done";
+      Asm.nop a);
+
+  (* process: rxbuf -> txbuf; out R5 = response length in words. *)
+  Wl.func a "kv_process" (fun () ->
+      Asm.la a R1 "rxbuf";
+      Asm.la a R2 "txbuf";
+      Asm.ld a R3 R1 2;
+      (* op *)
+      Asm.ld a R4 R1 3;
+      (* key *)
+      Asm.movi a R15 resp_magic;
+      Asm.st a R2 R15 0;
+      Asm.ld a R15 R1 1;
+      Asm.st a R2 R15 1;
+      (* seq *)
+      Asm.st a R2 R3 3;
+      (* op echo *)
+      Asm.movi a R5 4;
+      Asm.b a Instr.Eq R3 (Instr.Imm op_get) "kvp_get";
+      Asm.b a Instr.Eq R3 (Instr.Imm op_put) "kvp_put";
+      Asm.b a Instr.Eq R3 (Instr.Imm op_scan) "kvp_scan";
+      (* unknown op *)
+      Asm.movi a R15 3;
+      Asm.st a R2 R15 2;
+      Asm.jmp a "kvp_done";
+
+      (* ---- GET ---- *)
+      Asm.label a "kvp_get";
+      Wl.call a "kv_lookup";
+      Asm.b a Instr.Eq R7 (Instr.Imm 0) "kvp_get_miss";
+      Asm.movi a R15 0;
+      Asm.st a R2 R15 2;
+      for i = 0 to vlen - 1 do
+        Asm.ld a R15 R7 (2 + i);
+        Asm.st a R2 R15 (4 + i)
+      done;
+      Asm.movi a R5 (4 + vlen);
+      Asm.jmp a "kvp_done";
+      Asm.label a "kvp_get_miss";
+      Asm.movi a R15 1;
+      Asm.st a R2 R15 2;
+      Asm.jmp a "kvp_done";
+
+      (* ---- PUT ---- *)
+      Asm.label a "kvp_put";
+      Wl.call a "kv_lookup";
+      Asm.b a Instr.Ne R7 (Instr.Imm 0) "kvp_put_write";
+      (* allocate a node *)
+      Asm.la a R8 "nfree";
+      Asm.ld a R12 R8 0;
+      Asm.b a Instr.Lt R12 (Instr.Imm max_records) "kvp_put_alloc";
+      Asm.movi a R15 2;
+      (* table full *)
+      Asm.st a R2 R15 2;
+      Asm.jmp a "kvp_done";
+      Asm.label a "kvp_put_alloc";
+      Asm.addi a R15 R12 1;
+      Asm.st a R8 R15 0;
+      (* nfree++ *)
+      Asm.la a R7 "nodes";
+      Asm.muli a R15 R12 node_words;
+      Asm.add a R7 R7 R15;
+      Asm.st a R7 R4 0;
+      (* node.key = key *)
+      Asm.la a R15 "htab";
+      Asm.add a R15 R15 R6;
+      Asm.ld a R8 R15 0;
+      Asm.st a R7 R8 1;
+      (* node.next = old head *)
+      Asm.addi a R8 R12 1;
+      Asm.st a R15 R8 0;
+      (* head = idx+1 *)
+      Asm.label a "kvp_put_write";
+      for i = 0 to vlen - 1 do
+        Asm.ld a R15 R1 (4 + i);
+        Asm.st a R7 R15 (2 + i)
+      done;
+      Asm.movi a R15 0;
+      Asm.st a R2 R15 2;
+      Asm.jmp a "kvp_done";
+
+      (* ---- SCAN ---- *)
+      Asm.label a "kvp_scan";
+      Asm.ld a R8 R1 4;
+      (* requested count *)
+      Asm.if_ a Instr.Gt R8 (Instr.Imm 8) (fun () -> Asm.movi a R8 8);
+      Asm.remi a R12 R4 nbuckets;
+      (* bucket cursor *)
+      Asm.movi a R5 0;
+      (* collected *)
+      Asm.movi a R3 0;
+      (* buckets scanned *)
+      Asm.label a "kvp_scan_bucket";
+      Asm.b a Instr.Ge R5 (Instr.Reg R8) "kvp_scan_done";
+      Asm.b a Instr.Ge R3 (Instr.Imm nbuckets) "kvp_scan_done";
+      Asm.la a R7 "htab";
+      Asm.add a R7 R7 R12;
+      Asm.ld a R7 R7 0;
+      Asm.label a "kvp_scan_chain";
+      Asm.b a Instr.Eq R7 (Instr.Imm 0) "kvp_scan_next";
+      Asm.b a Instr.Ge R5 (Instr.Reg R8) "kvp_scan_done";
+      Asm.la a R15 "nodes";
+      Asm.subi a R7 R7 1;
+      Asm.muli a R7 R7 node_words;
+      Asm.add a R15 R15 R7;
+      Asm.ld a R7 R15 2;
+      (* value[0] *)
+      Asm.add a R0 R2 R5;
+      Asm.st a R0 R7 4;
+      Asm.addi a R5 R5 1;
+      Asm.ld a R7 R15 1;
+      (* next *)
+      Asm.jmp a "kvp_scan_chain";
+      Asm.label a "kvp_scan_next";
+      Asm.addi a R12 R12 1;
+      Asm.remi a R12 R12 nbuckets;
+      Asm.addi a R3 R3 1;
+      Asm.jmp a "kvp_scan_bucket";
+      Asm.label a "kvp_scan_done";
+      Asm.movi a R15 0;
+      Asm.st a R2 R15 2;
+      Asm.addi a R5 R5 4;
+      Asm.jmp a "kvp_done";
+
+      Asm.label a "kvp_done";
+      Asm.nop a);
+
+  (* ------------------------------------------------------------------ *)
+  Asm.label a "main";
+  get_info 3;
+  Asm.mov a R10 R0;
+  (* drv_mode: 0 direct, 1 kernel-mediated *)
+  get_info 0;
+  Asm.mov a R11 R0;
+  get_info 2;
+  Asm.sub a R11 R11 R0;
+  (* R11 = 0 iff this replica is the primary. Recomputed each packet in
+     case the primary changed after a downgrade. *)
+  Asm.label a "server_loop";
+  Asm.movi a R0 net_dpn;
+  sys Rcoe_kernel.Syscall.sys_wait_irq;
+
+  Asm.label a "drain_loop";
+  (* Refresh the primary check (error masking can re-elect). *)
+  get_info 0;
+  Asm.mov a R11 R0;
+  get_info 2;
+  Asm.sub a R11 R11 R0;
+
+  Asm.b a Instr.Eq R10 (Instr.Imm 1) "rx_cc";
+
+  (* ---- LC / base receive path: direct MMIO on the primary, user-mode
+     input replication through the shared buffer. ---- *)
+  Asm.b a Instr.Ne R11 (Instr.Imm 0) "rx_lc_wait";
+  Asm.movi a R4 (mmio Nd.reg_rx_count);
+  Asm.ld a R4 R4 0;
+  Asm.movi a R15 L.va_shared_in;
+  Asm.st a R15 R4 0;
+  Asm.b a Instr.Eq R4 (Instr.Imm 0) "rx_lc_wait";
+  Asm.movi a R6 (mmio Nd.reg_rx_addr);
+  Asm.ld a R6 R6 0;
+  Asm.movi a R7 (mmio Nd.reg_rx_len);
+  Asm.ld a R7 R7 0;
+  Asm.st a R15 R6 1;
+  Asm.st a R15 R7 2;
+  (* copy the packet out of the DMA ring into the shared buffer *)
+  Asm.movi a R0 (L.va_shared_in + 16);
+  Asm.movi a R1 L.va_dma;
+  Asm.add a R1 R1 R6;
+  Asm.mov a R2 R7;
+  Asm.emit a Instr.Rep_movs;
+  Asm.movi a R15 (mmio Nd.reg_rx_consume);
+  Asm.movi a R12 1;
+  Asm.st a R15 R12 0;
+  Asm.label a "rx_lc_wait";
+  sys Rcoe_kernel.Syscall.sys_input_wait;
+  Asm.movi a R15 L.va_shared_in;
+  Asm.ld a R4 R15 0;
+  Asm.b a Instr.Eq R4 (Instr.Imm 0) "server_loop";
+  Asm.ld a R5 R15 2;
+  (* packet length *)
+  Asm.la a R0 "rxbuf";
+  Asm.movi a R1 (L.va_shared_in + 16);
+  Asm.mov a R2 R5;
+  Asm.emit a Instr.Rep_movs;
+  Asm.jmp a "rx_done";
+
+  (* ---- CC receive path: every device access through the kernel. ---- *)
+  Asm.label a "rx_cc";
+  Asm.movi a R0 0;
+  Asm.movi a R1 (mmio Nd.reg_rx_count);
+  Asm.la a R2 "ftregs";
+  Asm.movi a R3 1;
+  sys Rcoe_kernel.Syscall.sys_ft_mem_access;
+  Asm.la a R15 "ftregs";
+  Asm.ld a R4 R15 0;
+  Asm.b a Instr.Eq R4 (Instr.Imm 0) "server_loop";
+  Asm.movi a R0 0;
+  Asm.movi a R1 (mmio Nd.reg_rx_addr);
+  Asm.la a R2 "ftregs";
+  Asm.addi a R2 R2 1;
+  Asm.movi a R3 2;
+  sys Rcoe_kernel.Syscall.sys_ft_mem_access;
+  Asm.la a R15 "ftregs";
+  Asm.ld a R6 R15 1;
+  (* rx offset *)
+  Asm.ld a R5 R15 2;
+  (* rx length *)
+  Asm.la a R0 "rxbuf";
+  Asm.mov a R1 R5;
+  Asm.mov a R2 R6;
+  sys Rcoe_kernel.Syscall.sys_ft_mem_rep;
+  Asm.movi a R0 1;
+  Asm.movi a R1 (mmio Nd.reg_rx_consume);
+  Asm.la a R2 "one";
+  Asm.movi a R3 1;
+  sys Rcoe_kernel.Syscall.sys_ft_mem_access;
+
+  Asm.label a "rx_done";
+  Wl.call a "kv_process";
+
+  (* Stage the response in the DMA TX area (real for the primary, shadow
+     frames elsewhere — identical instruction streams either way). *)
+  Asm.movi a R0 (L.va_dma + txo);
+  Asm.la a R1 "txbuf";
+  Asm.mov a R2 R5;
+  Asm.emit a Instr.Rep_movs;
+
+  (* Output voting: the response enters the signature before the
+     doorbell (Section III-C / V-C1). *)
+  Asm.la a R0 "txbuf";
+  Asm.mov a R1 R5;
+  sys Rcoe_kernel.Syscall.sys_ft_add_trace;
+
+  Asm.b a Instr.Eq R10 (Instr.Imm 1) "tx_cc";
+  (* LC/base transmit: direct register writes (aliased away from the
+     device on non-primary replicas). *)
+  Asm.movi a R15 (mmio Nd.reg_tx_addr);
+  Asm.movi a R12 txo;
+  Asm.st a R15 R12 0;
+  Asm.movi a R15 (mmio Nd.reg_tx_len);
+  Asm.st a R15 R5 0;
+  Asm.movi a R15 (mmio Nd.reg_tx_doorbell);
+  Asm.movi a R12 1;
+  Asm.st a R15 R12 0;
+  Asm.jmp a "drain_loop";
+
+  Asm.label a "tx_cc";
+  Asm.la a R15 "txctl";
+  Asm.movi a R12 txo;
+  Asm.st a R15 R12 0;
+  Asm.st a R15 R5 1;
+  Asm.movi a R12 1;
+  Asm.st a R15 R12 2;
+  Asm.movi a R0 1;
+  Asm.movi a R1 (mmio Nd.reg_tx_addr);
+  Asm.la a R2 "txctl";
+  Asm.movi a R3 3;
+  sys Rcoe_kernel.Syscall.sys_ft_mem_access;
+  Asm.jmp a "drain_loop";
+
+  Asm.assemble ~entry:"main" ~branch_count a

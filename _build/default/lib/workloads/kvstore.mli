@@ -1,0 +1,48 @@
+(** In-memory key-value server (the paper's Redis counterpart).
+
+    A single-threaded, event-driven server — deliberately matching the
+    paper's choice of Redis as "implemented in ANSI C … single-threaded,
+    event-driven … saves us from analysing source code for data races" —
+    fused with its network driver, running over the simulated NIC:
+
+    - requests arrive as packets in the NIC's DMA ring (outside the
+      sphere of replication),
+    - input replication is mode-dependent, as in Section III-E: under
+      LC the primary's driver copies packets to the cross-replica shared
+      buffer in user mode and the replicas rendezvous on
+      [Sys_input_wait]; under CC the identical-instruction-stream
+      requirement forces every device register access through
+      [FT_Mem_Access] and every DMA buffer through [FT_Mem_Rep],
+    - every outgoing response is contributed to the state signature with
+      [FT_Add_Trace] before the doorbell rings (the paper's output
+      voting; disabled by the LC-*-N configurations of Table VII),
+    - the store itself is a chained hash table in replicated memory.
+
+    Operations: GET, PUT (fixed-width values), and a small SCAN
+    (YCSB-E). The server loops forever; the harness stops the clock. *)
+
+val vlen : int
+(** Value width in words (8). *)
+
+val nbuckets : int
+
+val req_magic : int
+val resp_magic : int
+
+val op_get : int
+val op_put : int
+val op_scan : int
+
+(* Request layout: [magic; seq; op; key; ...]. PUT carries [vlen] value
+   words at index 4; SCAN carries the scan length at index 4.
+   Response layout: [magic; seq; status; op; payload...]. *)
+
+val req_words_get : int
+val req_words_put : int
+val req_words_scan : int
+
+val program :
+  ?max_records:int -> ?net_dpn:int -> branch_count:bool -> unit ->
+  Rcoe_isa.Program.t
+(** [max_records] bounds the node pool (default 8192). [net_dpn] is the
+    network device's page id (default 0). *)

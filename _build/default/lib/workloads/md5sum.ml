@@ -1,0 +1,211 @@
+open Rcoe_isa
+open Reg
+open Rcoe_util
+
+let default_message_words = 128
+let default_iters = 8
+
+let digest_label = "md5_digest"
+
+let mask32 = 0xFFFFFFFF
+
+let message ~message_words ~seed =
+  let rng = Rng.create (seed lxor 0x5D5) in
+  Array.init message_words (fun _ -> Rng.next rng land mask32)
+
+(* MD5 padding for a message of whole 32-bit words: 0x80 byte, zeros, and
+   the 64-bit bit length, rounded to 16-word blocks. *)
+let padded msg =
+  let n = Array.length msg in
+  let bitlen = n * 32 in
+  let total = (n + 3) / 16 * 16 + (if (n + 3) mod 16 = 0 then 0 else 16) in
+  let total = if total < n + 3 then total + 16 else total in
+  let out = Array.make total 0 in
+  Array.blit msg 0 out 0 n;
+  out.(n) <- 0x80;
+  out.(total - 2) <- bitlen land mask32;
+  out.(total - 1) <- (bitlen lsr 32) land mask32;
+  out
+
+let expected_digest ~message_words ~seed =
+  let msg = message ~message_words ~seed in
+  let d = Rcoe_checksum.Md5.words msg in
+  Array.init 4 (fun i ->
+      let byte j = Char.code d.[(i * 4) + j] in
+      byte 0 lor (byte 1 lsl 8) lor (byte 2 lsl 16) lor (byte 3 lsl 24))
+
+let program ?(message_words = default_message_words) ?(iters = default_iters)
+    ?(seed = 7) ~branch_count () =
+  if message_words <= 0 then invalid_arg "Md5sum.program: empty message";
+  let msg = message ~message_words ~seed in
+  let blocks = padded msg in
+  let nblocks = Array.length blocks / 16 in
+  let a = Asm.create "md5sum" in
+  Asm.data a "msg" blocks;
+  Asm.data a "k_table" Rcoe_checksum.Md5.k;
+  Asm.data a "s_table" Rcoe_checksum.Md5.s;
+  Asm.data a "expected" (expected_digest ~message_words ~seed);
+  Asm.space a digest_label 4;
+  Asm.space a "state" 4;
+  Asm.space a "iter_cell" 1;
+
+  (* Register plan inside the round loops:
+     r4-r7 = a,b,c,d; r8 = round index i; r10 = k_table; r11 = s_table;
+     r12 = current block base; r1-r3, r15 = scratch. r13 sp, r14 lr. *)
+  let load_abcd () =
+    Asm.la a R1 "state";
+    Asm.ld a R4 R1 0;
+    Asm.ld a R5 R1 1;
+    Asm.ld a R6 R1 2;
+    Asm.ld a R7 R1 3
+  in
+
+  (* Shared round tail with f (r2) and g (r3) already computed:
+     f += a + k[i] + m[g]; then tmp_d = d; d = c; c = b;
+     b = b + rotl32(f, s[i]); a = tmp_d. *)
+  let round_tail () =
+    Asm.add a R2 R2 R4;
+    Asm.add a R15 R10 R8;
+    Asm.ld a R15 R15 0;
+    Asm.add a R2 R2 R15;
+    Asm.add a R3 R3 R12;
+    Asm.ld a R15 R3 0;
+    Asm.add a R2 R2 R15;
+    Asm.andi a R2 R2 mask32;
+    Asm.add a R15 R11 R8;
+    Asm.ld a R15 R15 0;
+    Asm.shl a R3 R2 R15;
+    Asm.andi a R3 R3 mask32;
+    Asm.movi a R1 32;
+    Asm.sub a R1 R1 R15;
+    Asm.shr a R2 R2 R1;
+    Asm.or_ a R2 R2 R3;
+    (* r2 = rotl32(f, s) *)
+    Asm.mov a R1 R7;
+    (* r1 = old d *)
+    Asm.mov a R7 R6;
+    (* d = c *)
+    Asm.mov a R6 R5;
+    (* c = b *)
+    Asm.add a R5 R5 R2;
+    Asm.andi a R5 R5 mask32;
+    (* b = old b + rot: note c already holds old b, and R5 still held old
+       b before the add, so this is correct. *)
+    Asm.mov a R4 R1
+    (* a = old d *)
+  in
+
+  Asm.label a "main";
+  Asm.la a R10 "k_table";
+  Asm.la a R11 "s_table";
+  (* The iteration counter lives in memory: every register except the
+     reserved branch counter is needed inside the rounds. *)
+  Asm.la a R1 "iter_cell";
+  Asm.movi a R2 0;
+  Asm.st a R1 R2 0;
+  Asm.label a "iter_top";
+  Asm.la a R1 "iter_cell";
+  Asm.ld a R2 R1 0;
+  Asm.b a Instr.Ge R2 (Instr.Imm iters) "iter_exit";
+  (fun () ->
+      (* Initialise the chaining state. *)
+      Asm.la a R1 "state";
+      Asm.movi a R2 0x67452301;
+      Asm.st a R1 R2 0;
+      Asm.movi a R2 0xEFCDAB89;
+      Asm.st a R1 R2 1;
+      Asm.movi a R2 0x98BADCFE;
+      Asm.st a R1 R2 2;
+      Asm.movi a R2 0x10325476;
+      Asm.st a R1 R2 3;
+      (* Block loop: r12 walks the message. *)
+      Asm.la a R12 "msg";
+      Asm.for_up a R0 ~start:0 ~stop:(Instr.Imm nblocks) (fun () ->
+          Asm.push a R0;
+          load_abcd ();
+          (* Round 1: f = (b & c) | (~b & d); g = i. *)
+          Asm.for_up a R8 ~start:0 ~stop:(Instr.Imm 16) (fun () ->
+              Asm.and_ a R2 R5 R6;
+              Asm.not_ a R3 R5;
+              Asm.and_ a R3 R3 R7;
+              Asm.or_ a R2 R2 R3;
+              Asm.andi a R2 R2 mask32;
+              Asm.mov a R3 R8;
+              round_tail ());
+          (* Round 2: f = (d & b) | (~d & c); g = (5i+1) mod 16. *)
+          Asm.for_up a R8 ~start:16 ~stop:(Instr.Imm 32) (fun () ->
+              Asm.and_ a R2 R7 R5;
+              Asm.not_ a R3 R7;
+              Asm.and_ a R3 R3 R6;
+              Asm.or_ a R2 R2 R3;
+              Asm.andi a R2 R2 mask32;
+              Asm.muli a R3 R8 5;
+              Asm.addi a R3 R3 1;
+              Asm.remi a R3 R3 16;
+              round_tail ());
+          (* Round 3: f = b ^ c ^ d; g = (3i+5) mod 16. *)
+          Asm.for_up a R8 ~start:32 ~stop:(Instr.Imm 48) (fun () ->
+              Asm.xor a R2 R5 R6;
+              Asm.xor a R2 R2 R7;
+              Asm.andi a R2 R2 mask32;
+              Asm.muli a R3 R8 3;
+              Asm.addi a R3 R3 5;
+              Asm.remi a R3 R3 16;
+              round_tail ());
+          (* Round 4: f = c ^ (b | ~d); g = 7i mod 16. *)
+          Asm.for_up a R8 ~start:48 ~stop:(Instr.Imm 64) (fun () ->
+              Asm.not_ a R3 R7;
+              Asm.andi a R3 R3 mask32;
+              Asm.or_ a R3 R5 R3;
+              Asm.xor a R2 R6 R3;
+              Asm.andi a R2 R2 mask32;
+              Asm.muli a R3 R8 7;
+              Asm.remi a R3 R3 16;
+              round_tail ());
+          (* state += (a,b,c,d), mod 2^32. *)
+          Asm.la a R1 "state";
+          Asm.ld a R2 R1 0;
+          Asm.add a R2 R2 R4;
+          Asm.andi a R2 R2 mask32;
+          Asm.st a R1 R2 0;
+          Asm.ld a R2 R1 1;
+          Asm.add a R2 R2 R5;
+          Asm.andi a R2 R2 mask32;
+          Asm.st a R1 R2 1;
+          Asm.ld a R2 R1 2;
+          Asm.add a R2 R2 R6;
+          Asm.andi a R2 R2 mask32;
+          Asm.st a R1 R2 2;
+          Asm.ld a R2 R1 3;
+          Asm.add a R2 R2 R7;
+          Asm.andi a R2 R2 mask32;
+          Asm.st a R1 R2 3;
+          Asm.pop a R0;
+          Asm.addi a R12 R12 16);
+      (* Copy the digest out and compare with the expected value. *)
+      Asm.la a R1 "state";
+      Asm.la a R2 digest_label;
+      Asm.la a R3 "expected";
+      Asm.movi a R8 0;
+      (* mismatch flag *)
+      for i = 0 to 3 do
+        Asm.ld a R4 R1 i;
+        Asm.st a R2 R4 i;
+        Asm.ld a R5 R3 i;
+        Asm.sub a R4 R4 R5;
+        Asm.or_ a R8 R8 R4
+      done;
+      (* The digest is critical output: publish it to the signature
+         (and vote) BEFORE it can escape through the console. *)
+      Wl.add_trace a ~label:digest_label ~words:4;
+      Asm.if_ a Instr.Eq R8 (Instr.Imm 0)
+        ~else_:(fun () -> Wl.putchar a 'X')
+        (fun () -> Wl.putchar a '.')) ();
+  Asm.la a R1 "iter_cell";
+  Asm.ld a R2 R1 0;
+  Asm.addi a R2 R2 1;
+  Asm.st a R1 R2 0;
+  Asm.jmp a "iter_top";
+  Asm.label a "iter_exit";
+  Wl.exit_thread a;
+  Asm.assemble ~entry:"main" ~branch_count a

@@ -1,0 +1,28 @@
+(** md5sum on the simulated ISA (paper Section V-C2, Table VIII).
+
+    Computes real RFC 1321 MD5 over a pseudorandom message, in a loop,
+    comparing each digest against the known-good value embedded in the
+    data segment; an iteration prints ['.'] on a match and ['X'] on a
+    mismatch (silent data corruption). The register fault-injection
+    experiment flips bits in the primary's saved user context while this
+    runs: on the base system corruptions escape as ['X'] outputs or
+    crashes; under CC-RCoE DMR every corruption is caught by signature
+    voting or a timeout before any output escapes.
+
+    The message is host-generated from [seed] and already MD5-padded, so
+    the digest equals {!Rcoe_checksum.Md5.words} of the unpadded
+    message. *)
+
+val default_message_words : int
+val default_iters : int
+
+val program :
+  ?message_words:int -> ?iters:int -> ?seed:int -> branch_count:bool ->
+  unit -> Rcoe_isa.Program.t
+(** [message_words] must be positive; it is the unpadded length. *)
+
+val digest_label : string
+(** Data block receiving the computed digest each iteration (4 words). *)
+
+val expected_digest : message_words:int -> seed:int -> int array
+(** The correct digest as four 32-bit words (a, b, c, d). *)

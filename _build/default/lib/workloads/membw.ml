@@ -1,0 +1,26 @@
+open Rcoe_isa
+open Reg
+
+let default_buffer_words = 16 * 1024
+let default_reps = 4
+
+let words_copied ~buffer_words ~reps = buffer_words * reps
+
+let program ?(buffer_words = default_buffer_words) ?(reps = default_reps)
+    ~branch_count () =
+  let a = Asm.create "membw" in
+  Asm.space a "src" buffer_words;
+  Asm.space a "dst" buffer_words;
+  Asm.space a "stamp" 1;
+  Asm.label a "main";
+  Asm.for_up a R4 ~start:0 ~stop:(Instr.Imm reps) (fun () ->
+      Asm.la a R0 "dst";
+      Asm.la a R1 "src";
+      Asm.movi a R2 buffer_words;
+      Asm.emit a Instr.Rep_movs);
+  Asm.la a R5 "stamp";
+  Asm.movi a R6 1;
+  Asm.st a R5 R6 0;
+  Wl.add_trace a ~label:"stamp" ~words:1;
+  Wl.exit_thread a;
+  Asm.assemble ~entry:"main" ~branch_count a

@@ -1,0 +1,19 @@
+(** Memory-bandwidth stress benchmark (paper Table V).
+
+    [memcpy()] between two page-aligned buffers, repeated [reps] times
+    per run, implemented with the rep-string instruction so each word
+    moved costs two bus transfers. Replicas executing this concurrently
+    contend on the shared memory bus: on the x86 profile one core already
+    saturates the bus, so DMR sees ~50% and TMR ~33% of baseline copy
+    throughput; the Arm profile's single core cannot saturate it, so the
+    loss is milder. The program publishes a completion stamp and exits;
+    throughput = words copied / elapsed cycles. *)
+
+val default_buffer_words : int
+val default_reps : int
+
+val program :
+  ?buffer_words:int -> ?reps:int -> branch_count:bool -> unit ->
+  Rcoe_isa.Program.t
+
+val words_copied : buffer_words:int -> reps:int -> int

@@ -1,0 +1,731 @@
+open Rcoe_isa
+open Reg
+
+let result_label = "splash_result"
+
+let names =
+  [
+    "barnes"; "cholesky"; "fft"; "fmm"; "lu-c"; "lu-nc"; "ocean-c";
+    "ocean-nc"; "radiosity"; "radix"; "raytrace"; "volrend"; "water-ns";
+    "water-s";
+  ]
+
+let falu op fd fa fb a = Asm.emit a (Instr.Falu (op, fd, fa, fb))
+let fld fd rs off a = Asm.emit a (Instr.Fld (fd, rs, off))
+let fst_ fs rd off a = Asm.emit a (Instr.Fst (fs, rd, off))
+let fldi fd x a = Asm.emit a (Instr.Fldi (fd, x))
+let itof fd rs a = Asm.emit a (Instr.Itof (fd, rs))
+let fsqrt fd fs a = Asm.emit a (Instr.Funop (Instr.Fsqrt, fd, fs))
+
+(* Common prologue/epilogue: each kernel body runs between them. *)
+let wrap name ~branch_count build =
+  let a = Asm.create name in
+  Asm.space a result_label 4;
+  Asm.label a "main";
+  build a;
+  Wl.add_trace a ~label:result_label ~words:4;
+  Wl.exit_thread a;
+  Asm.assemble ~entry:"main" ~branch_count a
+
+let store_result a =
+  Asm.la a R1 result_label;
+  Asm.st a R1 R10 0;
+  Asm.emit a (Instr.Fst (F0, R1, 1))
+
+(* Parallelizable kernels iterate their outer index in r4 over the range
+   [r10, r11); the single-threaded wrapper sets the full range, the
+   NPROC=2 wrapper gives each worker half (as SPLASH-2 partitions by
+   index). Bodies must preserve r10/r11. *)
+let ranged_loop a body =
+  Asm.mov a R4 R10;
+  Asm.while_ a Instr.Lt R4 (Instr.Reg R11) (fun () ->
+      body ();
+      Asm.addi a R4 R4 1)
+
+(* NPROC=2 wrapper: main spawns two workers over the halves of [0, total)
+   and joins them; the tail (reduction + result publication) runs in main
+   once both halves are done. *)
+let wrap_mt name ~branch_count ~total body tail =
+  let build worker_addr =
+    let a = Asm.create (name ^ "-np2") in
+    Asm.space a result_label 4;
+    Asm.label a "worker";
+    (* r0 = worker index; compute this worker's range. *)
+    Asm.muli a R10 R0 (total / 2);
+    Asm.movi a R11 (total / 2);
+    Asm.if_ a Instr.Eq R0 (Instr.Imm 1) (fun () -> Asm.movi a R11 total);
+    body a;
+    Wl.exit_thread a;
+    Asm.label a "main";
+    Wl.spawn_label ~entry:worker_addr a ~arg:0;
+    Asm.mov a R4 R0;
+    Wl.spawn_label ~entry:worker_addr a ~arg:1;
+    Asm.mov a R5 R0;
+    Asm.mov a R0 R4;
+    Asm.syscall a Rcoe_kernel.Syscall.sys_join;
+    Asm.mov a R0 R5;
+    Asm.syscall a Rcoe_kernel.Syscall.sys_join;
+    tail a;
+    Wl.add_trace a ~label:result_label ~words:4;
+    Wl.exit_thread a;
+    Asm.assemble ~entry:"main" ~branch_count a
+  in
+  Wl.resolve_entry build ~label:"worker"
+
+let wrap_ranged name ~branch_count ~total body tail =
+  let a = Asm.create name in
+  Asm.space a result_label 4;
+  Asm.label a "main";
+  Asm.movi a R10 0;
+  Asm.movi a R11 total;
+  body a;
+  tail a;
+  Wl.add_trace a ~label:result_label ~words:4;
+  Wl.exit_thread a;
+  Asm.assemble ~entry:"main" ~branch_count a
+
+(* BARNES: O(n^2) gravitational force accumulation over [n] bodies.
+   Moderate inner body (~25 FP ops). *)
+let barnes_n ~scale = 16 + (4 * scale)
+
+let barnes_body ~scale a =
+  let n = barnes_n ~scale in
+  Asm.data_floats a "pos"
+    (Array.init (3 * n) (fun i -> float_of_int ((i * 37 mod 97) + 1) /. 13.0));
+  Asm.space a "acc" (3 * n);
+  fldi F7 0.05 a;
+  (* softening; each worker owns acc[i] for its own i: race-free *)
+  ranged_loop a (fun () ->
+      Asm.for_up a R5 ~start:0 ~stop:(Instr.Imm n) (fun () ->
+          Asm.if_ a Instr.Eq R4 (Instr.Reg R5) (fun () -> Asm.nop a)
+            ~else_:(fun () ->
+              Asm.la a R6 "pos";
+              Asm.muli a R7 R4 3;
+              Asm.add a R6 R6 R7;
+              Asm.la a R7 "pos";
+              Asm.muli a R8 R5 3;
+              Asm.add a R7 R7 R8;
+              (* dx,dy,dz *)
+              fld F0 R6 0 a; fld F1 R7 0 a; falu Instr.Fsub F0 F1 F0 a;
+              fld F1 R6 1 a; fld F2 R7 1 a; falu Instr.Fsub F1 F2 F1 a;
+              fld F2 R6 2 a; fld F3 R7 2 a; falu Instr.Fsub F2 F3 F2 a;
+              (* r2 = dx^2+dy^2+dz^2 + eps *)
+              falu Instr.Fmul F3 F0 F0 a;
+              falu Instr.Fmul F4 F1 F1 a;
+              falu Instr.Fadd F3 F3 F4 a;
+              falu Instr.Fmul F4 F2 F2 a;
+              falu Instr.Fadd F3 F3 F4 a;
+              falu Instr.Fadd F3 F3 F7 a;
+              fsqrt F4 F3 a;
+              falu Instr.Fmul F4 F4 F3 a;
+              (* inv = 1/r^3 *)
+              fldi F5 1.0 a;
+              falu Instr.Fdiv F4 F5 F4 a;
+              (* acc[i] += d * inv *)
+              Asm.la a R8 "acc";
+              Asm.muli a R12 R4 3;
+              Asm.add a R8 R8 R12;
+              fld F5 R8 0 a; falu Instr.Fmul F6 F0 F4 a;
+              falu Instr.Fadd F5 F5 F6 a; fst_ F5 R8 0 a;
+              fld F5 R8 1 a; falu Instr.Fmul F6 F1 F4 a;
+              falu Instr.Fadd F5 F5 F6 a; fst_ F5 R8 1 a;
+              fld F5 R8 2 a; falu Instr.Fmul F6 F2 F4 a;
+              falu Instr.Fadd F5 F5 F6 a; fst_ F5 R8 2 a)))
+
+let barnes_tail ~scale a =
+  Asm.la a R1 "acc";
+  fld F0 R1 0 a;
+  Asm.movi a R10 (barnes_n ~scale);
+  store_result a
+
+(* CHOLESKY: in-place factorization of an SPD matrix; the column-update
+   inner loop is extremely tight (the paper's 12x case). *)
+let cholesky ~scale a =
+  let n = 20 + (4 * scale) in
+  Asm.data_floats a "mat"
+    (Array.init (n * n) (fun idx ->
+         let i = idx / n and j = idx mod n in
+         if i = j then float_of_int (n + 1) else 1.0 /. float_of_int (1 + abs (i - j))));
+  Asm.for_up a R4 ~start:0 ~stop:(Instr.Imm n) (fun () ->
+      (* d = sqrt(mat[k][k]) ; row scale ; trailing update *)
+      Asm.la a R5 "mat";
+      Asm.muli a R6 R4 n;
+      Asm.add a R5 R5 R6;
+      Asm.add a R5 R5 R4;
+      (* &mat[k][k] *)
+      fld F0 R5 0 a;
+      fsqrt F0 F0 a;
+      fst_ F0 R5 0 a;
+      (* scale column k below the diagonal: tight loop, 5 instrs *)
+      Asm.addi a R6 R4 1;
+      Asm.while_ a Instr.Lt R6 (Instr.Imm n) (fun () ->
+          Asm.la a R7 "mat";
+          Asm.muli a R8 R6 n;
+          Asm.add a R7 R7 R8;
+          Asm.add a R7 R7 R4;
+          fld F1 R7 0 a;
+          falu Instr.Fdiv F1 F1 F0 a;
+          fst_ F1 R7 0 a;
+          Asm.addi a R6 R6 1);
+      (* trailing submatrix update: pointer-walking, very tight inner
+         loop — the shape that makes CHOLESKY the paper's worst case. *)
+      Asm.addi a R6 R4 1;
+      Asm.while_ a Instr.Lt R6 (Instr.Imm n) (fun () ->
+          Asm.la a R7 "mat";
+          Asm.muli a R8 R6 n;
+          Asm.add a R7 R7 R8;
+          (* row j base *)
+          Asm.add a R11 R7 R4;
+          fld F2 R11 0 a;
+          (* L[j][k] *)
+          (* r12 walks &mat[i'][k] by n; r15 walks &mat[j][i'] by 1 *)
+          Asm.la a R12 "mat";
+          Asm.muli a R15 R4 n;
+          Asm.add a R12 R12 R15;
+          Asm.add a R12 R12 R4;
+          Asm.addi a R12 R12 n;
+          Asm.add a R15 R7 R4;
+          Asm.addi a R15 R15 1;
+          Asm.addi a R5 R4 1;
+          Asm.while_ a Instr.Le R5 (Instr.Reg R6) (fun () ->
+              fld F3 R12 0 a;
+              fld F4 R15 0 a;
+              falu Instr.Fmul F5 F2 F3 a;
+              falu Instr.Fsub F4 F4 F5 a;
+              fst_ F4 R15 0 a;
+              Asm.addi a R12 R12 n;
+              Asm.addi a R15 R15 1;
+              Asm.addi a R5 R5 1);
+          Asm.addi a R6 R6 1));
+  Asm.la a R1 "mat";
+  fld F0 R1 0 a;
+  Asm.movi a R10 n;
+  store_result a
+
+(* FFT: iterative radix-2 butterfly over 2^m complex points (tightish). *)
+let fft ~scale a =
+  let m = 7 + min scale 3 in
+  let n = 1 lsl m in
+  Asm.data_floats a "re"
+    (Array.init n (fun i -> float_of_int (i mod 17) /. 7.0));
+  Asm.data_floats a "im" (Array.make n 0.0);
+  (* Stages: butterflies with unit twiddles (decimation skeleton). *)
+  Asm.movi a R4 1;
+  (* half = 1,2,4,... *)
+  Asm.while_ a Instr.Lt R4 (Instr.Imm n) (fun () ->
+      Asm.movi a R5 0;
+      (* group base *)
+      Asm.while_ a Instr.Lt R5 (Instr.Imm n) (fun () ->
+          Asm.movi a R6 0;
+          Asm.while_ a Instr.Lt R6 (Instr.Reg R4) (fun () ->
+              Asm.add a R7 R5 R6;
+              (* i *)
+              Asm.add a R8 R7 R4;
+              (* j = i + half *)
+              Asm.la a R11 "re";
+              Asm.add a R12 R11 R7;
+              Asm.add a R11 R11 R8;
+              fld F0 R12 0 a;
+              fld F1 R11 0 a;
+              falu Instr.Fadd F2 F0 F1 a;
+              falu Instr.Fsub F3 F0 F1 a;
+              fst_ F2 R12 0 a;
+              fst_ F3 R11 0 a;
+              Asm.la a R11 "im";
+              Asm.add a R12 R11 R7;
+              Asm.add a R11 R11 R8;
+              fld F0 R12 0 a;
+              fld F1 R11 0 a;
+              falu Instr.Fadd F2 F0 F1 a;
+              falu Instr.Fsub F3 F0 F1 a;
+              fst_ F2 R12 0 a;
+              fst_ F3 R11 0 a;
+              Asm.addi a R6 R6 1);
+          Asm.shli a R7 R4 1;
+          Asm.add a R5 R5 R7);
+      Asm.shli a R4 R4 1);
+  Asm.la a R1 "re";
+  fld F0 R1 0 a;
+  Asm.movi a R10 n;
+  store_result a
+
+(* FMM: two-phase far/near field approximation (moderate loops). *)
+let fmm ~scale a =
+  let n = 24 + (8 * scale) and cells = 8 in
+  Asm.data_floats a "q" (Array.init n (fun i -> float_of_int ((i mod 5) + 1)));
+  Asm.space a "moment" cells;
+  Asm.space a "phi" n;
+  (* Upward pass: accumulate cell moments. *)
+  Asm.for_up a R4 ~start:0 ~stop:(Instr.Imm n) (fun () ->
+      Asm.remi a R5 R4 cells;
+      Asm.la a R6 "moment";
+      Asm.add a R6 R6 R5;
+      Asm.la a R7 "q";
+      Asm.add a R7 R7 R4;
+      fld F0 R6 0 a;
+      fld F1 R7 0 a;
+      falu Instr.Fadd F0 F0 F1 a;
+      fst_ F0 R6 0 a);
+  (* Downward: each particle gets far-field from all cells + near-field
+     from its own cell neighbours; repeated over several time steps. *)
+  Asm.for_up a R11 ~start:0 ~stop:(Instr.Imm (4 + (2 * scale))) (fun () ->
+  Asm.for_up a R4 ~start:0 ~stop:(Instr.Imm n) (fun () ->
+      fldi F2 0.0 a;
+      Asm.for_up a R5 ~start:0 ~stop:(Instr.Imm cells) (fun () ->
+          Asm.la a R6 "moment";
+          Asm.add a R6 R6 R5;
+          fld F0 R6 0 a;
+          Asm.sub a R7 R4 R5;
+          Asm.mul a R7 R7 R7;
+          Asm.addi a R7 R7 3;
+          itof F1 R7 a;
+          falu Instr.Fdiv F0 F0 F1 a;
+          falu Instr.Fadd F2 F2 F0 a);
+      Asm.la a R6 "phi";
+      Asm.add a R6 R6 R4;
+      fst_ F2 R6 0 a));
+  Asm.la a R1 "phi";
+  fld F0 R1 0 a;
+  Asm.movi a R10 n;
+  store_result a
+
+(* LU: dense factorization; contiguous variant walks rows, the
+   non-contiguous one walks columns (strided loads). Both very tight. *)
+let lu ~contiguous ~scale a =
+  let n = 22 + (4 * scale) in
+  Asm.data_floats a "mat"
+    (Array.init (n * n) (fun idx ->
+         let i = idx / n and j = idx mod n in
+         if i = j then float_of_int (2 * n) else 1.0 /. float_of_int (1 + ((i + j) mod 7))));
+  Asm.for_up a R4 ~start:0 ~stop:(Instr.Imm (n - 1)) (fun () ->
+      Asm.addi a R5 R4 1;
+      Asm.while_ a Instr.Lt R5 (Instr.Imm n) (fun () ->
+          (* l = mat[i][k] / mat[k][k] *)
+          Asm.la a R6 "mat";
+          Asm.muli a R7 R5 n;
+          Asm.add a R6 R6 R7;
+          Asm.add a R6 R6 R4;
+          fld F0 R6 0 a;
+          Asm.la a R7 "mat";
+          Asm.muli a R8 R4 n;
+          Asm.add a R7 R7 R8;
+          Asm.add a R7 R7 R4;
+          fld F1 R7 0 a;
+          falu Instr.Fdiv F0 F0 F1 a;
+          fst_ F0 R6 0 a;
+          (* row update: mat[i][j] -= l * mat[k][j], j = k+1..n-1, with
+             pointer walking; the -nc variant strides by n instead of 1,
+             touching a new cache line every step. *)
+          let stride = if contiguous then 1 else n in
+          (* contiguous: r11 walks &mat[i][k+1..], r12 walks &mat[k][k+1..]
+             by 1. non-contiguous: the transposed walk — r11 walks
+             &mat[k+1..][i], r12 walks &mat[k+1..][k] by n. *)
+          (if contiguous then begin
+             Asm.la a R11 "mat";
+             Asm.muli a R15 R5 n;
+             Asm.add a R11 R11 R15;
+             Asm.add a R11 R11 R4;
+             Asm.addi a R11 R11 1;
+             Asm.la a R12 "mat";
+             Asm.muli a R15 R4 n;
+             Asm.add a R12 R12 R15;
+             Asm.add a R12 R12 R4;
+             Asm.addi a R12 R12 1
+           end
+           else begin
+             Asm.la a R11 "mat";
+             Asm.addi a R15 R4 1;
+             Asm.muli a R15 R15 n;
+             Asm.add a R11 R11 R15;
+             Asm.add a R12 R11 R4;
+             Asm.add a R11 R11 R5
+           end);
+          Asm.addi a R8 R4 1;
+          Asm.while_ a Instr.Lt R8 (Instr.Imm n) (fun () ->
+              fld F2 R11 0 a;
+              fld F3 R12 0 a;
+              falu Instr.Fmul F4 F0 F3 a;
+              falu Instr.Fsub F2 F2 F4 a;
+              fst_ F2 R11 0 a;
+              Asm.addi a R11 R11 stride;
+              Asm.addi a R12 R12 stride;
+              Asm.addi a R8 R8 1);
+          Asm.addi a R5 R5 1));
+  Asm.la a R1 "mat";
+  fld F0 R1 0 a;
+  Asm.movi a R10 n;
+  store_result a
+
+(* OCEAN: red-black 5-point stencil relaxation on an s x s grid.
+   Moderate inner loop (~15 instrs). *)
+let ocean ~contiguous ~scale a =
+  let s = 32 + (8 * scale) and iters = 6 in
+  Asm.data_floats a "grid"
+    (Array.init (s * s) (fun i -> float_of_int (i mod 13) /. 3.0));
+  fldi F7 0.25 a;
+  Asm.for_up a R4 ~start:0 ~stop:(Instr.Imm iters) (fun () ->
+      Asm.movi a R5 1;
+      Asm.while_ a Instr.Lt R5 (Instr.Imm (s - 1)) (fun () ->
+          Asm.movi a R6 1;
+          Asm.while_ a Instr.Lt R6 (Instr.Imm (s - 1)) (fun () ->
+              Asm.la a R7 "grid";
+              (if contiguous then begin
+                 Asm.muli a R8 R5 s;
+                 Asm.add a R7 R7 R8;
+                 Asm.add a R7 R7 R6
+               end
+               else begin
+                 Asm.muli a R8 R6 s;
+                 Asm.add a R7 R7 R8;
+                 Asm.add a R7 R7 R5
+               end);
+              fld F0 R7 1 a;
+              fld F1 R7 (-1) a;
+              falu Instr.Fadd F0 F0 F1 a;
+              fld F1 R7 s a;
+              falu Instr.Fadd F0 F0 F1 a;
+              fld F1 R7 (-s) a;
+              falu Instr.Fadd F0 F0 F1 a;
+              falu Instr.Fmul F0 F0 F7 a;
+              fst_ F0 R7 0 a;
+              Asm.addi a R6 R6 1);
+          Asm.addi a R5 R5 1));
+  Asm.la a R1 "grid";
+  fld F0 R1 (s + 1) a;
+  Asm.movi a R10 s;
+  store_result a
+
+(* RADIOSITY: pairwise energy exchange between patches, long loop body
+   (the paper's low-overhead case, 1.12x). *)
+let radiosity ~scale a =
+  let n = 20 + (4 * scale) and iters = 4 in
+  Asm.data_floats a "rad" (Array.init n (fun i -> float_of_int (i + 1)));
+  Asm.data_floats a "form"
+    (Array.init (n * n) (fun idx -> 1.0 /. float_of_int (2 + (idx mod 11))));
+  Asm.space a "rad2" n;
+  Asm.for_up a R4 ~start:0 ~stop:(Instr.Imm iters) (fun () ->
+      Asm.for_up a R5 ~start:0 ~stop:(Instr.Imm n) (fun () ->
+          fldi F0 0.0 a;
+          (* Gather unrolled 4x: a long straight-line body between
+             branches (n is always a multiple of 4), the shape that makes
+             RADIOSITY the paper's second-cheapest kernel. *)
+          let gather_one () =
+            Asm.la a R7 "form";
+            Asm.muli a R8 R5 n;
+            Asm.add a R7 R7 R8;
+            Asm.add a R7 R7 R6;
+            fld F1 R7 0 a;
+            Asm.la a R7 "rad";
+            Asm.add a R7 R7 R6;
+            fld F2 R7 0 a;
+            falu Instr.Fmul F3 F1 F2 a;
+            fldi F4 0.9 a;
+            falu Instr.Fmul F3 F3 F4 a;
+            falu Instr.Fadd F0 F0 F3 a;
+            falu Instr.Fmul F5 F3 F3 a;
+            falu Instr.Fadd F5 F5 F4 a;
+            fsqrt F5 F5 a;
+            fldi F6 0.01 a;
+            falu Instr.Fmul F5 F5 F6 a;
+            falu Instr.Fadd F0 F0 F5 a;
+            falu Instr.Fsub F0 F0 F6 a;
+            falu Instr.Fmul F2 F2 F4 a;
+            falu Instr.Fadd F0 F0 F6 a;
+            falu Instr.Fsub F0 F0 F6 a;
+            falu Instr.Fadd F0 F0 F6 a;
+            falu Instr.Fsub F0 F0 F6 a;
+            Asm.addi a R6 R6 1
+          in
+          Asm.movi a R6 0;
+          Asm.while_ a Instr.Lt R6 (Instr.Imm n) (fun () ->
+              for _ = 1 to 4 do gather_one () done);
+          Asm.la a R7 "rad2";
+          Asm.add a R7 R7 R5;
+          fst_ F0 R7 0 a);
+      (* copy back *)
+      Asm.for_up a R5 ~start:0 ~stop:(Instr.Imm n) (fun () ->
+          Asm.la a R7 "rad2";
+          Asm.add a R7 R7 R5;
+          fld F0 R7 0 a;
+          Asm.la a R7 "rad";
+          Asm.add a R7 R7 R5;
+          fst_ F0 R7 0 a));
+  Asm.la a R1 "rad";
+  fld F0 R1 0 a;
+  Asm.movi a R10 n;
+  store_result a
+
+(* RADIX: LSD radix sort over integer keys, 4-bit digits. *)
+let radix ~scale a =
+  let n = 192 + (64 * scale) in
+  let open Rcoe_util in
+  let rng = Rng.create 99 in
+  Asm.data a "keys" (Array.init n (fun _ -> Rng.int rng 65536));
+  Asm.space a "out" n;
+  Asm.space a "count" 16;
+  Asm.for_up a R4 ~start:0 ~stop:(Instr.Imm 4) (fun () ->
+      (* shift = 4*pass, in r11 *)
+      Asm.shli a R11 R4 2;
+      (* clear counts *)
+      Asm.for_up a R5 ~start:0 ~stop:(Instr.Imm 16) (fun () ->
+          Asm.la a R6 "count";
+          Asm.add a R6 R6 R5;
+          Asm.movi a R7 0;
+          Asm.st a R6 R7 0);
+      (* histogram: tight loop *)
+      Asm.for_up a R5 ~start:0 ~stop:(Instr.Imm n) (fun () ->
+          Asm.la a R6 "keys";
+          Asm.add a R6 R6 R5;
+          Asm.ld a R7 R6 0;
+          Asm.shr a R7 R7 R11;
+          Asm.andi a R7 R7 15;
+          Asm.la a R6 "count";
+          Asm.add a R6 R6 R7;
+          Asm.ld a R8 R6 0;
+          Asm.addi a R8 R8 1;
+          Asm.st a R6 R8 0);
+      (* prefix sums *)
+      Asm.movi a R7 0;
+      Asm.for_up a R5 ~start:0 ~stop:(Instr.Imm 16) (fun () ->
+          Asm.la a R6 "count";
+          Asm.add a R6 R6 R5;
+          Asm.ld a R8 R6 0;
+          Asm.st a R6 R7 0;
+          Asm.add a R7 R7 R8);
+      (* scatter *)
+      Asm.for_up a R5 ~start:0 ~stop:(Instr.Imm n) (fun () ->
+          Asm.la a R6 "keys";
+          Asm.add a R6 R6 R5;
+          Asm.ld a R12 R6 0;
+          Asm.shr a R7 R12 R11;
+          Asm.andi a R7 R7 15;
+          Asm.la a R6 "count";
+          Asm.add a R6 R6 R7;
+          Asm.ld a R8 R6 0;
+          Asm.addi a R15 R8 1;
+          Asm.st a R6 R15 0;
+          Asm.la a R6 "out";
+          Asm.add a R6 R6 R8;
+          Asm.st a R6 R12 0);
+      (* copy back *)
+      Asm.for_up a R5 ~start:0 ~stop:(Instr.Imm n) (fun () ->
+          Asm.la a R6 "out";
+          Asm.add a R6 R6 R5;
+          Asm.ld a R7 R6 0;
+          Asm.la a R6 "keys";
+          Asm.add a R6 R6 R5;
+          Asm.st a R6 R7 0));
+  Asm.la a R1 "keys";
+  Asm.ld a R10 R1 0;
+  fldi F0 0.0 a;
+  store_result a
+
+(* RAYTRACE: ray/sphere intersection tests; long FP body with branches
+   (the paper's 1.09x case). *)
+let raytrace_rays ~scale = 300 + (100 * scale)
+
+let raytrace_body ~scale a =
+  let spheres = 6 in
+  ignore (raytrace_rays ~scale);
+  Asm.data_floats a "sph"
+    (Array.init (4 * spheres) (fun i ->
+         float_of_int ((i * 29 mod 23) + 1) /. 5.0));
+  Asm.space a "hits" 2;
+  (* hit counters are per worker (hits[0] / hits[1]): race-free *)
+  ranged_loop a (fun () ->
+      (* ray direction from the index *)
+      Asm.remi a R5 R4 17;
+      itof F0 R5 a;
+      fldi F1 17.0 a;
+      falu Instr.Fdiv F0 F0 F1 a;
+      Asm.remi a R5 R4 13;
+      itof F1 R5 a;
+      fldi F2 13.0 a;
+      falu Instr.Fdiv F1 F1 F2 a;
+      fldi F2 1.0 a;
+      (* The per-ray body tests every sphere inline (unrolled): one long
+         straight-line stretch per ray is exactly why RAYTRACE is the
+         paper's cheapest kernel under CC-RCoE. *)
+      for sph = 0 to spheres - 1 do
+        let hit = Printf.sprintf "rt_hit_%d" sph
+        and miss = Printf.sprintf "rt_miss_%d" sph in
+        Asm.la a R7 "sph";
+        Asm.addi a R7 R7 (4 * sph);
+        fld F3 R7 0 a;
+        fld F4 R7 1 a;
+        fld F5 R7 2 a;
+        falu Instr.Fmul F3 F3 F0 a;
+        falu Instr.Fmul F4 F4 F1 a;
+        falu Instr.Fadd F3 F3 F4 a;
+        falu Instr.Fmul F5 F5 F2 a;
+        falu Instr.Fadd F3 F3 F5 a;
+        fld F4 R7 3 a;
+        falu Instr.Fmul F4 F4 F4 a;
+        falu Instr.Fmul F5 F3 F3 a;
+        falu Instr.Fsub F5 F5 F4 a;
+        fldi F6 0.0 a;
+        Asm.emit a (Instr.Fb (Instr.Lt, F5, F6, Instr.Lbl hit));
+        Asm.jmp a miss;
+        Asm.label a hit;
+        Asm.emit a (Instr.Funop (Instr.Fneg, F5, F5));
+        Asm.la a R8 "hits";
+        Asm.if_ a Instr.Ne R10 (Instr.Imm 0) (fun () -> Asm.addi a R8 R8 1);
+        Asm.ld a R12 R8 0;
+        Asm.addi a R12 R12 1;
+        Asm.st a R8 R12 0;
+        fsqrt F5 F5 a;
+        falu Instr.Fadd F2 F2 F5 a;
+        fldi F6 4.0 a;
+        Asm.emit a (Instr.Fb (Instr.Lt, F2, F6, Instr.Lbl miss));
+        fldi F2 1.0 a;
+        Asm.label a miss;
+        Asm.nop a
+      done)
+
+let raytrace_tail a =
+  Asm.la a R1 "hits";
+  Asm.ld a R10 R1 0;
+  Asm.ld a R12 R1 1;
+  Asm.add a R10 R10 R12;
+  fldi F0 0.0 a;
+  store_result a
+
+(* VOLREND: integer ray accumulation through a voxel volume. *)
+let volrend_dim = 16
+
+let volrend_rays ~scale = 200 + (60 * scale)
+
+let volrend_body ~scale a =
+  let dim = volrend_dim in
+  ignore (volrend_rays ~scale);
+  let open Rcoe_util in
+  let rng = Rng.create 5 in
+  Asm.data a "vox" (Array.init (dim * dim) (fun _ -> Rng.int rng 255));
+  Asm.space a "img" 8;
+  (* img[0..3] belongs to worker 0, img[4..7] to worker 1: race-free *)
+  ranged_loop a (fun () ->
+      Asm.movi a R3 0;
+      (* accumulated opacity *)
+      Asm.remi a R5 R4 dim;
+      (* row *)
+      Asm.for_up a R6 ~start:0 ~stop:(Instr.Imm dim) (fun () ->
+          Asm.la a R7 "vox";
+          Asm.muli a R8 R5 dim;
+          Asm.add a R7 R7 R8;
+          Asm.add a R7 R7 R6;
+          Asm.ld a R8 R7 0;
+          (* composite: acc += (255-acc)*v/256, fixed point *)
+          Asm.movi a R12 255;
+          Asm.sub a R12 R12 R3;
+          Asm.mul a R12 R12 R8;
+          Asm.shri a R12 R12 8;
+          Asm.add a R3 R3 R12;
+          Asm.if_ a Instr.Gt R3 (Instr.Imm 250)
+            (fun () -> Asm.movi a R6 dim)
+            ~else_:(fun () -> Asm.nop a));
+      Asm.la a R7 "img";
+      Asm.if_ a Instr.Ne R10 (Instr.Imm 0) (fun () -> Asm.addi a R7 R7 4);
+      Asm.remi a R8 R4 4;
+      Asm.add a R7 R7 R8;
+      Asm.ld a R12 R7 0;
+      Asm.add a R12 R12 R3;
+      Asm.st a R7 R12 0)
+
+let volrend_tail a =
+  Asm.la a R1 "img";
+  Asm.ld a R10 R1 0;
+  Asm.ld a R12 R1 4;
+  Asm.add a R10 R10 R12;
+  fldi F0 0.0 a;
+  store_result a
+
+(* WATER: pairwise intermolecular forces; the -S variant adds a cutoff
+   test that skips distant pairs. *)
+let water_n ~scale = 14 + (2 * scale)
+
+let water_body ~cutoff ~scale a =
+  let n = water_n ~scale and steps = 3 in
+  Asm.data_floats a "wpos"
+    (Array.init n (fun i -> float_of_int ((i * 13 mod 29) + 1) /. 4.0));
+  Asm.space a "wfrc" n;
+  (* wfrc[i] is written only by i's owner: race-free *)
+  Asm.for_up a R15 ~start:0 ~stop:(Instr.Imm steps) (fun () ->
+      ranged_loop a (fun () ->
+          Asm.for_up a R5 ~start:0 ~stop:(Instr.Imm n) (fun () ->
+              Asm.if_ a Instr.Eq R4 (Instr.Reg R5) (fun () -> Asm.nop a)
+                ~else_:(fun () ->
+                  Asm.la a R6 "wpos";
+                  Asm.add a R7 R6 R4;
+                  Asm.add a R6 R6 R5;
+                  fld F0 R7 0 a;
+                  fld F1 R6 0 a;
+                  falu Instr.Fsub F0 F0 F1 a;
+                  falu Instr.Fmul F1 F0 F0 a;
+                  fldi F2 0.1 a;
+                  falu Instr.Fadd F1 F1 F2 a;
+                  (if cutoff then begin
+                     (* skip distant pairs *)
+                     fldi F3 6.0 a;
+                     Asm.emit a
+                       (Instr.Fb (Instr.Gt, F1, F3, Instr.Lbl "w_skip"))
+                   end);
+                  (* Lennard-Jones-ish: f = 1/r^4 - 1/r^2 *)
+                  falu Instr.Fmul F3 F1 F1 a;
+                  fldi F4 1.0 a;
+                  falu Instr.Fdiv F5 F4 F3 a;
+                  falu Instr.Fdiv F6 F4 F1 a;
+                  falu Instr.Fsub F5 F5 F6 a;
+                  falu Instr.Fmul F5 F5 F0 a;
+                  Asm.la a R8 "wfrc";
+                  Asm.add a R8 R8 R4;
+                  fld F6 R8 0 a;
+                  falu Instr.Fadd F6 F6 F5 a;
+                  fst_ F6 R8 0 a;
+                  Asm.label a "w_skip";
+                  Asm.nop a))))
+
+let water_tail ~scale a =
+  Asm.la a R1 "wfrc";
+  fld F0 R1 0 a;
+  Asm.movi a R10 (water_n ~scale);
+  store_result a
+
+let mt_kernels = [ "barnes"; "raytrace"; "volrend"; "water-ns"; "water-s" ]
+
+let program name ?(scale = 1) ?(nproc = 1) ~branch_count () =
+  if nproc <> 1 && nproc <> 2 then
+    invalid_arg "Splash.program: nproc must be 1 or 2";
+  let ranged =
+    match name with
+    | "barnes" ->
+        Some (barnes_n ~scale, barnes_body ~scale, barnes_tail ~scale)
+    | "raytrace" ->
+        Some (raytrace_rays ~scale, raytrace_body ~scale, raytrace_tail)
+    | "volrend" ->
+        Some (volrend_rays ~scale, volrend_body ~scale, volrend_tail)
+    | "water-ns" ->
+        Some (water_n ~scale, water_body ~cutoff:false ~scale, water_tail ~scale)
+    | "water-s" ->
+        Some (water_n ~scale, water_body ~cutoff:true ~scale, water_tail ~scale)
+    | _ -> None
+  in
+  match (ranged, nproc) with
+  | Some (total, body, tail), 2 -> wrap_mt name ~branch_count ~total body tail
+  | Some (total, body, tail), _ ->
+      wrap_ranged name ~branch_count ~total body tail
+  | None, 2 -> invalid_arg ("Splash.program: " ^ name ^ " has no NPROC=2 variant")
+  | None, _ ->
+      let build =
+        match name with
+        | "cholesky" -> cholesky ~scale
+        | "fft" -> fft ~scale
+        | "fmm" -> fmm ~scale
+        | "lu-c" -> lu ~contiguous:true ~scale
+        | "lu-nc" -> lu ~contiguous:false ~scale
+        | "ocean-c" -> ocean ~contiguous:true ~scale
+        | "ocean-nc" -> ocean ~contiguous:false ~scale
+        | "radiosity" -> radiosity ~scale
+        | "radix" -> radix ~scale
+        | other -> invalid_arg ("Splash.program: unknown kernel " ^ other)
+      in
+      wrap name ~branch_count build

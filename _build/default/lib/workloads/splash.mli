@@ -1,0 +1,30 @@
+(** SPLASH-2-like scientific mini-kernels (paper Table IV).
+
+    Fourteen kernels mirroring the SPLASH-2 suite's names and — what
+    actually determines CC-RCoE overhead — its spread of loop structures:
+    CHOLESKY/LU spend their time in very tight inner loops (high
+    catch-up cost, the paper sees 6–12x), OCEAN/FFT in moderate loops
+    (~2–3x), and RAYTRACE/RADIOSITY in long loop bodies (~1.1x). Each
+    kernel performs a genuine (small-scale) computation and publishes a
+    result block through [FT_Add_Trace] before exiting.
+
+    The paper runs these inside a Linux VM under CC-D; the harness uses
+    the [vm] configuration for the same effect. *)
+
+val names : string list
+(** The 14 kernel names, in the paper's order. *)
+
+val mt_kernels : string list
+(** Kernels with an NPROC=2 variant: the paper runs the suite with two
+    threads; the kernels whose outer loop partitions by index (disjoint
+    writes, read-only shared inputs) are parallelised here with two
+    spawned worker threads and a join. *)
+
+val program : string -> ?scale:int -> ?nproc:int -> branch_count:bool ->
+  unit -> Rcoe_isa.Program.t
+(** [program name] builds the kernel. Raises [Invalid_argument] for an
+    unknown name, for [nproc] other than 1 or 2, or for [nproc = 2] on a
+    kernel without an NPROC=2 variant. [scale] multiplies the iteration
+    counts (default 1). *)
+
+val result_label : string

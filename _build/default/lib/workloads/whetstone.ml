@@ -1,0 +1,118 @@
+open Rcoe_isa
+open Reg
+
+let default_loops = 60
+
+let result_label = "whet_result"
+
+(* Polynomial approximations stand in for the transcendental functions of
+   the original (our ISA has no sin/cos/exp); like the original, each
+   module is a tight loop of FP operations on a tiny working set. *)
+let program ?(loops = default_loops) ~branch_count () =
+  let a = Asm.create "whetstone" in
+  Asm.data_floats a "e1" [| 1.0; -1.0; -1.0; -1.0 |];
+  Asm.space a result_label 4;
+  Asm.label a "main";
+  (* Module counts scale with [loops] like the original's N1..N8. *)
+  let n1 = loops * 40
+  and n2 = loops * 28
+  and n3 = loops * 32
+  and n4 = loops * 86
+  and n5 = loops * 22
+  and n6 = loops * 60
+  and n7 = loops * 16
+  and n8 = loops * 12 in
+
+  (* Module 1: simple identities x = (x+y+z-t)*0.5 etc. — tight loop. *)
+  Asm.emit a (Instr.Fldi (F0, 1.0));
+  Asm.emit a (Instr.Fldi (F1, -1.0));
+  Asm.emit a (Instr.Fldi (F2, -1.0));
+  Asm.emit a (Instr.Fldi (F3, -1.0));
+  Asm.emit a (Instr.Fldi (F7, 0.499975));
+  Asm.for_up a R4 ~start:0 ~stop:(Instr.Imm n1) (fun () ->
+      Asm.emit a (Instr.Falu (Instr.Fadd, F4, F0, F1));
+      Asm.emit a (Instr.Falu (Instr.Fadd, F4, F4, F2));
+      Asm.emit a (Instr.Falu (Instr.Fsub, F4, F4, F3));
+      Asm.emit a (Instr.Falu (Instr.Fmul, F0, F4, F7));
+      Asm.emit a (Instr.Falu (Instr.Fadd, F4, F0, F1));
+      Asm.emit a (Instr.Falu (Instr.Fsub, F4, F4, F2));
+      Asm.emit a (Instr.Falu (Instr.Fadd, F4, F4, F3));
+      Asm.emit a (Instr.Falu (Instr.Fmul, F1, F4, F7)));
+
+  (* Module 2: array elements. *)
+  Asm.la a R5 "e1";
+  Asm.for_up a R4 ~start:0 ~stop:(Instr.Imm n2) (fun () ->
+      Asm.emit a (Instr.Fld (F0, R5, 0));
+      Asm.emit a (Instr.Fld (F1, R5, 1));
+      Asm.emit a (Instr.Falu (Instr.Fadd, F2, F0, F1));
+      Asm.emit a (Instr.Falu (Instr.Fmul, F2, F2, F7));
+      Asm.emit a (Instr.Fst (F2, R5, 2));
+      Asm.emit a (Instr.Fld (F3, R5, 2));
+      Asm.emit a (Instr.Falu (Instr.Fsub, F3, F3, F0));
+      Asm.emit a (Instr.Fst (F3, R5, 3)));
+
+  (* Module 3: "trig" — degree-3 polynomial evaluation, tight. *)
+  Asm.emit a (Instr.Fldi (F0, 0.5));
+  Asm.emit a (Instr.Fldi (F5, 0.1666));
+  Asm.emit a (Instr.Fldi (F6, 0.0083));
+  Asm.for_up a R4 ~start:0 ~stop:(Instr.Imm n3) (fun () ->
+      Asm.emit a (Instr.Falu (Instr.Fmul, F1, F0, F0));
+      Asm.emit a (Instr.Falu (Instr.Fmul, F2, F1, F0));
+      Asm.emit a (Instr.Falu (Instr.Fmul, F3, F2, F5));
+      Asm.emit a (Instr.Falu (Instr.Fsub, F3, F0, F3));
+      Asm.emit a (Instr.Falu (Instr.Fmul, F4, F2, F1));
+      Asm.emit a (Instr.Falu (Instr.Fmul, F4, F4, F6));
+      Asm.emit a (Instr.Falu (Instr.Fadd, F0, F3, F4));
+      Asm.emit a (Instr.Funop (Instr.Fabs, F0, F0)));
+
+  (* Module 4: conditional jumps — int ops in a tight loop. *)
+  Asm.movi a R6 1;
+  Asm.movi a R7 0;
+  Asm.for_up a R4 ~start:0 ~stop:(Instr.Imm n4) (fun () ->
+      Asm.if_ a Instr.Eq R6 (Instr.Imm 1)
+        ~else_:(fun () -> Asm.movi a R6 1)
+        (fun () -> Asm.movi a R6 0);
+      Asm.add a R7 R7 R6);
+
+  (* Module 5: sqrt/div chains. *)
+  Asm.emit a (Instr.Fldi (F0, 0.75));
+  Asm.emit a (Instr.Fldi (F1, 3.1416));
+  Asm.for_up a R4 ~start:0 ~stop:(Instr.Imm n5) (fun () ->
+      Asm.emit a (Instr.Funop (Instr.Fsqrt, F2, F1));
+      Asm.emit a (Instr.Falu (Instr.Fdiv, F3, F2, F1));
+      Asm.emit a (Instr.Falu (Instr.Fadd, F0, F0, F3));
+      Asm.emit a (Instr.Funop (Instr.Fsqrt, F0, F0)));
+
+  (* Module 6: integer arithmetic in a tight loop. *)
+  Asm.movi a R8 1;
+  Asm.for_up a R4 ~start:0 ~stop:(Instr.Imm n6) (fun () ->
+      Asm.muli a R8 R8 3;
+      Asm.remi a R8 R8 4099;
+      Asm.addi a R8 R8 1);
+
+  (* Module 7: again FP identities with memory traffic. *)
+  Asm.la a R5 "e1";
+  Asm.for_up a R4 ~start:0 ~stop:(Instr.Imm n7) (fun () ->
+      Asm.emit a (Instr.Fld (F0, R5, 0));
+      Asm.emit a (Instr.Falu (Instr.Fmul, F0, F0, F7));
+      Asm.emit a (Instr.Fst (F0, R5, 0)));
+
+  (* Module 8: procedure-call module. *)
+  Asm.for_up a R4 ~start:0 ~stop:(Instr.Imm n8) (fun () ->
+      Wl.call a "p3");
+
+  (* Publish results and finish. *)
+  Asm.la a R4 result_label;
+  Asm.emit a (Instr.Fst (F0, R4, 0));
+  Asm.emit a (Instr.Fst (F1, R4, 1));
+  Asm.st a R4 R7 2;
+  Asm.st a R4 R8 3;
+  Wl.add_trace a ~label:result_label ~words:4;
+  Wl.exit_thread a;
+
+  Wl.func a "p3" (fun () ->
+      Asm.emit a (Instr.Falu (Instr.Fmul, F2, F0, F7));
+      Asm.emit a (Instr.Falu (Instr.Fadd, F3, F2, F1));
+      Asm.emit a (Instr.Falu (Instr.Fmul, F3, F3, F7)));
+
+  Asm.assemble ~entry:"main" ~branch_count a

@@ -1,0 +1,16 @@
+(** Whetstone-like floating-point benchmark.
+
+    Mirrors the structure that matters for Table II: the suite is a
+    sequence of *several tight loops* (8 "modules": simple identities,
+    array element updates, trigonometric-style polynomial evaluation,
+    conditional jumps, square roots/divisions, …). Because a preemption
+    lands inside a tight loop with high probability, CC-RCoE pays a
+    breakpoint exception per loop iteration of drift when catching up,
+    producing the ~20% TMR overhead (and the up-to-5% run-to-run standard
+    deviation) the paper reports — versus Dhrystone's few percent. *)
+
+val default_loops : int
+
+val program : ?loops:int -> branch_count:bool -> unit -> Rcoe_isa.Program.t
+
+val result_label : string

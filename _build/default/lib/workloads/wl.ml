@@ -1,0 +1,46 @@
+open Rcoe_isa
+
+let sys a n = Asm.syscall a n
+
+let exit_thread a = Asm.syscall a Rcoe_kernel.Syscall.sys_exit
+
+let putchar a c =
+  Asm.movi a Reg.R0 (Char.code c);
+  Asm.syscall a Rcoe_kernel.Syscall.sys_putchar
+
+let call a name =
+  Asm.push a Reg.R14;
+  Asm.jal a name;
+  Asm.pop a Reg.R14
+
+let func a name body =
+  let skip = Asm.new_label a (name ^ "_skip") in
+  Asm.jmp a skip;
+  Asm.label a name;
+  body ();
+  Asm.ret a;
+  Asm.label a skip
+
+let add_trace a ~label ~words =
+  Asm.la a Reg.R0 label;
+  Asm.movi a Reg.R1 words;
+  Asm.syscall a Rcoe_kernel.Syscall.sys_ft_add_trace
+
+let branch_count_for arch =
+  (Rcoe_machine.Arch.profile_of arch).Rcoe_machine.Arch.count_mode
+  = Rcoe_machine.Arch.Compiler_assisted
+
+let spawn_label ~entry a ~arg =
+  Asm.movi a Reg.R0 entry;
+  Asm.movi a Reg.R1 arg;
+  Asm.syscall a Rcoe_kernel.Syscall.sys_spawn
+
+let resolve_entry build ~label =
+  let probe = build 0 in
+  let addr = Program.label_addr probe label in
+  let final = build addr in
+  (* The second build must have the label at the same address, otherwise
+     the layout depended on the entry value. *)
+  if Program.label_addr final label <> addr then
+    invalid_arg "Wl.resolve_entry: build is not layout-deterministic";
+  final

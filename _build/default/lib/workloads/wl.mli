@@ -1,0 +1,40 @@
+(** Shared helpers for workload programs.
+
+    Workloads are ISA programs built with the {!Rcoe_isa.Asm} eDSL. Every
+    workload module exposes a [program] function taking [~branch_count]
+    (true when targeting compiler-assisted CC-RCoE, i.e. the Arm profile)
+    plus workload-specific sizing parameters. *)
+
+open Rcoe_isa
+
+val sys : Asm.t -> int -> unit
+(** Emit a syscall. *)
+
+val exit_thread : Asm.t -> unit
+val putchar : Asm.t -> char -> unit
+(** Print a literal character (clobbers r0). *)
+
+val call : Asm.t -> string -> unit
+(** Call a function label, saving/restoring the link register around the
+    call so nested calls work (clobbers the stack). *)
+
+val func : Asm.t -> string -> (unit -> unit) -> unit
+(** [func a name body]: define [name:] body; ends with [ret]. The body
+    must not fall through its end. *)
+
+val add_trace : Asm.t -> label:string -> words:int -> unit
+(** Emit an [FT_Add_Trace] of a data block (clobbers r0, r1). *)
+
+val branch_count_for : Rcoe_machine.Arch.t -> bool
+(** Whether programs for this architecture need the branch-counting
+    pass. *)
+
+val spawn_label : entry:int -> Asm.t -> arg:int -> unit
+(** Spawn a thread at an absolute code address (clobbers r0, r1; result
+    tid in r0). Use {!resolve_entry} to obtain the address. *)
+
+val resolve_entry : (int -> Program.t) -> label:string -> Program.t
+(** [resolve_entry build ~label]: build the program twice — once with a
+    dummy entry address to learn [label]'s code address, then for real.
+    The build function must be deterministic and must not change code
+    layout based on the address value. *)

@@ -1,0 +1,204 @@
+open Rcoe_util
+
+type workload = A | B | C | D | E | F
+
+let workload_of_string = function
+  | "A" | "a" -> A
+  | "B" | "b" -> B
+  | "C" | "c" -> C
+  | "D" | "d" -> D
+  | "E" | "e" -> E
+  | "F" | "f" -> F
+  | s -> invalid_arg ("Ycsb.workload_of_string: " ^ s)
+
+let workload_to_string = function
+  | A -> "A" | B -> "B" | C -> "C" | D -> "D" | E -> "E" | F -> "F"
+
+type config = { records : int; operations : int; seed : int }
+
+type counters = {
+  mutable issued : int;
+  mutable completed : int;
+  mutable corrupted : int;
+  mutable client_errors : int;
+  mutable not_found : int;
+}
+
+type pending = { p_op : int; p_key : int }
+
+type t = {
+  cfg : config;
+  wl : workload;
+  rng : Rng.t;
+  mutable seq : int;
+  mutable loaded : int; (* records inserted so far (load phase) *)
+  mutable inserted_max : int; (* highest key inserted (for D/E inserts) *)
+  mutable ops_issued : int;
+  mutable rmw_pending_put : int option; (* F: key to update after a read *)
+  in_flight : (int, pending) Hashtbl.t;
+  ctr : counters;
+  versions : int array; (* last written version per key (grown for inserts) *)
+}
+
+let value_words = Kvstore.vlen
+
+let create cfg wl =
+  if cfg.records <= 0 then invalid_arg "Ycsb.create: records must be positive";
+  {
+    cfg;
+    wl;
+    rng = Rng.create cfg.seed;
+    seq = 0;
+    loaded = 0;
+    inserted_max = cfg.records - 1;
+    ops_issued = 0;
+    rmw_pending_put = None;
+    in_flight = Hashtbl.create 64;
+    ctr =
+      { issued = 0; completed = 0; corrupted = 0; client_errors = 0; not_found = 0 };
+    versions = Array.make (cfg.records * 4) 0;
+  }
+
+let load_phase_done t = t.loaded >= t.cfg.records
+
+let finished t =
+  load_phase_done t
+  && t.ops_issued >= t.cfg.operations
+  && Hashtbl.length t.in_flight = 0
+  && t.rmw_pending_put = None
+
+let outstanding t = Hashtbl.length t.in_flight
+
+let counters t = t.ctr
+
+(* The value payload: deterministic contents with an embedded CRC of the
+   first [vlen-1] words (the client-side integrity check). *)
+let value_for t ~key ~version =
+  ignore t;
+  let v =
+    Array.init value_words (fun i ->
+        if i = 0 then key
+        else if i = 1 then version
+        else (key * 31) + (version * 7) + i)
+  in
+  v.(value_words - 1) <- Rcoe_checksum.Crc32.words (Array.sub v 0 (value_words - 1));
+  v
+
+let check_value t value =
+  if Array.length value < value_words then begin
+    t.ctr.client_errors <- t.ctr.client_errors + 1;
+    false
+  end
+  else
+    let crc =
+      Rcoe_checksum.Crc32.words (Array.sub value 0 (value_words - 1))
+    in
+    if crc = value.(value_words - 1) then true
+    else begin
+      t.ctr.corrupted <- t.ctr.corrupted + 1;
+      false
+    end
+
+(* Hotspot key selection: 80% of accesses to the first 20% of keys. *)
+let pick_key t =
+  let n = t.cfg.records in
+  let hot = max 1 (n / 5) in
+  if Rng.int t.rng 100 < 80 then Rng.int t.rng hot
+  else hot + Rng.int t.rng (max 1 (n - hot))
+
+let pick_recent_key t =
+  (* D: skewed to the most recently inserted keys. *)
+  let span = max 1 (t.inserted_max / 4) in
+  let off = Rng.int t.rng span in
+  max 0 (t.inserted_max - off)
+
+let mk_put t ~key =
+  let version = t.seq in
+  if key < Array.length t.versions then t.versions.(key) <- version;
+  let v = value_for t ~key ~version in
+  let req = Array.make Kvstore.req_words_put 0 in
+  req.(0) <- Kvstore.req_magic;
+  req.(1) <- t.seq;
+  req.(2) <- Kvstore.op_put;
+  req.(3) <- key;
+  Array.blit v 0 req 4 value_words;
+  req
+
+let mk_get t ~key =
+  [| Kvstore.req_magic; t.seq; Kvstore.op_get; key |]
+
+let mk_scan t ~key ~len =
+  [| Kvstore.req_magic; t.seq; Kvstore.op_scan; key; len |]
+
+let register t req =
+  Hashtbl.replace t.in_flight req.(1) { p_op = req.(2); p_key = req.(3) };
+  t.seq <- t.seq + 1;
+  t.ctr.issued <- t.ctr.issued + 1;
+  Some req
+
+let next_insert_key t =
+  t.inserted_max <- t.inserted_max + 1;
+  t.inserted_max
+
+let next_request t =
+  if not (load_phase_done t) then begin
+    let key = t.loaded in
+    t.loaded <- t.loaded + 1;
+    register t (mk_put t ~key)
+  end
+  else
+    match t.rmw_pending_put with
+    | Some key ->
+        t.rmw_pending_put <- None;
+        t.ops_issued <- t.ops_issued + 1;
+        register t (mk_put t ~key)
+    | None ->
+        if t.ops_issued >= t.cfg.operations then None
+        else begin
+          t.ops_issued <- t.ops_issued + 1;
+          let r = Rng.int t.rng 100 in
+          match t.wl with
+          | A ->
+              if r < 50 then register t (mk_get t ~key:(pick_key t))
+              else register t (mk_put t ~key:(pick_key t))
+          | B ->
+              if r < 95 then register t (mk_get t ~key:(pick_key t))
+              else register t (mk_put t ~key:(pick_key t))
+          | C -> register t (mk_get t ~key:(pick_key t))
+          | D ->
+              if r < 95 then register t (mk_get t ~key:(pick_recent_key t))
+              else register t (mk_put t ~key:(next_insert_key t))
+          | E ->
+              if r < 95 then
+                register t
+                  (mk_scan t ~key:(pick_key t) ~len:(1 + Rng.int t.rng 8))
+              else register t (mk_put t ~key:(next_insert_key t))
+          | F ->
+              (* read-modify-write: issue the read; the write follows on
+                 the response. *)
+              let key = pick_key t in
+              t.rmw_pending_put <- Some key;
+              t.ops_issued <- t.ops_issued - 1;
+              (* the pair counts once *)
+              t.ops_issued <- t.ops_issued + 1;
+              register t (mk_get t ~key)
+        end
+
+let on_response t resp =
+  if Array.length resp < 4 || resp.(0) <> Kvstore.resp_magic then
+    t.ctr.client_errors <- t.ctr.client_errors + 1
+  else
+    let seq = resp.(1) in
+    match Hashtbl.find_opt t.in_flight seq with
+    | None -> t.ctr.client_errors <- t.ctr.client_errors + 1
+    | Some p ->
+        Hashtbl.remove t.in_flight seq;
+        t.ctr.completed <- t.ctr.completed + 1;
+        let status = resp.(2) in
+        if status = 1 then t.ctr.not_found <- t.ctr.not_found + 1
+        else if status <> 0 then t.ctr.client_errors <- t.ctr.client_errors + 1
+        else if p.p_op = Kvstore.op_get then begin
+          if Array.length resp >= 4 + value_words then
+            ignore (check_value t (Array.sub resp 4 value_words))
+          else t.ctr.client_errors <- t.ctr.client_errors + 1
+        end

@@ -1,0 +1,62 @@
+(** YCSB-style load generator (host side of the KV benchmark).
+
+    Builds request packets for the {!Kvstore} server and validates its
+    responses, playing the role of the paper's dedicated load-generator
+    machines. Implements the workload mixes of YCSB A–F:
+
+    - A: 50% read / 50% update
+    - B: 95% read / 5% update
+    - C: 100% read
+    - D: read-latest (95% reads skewed to recent inserts / 5% inserts)
+    - E: 95% short scans / 5% inserts
+    - F: read-modify-write
+
+    Requests against existing records use a hotspot distribution (80% of
+    operations over 20% of the keys) standing in for YCSB's zipfian.
+    Every stored value embeds a CRC-32 of its payload, exactly as the
+    paper's modified client does (Section V-C1), so silent data
+    corruption in the server is detected end-to-end at read time. *)
+
+type workload = A | B | C | D | E | F
+
+val workload_of_string : string -> workload
+val workload_to_string : workload -> string
+
+type config = {
+  records : int;
+  operations : int;
+  seed : int;
+}
+
+type t
+
+type counters = {
+  mutable issued : int;
+  mutable completed : int;
+  mutable corrupted : int;  (** CRC mismatch in a returned value. *)
+  mutable client_errors : int;  (** Bad status / malformed response. *)
+  mutable not_found : int;
+}
+
+val create : config -> workload -> t
+
+val load_phase_done : t -> bool
+(** The generator first issues one PUT per record (the YCSB load phase),
+    then the operation mix. *)
+
+val finished : t -> bool
+(** All operations issued and answered (or failed). *)
+
+val next_request : t -> int array option
+(** The next request packet, or [None] when all operations are issued.
+    The caller controls pacing and outstanding-window size. *)
+
+val on_response : t -> int array -> unit
+(** Validate a response packet (sequence, status, CRC). *)
+
+val outstanding : t -> int
+
+val counters : t -> counters
+
+val value_for : t -> key:int -> version:int -> int array
+(** The CRC-protected value payload (exposed for tests). *)

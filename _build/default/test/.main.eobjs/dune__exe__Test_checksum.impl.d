@@ -1,0 +1,1 @@
+test/test_checksum.ml: Alcotest Array Char Crc32 Digest Fletcher Gen List Md5 QCheck QCheck_alcotest Rcoe_checksum String

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Asm Config Instr List Program Rcoe_core Rcoe_harness Rcoe_isa Rcoe_kernel Rcoe_machine Rcoe_util Reg Rng Runner System

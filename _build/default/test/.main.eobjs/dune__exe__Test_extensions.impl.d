@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Config Core List Machine Md5sum Mem Printf Rcoe_core Rcoe_isa Rcoe_kernel Rcoe_machine Rcoe_workloads System Whetstone

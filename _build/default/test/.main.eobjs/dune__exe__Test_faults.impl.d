@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Array Injector Layout List Mem Outcome Overclock Rcoe_core Rcoe_faults Rcoe_harness Rcoe_kernel Rcoe_machine

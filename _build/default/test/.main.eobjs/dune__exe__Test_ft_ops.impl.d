@@ -1,0 +1,1 @@
+test/test_ft_ops.ml: Alcotest Asm Config Instr Kernel Layout List Netdev Option Printf Program Rcoe_core Rcoe_isa Rcoe_kernel Rcoe_machine Reg Syscall System

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Asm Branch_count Check Gen Instr List Printf Program QCheck QCheck_alcotest Rcoe_isa Reg String

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Arch Array Asm Context Core Kernel Layout List Machine Mem Page_table Program Rcoe_isa Rcoe_kernel Rcoe_machine Syscall

@@ -1,0 +1,1 @@
+test/test_kv_protocol.ml: Alcotest Array Config Kv_run Kvstore List Netdev Option Printf Rcoe_core Rcoe_harness Rcoe_machine Rcoe_util Rcoe_workloads Runner System Ycsb

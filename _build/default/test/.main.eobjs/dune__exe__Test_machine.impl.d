@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Arch Array Bus Core Device Instr List Machine Mem Netdev Page_table QCheck QCheck_alcotest Rcoe_isa Rcoe_machine Reg

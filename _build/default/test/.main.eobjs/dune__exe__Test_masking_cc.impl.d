@@ -1,0 +1,1 @@
+test/test_masking_cc.ml: Alcotest Arch Config Datarace Kv_run Kvstore Machine Mem Rcoe_core Rcoe_harness Rcoe_isa Rcoe_kernel Rcoe_machine Rcoe_workloads Runner String System Wl Ycsb

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Clock Gen Layout List Mem QCheck QCheck_alcotest Rcoe_core Rcoe_harness Rcoe_kernel Rcoe_machine Signature Vote

@@ -1,0 +1,1 @@
+test/test_rcoe.ml: Alcotest Arch Array Clock Config Core Layout List Machine Mem QCheck QCheck_alcotest Rcoe_checksum Rcoe_core Rcoe_isa Rcoe_kernel Rcoe_machine Signature Syscall System Vote

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest List QCheck QCheck_alcotest Rcoe_util Rng

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Gen List QCheck QCheck_alcotest Rcoe_util Stats

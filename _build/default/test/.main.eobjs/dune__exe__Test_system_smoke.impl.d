@@ -1,0 +1,1 @@
+test/test_system_smoke.ml: Alcotest Asm Char Config Instr Program Rcoe_core Rcoe_isa Rcoe_kernel Rcoe_machine Reg System

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Config Datarace Dhrystone Kv_run List Md5sum Membw Printf Rcoe_core Rcoe_harness Rcoe_isa Rcoe_kernel Rcoe_machine Rcoe_workloads Runner Splash System Whetstone Ycsb

@@ -1,0 +1,1 @@
+test/test_ycsb.ml: Alcotest Array Kvstore List Printf QCheck QCheck_alcotest Rcoe_checksum Rcoe_workloads Ycsb

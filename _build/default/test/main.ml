@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "rcoe"
+    [
+      ("rng", Test_rng.suite);
+      ("stats", Test_stats.suite);
+      ("checksum", Test_checksum.suite);
+      ("isa", Test_isa.suite);
+      ("machine", Test_machine.suite);
+      ("kernel", Test_kernel.suite);
+      ("rcoe", Test_rcoe.suite);
+      ("faults", Test_faults.suite);
+      ("ycsb", Test_ycsb.suite);
+      ("extensions", Test_extensions.suite);
+      ("ft-ops", Test_ft_ops.suite);
+      ("harness", Test_harness.suite);
+      ("kv-protocol", Test_kv_protocol.suite);
+      ("differential", Test_differential.suite);
+      ("masking-cc", Test_masking_cc.suite);
+      ("properties", Test_properties.suite);
+      ("system-smoke", Test_system_smoke.suite);
+      ("workloads", Test_workloads.suite);
+    ]

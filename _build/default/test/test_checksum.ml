@@ -1,0 +1,172 @@
+open Rcoe_checksum
+
+(* --- Fletcher ------------------------------------------------------ *)
+
+let test_fletcher_order_sensitive () =
+  let a = Fletcher.create () and b = Fletcher.create () in
+  Fletcher.add_word a 1;
+  Fletcher.add_word a 2;
+  Fletcher.add_word b 2;
+  Fletcher.add_word b 1;
+  Alcotest.(check bool) "order matters" false (Fletcher.equal a b)
+
+let test_fletcher_deterministic () =
+  let a = Fletcher.create () and b = Fletcher.create () in
+  List.iter
+    (fun w -> Fletcher.add_word a w; Fletcher.add_word b w)
+    [ 5; 0; 123456789; max_int ];
+  Alcotest.(check bool) "same inputs same sums" true (Fletcher.equal a b)
+
+let test_fletcher_reset () =
+  let a = Fletcher.create () in
+  Fletcher.add_word a 99;
+  Fletcher.reset a;
+  Alcotest.(check (pair int int)) "reset zeroes" (0, 0) (Fletcher.value a)
+
+let test_fletcher_copy_isolated () =
+  let a = Fletcher.create () in
+  Fletcher.add_word a 7;
+  let b = Fletcher.copy a in
+  Fletcher.add_word a 8;
+  Alcotest.(check bool) "copy froze state" false (Fletcher.equal a b)
+
+let test_fletcher_digest_packing () =
+  let a = Fletcher.create () in
+  Fletcher.add_word a 3;
+  Fletcher.add_word a 4;
+  let c0, c1 = Fletcher.value a in
+  Alcotest.(check int) "digest packs c1:c0" ((c1 lsl 32) lor c0)
+    (Fletcher.digest a)
+
+let test_fletcher32_reference () =
+  (* Classical Fletcher-32 checks: "abcde" -> 0xF04FC729 ("abcde" test
+     vector from the Fletcher checksum literature). *)
+  Alcotest.(check int) "abcde" 0xF04FC729 (Fletcher.fletcher32 "abcde");
+  Alcotest.(check int) "abcdef" 0x56502D2A (Fletcher.fletcher32 "abcdef")
+
+let qcheck_fletcher_single_bit =
+  QCheck.Test.make ~name:"fletcher distinguishes single-bit flips" ~count:300
+    QCheck.(pair (list_of_size Gen.(int_range 1 20) (int_bound 0xFFFF)) (int_bound 31))
+    (fun (ws, bit) ->
+      QCheck.assume (ws <> []);
+      let a = Fletcher.create () and b = Fletcher.create () in
+      List.iter (Fletcher.add_word a) ws;
+      (match ws with
+      | w :: rest ->
+          Fletcher.add_word b (w lxor (1 lsl bit));
+          List.iter (Fletcher.add_word b) rest
+      | [] -> ());
+      not (Fletcher.equal a b))
+
+let qcheck_fletcher_string_word_consistent =
+  QCheck.Test.make ~name:"add_string equals add_word on packed words" ~count:200
+    QCheck.(string_of_size Gen.(int_range 0 64))
+    (fun s ->
+      let a = Fletcher.create () and b = Fletcher.create () in
+      Fletcher.add_string a s;
+      let n = String.length s in
+      let nwords = (n + 3) / 4 in
+      for i = 0 to nwords - 1 do
+        let byte j =
+          let idx = (i * 4) + j in
+          if idx < n then Char.code s.[idx] else 0
+        in
+        Fletcher.add_word b
+          (byte 0 lor (byte 1 lsl 8) lor (byte 2 lsl 16) lor (byte 3 lsl 24))
+      done;
+      Fletcher.equal a b)
+
+(* --- CRC-32 --------------------------------------------------------- *)
+
+let test_crc32_vectors () =
+  (* Standard check value: crc32("123456789") = 0xCBF43926. *)
+  Alcotest.(check int) "123456789" 0xCBF43926 (Crc32.string "123456789");
+  Alcotest.(check int) "empty" 0 (Crc32.string "");
+  Alcotest.(check int) "a" 0xE8B7BE43 (Crc32.string "a")
+
+let test_crc32_words_matches_string () =
+  (* Words contribute little-endian bytes. *)
+  let ws = [| 0x64636261; 0x68676665 |] in
+  Alcotest.(check int) "abcdefgh" (Crc32.string "abcdefgh") (Crc32.words ws)
+
+let qcheck_crc32_detects_flip =
+  QCheck.Test.make ~name:"crc32 detects any single word flip" ~count:300
+    QCheck.(triple (list_of_size Gen.(int_range 1 16) (int_bound 0xFFFFFF)) small_nat (int_bound 31))
+    (fun (ws, pos, bit) ->
+      QCheck.assume (ws <> []);
+      let arr = Array.of_list ws in
+      let arr' = Array.copy arr in
+      let pos = pos mod Array.length arr in
+      arr'.(pos) <- arr'.(pos) lxor (1 lsl bit);
+      Crc32.words arr <> Crc32.words arr')
+
+(* --- MD5 ------------------------------------------------------------ *)
+
+let test_md5_rfc1321_vectors () =
+  let check input expect =
+    Alcotest.(check string) ("md5 " ^ input) expect (Md5.hex input)
+  in
+  check "" "d41d8cd98f00b204e9800998ecf8427e";
+  check "a" "0cc175b9c0f1b6a831c399e269772661";
+  check "abc" "900150983cd24fb0d6963f7d28e17f72";
+  check "message digest" "f96b697d7cb7938d525a2f31aaf161d0";
+  check "abcdefghijklmnopqrstuvwxyz" "c3fcd3d76192e4007dfb496cca67e13b";
+  check
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+    "d174ab98d277d9f5a5611c2c9f419d9f";
+  check
+    "12345678901234567890123456789012345678901234567890123456789012345678901234567890"
+    "57edf4a22be3c955ac49da2e2107b67a"
+
+let test_md5_matches_stdlib_digest () =
+  (* Cross-check against OCaml's built-in MD5 on assorted inputs. *)
+  List.iter
+    (fun s ->
+      Alcotest.(check string) "matches Digest"
+        (Digest.to_hex (Digest.string s))
+        (Md5.hex s))
+    [ "hello world"; String.make 1000 'x'; "\x00\x01\x02\xff" ]
+
+let test_md5_words () =
+  let ws = [| 0x64636261 |] in
+  Alcotest.(check string) "words little-endian" (Md5.string "abcd") (Md5.words ws)
+
+let test_md5_schedule_tables () =
+  Alcotest.(check int) "64 constants" 64 (Array.length Md5.k);
+  Alcotest.(check int) "64 shifts" 64 (Array.length Md5.s);
+  Alcotest.(check int) "k[0]" 0xd76aa478 Md5.k.(0);
+  Alcotest.(check int) "k[63]" 0xeb86d391 Md5.k.(63)
+
+let qcheck_md5_matches_stdlib =
+  QCheck.Test.make ~name:"md5 equals stdlib Digest on random strings" ~count:200
+    QCheck.(string_of_size Gen.(int_range 0 300))
+    (fun s -> Md5.hex s = Digest.to_hex (Digest.string s))
+
+let qcheck_md5_sensitive =
+  QCheck.Test.make ~name:"md5 differs on appended byte" ~count:200
+    QCheck.(string_of_size Gen.(int_range 0 100))
+    (fun s -> Md5.hex s <> Md5.hex (s ^ "\x01"))
+
+let suite =
+  [
+    Alcotest.test_case "fletcher order sensitive" `Quick
+      test_fletcher_order_sensitive;
+    Alcotest.test_case "fletcher deterministic" `Quick test_fletcher_deterministic;
+    Alcotest.test_case "fletcher reset" `Quick test_fletcher_reset;
+    Alcotest.test_case "fletcher copy isolated" `Quick test_fletcher_copy_isolated;
+    Alcotest.test_case "fletcher digest packing" `Quick
+      test_fletcher_digest_packing;
+    Alcotest.test_case "fletcher32 reference vectors" `Quick
+      test_fletcher32_reference;
+    QCheck_alcotest.to_alcotest qcheck_fletcher_single_bit;
+    QCheck_alcotest.to_alcotest qcheck_fletcher_string_word_consistent;
+    Alcotest.test_case "crc32 vectors" `Quick test_crc32_vectors;
+    Alcotest.test_case "crc32 words = string" `Quick test_crc32_words_matches_string;
+    QCheck_alcotest.to_alcotest qcheck_crc32_detects_flip;
+    Alcotest.test_case "md5 RFC 1321 vectors" `Quick test_md5_rfc1321_vectors;
+    Alcotest.test_case "md5 matches stdlib" `Quick test_md5_matches_stdlib_digest;
+    Alcotest.test_case "md5 words" `Quick test_md5_words;
+    Alcotest.test_case "md5 schedule tables" `Quick test_md5_schedule_tables;
+    QCheck_alcotest.to_alcotest qcheck_md5_matches_stdlib;
+    QCheck_alcotest.to_alcotest qcheck_md5_sensitive;
+  ]

@@ -1,0 +1,152 @@
+(* Differential testing of the whole stack: randomly generated (but
+   race-free, terminating-by-construction) programs must compute exactly
+   the same result block and console output whether they run
+   unreplicated, under LC-RCoE, or under CC-RCoE on either architecture
+   profile. This is the sphere-of-replication transparency claim of the
+   paper, checked mechanically. *)
+
+open Rcoe_isa
+open Rcoe_core
+open Rcoe_harness
+open Rcoe_util
+
+let nregs_used = 6 (* r1..r6 data registers; r7 loop var; r8 address temp *)
+
+let random_program rng =
+  let a = Asm.create "fuzz" in
+  Asm.space a "arr" 64;
+  Asm.space a "result" 8;
+  Asm.label a "main";
+  let reg i = Reg.of_index (1 + (i mod nregs_used)) in
+  (* Seed registers. *)
+  for i = 0 to nregs_used - 1 do
+    Asm.movi a (reg i) (Rng.int rng 1000)
+  done;
+  let emit_op depth_allowed =
+    match Rng.int rng 12 with
+    | 0 -> Asm.add a (reg (Rng.int rng 6)) (reg (Rng.int rng 6)) (reg (Rng.int rng 6))
+    | 1 -> Asm.sub a (reg (Rng.int rng 6)) (reg (Rng.int rng 6)) (reg (Rng.int rng 6))
+    | 2 -> Asm.muli a (reg (Rng.int rng 6)) (reg (Rng.int rng 6)) (1 + Rng.int rng 7)
+    | 3 -> Asm.xor a (reg (Rng.int rng 6)) (reg (Rng.int rng 6)) (reg (Rng.int rng 6))
+    | 4 ->
+        Asm.andi a (reg (Rng.int rng 6)) (reg (Rng.int rng 6)) 0xFFFF
+    | 5 ->
+        (* store reg into arr[(r mod 64)] *)
+        let src = reg (Rng.int rng 6) in
+        Asm.andi a Reg.R8 src 63;
+        Asm.la a Reg.R12 "arr";
+        Asm.add a Reg.R8 Reg.R8 Reg.R12;
+        Asm.st a Reg.R8 (reg (Rng.int rng 6)) 0
+    | 6 ->
+        let dst = reg (Rng.int rng 6) in
+        Asm.andi a Reg.R8 (reg (Rng.int rng 6)) 63;
+        Asm.la a Reg.R12 "arr";
+        Asm.add a Reg.R8 Reg.R8 Reg.R12;
+        Asm.ld a dst Reg.R8 0
+    | 7 when depth_allowed ->
+        (* data-dependent branch *)
+        let r = reg (Rng.int rng 6) in
+        Asm.if_ a Instr.Lt r (Instr.Imm (Rng.int rng 2000))
+          ~else_:(fun () ->
+            Asm.addi a (reg (Rng.int rng 6)) (reg (Rng.int rng 6)) 3)
+          (fun () -> Asm.xori a (reg (Rng.int rng 6)) (reg (Rng.int rng 6)) 0x55)
+    | 8 ->
+        (* print a deterministic character *)
+        Asm.movi a Reg.R0 (65 + Rng.int rng 26);
+        Asm.syscall a Rcoe_kernel.Syscall.sys_putchar
+    | 9 ->
+        (* kernel atomic on a fixed cell *)
+        Asm.la a Reg.R0 "arr";
+        Asm.movi a Reg.R1 (Rng.int rng 9);
+        Asm.movi a Reg.R2 0;
+        Asm.movi a Reg.R3 0;
+        Asm.syscall a Rcoe_kernel.Syscall.sys_atomic
+    | 10 ->
+        Asm.remi a (reg (Rng.int rng 6)) (reg (Rng.int rng 6)) (2 + Rng.int rng 97)
+    | _ ->
+        Asm.shli a (reg (Rng.int rng 6)) (reg (Rng.int rng 6)) (Rng.int rng 4)
+  in
+  (* Top-level: a few straight ops, then 2-3 bounded loops with bodies. *)
+  for _ = 1 to 4 + Rng.int rng 6 do
+    emit_op true
+  done;
+  for _ = 1 to 2 + Rng.int rng 2 do
+    let iters = 40 + Rng.int rng 400 in
+    let body_len = 2 + Rng.int rng 6 in
+    Asm.for_up a Reg.R7 ~start:0 ~stop:(Instr.Imm iters) (fun () ->
+        for _ = 1 to body_len do
+          emit_op false
+        done)
+  done;
+  (* Publish: registers + a slice of the array into the result block. *)
+  Asm.la a Reg.R8 "result";
+  for i = 0 to 5 do
+    Asm.st a Reg.R8 (reg i) i
+  done;
+  Asm.la a Reg.R12 "arr";
+  Asm.ld a Reg.R11 Reg.R12 7;
+  Asm.st a Reg.R8 Reg.R11 6;
+  Asm.ld a Reg.R11 Reg.R12 33;
+  Asm.st a Reg.R8 Reg.R11 7;
+  (* And into the signature, so replicated runs also vote on it. *)
+  Asm.la a Reg.R0 "result";
+  Asm.movi a Reg.R1 8;
+  Asm.syscall a Rcoe_kernel.Syscall.sys_ft_add_trace;
+  Asm.syscall a Rcoe_kernel.Syscall.sys_exit;
+  a
+
+let observe ~mode ~n ~arch items =
+  let branch_count =
+    (Rcoe_machine.Arch.profile_of arch).Rcoe_machine.Arch.count_mode
+    = Rcoe_machine.Arch.Compiler_assisted
+  in
+  let program = Asm.assemble ~entry:"main" ~branch_count items in
+  let config =
+    Runner.config_for ~mode ~nreplicas:n ~arch ~tick_interval:7_000 ()
+  in
+  let r = Runner.run_program ~config ~program ~max_cycles:50_000_000 () in
+  (match r.Runner.halted with
+  | Some h ->
+      Alcotest.failf "%s/%d on %s halted: %s"
+        (Config.mode_to_string mode) n
+        (Rcoe_machine.Arch.to_string arch)
+        (System.halt_reason_to_string h)
+  | None -> ());
+  Alcotest.(check bool) "finished" true r.Runner.finished;
+  let result rid =
+    let va = Program.data_addr program "result" in
+    List.init 8 (fun i ->
+        Rcoe_kernel.Kernel.read_user (System.kernel r.Runner.sys rid) ~va:(va + i))
+  in
+  (* All replicas must agree internally as well. *)
+  for rid = 1 to n - 1 do
+    Alcotest.(check (list int)) "replicas agree" (result 0) (result rid)
+  done;
+  (result 0, System.output r.Runner.sys 0)
+
+let differential_one seed =
+  (* Rebuild the assembly unit per configuration from the same seed: the
+     generator is deterministic. *)
+  let build () = random_program (Rng.create (seed * 7919)) in
+  let base = observe ~mode:Config.Base ~n:1 ~arch:Rcoe_machine.Arch.X86 (build ()) in
+  let lcd = observe ~mode:Config.LC ~n:2 ~arch:Rcoe_machine.Arch.X86 (build ()) in
+  let cct = observe ~mode:Config.CC ~n:3 ~arch:Rcoe_machine.Arch.X86 (build ()) in
+  let cc_arm = observe ~mode:Config.CC ~n:2 ~arch:Rcoe_machine.Arch.Arm (build ()) in
+  let check name (r, out) =
+    Alcotest.(check (list int)) (name ^ " result") (fst base) r;
+    Alcotest.(check string) (name ^ " output") (snd base) out
+  in
+  check "LC-D" lcd;
+  check "CC-T x86" cct;
+  check "CC-D arm" cc_arm
+
+let test_differential_sweep () =
+  for seed = 1 to 12 do
+    differential_one seed
+  done
+
+let suite =
+  [
+    Alcotest.test_case "12 random programs agree across Base/LC/CC/x86/Arm"
+      `Slow test_differential_sweep;
+  ]

@@ -1,0 +1,197 @@
+(* Harness-level behaviour: the experiment runner, the KV driver, and the
+   table renderer. Also workload determinism guarantees the experiments
+   rely on. *)
+
+open Rcoe_core
+open Rcoe_workloads
+open Rcoe_harness
+open Rcoe_util
+
+let x86 = Rcoe_machine.Arch.X86
+
+(* --- Table ------------------------------------------------------------- *)
+
+let test_table_alignment () =
+  let t = Table.create ~headers:[ "name"; "value" ] in
+  Table.add_row t [ "a"; "1" ];
+  Table.add_row t [ "long-name"; "23" ];
+  Table.add_separator t;
+  Table.add_row t [ "b" ];
+  let r = Table.render t in
+  let lines = String.split_on_char '\n' r in
+  (match lines with
+  | header :: _ ->
+      Alcotest.(check bool) "header padded" true
+        (String.length header >= String.length "long-name  value")
+  | [] -> Alcotest.fail "empty render");
+  Alcotest.(check bool) "rows equal width" true
+    (List.for_all
+       (fun l -> l = "" || String.length l = String.length (List.hd lines))
+       lines)
+
+let test_table_rejects_wide_row () =
+  let t = Table.create ~headers:[ "one" ] in
+  Alcotest.(check bool) "raises" true
+    (try Table.add_row t [ "a"; "b" ]; false with Invalid_argument _ -> true)
+
+(* --- Runner ------------------------------------------------------------- *)
+
+let test_runner_standard_configs () =
+  let cfgs = Runner.standard_configs ~arch:x86 in
+  Alcotest.(check (list string)) "five paper columns"
+    [ "Base"; "LC-D"; "LC-T"; "CC-D"; "CC-T" ]
+    (List.map fst cfgs);
+  List.iter
+    (fun (_, c) ->
+      match Config.validate c with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "invalid standard config: %s" e)
+    cfgs
+
+let test_runner_overhead () =
+  Alcotest.(check (float 1e-9)) "factor" 1.5
+    (Runner.overhead ~base_cycles:100 ~cycles:150);
+  Alcotest.(check bool) "nan on zero base" true
+    (Float.is_nan (Runner.overhead ~base_cycles:0 ~cycles:5))
+
+let test_runner_max_cycles_bounds () =
+  (* An endless program stops at the budget, unfinished. *)
+  let a = Rcoe_isa.Asm.create "forever" in
+  Rcoe_isa.Asm.label a "main";
+  Rcoe_isa.Asm.jmp a "main";
+  let program = Rcoe_isa.Asm.assemble ~entry:"main" a in
+  let r =
+    Runner.run_program
+      ~config:(Runner.config_for ~mode:Config.Base ~nreplicas:1 ~arch:x86 ())
+      ~program ~max_cycles:30_000 ()
+  in
+  Alcotest.(check bool) "not finished" false r.Runner.finished;
+  Alcotest.(check bool) "stopped near budget" true
+    (r.Runner.cycles >= 30_000 && r.Runner.cycles < 40_000)
+
+(* --- Kv_run -------------------------------------------------------------- *)
+
+let kv_cfg mode n =
+  Runner.config_for ~mode ~nreplicas:n ~arch:x86 ~with_net:true ()
+
+let test_kv_run_phase_excludes_load () =
+  let res =
+    Kv_run.run ~config:(kv_cfg Config.Base 1) ~workload:Ycsb.C ~records:50
+      ~operations:100 ()
+  in
+  Alcotest.(check int) "run ops counted" 100 res.Kv_run.ops_completed;
+  Alcotest.(check int) "total = load + run" 150 res.Kv_run.counters.Ycsb.completed
+
+let test_kv_deterministic () =
+  let go () =
+    let res =
+      Kv_run.run ~config:(kv_cfg Config.LC 2) ~workload:Ycsb.A ~records:30
+        ~operations:60 ()
+    in
+    (res.Kv_run.elapsed_cycles, res.Kv_run.ops_completed)
+  in
+  Alcotest.(check (pair int int)) "bit-identical" (go ()) (go ())
+
+let test_kv_wedged_nic_stalls () =
+  let wedged = ref false in
+  let res =
+    Kv_run.run ~config:(kv_cfg Config.Base 1) ~workload:Ycsb.A ~records:20
+      ~operations:200 ~stall_limit:100_000
+      ~inject:(fun sys ->
+        if (not !wedged) && System.now sys > 50_000 then begin
+          wedged := true;
+          match System.netdev sys with
+          | Some nd -> Rcoe_machine.Netdev.set_wedged nd true
+          | None -> ()
+        end)
+      ()
+  in
+  Alcotest.(check bool) "stall detected" true res.Kv_run.stalled
+
+let test_kv_stop_on_error () =
+  (* Corrupt the DMA RX area continuously: the client sees corruption and
+     the run stops early. *)
+  let res =
+    Kv_run.run ~config:(kv_cfg Config.Base 1) ~workload:Ycsb.A ~records:40
+      ~operations:4_000 ~stop_on_error:true
+      ~inject:(fun sys ->
+        let lay = System.layout sys in
+        let mem = (System.machine sys).Rcoe_machine.Machine.mem in
+        for i = 0 to 40 do
+          Rcoe_machine.Mem.flip_bit mem
+            ~addr:(lay.Rcoe_kernel.Layout.dma_base + (i * 17 mod 2048))
+            ~bit:(i mod 32)
+        done)
+      ()
+  in
+  let c = res.Kv_run.counters in
+  Alcotest.(check bool) "error observed" true
+    (c.Ycsb.corrupted > 0 || c.Ycsb.client_errors > 0);
+  Alcotest.(check bool) "stopped early" true (c.Ycsb.completed < 4_040)
+
+(* --- workload determinism (the experiments assume this) ------------------ *)
+
+let test_workloads_deterministic_across_replicas () =
+  (* Every splash kernel must leave an identical result block in every
+     replica under LC (race-free by construction). *)
+  List.iter
+    (fun name ->
+      let program = Splash.program name ~scale:0 ~branch_count:false () in
+      let config =
+        Runner.config_for ~mode:Config.LC ~nreplicas:2 ~arch:x86
+          ~tick_interval:10_000 ()
+      in
+      let r = Runner.run_program ~config ~program () in
+      (match r.Runner.halted with
+      | Some h ->
+          Alcotest.failf "%s halted: %s" name (System.halt_reason_to_string h)
+      | None -> ());
+      let result rid =
+        let va = Rcoe_isa.Program.data_addr program Splash.result_label in
+        List.init 4 (fun i ->
+            Rcoe_kernel.Kernel.read_user (System.kernel r.Runner.sys rid)
+              ~va:(va + i))
+      in
+      Alcotest.(check (list int)) (name ^ " replicas agree") (result 0) (result 1))
+    Splash.names
+
+let test_dhrystone_result_stable_across_modes () =
+  (* The computation's answer must not depend on the replication mode. *)
+  let result mode n =
+    let program = Dhrystone.program ~loops:200 ~branch_count:false () in
+    let config = Runner.config_for ~mode ~nreplicas:n ~arch:x86 () in
+    let r = Runner.run_program ~config ~program () in
+    Rcoe_kernel.Kernel.read_user (System.kernel r.Runner.sys 0)
+      ~va:(Rcoe_isa.Program.data_addr program Dhrystone.result_label)
+  in
+  let base = result Config.Base 1 in
+  Alcotest.(check int) "LC same" base (result Config.LC 2);
+  Alcotest.(check int) "CC same" base (result Config.CC 3)
+
+let test_fault_outcome_smoke () =
+  (* The campaign helper returns classifiable outcomes for base mode. *)
+  let outcome, flips =
+    Fault_experiments.one_trial_for_debug ~mode:Config.Base ~n:1 ~seed:31
+  in
+  Alcotest.(check bool) "flips injected" true (flips > 0);
+  Alcotest.(check bool) "classifiable" true
+    (String.length (Rcoe_faults.Outcome.to_string outcome) > 0)
+
+let suite =
+  [
+    Alcotest.test_case "table alignment" `Quick test_table_alignment;
+    Alcotest.test_case "table rejects wide row" `Quick test_table_rejects_wide_row;
+    Alcotest.test_case "standard configs valid" `Quick test_runner_standard_configs;
+    Alcotest.test_case "overhead helper" `Quick test_runner_overhead;
+    Alcotest.test_case "max_cycles bounds" `Quick test_runner_max_cycles_bounds;
+    Alcotest.test_case "kv run phase excludes load" `Quick
+      test_kv_run_phase_excludes_load;
+    Alcotest.test_case "kv deterministic" `Quick test_kv_deterministic;
+    Alcotest.test_case "kv wedged nic stalls" `Quick test_kv_wedged_nic_stalls;
+    Alcotest.test_case "kv stop-on-error" `Quick test_kv_stop_on_error;
+    Alcotest.test_case "splash deterministic across replicas" `Slow
+      test_workloads_deterministic_across_replicas;
+    Alcotest.test_case "dhrystone result mode-independent" `Quick
+      test_dhrystone_result_stable_across_modes;
+    Alcotest.test_case "fault trial smoke" `Quick test_fault_outcome_smoke;
+  ]

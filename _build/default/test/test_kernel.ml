@@ -1,0 +1,324 @@
+open Rcoe_machine
+open Rcoe_kernel
+open Rcoe_isa
+
+(* --- Layout ------------------------------------------------------------- *)
+
+let test_layout_partitions_disjoint () =
+  let lay = Layout.compute ~nreplicas:3 ~user_words:8192 in
+  for i = 0 to 2 do
+    let p = lay.Layout.partitions.(i) in
+    Alcotest.(check bool) "kernel before user" true (p.Layout.pt_base < p.Layout.user_base);
+    if i < 2 then begin
+      let q = lay.Layout.partitions.(i + 1) in
+      Alcotest.(check bool) "disjoint" true
+        (p.Layout.p_base + p.Layout.p_words <= q.Layout.p_base)
+    end
+  done;
+  let last = lay.Layout.partitions.(2) in
+  Alcotest.(check bool) "shared after partitions" true
+    (lay.Layout.shared.Layout.s_base >= last.Layout.p_base + last.Layout.p_words);
+  Alcotest.(check bool) "dma after shared" true
+    (lay.Layout.dma_base
+    >= lay.Layout.shared.Layout.s_base + lay.Layout.shared.Layout.s_words);
+  Alcotest.(check bool) "total covers dma" true
+    (lay.Layout.total_words >= lay.Layout.dma_base + lay.Layout.dma_words)
+
+let test_layout_classification () =
+  let lay = Layout.compute ~nreplicas:2 ~user_words:4096 in
+  let p0 = lay.Layout.partitions.(0) in
+  Alcotest.(check bool) "replica0" true
+    (Layout.partition_of_addr lay p0.Layout.pt_base = `Replica 0);
+  Alcotest.(check bool) "shared" true
+    (Layout.partition_of_addr lay lay.Layout.shared.Layout.bar_base = `Shared);
+  Alcotest.(check bool) "dma" true
+    (Layout.partition_of_addr lay lay.Layout.dma_base = `Dma);
+  Alcotest.(check bool) "outside" true
+    (Layout.partition_of_addr lay (lay.Layout.total_words + 5) = `Outside);
+  Alcotest.(check string) "region name" "replica0/page-table"
+    (Layout.region_of_addr lay p0.Layout.pt_base)
+
+let test_layout_stack_slots_disjoint () =
+  let a = Layout.stack_top ~tid:0 and b = Layout.stack_top ~tid:1 in
+  Alcotest.(check int) "slot size" Layout.stack_words_per_thread (b - a)
+
+(* --- Context ------------------------------------------------------------- *)
+
+let test_context_save_restore () =
+  let mem = Mem.create 1024 in
+  let core = Core.create ~id:0 ~jitter_seed:1 in
+  for i = 0 to 15 do
+    core.Core.regs.(i) <- (i * 1000) + 7
+  done;
+  core.Core.fregs.(3) <- 2.718281828459045;
+  core.Core.ip <- 1234;
+  core.Core.hw_branches <- 999;
+  core.Core.last_was_cntinc <- true;
+  Context.save mem ~addr:100 core;
+  let core2 = Core.create ~id:1 ~jitter_seed:2 in
+  Context.restore mem ~addr:100 core2;
+  Alcotest.(check (array int)) "regs" core.Core.regs core2.Core.regs;
+  Alcotest.(check int) "ip" 1234 core2.Core.ip;
+  Alcotest.(check int) "branches" 999 core2.Core.hw_branches;
+  Alcotest.(check bool) "race flag" true core2.Core.last_was_cntinc;
+  (* Doubles survive exactly: two words per register. *)
+  Alcotest.(check (float 0.0)) "freg exact" 2.718281828459045 core2.Core.fregs.(3)
+
+let test_context_flip_changes_restore () =
+  let mem = Mem.create 1024 in
+  let core = Core.create ~id:0 ~jitter_seed:1 in
+  core.Core.regs.(4) <- 0;
+  Context.save mem ~addr:0 core;
+  Mem.flip_bit mem ~addr:(Context.reg_offset 4) ~bit:5;
+  Context.restore mem ~addr:0 core;
+  Alcotest.(check int) "flip visible" 32 core.Core.regs.(4)
+
+(* --- Kernel: threads, scheduling, syscalls ------------------------------- *)
+
+let null_callbacks =
+  { Kernel.cb_info = (fun _ _ -> 0); cb_kernel_update = (fun _ _ -> ()) }
+
+let mk_kernel ?(callbacks = null_callbacks) program =
+  let lay = Layout.compute ~nreplicas:1 ~user_words:16384 in
+  let machine =
+    Machine.create ~profile:Arch.x86 ~mem_words:lay.Layout.total_words
+      ~ncores:1 ~seed:1
+  in
+  let k =
+    Kernel.create ~machine ~rid:0 ~core_id:0 ~layout:lay ~program ~callbacks
+  in
+  Kernel.setup_address_space k;
+  (machine, k)
+
+let trivial_program =
+  let a = Asm.create "trivial" in
+  Asm.data a "d" [| 11; 22; 33 |];
+  Asm.label a "main";
+  Asm.nop a;
+  Asm.syscall a Syscall.sys_exit;
+  Asm.assemble ~entry:"main" a
+
+let test_kernel_data_mapped () =
+  let _, k = mk_kernel trivial_program in
+  Alcotest.(check int) "data visible through PT" 22
+    (Kernel.read_user k ~va:(Program.data_addr trivial_program "d" + 1))
+
+let test_kernel_spawn_and_dispatch () =
+  let _, k = mk_kernel trivial_program in
+  let tid = Kernel.spawn k ~entry:trivial_program.Program.entry ~arg:42 in
+  Kernel.start k;
+  Alcotest.(check int) "running" tid (Kernel.current_tid k);
+  Alcotest.(check int) "arg in r0" 42 (Kernel.core k).Core.regs.(0);
+  Alcotest.(check int) "sp at slot top" (Layout.stack_top ~tid)
+    (Kernel.core k).Core.regs.(13);
+  Alcotest.(check int) "ip at entry" trivial_program.Program.entry
+    (Kernel.core k).Core.ip
+
+let test_kernel_round_robin () =
+  let _, k = mk_kernel trivial_program in
+  let t0 = Kernel.spawn k ~entry:0 ~arg:0 in
+  let t1 = Kernel.spawn k ~entry:0 ~arg:1 in
+  Kernel.start k;
+  Alcotest.(check int) "t0 first" t0 (Kernel.current_tid k);
+  Kernel.preempt k;
+  Alcotest.(check int) "t1 next" t1 (Kernel.current_tid k);
+  Kernel.preempt k;
+  Alcotest.(check int) "back to t0" t0 (Kernel.current_tid k)
+
+let test_kernel_preempt_preserves_context () =
+  let _, k = mk_kernel trivial_program in
+  ignore (Kernel.spawn k ~entry:0 ~arg:0);
+  ignore (Kernel.spawn k ~entry:0 ~arg:1);
+  Kernel.start k;
+  (Kernel.core k).Core.regs.(5) <- 777;
+  Kernel.preempt k;
+  (* other thread: r5 is its own (0) *)
+  Alcotest.(check int) "fresh context" 0 (Kernel.core k).Core.regs.(5);
+  Kernel.preempt k;
+  Alcotest.(check int) "context restored" 777 (Kernel.core k).Core.regs.(5)
+
+let test_kernel_block_unblock () =
+  let _, k = mk_kernel trivial_program in
+  let t0 = Kernel.spawn k ~entry:0 ~arg:0 in
+  Kernel.start k;
+  Kernel.block_current k (Kernel.T_blocked_irq 0);
+  Alcotest.(check int) "idle" (-1) (Kernel.current_tid k);
+  Alcotest.(check bool) "not runnable" false (Kernel.runnable k);
+  Kernel.unblock k t0;
+  Alcotest.(check int) "dispatched" t0 (Kernel.current_tid k)
+
+let test_kernel_irq_latch () =
+  let _, k = mk_kernel trivial_program in
+  let t0 = Kernel.spawn k ~entry:0 ~arg:0 in
+  Kernel.start k;
+  (* Delivery while not waiting latches. *)
+  Alcotest.(check int) "no waiter" 0 (Kernel.wake_irq_waiters k ~dpn:3);
+  (* wait_irq consumes the latch without blocking. *)
+  (Kernel.core k).Core.regs.(0) <- 3;
+  (match Kernel.handle_syscall k Syscall.sys_wait_irq with
+  | Kernel.Sr_local -> ()
+  | _ -> Alcotest.fail "expected local");
+  Alcotest.(check int) "still running" t0 (Kernel.current_tid k);
+  (* Next wait blocks; delivery wakes. *)
+  (Kernel.core k).Core.regs.(0) <- 3;
+  ignore (Kernel.handle_syscall k Syscall.sys_wait_irq);
+  Alcotest.(check int) "blocked" (-1) (Kernel.current_tid k);
+  Alcotest.(check int) "woken" 1 (Kernel.wake_irq_waiters k ~dpn:3);
+  Alcotest.(check int) "running again" t0 (Kernel.current_tid k)
+
+let test_kernel_join () =
+  let _, k = mk_kernel trivial_program in
+  let t0 = Kernel.spawn k ~entry:0 ~arg:0 in
+  let t1 = Kernel.spawn k ~entry:0 ~arg:0 in
+  Kernel.start k;
+  (* t0 joins t1. *)
+  (Kernel.core k).Core.regs.(0) <- t1;
+  ignore (Kernel.handle_syscall k Syscall.sys_join);
+  Alcotest.(check int) "t1 scheduled" t1 (Kernel.current_tid k);
+  ignore (Kernel.handle_syscall k Syscall.sys_exit);
+  Alcotest.(check int) "t0 resumed after exit" t0 (Kernel.current_tid k)
+
+let test_kernel_exit_all () =
+  let _, k = mk_kernel trivial_program in
+  ignore (Kernel.spawn k ~entry:0 ~arg:0);
+  Kernel.start k;
+  ignore (Kernel.handle_syscall k Syscall.sys_exit);
+  Alcotest.(check bool) "all exited" true (Kernel.all_exited k);
+  Alcotest.(check int) "live count" 0 (Kernel.live_thread_count k)
+
+let test_kernel_atomic_syscall () =
+  let _, k = mk_kernel trivial_program in
+  ignore (Kernel.spawn k ~entry:0 ~arg:0);
+  Kernel.start k;
+  let addr = Program.data_addr trivial_program "d" in
+  let regs = (Kernel.core k).Core.regs in
+  regs.(0) <- addr;
+  regs.(1) <- 5;
+  regs.(2) <- 0;
+  (* add *)
+  ignore (Kernel.handle_syscall k Syscall.sys_atomic);
+  Alcotest.(check int) "returns old" 11 regs.(0);
+  Alcotest.(check int) "added" 16 (Kernel.read_user k ~va:addr);
+  (* compare-and-swap failure leaves the value. *)
+  regs.(0) <- addr;
+  regs.(1) <- 99;
+  regs.(2) <- 2;
+  regs.(3) <- 12345;
+  ignore (Kernel.handle_syscall k Syscall.sys_atomic);
+  Alcotest.(check int) "cas miss" 16 (Kernel.read_user k ~va:addr)
+
+let test_kernel_ft_syscalls_deferred () =
+  let _, k = mk_kernel trivial_program in
+  ignore (Kernel.spawn k ~entry:0 ~arg:0);
+  Kernel.start k;
+  let regs = (Kernel.core k).Core.regs in
+  regs.(0) <- 123;
+  regs.(1) <- 4;
+  regs.(2) <- 999;
+  regs.(3) <- 999;
+  match Kernel.handle_syscall k Syscall.sys_ft_add_trace with
+  | Kernel.Sr_ft { num; args } ->
+      Alcotest.(check int) "num" Syscall.sys_ft_add_trace num;
+      Alcotest.(check (array int)) "declared args only, rest zeroed"
+        [| 123; 4; 0; 0 |] args
+  | Kernel.Sr_local -> Alcotest.fail "expected Sr_ft"
+
+let test_kernel_fault_kills_thread () =
+  let _, k = mk_kernel trivial_program in
+  ignore (Kernel.spawn k ~entry:0 ~arg:0);
+  Kernel.start k;
+  (match Kernel.handle_fault k (Core.Unmapped { vaddr = 1; write = false }) with
+  | Kernel.Fd_user_fault -> ()
+  | _ -> Alcotest.fail "expected user fault");
+  Alcotest.(check bool) "thread dead" true (Kernel.all_exited k);
+  match Kernel.last_fault k with
+  | Some (0, Core.Unmapped _) -> ()
+  | _ -> Alcotest.fail "fault recorded"
+
+let test_kernel_abort_disposition () =
+  let _, k = mk_kernel trivial_program in
+  ignore (Kernel.spawn k ~entry:0 ~arg:0);
+  Kernel.start k;
+  match Kernel.handle_fault k (Core.Phys_abort 999999) with
+  | Kernel.Fd_kernel_abort 999999 -> ()
+  | _ -> Alcotest.fail "expected kernel abort"
+
+let test_kernel_user_mem_error () =
+  let _, k = mk_kernel trivial_program in
+  Alcotest.(check bool) "raises" true
+    (try ignore (Kernel.read_user k ~va:1); false
+     with Kernel.User_mem_error 1 -> true)
+
+let test_kernel_signature_hooks_fire () =
+  let updates = ref [] in
+  let callbacks =
+    {
+      Kernel.cb_info = (fun _ _ -> 0);
+      cb_kernel_update = (fun _ words -> updates := words :: !updates);
+    }
+  in
+  let _, k = mk_kernel ~callbacks trivial_program in
+  ignore (Kernel.spawn k ~entry:0 ~arg:0);
+  Kernel.start k;
+  Alcotest.(check bool) "pte + spawn + switch updates observed" true
+    (List.length !updates >= 3)
+
+let test_kernel_quiet_map_page_silent () =
+  let updates = ref 0 in
+  let callbacks =
+    {
+      Kernel.cb_info = (fun _ _ -> 0);
+      cb_kernel_update = (fun _ _ -> incr updates);
+    }
+  in
+  let _, k = mk_kernel ~callbacks trivial_program in
+  let before = !updates in
+  Kernel.map_page ~quiet:true k ~vpn:100
+    { Page_table.valid = true; writable = true; dma = false; device = false; ppn = 1 };
+  Alcotest.(check int) "no update" before !updates
+
+let test_kernel_dma_pages_scan () =
+  let _, k = mk_kernel trivial_program in
+  Kernel.map_page ~quiet:true k ~vpn:50
+    { Page_table.valid = true; writable = true; dma = true; device = false; ppn = 9 };
+  Kernel.map_page ~quiet:true k ~vpn:60
+    { Page_table.valid = true; writable = true; dma = true; device = false; ppn = 10 };
+  Alcotest.(check (list int)) "dma-marked pages found" [ 50; 60 ]
+    (Kernel.dma_pages_mapped k)
+
+let test_kernel_allocators_meet_in_middle () =
+  let _, k = mk_kernel trivial_program in
+  let low = Kernel.alloc_frame k in
+  let high = Kernel.alloc_frame_high k in
+  Alcotest.(check bool) "low below high" true (low < high)
+
+let suite =
+  [
+    Alcotest.test_case "layout partitions disjoint" `Quick
+      test_layout_partitions_disjoint;
+    Alcotest.test_case "layout classification" `Quick test_layout_classification;
+    Alcotest.test_case "stack slots disjoint" `Quick test_layout_stack_slots_disjoint;
+    Alcotest.test_case "context save/restore" `Quick test_context_save_restore;
+    Alcotest.test_case "context flip visible on restore" `Quick
+      test_context_flip_changes_restore;
+    Alcotest.test_case "data segment mapped" `Quick test_kernel_data_mapped;
+    Alcotest.test_case "spawn and dispatch" `Quick test_kernel_spawn_and_dispatch;
+    Alcotest.test_case "round robin" `Quick test_kernel_round_robin;
+    Alcotest.test_case "preempt preserves context" `Quick
+      test_kernel_preempt_preserves_context;
+    Alcotest.test_case "block/unblock" `Quick test_kernel_block_unblock;
+    Alcotest.test_case "irq latch" `Quick test_kernel_irq_latch;
+    Alcotest.test_case "join" `Quick test_kernel_join;
+    Alcotest.test_case "exit all" `Quick test_kernel_exit_all;
+    Alcotest.test_case "atomic syscall" `Quick test_kernel_atomic_syscall;
+    Alcotest.test_case "ft syscalls deferred with declared args" `Quick
+      test_kernel_ft_syscalls_deferred;
+    Alcotest.test_case "fault kills thread" `Quick test_kernel_fault_kills_thread;
+    Alcotest.test_case "kernel abort disposition" `Quick test_kernel_abort_disposition;
+    Alcotest.test_case "user mem error" `Quick test_kernel_user_mem_error;
+    Alcotest.test_case "signature hooks fire" `Quick test_kernel_signature_hooks_fire;
+    Alcotest.test_case "quiet map_page silent" `Quick test_kernel_quiet_map_page_silent;
+    Alcotest.test_case "dma page scan" `Quick test_kernel_dma_pages_scan;
+    Alcotest.test_case "allocators disjoint" `Quick
+      test_kernel_allocators_meet_in_middle;
+  ]

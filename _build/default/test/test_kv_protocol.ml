@@ -1,0 +1,152 @@
+(* Direct tests of the KV server's wire protocol, driving the simulated
+   NIC by hand against an unreplicated server, plus a randomized
+   cross-mode integration sweep. *)
+
+open Rcoe_machine
+open Rcoe_core
+open Rcoe_workloads
+open Rcoe_harness
+
+let mk_server ~mode ~n =
+  let config =
+    Runner.config_for ~mode ~nreplicas:n ~arch:Rcoe_machine.Arch.X86
+      ~with_net:true ()
+  in
+  let program = Kvstore.program ~max_records:64 ~branch_count:false () in
+  let sys = System.create ~config ~program in
+  (sys, Option.get (System.netdev sys))
+
+let transact sys net req =
+  Netdev.inject net ~now:(System.now sys) req;
+  let deadline = System.now sys + 2_000_000 in
+  let rec wait () =
+    System.run sys ~max_cycles:5_000;
+    match Netdev.take_tx net with
+    | [ (_, payload) ] -> payload
+    | [] when System.now sys < deadline && System.halted sys = None -> wait ()
+    | [] -> Alcotest.fail "no response"
+    | _ -> Alcotest.fail "multiple responses"
+  in
+  wait ()
+
+let put ~seq ~key v =
+  Array.concat [ [| Kvstore.req_magic; seq; Kvstore.op_put; key |]; v ]
+
+let get ~seq ~key = [| Kvstore.req_magic; seq; Kvstore.op_get; key |]
+
+let scan ~seq ~key ~len = [| Kvstore.req_magic; seq; Kvstore.op_scan; key; len |]
+
+let value k = Array.init Kvstore.vlen (fun i -> (k * 100) + i)
+
+let test_put_get_roundtrip () =
+  let sys, net = mk_server ~mode:Config.Base ~n:1 in
+  let resp = transact sys net (put ~seq:1 ~key:42 (value 42)) in
+  Alcotest.(check int) "put ok" 0 resp.(2);
+  let resp = transact sys net (get ~seq:2 ~key:42) in
+  Alcotest.(check int) "get ok" 0 resp.(2);
+  Alcotest.(check int) "seq echoed" 2 resp.(1);
+  Alcotest.(check (array int)) "value returned" (value 42)
+    (Array.sub resp 4 Kvstore.vlen)
+
+let test_get_missing () =
+  let sys, net = mk_server ~mode:Config.Base ~n:1 in
+  let resp = transact sys net (get ~seq:1 ~key:7) in
+  Alcotest.(check int) "not found" 1 resp.(2)
+
+let test_put_overwrites () =
+  let sys, net = mk_server ~mode:Config.Base ~n:1 in
+  ignore (transact sys net (put ~seq:1 ~key:5 (value 5)));
+  ignore (transact sys net (put ~seq:2 ~key:5 (value 99)));
+  let resp = transact sys net (get ~seq:3 ~key:5) in
+  Alcotest.(check (array int)) "overwritten" (value 99)
+    (Array.sub resp 4 Kvstore.vlen)
+
+let test_colliding_keys_chain () =
+  (* Keys congruent mod nbuckets land in one chain and must coexist. *)
+  let sys, net = mk_server ~mode:Config.Base ~n:1 in
+  let k1 = 3 and k2 = 3 + Kvstore.nbuckets and k3 = 3 + (2 * Kvstore.nbuckets) in
+  List.iteri
+    (fun i k -> ignore (transact sys net (put ~seq:i ~key:k (value k))))
+    [ k1; k2; k3 ];
+  List.iteri
+    (fun i k ->
+      let resp = transact sys net (get ~seq:(10 + i) ~key:k) in
+      Alcotest.(check int) "found" 0 resp.(2);
+      Alcotest.(check (array int)) "right value" (value k)
+        (Array.sub resp 4 Kvstore.vlen))
+    [ k1; k2; k3 ]
+
+let test_scan_returns_first_words () =
+  let sys, net = mk_server ~mode:Config.Base ~n:1 in
+  for k = 0 to 5 do
+    ignore (transact sys net (put ~seq:k ~key:k (value k)))
+  done;
+  let resp = transact sys net (scan ~seq:20 ~key:0 ~len:4) in
+  Alcotest.(check int) "ok" 0 resp.(2);
+  Alcotest.(check bool) "returned up to 4 entries" true
+    (Array.length resp >= 4 && Array.length resp <= 4 + 4)
+
+let test_unknown_op_rejected () =
+  let sys, net = mk_server ~mode:Config.Base ~n:1 in
+  let resp = transact sys net [| Kvstore.req_magic; 1; 9; 0 |] in
+  Alcotest.(check int) "bad-op status" 3 resp.(2)
+
+let test_put_get_replicated_identical () =
+  (* The same transcript against LC-D must produce the same responses. *)
+  let sys, net = mk_server ~mode:Config.LC ~n:2 in
+  let r1 = transact sys net (put ~seq:1 ~key:11 (value 11)) in
+  let r2 = transact sys net (get ~seq:2 ~key:11) in
+  Alcotest.(check int) "put ok" 0 r1.(2);
+  Alcotest.(check (array int)) "value" (value 11) (Array.sub r2 4 Kvstore.vlen);
+  Alcotest.(check bool) "no halt" true (System.halted sys = None)
+
+(* Randomized cross-mode sweep: any (mode, workload, seed) combination
+   must complete without corruption, client errors, or halts. *)
+let test_random_sweep () =
+  let rng = Rcoe_util.Rng.create 20260706 in
+  for _ = 1 to 6 do
+    let mode, n =
+      match Rcoe_util.Rng.int rng 5 with
+      | 0 -> (Config.Base, 1)
+      | 1 -> (Config.LC, 2)
+      | 2 -> (Config.LC, 3)
+      | 3 -> (Config.CC, 2)
+      | _ -> (Config.CC, 3)
+    in
+    let wl =
+      List.nth [ Ycsb.A; Ycsb.B; Ycsb.C; Ycsb.D; Ycsb.E; Ycsb.F ]
+        (Rcoe_util.Rng.int rng 6)
+    in
+    let seed = 1 + Rcoe_util.Rng.int rng 1000 in
+    let config =
+      Runner.config_for ~mode ~nreplicas:n ~arch:Rcoe_machine.Arch.X86
+        ~with_net:true ~seed ()
+    in
+    let res =
+      Kv_run.run ~config ~workload:wl ~records:30 ~operations:60
+        ~gen_seed:(seed * 3) ()
+    in
+    let c = res.Kv_run.counters in
+    let label =
+      Printf.sprintf "%s YCSB-%s seed=%d" (Config.replicas_label config)
+        (Ycsb.workload_to_string wl) seed
+    in
+    Alcotest.(check bool) (label ^ ": no halt") true
+      (System.halted res.Kv_run.sys = None);
+    Alcotest.(check int) (label ^ ": completed") c.Ycsb.issued c.Ycsb.completed;
+    Alcotest.(check int) (label ^ ": no corruption") 0 c.Ycsb.corrupted;
+    Alcotest.(check int) (label ^ ": no errors") 0 c.Ycsb.client_errors
+  done
+
+let suite =
+  [
+    Alcotest.test_case "put/get roundtrip" `Quick test_put_get_roundtrip;
+    Alcotest.test_case "get missing" `Quick test_get_missing;
+    Alcotest.test_case "put overwrites" `Quick test_put_overwrites;
+    Alcotest.test_case "colliding keys chain" `Quick test_colliding_keys_chain;
+    Alcotest.test_case "scan" `Quick test_scan_returns_first_words;
+    Alcotest.test_case "unknown op" `Quick test_unknown_op_rejected;
+    Alcotest.test_case "replicated transcript identical" `Quick
+      test_put_get_replicated_identical;
+    Alcotest.test_case "random cross-mode sweep" `Slow test_random_sweep;
+  ]

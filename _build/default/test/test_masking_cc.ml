@@ -1,0 +1,214 @@
+(* Error masking under CC-RCoE (x86 only — the spare page-table bit), the
+   Arm compiler-assisted counting path at system level, and assorted
+   small-surface coverage. *)
+
+open Rcoe_machine
+open Rcoe_core
+open Rcoe_workloads
+open Rcoe_harness
+
+let x86 = Arch.X86
+let arm = Arch.Arm
+
+let test_cc_masking_primary_when_quiescent () =
+  (* CC-T with masking: a primary fault detected at a tick vote (no I/O
+     in flight — the KV server is idle) downgrades, re-elects, and
+     patches the DMA pages; CC primary removal costs more than LC's. *)
+  let config =
+    {
+      (Runner.config_for ~mode:Config.CC ~nreplicas:3 ~arch:x86 ~with_net:true ())
+      with
+      Config.masking = true;
+    }
+  in
+  let program = Kvstore.program ~max_records:128 ~branch_count:false () in
+  let sys = System.create ~config ~program in
+  System.run sys ~max_cycles:200_000;
+  Mem.flip_bit (System.machine sys).Machine.mem
+    ~addr:(System.sig_base sys 0 + 1) ~bit:3;
+  System.run sys ~max_cycles:2_000_000
+    ~stop:(fun s -> System.downgrades s <> []);
+  (match System.downgrades sys with
+  | [ (_, 0, cost) ] ->
+      Alcotest.(check bool) "CC primary removal expensive" true (cost > 3_000_000)
+  | _ -> Alcotest.fail "expected primary downgrade");
+  Alcotest.(check int) "new primary" 1 (System.primary sys);
+  Alcotest.(check bool) "still up" true (System.halted sys = None)
+
+let test_cc_primary_fault_under_traffic () =
+  (* A primary fault under live CC traffic either masks (detection landed
+     on a tick or post-vote-committed write) at the cost of a ~2.6 ms
+     service gap — Table X's CC primary recovery — or, if detection lands
+     on a device-read rendezvous whose input the faulty primary already
+     distributed, halts with the paper's Section IV-A restriction. Either
+     way nothing corrupt may escape, and a masked system must resume
+     serving once the recovery stall has drained. *)
+  let config =
+    {
+      (Runner.config_for ~mode:Config.CC ~nreplicas:3 ~arch:x86 ~with_net:true ())
+      with
+      Config.masking = true;
+    }
+  in
+  let injected = ref false in
+  let inject sys =
+    if (not !injected) && System.tick_count sys > 15 then begin
+      injected := true;
+      Mem.flip_bit
+        (System.machine sys).Machine.mem
+        ~addr:(System.sig_base sys 0 + 1)
+        ~bit:3
+    end
+  in
+  let res =
+    Kv_run.run ~config ~workload:Ycsb.A ~records:60 ~operations:400 ~inject
+      ~stall_limit:25_000_000 ()
+  in
+  let sys = res.Kv_run.sys in
+  let c = res.Kv_run.counters in
+  Alcotest.(check int) "no corruption escaped" 0 c.Ycsb.corrupted;
+  match System.halted sys with
+  | Some System.H_masking_blocked -> () (* the Section IV-A restriction *)
+  | None ->
+      (match System.downgrades sys with
+      | [ (_, 0, _) ] -> ()
+      | _ -> Alcotest.fail "expected primary downgrade");
+      Alcotest.(check bool) "service resumed after recovery" false
+        res.Kv_run.stalled;
+      Alcotest.(check int) "all ops served" c.Ycsb.issued c.Ycsb.completed
+  | Some h ->
+      Alcotest.failf "unexpected halt: %s" (System.halt_reason_to_string h)
+
+let test_cc_masking_rejected_on_arm () =
+  (* Section IV-A: no spare PTE bit on 32-bit Arm. *)
+  let config =
+    {
+      (Runner.config_for ~mode:Config.CC ~nreplicas:3 ~arch:arm ())
+      with
+      Config.masking = true;
+    }
+  in
+  match Config.validate config with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected rejection"
+
+let test_cc_arm_datarace_deterministic () =
+  (* The compiler-assisted counter (including its non-atomic-update race)
+     must still give instruction-identical preemption: racy counters
+     agree across replicas on Arm too. *)
+  for seed = 1 to 3 do
+    let config =
+      Runner.config_for ~mode:Config.CC ~nreplicas:2 ~arch:arm ~seed
+        ~tick_interval:1_500 ()
+    in
+    let program =
+      Datarace.program ~threads:8 ~iters:100 ~locked:false ~branch_count:true ()
+    in
+    let r = Runner.run_program ~config ~program () in
+    (match r.Runner.halted with
+    | Some h -> Alcotest.failf "halted: %s" (System.halt_reason_to_string h)
+    | None -> ());
+    let counter rid =
+      Rcoe_kernel.Kernel.read_user (System.kernel r.Runner.sys rid)
+        ~va:(Rcoe_isa.Program.data_addr program Datarace.counter_label)
+    in
+    Alcotest.(check int) "replicas agree" (counter 0) (counter 1)
+  done
+
+let test_reintegration_after_cc_downgrade () =
+  let config =
+    {
+      (Runner.config_for ~mode:Config.CC ~nreplicas:3 ~arch:x86
+         ~tick_interval:5_000 ())
+      with
+      Config.masking = true;
+    }
+  in
+  let a = Rcoe_isa.Asm.create "spin" in
+  Rcoe_isa.Asm.label a "main";
+  Rcoe_isa.Asm.for_up a Rcoe_isa.Reg.R4 ~start:0
+    ~stop:(Rcoe_isa.Instr.Imm 2_000_000) (fun () -> Rcoe_isa.Asm.nop a);
+  Rcoe_isa.Asm.syscall a Rcoe_kernel.Syscall.sys_exit;
+  let program = Rcoe_isa.Asm.assemble ~entry:"main" a in
+  let sys = System.create ~config ~program in
+  System.run sys ~max_cycles:30_000;
+  Mem.flip_bit (System.machine sys).Machine.mem
+    ~addr:(System.sig_base sys 2 + 2) ~bit:8;
+  System.run sys ~max_cycles:500_000 ~stop:(fun s -> System.downgrades s <> []);
+  Alcotest.(check (list int)) "DMR" [ 0; 1 ] (System.live sys);
+  (match System.request_reintegration sys ~rid:2 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "rejected: %s" e);
+  System.run sys ~max_cycles:800_000
+    ~stop:(fun s -> System.reintegrations s <> []);
+  Alcotest.(check (list int)) "TMR again under CC" [ 0; 1; 2 ] (System.live sys);
+  System.run sys ~max_cycles:400_000;
+  Alcotest.(check bool) "no divergence after CC re-admission" true
+    (System.halted sys = None)
+
+(* --- small-surface coverage ---------------------------------------------- *)
+
+let test_arch_cycles_to_us () =
+  Alcotest.(check (float 1e-9)) "x86" 1.0
+    (Arch.cycles_to_us Arch.x86 3400);
+  Alcotest.(check (float 1e-9)) "arm" 2.0 (Arch.cycles_to_us Arch.arm 2000)
+
+let test_syscall_names_and_arities () =
+  let open Rcoe_kernel.Syscall in
+  Alcotest.(check string) "name" "ft_mem_rep" (name sys_ft_mem_rep);
+  Alcotest.(check string) "unknown" "unknown(99)" (name 99);
+  Alcotest.(check int) "exit arity" 0 (arg_count sys_exit);
+  Alcotest.(check int) "atomic arity" 4 (arg_count sys_atomic);
+  Alcotest.(check int) "rep arity" 3 (arg_count sys_ft_mem_rep);
+  Alcotest.(check int) "input_wait arity" 0 (arg_count sys_input_wait)
+
+let test_replica_state_name_diagnostic () =
+  let a = Rcoe_isa.Asm.create "spin" in
+  Rcoe_isa.Asm.label a "main";
+  Rcoe_isa.Asm.syscall a Rcoe_kernel.Syscall.sys_exit;
+  let program = Rcoe_isa.Asm.assemble ~entry:"main" a in
+  let sys =
+    System.create
+      ~config:(Runner.config_for ~mode:Config.LC ~nreplicas:2 ~arch:x86 ())
+      ~program
+  in
+  let s = System.replica_state_name sys 0 in
+  Alcotest.(check bool) "mentions state and phase" true
+    (String.length s > 5)
+
+let test_wl_resolve_entry_detects_layout_drift () =
+  (* A build function that changes layout based on the probed address
+     must be rejected. *)
+  let build addr =
+    let a = Rcoe_isa.Asm.create "bad" in
+    Rcoe_isa.Asm.label a "main";
+    Rcoe_isa.Asm.nop a;
+    if addr = 1 then Rcoe_isa.Asm.nop a;
+    Rcoe_isa.Asm.label a "worker";
+    Rcoe_isa.Asm.syscall a Rcoe_kernel.Syscall.sys_exit;
+    Rcoe_isa.Asm.assemble ~entry:"main" a
+  in
+  Alcotest.(check bool) "raises" true
+    (try ignore (Wl.resolve_entry build ~label:"worker"); false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "CC masking: primary failover when quiescent" `Slow
+      test_cc_masking_primary_when_quiescent;
+    Alcotest.test_case "CC primary fault under traffic" `Slow
+      test_cc_primary_fault_under_traffic;
+    Alcotest.test_case "CC masking rejected on Arm" `Quick
+      test_cc_masking_rejected_on_arm;
+    Alcotest.test_case "CC-Arm datarace deterministic" `Slow
+      test_cc_arm_datarace_deterministic;
+    Alcotest.test_case "reintegration after CC downgrade" `Slow
+      test_reintegration_after_cc_downgrade;
+    Alcotest.test_case "cycles_to_us" `Quick test_arch_cycles_to_us;
+    Alcotest.test_case "syscall names/arities" `Quick
+      test_syscall_names_and_arities;
+    Alcotest.test_case "replica state diagnostic" `Quick
+      test_replica_state_name_diagnostic;
+    Alcotest.test_case "resolve_entry detects layout drift" `Quick
+      test_wl_resolve_entry_detects_layout_drift;
+  ]

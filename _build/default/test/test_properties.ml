@@ -1,0 +1,146 @@
+(* Property tests on the replication engine's core data structures, plus
+   smoke coverage of the experiment-reproduction entry points. *)
+
+open Rcoe_core
+open Rcoe_machine
+open Rcoe_kernel
+
+(* --- Clock laws ----------------------------------------------------------- *)
+
+let gen_clock =
+  QCheck.Gen.(
+    let* count = int_range 0 1000 in
+    let* kind = int_range 0 3 in
+    if kind = 0 then return (Clock.in_kernel ~count)
+    else
+      let* b = int_range 0 500 in
+      let* ip = int_range 0 300 in
+      return { Clock.count; pos = Clock.At_user { branches_adj = b; ip } })
+
+let arb_clock = QCheck.make gen_clock
+
+let qcheck_clock_total_order =
+  QCheck.Test.make ~name:"clock compare is a total order (antisymmetry)"
+    ~count:500 (QCheck.pair arb_clock arb_clock) (fun (a, b) ->
+      let ab = Clock.compare a b and ba = Clock.compare b a in
+      (ab = 0 && ba = 0) || (ab > 0 && ba < 0) || (ab < 0 && ba > 0))
+
+let qcheck_clock_transitive =
+  QCheck.Test.make ~name:"clock compare is transitive" ~count:500
+    (QCheck.triple arb_clock arb_clock arb_clock) (fun (a, b, c) ->
+      if Clock.compare a b <= 0 && Clock.compare b c <= 0 then
+        Clock.compare a c <= 0
+      else true)
+
+let qcheck_clock_encode_order_preserving =
+  QCheck.Test.make ~name:"encode/decode preserves ordering" ~count:500
+    (QCheck.pair arb_clock arb_clock) (fun (a, b) ->
+      let a' = Clock.decode (Clock.encode a)
+      and b' = Clock.decode (Clock.encode b) in
+      compare (Clock.compare a b) 0 = compare (Clock.compare a' b') 0)
+
+(* --- Vote robustness -------------------------------------------------------- *)
+
+let mk_vote_env n =
+  let lay = Layout.compute ~nreplicas:n ~user_words:1024 in
+  (Mem.create lay.Layout.total_words, lay.Layout.shared)
+
+let qcheck_vote_never_convicts_healthy_majority =
+  (* Whatever one replica's corrupt signature is, the vote must convict
+     it or (never) a healthy one. *)
+  QCheck.Test.make ~name:"vote never convicts a healthy replica" ~count:300
+    QCheck.(triple (int_bound 4) (int_bound 100000) (int_bound 100000))
+    (fun (faulty_mod, good, bad) ->
+      QCheck.assume (good <> bad);
+      let n = 5 in
+      let faulty = faulty_mod mod n in
+      let mem, sh = mk_vote_env n in
+      for r = 0 to n - 1 do
+        Vote.publish_signature mem sh ~rid:r
+          (if r = faulty then (1, bad, bad) else (1, good, good))
+      done;
+      match Vote.run mem sh ~live:[ 0; 1; 2; 3; 4 ] with
+      | Vote.Faulty f -> f = faulty
+      | Vote.No_consensus -> false)
+
+let qcheck_vote_two_faulty_no_false_conviction =
+  (* With two differently-corrupt replicas out of four, a majority of two
+     healthy replicas is not enough for the Listing-5 rule: it must not
+     convict a healthy replica (no-consensus or one of the faulty two). *)
+  QCheck.Test.make ~name:"two faulty replicas never convict a healthy one"
+    ~count:300
+    QCheck.(pair (int_bound 100000) (pair (int_bound 100000) (int_bound 100000)))
+    (fun (good, (bad1, bad2)) ->
+      QCheck.assume (good <> bad1 && good <> bad2 && bad1 <> bad2);
+      let mem, sh = mk_vote_env 4 in
+      Vote.publish_signature mem sh ~rid:0 (1, good, good);
+      Vote.publish_signature mem sh ~rid:1 (1, good, good);
+      Vote.publish_signature mem sh ~rid:2 (1, bad1, bad1);
+      Vote.publish_signature mem sh ~rid:3 (1, bad2, bad2);
+      match Vote.run mem sh ~live:[ 0; 1; 2; 3 ] with
+      | Vote.Faulty f -> f = 2 || f = 3
+      | Vote.No_consensus -> true)
+
+let qcheck_signature_order_sensitivity =
+  QCheck.Test.make ~name:"in-memory signature is order sensitive" ~count:300
+    QCheck.(list_of_size Gen.(int_range 2 12) (int_bound 0xFFFF))
+    (fun ws ->
+      let distinct = List.sort_uniq compare ws in
+      QCheck.assume (List.length distinct >= 2);
+      let mem = Mem.create 16 in
+      Signature.reset mem ~base:0;
+      Signature.add_words mem ~base:0 (Array.of_list ws);
+      let fwd = Signature.read mem ~base:0 in
+      Signature.reset mem ~base:0;
+      Signature.add_words mem ~base:0 (Array.of_list (List.rev ws));
+      let rev = Signature.read mem ~base:0 in
+      List.rev ws = ws || not (Signature.equal3 fwd rev))
+
+(* --- layout properties ------------------------------------------------------- *)
+
+let qcheck_layout_no_overlap =
+  QCheck.Test.make ~name:"layout regions never overlap" ~count:100
+    QCheck.(pair (int_range 1 5) (int_range 1024 65536))
+    (fun (n, user_words) ->
+      let lay = Layout.compute ~nreplicas:n ~user_words in
+      let regions =
+        List.init n (fun i ->
+            let p = lay.Layout.partitions.(i) in
+            (p.Layout.p_base, p.Layout.p_base + p.Layout.p_words))
+        @ [
+            ( lay.Layout.shared.Layout.s_base,
+              lay.Layout.shared.Layout.s_base + lay.Layout.shared.Layout.s_words );
+            (lay.Layout.dma_base, lay.Layout.dma_base + lay.Layout.dma_words);
+          ]
+      in
+      let sorted = List.sort compare regions in
+      let rec ok = function
+        | (_, e1) :: ((s2, _) :: _ as rest) -> e1 <= s2 && ok rest
+        | _ -> true
+      in
+      ok sorted
+      && List.for_all (fun (_, e) -> e <= lay.Layout.total_words) sorted)
+
+(* --- smoke coverage of the experiment entry points --------------------------- *)
+
+let test_experiment_entry_points_smoke () =
+  (* Tiny-size runs of the reproduction functions; output goes to stdout
+     and is not asserted beyond "does not raise / does not halt". *)
+  Rcoe_harness.Perf_experiments.e1_datarace ~runs:2 ();
+  Rcoe_harness.Perf_experiments.table5 ~runs:1 ();
+  Rcoe_harness.Perf_experiments.table10 ~runs:1 ();
+  Rcoe_harness.Fault_experiments.table8 ~trials:3 ();
+  Rcoe_harness.Fault_experiments.detection_latency ~runs:1 ()
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_clock_total_order;
+    QCheck_alcotest.to_alcotest qcheck_clock_transitive;
+    QCheck_alcotest.to_alcotest qcheck_clock_encode_order_preserving;
+    QCheck_alcotest.to_alcotest qcheck_vote_never_convicts_healthy_majority;
+    QCheck_alcotest.to_alcotest qcheck_vote_two_faulty_no_false_conviction;
+    QCheck_alcotest.to_alcotest qcheck_signature_order_sensitivity;
+    QCheck_alcotest.to_alcotest qcheck_layout_no_overlap;
+    Alcotest.test_case "experiment entry points (smoke)" `Slow
+      test_experiment_entry_points_smoke;
+  ]

@@ -1,0 +1,235 @@
+open Rcoe_core
+open Rcoe_workloads
+open Rcoe_harness
+
+let x86 = Rcoe_machine.Arch.X86
+let arm = Rcoe_machine.Arch.Arm
+
+let base_cfg ?(arch = x86) () =
+  Runner.config_for ~mode:Config.Base ~nreplicas:1 ~arch ()
+
+let expect_finished name (r : Runner.result) =
+  (match r.Runner.halted with
+  | Some h -> Alcotest.failf "%s halted: %s" name (System.halt_reason_to_string h)
+  | None -> ());
+  Alcotest.(check bool) (name ^ " finished") true r.Runner.finished
+
+let test_dhrystone_base () =
+  let program = Dhrystone.program ~loops:300 ~branch_count:false () in
+  expect_finished "dhrystone"
+    (Runner.run_program ~config:(base_cfg ()) ~program ())
+
+let test_whetstone_base () =
+  let program = Whetstone.program ~loops:10 ~branch_count:false () in
+  expect_finished "whetstone"
+    (Runner.run_program ~config:(base_cfg ()) ~program ())
+
+let test_membw_base () =
+  let program = Membw.program ~buffer_words:4096 ~reps:2 ~branch_count:false () in
+  expect_finished "membw" (Runner.run_program ~config:(base_cfg ()) ~program ())
+
+let test_membw_copies_data () =
+  (* The copy must actually move the bytes: check dst = src afterwards. *)
+  let program = Membw.program ~buffer_words:512 ~reps:1 ~branch_count:false () in
+  let r = Runner.run_program ~config:(base_cfg ()) ~program () in
+  expect_finished "membw" r;
+  let k = System.kernel r.Runner.sys 0 in
+  let src = Rcoe_isa.Program.data_addr program "src" in
+  let dst = Rcoe_isa.Program.data_addr program "dst" in
+  for i = 0 to 511 do
+    Alcotest.(check int) "copied word"
+      (Rcoe_kernel.Kernel.read_user k ~va:(src + i))
+      (Rcoe_kernel.Kernel.read_user k ~va:(dst + i))
+  done
+
+let test_md5_isa_correct () =
+  (* The simulated md5sum must compute real MD5: every iteration prints
+     '.', never 'X'. This pins the ISA implementation to RFC 1321. *)
+  let program =
+    Md5sum.program ~message_words:64 ~iters:2 ~seed:3 ~branch_count:false ()
+  in
+  let r = Runner.run_program ~config:(base_cfg ()) ~program () in
+  expect_finished "md5sum" r;
+  Alcotest.(check string) "digests correct" ".." (System.output r.Runner.sys 0)
+
+let test_md5_isa_correct_arm_counted () =
+  let program =
+    Md5sum.program ~message_words:32 ~iters:1 ~seed:5 ~branch_count:true ()
+  in
+  let r =
+    Runner.run_program ~config:(base_cfg ~arch:arm ()) ~program ()
+  in
+  expect_finished "md5sum-arm" r;
+  Alcotest.(check string) "digests correct" "." (System.output r.Runner.sys 0)
+
+let read_counter (sys : System.t) program rid =
+  let va = Rcoe_isa.Program.data_addr program Datarace.counter_label in
+  Rcoe_kernel.Kernel.read_user (System.kernel sys rid) ~va
+
+let run_datarace ~mode ~locked ~seed =
+  let cfg =
+    Runner.config_for ~mode ~nreplicas:2 ~arch:x86 ~seed ~tick_interval:1_500 ()
+  in
+  let program = Datarace.program ~threads:8 ~iters:150 ~locked ~branch_count:false () in
+  let r = Runner.run_program ~config:cfg ~program () in
+  (r, program)
+
+let test_datarace_lc_diverges () =
+  (* Under LC, preemptions land at different instructions per replica, so
+     the racy counter diverges "with high probability" (paper V-A1). *)
+  let diverged = ref 0 in
+  for seed = 1 to 5 do
+    let r, program = run_datarace ~mode:Config.LC ~locked:false ~seed in
+    if r.Runner.halted = None && r.Runner.finished then begin
+      let c0 = read_counter r.Runner.sys program 0 in
+      let c1 = read_counter r.Runner.sys program 1 in
+      if c0 <> c1 then incr diverged
+    end
+    else incr diverged (* divergence detected earlier is divergence too *)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "LC diverged in %d/5 runs" !diverged)
+    true (!diverged >= 3)
+
+let test_datarace_cc_never_diverges () =
+  (* Under CC, replicas preempt at identical instructions: identical
+     (even if "wrong") counters, 5/5 runs. *)
+  for seed = 1 to 5 do
+    let r, program = run_datarace ~mode:Config.CC ~locked:false ~seed in
+    expect_finished "datarace-cc" r;
+    let c0 = read_counter r.Runner.sys program 0 in
+    let c1 = read_counter r.Runner.sys program 1 in
+    Alcotest.(check int) "replicas agree" c0 c1
+  done
+
+let test_datarace_locked_deterministic () =
+  (* With kernel-mediated atomics the count is exact under any mode. *)
+  let r, program = run_datarace ~mode:Config.LC ~locked:true ~seed:2 in
+  expect_finished "datarace-locked" r;
+  let c0 = read_counter r.Runner.sys program 0 in
+  Alcotest.(check int) "exact count" (8 * 150) c0;
+  Alcotest.(check int) "replicas agree" c0 (read_counter r.Runner.sys program 1)
+
+let test_splash_kernels_run () =
+  List.iter
+    (fun name ->
+      let program = Splash.program name ~scale:0 ~branch_count:false () in
+      let r = Runner.run_program ~config:(base_cfg ()) ~program () in
+      expect_finished ("splash:" ^ name) r)
+    Splash.names
+
+let splash_result program sys =
+  let va = Rcoe_isa.Program.data_addr program Splash.result_label in
+  List.init 2 (fun i -> Rcoe_kernel.Kernel.read_user (System.kernel sys 0) ~va:(va + i))
+
+let test_splash_nproc2_matches_nproc1 () =
+  List.iter
+    (fun name ->
+      let run nproc =
+        let program = Splash.program name ~scale:1 ~nproc ~branch_count:false () in
+        let r = Runner.run_program ~config:(base_cfg ()) ~program () in
+        expect_finished (Printf.sprintf "%s np%d" name nproc) r;
+        splash_result program r.Runner.sys
+      in
+      Alcotest.(check (list int)) (name ^ " np2 = np1") (run 1) (run 2))
+    Splash.mt_kernels
+
+let test_splash_nproc2_under_cc_vm () =
+  (* Multithreaded guests are exactly what LC cannot support and CC can
+     (paper Section I) — the two-worker kernels must run replicated in a
+     VM under CC. *)
+  List.iter
+    (fun name ->
+      let program = Splash.program name ~scale:0 ~nproc:2 ~branch_count:false () in
+      let cfg =
+        Runner.config_for ~mode:Config.CC ~nreplicas:2 ~arch:x86 ~vm:true ()
+      in
+      let r = Runner.run_program ~config:cfg ~program () in
+      expect_finished (name ^ " np2 cc-vm") r)
+    Splash.mt_kernels
+
+let test_splash_nproc2_rejected_for_serial_kernels () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Splash.program "cholesky" ~nproc:2 ~branch_count:false ());
+       false
+     with Invalid_argument _ -> true)
+
+let kv_cfg ~mode ~n = Runner.config_for ~mode ~nreplicas:n ~arch:x86 ~with_net:true ()
+
+let test_kv_base_ycsb_a () =
+  let res =
+    Kv_run.run ~config:(kv_cfg ~mode:Config.Base ~n:1) ~workload:Ycsb.A
+      ~records:60 ~operations:120 ()
+  in
+  (match System.halted res.Kv_run.sys with
+  | Some h -> Alcotest.failf "kv halted: %s" (System.halt_reason_to_string h)
+  | None -> ());
+  let c = res.Kv_run.counters in
+  Alcotest.(check bool) "no stall" false res.Kv_run.stalled;
+  Alcotest.(check int) "all ops answered" c.Ycsb.issued c.Ycsb.completed;
+  Alcotest.(check int) "no corruption" 0 c.Ycsb.corrupted;
+  Alcotest.(check int) "no client errors" 0 c.Ycsb.client_errors;
+  Alcotest.(check int) "no not-found" 0 c.Ycsb.not_found;
+  Alcotest.(check bool) "throughput positive" true (res.Kv_run.kops_per_sec > 0.0)
+
+let test_kv_lc_dmr () =
+  let res =
+    Kv_run.run ~config:(kv_cfg ~mode:Config.LC ~n:2) ~workload:Ycsb.A
+      ~records:40 ~operations:80 ()
+  in
+  (match System.halted res.Kv_run.sys with
+  | Some h -> Alcotest.failf "kv halted: %s" (System.halt_reason_to_string h)
+  | None -> ());
+  let c = res.Kv_run.counters in
+  Alcotest.(check int) "all ops answered" c.Ycsb.issued c.Ycsb.completed;
+  Alcotest.(check int) "no corruption" 0 c.Ycsb.corrupted;
+  Alcotest.(check int) "no not-found" 0 c.Ycsb.not_found
+
+let test_kv_cc_dmr () =
+  let res =
+    Kv_run.run ~config:(kv_cfg ~mode:Config.CC ~n:2) ~workload:Ycsb.A
+      ~records:30 ~operations:60 ()
+  in
+  (match System.halted res.Kv_run.sys with
+  | Some h -> Alcotest.failf "kv halted: %s" (System.halt_reason_to_string h)
+  | None -> ());
+  let c = res.Kv_run.counters in
+  Alcotest.(check int) "all ops answered" c.Ycsb.issued c.Ycsb.completed;
+  Alcotest.(check int) "no corruption" 0 c.Ycsb.corrupted
+
+let test_kv_workload_scan () =
+  let res =
+    Kv_run.run ~config:(kv_cfg ~mode:Config.Base ~n:1) ~workload:Ycsb.E
+      ~records:50 ~operations:60 ()
+  in
+  let c = res.Kv_run.counters in
+  Alcotest.(check int) "all ops answered" c.Ycsb.issued c.Ycsb.completed;
+  Alcotest.(check int) "no errors" 0 c.Ycsb.client_errors
+
+let suite =
+  [
+    Alcotest.test_case "dhrystone base" `Quick test_dhrystone_base;
+    Alcotest.test_case "whetstone base" `Quick test_whetstone_base;
+    Alcotest.test_case "membw base" `Quick test_membw_base;
+    Alcotest.test_case "membw copies data" `Quick test_membw_copies_data;
+    Alcotest.test_case "md5 on ISA matches RFC1321" `Quick test_md5_isa_correct;
+    Alcotest.test_case "md5 on ISA (arm, branch-counted)" `Quick
+      test_md5_isa_correct_arm_counted;
+    Alcotest.test_case "datarace: LC diverges" `Slow test_datarace_lc_diverges;
+    Alcotest.test_case "datarace: CC never diverges" `Slow
+      test_datarace_cc_never_diverges;
+    Alcotest.test_case "datarace: locked is exact" `Quick
+      test_datarace_locked_deterministic;
+    Alcotest.test_case "all 14 splash kernels run" `Slow test_splash_kernels_run;
+    Alcotest.test_case "splash NPROC=2 matches NPROC=1" `Slow
+      test_splash_nproc2_matches_nproc1;
+    Alcotest.test_case "splash NPROC=2 under CC in a VM" `Slow
+      test_splash_nproc2_under_cc_vm;
+    Alcotest.test_case "NPROC=2 rejected for serial kernels" `Quick
+      test_splash_nproc2_rejected_for_serial_kernels;
+    Alcotest.test_case "kv base YCSB-A" `Quick test_kv_base_ycsb_a;
+    Alcotest.test_case "kv LC-D YCSB-A" `Slow test_kv_lc_dmr;
+    Alcotest.test_case "kv CC-D YCSB-A" `Slow test_kv_cc_dmr;
+    Alcotest.test_case "kv YCSB-E scans" `Quick test_kv_workload_scan;
+  ]

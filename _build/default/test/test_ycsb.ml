@@ -1,0 +1,189 @@
+open Rcoe_workloads
+
+let cfg ?(records = 20) ?(operations = 50) ?(seed = 5) () =
+  { Ycsb.records; operations; seed }
+
+(* --- value integrity ---------------------------------------------------- *)
+
+let test_value_crc_embedded () =
+  let g = Ycsb.create (cfg ()) Ycsb.A in
+  let v = Ycsb.value_for g ~key:7 ~version:3 in
+  Alcotest.(check int) "width" Kvstore.vlen (Array.length v);
+  Alcotest.(check int) "crc"
+    (Rcoe_checksum.Crc32.words (Array.sub v 0 (Kvstore.vlen - 1)))
+    v.(Kvstore.vlen - 1);
+  Alcotest.(check int) "key embedded" 7 v.(0)
+
+(* --- load phase ---------------------------------------------------------- *)
+
+let test_load_phase_covers_all_records () =
+  let g = Ycsb.create (cfg ~records:10 ()) Ycsb.C in
+  let keys = ref [] in
+  for _ = 1 to 10 do
+    match Ycsb.next_request g with
+    | Some req ->
+        Alcotest.(check int) "put" Kvstore.op_put req.(2);
+        keys := req.(3) :: !keys
+    | None -> Alcotest.fail "load phase too short"
+  done;
+  Alcotest.(check bool) "load done" true (Ycsb.load_phase_done g);
+  Alcotest.(check (list int)) "keys 0..9" (List.init 10 (fun i -> 9 - i)) !keys
+
+(* --- mixes ---------------------------------------------------------------- *)
+
+let drain_ops g n =
+  let gets = ref 0 and puts = ref 0 and scans = ref 0 in
+  let rec go remaining =
+    if remaining > 0 then
+      match Ycsb.next_request g with
+      | Some req ->
+          (if req.(2) = Kvstore.op_get then incr gets
+           else if req.(2) = Kvstore.op_put then incr puts
+           else incr scans);
+          (* Answer immediately so in-flight never saturates. *)
+          Ycsb.on_response g
+            (Array.append
+               [| Kvstore.resp_magic; req.(1); 0; req.(2) |]
+               (Ycsb.value_for g ~key:req.(3) ~version:0));
+          go (remaining - 1)
+      | None -> ()
+  in
+  go n;
+  (!gets, !puts, !scans)
+
+let test_mix_c_read_only () =
+  let g = Ycsb.create (cfg ~records:10 ~operations:100 ()) Ycsb.C in
+  ignore (drain_ops g 10) (* load *);
+  let gets, puts, scans = drain_ops g 100 in
+  Alcotest.(check int) "all reads" 100 gets;
+  Alcotest.(check int) "no writes" 0 puts;
+  Alcotest.(check int) "no scans" 0 scans
+
+let test_mix_a_half_and_half () =
+  let g = Ycsb.create (cfg ~records:10 ~operations:400 ()) Ycsb.A in
+  ignore (drain_ops g 10);
+  let gets, puts, _ = drain_ops g 400 in
+  Alcotest.(check bool)
+    (Printf.sprintf "roughly 50/50 (%d/%d)" gets puts)
+    true
+    (gets > 150 && puts > 150)
+
+let test_mix_e_mostly_scans () =
+  let g = Ycsb.create (cfg ~records:10 ~operations:200 ()) Ycsb.E in
+  ignore (drain_ops g 10);
+  let _, puts, scans = drain_ops g 200 in
+  Alcotest.(check bool) "scans dominate" true (scans > 150);
+  Alcotest.(check bool) "some inserts" true (puts > 0)
+
+let test_mix_f_rmw_pairs () =
+  let g = Ycsb.create (cfg ~records:10 ~operations:50 ()) Ycsb.F in
+  ignore (drain_ops g 10);
+  (* F issues a GET; once answered, the paired PUT follows. *)
+  (match Ycsb.next_request g with
+  | Some req ->
+      Alcotest.(check int) "read first" Kvstore.op_get req.(2);
+      Ycsb.on_response g
+        (Array.append
+           [| Kvstore.resp_magic; req.(1); 0; req.(2) |]
+           (Ycsb.value_for g ~key:req.(3) ~version:0));
+      (match Ycsb.next_request g with
+      | Some put ->
+          Alcotest.(check int) "then write" Kvstore.op_put put.(2);
+          Alcotest.(check int) "same key" req.(3) put.(3)
+      | None -> Alcotest.fail "expected paired put")
+  | None -> Alcotest.fail "expected get")
+
+let test_mix_d_inserts_grow_keyspace () =
+  let g = Ycsb.create (cfg ~records:10 ~operations:300 ()) Ycsb.D in
+  ignore (drain_ops g 10);
+  let _, puts, _ = drain_ops g 300 in
+  Alcotest.(check bool) "inserts happened" true (puts > 0)
+
+(* --- response validation --------------------------------------------------- *)
+
+let start_run g ~records =
+  (* Push through exactly the load phase, answering everything. *)
+  ignore (drain_ops g records)
+
+let test_response_corruption_detected () =
+  let g = Ycsb.create (cfg ~records:5 ~operations:10 ()) Ycsb.C in
+  start_run g ~records:5;
+  match Ycsb.next_request g with
+  | Some req ->
+      let v = Ycsb.value_for g ~key:req.(3) ~version:0 in
+      v.(2) <- v.(2) lxor 64;
+      (* silent corruption *)
+      Ycsb.on_response g
+        (Array.append [| Kvstore.resp_magic; req.(1); 0; req.(2) |] v);
+      Alcotest.(check int) "corruption counted" 1
+        (Ycsb.counters g).Ycsb.corrupted
+  | None -> Alcotest.fail "expected request"
+
+let test_response_bad_magic () =
+  let g = Ycsb.create (cfg ()) Ycsb.C in
+  Ycsb.on_response g [| 0xBAD; 0; 0; 0 |];
+  Alcotest.(check int) "client error" 1 (Ycsb.counters g).Ycsb.client_errors
+
+let test_response_unknown_seq () =
+  let g = Ycsb.create (cfg ()) Ycsb.C in
+  Ycsb.on_response g [| Kvstore.resp_magic; 999; 0; 0 |];
+  Alcotest.(check int) "client error" 1 (Ycsb.counters g).Ycsb.client_errors
+
+let test_response_not_found_counted () =
+  let g = Ycsb.create (cfg ~records:5 ()) Ycsb.C in
+  start_run g ~records:5;
+  match Ycsb.next_request g with
+  | Some req ->
+      Ycsb.on_response g [| Kvstore.resp_magic; req.(1); 1; req.(2) |];
+      Alcotest.(check int) "not found" 1 (Ycsb.counters g).Ycsb.not_found
+  | None -> Alcotest.fail "expected request"
+
+let test_finished_condition () =
+  let g = Ycsb.create (cfg ~records:3 ~operations:4 ()) Ycsb.C in
+  Alcotest.(check bool) "not finished at start" false (Ycsb.finished g);
+  ignore (drain_ops g 3);
+  ignore (drain_ops g 4);
+  Alcotest.(check bool) "finished" true (Ycsb.finished g);
+  Alcotest.(check (option (array int))) "no more requests" None
+    (Ycsb.next_request g)
+
+let test_outstanding_tracking () =
+  let g = Ycsb.create (cfg ~records:3 ()) Ycsb.C in
+  (match Ycsb.next_request g with
+  | Some req ->
+      Alcotest.(check int) "one outstanding" 1 (Ycsb.outstanding g);
+      Ycsb.on_response g
+        (Array.append
+           [| Kvstore.resp_magic; req.(1); 0; req.(2) |]
+           (Ycsb.value_for g ~key:req.(3) ~version:0))
+  | None -> Alcotest.fail "expected");
+  Alcotest.(check int) "drained" 0 (Ycsb.outstanding g)
+
+let qcheck_values_always_valid =
+  QCheck.Test.make ~name:"generated values always pass the CRC check" ~count:300
+    QCheck.(pair (int_bound 100000) (int_bound 100000))
+    (fun (key, version) ->
+      let g = Ycsb.create (cfg ()) Ycsb.A in
+      let v = Ycsb.value_for g ~key ~version in
+      Rcoe_checksum.Crc32.words (Array.sub v 0 (Kvstore.vlen - 1))
+      = v.(Kvstore.vlen - 1))
+
+let suite =
+  [
+    Alcotest.test_case "value CRC embedded" `Quick test_value_crc_embedded;
+    Alcotest.test_case "load phase covers records" `Quick
+      test_load_phase_covers_all_records;
+    Alcotest.test_case "mix C read-only" `Quick test_mix_c_read_only;
+    Alcotest.test_case "mix A 50/50" `Quick test_mix_a_half_and_half;
+    Alcotest.test_case "mix E mostly scans" `Quick test_mix_e_mostly_scans;
+    Alcotest.test_case "mix F read-modify-write pairs" `Quick test_mix_f_rmw_pairs;
+    Alcotest.test_case "mix D inserts" `Quick test_mix_d_inserts_grow_keyspace;
+    Alcotest.test_case "response corruption detected" `Quick
+      test_response_corruption_detected;
+    Alcotest.test_case "response bad magic" `Quick test_response_bad_magic;
+    Alcotest.test_case "response unknown seq" `Quick test_response_unknown_seq;
+    Alcotest.test_case "response not-found" `Quick test_response_not_found_counted;
+    Alcotest.test_case "finished condition" `Quick test_finished_condition;
+    Alcotest.test_case "outstanding tracking" `Quick test_outstanding_tracking;
+    QCheck_alcotest.to_alcotest qcheck_values_always_valid;
+  ]
