@@ -4,7 +4,9 @@
    - `rcoe_run run -w dhrystone -m lc -n 3 -a arm` — run one workload
      under a replication configuration and report timing and stats
    - `rcoe_run kv -m cc -n 2 --workload A` — run the KV/YCSB benchmark
-   - `rcoe_run disasm -w whetstone` — show the assembled program *)
+   - `rcoe_run disasm -w whetstone` — show the assembled program
+   - `rcoe_run lint [-w datarace]` — static replication-safety analysis:
+     LC_safe / CC_required / Rejected per workload *)
 
 open Cmdliner
 open Rcoe_core
@@ -32,6 +34,19 @@ let program_of_name name ~branch_count =
       else
         invalid_arg
           (Printf.sprintf "unknown workload %s (try `rcoe_run list`)" other)
+
+(* The lint subcommand also covers the KV server program (the `kv`
+   subcommand's guest, driven by the host-side YCSB generator). *)
+let lintable_names = workload_names @ [ "kvstore" ]
+
+let lintable_program name ~branch_count =
+  if String.equal name "kvstore" then Kvstore.program ~branch_count ()
+  else program_of_name name ~branch_count
+
+let analyze_program p =
+  Rcoe_isa.Lint.analyze
+    ~exit_syscalls:[ Rcoe_kernel.Syscall.sys_exit ]
+    ~spawn_syscall:Rcoe_kernel.Syscall.sys_spawn p
 
 (* --- common options --------------------------------------------------- *)
 
@@ -89,13 +104,34 @@ let run_cmd =
   let wl_arg =
     Arg.(required & opt (some string) None & info [ "w"; "workload" ] ~doc:"workload name")
   in
-  let run wl mode n arch vm level seed fast_catchup =
+  let strict_lint_arg =
+    Arg.(value & flag
+         & info [ "strict-lint" ]
+             ~doc:"refuse to start if the static analyzer rejects the \
+                   program or finds races under LC")
+  in
+  let run wl mode n arch vm level seed fast_catchup strict_lint =
     let branch_count = Wl.branch_count_for arch in
     let program = program_of_name wl ~branch_count in
     let config =
-      mk_config ~fast_catchup mode n arch vm level seed ~with_net:false
+      {
+        (mk_config ~fast_catchup mode n arch vm level seed ~with_net:false)
+        with
+        Config.strict_lint;
+      }
     in
     let r = Runner.run_program ~config ~program () in
+    List.iter
+      (fun w -> Printf.printf "lint:       warning: %s\n" w)
+      (System.lint_warnings r.Runner.sys);
+    (let report = System.lint_report r.Runner.sys in
+     if
+       report.Rcoe_isa.Lint.verdict = Rcoe_isa.Lint.CC_required
+       && config.Config.mode = Config.LC
+     then
+       Printf.printf
+         "lint:       program requires CC; this LC run may silently \
+          diverge\n");
     let profile = Rcoe_machine.Arch.profile_of arch in
     Printf.printf "workload:   %s\n" wl;
     Printf.printf "config:     %s on %s%s, level %s\n"
@@ -121,7 +157,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ wl_arg $ mode_arg $ replicas_arg $ arch_arg $ vm_arg
-      $ level_arg $ seed_arg $ fast_catchup_arg)
+      $ level_arg $ seed_arg $ fast_catchup_arg $ strict_lint_arg)
 
 let kv_cmd =
   let doc = "run the KV server under a YCSB workload" in
@@ -183,7 +219,103 @@ let disasm_cmd =
   in
   Cmd.v (Cmd.info "disasm" ~doc) Term.(const run $ wl_arg $ counted_arg)
 
+let lint_cmd =
+  let doc =
+    "statically analyze workloads for replication safety (LC_safe / \
+     CC_required / Rejected)"
+  in
+  let wl_arg =
+    Arg.(value & opt (some string) None
+         & info [ "w"; "workload" ] ~doc:"workload name (default: all)")
+  in
+  let counted_arg =
+    Arg.(value & flag
+         & info [ "branch-count" ]
+             ~doc:"apply the branch-counting pass before analyzing")
+  in
+  let verdict_str r =
+    Rcoe_isa.Lint.verdict_to_string r.Rcoe_isa.Lint.verdict
+  in
+  let count sev r =
+    List.length
+      (List.filter
+         (fun f -> f.Rcoe_isa.Lint.f_severity = sev)
+         r.Rcoe_isa.Lint.findings)
+  in
+  let lint_one name counted =
+    let program = lintable_program name ~branch_count:counted in
+    let r = analyze_program program in
+    Printf.printf "%s%s: %s\n" name
+      (if counted then " (branch-counted)" else "")
+      (verdict_str r);
+    let roots = r.Rcoe_isa.Lint.cfg.Rcoe_isa.Cfg.roots in
+    Printf.printf "thread roots: %s\n\n"
+      (String.concat ", "
+         (List.map
+            (fun (a, m) ->
+              Printf.sprintf "%d (x%s)" a
+                (if m >= 2 then "2+" else string_of_int m))
+            roots));
+    (match r.Rcoe_isa.Lint.findings with
+    | [] -> print_endline "no findings"
+    | fs ->
+        let t =
+          Rcoe_util.Table.create
+            ~headers:[ "addr"; "severity"; "rule"; "finding" ]
+        in
+        List.iter
+          (fun f ->
+            Rcoe_util.Table.add_row t
+              [
+                (match f.Rcoe_isa.Lint.f_addr with
+                | Some a -> string_of_int a
+                | None -> "-");
+                Rcoe_isa.Lint.severity_to_string f.Rcoe_isa.Lint.f_severity;
+                f.Rcoe_isa.Lint.f_rule;
+                f.Rcoe_isa.Lint.f_message;
+              ])
+          fs;
+        Rcoe_util.Table.print t);
+    r.Rcoe_isa.Lint.verdict <> Rcoe_isa.Lint.Rejected
+  in
+  let lint_all () =
+    let t =
+      Rcoe_util.Table.create
+        ~headers:
+          [ "workload"; "verdict"; "counted verdict"; "warnings"; "infos" ]
+    in
+    let ok = ref true in
+    List.iter
+      (fun name ->
+        let plain = analyze_program (lintable_program name ~branch_count:false) in
+        let counted = analyze_program (lintable_program name ~branch_count:true) in
+        if
+          plain.Rcoe_isa.Lint.verdict = Rcoe_isa.Lint.Rejected
+          || counted.Rcoe_isa.Lint.verdict = Rcoe_isa.Lint.Rejected
+        then ok := false;
+        Rcoe_util.Table.add_row t
+          [
+            name;
+            verdict_str plain;
+            verdict_str counted;
+            string_of_int (count Rcoe_isa.Lint.Warning plain);
+            string_of_int (count Rcoe_isa.Lint.Info plain);
+          ])
+      lintable_names;
+    Rcoe_util.Table.print t;
+    !ok
+  in
+  let run wl counted =
+    let ok =
+      match wl with Some name -> lint_one name counted | None -> lint_all ()
+    in
+    if not ok then exit 1
+  in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ wl_arg $ counted_arg)
+
 let () =
   let doc = "redundant co-execution on a simulated COTS multicore" in
   let info = Cmd.info "rcoe_run" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; kv_cmd; disasm_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; run_cmd; kv_cmd; disasm_cmd; lint_cmd ]))

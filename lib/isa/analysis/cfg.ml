@@ -1,0 +1,273 @@
+type edge_kind = Fall | Jump | Call | Retsite | Indirect
+
+type issue = Out_of_range of int | Symbolic of string | Off_end
+
+type block = {
+  id : int;
+  first : int;
+  last : int;
+  mutable succs : (int * edge_kind) list;
+  mutable preds : (int * edge_kind) list;
+}
+
+type t = {
+  program : Program.t;
+  blocks : block array;
+  block_of_addr : int array;
+  insn_succs : (edge_kind * int) list array;
+  issues : (int * issue) list;
+  roots : (int * int) list;
+  unknown_spawns : int list;
+  reachable : bool array;
+}
+
+let issue_to_string = function
+  | Out_of_range a -> Printf.sprintf "branch target %d outside code" a
+  | Symbolic l -> Printf.sprintf "unresolved symbolic target %s" l
+  | Off_end -> "execution falls off the end of the code"
+
+let default_exit_syscalls = [ 0 ] (* Sys_exit *)
+let default_spawn_syscall = 2 (* Sys_spawn *)
+
+(* Instruction-level successors plus the list of unfollowable targets. *)
+let compute_succs (p : Program.t) ~exit_syscalls =
+  let code = p.Program.code in
+  let n = Array.length code in
+  let issues = ref [] in
+  let label_addrs =
+    List.sort_uniq compare (List.map snd p.Program.code_labels)
+    |> List.filter (fun a -> a >= 0 && a < n)
+  in
+  let succs = Array.make n [] in
+  for i = 0 to n - 1 do
+    let add k a = succs.(i) <- (k, a) :: succs.(i) in
+    let target kind = function
+      | Instr.Abs a ->
+          if a < 0 || a >= n then issues := (i, Out_of_range a) :: !issues
+          else add kind a
+      | Instr.Lbl l -> issues := (i, Symbolic l) :: !issues
+    in
+    let fall kind =
+      if i + 1 >= n then issues := (i, Off_end) :: !issues
+      else add kind (i + 1)
+    in
+    (match code.(i) with
+    | Instr.Ret | Instr.Halt -> ()
+    | Instr.Syscall k when List.mem k exit_syscalls -> ()
+    | Instr.Jmp tgt -> target Jump tgt
+    | Instr.Jal tgt ->
+        target Call tgt;
+        fall Retsite
+    | Instr.B (_, _, _, tgt) | Instr.Fb (_, _, _, tgt) ->
+        target Jump tgt;
+        fall Fall
+    | Instr.Jr _ -> List.iter (fun a -> add Indirect a) label_addrs
+    | _ -> fall Fall);
+    succs.(i) <- List.rev succs.(i)
+  done;
+  (succs, List.rev !issues)
+
+let bfs n succs starts =
+  let seen = Array.make n false in
+  let q = Queue.create () in
+  List.iter
+    (fun a ->
+      if a >= 0 && a < n && not seen.(a) then begin
+        seen.(a) <- true;
+        Queue.add a q
+      end)
+    starts;
+  while not (Queue.is_empty q) do
+    let i = Queue.pop q in
+    List.iter
+      (fun (_, j) ->
+        if not seen.(j) then begin
+          seen.(j) <- true;
+          Queue.add j q
+        end)
+      succs.(i)
+  done;
+  seen
+
+(* Recover the spawn entry address: scan backwards from the spawn syscall
+   for [mov r0, #entry], stopping at branches or any other write to r0. *)
+let spawn_target code i =
+  let rec scan j =
+    if j < 0 then None
+    else
+      match code.(j) with
+      | Instr.Mov (r, Instr.Imm e) when Reg.equal r Reg.R0 -> Some e
+      | ins ->
+          if
+            Instr.is_branch ins
+            || List.exists (Reg.equal Reg.R0) (Instr.defs ins)
+          then None
+          else scan (j - 1)
+  in
+  scan (i - 1)
+
+let insn_in_cycle n succs i =
+  if i < 0 || i >= n then false
+  else
+    let starts = List.map snd succs.(i) in
+    let seen = bfs n succs starts in
+    seen.(i)
+
+(* Root discovery is a fixpoint: spawn sites only count once they are
+   reachable from the current root set, and a newly discovered root can
+   make further spawn sites reachable. Multiplicities saturate at 2. *)
+let compute_roots (p : Program.t) succs ~spawn_syscall =
+  let code = p.Program.code in
+  let n = Array.length code in
+  let label_addrs =
+    List.sort_uniq compare (List.map snd p.Program.code_labels)
+    |> List.filter (fun a -> a >= 0 && a < n)
+  in
+  let entry_roots =
+    if n = 0 then []
+    else if p.Program.entry >= 0 && p.Program.entry < n then
+      [ (p.Program.entry, 1) ]
+    else []
+  in
+  let sat m = min m 2 in
+  let rec fix roots =
+    let reach = bfs n succs (List.map fst roots) in
+    let spawn_mults = Hashtbl.create 8 in
+    let unknown = ref [] in
+    for i = 0 to n - 1 do
+      if reach.(i) then
+        match code.(i) with
+        | Instr.Syscall k when k = spawn_syscall -> (
+            match spawn_target code i with
+            | Some e when e >= 0 && e < n ->
+                let m = if insn_in_cycle n succs i then 2 else 1 in
+                let prev =
+                  Option.value (Hashtbl.find_opt spawn_mults e) ~default:0
+                in
+                Hashtbl.replace spawn_mults e (sat (prev + m))
+            | Some _ | None -> unknown := i :: !unknown)
+        | _ -> ()
+    done;
+    if !unknown <> [] then
+      (* Spawn target unknown: any label could be a thread entry. *)
+      List.iter
+        (fun a ->
+          let prev =
+            Option.value (Hashtbl.find_opt spawn_mults a) ~default:0
+          in
+          Hashtbl.replace spawn_mults a (sat (prev + 2)))
+        label_addrs;
+    let roots' =
+      let spawned =
+        Hashtbl.fold (fun a m acc -> (a, m) :: acc) spawn_mults []
+      in
+      let merged = Hashtbl.create 8 in
+      List.iter
+        (fun (a, m) ->
+          let prev = Option.value (Hashtbl.find_opt merged a) ~default:0 in
+          Hashtbl.replace merged a (sat (prev + m)))
+        (entry_roots @ spawned);
+      Hashtbl.fold (fun a m acc -> (a, m) :: acc) merged []
+      |> List.sort compare
+    in
+    if roots' = roots then (roots, List.rev !unknown) else fix roots'
+  in
+  fix (List.sort compare entry_roots)
+
+let compute_blocks (p : Program.t) succs roots =
+  let code = p.Program.code in
+  let n = Array.length code in
+  if n = 0 then ([||], [||])
+  else begin
+    let leader = Array.make n false in
+    leader.(0) <- true;
+    List.iter (fun (a, _) -> leader.(a) <- true) roots;
+    for i = 0 to n - 1 do
+      let ins = code.(i) in
+      let terminal =
+        match succs.(i) with
+        | [] -> true
+        | [ (Fall, j) ] when j = i + 1 -> Instr.is_branch ins
+        | _ -> true
+      in
+      if terminal && i + 1 < n then leader.(i + 1) <- true;
+      List.iter (fun (_, j) -> leader.(j) <- true) succs.(i)
+    done;
+    let block_of_addr = Array.make n (-1) in
+    let blocks = ref [] in
+    let nb = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let first = !i in
+      incr i;
+      while !i < n && not leader.(!i) do
+        incr i
+      done;
+      let b =
+        { id = !nb; first; last = !i - 1; succs = []; preds = [] }
+      in
+      for a = first to !i - 1 do
+        block_of_addr.(a) <- !nb
+      done;
+      blocks := b :: !blocks;
+      incr nb
+    done;
+    let blocks = Array.of_list (List.rev !blocks) in
+    Array.iter
+      (fun b ->
+        b.succs <-
+          List.map (fun (k, a) -> (block_of_addr.(a), k)) succs.(b.last))
+      blocks;
+    Array.iter
+      (fun b ->
+        List.iter
+          (fun (sid, k) ->
+            blocks.(sid).preds <- (b.id, k) :: blocks.(sid).preds)
+          b.succs)
+      blocks;
+    Array.iter (fun b -> b.preds <- List.rev b.preds) blocks;
+    (blocks, block_of_addr)
+  end
+
+let build ?(exit_syscalls = default_exit_syscalls)
+    ?(spawn_syscall = default_spawn_syscall) (p : Program.t) =
+  let n = Array.length p.Program.code in
+  let insn_succs, issues = compute_succs p ~exit_syscalls in
+  let roots, unknown_spawns = compute_roots p insn_succs ~spawn_syscall in
+  let reachable = bfs n insn_succs (List.map fst roots) in
+  let blocks, block_of_addr = compute_blocks p insn_succs roots in
+  {
+    program = p;
+    blocks;
+    block_of_addr;
+    insn_succs;
+    issues;
+    roots;
+    unknown_spawns;
+    reachable;
+  }
+
+let reachable t a =
+  a >= 0 && a < Array.length t.reachable && t.reachable.(a)
+
+let reachable_from t a =
+  bfs (Array.length t.reachable) t.insn_succs [ a ]
+
+let in_cycle t a =
+  insn_in_cycle (Array.length t.reachable) t.insn_succs a
+
+let dead_code t =
+  let n = Array.length t.reachable in
+  let runs = ref [] in
+  let start = ref (-1) in
+  for i = 0 to n - 1 do
+    if not t.reachable.(i) then begin
+      if !start < 0 then start := i
+    end
+    else if !start >= 0 then begin
+      runs := (!start, i - 1) :: !runs;
+      start := -1
+    end
+  done;
+  if !start >= 0 then runs := (!start, n - 1) :: !runs;
+  List.rev !runs

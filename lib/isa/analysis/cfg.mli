@@ -1,0 +1,77 @@
+(** Control-flow graphs over assembled programs.
+
+    The graph is the substrate of the replication-safety analyzer: basic
+    blocks with successor/predecessor edges, thread-entry roots
+    (discovered through the [Sys_spawn] idiom), reachability, and
+    dead-code detection. Branch targets that cannot be followed —
+    symbolic labels, addresses outside the code array (the Harvard
+    equivalent of a jump into data), or execution falling off the end —
+    are recorded as {!issue}s instead of edges; the lint pass decides
+    their severity based on reachability.
+
+    Indirect jumps ([Jr]) are handled conservatively: they may target
+    any code label of the program. *)
+
+type edge_kind =
+  | Fall  (** Sequential fallthrough (including the not-taken branch arm). *)
+  | Jump  (** Taken [B]/[Fb]/[Jmp]. *)
+  | Call  (** [Jal] into the callee. *)
+  | Retsite  (** [Jal] to the instruction after it — the callee, assumed
+                 balanced, eventually returns here. *)
+  | Indirect  (** Conservative [Jr] edge to some code label. *)
+
+type issue =
+  | Out_of_range of int
+      (** Branch target outside the code array (jump "into data"). *)
+  | Symbolic of string  (** Target still a label: unassembled program. *)
+  | Off_end  (** Execution can fall through past the last instruction. *)
+
+type block = {
+  id : int;
+  first : int;  (** Address of the first instruction. *)
+  last : int;  (** Address of the last instruction (inclusive). *)
+  mutable succs : (int * edge_kind) list;  (** Successor block ids. *)
+  mutable preds : (int * edge_kind) list;  (** Predecessor block ids. *)
+}
+
+type t = {
+  program : Program.t;
+  blocks : block array;  (** Every instruction belongs to exactly one. *)
+  block_of_addr : int array;  (** Instruction address -> block id. *)
+  insn_succs : (edge_kind * int) list array;
+      (** Instruction-level successor addresses. *)
+  issues : (int * issue) list;  (** Unfollowable control flow, by address. *)
+  roots : (int * int) list;
+      (** Thread entry points with concurrency multiplicity: the program
+          entry has multiplicity 1; spawn targets get 2 when the spawn
+          site sits on a cycle or several sites share the target
+          (saturating — 2 already means "more than one concurrent
+          instance can exist"). *)
+  unknown_spawns : int list;
+      (** Reachable spawn syscalls whose entry register could not be
+          resolved to a constant; the root set is then conservatively
+          widened to every code label. *)
+  reachable : bool array;  (** Instruction reachable from some root. *)
+}
+
+val build :
+  ?exit_syscalls:int list -> ?spawn_syscall:int -> Program.t -> t
+(** Build the graph. [exit_syscalls] (default [[0]], [Sys_exit]) are
+    treated as terminators; [spawn_syscall] (default [2], [Sys_spawn])
+    drives root discovery: the entry address is recovered by scanning
+    backwards from the spawn site for [mov r0, #entry], the idiom
+    {!Wl.spawn_label} emits. *)
+
+val reachable : t -> int -> bool
+(** Is the instruction at this address reachable from any root? *)
+
+val reachable_from : t -> int -> bool array
+(** Instruction-level reachability from a single start address. *)
+
+val in_cycle : t -> int -> bool
+(** Is the instruction at this address on a control-flow cycle? *)
+
+val dead_code : t -> (int * int) list
+(** Maximal runs [(first, last)] of unreachable instructions. *)
+
+val issue_to_string : issue -> string

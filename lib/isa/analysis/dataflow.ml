@@ -1,0 +1,131 @@
+type direction = Forward | Backward
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+module Make (L : LATTICE) = struct
+  type result = { before : L.t array; after : L.t array }
+
+  let solve ~cfg ~direction ~init ~bottom ~transfer ?(edge = fun _ x -> x)
+      ?entries () =
+    let blocks = cfg.Cfg.blocks in
+    let code = cfg.Cfg.program.Program.code in
+    let n = Array.length code in
+    let nb = Array.length blocks in
+    let block_transfer b x =
+      match direction with
+      | Forward ->
+          let acc = ref x in
+          for i = b.Cfg.first to b.Cfg.last do
+            acc := transfer i code.(i) !acc
+          done;
+          !acc
+      | Backward ->
+          let acc = ref x in
+          for i = b.Cfg.last downto b.Cfg.first do
+            acc := transfer i code.(i) !acc
+          done;
+          !acc
+    in
+    (* In-neighbours feed a block's boundary fact; out-neighbours are
+       re-queued when its transferred fact changes. *)
+    let in_neighbours b =
+      match direction with
+      | Forward -> b.Cfg.preds
+      | Backward -> b.Cfg.succs
+    in
+    let out_neighbours b =
+      match direction with
+      | Forward -> b.Cfg.succs
+      | Backward -> b.Cfg.preds
+    in
+    let is_entry =
+      let set = Hashtbl.create 8 in
+      (match (entries, direction) with
+      | Some es, _ -> List.iter (fun a -> Hashtbl.replace set a ()) es
+      | None, Forward ->
+          List.iter (fun (a, _) -> Hashtbl.replace set a ()) cfg.Cfg.roots
+      | None, Backward ->
+          Array.iter
+            (fun b ->
+              if b.Cfg.succs = [] then Hashtbl.replace set b.Cfg.first ())
+            blocks);
+      fun b -> Hashtbl.mem set b.Cfg.first
+    in
+    let start = Array.make nb bottom in
+    let finish = Array.make nb bottom in
+    let on_list = Array.make nb false in
+    let work = Queue.create () in
+    let push id =
+      if not on_list.(id) then begin
+        on_list.(id) <- true;
+        Queue.add id work
+      end
+    in
+    Array.iter (fun b -> push b.Cfg.id) blocks;
+    while not (Queue.is_empty work) do
+      let id = Queue.pop work in
+      on_list.(id) <- false;
+      let b = blocks.(id) in
+      let boundary = if is_entry b then init else bottom in
+      let inflow =
+        List.fold_left
+          (fun acc (p, k) -> L.join acc (edge k finish.(p)))
+          boundary (in_neighbours b)
+      in
+      start.(id) <- inflow;
+      let out = block_transfer b inflow in
+      if not (L.equal out finish.(id)) then begin
+        finish.(id) <- out;
+        List.iter (fun (s, _) -> push s) (out_neighbours b)
+      end
+    done;
+    let before = Array.make n bottom and after = Array.make n bottom in
+    Array.iter
+      (fun b ->
+        match direction with
+        | Forward ->
+            let x = ref start.(b.Cfg.id) in
+            for i = b.Cfg.first to b.Cfg.last do
+              before.(i) <- !x;
+              x := transfer i code.(i) !x;
+              after.(i) <- !x
+            done
+        | Backward ->
+            let x = ref start.(b.Cfg.id) in
+            for i = b.Cfg.last downto b.Cfg.first do
+              after.(i) <- !x;
+              x := transfer i code.(i) !x;
+              before.(i) <- !x
+            done)
+      blocks;
+    { before; after }
+end
+
+module Bits = struct
+  type t = int
+
+  let equal = Int.equal
+  let join = ( lor )
+end
+
+module Live = Make (Bits)
+
+let live_in cfg =
+  let mask regs =
+    List.fold_left (fun m r -> m lor (1 lsl Reg.index r)) 0 regs
+  in
+  let transfer _ ins live =
+    live land lnot (mask (Instr.defs ins)) lor mask (Instr.uses ins)
+  in
+  let r =
+    Live.solve ~cfg ~direction:Backward ~init:0 ~bottom:0 ~transfer ()
+  in
+  Array.map
+    (fun m ->
+      List.filter (fun reg -> m land (1 lsl Reg.index reg) <> 0) Reg.all)
+    r.Live.before

@@ -1,0 +1,51 @@
+(** Generic forward/backward dataflow over a {!Cfg.t}.
+
+    A worklist fixpoint solver parameterised by a join-semilattice. Facts
+    propagate block-to-block; the per-instruction [transfer] function is
+    folded across each block, and an optional [edge] function adjusts the
+    fact flowing along an edge by its kind — e.g. a stack-balance
+    analysis maps [Call] edges to bottom (stay intraprocedural) while
+    letting [Retsite] edges carry the caller's depth across the call.
+
+    The solver also provides a ready-made backward register-liveness
+    instance built on {!Instr.defs}/{!Instr.uses}. *)
+
+type direction = Forward | Backward
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+module Make (L : LATTICE) : sig
+  type result = {
+    before : L.t array;
+        (** Fact immediately before each instruction executes. *)
+    after : L.t array;
+        (** Fact immediately after each instruction executes. *)
+  }
+
+  val solve :
+    cfg:Cfg.t ->
+    direction:direction ->
+    init:L.t ->
+    bottom:L.t ->
+    transfer:(int -> Instr.t -> L.t -> L.t) ->
+    ?edge:(Cfg.edge_kind -> L.t -> L.t) ->
+    ?entries:int list ->
+    unit ->
+    result
+  (** [init] seeds the boundary blocks: for [Forward] the blocks whose
+      first address is in [entries] (default: the CFG roots); for
+      [Backward] the blocks in [entries] (by first address) or, by
+      default, every block with no successors. [bottom] must be a
+      neutral element of [join]. [transfer addr instr fact] is applied
+      in execution order for [Forward] and reverse order for
+      [Backward]. *)
+end
+
+val live_in : Cfg.t -> Reg.t list array
+(** Registers live before each instruction: the canonical backward
+    instance (may-liveness, exits seeded empty). *)

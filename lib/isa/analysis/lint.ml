@@ -1,0 +1,526 @@
+type severity = Info | Warning | Error
+
+type verdict = LC_safe | CC_required | Rejected
+
+type finding = {
+  f_addr : int option;
+  f_rule : string;
+  f_severity : severity;
+  f_message : string;
+}
+
+type report = { verdict : verdict; findings : finding list; cfg : Cfg.t }
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let verdict_to_string = function
+  | LC_safe -> "LC_safe"
+  | CC_required -> "CC_required"
+  | Rejected -> "Rejected"
+
+(* --- syntactic scans (subsuming the historical Check module) ---------- *)
+
+let scan p pred =
+  let acc = ref [] in
+  Array.iteri
+    (fun addr i -> if pred i then acc := (addr, i) :: !acc)
+    p.Program.code;
+  List.rev !acc
+
+let exclusives p =
+  scan p (function Instr.Ldex _ | Instr.Stex _ -> true | _ -> false)
+
+let rep_strings p = scan p (function Instr.Rep_movs -> true | _ -> false)
+
+let unresolved_targets p =
+  let n = Array.length p.Program.code in
+  scan p (fun i ->
+      match Instr.target_of i with
+      | None -> false
+      | Some (Instr.Lbl _) -> true
+      | Some (Instr.Abs a) -> a < 0 || a >= n)
+
+(* --- reserved-register check (semantic: reachable paths only) --------- *)
+
+let reserved_register_violations_in cfg =
+  let p = cfg.Cfg.program in
+  let acc = ref [] in
+  Array.iteri
+    (fun addr ins ->
+      if Cfg.reachable cfg addr then
+        match ins with
+        | Instr.Cntinc -> ()
+        | _ ->
+            if
+              List.exists
+                (Reg.equal Reg.branch_counter)
+                (Instr.defs ins @ Instr.uses ins)
+            then acc := (addr, ins) :: !acc)
+    p.Program.code;
+  List.rev !acc
+
+let reserved_register_violations p =
+  reserved_register_violations_in (Cfg.build p)
+
+(* --- branch-count verifier -------------------------------------------- *)
+
+(* Every reachable branch must execute its increment: the preceding
+   instruction is [Cntinc], no jump lands on the branch itself (which
+   would skip the increment — the pass binds labels before the inserted
+   [Cntinc], so compiled jumps always target the increment), and no
+   thread starts at the branch. *)
+let verify_branch_count_in cfg =
+  let p = cfg.Cfg.program in
+  let code = p.Program.code in
+  let n = Array.length code in
+  let jumped_to = Array.make (max n 1) false in
+  Array.iteri
+    (fun j succs ->
+      if Cfg.reachable cfg j then
+        List.iter
+          (fun (k, t) ->
+            match k with
+            | Cfg.Jump | Cfg.Call | Cfg.Indirect -> jumped_to.(t) <- true
+            | Cfg.Fall | Cfg.Retsite -> ())
+          succs)
+    cfg.Cfg.insn_succs;
+  let acc = ref [] in
+  Array.iteri
+    (fun i ins ->
+      if Instr.is_branch ins && Cfg.reachable cfg i then begin
+        let counted = i > 0 && code.(i - 1) = Instr.Cntinc in
+        let entered_directly = List.mem_assoc i cfg.Cfg.roots in
+        if (not counted) || jumped_to.(i) || entered_directly then
+          acc := (i, ins) :: !acc
+      end)
+    code;
+  List.rev !acc
+
+let verify_branch_count p = verify_branch_count_in (Cfg.build p)
+
+(* --- stack-balance analysis ------------------------------------------- *)
+
+module Depth = struct
+  type t = Bot | D of int | Top
+
+  let equal (a : t) b = a = b
+
+  let join a b =
+    match (a, b) with
+    | Bot, x | x, Bot -> x
+    | D a', D b' -> if a' = b' then D a' else Top
+    | _ -> Top
+end
+
+module Depth_flow = Dataflow.Make (Depth)
+
+let stack_findings cfg =
+  let p = cfg.Cfg.program in
+  let code = p.Program.code in
+  let n = Array.length code in
+  if n = 0 then []
+  else begin
+    (* Function entries: thread roots plus every reachable call target.
+       The analysis is intraprocedural — [Call] edges carry bottom, and
+       [Retsite] edges carry the caller's depth across the (assumed
+       balanced) callee. *)
+    let entries = ref (List.map fst cfg.Cfg.roots) in
+    Array.iteri
+      (fun i ins ->
+        if Cfg.reachable cfg i then
+          match ins with
+          | Instr.Jal (Instr.Abs a) when a >= 0 && a < n ->
+              entries := a :: !entries
+          | _ -> ())
+      code;
+    let entries = List.sort_uniq compare !entries in
+    let transfer _ ins d =
+      match (ins, d) with
+      | Instr.Push _, Depth.D k -> Depth.D (k + 1)
+      | Instr.Pop _, Depth.D k -> Depth.D (max 0 (k - 1))
+      | _ -> d
+    in
+    let edge k x =
+      match k with
+      | Cfg.Call -> Depth.Bot
+      | Cfg.Fall | Cfg.Jump | Cfg.Retsite | Cfg.Indirect -> x
+    in
+    let r =
+      Depth_flow.solve ~cfg ~direction:Dataflow.Forward ~init:(Depth.D 0)
+        ~bottom:Depth.Bot ~transfer ~edge ~entries ()
+    in
+    let acc = ref [] in
+    let error addr msg =
+      acc :=
+        { f_addr = Some addr; f_rule = "stack"; f_severity = Error;
+          f_message = msg }
+        :: !acc
+    in
+    Array.iteri
+      (fun i ins ->
+        if Cfg.reachable cfg i then
+          match (ins, r.Depth_flow.before.(i)) with
+          | Instr.Pop _, Depth.D 0 ->
+              error i "stack underflow: pop with an empty frame"
+          | (Instr.Pop _ | Instr.Ret), Depth.Top ->
+              error i "push/pop depth disagrees between paths into this point"
+          | Instr.Ret, Depth.D k when k <> 0 ->
+              error i
+                (Printf.sprintf "return at non-zero stack depth %d" k)
+          | _ -> ())
+      code;
+    List.rev !acc
+  end
+
+(* --- shared-memory race analysis -------------------------------------- *)
+
+(* Per-register constant/region propagation: enough to resolve the
+   [la]/[mov #imm] addressing idiom back to the data block it names. *)
+module Value = struct
+  type v = Vbot | Vconst of int | Vregion of string | Vsp | Vany
+
+  type t = v array (* one slot per integer register *)
+
+  let equal (a : t) b = a = b
+
+  let vjoin a b =
+    match (a, b) with
+    | Vbot, x | x, Vbot -> x
+    | Vconst x, Vconst y when x = y -> Vconst x
+    | Vregion x, Vregion y when String.equal x y -> Vregion x
+    | Vsp, Vsp -> Vsp
+    | _ -> Vany
+
+  let join a b = Array.init Reg.count (fun i -> vjoin a.(i) b.(i))
+end
+
+module Value_flow = Dataflow.Make (Value)
+
+let alu_fold op x y =
+  let open Instr in
+  match op with
+  | Add -> Some (x + y)
+  | Sub -> Some (x - y)
+  | Mul -> Some (x * y)
+  | Div -> if y = 0 then None else Some (x / y)
+  | Rem -> if y = 0 then None else Some (x mod y)
+  | And -> Some (x land y)
+  | Or -> Some (x lor y)
+  | Xor -> Some (x lxor y)
+  | Shl -> Some (x lsl min (abs y) 62)
+  | Shr -> Some (x lsr min (abs y) 62)
+  | Asr -> Some (x asr min (abs y) 62)
+
+let value_transfer _ ins (env : Value.t) : Value.t =
+  let open Value in
+  let set r v =
+    let e = Array.copy env in
+    e.(Reg.index r) <- v;
+    e
+  in
+  let get r = env.(Reg.index r) in
+  let operand = function
+    | Instr.Reg r -> get r
+    | Instr.Imm n -> Vconst n
+  in
+  match ins with
+  | Instr.Mov (rd, o) -> set rd (operand o)
+  | Instr.La (rd, l) -> set rd (Vregion l)
+  | Instr.Alu (op, rd, rs, o) ->
+      let v =
+        match (get rs, operand o) with
+        | Vconst x, Vconst y -> (
+            match alu_fold op x y with Some z -> Vconst z | None -> Vany)
+        | Vregion l, Vconst _ when op = Instr.Add || op = Instr.Sub ->
+            Vregion l
+        | Vconst _, Vregion l when op = Instr.Add -> Vregion l
+        | Vsp, Vconst _ when op = Instr.Add || op = Instr.Sub -> Vsp
+        | _ -> Vany
+      in
+      set rd v
+  | Instr.Push _ -> env
+  | Instr.Pop rd -> if Reg.equal rd Reg.sp then env else set rd Vany
+  | _ ->
+      List.fold_left
+        (fun e r ->
+          if Reg.equal r Reg.sp then e
+          else begin
+            let e = Array.copy e in
+            e.(Reg.index r) <- Vany;
+            e
+          end)
+        env (Instr.defs ins)
+
+let value_edge k (env : Value.t) : Value.t =
+  match k with
+  | Cfg.Retsite ->
+      (* A call may clobber anything but the (balanced) stack pointer. *)
+      Array.mapi
+        (fun i v ->
+          match v with
+          | Value.Vbot -> Value.Vbot
+          | _ -> if i = Reg.index Reg.sp then v else Value.Vany)
+        env
+  | Cfg.Fall | Cfg.Jump | Cfg.Call | Cfg.Indirect -> env
+
+(* Exclusive-monitor lockset: must-held between [Ldex] and [Stex]. *)
+module Held = struct
+  type t = HBot | HHeld | HNot
+
+  let equal (a : t) b = a = b
+
+  let join a b =
+    match (a, b) with
+    | HBot, x | x, HBot -> x
+    | HHeld, HHeld -> HHeld
+    | _ -> HNot
+end
+
+module Held_flow = Dataflow.Make (Held)
+
+let held_transfer _ ins d =
+  match ins with
+  | Instr.Ldex _ -> Held.HHeld
+  | Instr.Stex _ -> Held.HNot
+  | Instr.Syscall _ -> Held.HNot (* kernel entry clears the monitor *)
+  | _ -> d
+
+let held_edge k d =
+  match k with
+  | Cfg.Retsite -> ( match d with Held.HBot -> Held.HBot | _ -> Held.HNot)
+  | Cfg.Fall | Cfg.Jump | Cfg.Call | Cfg.Indirect -> d
+
+type region = Rblock of string | Rstack | Routside | Runknown
+
+let region_of_const p addr =
+  match
+    List.find_opt
+      (fun b ->
+        addr >= b.Program.block_addr
+        && addr < b.Program.block_addr + Array.length b.Program.block_init)
+      p.Program.data
+  with
+  | Some b -> Rblock b.Program.block_label
+  | None -> Routside
+
+let region_of_value p v off =
+  match v with
+  | Value.Vconst n -> region_of_const p (n + off)
+  | Value.Vregion l -> Rblock l
+  | Value.Vsp -> Rstack
+  | Value.Vany | Value.Vbot -> Runknown
+
+(* Plain (non-atomic) data accesses of one instruction, as
+   [(region, is_write)]. Atomic instructions protect themselves; stack
+   traffic is thread-private by construction. *)
+let plain_accesses p (env : Value.t) ins =
+  let v r = env.(Reg.index r) in
+  match ins with
+  | Instr.Ld (_, rs, off) -> [ (region_of_value p (v rs) off, false) ]
+  | Instr.St (rbase, _, off) -> [ (region_of_value p (v rbase) off, true) ]
+  | Instr.Fld (_, rs, off) -> [ (region_of_value p (v rs) off, false) ]
+  | Instr.Fst (_, rbase, off) -> [ (region_of_value p (v rbase) off, true) ]
+  | Instr.Rep_movs ->
+      [
+        (region_of_value p (v Reg.R1) 0, false);
+        (region_of_value p (v Reg.R0) 0, true);
+      ]
+  | _ -> []
+
+let race_findings cfg =
+  let p = cfg.Cfg.program in
+  let code = p.Program.code in
+  let roots = cfg.Cfg.roots in
+  let total_instances = List.fold_left (fun s (_, m) -> s + m) 0 roots in
+  if total_instances <= 1 then []
+  else begin
+    let values =
+      Value_flow.solve ~cfg ~direction:Dataflow.Forward
+        ~init:
+          (Array.init Reg.count (fun i ->
+               if i = Reg.index Reg.sp then Value.Vsp else Value.Vany))
+        ~bottom:(Array.make Reg.count Value.Vbot)
+        ~transfer:value_transfer ~edge:value_edge ()
+    in
+    let held =
+      Held_flow.solve ~cfg ~direction:Dataflow.Forward ~init:Held.HNot
+        ~bottom:Held.HBot ~transfer:held_transfer ~edge:held_edge ()
+    in
+    (* Unprotected plain accesses, by address. *)
+    let accesses = ref [] in
+    Array.iteri
+      (fun i ins ->
+        if Cfg.reachable cfg i && held.Held_flow.before.(i) <> Held.HHeld
+        then
+          List.iter
+            (fun (region, write) ->
+              match region with
+              | Rstack | Routside -> ()
+              | Rblock _ | Runknown ->
+                  accesses := (i, region, write) :: !accesses)
+            (plain_accesses p values.Value_flow.before.(i) ins))
+      code;
+    let accesses = List.rev !accesses in
+    (* Attribute each access to the thread roots it is reachable from. *)
+    let root_reach =
+      List.map (fun (a, m) -> (a, m, Cfg.reachable_from cfg a)) roots
+    in
+    let regions =
+      List.sort_uniq compare
+        (List.filter_map
+           (fun (_, r, _) ->
+             match r with Rblock l -> Some (Some l) | _ -> None)
+           accesses)
+    in
+    let regions =
+      if List.exists (fun (_, r, _) -> r = Runknown) accesses then
+        regions @ [ None ]
+      else regions
+    in
+    let findings = ref [] in
+    List.iter
+      (fun region ->
+        let matches r =
+          match (region, r) with
+          | Some l, Rblock l' -> String.equal l l'
+          | Some _, Runknown -> true (* unknown aliases every block *)
+          | None, Runknown -> true
+          | _ -> false
+        in
+        let offending = ref [] in
+        let writers = ref 0 and touchers = ref 0 in
+        List.iter
+          (fun (root, mult, reach) ->
+            let writes = ref false and touches = ref false in
+            List.iter
+              (fun (i, r, w) ->
+                if matches r && reach.(i) then begin
+                  touches := true;
+                  if w then writes := true;
+                  if not (List.mem i !offending) then
+                    offending := i :: !offending
+                end)
+              accesses;
+            ignore root;
+            if !writes then writers := !writers + mult;
+            if !touches then touchers := !touchers + mult)
+          root_reach;
+        if !writers >= 1 && !touchers >= 2 then begin
+          let name =
+            match region with Some l -> l | None -> "(unknown address)"
+          in
+          let addrs = List.sort compare !offending in
+          let addr_str =
+            String.concat ", " (List.map string_of_int addrs)
+          in
+          findings :=
+            {
+              f_addr = (match addrs with a :: _ -> Some a | [] -> None);
+              f_rule = "data-race";
+              f_severity = Warning;
+              f_message =
+                Printf.sprintf
+                  "possible data race on %s: unprotected access at [%s] \
+                   with %d concurrent thread instance(s); LC replicas may \
+                   diverge"
+                  name addr_str !touchers;
+            }
+            :: !findings
+        end)
+      regions;
+    List.rev !findings
+  end
+
+(* --- the full pass ---------------------------------------------------- *)
+
+let analyze ?exit_syscalls ?spawn_syscall (p : Program.t) =
+  let cfg = Cfg.build ?exit_syscalls ?spawn_syscall p in
+  let code = p.Program.code in
+  let n = Array.length code in
+  let findings = ref [] in
+  let add ?addr rule sev msg =
+    findings :=
+      { f_addr = addr; f_rule = rule; f_severity = sev; f_message = msg }
+      :: !findings
+  in
+  if n = 0 then add "entry" Error "empty program: no code"
+  else if p.Program.entry < 0 || p.Program.entry >= n then
+    add "entry" Error
+      (Printf.sprintf "entry %d outside code [0, %d)" p.Program.entry n);
+  (* Unfollowable control flow: fatal when reachable, noise when dead. *)
+  List.iter
+    (fun (addr, issue) ->
+      let msg = Cfg.issue_to_string issue in
+      if Cfg.reachable cfg addr then add ~addr "cfg" Error msg
+      else add ~addr "cfg" Info ("in dead code: " ^ msg))
+    cfg.Cfg.issues;
+  List.iter
+    (fun (first, last) ->
+      add ~addr:first "dead-code" Info
+        (Printf.sprintf "unreachable code at [%d..%d] (%d instructions)"
+           first last
+           (last - first + 1)))
+    (Cfg.dead_code cfg);
+  List.iter
+    (fun addr ->
+      add ~addr "spawn" Warning
+        "spawn with unresolvable entry register: assuming any label; \
+         analysis is conservative")
+    cfg.Cfg.unknown_spawns;
+  findings := List.rev_append (List.rev (stack_findings cfg)) !findings;
+  if p.Program.branch_counted then begin
+    List.iter
+      (fun (addr, ins) ->
+        add ~addr "reserved-reg" Error
+          (Printf.sprintf
+             "reachable instruction touches the reserved branch counter: %s"
+             (Instr.to_string ins)))
+      (reserved_register_violations_in cfg);
+    List.iter
+      (fun (addr, ins) ->
+        add ~addr "branch-count" Error
+          (Printf.sprintf "branch without an immediate preceding cntinc: %s"
+             (Instr.to_string ins)))
+      (verify_branch_count_in cfg)
+  end;
+  (match exclusives p with
+  | [] -> ()
+  | ((addr, _) :: _ as xs) ->
+      add ~addr "exclusives" Info
+        (Printf.sprintf
+           "%d exclusive-monitor instruction(s) at [%s]: CC-RCoE requires \
+            Sys_atomic instead"
+           (List.length xs)
+           (String.concat ", "
+              (List.map (fun (a, _) -> string_of_int a) xs))));
+  (match rep_strings p with
+  | [] -> ()
+  | ((addr, _) :: _ as xs) ->
+      add ~addr "rep-string" Info
+        (Printf.sprintf
+           "%d rep-string instruction(s) at [%s]: CC catch-up must step \
+            past them (paper III-D)"
+           (List.length xs)
+           (String.concat ", "
+              (List.map (fun (a, _) -> string_of_int a) xs))));
+  findings := List.rev_append (List.rev (race_findings cfg)) !findings;
+  let findings = List.rev !findings in
+  let rank f =
+    match f.f_severity with Error -> 0 | Warning -> 1 | Info -> 2
+  in
+  let findings =
+    List.stable_sort (fun a b -> compare (rank a) (rank b)) findings
+  in
+  let verdict =
+    if List.exists (fun f -> f.f_severity = Error) findings then Rejected
+    else if
+      List.exists
+        (fun f -> f.f_severity = Warning && String.equal f.f_rule "data-race")
+        findings
+    then CC_required
+    else LC_safe
+  in
+  { verdict; findings; cfg }

@@ -1,0 +1,81 @@
+(** Replication-safety lint: the static analyzer that proves which
+    coupling mode a program is eligible for.
+
+    The paper's trade-off (Section III): LC-RCoE is cheap but unsound
+    for racy programs — replicas may interleave shared-memory accesses
+    differently and silently diverge — while CC-RCoE tolerates races by
+    keeping precise logical time. [analyze] classifies a program:
+
+    - {!LC_safe}: every shared-memory access across concurrent thread
+      roots is protected (exclusive-monitor held on all paths, an
+      atomic instruction, or kernel-mediated) — safe under any mode;
+    - {!CC_required}: some write to shared data is unprotected on a
+      path while two or more thread instances can touch the region —
+      LC replicas may diverge, closely-coupled execution is needed;
+    - {!Rejected}: structurally broken — a branch out of the code
+      array (the Harvard analogue of a jump into data), an unresolved
+      symbolic target, execution falling off the end, or an unbalanced
+      stack — on a {e reachable} path. Unreachable breakage demotes to
+      an informational finding.
+
+    For branch-counted programs ([~branch_count:true]) the analyzer
+    additionally verifies the compiler pass's invariants (the GCC
+    plugin of paper Section III-B): every reachable branch is
+    immediately preceded by [Cntinc] and cannot be jumped to directly,
+    and no reachable instruction other than [Cntinc] touches the
+    reserved counter register. *)
+
+type severity = Info | Warning | Error
+
+type verdict = LC_safe | CC_required | Rejected
+
+type finding = {
+  f_addr : int option;  (** Instruction address, when the finding has one. *)
+  f_rule : string;  (** Short rule id, e.g. ["data-race"], ["stack"]. *)
+  f_severity : severity;
+  f_message : string;
+}
+
+type report = {
+  verdict : verdict;
+  findings : finding list;  (** Errors first, then warnings, then infos. *)
+  cfg : Cfg.t;  (** The graph the verdict was computed on. *)
+}
+
+val analyze :
+  ?exit_syscalls:int list -> ?spawn_syscall:int -> Program.t -> report
+(** Run the full pass: CFG + reachability, stack balance, branch-count
+    invariants (branch-counted programs only), exclusive/rep-string
+    inventory, and the lockset-style race analysis. Syscall numbers
+    default to the kernel ABI ([0] = exit, [2] = spawn). *)
+
+val severity_to_string : severity -> string
+val verdict_to_string : verdict -> string
+
+(** {1 Individual checks}
+
+    The building blocks of [analyze], exported for callers that want a
+    single answer (these subsume the historical {!Check} scans). *)
+
+val exclusives : Program.t -> (int * Instr.t) list
+(** All [Ldex]/[Stex] instructions (syntactic). *)
+
+val rep_strings : Program.t -> (int * Instr.t) list
+(** All [Rep_movs] instructions (syntactic). *)
+
+val unresolved_targets : Program.t -> (int * Instr.t) list
+(** Branches whose target is still symbolic or out of range
+    (syntactic; includes unreachable code). *)
+
+val reserved_register_violations : Program.t -> (int * Instr.t) list
+(** Reachable non-[Cntinc] instructions that read or write the
+    reserved branch-counter register — the semantic replacement for
+    the old whole-array scan (violations in dead code no longer
+    count). *)
+
+val verify_branch_count : Program.t -> (int * Instr.t) list
+(** Reachable branches that are not immediately preceded by [Cntinc],
+    or that some jump targets directly (skipping their increment).
+    Empty for any output of the {!Branch_count} pass; non-empty when a
+    [Cntinc] was removed or displaced by hand. Applies to any program
+    regardless of its [branch_counted] flag. *)

@@ -115,7 +115,7 @@ let if_ t c r o ?else_ then_ =
 
 (* Assembly. *)
 
-let assemble ?entry ?(branch_count = false) t =
+let assemble ?entry ?(branch_count = false) ?(verify = false) t =
   let items = List.rev t.items in
   let items = if branch_count then Branch_count.insert items else items in
   (* Lay out data blocks. *)
@@ -207,5 +207,25 @@ let assemble ?entry ?(branch_count = false) t =
           (Printf.sprintf
              "Asm.assemble: %s uses reserved branch-counter register at %d: %s"
              t.unit_name addr (Instr.to_string instr))
+  end;
+  if verify then begin
+    let report = Lint.analyze program in
+    if report.Lint.verdict = Lint.Rejected then begin
+      let detail =
+        match
+          List.find_opt
+            (fun f -> f.Lint.f_severity = Lint.Error)
+            report.Lint.findings
+        with
+        | Some f -> (
+            match f.Lint.f_addr with
+            | Some a -> Printf.sprintf "%s (at %d)" f.Lint.f_message a
+            | None -> f.Lint.f_message)
+        | None -> "rejected by lint"
+      in
+      invalid_arg
+        (Printf.sprintf "Asm.assemble: %s rejected by the static analyzer: %s"
+           t.unit_name detail)
+    end
   end;
   program

@@ -90,8 +90,15 @@ val if_ : t -> Instr.cond -> Reg.t -> Instr.operand -> ?else_:(unit -> unit) ->
 
 (* --- assembly ------------------------------------------------------- *)
 
-val assemble : ?entry:string -> ?branch_count:bool -> t -> Program.t
+val assemble :
+  ?entry:string -> ?branch_count:bool -> ?verify:bool -> t -> Program.t
 (** Resolve labels and produce the program. [entry] defaults to address
     0. Raises [Invalid_argument] on undefined labels or (with
     [~branch_count:true]) if the program uses the reserved branch-counter
-    register (see {!Check.reserved_register_violations}). *)
+    register (see {!Check.reserved_register_violations}).
+
+    [~verify:true] additionally runs the full static analyzer
+    ({!Lint.analyze}) and raises [Invalid_argument] if the program is
+    {!Lint.Rejected} — a reachable out-of-range or symbolic branch
+    target, a fallthrough off the end of the code, an unbalanced stack,
+    or (for branch-counted programs) a broken branch-count invariant. *)

@@ -1,52 +1,9 @@
-let regs_used (i : Instr.t) : Reg.t list =
-  let op = function Instr.Reg r -> [ r ] | Instr.Imm _ -> [] in
-  match i with
-  | Nop | Halt | Syscall _ | Cntinc | Fldi _ | Falu _ | Funop _ -> []
-  | Mov (rd, o) -> rd :: op o
-  | La (rd, _) -> [ rd ]
-  | Alu (_, rd, rs, o) -> rd :: rs :: op o
-  | Not (rd, rs) -> [ rd; rs ]
-  | Ld (rd, rs, _) -> [ rd; rs ]
-  | St (rbase, rs, _) -> [ rbase; rs ]
-  | Push r -> [ r; Reg.sp ]
-  | Pop r -> [ r; Reg.sp ]
-  | B (_, r, o, _) -> r :: op o
-  | Jmp _ -> []
-  | Jal _ -> [ Reg.lr ]
-  | Jr r -> [ r ]
-  | Ret -> [ Reg.lr ]
-  | Rep_movs -> [ Reg.R0; Reg.R1; Reg.R2 ]
-  | Ldex (rd, rs) -> [ rd; rs ]
-  | Stex (rres, rval, raddr) -> [ rres; rval; raddr ]
-  | Atomic_add (rd, raddr, o) -> rd :: raddr :: op o
-  | Cas (rd, raddr, rexp, rnew) -> [ rd; raddr; rexp; rnew ]
-  | Fld (_, rs, _) -> [ rs ]
-  | Fst (_, rbase, _) -> [ rbase ]
-  | Fb _ -> []
-  | Itof (_, rs) -> [ rs ]
-  | Ftoi (rd, _) -> [ rd ]
+(* Thin wrappers: the checks now live in the static analyzer
+   (lib/isa/analysis); this module keeps the historical entry points
+   compiling. *)
 
-let scan p pred =
-  let acc = ref [] in
-  Array.iteri
-    (fun addr i -> if pred i then acc := (addr, i) :: !acc)
-    p.Program.code;
-  List.rev !acc
-
-let reserved_register_violations p =
-  scan p (fun i ->
-      (match i with Instr.Cntinc -> false | _ -> true)
-      && List.exists (Reg.equal Reg.branch_counter) (regs_used i))
-
-let exclusives p =
-  scan p (function Instr.Ldex _ | Instr.Stex _ -> true | _ -> false)
-
-let rep_strings p = scan p (function Instr.Rep_movs -> true | _ -> false)
-
-let unresolved_targets p =
-  let n = Array.length p.Program.code in
-  scan p (fun i ->
-      match Instr.target_of i with
-      | None -> false
-      | Some (Instr.Lbl _) -> true
-      | Some (Instr.Abs a) -> a < 0 || a >= n)
+let regs_used = Instr.regs_used
+let reserved_register_violations = Lint.reserved_register_violations
+let exclusives = Lint.exclusives
+let rep_strings = Lint.rep_strings
+let unresolved_targets = Lint.unresolved_targets

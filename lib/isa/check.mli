@@ -5,18 +5,23 @@
     violations, and that Arm exclusives ([ldrex]/[strex]) must be turned
     into system calls because their retry counts can diverge between
     replicas. These checks are the simulated counterparts of those
-    build-time tools. *)
+    build-time tools.
+
+    The implementations now live in the static analyzer ({!Lint},
+    {!Cfg}); this module re-exports them so historical callers keep
+    compiling. *)
 
 val regs_used : Instr.t -> Reg.t list
 (** Every integer register an instruction reads or writes (not including
     the implicit [sp]/[lr] uses of [Push]/[Pop]/[Jal]/[Ret], which are
-    listed explicitly). *)
+    listed explicitly). Alias of {!Instr.regs_used}. *)
 
 val reserved_register_violations : Program.t -> (int * Instr.t) list
 (** Instructions (with their addresses) that touch the reserved
     branch-counter register {!Reg.branch_counter} other than [Cntinc]
     itself. Must be empty for a program to run under compiler-assisted
-    CC-RCoE. *)
+    CC-RCoE. Semantic since the analyzer rewrite: only instructions on a
+    reachable path count (see {!Lint.reserved_register_violations}). *)
 
 val exclusives : Program.t -> (int * Instr.t) list
 (** All [Ldex]/[Stex] instructions. Must be empty for a program to run

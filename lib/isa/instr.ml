@@ -74,6 +74,81 @@ let with_target i t =
   | Fb (c, a, b, _) -> Fb (c, a, b, t)
   | _ -> invalid_arg "Instr.with_target: instruction has no target"
 
+let regs_used (i : t) : Reg.t list =
+  let op = function Reg r -> [ r ] | Imm _ -> [] in
+  match i with
+  | Nop | Halt | Syscall _ | Cntinc | Fldi _ | Falu _ | Funop _ -> []
+  | Mov (rd, o) -> rd :: op o
+  | La (rd, _) -> [ rd ]
+  | Alu (_, rd, rs, o) -> rd :: rs :: op o
+  | Not (rd, rs) -> [ rd; rs ]
+  | Ld (rd, rs, _) -> [ rd; rs ]
+  | St (rbase, rs, _) -> [ rbase; rs ]
+  | Push r -> [ r; Reg.sp ]
+  | Pop r -> [ r; Reg.sp ]
+  | B (_, r, o, _) -> r :: op o
+  | Jmp _ -> []
+  | Jal _ -> [ Reg.lr ]
+  | Jr r -> [ r ]
+  | Ret -> [ Reg.lr ]
+  | Rep_movs -> [ Reg.R0; Reg.R1; Reg.R2 ]
+  | Ldex (rd, rs) -> [ rd; rs ]
+  | Stex (rres, rval, raddr) -> [ rres; rval; raddr ]
+  | Atomic_add (rd, raddr, o) -> rd :: raddr :: op o
+  | Cas (rd, raddr, rexp, rnew) -> [ rd; raddr; rexp; rnew ]
+  | Fld (_, rs, _) -> [ rs ]
+  | Fst (_, rbase, _) -> [ rbase ]
+  | Fb _ -> []
+  | Itof (_, rs) -> [ rs ]
+  | Ftoi (rd, _) -> [ rd ]
+
+let defs (i : t) : Reg.t list =
+  match i with
+  | Nop | Halt | St _ | B _ | Jmp _ | Jr _ | Ret | Fb _ | Falu _ | Funop _
+  | Fldi _ | Fld _ | Fst _ | Itof _ ->
+      []
+  | Mov (rd, _) | La (rd, _) | Alu (_, rd, _, _) | Not (rd, _) | Ld (rd, _, _)
+    ->
+      [ rd ]
+  | Push _ -> [ Reg.sp ]
+  | Pop r -> [ r; Reg.sp ]
+  | Jal _ -> [ Reg.lr ]
+  | Syscall _ -> [ Reg.R0 ]
+  | Rep_movs -> [ Reg.R0; Reg.R1; Reg.R2 ]
+  | Ldex (rd, _) -> [ rd ]
+  | Stex (rres, _, _) -> [ rres ]
+  | Atomic_add (rd, _, _) -> [ rd ]
+  | Cas (rd, _, _, _) -> [ rd ]
+  | Cntinc -> [ Reg.branch_counter ]
+  | Ftoi (rd, _) -> [ rd ]
+
+let uses (i : t) : Reg.t list =
+  let op = function Reg r -> [ r ] | Imm _ -> [] in
+  match i with
+  | Nop | Halt | La _ | Jmp _ | Jal _ | Falu _ | Funop _ | Fldi _ | Fb _ ->
+      []
+  | Mov (_, o) -> op o
+  | Alu (_, _, rs, o) -> rs :: op o
+  | Not (_, rs) -> [ rs ]
+  | Ld (_, rs, _) -> [ rs ]
+  | St (rbase, rs, _) -> [ rbase; rs ]
+  | Push r -> [ r; Reg.sp ]
+  | Pop _ -> [ Reg.sp ]
+  | B (_, r, o, _) -> r :: op o
+  | Jr r -> [ r ]
+  | Ret -> [ Reg.lr ]
+  | Syscall _ -> [ Reg.R0; Reg.R1; Reg.R2; Reg.R3 ]
+  | Rep_movs -> [ Reg.R0; Reg.R1; Reg.R2 ]
+  | Ldex (_, rs) -> [ rs ]
+  | Stex (_, rval, raddr) -> [ rval; raddr ]
+  | Atomic_add (_, raddr, o) -> raddr :: op o
+  | Cas (_, raddr, rexp, rnew) -> [ raddr; rexp; rnew ]
+  | Cntinc -> [ Reg.branch_counter ]
+  | Fld (_, rs, _) -> [ rs ]
+  | Fst (_, rbase, _) -> [ rbase ]
+  | Itof (_, rs) -> [ rs ]
+  | Ftoi _ -> []
+
 let cond_to_string = function
   | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
 

@@ -86,6 +86,22 @@ val with_target : t -> target -> t
 (** Replace the target. Raises [Invalid_argument] if [target_of] is
     [None]. *)
 
+val regs_used : t -> Reg.t list
+(** Every integer register an instruction reads or writes, including the
+    implicit [sp]/[lr] of [Push]/[Pop]/[Jal]/[Ret]. [Syscall] and
+    [Cntinc] report none — this is the historical behaviour that
+    {!Check.regs_used} re-exports for the syntactic scans. *)
+
+val defs : t -> Reg.t list
+(** Integer registers an instruction may write (kill set for dataflow).
+    Conservative where the ISA is underspecified: [Syscall] is assumed
+    to clobber [r0] (the kernel return-value register), and [Cntinc]
+    writes the reserved branch counter. *)
+
+val uses : t -> Reg.t list
+(** Integer registers an instruction may read (gen set for dataflow).
+    [Syscall] is assumed to read the argument registers [r0]-[r3]. *)
+
 val to_string : t -> string
 (** Disassembly, e.g. ["add r1, r2, #3"]. *)
 

@@ -18,6 +18,7 @@ type t = {
   fast_catchup : bool;
   trace_output : bool;
   with_net : bool;
+  strict_lint : bool;
 }
 
 let default =
@@ -37,6 +38,7 @@ let default =
     fast_catchup = false;
     trace_output = true;
     with_net = false;
+    strict_lint = false;
   }
 
 let mode_to_string = function Base -> "Base" | LC -> "LC" | CC -> "CC"

@@ -44,6 +44,12 @@ type t = {
       (** Honour [FT_Add_Trace] (the LC-*-N rows of Table VII set this
           to false to show the cost of losing driver output voting). *)
   with_net : bool;  (** Attach the network device. *)
+  strict_lint : bool;
+      (** Fail {!System.create} when the static analyzer rejects the
+          program, or when it requires CC and the configuration couples
+          loosely (an LC run of a racy program silently risks
+          divergence). Off by default: the report is still computed and
+          exposed via {!System.lint_report}. *)
 }
 
 val default : t

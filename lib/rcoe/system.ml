@@ -80,6 +80,7 @@ type t = {
   cfg : Config.t;
   mach : Machine.t;
   lay : Layout.t;
+  lint : Rcoe_isa.Lint.report;
   replicas : replica array;
   net : Netdev.t option;
   net_dpn : int;
@@ -107,6 +108,16 @@ let ft_op_cost = 180
 
 let config t = t.cfg
 let machine t = t.mach
+
+let lint_report t = t.lint
+
+let lint_warnings t =
+  List.filter_map
+    (fun f ->
+      if f.Rcoe_isa.Lint.f_severity = Rcoe_isa.Lint.Warning then
+        Some f.Rcoe_isa.Lint.f_message
+      else None)
+    t.lint.Rcoe_isa.Lint.findings
 let layout t = t.lay
 let netdev t = t.net
 let kernel t rid = t.replicas.(rid).kern
@@ -180,11 +191,49 @@ let check_program cfg (program : Rcoe_isa.Program.t) =
          program (assemble with ~branch_count:true)"
   end
 
+(* The static analyzer runs on every program; its report is kept on the
+   system for callers. Under [strict_lint] a rejected program — or a
+   racy one under loose coupling, the silent-divergence case the paper
+   warns about — refuses to start. *)
+let lint_program cfg (program : Rcoe_isa.Program.t) =
+  let lint =
+    Rcoe_isa.Lint.analyze
+      ~exit_syscalls:[ Syscall.sys_exit ]
+      ~spawn_syscall:Syscall.sys_spawn program
+  in
+  if cfg.Config.strict_lint then begin
+    let first_error () =
+      match
+        List.find_opt
+          (fun f -> f.Rcoe_isa.Lint.f_severity = Rcoe_isa.Lint.Error)
+          lint.Rcoe_isa.Lint.findings
+      with
+      | Some f -> f.Rcoe_isa.Lint.f_message
+      | None -> "rejected"
+    in
+    match lint.Rcoe_isa.Lint.verdict with
+    | Rcoe_isa.Lint.Rejected ->
+        invalid_arg
+          (Printf.sprintf "System.create: %s rejected by the static \
+                           analyzer: %s"
+             program.Rcoe_isa.Program.name (first_error ()))
+    | Rcoe_isa.Lint.CC_required when cfg.Config.mode = Config.LC ->
+        invalid_arg
+          (Printf.sprintf
+             "System.create: %s has unprotected shared-memory races and \
+              requires closely-coupled execution; LC replicas may \
+              silently diverge"
+             program.Rcoe_isa.Program.name)
+    | Rcoe_isa.Lint.CC_required | Rcoe_isa.Lint.LC_safe -> ()
+  end;
+  lint
+
 let create ~config:cfg ~program =
   (match Config.validate cfg with
   | Ok () -> ()
   | Error msg -> invalid_arg ("System.create: " ^ msg));
   check_program cfg program;
+  let lint = lint_program cfg program in
   let profile = Arch.profile_of cfg.Config.arch in
   let lay =
     Layout.compute ~nreplicas:cfg.Config.nreplicas
@@ -289,6 +338,7 @@ let create ~config:cfg ~program =
       cfg;
       mach;
       lay;
+      lint;
       replicas;
       net;
       net_dpn;

@@ -63,10 +63,20 @@ type t
 val create : config:Config.t -> program:Rcoe_isa.Program.t -> t
 (** Validates the configuration and program compatibility (CC forbids
     exclusives; compiler-assisted profiles require a branch-counted
-    program), builds the machine, partitions memory, sets up one kernel
-    per replica with role-dependent device mappings, and spawns the
+    program), runs the static analyzer ({!Rcoe_isa.Lint.analyze}),
+    builds the machine, partitions memory, sets up one kernel per
+    replica with role-dependent device mappings, and spawns the
     program's main thread everywhere. Raises [Invalid_argument] on an
-    invalid configuration. *)
+    invalid configuration — including, when {!Config.strict_lint} is
+    set, a lint-rejected program or a racy ({!Rcoe_isa.Lint.CC_required})
+    program under LC coupling. *)
+
+val lint_report : t -> Rcoe_isa.Lint.report
+(** The static-analysis report computed at [create] time. *)
+
+val lint_warnings : t -> string list
+(** Warning-severity lint messages (data races, unresolvable spawns) —
+    what an LC run should surface before silently risking divergence. *)
 
 val config : t -> Config.t
 val machine : t -> Rcoe_machine.Machine.t

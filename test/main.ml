@@ -5,6 +5,7 @@ let () =
       ("stats", Test_stats.suite);
       ("checksum", Test_checksum.suite);
       ("isa", Test_isa.suite);
+      ("analysis", Test_analysis.suite);
       ("machine", Test_machine.suite);
       ("kernel", Test_kernel.suite);
       ("rcoe", Test_rcoe.suite);

@@ -1,0 +1,265 @@
+open Rcoe_isa
+open Rcoe_workloads
+
+(* --- Helpers ---------------------------------------------------------- *)
+
+let verdict = Alcotest.testable
+    (fun fmt v -> Format.pp_print_string fmt (Lint.verdict_to_string v))
+    ( = )
+
+let analyze = Lint.analyze  (* defaults match the kernel ABI: 0 = exit, 2 = spawn *)
+
+(* A bare program record, bypassing the assembler so we can construct
+   shapes the assembler would refuse to emit. *)
+let raw ?(entry = 0) ?(branch_counted = false) code =
+  {
+    Program.name = "t";
+    code;
+    data = [];
+    data_words = 0;
+    entry;
+    code_labels = [ ("main", 0) ];
+    branch_counted;
+  }
+
+let shipped ~branch_count =
+  [
+    ("dhrystone", Dhrystone.program ~branch_count ());
+    ("whetstone", Whetstone.program ~branch_count ());
+    ("membw", Membw.program ~branch_count ());
+    ("md5sum", Md5sum.program ~branch_count ());
+    ("datarace", Datarace.program ~branch_count ());
+    ("datarace-locked", Datarace.program ~locked:true ~branch_count ());
+    ("kvstore", Kvstore.program ~branch_count ());
+  ]
+  @ List.map
+      (fun k -> ("splash:" ^ k, Splash.program k ~branch_count ()))
+      Splash.names
+
+(* --- Golden verdicts for the shipped workloads ------------------------ *)
+
+let test_datarace_requires_cc () =
+  let r = analyze (Datarace.program ~branch_count:false ()) in
+  Alcotest.check verdict "datarace" Lint.CC_required r.Lint.verdict;
+  (* The warning must name the contended region and the offending
+     instruction addresses — that is what an operator acts on. *)
+  let warn =
+    List.find
+      (fun f -> f.Lint.f_rule = "data-race")
+      r.Lint.findings
+  in
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "names region" true
+    (contains warn.Lint.f_message Datarace.counter_label)
+
+let test_datarace_locked_is_lc_safe () =
+  List.iter
+    (fun branch_count ->
+      let r = analyze (Datarace.program ~locked:true ~branch_count ()) in
+      Alcotest.check verdict "datarace-locked" Lint.LC_safe r.Lint.verdict)
+    [ false; true ]
+
+let test_all_workloads_never_rejected () =
+  List.iter
+    (fun branch_count ->
+      List.iter
+        (fun (name, p) ->
+          let r = analyze p in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s (counted=%b) not rejected" name branch_count)
+            true
+            (r.Lint.verdict <> Lint.Rejected))
+        (shipped ~branch_count))
+    [ false; true ]
+
+let test_only_datarace_requires_cc () =
+  List.iter
+    (fun (name, p) ->
+      let expected =
+        if name = "datarace" then Lint.CC_required else Lint.LC_safe
+      in
+      Alcotest.check verdict name expected
+        (analyze p).Lint.verdict)
+    (shipped ~branch_count:false)
+
+(* --- Branch-count verifier -------------------------------------------- *)
+
+let test_counted_workloads_pass_verifier () =
+  List.iter
+    (fun (name, p) ->
+      Alcotest.(check int) (name ^ " verifier clean") 0
+        (List.length (Lint.verify_branch_count p)))
+    (shipped ~branch_count:true)
+
+let remove_reachable_cntinc p =
+  (* The verifier only audits live paths, so pick an increment that
+     guards a reachable branch (dhrystone's first Cntinc is in a dead
+     preamble before the entry point). *)
+  let cfg = Cfg.build p in
+  let code = Array.copy p.Program.code in
+  let n = Array.length code in
+  let rec find i =
+    if i >= n then Alcotest.fail "no reachable Cntinc"
+    else if code.(i) = Instr.Cntinc && Cfg.reachable cfg (i + 1) then i
+    else find (i + 1)
+  in
+  code.(find 0) <- Instr.Nop;
+  { p with Program.code }
+
+let test_removed_cntinc_caught () =
+  let p = remove_reachable_cntinc (Dhrystone.program ~branch_count:true ()) in
+  Alcotest.(check bool) "verifier flags it" true
+    (Lint.verify_branch_count p <> []);
+  Alcotest.check verdict "analyze rejects" Lint.Rejected
+    (analyze p).Lint.verdict
+
+let test_jump_over_cntinc_caught () =
+  (* A branch whose increment can be skipped by a direct jump to the
+     branch itself — the other invariant of the compiler pass. *)
+  let open Instr in
+  let p =
+    raw ~branch_counted:true
+      [|
+        Jmp (Abs 3);            (* 0: skips the Cntinc at 2 *)
+        Nop;                    (* 1 *)
+        Cntinc;                 (* 2 *)
+        B (Eq, Reg.R0, Imm 0, Abs 5);  (* 3 *)
+        Nop;                    (* 4 *)
+        Halt;                   (* 5 *)
+      |]
+  in
+  (* The entry jump needs its own increment too; give it one so only
+     the skipped-increment defect remains. *)
+  let p = { p with Program.code = Array.append [| Cntinc |]
+                       (Array.map
+                          (fun i ->
+                            match Instr.target_of i with
+                            | Some (Abs t) -> Instr.with_target i (Abs (t + 1))
+                            | _ -> i)
+                          p.Program.code) }
+  in
+  Alcotest.(check bool) "verifier flags skipped increment" true
+    (Lint.verify_branch_count p <> [])
+
+(* --- Rejected reasons, one broken program each ------------------------ *)
+
+let rejects name p =
+  Alcotest.check verdict name Lint.Rejected (analyze p).Lint.verdict
+
+let test_reject_negative_target () =
+  rejects "negative" (raw [| Instr.Jmp (Instr.Abs (-1)) |])
+
+let test_reject_target_past_end () =
+  (* Abs = code length: one past the last instruction — the Harvard
+     analogue of jumping into the data segment. *)
+  rejects "past end" (raw [| Instr.Jmp (Instr.Abs 1) |])
+
+let test_reject_symbolic_target () =
+  rejects "symbolic" (raw [| Instr.Jmp (Instr.Lbl "nowhere") |])
+
+let test_reject_fall_off_end () =
+  rejects "off end" (raw [| Instr.Nop |])
+
+let test_reject_entry_out_of_range () =
+  rejects "entry" (raw ~entry:7 [| Instr.Halt |])
+
+let test_reject_pop_underflow () =
+  rejects "underflow" (raw [| Instr.Pop Reg.R1; Instr.Halt |])
+
+let test_reject_unbalanced_return () =
+  rejects "unbalanced" (raw [| Instr.Push Reg.R1; Instr.Ret |])
+
+let test_reject_path_dependent_depth () =
+  (* Two paths reach the join at different stack depths. *)
+  let open Instr in
+  rejects "join depth"
+    (raw
+       [|
+         B (Eq, Reg.R0, Imm 0, Abs 2);  (* 0 *)
+         Push Reg.R1;                   (* 1 *)
+         Pop Reg.R2;                    (* 2: depth 0 or 1 *)
+         Halt;                          (* 3 *)
+       |])
+
+let test_dead_code_demoted_to_info () =
+  (* The same breakage behind a Halt must not reject the program —
+     whetstone ships a dead trailing jump and has to stay LC_safe. *)
+  let open Instr in
+  let r = analyze (raw [| Halt; Jmp (Abs 99) |]) in
+  Alcotest.check verdict "dead breakage tolerated" Lint.LC_safe r.Lint.verdict;
+  Alcotest.(check bool) "still surfaced as info" true
+    (List.exists (fun f -> f.Lint.f_severity = Lint.Info) r.Lint.findings)
+
+(* --- CFG and dataflow building blocks --------------------------------- *)
+
+let test_cfg_dead_code_runs () =
+  let open Instr in
+  let cfg = Cfg.build (raw [| Jmp (Abs 3); Nop; Nop; Halt |]) in
+  Alcotest.(check (list (pair int int))) "dead run" [ (1, 2) ]
+    (Cfg.dead_code cfg)
+
+let test_cfg_datarace_roots () =
+  (* datarace spawns two workers: the worker entry carries multiplicity
+     two alongside the main thread. *)
+  let p = Datarace.program ~branch_count:false () in
+  let cfg =
+    Cfg.build ~exit_syscalls:[ Rcoe_kernel.Syscall.sys_exit ]
+      ~spawn_syscall:Rcoe_kernel.Syscall.sys_spawn p
+  in
+  let mult_ge2 = List.filter (fun (_, m) -> m >= 2) cfg.Cfg.roots in
+  Alcotest.(check int) "one multi-instance root" 1 (List.length mult_ge2);
+  Alcotest.(check bool) "main is a root" true
+    (List.mem_assoc p.Program.entry cfg.Cfg.roots)
+
+let test_liveness () =
+  let open Instr in
+  let p =
+    raw
+      [|
+        Mov (Reg.R1, Imm 7);                 (* 0 *)
+        Alu (Add, Reg.R2, Reg.R1, Imm 1);    (* 1: reads r1 *)
+        Halt;                                (* 2 *)
+      |]
+  in
+  let live = Dataflow.live_in (Cfg.build p) in
+  Alcotest.(check bool) "r1 live into 1" true
+    (List.exists (Reg.equal Reg.R1) live.(1));
+  Alcotest.(check bool) "r1 dead into 0" false
+    (List.exists (Reg.equal Reg.R1) live.(0));
+  Alcotest.(check bool) "r2 dead into 1" false
+    (List.exists (Reg.equal Reg.R2) live.(1))
+
+let suite =
+  [
+    Alcotest.test_case "datarace requires CC" `Quick test_datarace_requires_cc;
+    Alcotest.test_case "locked datarace is LC-safe" `Quick
+      test_datarace_locked_is_lc_safe;
+    Alcotest.test_case "no shipped workload rejected" `Slow
+      test_all_workloads_never_rejected;
+    Alcotest.test_case "only datarace needs CC" `Quick
+      test_only_datarace_requires_cc;
+    Alcotest.test_case "counted workloads pass verifier" `Quick
+      test_counted_workloads_pass_verifier;
+    Alcotest.test_case "removed cntinc caught" `Quick test_removed_cntinc_caught;
+    Alcotest.test_case "jump over cntinc caught" `Quick
+      test_jump_over_cntinc_caught;
+    Alcotest.test_case "reject negative target" `Quick test_reject_negative_target;
+    Alcotest.test_case "reject target past end" `Quick test_reject_target_past_end;
+    Alcotest.test_case "reject symbolic target" `Quick test_reject_symbolic_target;
+    Alcotest.test_case "reject fall off end" `Quick test_reject_fall_off_end;
+    Alcotest.test_case "reject bad entry" `Quick test_reject_entry_out_of_range;
+    Alcotest.test_case "reject pop underflow" `Quick test_reject_pop_underflow;
+    Alcotest.test_case "reject unbalanced return" `Quick
+      test_reject_unbalanced_return;
+    Alcotest.test_case "reject join depth mismatch" `Quick
+      test_reject_path_dependent_depth;
+    Alcotest.test_case "dead breakage demoted" `Quick
+      test_dead_code_demoted_to_info;
+    Alcotest.test_case "cfg dead-code runs" `Quick test_cfg_dead_code_runs;
+    Alcotest.test_case "cfg datarace roots" `Quick test_cfg_datarace_roots;
+    Alcotest.test_case "liveness" `Quick test_liveness;
+  ]

@@ -64,9 +64,14 @@ let test_target_roundtrip () =
     branchy
 
 let test_with_target_rejects () =
-  Alcotest.(check bool) "raises" true
-    (try ignore (Instr.with_target Instr.Nop (Instr.Abs 0)); false
-     with Invalid_argument _ -> true)
+  (* Every targetless instruction must refuse retargeting — including
+     Jr and Ret, which branch but carry no static target. *)
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) (Instr.to_string i) true
+        (try ignore (Instr.with_target i (Instr.Abs 0)); false
+         with Invalid_argument _ -> true))
+    (Instr.Jr Reg.R3 :: Instr.Ret :: non_branchy)
 
 let test_eval_cond () =
   let open Instr in
@@ -240,6 +245,40 @@ let test_rep_scan () =
   let p = Asm.assemble ~entry:"main" a in
   Alcotest.(check int) "one rep" 1 (List.length (Check.rep_strings p))
 
+let raw_program code =
+  (* The assembler cannot emit these shapes; build the record directly. *)
+  {
+    Program.name = "t";
+    code;
+    data = [];
+    data_words = 0;
+    entry = 0;
+    code_labels = [ ("main", 0) ];
+    branch_counted = false;
+  }
+
+let test_unresolved_negative_target () =
+  let p = raw_program [| Instr.Jmp (Instr.Abs (-1)); Instr.Halt |] in
+  Alcotest.(check int) "negative flagged" 1
+    (List.length (Check.unresolved_targets p))
+
+let test_unresolved_target_at_code_length () =
+  (* Abs = code length is the first invalid address: one past the last
+     instruction. Abs = length - 1 is the last valid one. *)
+  let open Instr in
+  let bad = raw_program [| Jmp (Abs 2); Halt |] in
+  Alcotest.(check int) "length flagged" 1
+    (List.length (Check.unresolved_targets bad));
+  let ok = raw_program [| Jmp (Abs 1); Halt |] in
+  Alcotest.(check int) "length - 1 accepted" 0
+    (List.length (Check.unresolved_targets ok))
+
+let test_unresolved_symbolic_target () =
+  let p = raw_program [| Instr.Jal (Instr.Lbl "ghost"); Instr.Halt |] in
+  match Check.unresolved_targets p with
+  | [ (0, Instr.Jal (Instr.Lbl "ghost")) ] -> ()
+  | _ -> Alcotest.fail "expected the symbolic Jal at address 0"
+
 (* QCheck: the branch-counting pass preserves instruction order of the
    original program and inserts exactly one Cntinc per branch. *)
 let qcheck_branch_count_structure =
@@ -308,5 +347,11 @@ let suite =
       test_reserved_register_ok_without_pass;
     Alcotest.test_case "exclusives scan" `Quick test_exclusives_scan;
     Alcotest.test_case "rep scan" `Quick test_rep_scan;
+    Alcotest.test_case "unresolved negative target" `Quick
+      test_unresolved_negative_target;
+    Alcotest.test_case "unresolved target at code length" `Quick
+      test_unresolved_target_at_code_length;
+    Alcotest.test_case "unresolved symbolic target" `Quick
+      test_unresolved_symbolic_target;
     QCheck_alcotest.to_alcotest qcheck_branch_count_structure;
   ]
