@@ -110,7 +110,13 @@ let run_cmd =
              ~doc:"refuse to start if the static analyzer rejects the \
                    program or finds races under LC")
   in
-  let run wl mode n arch vm level seed fast_catchup strict_lint =
+  let metrics_arg =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"print the full metrics registry (counters and \
+                   histograms) after the run")
+  in
+  let run wl mode n arch vm level seed fast_catchup strict_lint metrics =
     let branch_count = Wl.branch_count_for arch in
     let program = program_of_name wl ~branch_count in
     let config =
@@ -152,12 +158,16 @@ let run_cmd =
       st.System.rounds st.System.ticks_delivered st.System.votes
       st.System.bp_fires st.System.ft_rounds;
     let out = System.output r.Runner.sys 0 in
-    if out <> "" then Printf.printf "output:     %S\n" out
+    if out <> "" then Printf.printf "output:     %S\n" out;
+    if metrics then
+      Rcoe_util.Table.print
+        (Rcoe_obs.Metrics.to_table (System.metrics r.Runner.sys))
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ wl_arg $ mode_arg $ replicas_arg $ arch_arg $ vm_arg
-      $ level_arg $ seed_arg $ fast_catchup_arg $ strict_lint_arg)
+      $ level_arg $ seed_arg $ fast_catchup_arg $ strict_lint_arg
+      $ metrics_arg)
 
 let kv_cmd =
   let doc = "run the KV server under a YCSB workload" in
@@ -199,6 +209,91 @@ let kv_cmd =
     Term.(
       const run $ mode_arg $ replicas_arg $ arch_arg $ level_arg $ seed_arg
       $ ycsb_arg $ records_arg $ ops_arg $ masking_arg)
+
+let trace_cmd =
+  let doc =
+    "run a workload with cycle-accurate tracing and export a Chrome \
+     trace-event JSON (load it at ui.perfetto.dev)"
+  in
+  let wl_arg =
+    Arg.(required & opt (some string) None
+         & info [ "w"; "workload" ]
+             ~doc:"workload name (also accepts `kvstore` for a short \
+                   YCSB run)")
+  in
+  let out_arg =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "output" ] ~doc:"output JSON path")
+  in
+  let capacity_arg =
+    Arg.(value & opt int 65536
+         & info [ "capacity" ] ~doc:"trace ring capacity (events kept)")
+  in
+  let check_arg =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"re-read the exported file and fail unless it parses \
+                   and contains trace events")
+  in
+  let run wl mode n arch vm level seed fast_catchup out capacity check =
+    (* Replicated modes need at least a DMR pair; bump silently so
+       `trace -w whetstone --mode cc` works without an explicit -n. *)
+    let n = if mode = Config.Base then max 1 n else max 2 n in
+    let base = mk_config ~fast_catchup mode n arch vm level seed ~with_net:false in
+    let config =
+      { base with Config.trace = Some { Rcoe_obs.Trace.capacity } }
+    in
+    let sys =
+      if String.equal wl "kvstore" then
+        let config = { config with Config.with_net = true } in
+        let res =
+          Kv_run.run ~config ~workload:Ycsb.A ~records:48 ~operations:96 ()
+        in
+        res.Kv_run.sys
+      else
+        let branch_count = Wl.branch_count_for arch in
+        let program = program_of_name wl ~branch_count in
+        let r = Runner.run_program ~config ~program () in
+        r.Runner.sys
+    in
+    let tr = System.trace sys in
+    Rcoe_obs.Export.write_chrome ~path:out tr;
+    Printf.printf "workload:   %s\n" wl;
+    Printf.printf "config:     %s on %s%s, level %s\n"
+      (Config.replicas_label config)
+      (Rcoe_machine.Arch.to_string arch)
+      (if vm then " (VM)" else "")
+      (Config.sync_level_to_string level);
+    Printf.printf "trace:      %d events recorded, %d dropped (ring %d)\n"
+      (Rcoe_obs.Trace.total tr)
+      (Rcoe_obs.Trace.dropped tr)
+      (Rcoe_obs.Trace.capacity tr);
+    Printf.printf "wrote:      %s\n" out;
+    Rcoe_util.Table.print (Rcoe_obs.Export.summary_table tr);
+    if check then begin
+      let ic = open_in_bin out in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      match Rcoe_obs.Json.parse s with
+      | Error e ->
+          Printf.eprintf "check:      exported JSON is malformed: %s\n" e;
+          exit 1
+      | Ok j -> (
+          match Rcoe_obs.Json.member "traceEvents" j with
+          | Some (Rcoe_obs.Json.List (_ :: _ as evs)) ->
+              Printf.printf "check:      ok (%d trace events)\n"
+                (List.length evs)
+          | _ ->
+              Printf.eprintf "check:      traceEvents missing or empty\n";
+              exit 1)
+    end
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const run $ wl_arg $ mode_arg $ replicas_arg $ arch_arg $ vm_arg
+      $ level_arg $ seed_arg $ fast_catchup_arg $ out_arg $ capacity_arg
+      $ check_arg)
 
 let disasm_cmd =
   let doc = "disassemble a workload program" in
@@ -318,4 +413,5 @@ let () =
   let info = Cmd.info "rcoe_run" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; run_cmd; kv_cmd; disasm_cmd; lint_cmd ]))
+       (Cmd.group info
+          [ list_cmd; run_cmd; kv_cmd; trace_cmd; disasm_cmd; lint_cmd ]))

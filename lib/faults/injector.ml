@@ -65,13 +65,17 @@ type t = {
   pools : region array;
   total_words : int;
   mutable nflips : int;
+  itrace : Rcoe_obs.Trace.t;
 }
 
-let create ~seed pools =
+let create ?trace ~seed pools =
   if pools = [] then invalid_arg "Injector.create: no regions";
   let pools = Array.of_list pools in
   let total_words = Array.fold_left (fun n r -> n + r.r_words) 0 pools in
-  { rng = Rng.create seed; pools; total_words; nflips = 0 }
+  let itrace =
+    match trace with Some tr -> tr | None -> Rcoe_obs.Trace.disabled ()
+  in
+  { rng = Rng.create seed; pools; total_words; nflips = 0; itrace }
 
 let flip_one t mem =
   let w = Rng.int t.rng t.total_words in
@@ -83,12 +87,14 @@ let flip_one t mem =
   let addr, name = locate 0 w in
   let bit = Rng.int t.rng 32 in
   Rcoe_machine.Mem.flip_bit mem ~addr ~bit;
+  Rcoe_obs.Trace.injection t.itrace ~addr ~bit;
   t.nflips <- t.nflips + 1;
   (addr, bit, name)
 
 let flips t = t.nflips
 
-let reg_flip_hook ~seed ~only_rid ~armed ~count mem ~rid ~tid:_ ~ctx_addr =
+let reg_flip_hook ?trace ~seed ~only_rid ~armed ~count mem ~rid ~tid:_
+    ~ctx_addr =
   if rid = only_rid && !armed then begin
     armed := false;
     incr count;
@@ -97,5 +103,8 @@ let reg_flip_hook ~seed ~only_rid ~armed ~count mem ~rid ~tid:_ ~ctx_addr =
     let word = Rng.int rng 17 in
     let off = if word = 16 then Context.ip_offset else Context.reg_offset word in
     let bit = Rng.int rng 32 in
-    Rcoe_machine.Mem.flip_bit mem ~addr:(ctx_addr + off) ~bit
+    Rcoe_machine.Mem.flip_bit mem ~addr:(ctx_addr + off) ~bit;
+    match trace with
+    | Some tr -> Rcoe_obs.Trace.injection tr ~addr:(ctx_addr + off) ~bit
+    | None -> ()
   end

@@ -47,7 +47,10 @@ val arm_active_campaign :
 
 type t
 
-val create : seed:int -> region list -> t
+val create : ?trace:Rcoe_obs.Trace.t -> seed:int -> region list -> t
+(** With [trace], every flip is recorded as an injection event (and
+    marks the detection-latency clock — see
+    {!Rcoe_obs.Trace.last_injection}). *)
 
 val flip_one : t -> Rcoe_machine.Mem.t -> int * int * string
 (** Flip a uniformly chosen bit (bits 0–31, as the paper flips bits in
@@ -58,6 +61,7 @@ val flips : t -> int
 (** Total flips injected so far. *)
 
 val reg_flip_hook :
+  ?trace:Rcoe_obs.Trace.t ->
   seed:int ->
   only_rid:int ->
   armed:bool ref ->

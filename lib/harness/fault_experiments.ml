@@ -6,12 +6,7 @@ open Rcoe_util
 let x86 = Rcoe_machine.Arch.X86
 let arm = Rcoe_machine.Arch.Arm
 
-let header title expectation =
-  Printf.printf "\n================================================================\n";
-  Printf.printf "%s\n" title;
-  Printf.printf "paper expectation: %s\n" expectation;
-  Printf.printf "================================================================\n%!"
-
+let header = Report.header
 (* ----------------------------------------------------------- Table VII -- *)
 
 type t7_config = {
@@ -393,10 +388,12 @@ let detection_latency ?(runs = 5) () =
             let warm = 30_000 + (seed * 1_000) in
             System.run sys ~max_cycles:warm;
             let injected_at = System.now sys in
+            let addr = System.sig_base sys 1 + 1 and bit = seed mod 30 in
             Rcoe_machine.Mem.flip_bit
-              (System.machine sys).Rcoe_machine.Machine.mem
-              ~addr:(System.sig_base sys 1 + 1)
-              ~bit:(seed mod 30);
+              (System.machine sys).Rcoe_machine.Machine.mem ~addr ~bit;
+            (* Mark the injection so the engine's detection-latency
+               histogram measures the same interval we compute here. *)
+            Rcoe_obs.Trace.injection (System.trace sys) ~addr ~bit;
             System.run sys ~max_cycles:3_000_000;
             match System.halted sys with
             | Some System.H_mismatch ->

@@ -5,12 +5,7 @@ open Rcoe_util
 let x86 = Rcoe_machine.Arch.X86
 let arm = Rcoe_machine.Arch.Arm
 
-let header title expectation =
-  Printf.printf "\n================================================================\n";
-  Printf.printf "%s\n" title;
-  Printf.printf "paper expectation: %s\n" expectation;
-  Printf.printf "================================================================\n%!"
-
+let header = Report.header
 let mean_cycles ~runs ~config ~program_for =
   let cycles = ref [] in
   for i = 1 to runs do

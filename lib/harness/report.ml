@@ -1,0 +1,7 @@
+let rule = String.make 64 '='
+
+let header title expectation =
+  Printf.printf "\n%s\n" rule;
+  Printf.printf "%s\n" title;
+  Printf.printf "paper expectation: %s\n" expectation;
+  Printf.printf "%s\n%!" rule

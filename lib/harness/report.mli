@@ -1,0 +1,6 @@
+(** Shared experiment-output formatting (previously copy-pasted into
+    each experiment module). *)
+
+val header : string -> string -> unit
+(** [header title expectation] prints the experiment banner: a rule,
+    the title, the paper's expected outcome, and a closing rule. *)

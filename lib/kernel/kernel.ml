@@ -80,6 +80,7 @@ let create ~machine ~rid:krid ~core_id ~layout:klayout ~program:kprogram
       dev_write = Machine.dev_write machine;
       bus = machine.Machine.bus;
       profile = machine.Machine.profile;
+      trace = machine.Machine.trace;
     }
   in
   {
@@ -230,6 +231,7 @@ let start t = dispatch t
 let preempt ?after_save t =
   if t.current >= 0 then begin
     let tid = t.current in
+    Rcoe_obs.Trace.preempt t.machine.Machine.trace ~rid:t.krid ~tid;
     save_current t;
     (match after_save with
     | Some f -> f ~tid ~ctx_addr:(ctx_addr_of t tid)
@@ -363,8 +365,12 @@ let arg t i = (regs t).(i)
 let set_result t v = (regs t).(0) <- v
 
 let handle_syscall t num =
-  Core.add_stall t.kcore t.kenv.Core.profile.Arch.syscall_cost;
+  let cost = t.kenv.Core.profile.Arch.syscall_cost in
+  Core.add_stall t.kcore cost;
   Core.clear_exclusive t.kcore;
+  (let tr = t.machine.Machine.trace in
+   if Rcoe_obs.Trace.enabled tr then
+     Rcoe_obs.Trace.syscall tr ~rid:t.krid ~num ~name:(Syscall.name num) ~cost);
   if Syscall.is_ft num then begin
     (* Capture only the declared arguments: trailing registers hold
        caller-local values that legitimately differ between replicas
@@ -429,8 +435,17 @@ let handle_syscall t num =
 
 (* --- faults -------------------------------------------------------------- *)
 
+let fault_kind = function
+  | Core.Unmapped _ -> "unmapped"
+  | Core.Write_protect _ -> "write-protect"
+  | Core.Division_by_zero -> "div-zero"
+  | Core.Bad_ip _ -> "bad-ip"
+  | Core.Phys_abort _ -> "phys-abort"
+
 let handle_fault t fault =
   Core.add_stall t.kcore t.kenv.Core.profile.Arch.fault_cost;
+  Rcoe_obs.Trace.fault t.machine.Machine.trace ~rid:t.krid
+    ~kind:(fault_kind fault);
   let disposition =
     match fault with
     | Core.Unmapped _ | Core.Write_protect _ -> Fd_user_fault

@@ -28,6 +28,7 @@ type t = {
   mutable bp : int option;
   mutable bp_suppress : bool;
   mutable halted : bool;
+  mutable bus_wait : int;
   jitter : Rng.t;
 }
 
@@ -39,6 +40,7 @@ type env = {
   dev_write : int -> int -> int -> unit;
   bus : Bus.t;
   profile : Arch.profile;
+  trace : Rcoe_obs.Trace.t;
 }
 
 type step_result = Ran | Stalled | Event of event
@@ -59,6 +61,7 @@ let create ~id ~jitter_seed =
     bp = None;
     bp_suppress = false;
     halted = false;
+    bus_wait = 0;
     jitter = Rng.create jitter_seed;
   }
 
@@ -369,6 +372,14 @@ let exec t env instr : event option =
       retire ();
       None
 
+(* Flush a completed run of bus-contention stalls as one trace span
+   ending at the current cycle. *)
+let flush_bus_wait t env =
+  if t.bus_wait > 0 then begin
+    Rcoe_obs.Trace.bus_stall env.trace ~rid:t.id ~cycles:t.bus_wait;
+    t.bus_wait <- 0
+  end
+
 let step t env =
   if t.halted then Event Ev_halt
   else begin
@@ -384,17 +395,26 @@ let step t env =
       | Some bp when t.bp_suppress && t.ip <> bp -> t.bp_suppress <- false
       | _ -> ());
       match t.bp with
-      | Some bp when bp = t.ip && not t.bp_suppress -> Event Ev_breakpoint
+      | Some bp when bp = t.ip && not t.bp_suppress ->
+          Rcoe_obs.Trace.bp_fire env.trace ~rid:t.id;
+          Event Ev_breakpoint
       | _ ->
           if t.ip < 0 || t.ip >= Array.length env.code then
             Event (Ev_fault (Bad_ip t.ip))
           else begin
             let instr = env.code.(t.ip) in
             match exec t env instr with
-            | exception Take_fault f -> Event (Ev_fault f)
-            | exception Bus_busy -> Stalled
-            | Some ev -> Event ev
+            | exception Take_fault f ->
+                t.bus_wait <- 0;
+                Event (Ev_fault f)
+            | exception Bus_busy ->
+                t.bus_wait <- t.bus_wait + 1;
+                Stalled
+            | Some ev ->
+                flush_bus_wait t env;
+                Event ev
             | None ->
+                flush_bus_wait t env;
                 if
                   env.profile.jitter_p > 0.0
                   && Rng.float t.jitter 1.0 < env.profile.jitter_p

@@ -60,6 +60,9 @@ type t = {
   mutable bp : int option;  (** Global instruction breakpoint. *)
   mutable bp_suppress : bool;  (** Resume-flag: skip [bp] while ip = bp. *)
   mutable halted : bool;
+  mutable bus_wait : int;
+      (** Consecutive cycles stalled on bus contention; flushed to the
+          trace as one span when a token is finally granted. *)
   jitter : Rcoe_util.Rng.t;
 }
 
@@ -71,6 +74,9 @@ type env = {
   dev_write : int -> int -> int -> unit;
   bus : Bus.t;
   profile : Arch.profile;
+  trace : Rcoe_obs.Trace.t;
+      (** Sink for breakpoint fires and bus-stall spans; pass
+          [Rcoe_obs.Trace.disabled ()] when not tracing. *)
 }
 
 type step_result =

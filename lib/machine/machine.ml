@@ -9,23 +9,32 @@ type t = {
   mutable now : int;
   mutable irq_route : int;
   ipi_pending : int array;
+  trace : Rcoe_obs.Trace.t;
 }
 
-let create ~profile ~mem_words ~ncores ~seed =
+let create ?trace ~profile ~mem_words ~ncores ~seed () =
   let root = Rng.create seed in
   let cores =
     Array.init ncores (fun id -> Core.create ~id ~jitter_seed:(Rng.next root))
   in
-  {
-    profile;
-    mem = Mem.create mem_words;
-    bus = Bus.create ~rate:profile.Arch.bus_rate;
-    cores;
-    devices = [||];
-    now = 0;
-    irq_route = 0;
-    ipi_pending = Array.make ncores max_int;
-  }
+  let trace =
+    match trace with Some tr -> tr | None -> Rcoe_obs.Trace.disabled ()
+  in
+  let t =
+    {
+      profile;
+      mem = Mem.create mem_words;
+      bus = Bus.create ~rate:profile.Arch.bus_rate;
+      cores;
+      devices = [||];
+      now = 0;
+      irq_route = 0;
+      ipi_pending = Array.make ncores max_int;
+      trace;
+    }
+  in
+  Rcoe_obs.Trace.set_clock trace (fun () -> t.now);
+  t
 
 let add_device t dev =
   t.devices <- Array.append t.devices [| dev |];
@@ -57,13 +66,17 @@ let pending_irq t ~core_id =
     find 0
 
 let ack_irq t dpn =
-  if dpn >= 0 && dpn < Array.length t.devices then
+  if dpn >= 0 && dpn < Array.length t.devices then begin
+    Rcoe_obs.Trace.dev_irq t.trace ~dpn;
     t.devices.(dpn).Device.irq_ack ()
+  end
 
 let send_ipi t ~target =
-  if target >= 0 && target < Array.length t.ipi_pending then
+  if target >= 0 && target < Array.length t.ipi_pending then begin
+    Rcoe_obs.Trace.ipi t.trace ~target;
     t.ipi_pending.(target) <-
       min t.ipi_pending.(target) (t.now + t.profile.Arch.ipi_latency)
+  end
 
 let ipi_visible t ~core_id = t.ipi_pending.(core_id) <= t.now
 

@@ -17,12 +17,20 @@ type t = {
   mutable irq_route : int;  (** Core id receiving device interrupts. *)
   ipi_pending : int array;  (** Per-core cycle at which a pending IPI
                                 becomes visible; [max_int] = none. *)
+  trace : Rcoe_obs.Trace.t;  (** Event sink; disabled unless given. *)
 }
 
 val create :
-  profile:Arch.profile -> mem_words:int -> ncores:int -> seed:int -> t
+  ?trace:Rcoe_obs.Trace.t ->
+  profile:Arch.profile ->
+  mem_words:int ->
+  ncores:int ->
+  seed:int ->
+  unit ->
+  t
 (** Cores get distinct deterministic jitter streams derived from
-    [seed]. *)
+    [seed]. The trace's clock is pointed at this machine's cycle
+    counter. *)
 
 val add_device : t -> Device.t -> int
 (** Register a device; returns its device page id. *)

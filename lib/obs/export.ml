@@ -1,0 +1,285 @@
+(* Chrome trace-event JSON. Timestamps are simulated cycles emitted in
+   the "ts" microsecond field unscaled — Perfetto only needs a
+   monotone integer axis, and 1 cycle = 1 us keeps the numbers
+   readable. *)
+
+let pid_replicas = 0
+let pid_machine = 1
+
+let complete ~name ~pid ~tid ~ts ~dur ?(args = []) () =
+  Json.Obj
+    ([
+       ("name", Json.String name);
+       ("ph", Json.String "X");
+       ("pid", Json.Int pid);
+       ("tid", Json.Int tid);
+       ("ts", Json.Int ts);
+       ("dur", Json.Int dur);
+     ]
+    @ if args = [] then [] else [ ("args", Json.Obj args) ])
+
+let instant ~name ~pid ~tid ~ts ?(args = []) () =
+  Json.Obj
+    ([
+       ("name", Json.String name);
+       ("ph", Json.String "i");
+       ("s", Json.String "t");
+       ("pid", Json.Int pid);
+       ("tid", Json.Int tid);
+       ("ts", Json.Int ts);
+     ]
+    @ if args = [] then [] else [ ("args", Json.Obj args) ])
+
+let metadata ~name ~pid ~tid ~value =
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ("ph", Json.String "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.String value) ]);
+    ]
+
+let trace_events tr =
+  let events = Trace.events tr in
+  let last_ts = List.fold_left (fun acc e -> max acc e.Trace.ts) 0 events in
+  let out = ref [] in
+  let emit j = out := j :: !out in
+  (* Open phase begins, keyed per (rid, phase); Phase_end pops its
+     match. Stacks tolerate the ring having dropped a Begin or End. *)
+  let open_phases : (int * Trace.sync_phase, int list) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let rids = Hashtbl.create 8 in
+  let note_rid rid = if rid >= 0 then Hashtbl.replace rids rid () in
+  List.iter
+    (fun { Trace.ts; rid; body } ->
+      note_rid rid;
+      match body with
+      | Trace.Phase_begin ph ->
+          let key = (rid, ph) in
+          let stack =
+            match Hashtbl.find_opt open_phases key with
+            | Some s -> s
+            | None -> []
+          in
+          Hashtbl.replace open_phases key (ts :: stack)
+      | Trace.Phase_end ph -> (
+          let key = (rid, ph) in
+          match Hashtbl.find_opt open_phases key with
+          | Some (t0 :: rest) ->
+              Hashtbl.replace open_phases key rest;
+              emit
+                (complete ~name:(Trace.sync_phase_name ph) ~pid:pid_replicas
+                   ~tid:rid ~ts:t0 ~dur:(max 0 (ts - t0)) ())
+          | _ -> () (* begin fell off the ring *))
+      | Trace.Round_begin seq ->
+          emit
+            (instant ~name:"round-begin" ~pid:pid_machine ~tid:0 ~ts
+               ~args:[ ("seq", Json.Int seq) ]
+               ())
+      | Trace.Round_end seq ->
+          emit
+            (instant ~name:"round-end" ~pid:pid_machine ~tid:0 ~ts
+               ~args:[ ("seq", Json.Int seq) ]
+               ())
+      | Trace.Syscall { num; name; cost } ->
+          emit
+            (complete
+               ~name:(Printf.sprintf "sys:%s" name)
+               ~pid:pid_replicas ~tid:rid ~ts ~dur:cost
+               ~args:[ ("num", Json.Int num) ]
+               ())
+      | Trace.Preempt { tid } ->
+          emit
+            (instant ~name:"preempt" ~pid:pid_replicas ~tid:rid ~ts
+               ~args:[ ("tid", Json.Int tid) ]
+               ())
+      | Trace.Fault { kind } ->
+          emit
+            (instant ~name:("fault:" ^ kind) ~pid:pid_replicas ~tid:rid ~ts ())
+      | Trace.Bp_fire ->
+          emit (instant ~name:"bp-fire" ~pid:pid_replicas ~tid:rid ~ts ())
+      | Trace.Single_step ->
+          emit (instant ~name:"single-step" ~pid:pid_replicas ~tid:rid ~ts ())
+      | Trace.Rep_step ->
+          emit (instant ~name:"rep-step" ~pid:pid_replicas ~tid:rid ~ts ())
+      | Trace.Vm_exit ->
+          emit (instant ~name:"vm-exit" ~pid:pid_replicas ~tid:rid ~ts ())
+      | Trace.Ipi { target } ->
+          emit
+            (instant ~name:"ipi" ~pid:pid_machine ~tid:0 ~ts
+               ~args:[ ("target", Json.Int target) ]
+               ())
+      | Trace.Dev_irq { dpn } ->
+          emit
+            (instant ~name:"dev-irq" ~pid:pid_machine ~tid:0 ~ts
+               ~args:[ ("dpn", Json.Int dpn) ]
+               ())
+      | Trace.Bus_stall { cycles } ->
+          emit
+            (complete ~name:"bus-stall" ~pid:pid_replicas ~tid:rid
+               ~ts:(max 0 (ts - cycles))
+               ~dur:cycles ())
+      | Trace.Vote { count; c0; c1; agree } ->
+          emit
+            (instant ~name:"vote" ~pid:pid_replicas ~tid:rid ~ts
+               ~args:
+                 [
+                   ("count", Json.Int count);
+                   ("c0", Json.Int c0);
+                   ("c1", Json.Int c1);
+                   ("agree", Json.Bool agree);
+                 ]
+               ())
+      | Trace.Injection { addr; bit } ->
+          emit
+            (instant ~name:"injection" ~pid:pid_machine ~tid:0 ~ts
+               ~args:[ ("addr", Json.Int addr); ("bit", Json.Int bit) ]
+               ())
+      | Trace.Downgrade { rid; cost } ->
+          note_rid rid;
+          emit
+            (complete ~name:"downgrade" ~pid:pid_machine ~tid:0 ~ts ~dur:cost
+               ~args:[ ("removed", Json.Int rid) ]
+               ())
+      | Trace.Reintegrate { rid; cost } ->
+          note_rid rid;
+          emit
+            (complete ~name:"reintegrate" ~pid:pid_machine ~tid:0 ~ts ~dur:cost
+               ~args:[ ("rid", Json.Int rid) ]
+               ()))
+    events;
+  (* Close phases left open at trace end. *)
+  Hashtbl.iter
+    (fun (rid, ph) stack ->
+      List.iter
+        (fun t0 ->
+          emit
+            (complete ~name:(Trace.sync_phase_name ph) ~pid:pid_replicas
+               ~tid:rid ~ts:t0 ~dur:(max 0 (last_ts - t0)) ()))
+        stack)
+    open_phases;
+  let meta =
+    metadata ~name:"process_name" ~pid:pid_replicas ~tid:0 ~value:"replicas"
+    :: metadata ~name:"process_name" ~pid:pid_machine ~tid:0 ~value:"machine"
+    :: metadata ~name:"thread_name" ~pid:pid_machine ~tid:0 ~value:"engine"
+    :: (Hashtbl.fold (fun rid () acc -> rid :: acc) rids []
+       |> List.sort compare
+       |> List.map (fun rid ->
+              metadata ~name:"thread_name" ~pid:pid_replicas ~tid:rid
+                ~value:(Printf.sprintf "replica %d" rid)))
+  in
+  meta @ List.rev !out
+
+let to_chrome_json tr =
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.List (trace_events tr));
+         ("displayTimeUnit", Json.String "ms");
+         ( "otherData",
+           Json.Obj
+             [
+               ("tool", Json.String "rcoe");
+               ("total_events", Json.Int (Trace.total tr));
+               ("dropped_events", Json.Int (Trace.dropped tr));
+             ] );
+       ])
+
+let write_chrome ~path tr =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_chrome_json tr))
+
+let all_phases =
+  [
+    Trace.Ipi_wait;
+    Trace.Gather_wait;
+    Trace.Chase;
+    Trace.Catchup;
+    Trace.Pmu_catchup;
+    Trace.Vote_wait;
+    Trace.Rendezvous;
+  ]
+
+let summary_table tr =
+  let events = Trace.events tr in
+  (* (rid, phase) -> (count, total cycles); pair begins/ends as in the
+     JSON export. *)
+  let phase_tot : (int * Trace.sync_phase, int * int) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let open_phases : (int * Trace.sync_phase, int list) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let point : (int * string, int) Hashtbl.t = Hashtbl.create 32 in
+  let bump_point rid name =
+    let k = (rid, name) in
+    Hashtbl.replace point k (1 + Option.value ~default:0 (Hashtbl.find_opt point k))
+  in
+  let rids = Hashtbl.create 8 in
+  List.iter
+    (fun { Trace.ts; rid; body } ->
+      if rid >= 0 then Hashtbl.replace rids rid ();
+      match body with
+      | Trace.Phase_begin ph ->
+          let key = (rid, ph) in
+          let stack = Option.value ~default:[] (Hashtbl.find_opt open_phases key) in
+          Hashtbl.replace open_phases key (ts :: stack)
+      | Trace.Phase_end ph -> (
+          let key = (rid, ph) in
+          match Hashtbl.find_opt open_phases key with
+          | Some (t0 :: rest) ->
+              Hashtbl.replace open_phases key rest;
+              let n, tot =
+                Option.value ~default:(0, 0) (Hashtbl.find_opt phase_tot key)
+              in
+              Hashtbl.replace phase_tot key (n + 1, tot + max 0 (ts - t0))
+          | _ -> ())
+      | Trace.Syscall _ -> bump_point rid "syscalls"
+      | Trace.Bp_fire -> bump_point rid "bp-fires"
+      | Trace.Single_step -> bump_point rid "single-steps"
+      | Trace.Rep_step -> bump_point rid "rep-steps"
+      | Trace.Vm_exit -> bump_point rid "vm-exits"
+      | Trace.Vote _ -> bump_point rid "votes"
+      | Trace.Bus_stall { cycles } ->
+          let k = (rid, "bus-stall-cycles") in
+          Hashtbl.replace point k
+            (cycles + Option.value ~default:0 (Hashtbl.find_opt point k))
+      | _ -> ())
+    events;
+  let open Rcoe_util in
+  let tbl =
+    Table.create
+      ~headers:
+        ([ "replica" ]
+        @ List.concat_map
+            (fun ph ->
+              let n = Trace.sync_phase_name ph in
+              [ n; n ^ "-cyc" ])
+            all_phases
+        @ [ "syscalls"; "bp-fires"; "vm-exits"; "votes"; "bus-stall-cyc" ])
+  in
+  Hashtbl.fold (fun rid () acc -> rid :: acc) rids []
+  |> List.sort compare
+  |> List.iter (fun rid ->
+         let cells =
+           [ string_of_int rid ]
+           @ List.concat_map
+               (fun ph ->
+                 let n, tot =
+                   Option.value ~default:(0, 0)
+                     (Hashtbl.find_opt phase_tot (rid, ph))
+                 in
+                 [ string_of_int n; string_of_int tot ])
+               all_phases
+           @ List.map
+               (fun name ->
+                 string_of_int
+                   (Option.value ~default:0 (Hashtbl.find_opt point (rid, name))))
+               [ "syscalls"; "bp-fires"; "vm-exits"; "votes"; "bus-stall-cycles" ]
+         in
+         Table.add_row tbl cells);
+  tbl

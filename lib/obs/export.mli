@@ -1,0 +1,21 @@
+(** Trace rendering: Chrome trace-event JSON (Perfetto) and a text
+    summary.
+
+    The JSON maps onto Perfetto's UI as one track per replica (pid 0 =
+    "replicas", tid = replica id) plus a machine track (pid 1) for
+    rounds, IPIs, device IRQs and downgrades. Sync phases, syscalls,
+    bus stalls and downgrade/reintegration spans become "X" (complete)
+    duration events; votes, injections, breakpoint fires and the other
+    point-like events become "i" (instant) events. Load the file at
+    [ui.perfetto.dev] or [chrome://tracing]. *)
+
+val to_chrome_json : Trace.t -> string
+(** The whole ring as [{"traceEvents": [...], ...}]. Phase pairs are
+    matched per replica; a phase still open when the trace ends is
+    closed at the last timestamp seen. *)
+
+val write_chrome : path:string -> Trace.t -> unit
+
+val summary_table : Trace.t -> Rcoe_util.Table.t
+(** Per-replica totals: occurrences and total cycles of each sync
+    phase, plus counts of the point events — the Table II/V view. *)

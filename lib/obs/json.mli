@@ -1,0 +1,22 @@
+(** Minimal JSON values: enough to build and re-parse Chrome
+    trace-event files without an external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering with escaped strings. *)
+
+val parse : string -> (t, string) result
+(** Recursive-descent parser for the subset {!to_string} emits (plus
+    whitespace). Numbers with a fraction or exponent parse as [Float];
+    others as [Int]. The error string carries a byte offset. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] otherwise. *)

@@ -1,0 +1,49 @@
+(** Named counter/gauge/histogram registry.
+
+    Replaces the hand-maintained ad-hoc stats records: subsystems
+    register named instruments once at construction time and bump them
+    on the hot path; the harness reads everything back by name or as a
+    rendered table. Registration of a duplicate name raises — two
+    subsystems silently sharing a counter is a bug, and the [@trace]
+    CI alias relies on this check. *)
+
+type t
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+(** {2 Registration} — raises [Invalid_argument] on a duplicate name. *)
+
+val counter : t -> string -> counter
+val gauge : t -> string -> gauge
+
+val histogram : ?buckets:float list -> t -> string -> histogram
+(** [buckets] are the upper bounds handed to {!Rcoe_util.Stats.histogram}
+    when rendering; sample storage is exact regardless. *)
+
+(** {2 Hot path} *)
+
+val incr : ?by:int -> counter -> unit
+val set : gauge -> float -> unit
+val observe : histogram -> float -> unit
+
+(** {2 Reading} *)
+
+val count : counter -> int
+val value : gauge -> float
+val samples : histogram -> float list
+(** Oldest first. *)
+
+val buckets : histogram -> float list option
+val names : t -> string list
+(** Registration order. *)
+
+val find_counter : t -> string -> counter option
+val find_histogram : t -> string -> histogram option
+
+val to_table : t -> Rcoe_util.Table.t
+(** One row per instrument: name, kind, count/value/n, and for
+    histograms mean, p50, p95 and max from {!Rcoe_util.Stats}. *)

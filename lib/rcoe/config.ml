@@ -19,6 +19,7 @@ type t = {
   trace_output : bool;
   with_net : bool;
   strict_lint : bool;
+  trace : Rcoe_obs.Trace.config option;
 }
 
 let default =
@@ -39,6 +40,7 @@ let default =
     trace_output = true;
     with_net = false;
     strict_lint = false;
+    trace = None;
   }
 
 let mode_to_string = function Base -> "Base" | LC -> "LC" | CC -> "CC"
@@ -65,6 +67,8 @@ let validate t =
   else if t.timeout_masking && not t.masking then
     err "timeout_masking requires masking"
   else if t.tick_interval <= 0 then err "tick_interval must be positive"
+  else if (match t.trace with Some { Rcoe_obs.Trace.capacity } -> capacity <= 0 | None -> false)
+  then err "trace capacity must be positive"
   else if t.barrier_timeout <= t.tick_interval / 10 then
     err "barrier_timeout too small relative to tick_interval"
   else Ok ()

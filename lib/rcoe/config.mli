@@ -50,6 +50,10 @@ type t = {
           loosely (an LC run of a racy program silently risks
           divergence). Off by default: the report is still computed and
           exposed via {!System.lint_report}. *)
+  trace : Rcoe_obs.Trace.config option;
+      (** Record a structured execution trace ({!Rcoe_obs.Trace}) with
+          the given ring capacity. [None] (the default) keeps tracing
+          disabled and instrumentation free. *)
 }
 
 val default : t

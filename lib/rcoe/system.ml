@@ -1,5 +1,7 @@
 open Rcoe_machine
 open Rcoe_kernel
+module Trace = Rcoe_obs.Trace
+module Metrics = Rcoe_obs.Metrics
 
 type halt_reason =
   | H_mismatch
@@ -33,6 +35,56 @@ type stats = {
   mutable rendezvous : int;
 }
 
+(* Typed handles into the metrics registry; the [stats] record above is
+   reconstructed from these on demand, so callers of [stats] are
+   unaffected by the registry having become the source of truth. *)
+type metric_set = {
+  m_ticks : Metrics.counter;
+  m_rounds : Metrics.counter;
+  m_votes : Metrics.counter;
+  m_ipis : Metrics.counter;
+  m_bp_fires : Metrics.counter;
+  m_ft_rounds : Metrics.counter;
+  m_rendezvous : Metrics.counter;
+  m_vm_exits : Metrics.counter;
+  m_single_steps : Metrics.counter;
+  m_rep_steps : Metrics.counter;
+  m_downgrades : Metrics.counter;
+  m_reintegrations : Metrics.counter;
+  m_catchup_dist : Metrics.histogram;
+  m_catchup_cycles : Metrics.histogram;
+  m_barrier_wait : Metrics.histogram;
+  m_detect_latency : Metrics.histogram;
+}
+
+let make_metric_set reg =
+  {
+    m_ticks = Metrics.counter reg "kernel.ticks_delivered";
+    m_rounds = Metrics.counter reg "sync.rounds";
+    m_votes = Metrics.counter reg "sync.votes";
+    m_ipis = Metrics.counter reg "sync.ipis";
+    m_bp_fires = Metrics.counter reg "catchup.bp_fires";
+    m_ft_rounds = Metrics.counter reg "sync.ft_rounds";
+    m_rendezvous = Metrics.counter reg "sync.rendezvous";
+    m_vm_exits = Metrics.counter reg "vm.exits";
+    m_single_steps = Metrics.counter reg "catchup.single_steps";
+    m_rep_steps = Metrics.counter reg "catchup.rep_steps";
+    m_downgrades = Metrics.counter reg "mask.downgrades";
+    m_reintegrations = Metrics.counter reg "mask.reintegrations";
+    m_catchup_dist =
+      Metrics.histogram reg "catchup.distance_branches"
+        ~buckets:[ 1.; 8.; 32.; 128.; 512.; 2048.; 8192. ];
+    m_catchup_cycles =
+      Metrics.histogram reg "catchup.cycles"
+        ~buckets:[ 100.; 1000.; 10_000.; 100_000. ];
+    m_barrier_wait =
+      Metrics.histogram reg "sync.barrier_wait_cycles"
+        ~buckets:[ 100.; 1000.; 10_000.; 100_000. ];
+    m_detect_latency =
+      Metrics.histogram reg "detect.latency_cycles"
+        ~buckets:[ 1000.; 10_000.; 100_000.; 1_000_000. ];
+  }
+
 (* Pending events delivered at the end of an asynchronous round. *)
 type ev = Tick | Dev_irq of int
 
@@ -63,6 +115,11 @@ type replica = {
   mutable pending_ft : (int * int array) option;
   mutable joined : bool;
   mutable defer_publish : bool;
+  (* Trace/metrics bookkeeping; [tr_phase] is only ever set while the
+     trace is enabled, so the helpers below are free when it is not. *)
+  mutable tr_phase : Trace.sync_phase option;
+  mutable arrived_at : int;  (* cycle of final-barrier arrival, -1 = n/a *)
+  mutable move_started : int;  (* cycle catch-up began, -1 = n/a *)
 }
 
 type phase =
@@ -97,8 +154,17 @@ type t = {
   mutable after_save : (rid:int -> tid:int -> ctx_addr:int -> unit) option;
   mutable pending_reintegrate : int option;
   mutable reintegration_log : (int * int) list;
-  st : stats;
+  mutable event_log_len : int;
+  metrics : Metrics.t;
+  ms : metric_set;
+  trace : Trace.t;
 }
+
+(* The notable-events list is bounded: campaigns run for millions of
+   cycles and the old unbounded list grew without limit. Truncation is
+   amortised — the newest [event_log_cap] entries (the list prefix) are
+   kept once the list doubles past the cap. *)
+let event_log_cap = 2048
 
 (* Engine-internal cycle costs not covered by the architecture profile. *)
 let publish_cost = 60
@@ -123,7 +189,20 @@ let netdev t = t.net
 let kernel t rid = t.replicas.(rid).kern
 let primary t = t.prim
 let now t = t.mach.Machine.now
-let stats t = t.st
+
+let stats t =
+  {
+    ticks_delivered = Metrics.count t.ms.m_ticks;
+    rounds = Metrics.count t.ms.m_rounds;
+    votes = Metrics.count t.ms.m_votes;
+    ipis = Metrics.count t.ms.m_ipis;
+    bp_fires = Metrics.count t.ms.m_bp_fires;
+    ft_rounds = Metrics.count t.ms.m_ft_rounds;
+    rendezvous = Metrics.count t.ms.m_rendezvous;
+  }
+
+let metrics t = t.metrics
+let trace t = t.trace
 let halted t = t.halt
 let downgrades t = t.downgrade_log
 let events t = t.event_log
@@ -146,14 +225,36 @@ let live_replicas t =
 let finished t =
   t.halt = None && List.for_all (fun r -> r.finished) (live_replicas t)
 
-let log_event t k = t.event_log <- (now t, k) :: t.event_log
+let log_event t k =
+  t.event_log <- (now t, k) :: t.event_log;
+  t.event_log_len <- t.event_log_len + 1;
+  if t.event_log_len > 2 * event_log_cap then begin
+    t.event_log <- List.filteri (fun i _ -> i < event_log_cap) t.event_log;
+    t.event_log_len <- event_log_cap
+  end
+
+(* Detection latency (paper Fig. 3): cycles from the most recent fault
+   injection to the moment the system reacts (halt or downgrade). The
+   injection mark survives a disabled trace ring, so campaigns measure
+   latency without paying for tracing. *)
+let observe_detection t =
+  match Trace.last_injection t.trace with
+  | Some injected_at ->
+      Metrics.observe t.ms.m_detect_latency
+        (float_of_int (now t - injected_at));
+      Trace.clear_last_injection t.trace
+  | None -> ()
 
 let halt_system t reason =
   if t.halt = None then begin
     t.halt <- Some reason;
     match reason with
-    | H_timeout -> log_event t E_timeout
-    | H_mismatch | H_no_consensus | H_masking_blocked -> log_event t E_mismatch
+    | H_timeout ->
+        observe_detection t;
+        log_event t E_timeout
+    | H_mismatch | H_no_consensus | H_masking_blocked ->
+        observe_detection t;
+        log_event t E_mismatch
     | H_kernel_exception _ -> ()
   end
 
@@ -165,7 +266,29 @@ let event_count t r = Signature.event_count (mem t) ~base:(sig_base t r.rid)
 
 let charge r n = Core.add_stall (Kernel.core r.kern) n
 
-let vm_charge t r = if t.cfg.Config.vm then charge r (profile t).Arch.vm_exit_cost
+let vm_charge t r =
+  if t.cfg.Config.vm then begin
+    charge r (profile t).Arch.vm_exit_cost;
+    Metrics.incr t.ms.m_vm_exits;
+    Trace.vm_exit t.trace ~rid:r.rid
+  end
+
+(* Per-replica sync-phase spans. A new phase closes the previous one,
+   so each replica carries at most one open span; [tr_phase] is only set
+   while tracing, keeping both helpers free otherwise. *)
+let tp_end t r =
+  match r.tr_phase with
+  | Some ph ->
+      Trace.phase_end t.trace ~rid:r.rid ph;
+      r.tr_phase <- None
+  | None -> ()
+
+let tp_begin t r ph =
+  if Trace.enabled t.trace then begin
+    tp_end t r;
+    Trace.phase_begin t.trace ~rid:r.rid ph;
+    r.tr_phase <- Some ph
+  end
 
 (* ---------------------------------------------------------------------- *)
 (* Construction                                                            *)
@@ -239,9 +362,14 @@ let create ~config:cfg ~program =
     Layout.compute ~nreplicas:cfg.Config.nreplicas
       ~user_words:cfg.Config.user_words
   in
+  let trace =
+    match cfg.Config.trace with
+    | Some tc -> Trace.create tc
+    | None -> Trace.disabled ()
+  in
   let mach =
-    Machine.create ~profile ~mem_words:lay.Layout.total_words
-      ~ncores:cfg.Config.nreplicas ~seed:cfg.Config.seed
+    Machine.create ~trace ~profile ~mem_words:lay.Layout.total_words
+      ~ncores:cfg.Config.nreplicas ~seed:cfg.Config.seed ()
   in
   let net, net_dpn =
     if cfg.Config.with_net then begin
@@ -254,17 +382,8 @@ let create ~config:cfg ~program =
     end
     else (None, -1)
   in
-  let st =
-    {
-      ticks_delivered = 0;
-      rounds = 0;
-      votes = 0;
-      ipis = 0;
-      bp_fires = 0;
-      ft_rounds = 0;
-      rendezvous = 0;
-    }
-  in
+  let metrics = Metrics.create () in
+  let ms = make_metric_set metrics in
   let tref = ref None in
   let callbacks =
     {
@@ -304,6 +423,9 @@ let create ~config:cfg ~program =
           pending_ft = None;
           joined = false;
           defer_publish = false;
+          tr_phase = None;
+          arrived_at = -1;
+          move_started = -1;
         })
   in
   (* Device-window mapping plans (primary role). *)
@@ -355,7 +477,10 @@ let create ~config:cfg ~program =
       after_save = None;
       pending_reintegrate = None;
       reintegration_log = [];
-      st;
+      event_log_len = 0;
+      metrics;
+      ms;
+      trace;
     }
   in
   tref := Some t;
@@ -633,6 +758,10 @@ let downgrade t faulty =
     else removal_cost t
   in
   List.iter (fun s -> charge s cost) (live_replicas t);
+  tp_end t r;
+  Metrics.incr t.ms.m_downgrades;
+  Trace.downgrade t.trace ~rid:faulty ~cost;
+  observe_detection t;
   t.downgrade_log <- (now t, faulty, cost) :: t.downgrade_log;
   log_event t (E_downgrade faulty)
 
@@ -695,11 +824,17 @@ let handle_mismatch t ~io_in_flight =
 (* Vote on signatures; on success run [k]; on mismatch try masking and, if
    it succeeds, still run [k] for the survivors. *)
 let vote_signatures t ~io_in_flight k =
-  t.st.votes <- t.st.votes + 1;
+  Metrics.incr t.ms.m_votes;
   List.iter (fun r -> charge r vote_cost) (live_replicas t);
   publish_signatures t;
-  if Vote.signatures_agree (mem t) (shared t) ~live:(live t) then k ()
-  else if handle_mismatch t ~io_in_flight then k ()
+  let ok = Vote.signatures_agree (mem t) (shared t) ~live:(live t) in
+  if Trace.enabled t.trace then
+    List.iter
+      (fun r ->
+        let count, c0, c1 = Signature.read (mem t) ~base:(sig_base t r.rid) in
+        Trace.vote t.trace ~rid:r.rid ~count ~c0 ~c1 ~agree:ok)
+      (live_replicas t);
+  if ok then k () else if handle_mismatch t ~io_in_flight then k ()
 
 (* ---------------------------------------------------------------------- *)
 (* Re-integration (paper Section IV-C, implemented extension)              *)
@@ -757,6 +892,8 @@ let perform_reintegration t rid =
   (* The copy stalls everyone (a DMA-rate partition copy). *)
   let cost = dp.Layout.p_words / 8 in
   List.iter (fun r -> charge r cost) (live_replicas t);
+  Metrics.incr t.ms.m_reintegrations;
+  Trace.reintegrate t.trace ~rid ~cost;
   t.reintegration_log <- (now t, rid) :: t.reintegration_log;
   log_event t (E_reintegrate rid)
 
@@ -794,6 +931,11 @@ let equalize_stalls t =
 let resume_replica t r =
   r.joined <- false;
   r.defer_publish <- false;
+  tp_end t r;
+  if r.arrived_at >= 0 then begin
+    Metrics.observe t.ms.m_barrier_wait (float_of_int (now t - r.arrived_at));
+    r.arrived_at <- -1
+  end;
   match r.state with
   | Rs_removed | Rs_halted -> ()
   | _ ->
@@ -807,7 +949,7 @@ let deliver_events t evs =
       match ev with
       | Tick ->
           t.ticks <- t.ticks + 1;
-          t.st.ticks_delivered <- t.st.ticks_delivered + 1;
+          Metrics.incr t.ms.m_ticks;
           let hook = t.after_save in
           List.iter
             (fun r ->
@@ -828,6 +970,10 @@ let deliver_events t evs =
 
 (* Completion of an asynchronous round: all live replicas are at the same
    logical time. Execute any rendezvoused FT operation, vote, deliver. *)
+let end_round t =
+  Trace.round_end t.trace ~seq:t.round_seq;
+  t.phase <- Ph_idle
+
 let finish_async_round t round =
   let lv = live_replicas t in
   let fts = List.map (fun r -> r.pending_ft) lv in
@@ -840,7 +986,7 @@ let finish_async_round t round =
   let continue_round () =
     (match List.find_opt (fun r -> r.pending_ft <> None) lv with
     | Some { pending_ft = Some (num, args); _ } ->
-        t.st.ft_rounds <- t.st.ft_rounds + 1;
+        Metrics.incr t.ms.m_ft_rounds;
         let commit = ft_stage t num args in
         (* Only reads touch the device *before* the vote (the primary has
            already distributed device data); writes commit after a
@@ -856,14 +1002,14 @@ let finish_async_round t round =
             maybe_reintegrate t;
             equalize_stalls t;
             List.iter (resume_replica t) (live_replicas t);
-            t.phase <- Ph_idle)
+            end_round t)
     | _ ->
         vote_signatures t ~io_in_flight:false (fun () ->
             deliver_events t round.events;
             maybe_reintegrate t;
             equalize_stalls t;
             List.iter (resume_replica t) (live_replicas t);
-            t.phase <- Ph_idle))
+            end_round t))
   in
   if all_none || all_same then continue_round ()
   else begin
@@ -872,13 +1018,13 @@ let finish_async_round t round =
     if handle_mismatch t ~io_in_flight:false then begin
       List.iter (fun r -> r.pending_ft <- None) (live_replicas t);
       equalize_stalls t;
-            List.iter (resume_replica t) (live_replicas t);
-      t.phase <- Ph_idle
+      List.iter (resume_replica t) (live_replicas t);
+      end_round t
     end
   end
 
 let finish_rendezvous t =
-  t.st.rendezvous <- t.st.rendezvous + 1;
+  Metrics.incr t.ms.m_rendezvous;
   let lv = live_replicas t in
   let fts = List.map (fun r -> r.pending_ft) lv in
   let all_same =
@@ -887,13 +1033,13 @@ let finish_rendezvous t =
   let resume () =
     List.iter (fun r -> r.pending_ft <- None) (live_replicas t);
     equalize_stalls t;
-            List.iter (resume_replica t) (live_replicas t);
-    t.phase <- Ph_idle
+    List.iter (resume_replica t) (live_replicas t);
+    end_round t
   in
   if all_same then
     match List.hd fts with
     | Some (num, args) ->
-        t.st.ft_rounds <- t.st.ft_rounds + 1;
+        Metrics.incr t.ms.m_ft_rounds;
         let commit = ft_stage t num args in
         (* Only reads touch the device *before* the vote (the primary has
            already distributed device data); writes commit after a
@@ -953,6 +1099,7 @@ let join_gather t r =
     (* Publishing and parking at the barrier are hypervisor crossings
        when the stack runs virtualised. *)
     vm_charge t r;
+    tp_begin t r Trace.Gather_wait;
     r.state <- Rs_gather_wait
   end
 
@@ -961,6 +1108,13 @@ let arrive t r =
   (Kernel.core r.kern).Core.bp <- None;
   Mem.write (mem t) ((shared t).Layout.bar_base + r.rid) t.round_seq;
   vm_charge t r;
+  if r.move_started >= 0 then begin
+    Metrics.observe t.ms.m_catchup_cycles
+      (float_of_int (now t - r.move_started));
+    r.move_started <- -1
+  end;
+  r.arrived_at <- now t;
+  tp_begin t r Trace.Vote_wait;
   r.state <- Rs_vote_wait
 
 (* After the gather completes: elect the leader and set every replica
@@ -982,10 +1136,25 @@ let start_move t round =
       List.iter
         (fun (r, c) ->
           if Clock.equal_position c leader_clock then arrive t r
-          else
+          else begin
+            r.move_started <- now t;
+            (* Catch-up distance (the drift the round must absorb):
+               completed-branch deficit between two precise user
+               positions, event-count deficit otherwise. *)
+            let dist =
+              match (c.Clock.pos, leader_clock.Clock.pos) with
+              | ( Clock.At_user { branches_adj = a; _ },
+                  Clock.At_user { branches_adj = la; _ } ) ->
+                  la - a
+              | _ -> leader_clock.Clock.count - c.Clock.count
+            in
+            Metrics.observe t.ms.m_catchup_dist (float_of_int (max 0 dist));
             match t.cfg.Config.mode with
-            | Config.LC | Config.Base -> r.state <- Rs_chase leader_clock.Clock.count
+            | Config.LC | Config.Base ->
+                tp_begin t r Trace.Chase;
+                r.state <- Rs_chase leader_clock.Clock.count
             | Config.CC ->
+                tp_begin t r Trace.Catchup;
                 r.state <-
                   Rs_catchup
                     {
@@ -994,7 +1163,8 @@ let start_move t round =
                       overshoot = false;
                       pmu_active = false;
                       pmu_done = false;
-                    })
+                    }
+          end)
         clocks;
       round.stage <- `Move
 
@@ -1006,9 +1176,12 @@ let enter_rendezvous t r =
   (match t.phase with
   | Ph_idle ->
       t.round_seq <- t.round_seq + 1;
+      Trace.round_begin t.trace ~seq:t.round_seq;
       t.phase <- Ph_rdv { rdv_started = now t }
   | Ph_rdv _ -> ()
   | Ph_async _ -> () (* cannot happen: async joins are taken first *));
+  r.arrived_at <- now t;
+  tp_begin t r Trace.Rendezvous;
   r.state <- Rs_rendezvous;
   Mem.write (mem t) ((shared t).Layout.bar_base + r.rid) t.round_seq
 
@@ -1114,7 +1287,7 @@ let run_user t r =
 
 let on_ipi t r =
   Machine.clear_ipi t.mach ~core_id:r.rid;
-  t.st.ipis <- t.st.ipis + 1;
+  Metrics.incr t.ms.m_ipis;
   charge r (profile t).Arch.irq_cost;
   vm_charge t r;
   match t.phase with
@@ -1124,6 +1297,10 @@ let on_ipi t r =
         && Kernel.current_tid r.kern >= 0
         && Core.rep_in_progress (Kernel.core r.kern) (Kernel.env r.kern)
       then begin
+        (* Stopped at a rep-string: step past it before publishing a
+           precise position (paper Section III-D). *)
+        Metrics.incr t.ms.m_rep_steps;
+        Trace.rep_step t.trace ~rid:r.rid;
         charge r (profile t).Arch.rep_walk_cost;
         r.defer_publish <- true
       end
@@ -1170,11 +1347,13 @@ let step_catchup t r cu =
               cu.pmu_done <- true;
               (* The overflow interrupt that ends the fast phase. *)
               charge r p.Arch.irq_cost;
-              vm_charge t r
+              vm_charge t r;
+              tp_begin t r Trace.Catchup
             end
           end
           else if leader_adj - adj_now () > 32 then begin
             cu.pmu_active <- true;
+            tp_begin t r Trace.Pmu_catchup;
             charge r p.Arch.breakpoint_set_cost
             (* programming the counter *)
           end
@@ -1192,13 +1371,17 @@ let step_catchup t r cu =
           match Core.step core (Kernel.env r.kern) with
           | Core.Ran | Core.Stalled -> ()
           | Core.Event Core.Ev_breakpoint ->
-              t.st.bp_fires <- t.st.bp_fires + 1;
+              Metrics.incr t.ms.m_bp_fires;
               charge r p.Arch.debug_exception_cost;
               vm_charge t r;
               let here = Clock.capture p ~count:(event_count t r) core in
               if Clock.equal_position here leader then arrive t r
               else begin
                 if Clock.compare here leader > 0 then cu.overshoot <- true;
+                (* Step past the breakpointed address with the resume
+                   flag: the bp-fire/single-step pair of Section III-D. *)
+                Metrics.incr t.ms.m_single_steps;
+                Trace.single_step t.trace ~rid:r.rid;
                 core.Core.bp_suppress <- true
               end
           | Core.Event (Core.Ev_syscall n) ->
@@ -1244,11 +1427,13 @@ let step_replica t r =
 (* ---------------------------------------------------------------------- *)
 
 let initiate_round t evs =
-  t.st.rounds <- t.st.rounds + 1;
+  Metrics.incr t.ms.m_rounds;
   t.round_seq <- t.round_seq + 1;
+  Trace.round_begin t.trace ~seq:t.round_seq;
   List.iter
     (fun r ->
       r.joined <- false;
+      tp_begin t r Trace.Ipi_wait;
       Machine.send_ipi t.mach ~target:r.rid)
     (live_replicas t);
   t.phase <- Ph_async { events = evs; stage = `Gather; round_started = now t }
@@ -1259,7 +1444,7 @@ let base_tick t =
     charge r (profile t).Arch.irq_cost;
     vm_charge t r;
     t.ticks <- t.ticks + 1;
-    t.st.ticks_delivered <- t.st.ticks_delivered + 1;
+    Metrics.incr t.ms.m_ticks;
     let hook = t.after_save in
     Kernel.preempt
       ?after_save:

@@ -86,7 +86,19 @@ val kernel : t -> int -> Rcoe_kernel.Kernel.t
 val primary : t -> int
 val live : t -> int list
 val now : t -> int
+
 val stats : t -> stats
+(** A snapshot view over the metrics registry (the former hand-
+    maintained record); fresh on each call. *)
+
+val metrics : t -> Rcoe_obs.Metrics.t
+(** The full counter/gauge/histogram registry: everything in {!stats}
+    plus catch-up distances, barrier waits, VM exits, detection
+    latencies, … — the per-phase quantities of paper Tables II/V/X. *)
+
+val trace : t -> Rcoe_obs.Trace.t
+(** The structured execution trace. Disabled (and free) unless
+    {!Config.trace} was set; export with {!Rcoe_obs.Export}. *)
 
 val run : ?stop:(t -> bool) -> t -> max_cycles:int -> unit
 (** Advance the simulation until the program finishes on every live
@@ -110,7 +122,8 @@ val reintegrations : t -> (int * int) list
 (** [(cycle, rid)] re-admissions, most recent first. *)
 
 val events : t -> (int * event_kind) list
-(** Notable events with their cycle, most recent first. *)
+(** Notable events with their cycle, most recent first. Bounded: long
+    fault-injection campaigns keep only the newest ~2048 entries. *)
 
 val output : t -> int -> string
 (** Replica [rid]'s console output. *)

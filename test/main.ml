@@ -3,6 +3,7 @@ let () =
     [
       ("rng", Test_rng.suite);
       ("stats", Test_stats.suite);
+      ("obs", Test_obs.suite);
       ("checksum", Test_checksum.suite);
       ("isa", Test_isa.suite);
       ("analysis", Test_analysis.suite);

@@ -82,7 +82,7 @@ let mk_kernel ?(callbacks = null_callbacks) program =
   let lay = Layout.compute ~nreplicas:1 ~user_words:16384 in
   let machine =
     Machine.create ~profile:Arch.x86 ~mem_words:lay.Layout.total_words
-      ~ncores:1 ~seed:1
+      ~ncores:1 ~seed:1 ()
   in
   let k =
     Kernel.create ~machine ~rid:0 ~core_id:0 ~layout:lay ~program ~callbacks

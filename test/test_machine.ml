@@ -130,6 +130,7 @@ let mk_env ?(profile = Arch.x86) code_list =
       dev_write = (fun _ _ _ -> ());
       bus = Bus.create ~rate:100.0;
       profile = { profile with Arch.jitter_p = 0.0 };
+      trace = Rcoe_obs.Trace.disabled ();
     }
   in
   (Core.create ~id:0 ~jitter_seed:1, env)
@@ -389,7 +390,7 @@ let test_core_float_ops () =
 (* --- Machine / devices / IPIs ------------------------------------------- *)
 
 let test_machine_ipi_latency () =
-  let m = Machine.create ~profile:Arch.x86 ~mem_words:1024 ~ncores:2 ~seed:1 in
+  let m = Machine.create ~profile:Arch.x86 ~mem_words:1024 ~ncores:2 ~seed:1 () in
   Machine.send_ipi m ~target:1;
   Alcotest.(check bool) "not yet" false (Machine.ipi_visible m ~core_id:1);
   for _ = 1 to Arch.x86.Arch.ipi_latency + 1 do
@@ -400,7 +401,7 @@ let test_machine_ipi_latency () =
   Alcotest.(check bool) "cleared" false (Machine.ipi_visible m ~core_id:1)
 
 let test_machine_irq_routing () =
-  let m = Machine.create ~profile:Arch.x86 ~mem_words:8192 ~ncores:2 ~seed:1 in
+  let m = Machine.create ~profile:Arch.x86 ~mem_words:8192 ~ncores:2 ~seed:1 () in
   let nd = Netdev.create ~mem:m.Machine.mem ~dma_base:0 ~dma_words:4096 in
   let dpn = Machine.add_device m (Netdev.device nd) in
   Netdev.inject nd ~now:0 [| 1; 2; 3 |];
@@ -415,7 +416,7 @@ let test_machine_irq_routing () =
 (* --- Netdev -------------------------------------------------------------- *)
 
 let mk_net () =
-  let m = Machine.create ~profile:Arch.x86 ~mem_words:16384 ~ncores:1 ~seed:1 in
+  let m = Machine.create ~profile:Arch.x86 ~mem_words:16384 ~ncores:1 ~seed:1 () in
   let nd = Netdev.create ~mem:m.Machine.mem ~dma_base:8192 ~dma_words:4096 in
   (m, nd)
 

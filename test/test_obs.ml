@@ -1,0 +1,194 @@
+(* Tests for the tracing/metrics subsystem: ring semantics, run
+   determinism, Chrome-JSON export structure, detection latency, and
+   the zero-cost-when-disabled guarantee. *)
+
+open Rcoe_core
+open Rcoe_harness
+module Trace = Rcoe_obs.Trace
+module Metrics = Rcoe_obs.Metrics
+module Json = Rcoe_obs.Json
+module Export = Rcoe_obs.Export
+
+let x86 = Rcoe_machine.Arch.X86
+
+(* --- ring buffer ------------------------------------------------------- *)
+
+let test_ring_wraparound () =
+  let tr = Trace.create { Trace.capacity = 4 } in
+  let cycle = ref 0 in
+  Trace.set_clock tr (fun () -> !cycle);
+  for i = 1 to 10 do
+    cycle := i * 100;
+    Trace.bp_fire tr ~rid:(i mod 2)
+  done;
+  Alcotest.(check int) "total" 10 (Trace.total tr);
+  Alcotest.(check int) "dropped" 6 (Trace.dropped tr);
+  let evs = Trace.events tr in
+  Alcotest.(check int) "kept" 4 (List.length evs);
+  Alcotest.(check (list int)) "newest four, oldest first"
+    [ 700; 800; 900; 1000 ]
+    (List.map (fun e -> e.Trace.ts) evs)
+
+let test_disabled_records_nothing () =
+  let tr = Trace.disabled () in
+  Trace.bp_fire tr ~rid:0;
+  Trace.vote tr ~rid:0 ~count:1 ~c0:2 ~c1:3 ~agree:true;
+  Alcotest.(check bool) "disabled" false (Trace.enabled tr);
+  Alcotest.(check int) "total" 0 (Trace.total tr);
+  Alcotest.(check (list pass)) "empty" [] (Trace.events tr)
+
+let test_injection_survives_disabled () =
+  let tr = Trace.disabled () in
+  let cycle = ref 0 in
+  Trace.set_clock tr (fun () -> !cycle);
+  cycle := 4242;
+  Trace.injection tr ~addr:100 ~bit:3;
+  Alcotest.(check (option int)) "marked" (Some 4242) (Trace.last_injection tr);
+  Trace.clear_last_injection tr;
+  Alcotest.(check (option int)) "cleared" None (Trace.last_injection tr)
+
+(* --- traced runs ------------------------------------------------------- *)
+
+let traced_config ?(mode = Config.LC) ?(capacity = 16384) () =
+  {
+    (Runner.config_for ~mode ~nreplicas:2 ~arch:x86 ~seed:7 ())
+    with
+    Config.trace = Some { Trace.capacity };
+  }
+
+let program () =
+  Rcoe_workloads.Dhrystone.program
+    ~branch_count:(Rcoe_workloads.Wl.branch_count_for x86) ()
+
+let test_deterministic_streams () =
+  let run () =
+    let r = Runner.run_program ~config:(traced_config ()) ~program:(program ()) () in
+    Trace.events (System.trace r.Runner.sys)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same length" (List.length a) (List.length b);
+  Alcotest.(check bool) "identical event streams" true (a = b)
+
+(* --- export ------------------------------------------------------------ *)
+
+let test_export_structure () =
+  let r =
+    Runner.run_program ~config:(traced_config ~mode:Config.CC ())
+      ~program:(program ()) ()
+  in
+  let tr = System.trace r.Runner.sys in
+  let json = Export.to_chrome_json tr in
+  match Json.parse json with
+  | Error e -> Alcotest.failf "export does not parse: %s" e
+  | Ok j -> (
+      match Json.member "traceEvents" j with
+      | Some (Json.List evs) ->
+          Alcotest.(check bool) "non-empty" true (evs <> []);
+          let ph e =
+            match Json.member "ph" e with
+            | Some (Json.String s) -> s
+            | _ -> Alcotest.fail "event without ph"
+          in
+          List.iter
+            (fun e ->
+              let p = ph e in
+              Alcotest.(check bool)
+                (Printf.sprintf "ph %S is X/i/M" p)
+                true
+                (List.mem p [ "X"; "i"; "M" ]))
+            evs;
+          (* Every completed sync round produced one complete
+             gather-phase duration pair per replica, and the engine
+             closes exactly as many vote-wait spans. *)
+          let spans name rid =
+            List.length
+              (List.filter
+                 (fun e ->
+                   ph e = "X"
+                   && Json.member "name" e = Some (Json.String name)
+                   && Json.member "tid" e = Some (Json.Int rid)
+                   && Json.member "pid" e = Some (Json.Int 0))
+                 evs)
+          in
+          let g0 = spans "gather" 0 in
+          Alcotest.(check bool) "rounds traced" true (g0 > 0);
+          Alcotest.(check int) "gather/vote-wait pair (rid 0)" g0
+            (spans "vote-wait" 0);
+          Alcotest.(check int) "gather/vote-wait pair (rid 1)" (spans "gather" 1)
+            (spans "vote-wait" 1)
+      | _ -> Alcotest.fail "no traceEvents list")
+
+(* --- detection latency ------------------------------------------------- *)
+
+let test_detection_latency_histogram () =
+  let config = traced_config () in
+  let sys = System.create ~config ~program:(program ()) in
+  System.run sys ~max_cycles:30_000;
+  let injected_at = System.now sys in
+  let addr = System.sig_base sys 1 + 1 and bit = 5 in
+  Rcoe_machine.Mem.flip_bit
+    (System.machine sys).Rcoe_machine.Machine.mem ~addr ~bit;
+  Trace.injection (System.trace sys) ~addr ~bit;
+  System.run sys ~max_cycles:3_000_000;
+  (match System.halted sys with
+  | Some System.H_mismatch -> ()
+  | h ->
+      Alcotest.failf "expected H_mismatch, got %s"
+        (match h with
+        | Some r -> System.halt_reason_to_string r
+        | None -> "no halt"));
+  let expected = float_of_int (System.now sys - injected_at) in
+  match Metrics.find_histogram (System.metrics sys) "detect.latency_cycles" with
+  | None -> Alcotest.fail "detect.latency_cycles not registered"
+  | Some h -> (
+      match Metrics.samples h with
+      | [ l ] ->
+          Alcotest.(check (float 1e-9)) "latency = halt - injection" expected l
+      | ls -> Alcotest.failf "expected one sample, got %d" (List.length ls))
+
+(* --- zero cost when disabled ------------------------------------------- *)
+
+let test_tracing_does_not_perturb_cycles () =
+  let cycles trace =
+    let config =
+      { (Runner.config_for ~mode:Config.CC ~nreplicas:2 ~arch:x86 ~seed:7 ())
+        with Config.trace }
+    in
+    let r = Runner.run_program ~config ~program:(program ()) () in
+    Alcotest.(check bool) "finished" true r.Runner.finished;
+    r.Runner.cycles
+  in
+  Alcotest.(check int) "same cycle count with and without tracing"
+    (cycles None)
+    (cycles (Some { Trace.capacity = 16384 }))
+
+(* --- metrics ----------------------------------------------------------- *)
+
+let test_metrics_duplicate_name_raises () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "x.y" in
+  Metrics.incr ~by:3 c;
+  Alcotest.(check int) "count" 3 (Metrics.count c);
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Metrics: duplicate instrument \"x.y\"") (fun () ->
+      ignore (Metrics.histogram m "x.y"))
+
+let suite =
+  [
+    Alcotest.test_case "ring wrap-around keeps newest" `Quick
+      test_ring_wraparound;
+    Alcotest.test_case "disabled trace records nothing" `Quick
+      test_disabled_records_nothing;
+    Alcotest.test_case "injection mark survives disabled ring" `Quick
+      test_injection_survives_disabled;
+    Alcotest.test_case "traced runs are deterministic" `Quick
+      test_deterministic_streams;
+    Alcotest.test_case "chrome export is well-formed" `Quick
+      test_export_structure;
+    Alcotest.test_case "detection latency histogram" `Quick
+      test_detection_latency_histogram;
+    Alcotest.test_case "tracing does not perturb cycle counts" `Quick
+      test_tracing_does_not_perturb_cycles;
+    Alcotest.test_case "metrics duplicate name raises" `Quick
+      test_metrics_duplicate_name_raises;
+  ]
