@@ -79,14 +79,28 @@ let fast_catchup_arg =
        & info [ "fast-catchup" ]
            ~doc:"PMU-assisted CC catch-up (the paper's Section VI proposal)")
 
-let mk_config ?(fast_catchup = false) ?(masking = false) mode n arch vm level
-    seed ~with_net =
+let checkpoint_every_arg =
+  Arg.(value & opt int 0
+       & info [ "checkpoint-every" ]
+           ~doc:"capture a verified checkpoint every N successful sync \
+                 rounds and roll back to it instead of halting on a \
+                 detected divergence (0 disables recovery)")
+
+let max_rollbacks_arg =
+  Arg.(value & opt int 3
+       & info [ "max-rollbacks" ]
+           ~doc:"rollback budget before a persistent fault fail-stops")
+
+let mk_config ?(fast_catchup = false) ?(masking = false) ?(checkpoint_every = 0)
+    ?(max_rollbacks = 3) mode n arch vm level seed ~with_net =
   {
     (Runner.config_for ~mode ~nreplicas:n ~arch ~vm ~sync_level:level ~seed
        ~with_net ())
     with
     Config.fast_catchup;
     masking;
+    checkpoint_every;
+    max_rollbacks;
   }
 
 (* --- commands ---------------------------------------------------------- *)
@@ -116,12 +130,14 @@ let run_cmd =
              ~doc:"print the full metrics registry (counters and \
                    histograms) after the run")
   in
-  let run wl mode n arch vm level seed fast_catchup strict_lint metrics =
+  let run wl mode n arch vm level seed fast_catchup checkpoint_every
+      max_rollbacks strict_lint metrics =
     let branch_count = Wl.branch_count_for arch in
     let program = program_of_name wl ~branch_count in
     let config =
       {
-        (mk_config ~fast_catchup mode n arch vm level seed ~with_net:false)
+        (mk_config ~fast_catchup ~checkpoint_every ~max_rollbacks mode n arch
+           vm level seed ~with_net:false)
         with
         Config.strict_lint;
       }
@@ -157,6 +173,10 @@ let run_cmd =
       "sync:       %d rounds, %d ticks, %d votes, %d bp fires, %d FT rounds\n"
       st.System.rounds st.System.ticks_delivered st.System.votes
       st.System.bp_fires st.System.ft_rounds;
+    if config.Config.checkpoint_every > 0 then
+      Printf.printf "recovery:   %d checkpoints, %d rollbacks\n"
+        (System.checkpoints_taken r.Runner.sys)
+        (List.length (System.rollbacks r.Runner.sys));
     let out = System.output r.Runner.sys 0 in
     if out <> "" then Printf.printf "output:     %S\n" out;
     if metrics then
@@ -166,8 +186,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ wl_arg $ mode_arg $ replicas_arg $ arch_arg $ vm_arg
-      $ level_arg $ seed_arg $ fast_catchup_arg $ strict_lint_arg
-      $ metrics_arg)
+      $ level_arg $ seed_arg $ fast_catchup_arg $ checkpoint_every_arg
+      $ max_rollbacks_arg $ strict_lint_arg $ metrics_arg)
 
 let kv_cmd =
   let doc = "run the KV server under a YCSB workload" in
@@ -235,11 +255,15 @@ let trace_cmd =
              ~doc:"re-read the exported file and fail unless it parses \
                    and contains trace events")
   in
-  let run wl mode n arch vm level seed fast_catchup out capacity check =
+  let run wl mode n arch vm level seed fast_catchup checkpoint_every
+      max_rollbacks out capacity check =
     (* Replicated modes need at least a DMR pair; bump silently so
        `trace -w whetstone --mode cc` works without an explicit -n. *)
     let n = if mode = Config.Base then max 1 n else max 2 n in
-    let base = mk_config ~fast_catchup mode n arch vm level seed ~with_net:false in
+    let base =
+      mk_config ~fast_catchup ~checkpoint_every ~max_rollbacks mode n arch vm
+        level seed ~with_net:false
+    in
     let config =
       { base with Config.trace = Some { Rcoe_obs.Trace.capacity } }
     in
@@ -292,8 +316,33 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
       const run $ wl_arg $ mode_arg $ replicas_arg $ arch_arg $ vm_arg
-      $ level_arg $ seed_arg $ fast_catchup_arg $ out_arg $ capacity_arg
-      $ check_arg)
+      $ level_arg $ seed_arg $ fast_catchup_arg $ checkpoint_every_arg
+      $ max_rollbacks_arg $ out_arg $ capacity_arg $ check_arg)
+
+let recover_cmd =
+  let doc =
+    "run the checkpoint/rollback recovery campaign (DMR halt vs DMR \
+     rollback on md5sum)"
+  in
+  let trials_arg =
+    Arg.(value & opt int 8 & info [ "trials" ] ~doc:"trials per table row")
+  in
+  let ci_arg =
+    Arg.(value & flag
+         & info [ "ci" ]
+             ~doc:"exit non-zero if any trial produced an uncontrolled \
+                   outcome (the @faultquick gate)")
+  in
+  let run trials ci =
+    let uncontrolled = Fault_experiments.recovery_table ~trials () in
+    if ci then
+      if uncontrolled = 0 then print_endline "faultquick: ok (0 uncontrolled)"
+      else begin
+        Printf.eprintf "faultquick: %d uncontrolled outcome(s)\n" uncontrolled;
+        exit 1
+      end
+  in
+  Cmd.v (Cmd.info "recover" ~doc) Term.(const run $ trials_arg $ ci_arg)
 
 let disasm_cmd =
   let doc = "disassemble a workload program" in
@@ -414,4 +463,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; kv_cmd; trace_cmd; disasm_cmd; lint_cmd ]))
+          [ list_cmd; run_cmd; kv_cmd; trace_cmd; recover_cmd; disasm_cmd;
+            lint_cmd ]))

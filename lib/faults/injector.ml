@@ -71,6 +71,10 @@ type t = {
 let create ?trace ~seed pools =
   if pools = [] then invalid_arg "Injector.create: no regions";
   let pools = Array.of_list pools in
+  (* Flip addresses depend on the region *order* (a flip indexes the
+     concatenated pools), so canonicalise it: a given (seed, region set)
+     draws the same flip sequence however the caller built the list. *)
+  Array.sort (fun a b -> compare a.r_base b.r_base) pools;
   let total_words = Array.fold_left (fun n r -> n + r.r_words) 0 pools in
   let itrace =
     match trace with Some tr -> tr | None -> Rcoe_obs.Trace.disabled ()

@@ -50,7 +50,9 @@ type t
 val create : ?trace:Rcoe_obs.Trace.t -> seed:int -> region list -> t
 (** With [trace], every flip is recorded as an injection event (and
     marks the detection-latency clock — see
-    {!Rcoe_obs.Trace.last_injection}). *)
+    {!Rcoe_obs.Trace.last_injection}). Regions are sorted by base
+    address internally, so the flip sequence for a given (seed, region
+    set) is reproducible regardless of list construction order. *)
 
 val flip_one : t -> Rcoe_machine.Mem.t -> int * int * string
 (** Flip a uniformly chosen bit (bits 0–31, as the paper flips bits in

@@ -10,13 +10,14 @@ type t =
   | Barrier_timeout
   | Signature_mismatch
   | Masked
+  | Recovered
   | System_reboot
 
 let all =
   [
     No_error; Ycsb_corruption; Ycsb_error; User_mem_fault; User_other_fault;
     Kernel_exception; Barrier_timeout; Signature_mismatch; Masked;
-    System_reboot;
+    Recovered; System_reboot;
   ]
 
 let to_string = function
@@ -29,10 +30,12 @@ let to_string = function
   | Barrier_timeout -> "Barrier timeouts"
   | Signature_mismatch -> "Signature mismatches"
   | Masked -> "Masked (downgraded)"
+  | Recovered -> "Recovered (rolled back)"
   | System_reboot -> "System reboots"
 
 let controlled = function
-  | No_error | Masked | Barrier_timeout | Signature_mismatch -> true
+  | No_error | Masked | Recovered | Barrier_timeout | Signature_mismatch ->
+      true
   | Ycsb_corruption | Ycsb_error | User_mem_fault | User_other_fault
   | Kernel_exception | System_reboot ->
       false
@@ -73,6 +76,11 @@ let classify ~sys ~client_corrupt ~client_error =
       end
       else if client_corrupt then Ycsb_corruption
       else if client_error then Ycsb_error
+      else if System.rollbacks sys <> [] then
+        (* Rollback recovery logs E_mismatch at detection, so this must
+           take precedence over the mismatch check below: the run ended
+           clean *because* it was rewound. *)
+        Recovered
       else if had System.E_mismatch then Signature_mismatch
       else No_error
 

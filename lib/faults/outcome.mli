@@ -19,12 +19,16 @@ type t =
   | Barrier_timeout
   | Signature_mismatch
   | Masked  (** TMR downgrade; service continued. *)
+  | Recovered
+      (** Checkpoint rollback re-execution; the run finished with
+          correct output after at least one detection was recovered
+          instead of halting. *)
   | System_reboot  (** Overclocking: catastrophic multi-component burst. *)
 
 val to_string : t -> string
 
 val controlled : t -> bool
-(** [No_error] and [Masked] count as controlled. *)
+(** [No_error], [Masked] and [Recovered] count as controlled. *)
 
 val classify :
   sys:Rcoe_core.System.t ->

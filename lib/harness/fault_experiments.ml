@@ -415,10 +415,135 @@ let detection_latency ?(runs = 5) () =
     [ 5_000; 20_000; 50_000; 100_000 ];
   Table.print tbl
 
+(* ----------------------------------------------- recovery campaign -- *)
+
+(* One md5sum trial on a CC-D system: run to a warm point, then corrupt
+   one replica's signature accumulator (immediately detectable at the
+   next vote). [`Transient] flips once; [`Persistent] re-flips after
+   every rollback, modelling a stuck-at fault the recovery cannot outrun.
+   Without checkpointing every such detection halts the system. *)
+let recovery_trial ~checkpointing ~fault ~seed =
+  let config =
+    {
+      (Runner.config_for ~mode:Config.CC ~nreplicas:2 ~arch:x86
+         ~seed:(seed * 17) ())
+      with
+      Config.barrier_timeout = 600_000;
+      checkpoint_every = (if checkpointing then 2 else 0);
+      checkpoint_depth = 3;
+      max_rollbacks = 8;
+    }
+  in
+  let program =
+    Md5sum.program ~message_words:96 ~iters:12 ~seed:(seed * 3)
+      ~branch_count:false ()
+  in
+  let sys = System.create ~config ~program in
+  (* Warm long enough for the checkpoint ring to fill, so the
+     persistent case demonstrates the whole escalation chain (retry
+     newest -> drop -> older) before the budget fail-stops it. *)
+  System.run sys ~max_cycles:150_000;
+  let mem = (System.machine sys).Rcoe_machine.Machine.mem in
+  let flip () =
+    let addr = System.sig_base sys 1 + 1 and bit = seed mod 30 in
+    Rcoe_machine.Mem.flip_bit mem ~addr ~bit;
+    Rcoe_obs.Trace.injection (System.trace sys) ~addr ~bit
+  in
+  flip ();
+  (* A persistent fault must re-assert before the system can take a
+     fresh (clean) checkpoint, or each re-assertion looks like a new
+     transient; poll in sub-round windows for it. *)
+  let window, budget =
+    match fault with `Transient -> (100_000, ref 200) | `Persistent -> (10_000, ref 600)
+  in
+  let rollbacks_seen = ref (List.length (System.rollbacks sys)) in
+  while
+    (not (System.finished sys)) && System.halted sys = None && !budget > 0
+  do
+    decr budget;
+    System.run sys ~max_cycles:window;
+    (* A persistent fault re-asserts itself after every recovery: the
+       rollback restored the accumulator, so corrupt it again. *)
+    let rb = List.length (System.rollbacks sys) in
+    if fault = `Persistent && rb > !rollbacks_seen then begin
+      rollbacks_seen := rb;
+      if System.halted sys = None && not (System.finished sys) then flip ()
+    end
+  done;
+  let out = System.output sys 0 in
+  let outcome =
+    Outcome.classify ~sys ~client_corrupt:(String.contains out 'X')
+      ~client_error:(not (System.finished sys) && System.halted sys = None)
+  in
+  let latencies =
+    match Rcoe_obs.Metrics.find_histogram (System.metrics sys)
+            "recover.latency_cycles"
+    with
+    | Some h -> Rcoe_obs.Metrics.samples h
+    | None -> []
+  in
+  (outcome, List.length (System.rollbacks sys),
+   System.checkpoints_taken sys, latencies)
+
+let recovery_table ?(trials = 12) () =
+  header "Recovery campaign: DMR halt vs DMR rollback on md5sum (CC-D, x86)"
+    "without checkpoints every injected signature corruption halts the \
+     run (controlled, but service dead); with a checkpoint ring the same \
+     transient faults re-execute to a correct finish (Recovered); a \
+     persistent fault exhausts the rollback budget and still fail-stops";
+  let tbl =
+    Table.create
+      ~headers:
+        [
+          "config"; "fault"; "trials"; "recovered"; "mismatch-halt";
+          "no-error"; "UNCONTROLLED"; "ckpts"; "rollbacks";
+          "mean-recovery-cyc";
+        ]
+  in
+  let uncontrolled_total = ref 0 in
+  let row label ~checkpointing ~fault =
+    let tally = Outcome.tally_create () in
+    let rollbacks = ref 0 and ckpts = ref 0 and lats = ref [] in
+    for seed = 1 to trials do
+      let outcome, rb, ck, ls = recovery_trial ~checkpointing ~fault ~seed in
+      Outcome.tally_add tally outcome;
+      rollbacks := !rollbacks + rb;
+      ckpts := !ckpts + ck;
+      lats := ls @ !lats
+    done;
+    uncontrolled_total := !uncontrolled_total + Outcome.tally_uncontrolled tally;
+    let open Outcome in
+    Table.add_row tbl
+      [
+        label;
+        (match fault with `Transient -> "transient" | `Persistent -> "persistent");
+        string_of_int trials;
+        string_of_int (tally_get tally Recovered);
+        string_of_int (tally_get tally Signature_mismatch);
+        string_of_int (tally_get tally No_error);
+        string_of_int (tally_uncontrolled tally);
+        string_of_int !ckpts;
+        string_of_int !rollbacks;
+        (match !lats with
+        | [] -> "n/a"
+        | ls -> Printf.sprintf "%.0f" (Rcoe_util.Stats.mean ls));
+      ]
+  in
+  row "CC-D halt" ~checkpointing:false ~fault:`Transient;
+  row "CC-D rollback" ~checkpointing:true ~fault:`Transient;
+  row "CC-D rollback" ~checkpointing:true ~fault:`Persistent;
+  Table.print tbl;
+  Printf.printf
+    "(recovery latency = re-execution distance back to the detection \
+     point plus the restore stall; scaled trial counts as in \
+     EXPERIMENTS.md)\n%!";
+  !uncontrolled_total
+
 let all ~quick =
   let t = if quick then 25 else 80 in
   table7 ~trials:t ~variant:`X86 ();
   table7 ~trials:t ~variant:`Arm ();
   table8 ~trials:(if quick then 20 else 60) ();
   table9 ~trials:(if quick then 20 else 60) ();
+  ignore (recovery_table ~trials:(if quick then 6 else 16) ());
   detection_latency ~runs:(if quick then 3 else 8) ()

@@ -31,6 +31,25 @@ val table9 : ?trials:int -> unit -> unit
     percent, mostly by barrier timeouts; reboots and wedged interrupt
     paths remain externally visible failures. *)
 
+val recovery_trial :
+  checkpointing:bool ->
+  fault:[ `Transient | `Persistent ] ->
+  seed:int ->
+  Rcoe_faults.Outcome.t * int * int * float list
+(** Single recovery-campaign trial (exposed for tests): md5sum on CC-D
+    with one injected signature corruption. Returns (outcome, rollbacks,
+    checkpoints taken, recovery-latency samples). *)
+
+val recovery_table : ?trials:int -> unit -> int
+(** The fail-stop vs fail-recover comparison: identical DMR
+    configurations and faults, with and without a checkpoint ring
+    ({!Rcoe_core.Config.checkpoint_every}). Transient signature
+    corruptions halt the plain system as [Signature_mismatch]; with
+    rollback they finish with correct output as [Recovered]; a
+    persistent fault exhausts the budget and still halts. Returns the
+    number of uncontrolled trials (0 expected) — the [@faultquick] CI
+    gate. *)
+
 val detection_latency : ?runs:int -> unit -> unit
 (** The paper's performance-safety trade-off made explicit (Sections
     III-C and V-B): error-detection latency as a function of the kernel

@@ -461,6 +461,99 @@ let handle_fault t fault =
       kill_current t fault);
   disposition
 
+(* --- checkpointing -------------------------------------------------------- *)
+
+(* A kernel snapshot captures everything [adopt_runtime_from] copies,
+   plus what rollback additionally needs: the console-output length (so
+   replayed output is not emitted twice), the last recorded fault, and
+   the core's full architectural state including the exclusive monitor.
+   Memory (contexts, page table, user frames) is *not* captured here —
+   the engine snapshots the whole partition separately. *)
+
+type core_snapshot = {
+  cs_ip : int;
+  cs_regs : int array;
+  cs_fregs : float array;
+  cs_stall : int;
+  cs_hw_branches : int;
+  cs_last_was_cntinc : bool;
+  cs_excl_armed : bool;
+  cs_excl_addr : int;
+  cs_bus_wait : int;
+  cs_halted : bool;
+}
+
+type snapshot = {
+  sn_nthreads : int;
+  sn_threads : thread option array;
+  sn_current : int;
+  sn_run_q : int list;
+  sn_irq_latch : (int * int) list;
+  sn_out_len : int;
+  sn_next_free_word : int;
+  sn_high_free_word : int;
+  sn_last_fault : (int * Core.fault) option;
+  sn_core : core_snapshot;
+}
+
+let copy_thread th = { th with tstate = th.tstate }
+
+let snapshot t =
+  let c = t.kcore in
+  {
+    sn_nthreads = t.nthreads;
+    sn_threads = Array.map (Option.map copy_thread) t.threads;
+    sn_current = t.current;
+    sn_run_q = List.rev (Queue.fold (fun acc tid -> tid :: acc) [] t.run_q);
+    sn_irq_latch = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.irq_latch [];
+    sn_out_len = Buffer.length t.kout;
+    sn_next_free_word = t.next_free_word;
+    sn_high_free_word = t.high_free_word;
+    sn_last_fault = t.last_fault;
+    sn_core =
+      {
+        cs_ip = c.Core.ip;
+        cs_regs = Array.copy c.Core.regs;
+        cs_fregs = Array.copy c.Core.fregs;
+        cs_stall = c.Core.stall;
+        cs_hw_branches = c.Core.hw_branches;
+        cs_last_was_cntinc = c.Core.last_was_cntinc;
+        cs_excl_armed = c.Core.excl_armed;
+        cs_excl_addr = c.Core.excl_addr;
+        cs_bus_wait = c.Core.bus_wait;
+        cs_halted = c.Core.halted;
+      };
+  }
+
+let restore t s =
+  t.nthreads <- s.sn_nthreads;
+  Array.iteri
+    (fun tid slot -> t.threads.(tid) <- Option.map copy_thread slot)
+    s.sn_threads;
+  t.current <- s.sn_current;
+  Queue.clear t.run_q;
+  List.iter (fun tid -> Queue.add tid t.run_q) s.sn_run_q;
+  Hashtbl.reset t.irq_latch;
+  List.iter (fun (k, v) -> Hashtbl.replace t.irq_latch k v) s.sn_irq_latch;
+  (* Console output only ever grows; cut the replayed suffix. *)
+  if Buffer.length t.kout > s.sn_out_len then Buffer.truncate t.kout s.sn_out_len;
+  t.next_free_word <- s.sn_next_free_word;
+  t.high_free_word <- s.sn_high_free_word;
+  t.last_fault <- s.sn_last_fault;
+  let c = t.kcore and cs = s.sn_core in
+  Array.blit cs.cs_regs 0 c.Core.regs 0 (Array.length cs.cs_regs);
+  Array.blit cs.cs_fregs 0 c.Core.fregs 0 (Array.length cs.cs_fregs);
+  c.Core.ip <- cs.cs_ip;
+  c.Core.stall <- cs.cs_stall;
+  c.Core.hw_branches <- cs.cs_hw_branches;
+  c.Core.last_was_cntinc <- cs.cs_last_was_cntinc;
+  c.Core.excl_armed <- cs.cs_excl_armed;
+  c.Core.excl_addr <- cs.cs_excl_addr;
+  c.Core.bus_wait <- cs.cs_bus_wait;
+  c.Core.halted <- cs.cs_halted;
+  c.Core.bp <- None;
+  c.Core.bp_suppress <- false
+
 (* --- re-integration ------------------------------------------------------ *)
 
 let adopt_runtime_from t ~src =

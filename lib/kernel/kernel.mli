@@ -181,6 +181,23 @@ val translate_mmio : t -> va:int -> (int * int) option
 (** If [va] maps to a device page in this replica's address space,
     [(device page id, word offset)]. *)
 
+type snapshot
+(** A copy of this kernel's runtime bookkeeping (threads, scheduler
+    queue, interrupt latches, allocator positions, console-output
+    length, last fault) and the core's architectural state. Memory —
+    contexts, page table, user frames — is not included: checkpointing
+    engines snapshot the whole partition separately. *)
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Restore the state captured by {!snapshot}. The caller must restore
+    the partition memory to the matching point itself (the snapshot and
+    the partition image form one consistent cut). Console output written
+    after the snapshot is truncated away, any armed breakpoint is
+    cleared, and the core's halted flag is restored — a replica halted
+    after the capture comes back alive. *)
+
 val adopt_runtime_from : t -> src:t -> unit
 (** Re-integration support (paper Section IV-C): after the engine has
     copied the source replica's entire partition into this replica's

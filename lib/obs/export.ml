@@ -148,6 +148,16 @@ let trace_events tr =
           emit
             (complete ~name:"reintegrate" ~pid:pid_machine ~tid:0 ~ts ~dur:cost
                ~args:[ ("rid", Json.Int rid) ]
+               ())
+      | Trace.Checkpoint { words; cost } ->
+          emit
+            (complete ~name:"checkpoint" ~pid:pid_machine ~tid:1 ~ts ~dur:cost
+               ~args:[ ("words", Json.Int words) ]
+               ())
+      | Trace.Rollback { to_cycle; cost } ->
+          emit
+            (complete ~name:"rollback" ~pid:pid_machine ~tid:1 ~ts ~dur:cost
+               ~args:[ ("to_cycle", Json.Int to_cycle) ]
                ()))
     events;
   (* Close phases left open at trace end. *)
@@ -164,6 +174,7 @@ let trace_events tr =
     metadata ~name:"process_name" ~pid:pid_replicas ~tid:0 ~value:"replicas"
     :: metadata ~name:"process_name" ~pid:pid_machine ~tid:0 ~value:"machine"
     :: metadata ~name:"thread_name" ~pid:pid_machine ~tid:0 ~value:"engine"
+    :: metadata ~name:"thread_name" ~pid:pid_machine ~tid:1 ~value:"recovery"
     :: (Hashtbl.fold (fun rid () acc -> rid :: acc) rids []
        |> List.sort compare
        |> List.map (fun rid ->

@@ -51,6 +51,11 @@ type body =
   | Injection of { addr : int; bit : int }  (** Fault-injector flip. *)
   | Downgrade of { rid : int; cost : int }  (** TMR->DMR masking span. *)
   | Reintegrate of { rid : int; cost : int }  (** Re-admission span. *)
+  | Checkpoint of { words : int; cost : int }
+      (** Machine scope: verified-checkpoint capture span. *)
+  | Rollback of { to_cycle : int; cost : int }
+      (** Machine scope: recovery rewind to the checkpoint captured at
+          [to_cycle]; [cost] is the state-restore stall charged. *)
 
 type event = {
   ts : int;  (** Machine cycle at emission. *)
@@ -95,6 +100,8 @@ val bus_stall : t -> rid:int -> cycles:int -> unit
 val vote : t -> rid:int -> count:int -> c0:int -> c1:int -> agree:bool -> unit
 val downgrade : t -> rid:int -> cost:int -> unit
 val reintegrate : t -> rid:int -> cost:int -> unit
+val checkpoint : t -> words:int -> cost:int -> unit
+val rollback : t -> to_cycle:int -> cost:int -> unit
 
 val injection : t -> addr:int -> bit:int -> unit
 (** Also records the injection cycle (see {!last_injection}) even when

@@ -1,0 +1,84 @@
+open Rcoe_machine
+open Rcoe_kernel
+
+type replica_image = {
+  i_rid : int;
+  i_partition : int array;
+  i_kernel : Kernel.snapshot;
+  i_finished : bool;
+}
+
+type snap = {
+  s_cycle : int;
+  s_round_seq : int;
+  s_ticks : int;
+  s_prim : int;
+  s_shared : int array;
+  s_dma : int array;
+  s_replicas : replica_image list;
+  s_words : int;
+}
+
+type t = {
+  depth : int;
+  mutable snaps : snap list; (* newest first, length <= depth *)
+  mutable taken : int;
+}
+
+let create ~depth =
+  if depth < 1 then invalid_arg "Checkpoint.create: depth must be >= 1";
+  { depth; snaps = []; taken = 0 }
+
+let depth t = t.depth
+let count t = List.length t.snaps
+let taken t = t.taken
+
+let push t snap =
+  let keep = List.filteri (fun i _ -> i < t.depth - 1) t.snaps in
+  t.snaps <- snap :: keep;
+  t.taken <- t.taken + 1
+
+let newest t = match t.snaps with [] -> None | s :: _ -> Some s
+
+let drop_newest t =
+  match t.snaps with [] -> () | _ :: rest -> t.snaps <- rest
+
+let words s = s.s_words
+
+let capture mem (lay : Layout.t) ~cycle ~round_seq ~ticks ~prim ~replicas =
+  let sh = lay.Layout.shared in
+  let images =
+    List.map
+      (fun (rid, kern, finished) ->
+        let p = lay.Layout.partitions.(rid) in
+        {
+          i_rid = rid;
+          i_partition = Mem.read_block mem p.Layout.p_base p.Layout.p_words;
+          i_kernel = Kernel.snapshot kern;
+          i_finished = finished;
+        })
+      replicas
+  in
+  let words =
+    List.fold_left (fun n img -> n + Array.length img.i_partition) 0 images
+    + sh.Layout.s_words + lay.Layout.dma_words
+  in
+  {
+    s_cycle = cycle;
+    s_round_seq = round_seq;
+    s_ticks = ticks;
+    s_prim = prim;
+    s_shared = Mem.read_block mem sh.Layout.s_base sh.Layout.s_words;
+    s_dma = Mem.read_block mem lay.Layout.dma_base lay.Layout.dma_words;
+    s_replicas = images;
+    s_words = words;
+  }
+
+let restore_memory mem (lay : Layout.t) snap =
+  List.iter
+    (fun img ->
+      let p = lay.Layout.partitions.(img.i_rid) in
+      Mem.write_block mem p.Layout.p_base img.i_partition)
+    snap.s_replicas;
+  Mem.write_block mem lay.Layout.shared.Layout.s_base snap.s_shared;
+  Mem.write_block mem lay.Layout.dma_base snap.s_dma

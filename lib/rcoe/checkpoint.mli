@@ -1,0 +1,78 @@
+(** Verified checkpoints for rollback recovery.
+
+    A checkpoint is a consistent cut of the whole replicated state,
+    taken right after a successful signature vote — the only moments
+    the replicas are provably equivalent. Each snapshot holds every
+    live replica's full memory partition and kernel/core bookkeeping
+    (via {!Rcoe_kernel.Kernel.snapshot}), the shared framework region,
+    the DMA window, and the engine's logical clocks, so the engine can
+    later rewind all of it at once and re-execute.
+
+    Snapshots live in a bounded ring, newest first. Keeping more than
+    one matters: a fault injected *after* a vote but *before* the next
+    capture is frozen into the newest snapshot, and recovery must be
+    able to escalate to an older, still-clean one (see
+    [System.try_rollback]).
+
+    The engine above owns policy (when to capture, retry budgets,
+    costs); this module owns the data. Device-internal state (e.g. the
+    network device's queues) is outside the sphere of replication and
+    is deliberately not captured — recovery campaigns use compute
+    workloads. *)
+
+type replica_image = {
+  i_rid : int;
+  i_partition : int array;  (** Full partition copy. *)
+  i_kernel : Rcoe_kernel.Kernel.snapshot;
+  i_finished : bool;
+}
+
+type snap = {
+  s_cycle : int;  (** Capture cycle (rollback target, for reporting). *)
+  s_round_seq : int;
+  s_ticks : int;
+  s_prim : int;
+  s_shared : int array;
+  s_dma : int array;
+  s_replicas : replica_image list;  (** Live replicas at capture. *)
+  s_words : int;  (** Total words copied, for cost accounting. *)
+}
+
+type t
+
+val create : depth:int -> t
+(** Raises [Invalid_argument] if [depth < 1]. *)
+
+val depth : t -> int
+val count : t -> int
+(** Snapshots currently held (<= depth). *)
+
+val taken : t -> int
+(** Snapshots stored over the ring's lifetime. *)
+
+val push : t -> snap -> unit
+(** Store as newest; the oldest snapshot is evicted when full. *)
+
+val newest : t -> snap option
+
+val drop_newest : t -> unit
+(** Recovery escalation: discard a snapshot that keeps failing. *)
+
+val words : snap -> int
+
+val capture :
+  Rcoe_machine.Mem.t ->
+  Rcoe_kernel.Layout.t ->
+  cycle:int ->
+  round_seq:int ->
+  ticks:int ->
+  prim:int ->
+  replicas:(int * Rcoe_kernel.Kernel.t * bool) list ->
+  snap
+(** Snapshot the given [(rid, kernel, finished)] replicas plus the
+    shared and DMA regions. Call only at a verified quiescent point. *)
+
+val restore_memory : Rcoe_machine.Mem.t -> Rcoe_kernel.Layout.t -> snap -> unit
+(** Blit every captured partition, the shared region and the DMA window
+    back. The caller pairs this with {!Rcoe_kernel.Kernel.restore} on
+    each image and with resetting its own engine state. *)

@@ -20,6 +20,9 @@ type t = {
   with_net : bool;
   strict_lint : bool;
   trace : Rcoe_obs.Trace.config option;
+  checkpoint_every : int;
+  checkpoint_depth : int;
+  max_rollbacks : int;
 }
 
 let default =
@@ -41,6 +44,9 @@ let default =
     with_net = false;
     strict_lint = false;
     trace = None;
+    checkpoint_every = 0;
+    checkpoint_depth = 2;
+    max_rollbacks = 3;
   }
 
 let mode_to_string = function Base -> "Base" | LC -> "LC" | CC -> "CC"
@@ -71,6 +77,13 @@ let validate t =
   then err "trace capacity must be positive"
   else if t.barrier_timeout <= t.tick_interval / 10 then
     err "barrier_timeout too small relative to tick_interval"
+  else if t.checkpoint_every < 0 then err "checkpoint_every must be >= 0"
+  else if t.checkpoint_every > 0 && t.mode = Base then
+    err "checkpointing requires a replicated mode (LC or CC)"
+  else if t.checkpoint_every > 0 && t.checkpoint_depth < 1 then
+    err "checkpoint_depth must be >= 1"
+  else if t.checkpoint_every > 0 && t.max_rollbacks < 1 then
+    err "max_rollbacks must be >= 1"
   else Ok ()
 
 let replicas_label t =

@@ -54,6 +54,21 @@ type t = {
       (** Record a structured execution trace ({!Rcoe_obs.Trace}) with
           the given ring capacity. [None] (the default) keeps tracing
           disabled and instrumentation free. *)
+  checkpoint_every : int;
+      (** Capture a verified checkpoint every N successful sync rounds
+          (0, the default, disables checkpointing and rollback
+          recovery). With checkpointing on, detections that would halt a
+          DMR system — signature mismatch, vote no-consensus, blocked
+          masking — instead roll all replicas back to the newest
+          verified checkpoint and re-execute. *)
+  checkpoint_depth : int;
+      (** Bounded ring of retained checkpoints (>= 1). Depth >= 2 lets
+          recovery escalate past a snapshot that itself froze in the
+          fault (captured after the vote but before the corruption was
+          detectable). *)
+  max_rollbacks : int;
+      (** Total rollback budget per run (>= 1). A persistent fault
+          exhausts it and the system fail-stops as before. *)
 }
 
 val default : t

@@ -24,6 +24,7 @@ type event_kind =
   | E_timeout
   | E_downgrade of int
   | E_reintegrate of int
+  | E_rollback of int
 
 type stats = {
   mutable ticks_delivered : int;
@@ -51,10 +52,14 @@ type metric_set = {
   m_rep_steps : Metrics.counter;
   m_downgrades : Metrics.counter;
   m_reintegrations : Metrics.counter;
+  m_rollbacks : Metrics.counter;
+  m_ckpt_taken : Metrics.counter;
   m_catchup_dist : Metrics.histogram;
   m_catchup_cycles : Metrics.histogram;
   m_barrier_wait : Metrics.histogram;
   m_detect_latency : Metrics.histogram;
+  m_ckpt_cost : Metrics.histogram;
+  m_recover_latency : Metrics.histogram;
 }
 
 let make_metric_set reg =
@@ -71,6 +76,8 @@ let make_metric_set reg =
     m_rep_steps = Metrics.counter reg "catchup.rep_steps";
     m_downgrades = Metrics.counter reg "mask.downgrades";
     m_reintegrations = Metrics.counter reg "mask.reintegrations";
+    m_rollbacks = Metrics.counter reg "mask.rollbacks";
+    m_ckpt_taken = Metrics.counter reg "ckpt.taken";
     m_catchup_dist =
       Metrics.histogram reg "catchup.distance_branches"
         ~buckets:[ 1.; 8.; 32.; 128.; 512.; 2048.; 8192. ];
@@ -83,6 +90,12 @@ let make_metric_set reg =
     m_detect_latency =
       Metrics.histogram reg "detect.latency_cycles"
         ~buckets:[ 1000.; 10_000.; 100_000.; 1_000_000. ];
+    m_ckpt_cost =
+      Metrics.histogram reg "ckpt.cost_cycles"
+        ~buckets:[ 10_000.; 30_000.; 100_000.; 300_000. ];
+    m_recover_latency =
+      Metrics.histogram reg "recover.latency_cycles"
+        ~buckets:[ 10_000.; 100_000.; 1_000_000.; 10_000_000. ];
   }
 
 (* Pending events delivered at the end of an asynchronous round. *)
@@ -155,6 +168,14 @@ type t = {
   mutable pending_reintegrate : int option;
   mutable reintegration_log : (int * int) list;
   mutable event_log_len : int;
+  (* Rollback recovery. The ring exists only when checkpointing is
+     configured; all bookkeeping below is dead weight otherwise. *)
+  ckpts : Checkpoint.t option;
+  mutable rounds_since_ckpt : int;
+  mutable rollbacks_done : int;
+  mutable retries_at_newest : int;
+  mutable escalations : int;
+  mutable rollback_log : (int * int) list; (* (detected_at, to_cycle) *)
   metrics : Metrics.t;
   ms : metric_set;
   trace : Trace.t;
@@ -205,6 +226,11 @@ let metrics t = t.metrics
 let trace t = t.trace
 let halted t = t.halt
 let downgrades t = t.downgrade_log
+
+let rollbacks t = t.rollback_log
+
+let checkpoints_taken t =
+  match t.ckpts with Some ck -> Checkpoint.taken ck | None -> 0
 let events t = t.event_log
 let tick_count t = t.ticks
 let output t rid = Buffer.contents (Kernel.output t.replicas.(rid).kern)
@@ -478,6 +504,15 @@ let create ~config:cfg ~program =
       pending_reintegrate = None;
       reintegration_log = [];
       event_log_len = 0;
+      ckpts =
+        (if cfg.Config.checkpoint_every > 0 then
+           Some (Checkpoint.create ~depth:cfg.Config.checkpoint_depth)
+         else None);
+      rounds_since_ckpt = 0;
+      rollbacks_done = 0;
+      retries_at_newest = 0;
+      escalations = 0;
+      rollback_log = [];
       metrics;
       ms;
       trace;
@@ -793,29 +828,152 @@ let publish_signatures t =
         (Signature.read (mem t) ~base:(sig_base t r.rid)))
     (live_replicas t)
 
+(* ---------------------------------------------------------------------- *)
+(* Verified checkpoints and rollback recovery                              *)
+(* ---------------------------------------------------------------------- *)
+
+(* Snapshot copy stall, charged to every live replica for both capture
+   and restore. Cheaper per word than re-integration's partition blit
+   (p_words / 8): checkpoints copy far more state far more often, so
+   they model a wide DMA/bulk-copy engine, plus a fixed quiesce cost. *)
+let ckpt_copy_cost words = (words / 32) + 2_000
+
+let take_checkpoint t ck =
+  let lv = live_replicas t in
+  let snap =
+    Checkpoint.capture (mem t) t.lay ~cycle:(now t) ~round_seq:t.round_seq
+      ~ticks:t.ticks ~prim:t.prim
+      ~replicas:(List.map (fun r -> (r.rid, r.kern, r.finished)) lv)
+  in
+  Checkpoint.push ck snap;
+  (* A fresh verified snapshot is forward progress: reset escalation. *)
+  t.retries_at_newest <- 0;
+  t.escalations <- 0;
+  let cost = ckpt_copy_cost (Checkpoint.words snap) in
+  List.iter (fun r -> charge r cost) lv;
+  Metrics.incr t.ms.m_ckpt_taken;
+  Metrics.observe t.ms.m_ckpt_cost (float_of_int cost);
+  Trace.checkpoint t.trace ~words:(Checkpoint.words snap) ~cost
+
+(* Runs at the end of every successfully voted round (the only verified
+   quiescent points). *)
+let maybe_checkpoint t =
+  match t.ckpts with
+  | None -> ()
+  | Some ck ->
+      if t.halt = None && not (finished t) then begin
+        t.rounds_since_ckpt <- t.rounds_since_ckpt + 1;
+        if t.rounds_since_ckpt >= t.cfg.Config.checkpoint_every then begin
+          t.rounds_since_ckpt <- 0;
+          take_checkpoint t ck
+        end
+      end
+
+(* Rewind the whole system to [snap]: memory, kernels, engine clocks and
+   roles. Wall-clock cycles never rewind — re-execution is *new* time,
+   which is exactly the recovery latency the campaign measures. Returns
+   the restore stall charged to the survivors. *)
+let perform_rollback t (snap : Checkpoint.snap) =
+  Array.iter (fun r -> tp_end t r) t.replicas;
+  Checkpoint.restore_memory (mem t) t.lay snap;
+  List.iter
+    (fun (img : Checkpoint.replica_image) ->
+      let r = t.replicas.(img.Checkpoint.i_rid) in
+      Kernel.restore r.kern img.Checkpoint.i_kernel;
+      r.finished <- img.Checkpoint.i_finished;
+      r.pending_ft <- None;
+      r.joined <- false;
+      r.defer_publish <- false;
+      r.arrived_at <- -1;
+      r.move_started <- -1;
+      (* A replica downgraded *after* the capture comes back: its page
+         table and signature live in the restored partition, and the
+         restored [s_prim] undoes any promotion since. *)
+      r.state <- Rs_run;
+      Machine.clear_ipi t.mach ~core_id:r.rid)
+    snap.Checkpoint.s_replicas;
+  t.prim <- snap.Checkpoint.s_prim;
+  Machine.route_irqs_to t.mach t.prim;
+  t.round_seq <- snap.Checkpoint.s_round_seq;
+  t.ticks <- snap.Checkpoint.s_ticks;
+  t.phase <- Ph_idle;
+  t.next_tick <- now t + t.cfg.Config.tick_interval;
+  let cost = ckpt_copy_cost snap.Checkpoint.s_words in
+  List.iter (fun r -> charge r cost) (live_replicas t);
+  cost
+
+(* Recovery policy: bounded retries with exponential escalation. The
+   newest snapshot gets 2^n retries (n = escalations so far) before it
+   is discarded as suspect — a fault that struck after the vote but
+   before the capture is frozen *inside* it — and recovery falls back
+   to the next older one. An exhausted budget or an empty ring means
+   the fault is persistent: fail-stop as before. Returns true when the
+   system was rolled back and may re-execute. *)
+let try_rollback t =
+  match t.ckpts with
+  | None -> false
+  | Some ck ->
+      if t.rollbacks_done >= t.cfg.Config.max_rollbacks then false
+      else begin
+        if t.retries_at_newest >= 1 lsl t.escalations then begin
+          Checkpoint.drop_newest ck;
+          t.escalations <- t.escalations + 1;
+          t.retries_at_newest <- 0
+        end;
+        match Checkpoint.newest ck with
+        | None -> false
+        | Some snap ->
+            t.rollbacks_done <- t.rollbacks_done + 1;
+            t.retries_at_newest <- t.retries_at_newest + 1;
+            observe_detection t;
+            let detected_at = now t in
+            let cost = perform_rollback t snap in
+            Metrics.incr t.ms.m_rollbacks;
+            (* Recovery latency: the re-execution distance plus the
+               restore stall. *)
+            Metrics.observe t.ms.m_recover_latency
+              (float_of_int
+                 (detected_at - snap.Checkpoint.s_cycle + cost));
+            Trace.rollback t.trace ~to_cycle:snap.Checkpoint.s_cycle ~cost;
+            t.rollback_log <-
+              (detected_at, snap.Checkpoint.s_cycle) :: t.rollback_log;
+            log_event t (E_rollback snap.Checkpoint.s_cycle);
+            true
+      end
+
 (* Handle a detected signature mismatch. Returns true if the system may
-   continue (successful downgrade), false if it halted. *)
+   continue (successful downgrade), false if it halted — or if it rolled
+   back, in which case the round being voted on no longer exists and the
+   caller must not complete it. *)
 let handle_mismatch t ~io_in_flight =
   log_event t E_mismatch;
   let lv = live t in
   if t.cfg.Config.masking && List.length lv >= 3 then
     match Vote.run (mem t) (shared t) ~live:lv with
     | Vote.No_consensus ->
-        halt_system t H_no_consensus;
-        false
+        if try_rollback t then false
+        else begin
+          halt_system t H_no_consensus;
+          false
+        end
     | Vote.Faulty f ->
         if f = t.prim && io_in_flight then begin
-          halt_system t H_masking_blocked;
-          false
+          if try_rollback t then false
+          else begin
+            halt_system t H_masking_blocked;
+            false
+          end
         end
         else begin
           downgrade t f;
           if Vote.signatures_agree (mem t) (shared t) ~live:(live t) then true
+          else if try_rollback t then false
           else begin
             halt_system t H_mismatch;
             false
           end
         end
+  else if try_rollback t then false
   else begin
     halt_system t H_mismatch;
     false
@@ -902,7 +1060,12 @@ let maybe_reintegrate t =
   | Some rid when t.halt = None && t.replicas.(rid).state = Rs_removed ->
       t.pending_reintegrate <- None;
       perform_reintegration t rid
-  | Some _ -> t.pending_reintegrate <- None
+  | Some _ when t.halt <> None -> t.pending_reintegrate <- None
+  | Some _ ->
+      (* Not applicable this round (e.g. the replica was revived by a
+         rollback before the request could run): keep it pending until
+         the replica is removed again or the system halts. *)
+      ()
   | None -> ()
 
 (* ---------------------------------------------------------------------- *)
@@ -972,7 +1135,8 @@ let deliver_events t evs =
    logical time. Execute any rendezvoused FT operation, vote, deliver. *)
 let end_round t =
   Trace.round_end t.trace ~seq:t.round_seq;
-  t.phase <- Ph_idle
+  t.phase <- Ph_idle;
+  maybe_checkpoint t
 
 let finish_async_round t round =
   let lv = live_replicas t in

@@ -47,6 +47,8 @@ type event_kind =
   | E_timeout
   | E_downgrade of int  (** removed rid *)
   | E_reintegrate of int  (** re-admitted rid *)
+  | E_rollback of int
+      (** Rollback recovery: cycle of the checkpoint rewound to. *)
 
 type stats = {
   mutable ticks_delivered : int;
@@ -120,6 +122,21 @@ val request_reintegration : t -> rid:int -> (unit, string) result
 
 val reintegrations : t -> (int * int) list
 (** [(cycle, rid)] re-admissions, most recent first. *)
+
+val rollbacks : t -> (int * int) list
+(** [(detected_at, checkpoint_cycle)] rollback recoveries, most recent
+    first. Non-empty iff the run recovered from at least one detection
+    that would otherwise have halted it. Enabled by
+    {!Config.checkpoint_every} > 0: after every successfully voted
+    round (at the configured interval) the engine snapshots all
+    replicated state into a bounded ring ({!Checkpoint}); a DMR
+    signature mismatch, a failed masking vote, or a blocked downgrade
+    then rewinds to the newest verified snapshot and re-executes,
+    with a [max_rollbacks] budget and exponential escalation to older
+    snapshots, so persistent faults still fail-stop. *)
+
+val checkpoints_taken : t -> int
+(** Verified checkpoints captured over the run. *)
 
 val events : t -> (int * event_kind) list
 (** Notable events with their cycle, most recent first. Bounded: long

@@ -19,6 +19,7 @@ let () =
       ("differential", Test_differential.suite);
       ("masking-cc", Test_masking_cc.suite);
       ("properties", Test_properties.suite);
+      ("recovery", Test_recovery.suite);
       ("system-smoke", Test_system_smoke.suite);
       ("workloads", Test_workloads.suite);
     ]

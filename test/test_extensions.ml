@@ -86,6 +86,73 @@ let test_timeout_masking_requires_masking () =
   | Error _ -> ()
   | Ok () -> Alcotest.fail "expected validation error"
 
+(* --- detection latency on the timeout path ------------------------------- *)
+
+let test_timeout_masking_records_detection_latency () =
+  (* The downgrade taken by timeout masking must record detection
+     latency just like a signature-mismatch downgrade: mark the fault
+     (the core wedge) with the injection clock, then check the
+     histogram gained exactly one sample spanning wedge -> downgrade. *)
+  let sys =
+    System.create
+      ~config:(tmr_cfg ~timeout_masking:true ())
+      ~program:(spin_program ~loops:900_000)
+  in
+  System.run sys ~max_cycles:20_000;
+  let injected_at = System.now sys in
+  Rcoe_obs.Trace.injection (System.trace sys) ~addr:0 ~bit:0;
+  (System.machine sys).Machine.cores.(2).Core.halted <- true;
+  System.run sys ~max_cycles:1_000_000 ~stop:(fun s -> System.downgrades s <> []);
+  (match System.downgrades sys with
+  | [ (at, 2, _) ] -> (
+      match
+        Rcoe_obs.Metrics.find_histogram (System.metrics sys)
+          "detect.latency_cycles"
+      with
+      | None -> Alcotest.fail "detect.latency_cycles not registered"
+      | Some h -> (
+          match Rcoe_obs.Metrics.samples h with
+          | [ l ] ->
+              Alcotest.(check (float 1e-9))
+                "latency = downgrade - wedge"
+                (float_of_int (at - injected_at))
+                l
+          | ls -> Alcotest.failf "expected one sample, got %d" (List.length ls)))
+  | _ -> Alcotest.fail "expected straggler 2 removed");
+  let kinds = List.map snd (System.events sys) in
+  Alcotest.(check bool) "E_timeout logged" true
+    (List.mem System.E_timeout kinds);
+  Alcotest.(check bool) "E_downgrade logged" true
+    (List.mem (System.E_downgrade 2) kinds);
+  Alcotest.(check bool) "system continues" true (System.halted sys = None)
+
+let test_timeout_halt_records_detection_latency () =
+  (* Without the masking extension the same wedge is a fail-stop; the
+     latency clock must still be consumed on the halt path. *)
+  let sys =
+    System.create ~config:(tmr_cfg ()) ~program:(spin_program ~loops:900_000)
+  in
+  System.run sys ~max_cycles:20_000;
+  let injected_at = System.now sys in
+  Rcoe_obs.Trace.injection (System.trace sys) ~addr:0 ~bit:0;
+  (System.machine sys).Machine.cores.(2).Core.halted <- true;
+  System.run sys ~max_cycles:1_000_000;
+  Alcotest.(check bool) "halts" true
+    (System.halted sys = Some System.H_timeout);
+  match
+    Rcoe_obs.Metrics.find_histogram (System.metrics sys)
+      "detect.latency_cycles"
+  with
+  | None -> Alcotest.fail "detect.latency_cycles not registered"
+  | Some h -> (
+      match Rcoe_obs.Metrics.samples h with
+      | [ l ] ->
+          Alcotest.(check (float 1e-9))
+            "latency = halt - wedge"
+            (float_of_int (System.now sys - injected_at))
+            l
+      | ls -> Alcotest.failf "expected one sample, got %d" (List.length ls))
+
 (* --- re-integration ------------------------------------------------------ *)
 
 let test_reintegration_restores_tmr () =
@@ -221,6 +288,10 @@ let suite =
     Alcotest.test_case "two stragglers halt" `Quick test_two_stragglers_halt;
     Alcotest.test_case "timeout masking requires masking" `Quick
       test_timeout_masking_requires_masking;
+    Alcotest.test_case "timeout masking records detection latency" `Quick
+      test_timeout_masking_records_detection_latency;
+    Alcotest.test_case "timeout halt records detection latency" `Quick
+      test_timeout_halt_records_detection_latency;
     Alcotest.test_case "reintegration restores TMR" `Slow
       test_reintegration_restores_tmr;
     Alcotest.test_case "reintegration request validation" `Quick

@@ -56,6 +56,20 @@ let test_injector_deterministic () =
     Alcotest.(check (pair int int)) "same sequence" (a1, b1) (a2, b2)
   done
 
+let test_injector_order_independent () =
+  (* Regions are sorted at [create]: the flip sequence depends only on
+     the (seed, region set), not on how the caller built the list. *)
+  let mem1 = Mem.create lay3.Layout.total_words in
+  let mem2 = Mem.create lay3.Layout.total_words in
+  let regions = Injector.arm_campaign lay3 in
+  let i1 = Injector.create ~seed:42 regions in
+  let i2 = Injector.create ~seed:42 (List.rev regions) in
+  for _ = 1 to 50 do
+    let a1, b1, _ = Injector.flip_one i1 mem1 in
+    let a2, b2, _ = Injector.flip_one i2 mem2 in
+    Alcotest.(check (pair int int)) "order-independent" (a1, b1) (a2, b2)
+  done
+
 let test_active_user_region_clamped () =
   let r = Injector.active_user_region lay3 ~rid:1 ~used_words:512 in
   Alcotest.(check int) "base" lay3.Layout.partitions.(1).Layout.user_base
@@ -101,7 +115,8 @@ let test_outcome_controlled_classes () =
     (fun (o, expect) ->
       Alcotest.(check bool) (to_string o) expect (controlled o))
     [
-      (No_error, true); (Masked, true); (Barrier_timeout, true);
+      (No_error, true); (Masked, true); (Recovered, true);
+      (Barrier_timeout, true);
       (Signature_mismatch, true); (Ycsb_corruption, false);
       (Ycsb_error, false); (User_mem_fault, false); (Kernel_exception, false);
       (System_reboot, false);
@@ -183,6 +198,8 @@ let suite =
     Alcotest.test_case "flips stay in pools" `Quick test_flips_stay_in_pools;
     Alcotest.test_case "flip flips" `Quick test_flip_actually_flips;
     Alcotest.test_case "injector deterministic" `Quick test_injector_deterministic;
+    Alcotest.test_case "injector region-order independent" `Quick
+      test_injector_order_independent;
     Alcotest.test_case "active user region clamped" `Quick
       test_active_user_region_clamped;
     Alcotest.test_case "injector rejects empty" `Quick test_injector_rejects_empty;
