@@ -1,0 +1,390 @@
+(* Benchmark baseline: a small, regression-checked performance snapshot.
+
+   `dune exec bench/main.exe -- baseline [PATH]` measures, for each
+   baseline workload:
+
+   - simulated cycles and wall time of the Base (unreplicated) run;
+   - per replication config (LC/CC x DMR/TMR): simulated cycles, the
+     sync-phase overhead relative to Base (the paper's normalised
+     slowdown), wall time under the Sequential and the Parallel engine,
+     and the Sequential->Parallel wall-time speedup;
+   - a determinism bit: the two engines must agree on final cycle and
+     replica outputs, or the run is marked non-deterministic and the
+     baseline write fails.
+
+   The result is written as JSON (schema `rcoe-bench-baseline/v1`,
+   documented in EXPERIMENTS.md) — commit it as BENCH_baseline.json.
+
+   `dune exec bench/main.exe -- baseline-check [PATH]` re-measures and
+   compares against the committed file, failing non-zero when
+
+   - any simulated cycle count differs (the simulator is deterministic,
+     so any drift is a real semantic change — regenerate the baseline
+     deliberately if it is intentional);
+   - either engine's wall time regresses by more than 10% on a workload
+     aggregate (tolerance via RCOE_BENCH_TOLERANCE, a float, e.g. 0.25
+     on noisy shared hardware);
+   - the engines disagree (determinism failure — never tolerated).
+
+   Wall times are host-dependent: regenerate the baseline when moving
+   to different hardware. Speedup expectations are conditioned on the
+   recorded `host.cores`: on a single-core host the parallel engine
+   cannot beat the sequential one (domain scheduling overhead makes it
+   slower) and only the determinism contract is meaningful. *)
+
+open Rcoe_core
+open Rcoe_workloads
+open Rcoe_harness
+module Json = Rcoe_obs.Json
+
+let default_path = "BENCH_baseline.json"
+let reps = 3
+let max_cycles = 400_000_000
+
+type wl = { wname : string; program : unit -> Rcoe_isa.Program.t }
+
+(* Sized so a replicated run is long enough to time meaningfully but
+   the full baseline stays in tens of seconds. md5sum is the
+   compute-bound workload the speedup acceptance criterion refers to. *)
+let workloads =
+  [
+    {
+      wname = "md5sum";
+      program =
+        (fun () ->
+          Md5sum.program ~message_words:128 ~iters:24 ~seed:5
+            ~branch_count:false ());
+    };
+    {
+      wname = "dhrystone";
+      program =
+        (fun () -> Dhrystone.program ~loops:2500 ~branch_count:false ());
+    };
+    {
+      wname = "whetstone";
+      program = (fun () -> Whetstone.program ~loops:400 ~branch_count:false ());
+    };
+  ]
+
+let configs =
+  [
+    (Config.LC, 2); (Config.LC, 3); (Config.CC, 2); (Config.CC, 3);
+  ]
+
+let config_label mode n =
+  Printf.sprintf "%s-%s" (Config.mode_to_string mode)
+    (match n with 2 -> "DMR" | 3 -> "TMR" | n -> string_of_int n ^ "R")
+
+let mk_config ~mode ~nreplicas ~engine =
+  {
+    (Runner.config_for ~mode ~nreplicas ~arch:Rcoe_machine.Arch.X86 ~seed:3 ())
+    with
+    Config.engine;
+    exception_barriers = mode <> Config.Base;
+  }
+
+type measurement = { m_cycles : int; m_wall : float; m_out : string list }
+
+(* Median-of-[reps] wall time over fresh systems; cycle count and
+   outputs must agree across reps (they always do — the simulator is
+   deterministic — but check rather than assume). *)
+let measure ~mode ~nreplicas ~engine wl =
+  let config = mk_config ~mode ~nreplicas ~engine in
+  let one () =
+    let sys = System.create ~config ~program:(wl.program ()) in
+    let t0 = Unix.gettimeofday () in
+    System.run sys ~max_cycles;
+    let wall = Unix.gettimeofday () -. t0 in
+    if not (System.finished sys) then
+      failwith
+        (Printf.sprintf "baseline: %s %s did not finish" wl.wname
+           (config_label mode nreplicas));
+    let outs = List.init nreplicas (fun rid -> System.output sys rid) in
+    { m_cycles = System.now sys; m_wall = wall; m_out = outs }
+  in
+  let runs = List.init reps (fun _ -> one ()) in
+  let first = List.hd runs in
+  List.iter
+    (fun m ->
+      if m.m_cycles <> first.m_cycles || m.m_out <> first.m_out then
+        failwith
+          (Printf.sprintf "baseline: %s %s is not run-to-run deterministic"
+             wl.wname (config_label mode nreplicas)))
+    runs;
+  let walls = List.sort compare (List.map (fun m -> m.m_wall) runs) in
+  { first with m_wall = List.nth walls (reps / 2) }
+
+type cfg_row = {
+  c_label : string;
+  c_mode : Config.mode;
+  c_n : int;
+  c_cycles : int;
+  c_overhead : float;  (* (cycles - base_cycles) / base_cycles *)
+  c_wall_seq : float;
+  c_wall_par : float;
+  c_speedup : float;  (* wall_seq / wall_par *)
+  c_deterministic : bool;
+}
+
+type wl_row = {
+  r_name : string;
+  r_base_cycles : int;
+  r_base_wall : float;
+  r_configs : cfg_row list;
+}
+
+let measure_workload wl =
+  Printf.printf "  %-10s base%!" wl.wname;
+  let base =
+    measure ~mode:Config.Base ~nreplicas:1 ~engine:Config.Sequential wl
+  in
+  let rows =
+    List.map
+      (fun (mode, n) ->
+        Printf.printf " %s%!" (config_label mode n);
+        let seq = measure ~mode ~nreplicas:n ~engine:Config.Sequential wl in
+        let par = measure ~mode ~nreplicas:n ~engine:Config.Parallel wl in
+        {
+          c_label = config_label mode n;
+          c_mode = mode;
+          c_n = n;
+          c_cycles = seq.m_cycles;
+          c_overhead =
+            float_of_int (seq.m_cycles - base.m_cycles)
+            /. float_of_int base.m_cycles;
+          c_wall_seq = seq.m_wall;
+          c_wall_par = par.m_wall;
+          c_speedup = seq.m_wall /. par.m_wall;
+          c_deterministic =
+            seq.m_cycles = par.m_cycles && seq.m_out = par.m_out;
+        })
+      configs
+  in
+  print_newline ();
+  { r_name = wl.wname; r_base_cycles = base.m_cycles; r_base_wall = base.m_wall;
+    r_configs = rows }
+
+let host_json () =
+  Json.Obj
+    [
+      ("cores", Json.Int (Domain.recommended_domain_count ()));
+      ("ocaml", Json.String Sys.ocaml_version);
+      ("word_size", Json.Int Sys.word_size);
+      ("os_type", Json.String Sys.os_type);
+    ]
+
+let to_json rows =
+  Json.Obj
+    [
+      ("schema", Json.String "rcoe-bench-baseline/v1");
+      ("host", host_json ());
+      ("reps", Json.Int reps);
+      ( "workloads",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("name", Json.String r.r_name);
+                   ( "base",
+                     Json.Obj
+                       [
+                         ("cycles", Json.Int r.r_base_cycles);
+                         ("wall_s", Json.Float r.r_base_wall);
+                       ] );
+                   ( "configs",
+                     Json.List
+                       (List.map
+                          (fun c ->
+                            Json.Obj
+                              [
+                                ("label", Json.String c.c_label);
+                                ( "mode",
+                                  Json.String (Config.mode_to_string c.c_mode)
+                                );
+                                ("replicas", Json.Int c.c_n);
+                                ("cycles", Json.Int c.c_cycles);
+                                ("sync_overhead", Json.Float c.c_overhead);
+                                ("wall_seq_s", Json.Float c.c_wall_seq);
+                                ("wall_par_s", Json.Float c.c_wall_par);
+                                ("speedup", Json.Float c.c_speedup);
+                                ("deterministic", Json.Bool c.c_deterministic);
+                              ])
+                          r.r_configs) );
+                 ])
+             rows) );
+    ]
+
+let print_table rows =
+  let t =
+    Rcoe_util.Table.create
+      ~headers:
+        [ "workload"; "config"; "cycles"; "overhead"; "seq wall";
+          "par wall"; "speedup"; "deterministic" ]
+  in
+  List.iter
+    (fun r ->
+      Rcoe_util.Table.add_row t
+        [ r.r_name; "Base"; string_of_int r.r_base_cycles; "-";
+          Printf.sprintf "%.3fs" r.r_base_wall; "-"; "-"; "-" ];
+      List.iter
+        (fun c ->
+          Rcoe_util.Table.add_row t
+            [
+              r.r_name; c.c_label; string_of_int c.c_cycles;
+              Printf.sprintf "%+.0f%%" (100. *. c.c_overhead);
+              Printf.sprintf "%.3fs" c.c_wall_seq;
+              Printf.sprintf "%.3fs" c.c_wall_par;
+              Printf.sprintf "%.2fx" c.c_speedup;
+              (if c.c_deterministic then "yes" else "NO");
+            ])
+        r.r_configs)
+    rows;
+  Rcoe_util.Table.print t
+
+let measure_all () =
+  Printf.printf "Measuring benchmark baseline (%d reps, host cores: %d)\n%!"
+    reps
+    (Domain.recommended_domain_count ());
+  let rows = List.map measure_workload workloads in
+  print_table rows;
+  let broken =
+    List.concat_map
+      (fun r ->
+        List.filter_map
+          (fun c ->
+            if c.c_deterministic then None else Some (r.r_name, c.c_label))
+          r.r_configs)
+      rows
+  in
+  if broken <> [] then begin
+    List.iter
+      (fun (w, c) ->
+        Printf.eprintf
+          "baseline: DETERMINISM FAILURE: %s %s: parallel != sequential\n" w c)
+      broken;
+    exit 1
+  end;
+  rows
+
+let write ?(path = default_path) () =
+  let rows = measure_all () in
+  let oc = open_out path in
+  output_string oc (Json.to_string (to_json rows));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+(* --- comparison mode ---------------------------------------------------- *)
+
+let jfail fmt = Printf.ksprintf failwith fmt
+
+let jmember name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> jfail "baseline file: missing field %S" name
+
+let jint = function Json.Int i -> i | _ -> jfail "baseline file: expected int"
+
+let jfloat = function
+  | Json.Float f -> f
+  | Json.Int i -> float_of_int i
+  | _ -> jfail "baseline file: expected number"
+
+let jstring = function
+  | Json.String s -> s
+  | _ -> jfail "baseline file: expected string"
+
+let jlist = function
+  | Json.List l -> l
+  | _ -> jfail "baseline file: expected list"
+
+let tolerance () =
+  match Sys.getenv_opt "RCOE_BENCH_TOLERANCE" with
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some f when f > 0. -> f
+      | _ -> jfail "RCOE_BENCH_TOLERANCE must be a positive float, got %S" s)
+  | None -> 0.10
+
+let check ?(path = default_path) () =
+  let committed =
+    let ic =
+      try open_in_bin path
+      with Sys_error e ->
+        Printf.eprintf
+          "baseline-check: cannot open %s (%s)\n\
+           run `dune exec bench/main.exe -- baseline` to create it\n"
+          path e;
+        exit 1
+    in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    match Json.parse s with
+    | Ok j -> j
+    | Error e ->
+        Printf.eprintf "baseline-check: %s is malformed: %s\n" path e;
+        exit 1
+  in
+  (match jstring (jmember "schema" committed) with
+  | "rcoe-bench-baseline/v1" -> ()
+  | other ->
+      Printf.eprintf "baseline-check: unknown schema %S in %s\n" other path;
+      exit 1);
+  let tol = tolerance () in
+  let fresh = measure_all () in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let committed_wls = jlist (jmember "workloads" committed) in
+  let find_wl name =
+    List.find_opt
+      (fun j -> jstring (jmember "name" j) = name)
+      committed_wls
+  in
+  List.iter
+    (fun r ->
+      match find_wl r.r_name with
+      | None -> fail "%s: not present in committed baseline" r.r_name
+      | Some j ->
+          let base = jmember "base" j in
+          if jint (jmember "cycles" base) <> r.r_base_cycles then
+            fail "%s Base: cycles %d != committed %d" r.r_name r.r_base_cycles
+              (jint (jmember "cycles" base));
+          let committed_cfgs = jlist (jmember "configs" j) in
+          List.iter
+            (fun c ->
+              match
+                List.find_opt
+                  (fun cj -> jstring (jmember "label" cj) = c.c_label)
+                  committed_cfgs
+              with
+              | None ->
+                  fail "%s %s: not present in committed baseline" r.r_name
+                    c.c_label
+              | Some cj ->
+                  if jint (jmember "cycles" cj) <> c.c_cycles then
+                    fail "%s %s: cycles %d != committed %d" r.r_name c.c_label
+                      c.c_cycles
+                      (jint (jmember "cycles" cj));
+                  let wall_check what fresh_w committed_w =
+                    if fresh_w > committed_w *. (1. +. tol) then
+                      fail "%s %s: %s wall time %.3fs regressed >%.0f%% over \
+                            committed %.3fs"
+                        r.r_name c.c_label what fresh_w (100. *. tol)
+                        committed_w
+                  in
+                  wall_check "sequential" c.c_wall_seq
+                    (jfloat (jmember "wall_seq_s" cj));
+                  wall_check "parallel" c.c_wall_par
+                    (jfloat (jmember "wall_par_s" cj)))
+            r.r_configs)
+    fresh;
+  match !failures with
+  | [] ->
+      Printf.printf "baseline-check: ok (tolerance %.0f%%, vs %s)\n"
+        (100. *. tol) path
+  | fs ->
+      List.iter (fun f -> Printf.eprintf "baseline-check: %s\n" f)
+        (List.rev fs);
+      exit 1

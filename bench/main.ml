@@ -100,17 +100,24 @@ let run_target = function
   | "table10" -> Perf_experiments.table10 ()
   | "fig4" -> Perf_experiments.fig4 ()
   | "micro" -> micro ()
+  | "baseline" -> Baseline.write ()
+  | "baseline-check" -> Baseline.check ()
   | "quick" -> quick ()
   | "all" -> full ()
   | other ->
       Printf.eprintf
         "unknown target %S\n\
          targets: e1 table2 table3 table4 table5 fig3 table7x86 table7arm \
-         table8 table9 table10 fig4 latency micro quick all\n"
+         table8 table9 table10 fig4 latency micro baseline baseline-check \
+         quick all\n"
         other;
       exit 1
 
 let () =
+  (* `baseline` / `baseline-check` accept an optional explicit path
+     (default BENCH_baseline.json in the current directory). *)
   match Array.to_list Sys.argv with
+  | [ _; "baseline"; path ] -> Baseline.write ~path ()
+  | [ _; "baseline-check"; path ] -> Baseline.check ~path ()
   | _ :: first :: rest -> List.iter run_target (first :: rest)
   | _ -> quick ()

@@ -91,6 +91,34 @@ let max_rollbacks_arg =
        & info [ "max-rollbacks" ]
            ~doc:"rollback budget before a persistent fault fail-stops")
 
+let parallel_arg =
+  Arg.(value & flag
+       & info [ "parallel" ]
+           ~doc:"execute replicas on separate host domains between sync \
+                 points (bit-for-bit identical to the sequential engine; \
+                 implies exception barriers under replication)")
+
+(* Switch a configuration to the parallel engine, or explain — in the
+   style of a lint finding — why this configuration cannot hold the
+   engine's determinism contract, and exit non-zero. *)
+let apply_engine ~parallel config =
+  if not parallel then config
+  else
+    let config =
+      {
+        config with
+        Config.engine = Config.Parallel;
+        exception_barriers =
+          config.Config.exception_barriers
+          || config.Config.mode <> Config.Base;
+      }
+    in
+    match Config.parallel_ineligibility config with
+    | None -> config
+    | Some reason ->
+        Printf.eprintf "parallel:   rejected: %s\n" reason;
+        exit 1
+
 let mk_config ?(fast_catchup = false) ?(masking = false) ?(checkpoint_every = 0)
     ?(max_rollbacks = 3) mode n arch vm level seed ~with_net =
   {
@@ -131,16 +159,17 @@ let run_cmd =
                    histograms) after the run")
   in
   let run wl mode n arch vm level seed fast_catchup checkpoint_every
-      max_rollbacks strict_lint metrics =
+      max_rollbacks parallel strict_lint metrics =
     let branch_count = Wl.branch_count_for arch in
     let program = program_of_name wl ~branch_count in
     let config =
-      {
-        (mk_config ~fast_catchup ~checkpoint_every ~max_rollbacks mode n arch
-           vm level seed ~with_net:false)
-        with
-        Config.strict_lint;
-      }
+      apply_engine ~parallel
+        {
+          (mk_config ~fast_catchup ~checkpoint_every ~max_rollbacks mode n arch
+             vm level seed ~with_net:false)
+          with
+          Config.strict_lint;
+        }
     in
     let r = Runner.run_program ~config ~program () in
     List.iter
@@ -161,6 +190,8 @@ let run_cmd =
       (Rcoe_machine.Arch.to_string arch)
       (if vm then " (VM)" else "")
       (Config.sync_level_to_string level);
+    Printf.printf "engine:     %s\n"
+      (Config.engine_to_string config.Config.engine);
     Printf.printf "finished:   %b\n" r.Runner.finished;
     (match r.Runner.halted with
     | Some h -> Printf.printf "halted:     %s\n" (System.halt_reason_to_string h)
@@ -187,7 +218,7 @@ let run_cmd =
     Term.(
       const run $ wl_arg $ mode_arg $ replicas_arg $ arch_arg $ vm_arg
       $ level_arg $ seed_arg $ fast_catchup_arg $ checkpoint_every_arg
-      $ max_rollbacks_arg $ strict_lint_arg $ metrics_arg)
+      $ max_rollbacks_arg $ parallel_arg $ strict_lint_arg $ metrics_arg)
 
 let kv_cmd =
   let doc = "run the KV server under a YCSB workload" in
@@ -256,20 +287,21 @@ let trace_cmd =
                    and contains trace events")
   in
   let run wl mode n arch vm level seed fast_catchup checkpoint_every
-      max_rollbacks out capacity check =
+      max_rollbacks parallel out capacity check =
     (* Replicated modes need at least a DMR pair; bump silently so
        `trace -w whetstone --mode cc` works without an explicit -n. *)
     let n = if mode = Config.Base then max 1 n else max 2 n in
+    let with_net = String.equal wl "kvstore" in
     let base =
       mk_config ~fast_catchup ~checkpoint_every ~max_rollbacks mode n arch vm
-        level seed ~with_net:false
+        level seed ~with_net
     in
     let config =
-      { base with Config.trace = Some { Rcoe_obs.Trace.capacity } }
+      apply_engine ~parallel
+        { base with Config.trace = Some { Rcoe_obs.Trace.capacity } }
     in
     let sys =
-      if String.equal wl "kvstore" then
-        let config = { config with Config.with_net = true } in
+      if with_net then
         let res =
           Kv_run.run ~config ~workload:Ycsb.A ~records:48 ~operations:96 ()
         in
@@ -317,7 +349,7 @@ let trace_cmd =
     Term.(
       const run $ wl_arg $ mode_arg $ replicas_arg $ arch_arg $ vm_arg
       $ level_arg $ seed_arg $ fast_catchup_arg $ checkpoint_every_arg
-      $ max_rollbacks_arg $ out_arg $ capacity_arg $ check_arg)
+      $ max_rollbacks_arg $ parallel_arg $ out_arg $ capacity_arg $ check_arg)
 
 let recover_cmd =
   let doc =

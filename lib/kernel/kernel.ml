@@ -64,13 +64,21 @@ let partition t = t.kpart
 let program t = t.kprogram
 let output t = t.kout
 
-let create ~machine ~rid:krid ~core_id ~layout:klayout ~program:kprogram
-    ~callbacks =
+let create ?trace ~machine ~rid:krid ~core_id ~layout:klayout ~program:kprogram
+    ~callbacks () =
   let kpart = klayout.Layout.partitions.(krid) in
   let pt = { Page_table.base = kpart.Layout.pt_base; npages = Layout.va_pages } in
   let mem = machine.Machine.mem in
   Page_table.clear mem pt;
   let kcore = machine.Machine.cores.(core_id) in
+  (* All replica-scope emissions (syscalls, preemptions, faults, the
+     core's bus stalls) go through this sink. The replication engine
+     passes a per-replica child of the machine trace so the replica can
+     be stepped on its own domain; standalone kernels share the machine
+     trace as before. *)
+  let ktrace =
+    match trace with Some tr -> tr | None -> machine.Machine.trace
+  in
   let kenv =
     {
       Core.code = kprogram.Rcoe_isa.Program.code;
@@ -78,9 +86,9 @@ let create ~machine ~rid:krid ~core_id ~layout:klayout ~program:kprogram
       translate = (fun ~vaddr ~write -> Page_table.translate mem pt ~vaddr ~write);
       dev_read = Machine.dev_read machine;
       dev_write = Machine.dev_write machine;
-      bus = machine.Machine.bus;
+      bus = Machine.bus_lane machine ~core_id;
       profile = machine.Machine.profile;
-      trace = machine.Machine.trace;
+      trace = ktrace;
     }
   in
   {
@@ -231,7 +239,7 @@ let start t = dispatch t
 let preempt ?after_save t =
   if t.current >= 0 then begin
     let tid = t.current in
-    Rcoe_obs.Trace.preempt t.machine.Machine.trace ~rid:t.krid ~tid;
+    Rcoe_obs.Trace.preempt t.kenv.Core.trace ~rid:t.krid ~tid;
     save_current t;
     (match after_save with
     | Some f -> f ~tid ~ctx_addr:(ctx_addr_of t tid)
@@ -368,7 +376,7 @@ let handle_syscall t num =
   let cost = t.kenv.Core.profile.Arch.syscall_cost in
   Core.add_stall t.kcore cost;
   Core.clear_exclusive t.kcore;
-  (let tr = t.machine.Machine.trace in
+  (let tr = t.kenv.Core.trace in
    if Rcoe_obs.Trace.enabled tr then
      Rcoe_obs.Trace.syscall tr ~rid:t.krid ~num ~name:(Syscall.name num) ~cost);
   if Syscall.is_ft num then begin
@@ -444,7 +452,7 @@ let fault_kind = function
 
 let handle_fault t fault =
   Core.add_stall t.kcore t.kenv.Core.profile.Arch.fault_cost;
-  Rcoe_obs.Trace.fault t.machine.Machine.trace ~rid:t.krid
+  Rcoe_obs.Trace.fault t.kenv.Core.trace ~rid:t.krid
     ~kind:(fault_kind fault);
   let disposition =
     match fault with

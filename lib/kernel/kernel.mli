@@ -54,13 +54,22 @@ type fault_disposition =
           simulated counterpart of the paper's kernel data aborts. *)
 
 val create :
+  ?trace:Rcoe_obs.Trace.t ->
   machine:Rcoe_machine.Machine.t ->
   rid:int ->
   core_id:int ->
   layout:Layout.t ->
   program:Rcoe_isa.Program.t ->
   callbacks:callbacks ->
+  unit ->
   t
+(** [trace] overrides the sink for this kernel's replica-scope trace
+    events (syscall dispatch, preemptions, faults, bus stalls); it
+    defaults to the machine's trace. The replication engine passes a
+    per-replica child trace ({!Rcoe_obs.Trace.child}) so replicas can
+    record events concurrently from separate domains. The kernel's core
+    uses the machine's per-core bus lane
+    ({!Rcoe_machine.Machine.bus_lane}). *)
 
 val rid : t -> int
 val core : t -> Rcoe_machine.Core.t

@@ -3,7 +3,7 @@ open Rcoe_util
 type t = {
   profile : Arch.profile;
   mem : Mem.t;
-  bus : Bus.t;
+  buses : Bus.t array;
   cores : Core.t array;
   mutable devices : Device.t array;
   mutable now : int;
@@ -24,7 +24,15 @@ let create ?trace ~profile ~mem_words ~ncores ~seed () =
     {
       profile;
       mem = Mem.create mem_words;
-      bus = Bus.create ~rate:profile.Arch.bus_rate;
+      buses =
+        (* Fair-share lanes: each core owns an equal slice of the bus
+           bandwidth. A single core (Base mode) keeps the whole rate, so
+           unreplicated runs are unchanged; replicated runs divide the
+           bandwidth evenly instead of by stepping order, which is both
+           the paper's Table V model and free of cross-core state — each
+           replica's memory timing depends only on its own lane. *)
+        (let lane_rate = profile.Arch.bus_rate /. float_of_int ncores in
+         Array.init ncores (fun _ -> Bus.create ~rate:lane_rate));
       cores;
       devices = [||];
       now = 0;
@@ -42,8 +50,17 @@ let add_device t dev =
 
 let tick t =
   t.now <- t.now + 1;
-  Bus.tick t.bus;
+  Array.iter Bus.tick t.buses;
   Array.iter (fun d -> d.Device.dev_tick ~now:t.now) t.devices
+
+let bus_lane t ~core_id = t.buses.(core_id)
+
+let bus_utilisation t =
+  let n = Array.length t.buses in
+  if n = 0 then 0.0
+  else
+    Array.fold_left (fun acc b -> acc +. Bus.utilisation b) 0.0 t.buses
+    /. float_of_int n
 
 let dev_read t dpn off =
   if dpn >= 0 && dpn < Array.length t.devices then

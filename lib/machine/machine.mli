@@ -10,7 +10,12 @@
 type t = {
   profile : Arch.profile;
   mem : Mem.t;
-  bus : Bus.t;
+  buses : Bus.t array;
+      (** One fair-share bus lane per core: lane [i] refills at
+          [bus_rate / ncores] and is touched only by core [i], so a
+          replica's memory timing is independent of the order replicas
+          are stepped in — a prerequisite for stepping them on separate
+          domains. A single-core machine keeps the full rate. *)
   cores : Core.t array;
   mutable devices : Device.t array;  (** Index = device page id. *)
   mutable now : int;  (** Global cycle counter. *)
@@ -38,6 +43,12 @@ val add_device : t -> Device.t -> int
 val tick : t -> unit
 (** Advance global time one cycle: bus refill, device ticks. Core
     stepping is driven by the replica scheduler, not here. *)
+
+val bus_lane : t -> core_id:int -> Bus.t
+(** The per-core bus lane (see {!type-t}). *)
+
+val bus_utilisation : t -> float
+(** Mean utilisation across lanes (diagnostic). *)
 
 val dev_read : t -> int -> int -> int
 (** [dev_read m dpn off]; unknown device pages read 0. *)

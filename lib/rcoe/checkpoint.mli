@@ -18,7 +18,15 @@
     costs); this module owns the data. Device-internal state (e.g. the
     network device's queues) is outside the sphere of replication and
     is deliberately not captured — recovery campaigns use compute
-    workloads. *)
+    workloads.
+
+    Capture and restore read and write every replica's partition
+    directly, so they must only run while replica execution is
+    quiescent. Both engines guarantee this: the sequential engine is
+    single-domain, and the parallel engine ({!Config.engine}) parks all
+    worker domains at a barrier before any round logic — including
+    checkpoint capture and rollback restore — executes on the
+    orchestrating domain. *)
 
 type replica_image = {
   i_rid : int;

@@ -2,7 +2,10 @@ type mode = Base | LC | CC
 
 type sync_level = Sync_none | Sync_args | Sync_vote
 
+type engine = Sequential | Parallel
+
 type t = {
+  engine : engine;
   mode : mode;
   nreplicas : int;
   arch : Rcoe_machine.Arch.t;
@@ -27,6 +30,7 @@ type t = {
 
 let default =
   {
+    engine = Sequential;
     mode = Base;
     nreplicas = 1;
     arch = Rcoe_machine.Arch.X86;
@@ -50,6 +54,28 @@ let default =
   }
 
 let mode_to_string = function Base -> "Base" | LC -> "LC" | CC -> "CC"
+
+let engine_to_string = function
+  | Sequential -> "sequential"
+  | Parallel -> "parallel"
+
+(* Lint-style eligibility check for the domain-parallel engine. The
+   parallel engine runs replicas concurrently only between sync points,
+   so any feature that couples partitions *within* a round, at cycle
+   granularity, keeps the configuration sequential. Returns the reason
+   the configuration cannot run in parallel, or [None] if it can. *)
+let parallel_ineligibility t =
+  if t.with_net then
+    Some
+      "with_net: device DMA and IRQ delivery touch shared machine state \
+       every cycle, so replica cycles cannot be re-ordered across a window"
+  else if t.mode <> Base && not t.exception_barriers then
+    Some
+      "exception_barriers=false under replication: an uncontrolled kernel \
+       abort halts the whole system mid-round, which a concurrently \
+       running sibling replica would observe too late (enable \
+       exception_barriers to confine aborts to the faulting replica)"
+  else None
 
 let sync_level_to_string = function
   | Sync_none -> "N"
@@ -84,7 +110,13 @@ let validate t =
     err "checkpoint_depth must be >= 1"
   else if t.checkpoint_every > 0 && t.max_rollbacks < 1 then
     err "max_rollbacks must be >= 1"
-  else Ok ()
+  else
+    match t.engine with
+    | Sequential -> Ok ()
+    | Parallel -> (
+        match parallel_ineligibility t with
+        | None -> Ok ()
+        | Some reason -> err "parallel engine ineligible: %s" reason)
 
 let replicas_label t =
   match (t.mode, t.nreplicas) with

@@ -13,7 +13,20 @@ type sync_level =
                    signature (the paper's default). *)
   | Sync_vote  (** "S": additionally vote on every system call. *)
 
+(** Execution engine for {!System.run}. Both engines compute the same
+    simulation: [Parallel] is required to be bit-for-bit identical to
+    [Sequential] — same cycle counts, signatures, votes, outcomes,
+    metrics, and cycle-stamped trace events — it only changes which host
+    domain steps each replica between sync points. *)
+type engine =
+  | Sequential  (** Step replicas round-robin on the calling domain. *)
+  | Parallel
+      (** Step each live replica's partition on its own [Domain.t]
+          between sync points; barriers, voting, IPIs, and all shared
+          machine state stay on the orchestrating domain. *)
+
 type t = {
+  engine : engine;  (** Default [Sequential]. See {!parallel_ineligibility}. *)
   mode : mode;
   nreplicas : int;  (** 1 for [Base]; 2 (DMR) or 3+ (TMR) otherwise. *)
   arch : Rcoe_machine.Arch.t;
@@ -80,9 +93,19 @@ val validate : t -> (unit, string) result
     seL4 version lacks Arm hypervisor mode), CC masking on Arm (no spare
     page-table bit — Section IV-A). *)
 
+val parallel_ineligibility : t -> string option
+(** Lint-style eligibility check for the parallel engine: [Some reason]
+    when the configuration genuinely cannot run domain-parallel —
+    currently [with_net] (per-cycle cross-partition DMA/IRQ traffic) and
+    replicated modes without [exception_barriers] (an uncontrolled
+    kernel abort halts the whole system mid-round). [None] means
+    [engine = Parallel] is valid. {!validate} rejects ineligible
+    parallel configurations with this reason. *)
+
 val replicas_label : t -> string
 (** "Base", "LC-D", "LC-T", "CC-D", "CC-T", … as the paper labels
     configurations. *)
 
 val mode_to_string : mode -> string
 val sync_level_to_string : sync_level -> string
+val engine_to_string : engine -> string

@@ -1,0 +1,352 @@
+(* The domain-parallel execution engine.
+
+   Between two sync points every live replica only touches private state:
+   its own memory partition, its own core and kernel, its own per-core
+   bus lane, and its own child trace buffer. The engine exploits that by
+   running *execution windows*: spans of simulated cycles in which each
+   running replica is stepped on its own [Domain.t] while the
+   orchestrating domain waits at a {!Rcoe_util.Barrier}. Everything that
+   couples replicas — round initiation, IPIs, barriers, catch-up,
+   voting, FT-operation commits, checkpoint capture/restore, fault
+   handling policy — runs on the orchestrating domain between windows,
+   where all worker domains are quiescent by construction.
+
+   The contract is bit-for-bit determinism with [Engine_seq]: same cycle
+   counts, signatures, votes, outcomes, metrics, and cycle-stamped trace
+   events. Three mechanisms make that hold:
+
+   - Windows only cover cycle ranges the sequential engine would have
+     executed without cross-replica interaction. A window never extends
+     past the next preemption tick, a barrier-timeout deadline, a
+     [~stop] polling cycle, or the [max_cycles] budget, and is not
+     attempted at all during async rounds or while an IPI is pending.
+   - Workers never speculate: a worker parks at its first cycle with a
+     shared-state effect (sync-point rendezvous, Base-mode system halt)
+     and records the cycle, so nothing must ever be rewound.
+   - Deferred effects (rendezvous entries, halts, notable events, trace
+     events) are replayed by the orchestrator in (cycle, replica-id)
+     order — exactly the order the sequential engine's rid-ordered
+     stepping loop produces.
+
+   The window then "actually" ends at [w_actual], the cycle at which the
+   sequential engine would next have run round-lifecycle code: the
+   completion cycle when every live replica reached the rendezvous, the
+   last finish cycle when the workload completed, the halt cycle on a
+   Base-mode abort, or the window cap. The unmodified classic
+   [Sched.advance_phase] runs once at that cycle and arbitrates
+   completion against timeouts just as it does every cycle under the
+   sequential engine. *)
+
+open Rcoe_machine
+open Rcoe_kernel
+open Sched
+module Barrier = Rcoe_util.Barrier
+module Trace = Rcoe_obs.Trace
+module Metrics = Rcoe_obs.Metrics
+
+type job = { j_start : int; j_cap : int }
+
+(* One mailbox per worker domain. Written by the orchestrator strictly
+   before the window-start barrier crossing and read by the worker
+   strictly after it (and vice versa for results at the window-end
+   crossing), so the barrier's mutex provides the happens-before edge —
+   no atomics needed. *)
+type slot = {
+  mutable job : job option;
+  mutable quit : bool;
+  mutable werror : exn option;
+}
+
+(* ---------------------------------------------------------------------- *)
+(* Worker side                                                             *)
+(* ---------------------------------------------------------------------- *)
+
+(* Step one replica through cycles [s+1 .. cap], or fewer if it parks.
+   Mirrors the [Rs_run] arm of [Sched.step_replica] minus the cases that
+   cannot occur inside a window (IPIs are checked before the window
+   opens; gather-joins only exist during async rounds). The worker ticks
+   its own bus lane each cycle it simulates — the orchestrator tops the
+   lane up to the window end afterwards. *)
+let run_window_job t r w ~s ~cap =
+  let lane = Machine.bus_lane t.mach ~core_id:r.rid in
+  let core = Kernel.core r.kern in
+  let c = ref (s + 1) in
+  while !c <= cap && w.wpark = None do
+    w.wv_now <- !c;
+    Bus.tick lane;
+    w.w_ticked <- w.w_ticked + 1;
+    if core.Core.halted || r.state = Rs_halted then
+      w.wpark <- Some (!c, Pk_dead)
+    else if r.finished then w.wpark <- Some (!c, Pk_inert)
+    else if Kernel.current_tid r.kern < 0 then w.wpark <- Some (!c, Pk_idle)
+    else begin
+      run_user t r;
+      (* A finish or fail-stop *during* this cycle ends the worker's
+         window at this cycle — the sequential loop would have noticed
+         it in the same iteration. *)
+      if w.wpark = None then
+        if core.Core.halted || r.state = Rs_halted then
+          w.wpark <- Some (!c, Pk_dead)
+        else if r.finished then w.wpark <- Some (!c, Pk_inert)
+    end;
+    incr c
+  done
+
+let rec worker_loop t barrier slot r =
+  Barrier.await barrier;
+  (* window start *)
+  if not slot.quit then begin
+    (match slot.job with
+    | Some { j_start; j_cap } -> (
+        match r.wctx with
+        | Some w -> (
+            try run_window_job t r w ~s:j_start ~cap:j_cap
+            with e -> slot.werror <- Some e)
+        | None -> slot.werror <- Some (Failure "worker job without wctx"))
+    | None -> ());
+    Barrier.await barrier;
+    (* window end *)
+    worker_loop t barrier slot r
+  end
+
+(* ---------------------------------------------------------------------- *)
+(* Orchestrator side                                                       *)
+(* ---------------------------------------------------------------------- *)
+
+(* Furthest cycle the next window may reach. Chosen so that no
+   round-lifecycle decision the sequential engine would take falls
+   strictly inside the window:
+   - [Ph_idle]: up to the next preemption tick. For replicated modes
+     also at most [barrier_timeout] cycles out, so a rendezvous that
+     *starts* inside the window (earliest at [s+1]) cannot have its
+     timeout deadline fire before the window ends.
+   - [Ph_rdv]: exactly up to the timeout deadline — the first cycle at
+     which [advance_phase] declares the timeout.
+   Always clipped to the run budget and, when a [~stop] predicate is
+   installed, to the next multiple-of-128 polling cycle. *)
+let window_cap t ~s ~start ~max_cycles ~has_stop =
+  let cap =
+    match t.phase with
+    | Ph_async _ -> s
+    | Ph_idle ->
+        if t.cfg.Config.mode = Config.Base then t.next_tick
+        else min t.next_tick (s + 1 + t.cfg.Config.barrier_timeout)
+    | Ph_rdv { rdv_started } ->
+        rdv_started + t.cfg.Config.barrier_timeout + 1
+  in
+  let cap = min cap (start + max_cycles) in
+  if has_stop then min cap (((s lsr 7) + 1) lsl 7) else cap
+
+(* Run one execution window over cycles [s+1 .. cap] and retire it. *)
+let window t slots barrier ~s ~cap =
+  (* Publish jobs: one per running replica. Parked, halted and removed
+     replicas have no private work — their bus lanes and barrier-stall
+     decay are settled arithmetically below. *)
+  Array.iteri
+    (fun i r ->
+      if r.state = Rs_run then begin
+        let w =
+          { wv_now = s; wv_vm_exits = 0; wv_events = []; wpark = None;
+            w_ticked = 0 }
+        in
+        r.wctx <- Some w;
+        Trace.begin_buffering r.rtrace ~clock:(fun () -> w.wv_now);
+        slots.(i).job <- Some { j_start = s; j_cap = cap }
+      end
+      else slots.(i).job <- None)
+    t.replicas;
+  Barrier.await barrier;
+  (* workers run *)
+  Barrier.await barrier;
+  (* workers parked or capped *)
+  Array.iter
+    (fun sl -> match sl.werror with Some e -> raise e | None -> ())
+    slots;
+  (* Where the sequential engine would next have made a decision. *)
+  let park r = match r.wctx with Some w -> w.wpark | None -> None in
+  let lv = live_replicas t in
+  let all_rdv =
+    lv <> []
+    && List.for_all
+         (fun r ->
+           match park r with
+           | Some (_, Pk_rendezvous) -> true
+           | Some _ -> false
+           | None -> r.state = Rs_rendezvous && arrived_bar t r.rid)
+         lv
+  in
+  let all_inert =
+    lv <> []
+    && List.for_all
+         (fun r ->
+           match park r with Some (_, Pk_inert) -> true | _ -> false)
+         lv
+  in
+  let halt_ts =
+    Array.fold_left
+      (fun acc r ->
+        match park r with
+        | Some (ts, Pk_halt _) -> (
+            match acc with None -> Some ts | Some a -> Some (min a ts))
+        | _ -> acc)
+      None t.replicas
+  in
+  let max_park kind =
+    Array.fold_left
+      (fun acc r ->
+        match park r with
+        | Some (ts, k) when k = kind -> max acc ts
+        | _ -> acc)
+      (s + 1) t.replicas
+  in
+  let w_actual =
+    if all_rdv then max_park Pk_rendezvous
+    else if all_inert then max_park Pk_inert
+    else match halt_ts with Some ts -> ts | None -> cap
+  in
+  (* Replay deferred shared-state effects in (cycle, rid) order — the
+     sequential stepping order. The machine clock tracks each effect's
+     cycle so logs, trace stamps and rendezvous bookkeeping match the
+     sequential engine exactly; children are still buffering, so trace
+     events emitted here land *after* the replica's in-window events. *)
+  let effects = ref [] in
+  Array.iter
+    (fun r ->
+      match r.wctx with
+      | None -> ()
+      | Some w ->
+          let evs =
+            List.rev_map (fun (ts, k) -> (ts, r.rid, `Event k)) w.wv_events
+          in
+          let parks =
+            match w.wpark with
+            | Some (ts, Pk_rendezvous) -> [ (ts, r.rid, `Rdv) ]
+            | Some (ts, Pk_halt reason) -> [ (ts, r.rid, `Halt reason) ]
+            | _ -> []
+          in
+          effects := !effects @ evs @ parks)
+    t.replicas;
+  let effects =
+    List.stable_sort
+      (fun (ts_a, rid_a, _) (ts_b, rid_b, _) ->
+        compare (ts_a, rid_a) (ts_b, rid_b))
+      !effects
+  in
+  List.iter
+    (fun (ts, rid, eff) ->
+      let r = t.replicas.(rid) in
+      t.mach.Machine.now <- ts;
+      (match r.wctx with Some w -> w.wv_now <- ts | None -> ());
+      match eff with
+      | `Event k -> log_event t k
+      | `Rdv -> enter_rendezvous t r
+      | `Halt reason -> halt_system t reason)
+    effects;
+  (* Barrier-spin stall decay: the sequential engine decrements a parked
+     replica's residual stall by one per cycle; apply the window's worth
+     in closed form. *)
+  Array.iter
+    (fun r ->
+      if r.state = Rs_rendezvous then begin
+        let since =
+          match r.wctx with
+          | Some { wpark = Some (ts, Pk_rendezvous); _ } -> ts
+          | _ -> s
+        in
+        let core = Kernel.core r.kern in
+        if core.Core.stall > 0 then
+          core.Core.stall <- max 0 (core.Core.stall - (w_actual - since))
+      end)
+    t.replicas;
+  (* Top every bus lane up to the window end: the sequential engine's
+     Machine.tick runs all lanes every cycle, including those of parked,
+     halted and removed cores. *)
+  let span = w_actual - s in
+  Array.iter
+    (fun r ->
+      let ticked = match r.wctx with Some w -> w.w_ticked | None -> 0 in
+      Bus.advance
+        (Machine.bus_lane t.mach ~core_id:r.rid)
+        ~cycles:(max 0 (span - ticked)))
+    t.replicas;
+  t.mach.Machine.now <- w_actual;
+  (* Commit per-replica trace buffers into the shared ring in
+     deterministic order, then settle deferred metrics. *)
+  let bufs =
+    Array.map
+      (fun r ->
+        match r.wctx with
+        | Some _ -> Trace.end_buffering r.rtrace
+        | None -> [])
+      t.replicas
+  in
+  Trace.merge_buffered t.trace bufs;
+  Array.iter
+    (fun r ->
+      match r.wctx with
+      | Some w ->
+          if w.wv_vm_exits > 0 then
+            Metrics.incr ~by:w.wv_vm_exits t.ms.m_vm_exits;
+          r.wctx <- None
+      | None -> ())
+    t.replicas;
+  (* The classic per-cycle decision point, run at the window-end cycle. *)
+  advance_phase t
+
+let run ?stop t ~max_cycles =
+  let n = Array.length t.replicas in
+  let barrier = Barrier.create (n + 1) in
+  let slots =
+    Array.init n (fun _ -> { job = None; quit = false; werror = None })
+  in
+  let doms =
+    Array.init n (fun rid ->
+        Domain.spawn (fun () ->
+            worker_loop t barrier slots.(rid) t.replicas.(rid)))
+  in
+  let shutdown () =
+    Array.iter
+      (fun sl ->
+        sl.quit <- true;
+        sl.job <- None)
+      slots;
+    Barrier.await barrier;
+    Array.iter Domain.join doms
+  in
+  let start = now t in
+  let continue_ = ref true in
+  (try
+     while
+       !continue_ && t.halt = None
+       && (not (finished t))
+       && now t - start < max_cycles
+     do
+       let s = now t in
+       (* A window is possible only between sync points with no IPI in
+          flight; async rounds and IPI delivery interleave replicas at
+          cycle granularity and take the classic path. *)
+       let windowable =
+         match t.phase with
+         | Ph_async _ -> false
+         | Ph_idle | Ph_rdv _ ->
+             not
+               (Array.exists
+                  (fun r ->
+                    r.state = Rs_run
+                    && t.mach.Machine.ipi_pending.(r.rid) <> max_int)
+                  t.replicas)
+       in
+       let cap =
+         if windowable then
+           window_cap t ~s ~start ~max_cycles ~has_stop:(stop <> None)
+         else s
+       in
+       if cap <= s then classic_cycle t else window t slots barrier ~s ~cap;
+       (match stop with
+       | Some f when now t land 127 = 0 -> if f t then continue_ := false
+       | _ -> ())
+     done;
+     shutdown ()
+   with e ->
+     (try shutdown () with _ -> ());
+     raise e)

@@ -1,0 +1,21 @@
+(* The sequential execution engine: the reference semantics. Every
+   simulated cycle ticks the machine, steps each replica in rid order on
+   the calling domain, and advances the round state machine. The
+   parallel engine ([Engine_par]) is required to be bit-for-bit
+   equivalent to this loop. *)
+
+open Sched
+
+let run ?stop t ~max_cycles =
+  let start = now t in
+  let continue_ = ref true in
+  while
+    !continue_ && t.halt = None
+    && (not (finished t))
+    && now t - start < max_cycles
+  do
+    classic_cycle t;
+    (match stop with
+    | Some f when now t land 127 = 0 -> if f t then continue_ := false
+    | _ -> ())
+  done

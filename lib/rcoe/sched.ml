@@ -1,0 +1,1809 @@
+(* The replication scheduler: system state, round lifecycle, voting,
+   masking, checkpointing, and per-cycle replica stepping. The run loops
+   live in [Engine_seq] (classic sequential stepping) and [Engine_par]
+   (domain-parallel execution windows); [System] is the public facade
+   that dispatches on {!Config.engine}. This module has no interface —
+   the engines need the internals — but nothing outside the library
+   should depend on it. *)
+
+open Rcoe_machine
+open Rcoe_kernel
+module Trace = Rcoe_obs.Trace
+module Metrics = Rcoe_obs.Metrics
+
+type halt_reason =
+  | H_mismatch
+  | H_no_consensus
+  | H_timeout
+  | H_kernel_exception of string
+  | H_masking_blocked
+
+let halt_reason_to_string = function
+  | H_mismatch -> "signature mismatch (halt)"
+  | H_no_consensus -> "vote: no consensus on faulty replica"
+  | H_timeout -> "barrier timeout"
+  | H_kernel_exception s -> "kernel exception: " ^ s
+  | H_masking_blocked -> "faulty primary during I/O: cannot downgrade"
+
+type event_kind =
+  | E_user_fault of int
+  | E_kernel_abort of int
+  | E_mismatch
+  | E_timeout
+  | E_downgrade of int
+  | E_reintegrate of int
+  | E_rollback of int
+
+type stats = {
+  mutable ticks_delivered : int;
+  mutable rounds : int;
+  mutable votes : int;
+  mutable ipis : int;
+  mutable bp_fires : int;
+  mutable ft_rounds : int;
+  mutable rendezvous : int;
+}
+
+(* Typed handles into the metrics registry; the [stats] record above is
+   reconstructed from these on demand, so callers of [stats] are
+   unaffected by the registry having become the source of truth. *)
+type metric_set = {
+  m_ticks : Metrics.counter;
+  m_rounds : Metrics.counter;
+  m_votes : Metrics.counter;
+  m_ipis : Metrics.counter;
+  m_bp_fires : Metrics.counter;
+  m_ft_rounds : Metrics.counter;
+  m_rendezvous : Metrics.counter;
+  m_vm_exits : Metrics.counter;
+  m_single_steps : Metrics.counter;
+  m_rep_steps : Metrics.counter;
+  m_downgrades : Metrics.counter;
+  m_reintegrations : Metrics.counter;
+  m_rollbacks : Metrics.counter;
+  m_ckpt_taken : Metrics.counter;
+  m_catchup_dist : Metrics.histogram;
+  m_catchup_cycles : Metrics.histogram;
+  m_barrier_wait : Metrics.histogram;
+  m_detect_latency : Metrics.histogram;
+  m_ckpt_cost : Metrics.histogram;
+  m_recover_latency : Metrics.histogram;
+}
+
+let make_metric_set reg =
+  {
+    m_ticks = Metrics.counter reg "kernel.ticks_delivered";
+    m_rounds = Metrics.counter reg "sync.rounds";
+    m_votes = Metrics.counter reg "sync.votes";
+    m_ipis = Metrics.counter reg "sync.ipis";
+    m_bp_fires = Metrics.counter reg "catchup.bp_fires";
+    m_ft_rounds = Metrics.counter reg "sync.ft_rounds";
+    m_rendezvous = Metrics.counter reg "sync.rendezvous";
+    m_vm_exits = Metrics.counter reg "vm.exits";
+    m_single_steps = Metrics.counter reg "catchup.single_steps";
+    m_rep_steps = Metrics.counter reg "catchup.rep_steps";
+    m_downgrades = Metrics.counter reg "mask.downgrades";
+    m_reintegrations = Metrics.counter reg "mask.reintegrations";
+    m_rollbacks = Metrics.counter reg "mask.rollbacks";
+    m_ckpt_taken = Metrics.counter reg "ckpt.taken";
+    m_catchup_dist =
+      Metrics.histogram reg "catchup.distance_branches"
+        ~buckets:[ 1.; 8.; 32.; 128.; 512.; 2048.; 8192. ];
+    m_catchup_cycles =
+      Metrics.histogram reg "catchup.cycles"
+        ~buckets:[ 100.; 1000.; 10_000.; 100_000. ];
+    m_barrier_wait =
+      Metrics.histogram reg "sync.barrier_wait_cycles"
+        ~buckets:[ 100.; 1000.; 10_000.; 100_000. ];
+    m_detect_latency =
+      Metrics.histogram reg "detect.latency_cycles"
+        ~buckets:[ 1000.; 10_000.; 100_000.; 1_000_000. ];
+    m_ckpt_cost =
+      Metrics.histogram reg "ckpt.cost_cycles"
+        ~buckets:[ 10_000.; 30_000.; 100_000.; 300_000. ];
+    m_recover_latency =
+      Metrics.histogram reg "recover.latency_cycles"
+        ~buckets:[ 10_000.; 100_000.; 1_000_000.; 10_000_000. ];
+  }
+
+(* Pending events delivered at the end of an asynchronous round. *)
+type ev = Tick | Dev_irq of int
+
+type catchup = {
+  leader_clock : Clock.t;
+  mutable bp_set : bool;
+  mutable overshoot : bool;
+  mutable pmu_active : bool;
+      (* Fast catch-up: running freely towards a PMU overflow target. *)
+  mutable pmu_done : bool;
+}
+
+type rstate =
+  | Rs_run
+  | Rs_gather_wait
+  | Rs_chase of int (* LC: target event count *)
+  | Rs_catchup of catchup
+  | Rs_vote_wait
+  | Rs_rendezvous
+  | Rs_halted
+  | Rs_removed
+
+(* Why a worker stopped before its window cap (parallel engine). Only
+   [Pk_rendezvous] and [Pk_halt] carry a deferred effect; the others
+   just record that the replica can make no further progress on its own
+   inside this window. *)
+type park_kind =
+  | Pk_rendezvous  (* reached a sync-point rendezvous *)
+  | Pk_halt of halt_reason  (* Base-mode kernel abort: whole-system halt *)
+  | Pk_inert  (* all threads exited *)
+  | Pk_idle  (* every thread blocked; only a round event can wake it *)
+  | Pk_dead  (* core halted (crash / exception-barrier fail-stop) *)
+
+(* Per-window worker context (parallel engine). [None] outside a
+   window — every dispatch site below treats [None] as the classic
+   sequential path. The worker's private cycle counter [wv_now] doubles
+   as the child trace's clock; shared-state effects (notable events,
+   rendezvous entry, system halt) are deferred here and replayed by the
+   orchestrator in deterministic (cycle, replica) order at the window
+   barrier. *)
+type wctx = {
+  mutable wv_now : int;
+  mutable wv_vm_exits : int;  (* deferred Metrics.incr on the shared set *)
+  mutable wv_events : (int * event_kind) list;  (* newest first *)
+  mutable wpark : (int * park_kind) option;
+  mutable w_ticked : int;  (* bus-lane cycles ticked by this worker *)
+}
+
+type replica = {
+  rid : int;
+  kern : Kernel.t;
+  rtrace : Trace.t;
+      (* Per-replica child of the system trace. In forwarding mode
+         (always, under the sequential engine) it is indistinguishable
+         from the root; the parallel engine switches it to window
+         buffering so replicas can trace concurrently. *)
+  mutable state : rstate;
+  mutable finished : bool;
+  mutable pending_ft : (int * int array) option;
+  mutable joined : bool;
+  mutable defer_publish : bool;
+  mutable wctx : wctx option;
+  (* Trace/metrics bookkeeping; [tr_phase] is only ever set while the
+     trace is enabled, so the helpers below are free when it is not. *)
+  mutable tr_phase : Trace.sync_phase option;
+  mutable arrived_at : int;  (* cycle of final-barrier arrival, -1 = n/a *)
+  mutable move_started : int;  (* cycle catch-up began, -1 = n/a *)
+}
+
+type phase =
+  | Ph_idle
+  | Ph_async of async_round
+  | Ph_rdv of { mutable rdv_started : int }
+
+and async_round = {
+  events : ev list;
+  mutable stage : [ `Gather | `Move ];
+  mutable round_started : int;
+}
+
+type t = {
+  cfg : Config.t;
+  mach : Machine.t;
+  lay : Layout.t;
+  lint : Rcoe_isa.Lint.report;
+  replicas : replica array;
+  net : Netdev.t option;
+  net_dpn : int;
+  mmio_plan : (int * Page_table.pte) list; (* primary-role MMIO PTEs *)
+  dma_plan : (int * Page_table.pte) list; (* primary-role DMA-window PTEs *)
+  mutable prim : int;
+  mutable phase : phase;
+  mutable next_tick : int;
+  mutable ticks : int;
+  mutable halt : halt_reason option;
+  mutable downgrade_log : (int * int * int) list;
+  mutable event_log : (int * event_kind) list;
+  mutable round_seq : int;
+  mutable after_save : (rid:int -> tid:int -> ctx_addr:int -> unit) option;
+  mutable pending_reintegrate : int option;
+  mutable reintegration_log : (int * int) list;
+  mutable event_log_len : int;
+  (* Rollback recovery. The ring exists only when checkpointing is
+     configured; all bookkeeping below is dead weight otherwise. *)
+  ckpts : Checkpoint.t option;
+  mutable rounds_since_ckpt : int;
+  mutable rollbacks_done : int;
+  mutable retries_at_newest : int;
+  mutable escalations : int;
+  mutable rollback_log : (int * int) list; (* (detected_at, to_cycle) *)
+  metrics : Metrics.t;
+  ms : metric_set;
+  trace : Trace.t;
+}
+
+(* The notable-events list is bounded: campaigns run for millions of
+   cycles and the old unbounded list grew without limit. Truncation is
+   amortised — the newest [event_log_cap] entries (the list prefix) are
+   kept once the list doubles past the cap. *)
+let event_log_cap = 2048
+
+(* Engine-internal cycle costs not covered by the architecture profile. *)
+let publish_cost = 60
+let vote_cost = 140
+let ft_word_cost = 2
+let ft_op_cost = 180
+
+let config t = t.cfg
+let machine t = t.mach
+
+let lint_report t = t.lint
+
+let lint_warnings t =
+  List.filter_map
+    (fun f ->
+      if f.Rcoe_isa.Lint.f_severity = Rcoe_isa.Lint.Warning then
+        Some f.Rcoe_isa.Lint.f_message
+      else None)
+    t.lint.Rcoe_isa.Lint.findings
+let layout t = t.lay
+let netdev t = t.net
+let kernel t rid = t.replicas.(rid).kern
+let primary t = t.prim
+let now t = t.mach.Machine.now
+
+let stats t =
+  {
+    ticks_delivered = Metrics.count t.ms.m_ticks;
+    rounds = Metrics.count t.ms.m_rounds;
+    votes = Metrics.count t.ms.m_votes;
+    ipis = Metrics.count t.ms.m_ipis;
+    bp_fires = Metrics.count t.ms.m_bp_fires;
+    ft_rounds = Metrics.count t.ms.m_ft_rounds;
+    rendezvous = Metrics.count t.ms.m_rendezvous;
+  }
+
+let metrics t = t.metrics
+let trace t = t.trace
+let halted t = t.halt
+let downgrades t = t.downgrade_log
+
+let rollbacks t = t.rollback_log
+
+let checkpoints_taken t =
+  match t.ckpts with Some ck -> Checkpoint.taken ck | None -> 0
+let events t = t.event_log
+let tick_count t = t.ticks
+let output t rid = Buffer.contents (Kernel.output t.replicas.(rid).kern)
+let replica_done t rid = t.replicas.(rid).finished
+let set_after_save_hook t h = t.after_save <- h
+
+let sig_base t rid = t.lay.Layout.partitions.(rid).Layout.sig_base
+
+let live t =
+  Array.to_list t.replicas
+  |> List.filter_map (fun r ->
+         match r.state with Rs_removed -> None | _ -> Some r.rid)
+
+let live_replicas t =
+  Array.to_list t.replicas
+  |> List.filter (fun r -> r.state <> Rs_removed)
+
+let finished t =
+  t.halt = None && List.for_all (fun r -> r.finished) (live_replicas t)
+
+let log_event t k =
+  t.event_log <- (now t, k) :: t.event_log;
+  t.event_log_len <- t.event_log_len + 1;
+  if t.event_log_len > 2 * event_log_cap then begin
+    t.event_log <- List.filteri (fun i _ -> i < event_log_cap) t.event_log;
+    t.event_log_len <- event_log_cap
+  end
+
+(* Detection latency (paper Fig. 3): cycles from the most recent fault
+   injection to the moment the system reacts (halt or downgrade). The
+   injection mark survives a disabled trace ring, so campaigns measure
+   latency without paying for tracing. *)
+let observe_detection t =
+  match Trace.last_injection t.trace with
+  | Some injected_at ->
+      Metrics.observe t.ms.m_detect_latency
+        (float_of_int (now t - injected_at));
+      Trace.clear_last_injection t.trace
+  | None -> ()
+
+let halt_system t reason =
+  if t.halt = None then begin
+    t.halt <- Some reason;
+    match reason with
+    | H_timeout ->
+        observe_detection t;
+        log_event t E_timeout
+    | H_mismatch | H_no_consensus | H_masking_blocked ->
+        observe_detection t;
+        log_event t E_mismatch
+    | H_kernel_exception _ -> ()
+  end
+
+let mem t = t.mach.Machine.mem
+let profile t = t.mach.Machine.profile
+let shared t = t.lay.Layout.shared
+
+let event_count t r = Signature.event_count (mem t) ~base:(sig_base t r.rid)
+
+let charge r n = Core.add_stall (Kernel.core r.kern) n
+
+let vm_charge t r =
+  if t.cfg.Config.vm then begin
+    charge r (profile t).Arch.vm_exit_cost;
+    (match r.wctx with
+    | Some w -> w.wv_vm_exits <- w.wv_vm_exits + 1
+    | None -> Metrics.incr t.ms.m_vm_exits);
+    Trace.vm_exit r.rtrace ~rid:r.rid
+  end
+
+(* Replica-context notable events: inside a parallel window the shared
+   log must not be touched (wrong clock, racy list) — defer to the
+   worker context and let the window barrier replay them in
+   deterministic order. *)
+let rlog_event t r k =
+  match r.wctx with
+  | Some w -> w.wv_events <- (w.wv_now, k) :: w.wv_events
+  | None -> log_event t k
+
+(* Per-replica sync-phase spans. A new phase closes the previous one,
+   so each replica carries at most one open span; [tr_phase] is only set
+   while tracing, keeping both helpers free otherwise. *)
+let tp_end _t r =
+  match r.tr_phase with
+  | Some ph ->
+      Trace.phase_end r.rtrace ~rid:r.rid ph;
+      r.tr_phase <- None
+  | None -> ()
+
+let tp_begin t r ph =
+  if Trace.enabled t.trace then begin
+    tp_end t r;
+    Trace.phase_begin r.rtrace ~rid:r.rid ph;
+    r.tr_phase <- Some ph
+  end
+
+(* ---------------------------------------------------------------------- *)
+(* Construction                                                            *)
+(* ---------------------------------------------------------------------- *)
+
+let check_program cfg (program : Rcoe_isa.Program.t) =
+  let profile = Arch.profile_of cfg.Config.arch in
+  if cfg.Config.mode = Config.CC then begin
+    (match Rcoe_isa.Check.exclusives program with
+    | [] -> ()
+    | (addr, i) :: _ ->
+        invalid_arg
+          (Printf.sprintf
+             "System.create: CC-RCoE forbids exclusives (use Sys_atomic): %s \
+              at %d"
+             (Rcoe_isa.Instr.to_string i) addr));
+    if
+      profile.Arch.count_mode = Arch.Compiler_assisted
+      && not program.Rcoe_isa.Program.branch_counted
+    then
+      invalid_arg
+        "System.create: compiler-assisted CC-RCoE requires a branch-counted \
+         program (assemble with ~branch_count:true)"
+  end
+
+(* The static analyzer runs on every program; its report is kept on the
+   system for callers. Under [strict_lint] a rejected program — or a
+   racy one under loose coupling, the silent-divergence case the paper
+   warns about — refuses to start. *)
+let lint_program cfg (program : Rcoe_isa.Program.t) =
+  let lint =
+    Rcoe_isa.Lint.analyze
+      ~exit_syscalls:[ Syscall.sys_exit ]
+      ~spawn_syscall:Syscall.sys_spawn program
+  in
+  if cfg.Config.strict_lint then begin
+    let first_error () =
+      match
+        List.find_opt
+          (fun f -> f.Rcoe_isa.Lint.f_severity = Rcoe_isa.Lint.Error)
+          lint.Rcoe_isa.Lint.findings
+      with
+      | Some f -> f.Rcoe_isa.Lint.f_message
+      | None -> "rejected"
+    in
+    match lint.Rcoe_isa.Lint.verdict with
+    | Rcoe_isa.Lint.Rejected ->
+        invalid_arg
+          (Printf.sprintf "System.create: %s rejected by the static \
+                           analyzer: %s"
+             program.Rcoe_isa.Program.name (first_error ()))
+    | Rcoe_isa.Lint.CC_required when cfg.Config.mode = Config.LC ->
+        invalid_arg
+          (Printf.sprintf
+             "System.create: %s has unprotected shared-memory races and \
+              requires closely-coupled execution; LC replicas may \
+              silently diverge"
+             program.Rcoe_isa.Program.name)
+    | Rcoe_isa.Lint.CC_required | Rcoe_isa.Lint.LC_safe -> ()
+  end;
+  lint
+
+let create ~config:cfg ~program =
+  (match Config.validate cfg with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("System.create: " ^ msg));
+  check_program cfg program;
+  let lint = lint_program cfg program in
+  let profile = Arch.profile_of cfg.Config.arch in
+  let lay =
+    Layout.compute ~nreplicas:cfg.Config.nreplicas
+      ~user_words:cfg.Config.user_words
+  in
+  let trace =
+    match cfg.Config.trace with
+    | Some tc -> Trace.create tc
+    | None -> Trace.disabled ()
+  in
+  let mach =
+    Machine.create ~trace ~profile ~mem_words:lay.Layout.total_words
+      ~ncores:cfg.Config.nreplicas ~seed:cfg.Config.seed ()
+  in
+  let net, net_dpn =
+    if cfg.Config.with_net then begin
+      let nd =
+        Netdev.create ~mem:mach.Machine.mem ~dma_base:lay.Layout.dma_base
+          ~dma_words:lay.Layout.dma_words
+      in
+      let dpn = Machine.add_device mach (Netdev.device nd) in
+      (Some nd, dpn)
+    end
+    else (None, -1)
+  in
+  let metrics = Metrics.create () in
+  let ms = make_metric_set metrics in
+  let tref = ref None in
+  let callbacks =
+    {
+      Kernel.cb_info =
+        (fun rid key ->
+          match !tref with
+          | None -> 0
+          | Some t -> (
+              match key with
+              | 0 -> rid
+              | 1 -> t.cfg.Config.nreplicas
+              | 2 -> t.prim
+              | 3 -> if t.cfg.Config.mode = Config.CC then 1 else 0
+              | 4 -> Kernel.current_tid t.replicas.(rid).kern
+              | 5 -> t.ticks
+              | _ -> 0));
+      Kernel.cb_kernel_update =
+        (fun rid words ->
+          match !tref with
+          | None -> ()
+          | Some t ->
+              if t.cfg.Config.mode <> Config.Base then
+                Signature.add_words (mem t) ~base:(sig_base t rid) words);
+    }
+  in
+  let replicas =
+    Array.init cfg.Config.nreplicas (fun rid ->
+        (* Each replica gets a child of the system trace; the kernel and
+           core emit through it too, so everything a replica records can
+           be buffered per-domain by the parallel engine. *)
+        let rtrace = Trace.child trace in
+        let kern =
+          Kernel.create ~trace:rtrace ~machine:mach ~rid ~core_id:rid
+            ~layout:lay ~program ~callbacks ()
+        in
+        {
+          rid;
+          kern;
+          rtrace;
+          state = Rs_run;
+          finished = false;
+          pending_ft = None;
+          joined = false;
+          defer_publish = false;
+          wctx = None;
+          tr_phase = None;
+          arrived_at = -1;
+          move_started = -1;
+        })
+  in
+  (* Device-window mapping plans (primary role). *)
+  let page = Layout.page_size in
+  let mmio_plan =
+    if cfg.Config.with_net then
+      [ ( Layout.va_mmio / page,
+          {
+            Page_table.valid = true;
+            writable = true;
+            dma = false;
+            device = true;
+            ppn = net_dpn;
+          } ) ]
+    else []
+  in
+  let dma_plan =
+    if cfg.Config.with_net then
+      List.init (lay.Layout.dma_words / page) (fun i ->
+          ( (Layout.va_dma / page) + i,
+            {
+              Page_table.valid = true;
+              writable = true;
+              dma = true;
+              device = false;
+              ppn = (lay.Layout.dma_base / page) + i;
+            } ))
+    else []
+  in
+  let t =
+    {
+      cfg;
+      mach;
+      lay;
+      lint;
+      replicas;
+      net;
+      net_dpn;
+      mmio_plan;
+      dma_plan;
+      prim = 0;
+      phase = Ph_idle;
+      next_tick = cfg.Config.tick_interval;
+      ticks = 0;
+      halt = None;
+      downgrade_log = [];
+      event_log = [];
+      round_seq = 0;
+      after_save = None;
+      pending_reintegrate = None;
+      reintegration_log = [];
+      event_log_len = 0;
+      ckpts =
+        (if cfg.Config.checkpoint_every > 0 then
+           Some (Checkpoint.create ~depth:cfg.Config.checkpoint_depth)
+         else None);
+      rounds_since_ckpt = 0;
+      rollbacks_done = 0;
+      retries_at_newest = 0;
+      escalations = 0;
+      rollback_log = [];
+      metrics;
+      ms;
+      trace;
+    }
+  in
+  tref := Some t;
+  (* Per-replica address spaces and role-dependent windows. *)
+  Array.iter
+    (fun r ->
+      let k = r.kern in
+      Kernel.setup_address_space k;
+      if cfg.Config.with_net then begin
+        let is_primary = r.rid = t.prim in
+        (* MMIO window. *)
+        if is_primary then
+          List.iter
+            (fun (vpn, pte) -> Kernel.map_page ~quiet:true k ~vpn pte)
+            mmio_plan
+        else begin
+          let alias = Kernel.alloc_frame_high k in
+          Kernel.map_page ~quiet:true k ~vpn:(Layout.va_mmio / page)
+            {
+              Page_table.valid = true;
+              writable = true;
+              dma = false;
+              device = false;
+              ppn = alias;
+            }
+        end;
+        (* DMA window: the primary sees the real region; others see private
+           shadow frames. All carry the DMA mark so a new primary can find
+           and patch them (paper Section IV-A). *)
+        if is_primary then
+          List.iter
+            (fun (vpn, pte) -> Kernel.map_page ~quiet:true k ~vpn pte)
+            dma_plan
+        else
+          List.iter
+            (fun (vpn, _) ->
+              let shadow = Kernel.alloc_frame_high k in
+              Kernel.map_page ~quiet:true k ~vpn
+                {
+                  Page_table.valid = true;
+                  writable = true;
+                  dma = true;
+                  device = false;
+                  ppn = shadow;
+                })
+            dma_plan;
+        (* Shared input-replication buffer: same physical pages everywhere;
+           writable by the primary only. *)
+        let in_pages = lay.Layout.shared.Layout.inbuf_words / page in
+        for i = 0 to in_pages - 1 do
+          Kernel.map_page ~quiet:true k
+            ~vpn:((Layout.va_shared_in / page) + i)
+            {
+              Page_table.valid = true;
+              writable = is_primary;
+              dma = false;
+              device = false;
+              ppn = (lay.Layout.shared.Layout.inbuf_base / page) + i;
+            }
+        done
+      end;
+      ignore (Kernel.spawn k ~entry:program.Rcoe_isa.Program.entry ~arg:0);
+      Kernel.start k;
+      (* Role mappings differ per replica; baseline the signature after
+         setup so replicas start equal. *)
+      Signature.reset (mem t) ~base:(sig_base t r.rid))
+    replicas;
+  Machine.route_irqs_to mach t.prim;
+  t
+
+(* ---------------------------------------------------------------------- *)
+(* FT operations                                                           *)
+(* ---------------------------------------------------------------------- *)
+
+(* Transfer size of an FT operation, for cost accounting. *)
+let ft_words num args =
+  if num = Syscall.sys_ft_mem_access then max 0 args.(3)
+  else if num = Syscall.sys_ft_add_trace || num = Syscall.sys_ft_mem_rep then
+    max 0 args.(1)
+  else 0
+
+(* Stage an FT operation: fold its data into every replica's signature and
+   return the commit action (externally-visible side effects), which runs
+   only after a successful vote — so corrupted output is caught before it
+   reaches the device. *)
+let ft_stage t num args =
+  let sh = shared t in
+  let live = live_replicas t in
+  let add_sig r ws =
+    Array.iter (fun w -> Signature.add_word (mem t) ~base:(sig_base t r.rid) w) ws
+  in
+  let read_block r ~va ~len =
+    try Some (Kernel.read_user_block r.kern ~va ~len)
+    with Kernel.User_mem_error _ | Mem.Abort _ -> None
+  in
+  let set_result r v =
+    (Kernel.core r.kern).Core.regs.(0) <- v
+  in
+  List.iter
+    (fun r -> charge r (ft_op_cost + (ft_word_cost * ft_words num args)))
+    live;
+  if num = Syscall.sys_ft_add_trace then begin
+    let va = args.(0) and len = max 0 (min args.(1) 4096) in
+    List.iter
+      (fun r ->
+        match read_block r ~va ~len with
+        | Some block -> if t.cfg.Config.trace_output then add_sig r block
+        | None -> add_sig r [| -1 |])
+      live;
+    fun () -> List.iter (fun r -> set_result r 0) live
+  end
+  else if num = Syscall.sys_ft_mem_access then begin
+    let access = args.(0) and mmio_va = args.(1) and va = args.(2) in
+    let len = max 0 (min args.(3) Netdev.slot_words) in
+    let prim_k = t.replicas.(t.prim).kern in
+    match Kernel.translate_mmio prim_k ~va:mmio_va with
+    | None -> fun () -> List.iter (fun r -> set_result r (-1)) live
+    | Some (dpn, off) ->
+        if access = 0 then begin
+          (* Read: the primary reads the device once; the values pass
+             through the shared scratch area to every replica and every
+             signature. *)
+          let values =
+            Array.init len (fun i -> Machine.dev_read t.mach dpn (off + i))
+          in
+          Array.iteri
+            (fun i v ->
+              if i < 32 then Mem.write (mem t) (sh.Layout.scratch_base + i) v)
+            values;
+          List.iter (fun r -> add_sig r values) live;
+          fun () ->
+            List.iter
+              (fun r ->
+                (try Kernel.write_user_block r.kern ~va values
+                 with Kernel.User_mem_error _ -> ());
+                set_result r 0)
+              live
+        end
+        else begin
+          (* Write: fold every replica's outgoing data; the device write
+             (from the then-primary's copy) happens only after the vote. *)
+          let blocks =
+            List.map (fun r -> (r.rid, read_block r ~va ~len)) live
+          in
+          List.iter
+            (fun (_, b) ->
+              match b with Some _ -> () | None -> ())
+            blocks;
+          List.iter2
+            (fun r (_, b) ->
+              match b with Some ws -> add_sig r ws | None -> add_sig r [| -1 |])
+            live blocks;
+          fun () ->
+            (match List.assoc_opt t.prim blocks with
+            | Some (Some ws) ->
+                Array.iteri (fun i v -> Machine.dev_write t.mach dpn (off + i) v) ws
+            | Some None | None -> ());
+            List.iter (fun r -> set_result r 0) live
+        end
+  end
+  else if num = Syscall.sys_ft_mem_rep then begin
+    let va = args.(0)
+    and len = max 0 (min args.(1) sh.Layout.inbuf_words)
+    and dma_off = max 0 args.(2) in
+    (* The primary's kernel copies the DMA buffer into the shared region;
+       every replica's kernel then copies it inward and folds it. *)
+    let src = t.lay.Layout.dma_base + min dma_off (t.lay.Layout.dma_words - len) in
+    Mem.blit (mem t) ~src ~dst:sh.Layout.inbuf_base ~len;
+    let data = Mem.read_block (mem t) sh.Layout.inbuf_base len in
+    List.iter (fun r -> add_sig r data) live;
+    fun () ->
+      List.iter
+        (fun r ->
+          (try Kernel.write_user_block r.kern ~va data
+           with Kernel.User_mem_error _ -> ());
+          set_result r 0)
+        live
+  end
+  else begin
+    (* input_wait: pure rendezvous. *)
+    fun () -> List.iter (fun r -> set_result r 0) live
+  end
+
+(* Base-mode (unreplicated) FT syscalls act directly. *)
+let ft_base t r num args =
+  let k = r.kern in
+  let set v = (Kernel.core k).Core.regs.(0) <- v in
+  charge r (ft_op_cost + (ft_word_cost * ft_words num args));
+  if num = Syscall.sys_ft_add_trace || num = Syscall.sys_input_wait then set 0
+  else if num = Syscall.sys_ft_mem_access then begin
+    let access = args.(0) and mmio_va = args.(1) and va = args.(2) in
+    let len = max 0 (min args.(3) Netdev.slot_words) in
+    match Kernel.translate_mmio k ~va:mmio_va with
+    | None -> set (-1)
+    | Some (dpn, off) ->
+        (try
+           if access = 0 then
+             for i = 0 to len - 1 do
+               Kernel.write_user k ~va:(va + i) (Machine.dev_read t.mach dpn (off + i))
+             done
+           else
+             for i = 0 to len - 1 do
+               Machine.dev_write t.mach dpn (off + i) (Kernel.read_user k ~va:(va + i))
+             done;
+           set 0
+         with Kernel.User_mem_error _ -> set (-1))
+  end
+  else if num = Syscall.sys_ft_mem_rep then begin
+    let va = args.(0)
+    and len = max 0 (min args.(1) t.lay.Layout.dma_words)
+    and dma_off = max 0 args.(2) in
+    let src = t.lay.Layout.dma_base + min dma_off (t.lay.Layout.dma_words - len) in
+    try
+      for i = 0 to len - 1 do
+        Kernel.write_user k ~va:(va + i) (Mem.read (mem t) (src + i))
+      done;
+      set 0
+    with Kernel.User_mem_error _ -> set (-1)
+  end
+  else set (-1)
+
+(* ---------------------------------------------------------------------- *)
+(* Downgrade (error masking, Section IV)                                   *)
+(* ---------------------------------------------------------------------- *)
+
+let promote_new_primary t new_prim =
+  let p = profile t in
+  let k = t.replicas.(new_prim).kern in
+  (* Scan the page table for DMA-marked pages (the spare-bit trick) and
+     re-point them at the real DMA region and device window. *)
+  let marked = Kernel.dma_pages_mapped k in
+  List.iter (fun (vpn, pte) -> Kernel.map_page ~quiet:true k ~vpn pte) t.dma_plan;
+  List.iter (fun (vpn, pte) -> Kernel.map_page ~quiet:true k ~vpn pte) t.mmio_plan;
+  (* The primary role includes write access to the shared input-
+     replication buffer (it performs the user-mode input copies). *)
+  if t.cfg.Config.with_net then begin
+    let page = Layout.page_size in
+    let in_pages = (shared t).Layout.inbuf_words / page in
+    for i = 0 to in_pages - 1 do
+      Kernel.map_page ~quiet:true k
+        ~vpn:((Layout.va_shared_in / page) + i)
+        {
+          Page_table.valid = true;
+          writable = true;
+          dma = false;
+          device = false;
+          ppn = ((shared t).Layout.inbuf_base / page) + i;
+        }
+    done
+  end;
+  t.prim <- new_prim;
+  Machine.route_irqs_to t.mach new_prim;
+  let cc_factor = if t.cfg.Config.mode = Config.CC then 5 else 1 in
+  let pte_scan =
+    match p.Arch.arch with Arch.X86 -> 850 | Arch.Arm -> 1250
+  in
+  (Layout.va_pages * pte_scan * cc_factor)
+  + (List.length marked * 2000 * cc_factor)
+  + 30_000
+
+let removal_cost t =
+  match (profile t).Arch.arch with Arch.X86 -> 24_000 | Arch.Arm -> 21_000
+
+let downgrade t faulty =
+  let r = t.replicas.(faulty) in
+  r.state <- Rs_removed;
+  r.pending_ft <- None;
+  (Kernel.core r.kern).Core.halted <- true;
+  let cost =
+    if faulty = t.prim then
+      let new_prim =
+        List.fold_left min max_int (live t)
+      in
+      promote_new_primary t new_prim
+    else removal_cost t
+  in
+  List.iter (fun s -> charge s cost) (live_replicas t);
+  tp_end t r;
+  Metrics.incr t.ms.m_downgrades;
+  Trace.downgrade t.trace ~rid:faulty ~cost;
+  observe_detection t;
+  t.downgrade_log <- (now t, faulty, cost) :: t.downgrade_log;
+  log_event t (E_downgrade faulty)
+
+(* Barrier timeout: halt, or — with the timeout-masking extension (the
+   paper's "shut down the straggler's core") — downgrade a single
+   straggling replica and let the round continue with the survivors.
+   Returns true if the system may continue. *)
+let handle_timeout t ~stragglers =
+  if
+    t.cfg.Config.timeout_masking
+    && List.length (live t) >= 3
+    && List.length stragglers = 1
+  then begin
+    log_event t E_timeout;
+    downgrade t (List.hd stragglers).rid;
+    true
+  end
+  else begin
+    halt_system t H_timeout;
+    false
+  end
+
+(* Publish every live replica's signature into the shared region. *)
+let publish_signatures t =
+  List.iter
+    (fun r ->
+      charge r publish_cost;
+      Vote.publish_signature (mem t) (shared t) ~rid:r.rid
+        (Signature.read (mem t) ~base:(sig_base t r.rid)))
+    (live_replicas t)
+
+(* ---------------------------------------------------------------------- *)
+(* Verified checkpoints and rollback recovery                              *)
+(* ---------------------------------------------------------------------- *)
+
+(* Snapshot copy stall, charged to every live replica for both capture
+   and restore. Cheaper per word than re-integration's partition blit
+   (p_words / 8): checkpoints copy far more state far more often, so
+   they model a wide DMA/bulk-copy engine, plus a fixed quiesce cost. *)
+let ckpt_copy_cost words = (words / 32) + 2_000
+
+let take_checkpoint t ck =
+  let lv = live_replicas t in
+  let snap =
+    Checkpoint.capture (mem t) t.lay ~cycle:(now t) ~round_seq:t.round_seq
+      ~ticks:t.ticks ~prim:t.prim
+      ~replicas:(List.map (fun r -> (r.rid, r.kern, r.finished)) lv)
+  in
+  Checkpoint.push ck snap;
+  (* A fresh verified snapshot is forward progress: reset escalation. *)
+  t.retries_at_newest <- 0;
+  t.escalations <- 0;
+  let cost = ckpt_copy_cost (Checkpoint.words snap) in
+  List.iter (fun r -> charge r cost) lv;
+  Metrics.incr t.ms.m_ckpt_taken;
+  Metrics.observe t.ms.m_ckpt_cost (float_of_int cost);
+  Trace.checkpoint t.trace ~words:(Checkpoint.words snap) ~cost
+
+(* Runs at the end of every successfully voted round (the only verified
+   quiescent points). *)
+let maybe_checkpoint t =
+  match t.ckpts with
+  | None -> ()
+  | Some ck ->
+      if t.halt = None && not (finished t) then begin
+        t.rounds_since_ckpt <- t.rounds_since_ckpt + 1;
+        if t.rounds_since_ckpt >= t.cfg.Config.checkpoint_every then begin
+          t.rounds_since_ckpt <- 0;
+          take_checkpoint t ck
+        end
+      end
+
+(* Rewind the whole system to [snap]: memory, kernels, engine clocks and
+   roles. Wall-clock cycles never rewind — re-execution is *new* time,
+   which is exactly the recovery latency the campaign measures. Returns
+   the restore stall charged to the survivors. *)
+let perform_rollback t (snap : Checkpoint.snap) =
+  Array.iter (fun r -> tp_end t r) t.replicas;
+  Checkpoint.restore_memory (mem t) t.lay snap;
+  List.iter
+    (fun (img : Checkpoint.replica_image) ->
+      let r = t.replicas.(img.Checkpoint.i_rid) in
+      Kernel.restore r.kern img.Checkpoint.i_kernel;
+      r.finished <- img.Checkpoint.i_finished;
+      r.pending_ft <- None;
+      r.joined <- false;
+      r.defer_publish <- false;
+      r.arrived_at <- -1;
+      r.move_started <- -1;
+      (* A replica downgraded *after* the capture comes back: its page
+         table and signature live in the restored partition, and the
+         restored [s_prim] undoes any promotion since. *)
+      r.state <- Rs_run;
+      Machine.clear_ipi t.mach ~core_id:r.rid)
+    snap.Checkpoint.s_replicas;
+  t.prim <- snap.Checkpoint.s_prim;
+  Machine.route_irqs_to t.mach t.prim;
+  t.round_seq <- snap.Checkpoint.s_round_seq;
+  t.ticks <- snap.Checkpoint.s_ticks;
+  t.phase <- Ph_idle;
+  t.next_tick <- now t + t.cfg.Config.tick_interval;
+  let cost = ckpt_copy_cost snap.Checkpoint.s_words in
+  List.iter (fun r -> charge r cost) (live_replicas t);
+  cost
+
+(* Recovery policy: bounded retries with exponential escalation. The
+   newest snapshot gets 2^n retries (n = escalations so far) before it
+   is discarded as suspect — a fault that struck after the vote but
+   before the capture is frozen *inside* it — and recovery falls back
+   to the next older one. An exhausted budget or an empty ring means
+   the fault is persistent: fail-stop as before. Returns true when the
+   system was rolled back and may re-execute. *)
+let try_rollback t =
+  match t.ckpts with
+  | None -> false
+  | Some ck ->
+      if t.rollbacks_done >= t.cfg.Config.max_rollbacks then false
+      else begin
+        if t.retries_at_newest >= 1 lsl t.escalations then begin
+          Checkpoint.drop_newest ck;
+          t.escalations <- t.escalations + 1;
+          t.retries_at_newest <- 0
+        end;
+        match Checkpoint.newest ck with
+        | None -> false
+        | Some snap ->
+            t.rollbacks_done <- t.rollbacks_done + 1;
+            t.retries_at_newest <- t.retries_at_newest + 1;
+            observe_detection t;
+            let detected_at = now t in
+            let cost = perform_rollback t snap in
+            Metrics.incr t.ms.m_rollbacks;
+            (* Recovery latency: the re-execution distance plus the
+               restore stall. *)
+            Metrics.observe t.ms.m_recover_latency
+              (float_of_int
+                 (detected_at - snap.Checkpoint.s_cycle + cost));
+            Trace.rollback t.trace ~to_cycle:snap.Checkpoint.s_cycle ~cost;
+            t.rollback_log <-
+              (detected_at, snap.Checkpoint.s_cycle) :: t.rollback_log;
+            log_event t (E_rollback snap.Checkpoint.s_cycle);
+            true
+      end
+
+(* Handle a detected signature mismatch. Returns true if the system may
+   continue (successful downgrade), false if it halted — or if it rolled
+   back, in which case the round being voted on no longer exists and the
+   caller must not complete it. *)
+let handle_mismatch t ~io_in_flight =
+  log_event t E_mismatch;
+  let lv = live t in
+  if t.cfg.Config.masking && List.length lv >= 3 then
+    match Vote.run (mem t) (shared t) ~live:lv with
+    | Vote.No_consensus ->
+        if try_rollback t then false
+        else begin
+          halt_system t H_no_consensus;
+          false
+        end
+    | Vote.Faulty f ->
+        if f = t.prim && io_in_flight then begin
+          if try_rollback t then false
+          else begin
+            halt_system t H_masking_blocked;
+            false
+          end
+        end
+        else begin
+          downgrade t f;
+          if Vote.signatures_agree (mem t) (shared t) ~live:(live t) then true
+          else if try_rollback t then false
+          else begin
+            halt_system t H_mismatch;
+            false
+          end
+        end
+  else if try_rollback t then false
+  else begin
+    halt_system t H_mismatch;
+    false
+  end
+
+(* Vote on signatures; on success run [k]; on mismatch try masking and, if
+   it succeeds, still run [k] for the survivors. *)
+let vote_signatures t ~io_in_flight k =
+  Metrics.incr t.ms.m_votes;
+  List.iter (fun r -> charge r vote_cost) (live_replicas t);
+  publish_signatures t;
+  let ok = Vote.signatures_agree (mem t) (shared t) ~live:(live t) in
+  if Trace.enabled t.trace then
+    List.iter
+      (fun r ->
+        let count, c0, c1 = Signature.read (mem t) ~base:(sig_base t r.rid) in
+        Trace.vote t.trace ~rid:r.rid ~count ~c0 ~c1 ~agree:ok)
+      (live_replicas t);
+  if ok then k () else if handle_mismatch t ~io_in_flight then k ()
+
+(* ---------------------------------------------------------------------- *)
+(* Re-integration (paper Section IV-C, implemented extension)              *)
+(* ---------------------------------------------------------------------- *)
+
+let request_reintegration t ~rid =
+  if rid < 0 || rid >= Array.length t.replicas then Error "no such replica"
+  else if t.replicas.(rid).state <> Rs_removed then
+    Error "replica is not removed"
+  else if t.halt <> None then Error "system halted"
+  else begin
+    t.pending_reintegrate <- Some rid;
+    Ok ()
+  end
+
+let reintegrations t = t.reintegration_log
+
+(* Runs at the end of an asynchronous round, when every live replica is
+   parked at the same logical point: copy a healthy non-primary replica's
+   entire partition into the returning replica's partition, rebase its
+   page-table frame numbers, and adopt the source's kernel bookkeeping
+   and core state. *)
+let perform_reintegration t rid =
+  let dst = t.replicas.(rid) in
+  let src =
+    match List.filter (fun r -> r.rid <> t.prim) (live_replicas t) with
+    | s :: _ -> s
+    | [] -> t.replicas.(t.prim)
+  in
+  let sp = t.lay.Layout.partitions.(src.rid)
+  and dp = t.lay.Layout.partitions.(rid) in
+  Mem.blit (mem t) ~src:sp.Layout.p_base ~dst:dp.Layout.p_base
+    ~len:(min sp.Layout.p_words dp.Layout.p_words);
+  let delta_pages = (dp.Layout.p_base - sp.Layout.p_base) / Layout.page_size in
+  let table = { Page_table.base = dp.Layout.pt_base; npages = Layout.va_pages } in
+  let src_lo = sp.Layout.p_base / Layout.page_size in
+  let src_hi = (sp.Layout.p_base + sp.Layout.p_words) / Layout.page_size in
+  for vpn = 0 to Layout.va_pages - 1 do
+    let pte = Page_table.get (mem t) table ~vpn in
+    if
+      pte.Page_table.valid
+      && (not pte.Page_table.device)
+      && pte.Page_table.ppn >= src_lo
+      && pte.Page_table.ppn < src_hi
+    then
+      Page_table.set (mem t) table ~vpn
+        { pte with Page_table.ppn = pte.Page_table.ppn + delta_pages }
+  done;
+  Kernel.adopt_runtime_from dst.kern ~src:src.kern;
+  dst.finished <- src.finished;
+  dst.pending_ft <- None;
+  dst.joined <- false;
+  dst.defer_publish <- false;
+  dst.state <- Rs_run;
+  (* The copy stalls everyone (a DMA-rate partition copy). *)
+  let cost = dp.Layout.p_words / 8 in
+  List.iter (fun r -> charge r cost) (live_replicas t);
+  Metrics.incr t.ms.m_reintegrations;
+  Trace.reintegrate t.trace ~rid ~cost;
+  t.reintegration_log <- (now t, rid) :: t.reintegration_log;
+  log_event t (E_reintegrate rid)
+
+let maybe_reintegrate t =
+  match t.pending_reintegrate with
+  | Some rid when t.halt = None && t.replicas.(rid).state = Rs_removed ->
+      t.pending_reintegrate <- None;
+      perform_reintegration t rid
+  | Some _ when t.halt <> None -> t.pending_reintegrate <- None
+  | Some _ ->
+      (* Not applicable this round (e.g. the replica was revived by a
+         rollback before the request could run): keep it pending until
+         the replica is removed again or the system halts. *)
+      ()
+  | None -> ()
+
+(* ---------------------------------------------------------------------- *)
+(* Round lifecycle                                                         *)
+(* ---------------------------------------------------------------------- *)
+
+(* All replicas leave a barrier together: the round completes when the
+   slowest replica's pending kernel work (e.g. the last arriver's final
+   debug exception) is done, so every survivor resumes with the *same*
+   residual stall. Without equalisation the last arriver would restart
+   behind the pack and permanently seed the next round's drift; zeroing
+   instead would erase legitimately charged kernel time. *)
+let equalize_stalls t =
+  let mx =
+    List.fold_left
+      (fun acc r -> max acc (Kernel.core r.kern).Core.stall)
+      0 (live_replicas t)
+  in
+  List.iter
+    (fun r ->
+      match r.state with
+      | Rs_removed | Rs_halted -> ()
+      | _ -> (Kernel.core r.kern).Core.stall <- mx)
+    (live_replicas t)
+
+let resume_replica t r =
+  r.joined <- false;
+  r.defer_publish <- false;
+  tp_end t r;
+  if r.arrived_at >= 0 then begin
+    Metrics.observe t.ms.m_barrier_wait (float_of_int (now t - r.arrived_at));
+    r.arrived_at <- -1
+  end;
+  match r.state with
+  | Rs_removed | Rs_halted -> ()
+  | _ ->
+      charge r 60;
+      vm_charge t r;
+      r.state <- Rs_run
+
+let deliver_events t evs =
+  List.iter
+    (fun ev ->
+      match ev with
+      | Tick ->
+          t.ticks <- t.ticks + 1;
+          Metrics.incr t.ms.m_ticks;
+          let hook = t.after_save in
+          List.iter
+            (fun r ->
+              if not r.finished then
+                Kernel.preempt
+                  ?after_save:
+                    (Option.map
+                       (fun f ~tid ~ctx_addr -> f ~rid:r.rid ~tid ~ctx_addr)
+                       hook)
+                  r.kern)
+            (live_replicas t)
+      | Dev_irq dpn ->
+          List.iter
+            (fun r ->
+              if not r.finished then ignore (Kernel.wake_irq_waiters r.kern ~dpn))
+            (live_replicas t))
+    evs
+
+(* Completion of an asynchronous round: all live replicas are at the same
+   logical time. Execute any rendezvoused FT operation, vote, deliver. *)
+let end_round t =
+  Trace.round_end t.trace ~seq:t.round_seq;
+  t.phase <- Ph_idle;
+  maybe_checkpoint t
+
+let finish_async_round t round =
+  let lv = live_replicas t in
+  let fts = List.map (fun r -> r.pending_ft) lv in
+  let all_none = List.for_all (fun f -> f = None) fts in
+  let all_same =
+    match fts with
+    | [] -> true
+    | f0 :: rest -> List.for_all (fun f -> f = f0) rest
+  in
+  let continue_round () =
+    (match List.find_opt (fun r -> r.pending_ft <> None) lv with
+    | Some { pending_ft = Some (num, args); _ } ->
+        Metrics.incr t.ms.m_ft_rounds;
+        let commit = ft_stage t num args in
+        (* Only reads touch the device *before* the vote (the primary has
+           already distributed device data); writes commit after a
+           successful vote, so a faulty primary can be removed safely. *)
+        let io =
+          (num = Syscall.sys_ft_mem_access && args.(0) = 0)
+          || num = Syscall.sys_ft_mem_rep
+        in
+        vote_signatures t ~io_in_flight:io (fun () ->
+            commit ();
+            deliver_events t round.events;
+            List.iter (fun r -> r.pending_ft <- None) (live_replicas t);
+            maybe_reintegrate t;
+            equalize_stalls t;
+            List.iter (resume_replica t) (live_replicas t);
+            end_round t)
+    | _ ->
+        vote_signatures t ~io_in_flight:false (fun () ->
+            deliver_events t round.events;
+            maybe_reintegrate t;
+            equalize_stalls t;
+            List.iter (resume_replica t) (live_replicas t);
+            end_round t))
+  in
+  if all_none || all_same then continue_round ()
+  else begin
+    (* Divergent pending syscalls: treat as detected divergence. *)
+    publish_signatures t;
+    if handle_mismatch t ~io_in_flight:false then begin
+      List.iter (fun r -> r.pending_ft <- None) (live_replicas t);
+      equalize_stalls t;
+      List.iter (resume_replica t) (live_replicas t);
+      end_round t
+    end
+  end
+
+let finish_rendezvous t =
+  Metrics.incr t.ms.m_rendezvous;
+  let lv = live_replicas t in
+  let fts = List.map (fun r -> r.pending_ft) lv in
+  let all_same =
+    match fts with [] -> true | f0 :: rest -> List.for_all (fun f -> f = f0) rest
+  in
+  let resume () =
+    List.iter (fun r -> r.pending_ft <- None) (live_replicas t);
+    equalize_stalls t;
+    List.iter (resume_replica t) (live_replicas t);
+    end_round t
+  in
+  if all_same then
+    match List.hd fts with
+    | Some (num, args) ->
+        Metrics.incr t.ms.m_ft_rounds;
+        let commit = ft_stage t num args in
+        (* Only reads touch the device *before* the vote (the primary has
+           already distributed device data); writes commit after a
+           successful vote, so a faulty primary can be removed safely. *)
+        let io =
+          (num = Syscall.sys_ft_mem_access && args.(0) = 0)
+          || num = Syscall.sys_ft_mem_rep
+        in
+        vote_signatures t ~io_in_flight:io (fun () ->
+            commit ();
+            resume ())
+    | None ->
+        (* Sync_vote rendezvous: vote only. *)
+        vote_signatures t ~io_in_flight:false resume
+  else begin
+    publish_signatures t;
+    if handle_mismatch t ~io_in_flight:false then resume ()
+  end
+
+(* ---------------------------------------------------------------------- *)
+(* Joining and catch-up                                                    *)
+(* ---------------------------------------------------------------------- *)
+
+let publish_clock t r clk =
+  let enc = Clock.encode clk in
+  let base = (shared t).Layout.time_base + (4 * r.rid) in
+  Array.iteri (fun i w -> Mem.write (mem t) (base + i) w) enc;
+  Mem.write (mem t) ((shared t).Layout.bar_base + r.rid) t.round_seq;
+  charge r publish_cost
+
+let read_clock t rid =
+  let base = (shared t).Layout.time_base + (4 * rid) in
+  Clock.decode (Array.init 4 (fun i -> Mem.read (mem t) (base + i)))
+
+let arrived_bar t rid =
+  Mem.read (mem t) ((shared t).Layout.bar_base + rid) = t.round_seq
+
+(* Join the gather stage at a kernel entry. *)
+let join_gather t r =
+  if not r.joined then begin
+    r.joined <- true;
+    Machine.clear_ipi t.mach ~core_id:r.rid;
+    let count = event_count t r in
+    let clk =
+      (* LC logical time is the event count alone: a replica at a kernel
+         entry after [count] events is at position "kernel boundary",
+         whatever user instruction it was interrupted at. Only CC
+         publishes the precise user position. *)
+      if
+        t.cfg.Config.mode = Config.CC
+        && Kernel.current_tid r.kern >= 0
+        && not r.finished
+      then Clock.capture (profile t) ~count (Kernel.core r.kern)
+      else Clock.in_kernel ~count
+    in
+    publish_clock t r clk;
+    (* Publishing and parking at the barrier are hypervisor crossings
+       when the stack runs virtualised. *)
+    vm_charge t r;
+    tp_begin t r Trace.Gather_wait;
+    r.state <- Rs_gather_wait
+  end
+
+(* Mark a replica arrived at the final barrier. *)
+let arrive t r =
+  (Kernel.core r.kern).Core.bp <- None;
+  Mem.write (mem t) ((shared t).Layout.bar_base + r.rid) t.round_seq;
+  vm_charge t r;
+  if r.move_started >= 0 then begin
+    Metrics.observe t.ms.m_catchup_cycles
+      (float_of_int (now t - r.move_started));
+    r.move_started <- -1
+  end;
+  r.arrived_at <- now t;
+  tp_begin t r Trace.Vote_wait;
+  r.state <- Rs_vote_wait
+
+(* After the gather completes: elect the leader and set every replica
+   moving (or arrived). *)
+let start_move t round =
+  let lv = live_replicas t in
+  let joined = List.filter (fun r -> r.joined) lv in
+  let clocks = List.map (fun r -> (r, read_clock t r.rid)) joined in
+  match clocks with
+  | [] -> ()
+  | (_, c0) :: _ ->
+      let leader_clock =
+        List.fold_left
+          (fun acc (_, c) -> if Clock.compare c acc > 0 then c else acc)
+          c0 clocks
+      in
+      t.round_seq <- t.round_seq + 1;
+      (* Fresh sequence for the arrival barrier. *)
+      List.iter
+        (fun (r, c) ->
+          if Clock.equal_position c leader_clock then arrive t r
+          else begin
+            r.move_started <- now t;
+            (* Catch-up distance (the drift the round must absorb):
+               completed-branch deficit between two precise user
+               positions, event-count deficit otherwise. *)
+            let dist =
+              match (c.Clock.pos, leader_clock.Clock.pos) with
+              | ( Clock.At_user { branches_adj = a; _ },
+                  Clock.At_user { branches_adj = la; _ } ) ->
+                  la - a
+              | _ -> leader_clock.Clock.count - c.Clock.count
+            in
+            Metrics.observe t.ms.m_catchup_dist (float_of_int (max 0 dist));
+            match t.cfg.Config.mode with
+            | Config.LC | Config.Base ->
+                tp_begin t r Trace.Chase;
+                r.state <- Rs_chase leader_clock.Clock.count
+            | Config.CC ->
+                tp_begin t r Trace.Catchup;
+                r.state <-
+                  Rs_catchup
+                    {
+                      leader_clock;
+                      bp_set = false;
+                      overshoot = false;
+                      pmu_active = false;
+                      pmu_done = false;
+                    }
+          end)
+        clocks;
+      round.stage <- `Move
+
+(* ---------------------------------------------------------------------- *)
+(* Per-cycle replica stepping                                              *)
+(* ---------------------------------------------------------------------- *)
+
+let enter_rendezvous t r =
+  (match t.phase with
+  | Ph_idle ->
+      t.round_seq <- t.round_seq + 1;
+      (* Via the replica's child trace: when this entry is replayed at a
+         window barrier the event must land *after* the replica's
+         buffered in-window events, which only the child can order. In
+         forwarding mode this is identical to emitting on the root. *)
+      Trace.round_begin r.rtrace ~seq:t.round_seq;
+      t.phase <- Ph_rdv { rdv_started = now t }
+  | Ph_rdv _ -> ()
+  | Ph_async _ -> () (* cannot happen: async joins are taken first *));
+  r.arrived_at <- now t;
+  tp_begin t r Trace.Rendezvous;
+  r.state <- Rs_rendezvous;
+  Mem.write (mem t) ((shared t).Layout.bar_base + r.rid) t.round_seq
+
+(* Post-syscall bookkeeping shared by every mode: join/arrive/rendezvous. *)
+let post_syscall t r num =
+  match t.phase with
+  | Ph_async round when round.stage = `Gather -> join_gather t r
+  | Ph_async _ -> (
+      (* Move stage: arrival checks. *)
+      match r.state with
+      | Rs_chase target when event_count t r >= target -> arrive t r
+      | Rs_catchup cu
+        when cu.leader_clock.Clock.pos = Clock.In_kernel
+             && event_count t r >= cu.leader_clock.Clock.count
+             && Kernel.current_tid r.kern < 0 ->
+          arrive t r
+      | _ -> ())
+  | Ph_idle | Ph_rdv _ -> (
+      (* Inside a parallel window the rendezvous entry mutates shared
+         round state; park the worker and let the orchestrator replay
+         the entry at this exact cycle. *)
+      let rendezvous () =
+        match r.wctx with
+        | Some w -> w.wpark <- Some (w.wv_now, Pk_rendezvous)
+        | None -> enter_rendezvous t r
+      in
+      match r.pending_ft with
+      | Some _ -> rendezvous ()
+      | None ->
+          if
+            t.cfg.Config.sync_level = Config.Sync_vote
+            && t.cfg.Config.mode <> Config.Base
+            && num <> Syscall.sys_exit
+          then rendezvous ())
+
+let on_syscall t r num =
+  Signature.bump_event (mem t) ~base:(sig_base t r.rid);
+  vm_charge t r;
+  if
+    t.cfg.Config.mode <> Config.Base
+    && (t.cfg.Config.sync_level = Config.Sync_args
+       || t.cfg.Config.sync_level = Config.Sync_vote)
+  then begin
+    let regs = (Kernel.core r.kern).Core.regs in
+    let nargs = Syscall.arg_count num in
+    let words = Array.init (1 + nargs) (fun i -> if i = 0 then num else regs.(i - 1)) in
+    Signature.add_words (mem t) ~base:(sig_base t r.rid) words
+  end;
+  (match Kernel.handle_syscall r.kern num with
+  | Kernel.Sr_local -> ()
+  | Kernel.Sr_ft { num = fnum; args } ->
+      if t.cfg.Config.mode = Config.Base then ft_base t r fnum args
+      else r.pending_ft <- Some (fnum, args));
+  if Kernel.all_exited r.kern then r.finished <- true;
+  post_syscall t r num
+
+let on_fault t r fault =
+  vm_charge t r;
+  (match Kernel.handle_fault r.kern fault with
+  | Kernel.Fd_user_fault | Kernel.Fd_user_exception ->
+      rlog_event t r (E_user_fault r.rid)
+  | Kernel.Fd_kernel_abort a ->
+      rlog_event t r (E_kernel_abort r.rid);
+      if t.cfg.Config.exception_barriers then begin
+        (* Caught by the exception-handler barrier: halt this replica in a
+           detectable (fail-stop) way; the others will time out. *)
+        r.state <- Rs_halted;
+        (Kernel.core r.kern).Core.halted <- true
+      end
+      else if t.cfg.Config.mode = Config.Base then begin
+        r.state <- Rs_halted;
+        (Kernel.core r.kern).Core.halted <- true;
+        let reason = H_kernel_exception (Printf.sprintf "phys abort @%d" a) in
+        match r.wctx with
+        | Some w -> w.wpark <- Some (w.wv_now, Pk_halt reason)
+        | None -> halt_system t reason
+      end
+      else
+        (* Replicated without exception barriers: an uncontrolled abort
+           takes the whole system down mid-round. Such configurations
+           are ineligible for the parallel engine
+           ({!Config.parallel_ineligibility}), so this never runs inside
+           a window. *)
+        halt_system t (H_kernel_exception (Printf.sprintf "phys abort @%d" a)));
+  if Kernel.all_exited r.kern then r.finished <- true;
+  if r.state <> Rs_halted then
+    match t.phase with
+    | Ph_async round when round.stage = `Gather -> join_gather t r
+    | _ -> ()
+
+(* Execute one core cycle of user code for a running/chasing replica. *)
+let run_user t r =
+  (* An externally halted core (crashed/overclocked/hung) freezes: it
+     neither executes nor reaches kernel entries, so the others' barrier
+     times out — do not mistake it for a clean thread exit. *)
+  if (Kernel.core r.kern).Core.halted then ()
+  else if Kernel.current_tid r.kern < 0 then ()
+  else
+    match Core.step (Kernel.core r.kern) (Kernel.env r.kern) with
+    | Core.Ran | Core.Stalled -> (
+        (* Deferred publication: a replica IPI'd at a rep-string first
+           steps past it (Section III-D). *)
+        if r.defer_publish then
+          match t.phase with
+          | Ph_async { stage = `Gather; _ }
+            when not (Core.rep_in_progress (Kernel.core r.kern) (Kernel.env r.kern))
+            ->
+              r.defer_publish <- false;
+              join_gather t r
+          | _ -> ())
+    | Core.Event (Core.Ev_syscall n) -> on_syscall t r n
+    | Core.Event (Core.Ev_fault f) -> on_fault t r f
+    | Core.Event Core.Ev_halt ->
+        Kernel.exit_current r.kern;
+        if Kernel.all_exited r.kern then r.finished <- true
+    | Core.Event Core.Ev_breakpoint ->
+        (* Stale breakpoint outside a catch-up: clear and continue. *)
+        (Kernel.core r.kern).Core.bp <- None
+
+let on_ipi t r =
+  Machine.clear_ipi t.mach ~core_id:r.rid;
+  Metrics.incr t.ms.m_ipis;
+  charge r (profile t).Arch.irq_cost;
+  vm_charge t r;
+  match t.phase with
+  | Ph_async { stage = `Gather; _ } ->
+      if
+        t.cfg.Config.mode = Config.CC
+        && Kernel.current_tid r.kern >= 0
+        && Core.rep_in_progress (Kernel.core r.kern) (Kernel.env r.kern)
+      then begin
+        (* Stopped at a rep-string: step past it before publishing a
+           precise position (paper Section III-D). *)
+        Metrics.incr t.ms.m_rep_steps;
+        Trace.rep_step r.rtrace ~rid:r.rid;
+        charge r (profile t).Arch.rep_walk_cost;
+        r.defer_publish <- true
+      end
+      else join_gather t r
+  | _ -> ()
+
+let step_catchup t r cu =
+  let core = Kernel.core r.kern in
+  let p = profile t in
+  let leader = cu.leader_clock in
+  let count = event_count t r in
+  if count < leader.Clock.count then run_user t r
+  else begin
+    match leader.Clock.pos with
+    | Clock.In_kernel ->
+        (* Arrival for kernel-parked leaders happens in post_syscall; a
+           replica still running here with the full count has diverged and
+           will time the round out. *)
+        run_user t r
+    | Clock.At_user { branches_adj = leader_adj; ip } ->
+        let adj_now () =
+          let raw = Core.branch_count core p in
+          if core.Core.last_was_cntinc then raw - 1 else raw
+        in
+        if t.cfg.Config.fast_catchup && (not cu.pmu_done) && not cu.bp_set
+        then begin
+          (* Paper Section VI: cover most of the branch deficit with a
+             PMU-overflow interrupt instead of a debug exception per pass
+             over the leader's address; arm the breakpoint only for the
+             final stretch. *)
+          if cu.pmu_active then begin
+            (match Core.step core (Kernel.env r.kern) with
+            | Core.Ran | Core.Stalled -> ()
+            | Core.Event (Core.Ev_syscall n) ->
+                on_syscall t r n;
+                cu.overshoot <- true
+            | Core.Event (Core.Ev_fault f) -> on_fault t r f
+            | Core.Event Core.Ev_halt ->
+                Kernel.exit_current r.kern;
+                if Kernel.all_exited r.kern then r.finished <- true
+            | Core.Event Core.Ev_breakpoint -> core.Core.bp <- None);
+            if adj_now () >= leader_adj - 8 then begin
+              cu.pmu_active <- false;
+              cu.pmu_done <- true;
+              (* The overflow interrupt that ends the fast phase. *)
+              charge r p.Arch.irq_cost;
+              vm_charge t r;
+              tp_begin t r Trace.Catchup
+            end
+          end
+          else if leader_adj - adj_now () > 32 then begin
+            cu.pmu_active <- true;
+            tp_begin t r Trace.Pmu_catchup;
+            charge r p.Arch.breakpoint_set_cost
+            (* programming the counter *)
+          end
+          else cu.pmu_done <- true
+        end
+        else if not cu.bp_set then begin
+          cu.bp_set <- true;
+          charge r p.Arch.breakpoint_set_cost;
+          core.Core.bp <- Some ip;
+          (* Already exactly at the leader's position? *)
+          let here = Clock.capture p ~count core in
+          if Clock.equal_position here leader then arrive t r
+        end
+        else
+          match Core.step core (Kernel.env r.kern) with
+          | Core.Ran | Core.Stalled -> ()
+          | Core.Event Core.Ev_breakpoint ->
+              Metrics.incr t.ms.m_bp_fires;
+              charge r p.Arch.debug_exception_cost;
+              vm_charge t r;
+              let here = Clock.capture p ~count:(event_count t r) core in
+              if Clock.equal_position here leader then arrive t r
+              else begin
+                if Clock.compare here leader > 0 then cu.overshoot <- true;
+                (* Step past the breakpointed address with the resume
+                   flag: the bp-fire/single-step pair of Section III-D. *)
+                Metrics.incr t.ms.m_single_steps;
+                Trace.single_step r.rtrace ~rid:r.rid;
+                core.Core.bp_suppress <- true
+              end
+          | Core.Event (Core.Ev_syscall n) ->
+              (* Divergence: more syscalls than the leader. *)
+              on_syscall t r n;
+              cu.overshoot <- true
+          | Core.Event (Core.Ev_fault f) -> on_fault t r f
+          | Core.Event Core.Ev_halt ->
+              Kernel.exit_current r.kern;
+              if Kernel.all_exited r.kern then r.finished <- true
+  end
+
+let step_replica t r =
+  match r.state with
+  | Rs_removed | Rs_halted -> ()
+  | Rs_gather_wait | Rs_vote_wait | Rs_rendezvous ->
+      (* Spinning at a barrier: charged kernel work (publishing, voting,
+         VM crossings) overlaps the wait instead of deferring resume. *)
+      let core = Kernel.core r.kern in
+      if core.Core.stall > 0 then core.Core.stall <- core.Core.stall - 1
+  | Rs_chase target ->
+      if event_count t r >= target then arrive t r else run_user t r
+  | Rs_catchup cu -> step_catchup t r cu
+  | Rs_run ->
+      if (Kernel.core r.kern).Core.halted then ()
+      (* A hung core answers neither IPIs nor its own work. *)
+      else if Machine.ipi_visible t.mach ~core_id:r.rid then on_ipi t r
+      else if r.finished then begin
+        match t.phase with
+        | Ph_async { stage = `Gather; _ } -> join_gather t r
+        | _ -> ()
+      end
+      else if Kernel.current_tid r.kern < 0 then begin
+        (* Idle: all threads blocked. *)
+        match t.phase with
+        | Ph_async { stage = `Gather; _ } -> join_gather t r
+        | _ -> ()
+      end
+      else run_user t r
+
+(* ---------------------------------------------------------------------- *)
+(* Phase advancement and round initiation                                  *)
+(* ---------------------------------------------------------------------- *)
+
+let initiate_round t evs =
+  Metrics.incr t.ms.m_rounds;
+  t.round_seq <- t.round_seq + 1;
+  Trace.round_begin t.trace ~seq:t.round_seq;
+  List.iter
+    (fun r ->
+      r.joined <- false;
+      tp_begin t r Trace.Ipi_wait;
+      Machine.send_ipi t.mach ~target:r.rid)
+    (live_replicas t);
+  t.phase <- Ph_async { events = evs; stage = `Gather; round_started = now t }
+
+let base_tick t =
+  let r = t.replicas.(0) in
+  if not r.finished then begin
+    charge r (profile t).Arch.irq_cost;
+    vm_charge t r;
+    t.ticks <- t.ticks + 1;
+    Metrics.incr t.ms.m_ticks;
+    let hook = t.after_save in
+    Kernel.preempt
+      ?after_save:
+        (Option.map (fun f ~tid ~ctx_addr -> f ~rid:0 ~tid ~ctx_addr) hook)
+      r.kern
+  end
+
+let advance_phase t =
+  match t.phase with
+  | Ph_idle ->
+      if t.cfg.Config.mode = Config.Base then begin
+        if now t >= t.next_tick then begin
+          t.next_tick <- now t + t.cfg.Config.tick_interval;
+          base_tick t
+        end;
+        match Machine.pending_irq t.mach ~core_id:0 with
+        | Some dpn ->
+            Machine.ack_irq t.mach dpn;
+            let r = t.replicas.(0) in
+            charge r (profile t).Arch.irq_cost;
+            vm_charge t r;
+            ignore (Kernel.wake_irq_waiters r.kern ~dpn)
+        | None -> ()
+      end
+      else begin
+        let evs = ref [] in
+        if now t >= t.next_tick then begin
+          (* Absolute cadence: a round that overruns the tick interval
+             does not push the next tick out, otherwise replica drift —
+             and hence catch-up cost — grows with round duration. Keep a
+             quarter-interval minimum spacing so an overloaded system
+             still makes forward progress. *)
+          t.next_tick <-
+            max
+              (t.next_tick + t.cfg.Config.tick_interval)
+              (now t + (t.cfg.Config.tick_interval / 4));
+          if not (finished t) then evs := Tick :: !evs
+        end;
+        (match Machine.pending_irq t.mach ~core_id:t.prim with
+        | Some dpn ->
+            Machine.ack_irq t.mach dpn;
+            evs := Dev_irq dpn :: !evs
+        | None -> ());
+        if !evs <> [] then initiate_round t !evs
+      end
+  | Ph_async round -> (
+      if now t - round.round_started > t.cfg.Config.barrier_timeout then begin
+        let stragglers =
+          List.filter
+            (fun r ->
+              match round.stage with
+              | `Gather -> not r.joined
+              | `Move -> r.state <> Rs_vote_wait)
+            (live_replicas t)
+        in
+        if handle_timeout t ~stragglers then
+          round.round_started <- now t (* fresh budget for the survivors *)
+      end
+      else
+        match round.stage with
+        | `Gather ->
+            if List.for_all (fun r -> r.joined) (live_replicas t) then
+              start_move t round
+        | `Move ->
+            if
+              List.for_all
+                (fun r -> r.state = Rs_vote_wait && arrived_bar t r.rid)
+                (live_replicas t)
+            then finish_async_round t round)
+  | Ph_rdv rdv ->
+      if now t - rdv.rdv_started > t.cfg.Config.barrier_timeout then begin
+        let stragglers =
+          List.filter (fun r -> r.state <> Rs_rendezvous) (live_replicas t)
+        in
+        if handle_timeout t ~stragglers then rdv.rdv_started <- now t
+      end
+      else if
+        List.for_all
+          (fun r -> r.state = Rs_rendezvous && arrived_bar t r.rid)
+          (live_replicas t)
+      then finish_rendezvous t
+      (* A replica that exited (or hung) while the others rendezvous is a
+         straggler; without timeout masking it is caught by the barrier
+         timeout above, not by a vote — the paper's hanging-replica case. *)
+
+(* ---------------------------------------------------------------------- *)
+(* One simulated cycle (shared by both engines)                             *)
+(* ---------------------------------------------------------------------- *)
+
+(* The classic cycle: advance the machine, step every replica in rid
+   order, then let the round-lifecycle state machine react. The
+   sequential engine is exactly this in a loop; the parallel engine
+   falls back to it whenever a cycle cannot be windowed (async rounds,
+   pending IPIs). *)
+let classic_cycle t =
+  Machine.tick t.mach;
+  Array.iter (fun r -> step_replica t r) t.replicas;
+  advance_phase t
+
+let replica_state_name t rid =
+  let r = t.replicas.(rid) in
+  let state =
+    match r.state with
+    | Rs_run -> if r.finished then "run(finished)" else "run"
+    | Rs_gather_wait -> "gather"
+    | Rs_chase n -> Printf.sprintf "chase(%d)" n
+    | Rs_catchup _ -> "catchup"
+    | Rs_vote_wait -> "vote-wait"
+    | Rs_rendezvous -> "rendezvous"
+    | Rs_halted -> "halted"
+    | Rs_removed -> "removed"
+  in
+  let phase =
+    match t.phase with
+    | Ph_idle -> "idle"
+    | Ph_async { stage = `Gather; _ } -> "async-gather"
+    | Ph_async { stage = `Move; _ } -> "async-move"
+    | Ph_rdv _ -> "rdv"
+  in
+  Printf.sprintf "%s/%s count=%d" state phase
+    (Signature.event_count (mem t) ~base:(sig_base t rid))

@@ -105,7 +105,27 @@ val trace : t -> Rcoe_obs.Trace.t
 val run : ?stop:(t -> bool) -> t -> max_cycles:int -> unit
 (** Advance the simulation until the program finishes on every live
     replica, the system halts, [max_cycles] elapse (counted from this
-    call), or [stop] returns true (checked every 128 cycles). *)
+    call), or [stop] returns true (checked every 128 cycles).
+
+    Dispatches on {!Config.engine}:
+
+    - [Sequential] steps every replica on the calling domain, one
+      simulated cycle at a time — the reference semantics.
+    - [Parallel] runs each live replica's between-sync-point stretch on
+      its own host domain ([Domain.t]) and replays the round/vote logic
+      at a window boundary on the calling domain. The contract is
+      {b bit-for-bit determinism}: final cycle, outputs, votes, halt
+      reasons, metrics, event log, and cycle-stamped trace events are
+      identical to [Sequential] for any eligible configuration (see
+      {!Config.parallel_ineligibility}). The [test/test_engine_par.ml]
+      suite enforces this across LC/CC x DMR/TMR, fault injection,
+      rollback recovery and masking.
+
+    Checkpoint capture, rollback, and fault injection between [run]
+    calls need no extra care under [Parallel]: worker domains exist
+    only inside a call to [run], and within one they are quiescent
+    (parked at a barrier) whenever round logic — including
+    {!Checkpoint} capture/restore — executes. *)
 
 val finished : t -> bool
 val halted : t -> halt_reason option

@@ -1,0 +1,35 @@
+type t = {
+  parties : int;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable arrived : int;
+  mutable generation : int;
+}
+
+let create parties =
+  if parties < 1 then invalid_arg "Barrier.create: parties must be >= 1";
+  {
+    parties;
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    arrived = 0;
+    generation = 0;
+  }
+
+let parties t = t.parties
+
+let await t =
+  Mutex.lock t.mutex;
+  let gen = t.generation in
+  t.arrived <- t.arrived + 1;
+  if t.arrived = t.parties then begin
+    (* Last arriver releases the cohort and resets for the next cycle. *)
+    t.arrived <- 0;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.cond
+  end
+  else
+    while t.generation = gen do
+      Condition.wait t.cond t.mutex
+    done;
+  Mutex.unlock t.mutex

@@ -1,0 +1,26 @@
+(** A reusable (cyclic) synchronisation barrier for OCaml domains.
+
+    [parties] participants call {!await}; every call blocks until all
+    [parties] calls of the current cycle have arrived, then all are
+    released together and the barrier resets for the next cycle. The
+    release carries the usual mutex happens-before edge, so writes made
+    by any participant before its [await] are visible to every
+    participant after the matching release.
+
+    This is the rendezvous primitive of the domain-parallel replica
+    engine ([Rcoe_core.System] with [Config.engine = Parallel]): the
+    orchestrating domain and one worker domain per replica meet here at
+    the start and end of every parallel execution window. *)
+
+type t
+
+val create : int -> t
+(** [create parties] makes a barrier for [parties] participants.
+    Raises [Invalid_argument] if [parties < 1]. *)
+
+val parties : t -> int
+
+val await : t -> unit
+(** Block until all parties of the current cycle have called [await],
+    then continue. The barrier is cyclic: it resets automatically and
+    may be awaited again. *)

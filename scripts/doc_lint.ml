@@ -1,0 +1,147 @@
+(* Documentation hygiene linter, wired as `dune build @doc-lint`.
+
+   odoc is not a build dependency of this project (see README
+   "Documentation"), so this self-contained pass checks the properties
+   a `dune build @doc` run would: every `{!reference}` in a doc comment
+   must name a module that exists in the tree (a library wrapper like
+   [Rcoe_obs] or a compilation unit like [Config]), references must be
+   non-empty, and braces inside doc comments must balance. Exits
+   non-zero listing every offence as file:line. *)
+
+let wrappers =
+  [
+    "Rcoe_util"; "Rcoe_obs"; "Rcoe_checksum"; "Rcoe_isa"; "Rcoe_machine";
+    "Rcoe_kernel"; "Rcoe_core"; "Rcoe_faults"; "Rcoe_workloads";
+    "Rcoe_harness";
+  ]
+
+(* Stdlib modules it is reasonable for doc comments to reference. *)
+let stdlib = [ "Domain"; "List"; "Array"; "Printf"; "Sys"; "Stdlib" ]
+
+let rec walk dir f =
+  Array.iter
+    (fun name ->
+      let path = Filename.concat dir name in
+      if Sys.is_directory path then walk path f else f path)
+    (Sys.readdir dir)
+
+let errors = ref 0
+
+let err path line fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr errors;
+      Printf.eprintf "%s:%d: %s\n" path line s)
+    fmt
+
+(* The first path component of a reference payload, with any
+   `kind:`/`kind-` annotation (e.g. {!type:...}, {!val:...}) and a
+   leading quiet-reference `:` stripped. *)
+let root_of payload =
+  let payload =
+    match String.index_opt payload ':' with
+    | Some i -> String.sub payload (i + 1) (String.length payload - i - 1)
+    | None -> payload
+  in
+  match String.index_opt payload '.' with
+  | Some i -> String.sub payload 0 i
+  | None -> payload
+
+let check_refs ~known path line_no line =
+  let n = String.length line in
+  let i = ref 0 in
+  while !i + 1 < n do
+    if line.[!i] = '{' && line.[!i + 1] = '!' then begin
+      let stop = try String.index_from line (!i + 2) '}' with Not_found -> -1 in
+      if stop < 0 then
+        err path line_no "unterminated {!reference} in doc comment"
+      else begin
+        let payload = String.sub line (!i + 2) (stop - !i - 2) in
+        if String.trim payload = "" then
+          err path line_no "empty {!} reference"
+        else begin
+          (* Only qualified paths get their root checked: a bare
+             capitalized name may be a constructor or exception in
+             scope, which odoc resolves without a module prefix. *)
+          let trimmed = String.trim payload in
+          let root = root_of trimmed in
+          if
+            String.contains trimmed '.'
+            && root <> ""
+            && root.[0] >= 'A'
+            && root.[0] <= 'Z'
+            && not (List.mem root known)
+          then
+            err path line_no
+              "{!%s}: no module named %s in the tree (typo, or a \
+               renamed module?)"
+              payload root
+        end;
+        i := stop
+      end
+    end;
+    incr i
+  done
+
+(* Brace balance over the whole file's doc comments. Code braces
+   (records, [{ ... }] inline code) do not occur unbalanced in legal
+   OCaml interfaces, so a file-level imbalance inside comments is a
+   broken odoc markup construct. *)
+let check_comment_braces path content =
+  let n = String.length content in
+  let depth = ref 0 and line = ref 1 and in_comment = ref 0 in
+  let open_line = ref 0 in
+  String.iteri
+    (fun i c ->
+      if c = '\n' then incr line;
+      if i + 1 < n then begin
+        if c = '(' && content.[i + 1] = '*' then incr in_comment;
+        if c = '*' && content.[i + 1] = ')' && !in_comment > 0 then
+          decr in_comment
+      end;
+      if !in_comment > 0 then
+        if c = '{' then begin
+          if !depth = 0 then open_line := !line;
+          incr depth
+        end
+        else if c = '}' then
+          if !depth = 0 then
+            err path !line "unmatched '}' in doc comment"
+          else decr depth)
+    content;
+  if !depth <> 0 then
+    err path !open_line "unclosed '{' in doc comment"
+
+let check_file ~known path =
+  let ic = open_in_bin path in
+  let content = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  check_comment_braces path content;
+  let line_no = ref 0 in
+  String.split_on_char '\n' content
+  |> List.iter (fun line ->
+         incr line_no;
+         check_refs ~known path !line_no line)
+
+let () =
+  let root = if Array.length Sys.argv > 1 then Sys.argv.(1) else "lib" in
+  let units = ref [] in
+  walk root (fun path ->
+      if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+      then begin
+        let base = Filename.remove_extension (Filename.basename path) in
+        let unit_ = String.capitalize_ascii base in
+        if not (List.mem unit_ !units) then units := unit_ :: !units
+      end);
+  let known = wrappers @ stdlib @ !units in
+  let files = ref [] in
+  walk root (fun path ->
+      if Filename.check_suffix path ".mli" || Filename.check_suffix path ".ml"
+      then files := path :: !files);
+  List.iter (check_file ~known) (List.sort compare !files);
+  if !errors > 0 then begin
+    Printf.eprintf "doc-lint: %d problem(s)\n" !errors;
+    exit 1
+  end;
+  Printf.printf "doc-lint: ok (%d compilation units scanned)\n"
+    (List.length !files)

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Re-run every `$ dune exec ...` command in TUTORIAL.md against the
+# built executables, exactly as written, so the tutorial cannot drift
+# from the code. Wired as `dune build @tutorial-check`.
+#
+# Usage: tutorial_check.sh TUTORIAL.md rcoe_run.exe bench_main.exe \
+#                          quickstart.exe BENCH_baseline.json
+set -eu
+
+tutorial=$1
+rcoe_run=$2
+bench=$3
+quickstart=$4
+baseline=$5
+
+# `bench baseline-check` reads BENCH_baseline.json from the current
+# directory, as the tutorial says to run it from the repository root.
+cp "$baseline" BENCH_baseline.json
+
+status=0
+grep '^\$ dune exec' "$tutorial" | sed 's/^\$ //' | while IFS= read -r cmd; do
+  echo "tutorial-check: $cmd"
+  mapped=$(printf '%s' "$cmd" | sed \
+    -e "s|dune exec bin/rcoe_run.exe --|$rcoe_run|" \
+    -e "s|dune exec bench/main.exe --|$bench|" \
+    -e "s|dune exec examples/quickstart.exe|$quickstart|")
+  case "$mapped" in
+  *"dune exec"*)
+    echo "tutorial-check: unmapped executable in: $cmd" >&2
+    exit 1
+    ;;
+  esac
+  sh -c "$mapped" >/dev/null
+done || status=$?
+
+if [ "$status" -ne 0 ]; then
+  echo "tutorial-check: FAILED" >&2
+  exit "$status"
+fi
+echo "tutorial-check: ok"

@@ -85,7 +85,7 @@ let mk_kernel ?(callbacks = null_callbacks) program =
       ~ncores:1 ~seed:1 ()
   in
   let k =
-    Kernel.create ~machine ~rid:0 ~core_id:0 ~layout:lay ~program ~callbacks
+    Kernel.create ~machine ~rid:0 ~core_id:0 ~layout:lay ~program ~callbacks ()
   in
   Kernel.setup_address_space k;
   (machine, k)
