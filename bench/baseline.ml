@@ -12,7 +12,12 @@
      replica outputs, or the run is marked non-deterministic and the
      baseline write fails.
 
-   The result is written as JSON (schema `rcoe-bench-baseline/v1`,
+   The baseline also embeds the checkpoint-capture rows of
+   [Ckpt_bench]: per workload, the words copied and capture wall time
+   of full vs incremental capture, and the simulated ckpt.cost_cycles
+   both modes charge end-to-end.
+
+   The result is written as JSON (schema `rcoe-bench-baseline/v2`,
    documented in EXPERIMENTS.md) — commit it as BENCH_baseline.json.
 
    `dune exec bench/main.exe -- baseline-check [PATH]` re-measures and
@@ -24,6 +29,9 @@
    - either engine's wall time regresses by more than 10% on a workload
      aggregate (tolerance via RCOE_BENCH_TOLERANCE, a float, e.g. 0.25
      on noisy shared hardware);
+   - a checkpoint row drifts: copied words or charged ckpt.cost_cycles
+     differ at all, or the incremental capture wall time regresses by
+     more than the same tolerance;
    - the engines disagree (determinism failure — never tolerated).
 
    Wall times are host-dependent: regenerate the baseline when moving
@@ -173,12 +181,13 @@ let host_json () =
       ("os_type", Json.String Sys.os_type);
     ]
 
-let to_json rows =
+let to_json rows ckpt_rows =
   Json.Obj
     [
-      ("schema", Json.String "rcoe-bench-baseline/v1");
+      ("schema", Json.String "rcoe-bench-baseline/v2");
       ("host", host_json ());
       ("reps", Json.Int reps);
+      ("ckpt", Ckpt_bench.to_json ckpt_rows);
       ( "workloads",
         Json.List
           (List.map
@@ -269,8 +278,10 @@ let measure_all () =
 
 let write ?(path = default_path) () =
   let rows = measure_all () in
+  let ckpt_rows = Ckpt_bench.measure_all () in
+  Ckpt_bench.print_table ckpt_rows;
   let oc = open_out path in
-  output_string oc (Json.to_string (to_json rows));
+  output_string oc (Json.to_string (to_json rows ckpt_rows));
   output_char oc '\n';
   close_out oc;
   Printf.printf "wrote %s\n" path
@@ -328,12 +339,14 @@ let check ?(path = default_path) () =
         exit 1
   in
   (match jstring (jmember "schema" committed) with
-  | "rcoe-bench-baseline/v1" -> ()
+  | "rcoe-bench-baseline/v2" -> ()
   | other ->
       Printf.eprintf "baseline-check: unknown schema %S in %s\n" other path;
       exit 1);
   let tol = tolerance () in
   let fresh = measure_all () in
+  let fresh_ckpt = Ckpt_bench.measure_all () in
+  Ckpt_bench.print_table fresh_ckpt;
   let failures = ref [] in
   let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
   let committed_wls = jlist (jmember "workloads" committed) in
@@ -380,6 +393,47 @@ let check ?(path = default_path) () =
                     (jfloat (jmember "wall_par_s" cj)))
             r.r_configs)
     fresh;
+  (* Checkpoint-capture rows: simulated quantities exactly, the
+     incremental capture wall within the same tolerance. *)
+  let committed_ckpt = jlist (jmember "ckpt" committed) in
+  List.iter
+    (fun (r : Ckpt_bench.row) ->
+      match
+        List.find_opt
+          (fun j -> jstring (jmember "name" j) = r.Ckpt_bench.k_name)
+          committed_ckpt
+      with
+      | None ->
+          fail "ckpt %s: not present in committed baseline"
+            r.Ckpt_bench.k_name
+      | Some j ->
+          let full = jmember "full" j and incr = jmember "incremental" j in
+          let exact what fresh_v committed_v =
+            if fresh_v <> committed_v then
+              fail "ckpt %s: %s %d != committed %d" r.Ckpt_bench.k_name what
+                fresh_v committed_v
+          in
+          exact "captures" r.Ckpt_bench.k_captures (jint (jmember "captures" j));
+          exact "full words" r.Ckpt_bench.k_full_words
+            (jint (jmember "words" full));
+          exact "incremental words" r.Ckpt_bench.k_incr_words
+            (jint (jmember "words" incr));
+          exact "full cost_cycles" r.Ckpt_bench.k_full_cost
+            (jint (jmember "cost_cycles" full));
+          exact "incremental cost_cycles" r.Ckpt_bench.k_incr_cost
+            (jint (jmember "cost_cycles" incr));
+          exact "full engine_checkpoints" r.Ckpt_bench.k_full_ckpts
+            (jint (jmember "engine_checkpoints" full));
+          exact "incremental engine_checkpoints" r.Ckpt_bench.k_incr_ckpts
+            (jint (jmember "engine_checkpoints" incr));
+          let committed_wall = jfloat (jmember "wall_s" incr) in
+          if r.Ckpt_bench.k_incr_wall > committed_wall *. (1. +. tol) then
+            fail
+              "ckpt %s: incremental capture wall %.4fs regressed >%.0f%% \
+               over committed %.4fs"
+              r.Ckpt_bench.k_name r.Ckpt_bench.k_incr_wall (100. *. tol)
+              committed_wall)
+    fresh_ckpt;
   match !failures with
   | [] ->
       Printf.printf "baseline-check: ok (tolerance %.0f%%, vs %s)\n"

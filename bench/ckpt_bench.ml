@@ -1,0 +1,307 @@
+(* Full-vs-incremental checkpoint capture benchmark.
+
+   For each workload the bench drives the simulation in chunks and, at
+   every chunk boundary (a quiescent point — see System.run), captures
+   the same cut twice into two private rings:
+
+   - a Full snapshot (dirty flags left untouched), and
+   - an Incremental snapshot (Full only for the ring's base, Delta
+     afterwards, clearing the dirty flags — the engine's protocol).
+
+   Both kinds therefore see the identical machine state, so the copied
+   word counts are deterministic and the wall times are directly
+   comparable. The bench also cross-checks the contract on the final
+   capture: the resolved incremental image must be bit-for-bit the full
+   image.
+
+   A second, end-to-end phase runs the same workload with the engine's
+   own checkpointing (checkpoint_every > 0) under both
+   Config.checkpoint_mode settings and reports the simulated
+   ckpt.cost_cycles the replicas were charged — the figure the paper's
+   recovery experiments trade against rollback re-execution distance.
+
+   `dune exec bench/main.exe -- ckpt` prints the table; the same rows
+   are embedded in BENCH_baseline.json (schema v2) and checked by
+   `baseline-check`: word counts and charged cycles exactly, the
+   incremental capture wall time within RCOE_BENCH_TOLERANCE. *)
+
+open Rcoe_core
+open Rcoe_workloads
+open Rcoe_harness
+module Json = Rcoe_obs.Json
+module Metrics = Rcoe_obs.Metrics
+
+let reps = 3
+let captures_per_run = 12
+
+type row = {
+  k_name : string;
+  k_captures : int;
+  k_full_words : int;
+  k_incr_words : int;
+  k_full_wall : float;
+  k_incr_wall : float;
+  (* End-to-end engine runs, one per checkpoint mode. The capture
+     stall differs between modes, which shifts round timing, so the
+     checkpoint counts can legitimately differ too — both are recorded
+     and exact-checked. *)
+  k_full_ckpts : int;
+  k_incr_ckpts : int;
+  k_full_cost : int;  (* sum of ckpt.cost_cycles, Full mode *)
+  k_incr_cost : int;  (* sum of ckpt.cost_cycles, Incremental mode *)
+}
+
+(* --- capture microbench -------------------------------------------------- *)
+
+type side = {
+  ring : Checkpoint.t;
+  mutable words : int;
+  mutable wall : float;
+}
+
+let mk_side () = { ring = Checkpoint.create ~depth:4; words = 0; wall = 0. }
+
+let capture_into side ?clear_dirty ~kind sys =
+  let mem = (System.machine sys).Rcoe_machine.Machine.mem in
+  let replicas =
+    List.map
+      (fun rid -> (rid, System.kernel sys rid, System.replica_done sys rid))
+      (System.live sys)
+  in
+  let t0 = Unix.gettimeofday () in
+  let snap =
+    Checkpoint.capture ?clear_dirty mem (System.layout sys) ~kind
+      ~cycle:(System.now sys) ~round_seq:0 ~ticks:0
+      ~prim:(System.primary sys) ~replicas
+  in
+  side.wall <- side.wall +. (Unix.gettimeofday () -. t0);
+  Checkpoint.push side.ring snap;
+  side.words <- side.words + Checkpoint.words snap;
+  snap
+
+(* Capture the current cut as both kinds. Full first, without touching
+   the dirty flags, so the incremental side's baseline is undisturbed. *)
+let capture_pair ~full ~incr sys =
+  let fsnap = capture_into full ~clear_dirty:false ~kind:Checkpoint.Full sys in
+  let kind =
+    if Checkpoint.count incr.ring = 0 then Checkpoint.Full
+    else Checkpoint.Delta
+  in
+  let isnap = capture_into incr ~kind sys in
+  (fsnap, isnap)
+
+let check_identical ~name full incr (fsnap, isnap) =
+  List.iter
+    (fun (img : Checkpoint.replica_image) ->
+      let rid = img.Checkpoint.i_rid in
+      let a = Checkpoint.resolve_partition full.ring fsnap ~rid in
+      let b = Checkpoint.resolve_partition incr.ring isnap ~rid in
+      if a <> b then
+        failwith
+          (Printf.sprintf
+             "ckpt bench: %s: incremental restore diverges from full \
+              (replica %d)"
+             name rid))
+    fsnap.Checkpoint.s_replicas
+
+(* One rep of the chunked capture phase; [drive] advances the workload
+   and invokes its callback at every quiescent chunk boundary. *)
+let capture_run ~name ~drive () =
+  let full = mk_side () and incr = mk_side () in
+  let taken = ref 0 in
+  let last = ref None in
+  drive (fun sys ->
+      if !taken < captures_per_run then begin
+        last := Some (capture_pair ~full ~incr sys);
+        taken := !taken + 1
+      end);
+  (match !last with
+  | Some pair -> check_identical ~name full incr pair
+  | None -> failwith (Printf.sprintf "ckpt bench: %s took no captures" name));
+  (full, incr, !taken)
+
+(* --- workload drivers ---------------------------------------------------- *)
+
+let kv_config ~ckpt_mode ~every =
+  {
+    (Runner.config_for ~mode:Config.CC ~nreplicas:2
+       ~arch:Rcoe_machine.Arch.X86 ~seed:7 ~with_net:true ())
+    with
+    Config.checkpoint_every = every;
+    checkpoint_mode = ckpt_mode;
+    exception_barriers = true;
+  }
+
+(* lu-c at scale 8 runs ~0.5M cycles; the short tick interval gives the
+   engine enough sync rounds to checkpoint at a realistic cadence. *)
+let splash_scale = 8
+
+let splash_config ?tick_interval ~ckpt_mode ~every () =
+  {
+    (Runner.config_for ~mode:Config.CC ~nreplicas:2
+       ~arch:Rcoe_machine.Arch.X86 ~seed:7 ?tick_interval ())
+    with
+    Config.checkpoint_every = every;
+    checkpoint_mode = ckpt_mode;
+    exception_barriers = true;
+  }
+
+let drive_kv on_boundary =
+  (* The inject hook fires at every client chunk (400 cycles); sample
+     every 24th so captures spread across the run. *)
+  let calls = ref 0 in
+  let inject sys =
+    Stdlib.incr calls;
+    if !calls mod 24 = 0 then on_boundary sys
+  in
+  ignore
+    (Kv_run.run
+       ~config:(kv_config ~ckpt_mode:Config.Full ~every:0)
+       ~workload:Ycsb.A ~records:48 ~operations:128 ~inject ())
+
+let drive_splash on_boundary =
+  let program = Splash.program "lu-c" ~scale:splash_scale ~branch_count:false () in
+  let sys =
+    System.create
+      ~config:(splash_config ~ckpt_mode:Config.Full ~every:0 ())
+      ~program
+  in
+  let guard = ref 0 in
+  while (not (System.finished sys)) && System.halted sys = None && !guard < 400 do
+    System.run sys ~max_cycles:35_000;
+    Stdlib.incr guard;
+    if not (System.finished sys) then on_boundary sys
+  done
+
+(* --- end-to-end engine runs ---------------------------------------------- *)
+
+let sum_hist sys name =
+  match Metrics.find_histogram (System.metrics sys) name with
+  | None -> 0
+  | Some h -> int_of_float (List.fold_left ( +. ) 0. (Metrics.samples h))
+
+let engine_kv ckpt_mode =
+  let res =
+    Kv_run.run
+      ~config:(kv_config ~ckpt_mode ~every:8)
+      ~workload:Ycsb.A ~records:48 ~operations:128 ()
+  in
+  (System.checkpoints_taken res.Kv_run.sys, sum_hist res.Kv_run.sys "ckpt.cost_cycles")
+
+let engine_splash ckpt_mode =
+  let program = Splash.program "lu-c" ~scale:splash_scale ~branch_count:false () in
+  let sys =
+    System.create
+      ~config:(splash_config ~tick_interval:10_000 ~ckpt_mode ~every:2 ())
+      ~program
+  in
+  System.run sys ~max_cycles:60_000_000;
+  if not (System.finished sys) then
+    failwith "ckpt bench: splash engine run did not finish";
+  (System.checkpoints_taken sys, sum_hist sys "ckpt.cost_cycles")
+
+(* --- measurement --------------------------------------------------------- *)
+
+let median3 a b c = List.nth (List.sort compare [ a; b; c ]) 1
+
+let measure_workload ~name ~drive ~engine =
+  Printf.printf "  %-10s capture%!" name;
+  let runs = List.init reps (fun _ -> capture_run ~name ~drive ()) in
+  let (f0, i0, taken0) = List.hd runs in
+  List.iter
+    (fun (f, i, taken) ->
+      if f.words <> f0.words || i.words <> i0.words || taken <> taken0 then
+        failwith
+          (Printf.sprintf "ckpt bench: %s is not run-to-run deterministic" name))
+    runs;
+  let walls side = List.map side runs in
+  let wall_of pick =
+    match walls pick with
+    | [ a; b; c ] -> median3 a b c
+    | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+  in
+  Printf.printf " engine-full%!";
+  let e_ckpts_f, full_cost = engine Config.Full in
+  Printf.printf " engine-incr%!";
+  let e_ckpts_i, incr_cost = engine Config.Incremental in
+  print_newline ();
+  {
+    k_name = name;
+    k_captures = taken0;
+    k_full_words = f0.words;
+    k_incr_words = i0.words;
+    k_full_wall = wall_of (fun (f, _, _) -> f.wall);
+    k_incr_wall = wall_of (fun (_, i, _) -> i.wall);
+    k_full_ckpts = e_ckpts_f;
+    k_incr_ckpts = e_ckpts_i;
+    k_full_cost = full_cost;
+    k_incr_cost = incr_cost;
+  }
+
+let measure_all () =
+  Printf.printf "Measuring checkpoint capture (%d captures x %d reps)\n%!"
+    captures_per_run reps;
+  [
+    measure_workload ~name:"kvstore" ~drive:drive_kv ~engine:engine_kv;
+    measure_workload ~name:"splash-lu-c" ~drive:drive_splash ~engine:engine_splash;
+  ]
+
+let print_table rows =
+  let t =
+    Rcoe_util.Table.create
+      ~headers:
+        [ "workload"; "captures"; "full words"; "incr words"; "full wall";
+          "incr wall"; "ckpt cost full"; "ckpt cost incr" ]
+  in
+  List.iter
+    (fun r ->
+      Rcoe_util.Table.add_row t
+        [
+          r.k_name; string_of_int r.k_captures;
+          string_of_int r.k_full_words; string_of_int r.k_incr_words;
+          Printf.sprintf "%.4fs" r.k_full_wall;
+          Printf.sprintf "%.4fs" r.k_incr_wall;
+          string_of_int r.k_full_cost; string_of_int r.k_incr_cost;
+        ])
+    rows;
+  Rcoe_util.Table.print t;
+  List.iter
+    (fun r ->
+      if r.k_incr_words >= r.k_full_words then
+        Printf.eprintf
+          "ckpt: WARNING: %s: incremental copied no fewer words than full\n"
+          r.k_name;
+      if r.k_incr_cost >= r.k_full_cost then
+        Printf.eprintf
+          "ckpt: WARNING: %s: incremental charged no fewer cycles than full\n"
+          r.k_name)
+    rows
+
+let to_json rows =
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [
+             ("name", Json.String r.k_name);
+             ("captures", Json.Int r.k_captures);
+             ( "full",
+               Json.Obj
+                 [
+                   ("words", Json.Int r.k_full_words);
+                   ("wall_s", Json.Float r.k_full_wall);
+                   ("cost_cycles", Json.Int r.k_full_cost);
+                   ("engine_checkpoints", Json.Int r.k_full_ckpts);
+                 ] );
+             ( "incremental",
+               Json.Obj
+                 [
+                   ("words", Json.Int r.k_incr_words);
+                   ("wall_s", Json.Float r.k_incr_wall);
+                   ("cost_cycles", Json.Int r.k_incr_cost);
+                   ("engine_checkpoints", Json.Int r.k_incr_ckpts);
+                 ] );
+           ])
+       rows)
+
+let run () = print_table (measure_all ())

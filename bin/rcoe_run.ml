@@ -91,6 +91,17 @@ let max_rollbacks_arg =
        & info [ "max-rollbacks" ]
            ~doc:"rollback budget before a persistent fault fail-stops")
 
+let checkpoint_mode_arg =
+  let ckpt_mode_conv =
+    Arg.enum
+      [ ("full", Config.Full); ("incremental", Config.Incremental) ]
+  in
+  Arg.(value & opt ckpt_mode_conv Config.Incremental
+       & info [ "checkpoint-mode" ]
+           ~doc:"full | incremental: copy whole partitions at every \
+                 capture, or only the pages dirtied since the previous \
+                 one (restores are bit-for-bit identical)")
+
 let parallel_arg =
   Arg.(value & flag
        & info [ "parallel" ]
@@ -120,7 +131,8 @@ let apply_engine ~parallel config =
         exit 1
 
 let mk_config ?(fast_catchup = false) ?(masking = false) ?(checkpoint_every = 0)
-    ?(max_rollbacks = 3) mode n arch vm level seed ~with_net =
+    ?(checkpoint_mode = Config.Incremental) ?(max_rollbacks = 3) mode n arch vm
+    level seed ~with_net =
   {
     (Runner.config_for ~mode ~nreplicas:n ~arch ~vm ~sync_level:level ~seed
        ~with_net ())
@@ -128,6 +140,7 @@ let mk_config ?(fast_catchup = false) ?(masking = false) ?(checkpoint_every = 0)
     Config.fast_catchup;
     masking;
     checkpoint_every;
+    checkpoint_mode;
     max_rollbacks;
   }
 
@@ -159,14 +172,14 @@ let run_cmd =
                    histograms) after the run")
   in
   let run wl mode n arch vm level seed fast_catchup checkpoint_every
-      max_rollbacks parallel strict_lint metrics =
+      checkpoint_mode max_rollbacks parallel strict_lint metrics =
     let branch_count = Wl.branch_count_for arch in
     let program = program_of_name wl ~branch_count in
     let config =
       apply_engine ~parallel
         {
-          (mk_config ~fast_catchup ~checkpoint_every ~max_rollbacks mode n arch
-             vm level seed ~with_net:false)
+          (mk_config ~fast_catchup ~checkpoint_every ~checkpoint_mode
+             ~max_rollbacks mode n arch vm level seed ~with_net:false)
           with
           Config.strict_lint;
         }
@@ -205,8 +218,9 @@ let run_cmd =
       st.System.rounds st.System.ticks_delivered st.System.votes
       st.System.bp_fires st.System.ft_rounds;
     if config.Config.checkpoint_every > 0 then
-      Printf.printf "recovery:   %d checkpoints, %d rollbacks\n"
+      Printf.printf "recovery:   %d checkpoints (%s), %d rollbacks\n"
         (System.checkpoints_taken r.Runner.sys)
+        (Config.checkpoint_mode_to_string config.Config.checkpoint_mode)
         (List.length (System.rollbacks r.Runner.sys));
     let out = System.output r.Runner.sys 0 in
     if out <> "" then Printf.printf "output:     %S\n" out;
@@ -218,7 +232,8 @@ let run_cmd =
     Term.(
       const run $ wl_arg $ mode_arg $ replicas_arg $ arch_arg $ vm_arg
       $ level_arg $ seed_arg $ fast_catchup_arg $ checkpoint_every_arg
-      $ max_rollbacks_arg $ parallel_arg $ strict_lint_arg $ metrics_arg)
+      $ checkpoint_mode_arg $ max_rollbacks_arg $ parallel_arg
+      $ strict_lint_arg $ metrics_arg)
 
 let kv_cmd =
   let doc = "run the KV server under a YCSB workload" in
@@ -287,14 +302,14 @@ let trace_cmd =
                    and contains trace events")
   in
   let run wl mode n arch vm level seed fast_catchup checkpoint_every
-      max_rollbacks parallel out capacity check =
+      checkpoint_mode max_rollbacks parallel out capacity check =
     (* Replicated modes need at least a DMR pair; bump silently so
        `trace -w whetstone --mode cc` works without an explicit -n. *)
     let n = if mode = Config.Base then max 1 n else max 2 n in
     let with_net = String.equal wl "kvstore" in
     let base =
-      mk_config ~fast_catchup ~checkpoint_every ~max_rollbacks mode n arch vm
-        level seed ~with_net
+      mk_config ~fast_catchup ~checkpoint_every ~checkpoint_mode ~max_rollbacks
+        mode n arch vm level seed ~with_net
     in
     let config =
       apply_engine ~parallel
@@ -349,7 +364,8 @@ let trace_cmd =
     Term.(
       const run $ wl_arg $ mode_arg $ replicas_arg $ arch_arg $ vm_arg
       $ level_arg $ seed_arg $ fast_catchup_arg $ checkpoint_every_arg
-      $ max_rollbacks_arg $ parallel_arg $ out_arg $ capacity_arg $ check_arg)
+      $ checkpoint_mode_arg $ max_rollbacks_arg $ parallel_arg $ out_arg
+      $ capacity_arg $ check_arg)
 
 let recover_cmd =
   let doc =

@@ -17,7 +17,30 @@ let add_word t w =
   t.c0 <- (t.c0 + w32) mod modulus;
   t.c1 <- (t.c1 + t.c0) mod modulus
 
-let add_words t ws = Array.iter (add_word t) ws
+(* Block size for deferred reduction in [add_words]. Both sums are
+   linear mod (2^32-1), so reducing once per block instead of per word
+   is exact; the bound keeps the unreduced accumulators inside a 63-bit
+   int: after k deferred steps c0 < (k+1)*2^32 and c1 < (k^2+k+1)*2^32,
+   so k = 4096 stays under 2^57. *)
+let reduce_block = 4096
+
+let add_words t ws =
+  let n = Array.length ws in
+  let c0 = ref t.c0 and c1 = ref t.c1 in
+  let i = ref 0 in
+  while !i < n do
+    let stop = min n (!i + reduce_block) in
+    let a0 = ref !c0 and a1 = ref !c1 in
+    for j = !i to stop - 1 do
+      a0 := !a0 + (Array.unsafe_get ws j land 0xFFFFFFFF);
+      a1 := !a1 + !a0
+    done;
+    c0 := !a0 mod modulus;
+    c1 := !a1 mod modulus;
+    i := stop
+  done;
+  t.c0 <- !c0;
+  t.c1 <- !c1
 
 let add_string t s =
   let n = String.length s in

@@ -149,10 +149,10 @@ let trace_events tr =
             (complete ~name:"reintegrate" ~pid:pid_machine ~tid:0 ~ts ~dur:cost
                ~args:[ ("rid", Json.Int rid) ]
                ())
-      | Trace.Checkpoint { words; cost } ->
+      | Trace.Checkpoint { words; skipped; cost } ->
           emit
             (complete ~name:"checkpoint" ~pid:pid_machine ~tid:1 ~ts ~dur:cost
-               ~args:[ ("words", Json.Int words) ]
+               ~args:[ ("words", Json.Int words); ("skipped", Json.Int skipped) ]
                ())
       | Trace.Rollback { to_cycle; cost } ->
           emit

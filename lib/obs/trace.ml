@@ -37,7 +37,7 @@ type body =
   | Injection of { addr : int; bit : int }
   | Downgrade of { rid : int; cost : int }
   | Reintegrate of { rid : int; cost : int }
-  | Checkpoint of { words : int; cost : int }
+  | Checkpoint of { words : int; skipped : int; cost : int }
   | Rollback of { to_cycle : int; cost : int }
 
 type event = { ts : int; rid : int; body : body }
@@ -209,8 +209,8 @@ let downgrade t ~rid ~cost = if t.enabled then push t (-1) (Downgrade { rid; cos
 let reintegrate t ~rid ~cost =
   if t.enabled then push t (-1) (Reintegrate { rid; cost })
 
-let checkpoint t ~words ~cost =
-  if t.enabled then push t (-1) (Checkpoint { words; cost })
+let checkpoint t ~words ~skipped ~cost =
+  if t.enabled then push t (-1) (Checkpoint { words; skipped; cost })
 
 let rollback t ~to_cycle ~cost =
   if t.enabled then push t (-1) (Rollback { to_cycle; cost })

@@ -51,8 +51,10 @@ type body =
   | Injection of { addr : int; bit : int }  (** Fault-injector flip. *)
   | Downgrade of { rid : int; cost : int }  (** TMR->DMR masking span. *)
   | Reintegrate of { rid : int; cost : int }  (** Re-admission span. *)
-  | Checkpoint of { words : int; cost : int }
-      (** Machine scope: verified-checkpoint capture span. *)
+  | Checkpoint of { words : int; skipped : int; cost : int }
+      (** Machine scope: verified-checkpoint capture span. [words] is
+          what the capture copied; [skipped] is what an incremental
+          capture avoided copying (0 for a full capture). *)
   | Rollback of { to_cycle : int; cost : int }
       (** Machine scope: recovery rewind to the checkpoint captured at
           [to_cycle]; [cost] is the state-restore stall charged. *)
@@ -135,7 +137,7 @@ val bus_stall : t -> rid:int -> cycles:int -> unit
 val vote : t -> rid:int -> count:int -> c0:int -> c1:int -> agree:bool -> unit
 val downgrade : t -> rid:int -> cost:int -> unit
 val reintegrate : t -> rid:int -> cost:int -> unit
-val checkpoint : t -> words:int -> cost:int -> unit
+val checkpoint : t -> words:int -> skipped:int -> cost:int -> unit
 val rollback : t -> to_cycle:int -> cost:int -> unit
 
 val injection : t -> addr:int -> bit:int -> unit

@@ -3,16 +3,31 @@
     A checkpoint is a consistent cut of the whole replicated state,
     taken right after a successful signature vote — the only moments
     the replicas are provably equivalent. Each snapshot holds every
-    live replica's full memory partition and kernel/core bookkeeping
+    live replica's memory partition and kernel/core bookkeeping
     (via {!Rcoe_kernel.Kernel.snapshot}), the shared framework region,
     the DMA window, and the engine's logical clocks, so the engine can
     later rewind all of it at once and re-execute.
+
+    {b Snapshot kinds.} A [Full] snapshot copies every captured region
+    outright. A [Delta] snapshot copies only the pages {!Rcoe_machine.Mem}'s
+    write tracking reports dirty since the previous capture — O(dirty
+    words) instead of O(partition) — and records the rest as skipped.
+    Restoring a delta walks the ring's newest-first chain down to the
+    nearest full image and replays the deltas on top, so the
+    reconstructed state is bit-for-bit the image a [Full] capture at the
+    same cut would have produced. Capture clears the dirty flags (by
+    default), establishing the baseline for the next delta; the caller
+    must therefore capture [Full] into an empty ring, and clear the
+    flags again after a rollback restore (memory then equals the newest
+    snapshot).
 
     Snapshots live in a bounded ring, newest first. Keeping more than
     one matters: a fault injected *after* a vote but *before* the next
     capture is frozen into the newest snapshot, and recovery must be
     able to escalate to an older, still-clean one (see
-    [System.try_rollback]).
+    [System.try_rollback]). The oldest ring entry is always
+    self-contained (all-full regions): eviction folds the outgoing base
+    into its successor in O(delta) time, reusing the base's arrays.
 
     The engine above owns policy (when to capture, retry budgets,
     costs); this module owns the data. Device-internal state (e.g. the
@@ -20,30 +35,41 @@
     is deliberately not captured — recovery campaigns use compute
     workloads.
 
-    Capture and restore read and write every replica's partition
-    directly, so they must only run while replica execution is
-    quiescent. Both engines guarantee this: the sequential engine is
-    single-domain, and the parallel engine ({!Config.engine}) parks all
-    worker domains at a barrier before any round logic — including
-    checkpoint capture and rollback restore — executes on the
+    Capture and restore read and write every replica's partition (and
+    the dirty bitmap) directly, so they must only run while replica
+    execution is quiescent. Both engines guarantee this: the sequential
+    engine is single-domain, and the parallel engine ({!Config.engine})
+    parks all worker domains at a barrier before any round logic —
+    including checkpoint capture and rollback restore — executes on the
     orchestrating domain. *)
+
+type region =
+  | R_full of int array  (** Complete image of the region. *)
+  | R_delta of { r_len : int; r_pages : (int * int array) list }
+      (** Dirty pages only: [(region-relative word offset, words)],
+          ascending, disjoint, each at most {!Rcoe_machine.Mem.page_size}
+          words. [r_len] is the full region length. *)
+
+type kind = Full | Delta
 
 type replica_image = {
   i_rid : int;
-  i_partition : int array;  (** Full partition copy. *)
+  i_partition : region;
   i_kernel : Rcoe_kernel.Kernel.snapshot;
   i_finished : bool;
 }
 
 type snap = {
+  s_kind : kind;
   s_cycle : int;  (** Capture cycle (rollback target, for reporting). *)
   s_round_seq : int;
   s_ticks : int;
   s_prim : int;
-  s_shared : int array;
-  s_dma : int array;
+  s_shared : region;
+  s_dma : region;
   s_replicas : replica_image list;  (** Live replicas at capture. *)
-  s_words : int;  (** Total words copied, for cost accounting. *)
+  s_words : int;  (** Words actually copied at capture (cost basis). *)
+  s_skipped_words : int;  (** Clean words a [Full] capture would also have copied. *)
 }
 
 type t
@@ -59,7 +85,10 @@ val taken : t -> int
 (** Snapshots stored over the ring's lifetime. *)
 
 val push : t -> snap -> unit
-(** Store as newest; the oldest snapshot is evicted when full. *)
+(** Store as newest. When the ring is full the oldest snapshot is
+    evicted and folded into its successor, which becomes the new
+    self-contained base (its arrays absorb the evicted base's, so the
+    fold is O(delta)). *)
 
 val newest : t -> snap option
 
@@ -67,10 +96,23 @@ val drop_newest : t -> unit
 (** Recovery escalation: discard a snapshot that keeps failing. *)
 
 val words : snap -> int
+(** Words copied at capture — the O(dirty) figure for a [Delta]. *)
+
+val skipped_words : snap -> int
+val kind : snap -> kind
+
+val total_words : snap -> int
+(** Full size of the captured cut ([words + skipped] at capture time);
+    what a restore writes back. *)
+
+val to_list : t -> snap list
+(** The ring, newest first (for tests and diagnostics). *)
 
 val capture :
+  ?clear_dirty:bool ->
   Rcoe_machine.Mem.t ->
   Rcoe_kernel.Layout.t ->
+  kind:kind ->
   cycle:int ->
   round_seq:int ->
   ticks:int ->
@@ -78,9 +120,23 @@ val capture :
   replicas:(int * Rcoe_kernel.Kernel.t * bool) list ->
   snap
 (** Snapshot the given [(rid, kernel, finished)] replicas plus the
-    shared and DMA regions. Call only at a verified quiescent point. *)
+    shared and DMA regions. Call only at a verified quiescent point.
+    [Delta] copies only pages dirty in [mem]'s write tracking; it is
+    only meaningful when every capture since the ring's base also ran
+    against the same tracking, so capture [Full] into an empty ring.
+    Clears the dirty flags afterwards unless [clear_dirty:false]
+    (which lets a differential harness capture the same cut twice). *)
 
-val restore_memory : Rcoe_machine.Mem.t -> Rcoe_kernel.Layout.t -> snap -> unit
+val restore_memory : Rcoe_machine.Mem.t -> Rcoe_kernel.Layout.t -> t -> snap -> unit
 (** Blit every captured partition, the shared region and the DMA window
-    back. The caller pairs this with {!Rcoe_kernel.Kernel.restore} on
-    each image and with resetting its own engine state. *)
+    back, reconstructing delta regions from [t]'s chain below [snap].
+    The caller pairs this with {!Rcoe_kernel.Kernel.restore} on each
+    image, resetting its own engine state, and — under incremental
+    checkpointing — {!Rcoe_machine.Mem.clear_dirty} (memory now equals
+    the restored snapshot). A [snap] not present in [t] is restored
+    standalone and must be self-contained. *)
+
+val resolve_partition : t -> snap -> rid:int -> int array
+(** The fully-resolved partition image of replica [rid] in [snap]
+    (fresh array; the ring is not modified). Raises [Invalid_argument]
+    if the chain cannot resolve it. *)

@@ -4,6 +4,8 @@ type sync_level = Sync_none | Sync_args | Sync_vote
 
 type engine = Sequential | Parallel
 
+type checkpoint_mode = Full | Incremental
+
 type t = {
   engine : engine;
   mode : mode;
@@ -25,6 +27,7 @@ type t = {
   trace : Rcoe_obs.Trace.config option;
   checkpoint_every : int;
   checkpoint_depth : int;
+  checkpoint_mode : checkpoint_mode;
   max_rollbacks : int;
 }
 
@@ -50,6 +53,7 @@ let default =
     trace = None;
     checkpoint_every = 0;
     checkpoint_depth = 2;
+    checkpoint_mode = Incremental;
     max_rollbacks = 3;
   }
 
@@ -58,6 +62,10 @@ let mode_to_string = function Base -> "Base" | LC -> "LC" | CC -> "CC"
 let engine_to_string = function
   | Sequential -> "sequential"
   | Parallel -> "parallel"
+
+let checkpoint_mode_to_string = function
+  | Full -> "full"
+  | Incremental -> "incremental"
 
 (* Lint-style eligibility check for the domain-parallel engine. The
    parallel engine runs replicas concurrently only between sync points,

@@ -25,6 +25,17 @@ type engine =
           between sync points; barriers, voting, IPIs, and all shared
           machine state stay on the orchestrating domain. *)
 
+(** How {!checkpoint_every} captures state. *)
+type checkpoint_mode =
+  | Full  (** Copy every live partition + shared + DMA outright. *)
+  | Incremental
+      (** Delta snapshots over {!Rcoe_machine.Mem}'s per-page write
+          tracking: copy only pages dirtied since the previous capture,
+          O(dirty words) per checkpoint. Restores are bit-for-bit
+          identical to [Full] — the chain is reconstructed down to the
+          ring's base image. The default; [Full] is kept for
+          differential testing and as the conservative fallback. *)
+
 type t = {
   engine : engine;  (** Default [Sequential]. See {!parallel_ineligibility}. *)
   mode : mode;
@@ -79,6 +90,8 @@ type t = {
           recovery escalate past a snapshot that itself froze in the
           fault (captured after the vote but before the corruption was
           detectable). *)
+  checkpoint_mode : checkpoint_mode;
+      (** Capture strategy; default [Incremental]. *)
   max_rollbacks : int;
       (** Total rollback budget per run (>= 1). A persistent fault
           exhausts it and the system fail-stops as before. *)
@@ -109,3 +122,4 @@ val replicas_label : t -> string
 val mode_to_string : mode -> string
 val sync_level_to_string : sync_level -> string
 val engine_to_string : engine -> string
+val checkpoint_mode_to_string : checkpoint_mode -> string

@@ -62,6 +62,8 @@ type metric_set = {
   m_reintegrations : Metrics.counter;
   m_rollbacks : Metrics.counter;
   m_ckpt_taken : Metrics.counter;
+  m_ckpt_words_copied : Metrics.counter;
+  m_ckpt_words_skipped : Metrics.counter;
   m_catchup_dist : Metrics.histogram;
   m_catchup_cycles : Metrics.histogram;
   m_barrier_wait : Metrics.histogram;
@@ -86,6 +88,8 @@ let make_metric_set reg =
     m_reintegrations = Metrics.counter reg "mask.reintegrations";
     m_rollbacks = Metrics.counter reg "mask.rollbacks";
     m_ckpt_taken = Metrics.counter reg "ckpt.taken";
+    m_ckpt_words_copied = Metrics.counter reg "ckpt.words_copied";
+    m_ckpt_words_skipped = Metrics.counter reg "ckpt.words_skipped";
     m_catchup_dist =
       Metrics.histogram reg "catchup.distance_branches"
         ~buckets:[ 1.; 8.; 32.; 128.; 512.; 2048.; 8192. ];
@@ -897,20 +901,32 @@ let ckpt_copy_cost words = (words / 32) + 2_000
 
 let take_checkpoint t ck =
   let lv = live_replicas t in
+  (* The ring's base must be self-contained, so the first capture is
+     always a full copy; after that the configured mode decides. *)
+  let kind =
+    match t.cfg.Config.checkpoint_mode with
+    | Config.Full -> Checkpoint.Full
+    | Config.Incremental ->
+        if Checkpoint.count ck = 0 then Checkpoint.Full else Checkpoint.Delta
+  in
   let snap =
-    Checkpoint.capture (mem t) t.lay ~cycle:(now t) ~round_seq:t.round_seq
-      ~ticks:t.ticks ~prim:t.prim
+    Checkpoint.capture (mem t) t.lay ~kind ~cycle:(now t)
+      ~round_seq:t.round_seq ~ticks:t.ticks ~prim:t.prim
       ~replicas:(List.map (fun r -> (r.rid, r.kern, r.finished)) lv)
   in
   Checkpoint.push ck snap;
   (* A fresh verified snapshot is forward progress: reset escalation. *)
   t.retries_at_newest <- 0;
   t.escalations <- 0;
-  let cost = ckpt_copy_cost (Checkpoint.words snap) in
+  let words = Checkpoint.words snap in
+  let skipped = Checkpoint.skipped_words snap in
+  let cost = ckpt_copy_cost words in
   List.iter (fun r -> charge r cost) lv;
   Metrics.incr t.ms.m_ckpt_taken;
+  Metrics.incr ~by:words t.ms.m_ckpt_words_copied;
+  Metrics.incr ~by:skipped t.ms.m_ckpt_words_skipped;
   Metrics.observe t.ms.m_ckpt_cost (float_of_int cost);
-  Trace.checkpoint t.trace ~words:(Checkpoint.words snap) ~cost
+  Trace.checkpoint t.trace ~words ~skipped ~cost
 
 (* Runs at the end of every successfully voted round (the only verified
    quiescent points). *)
@@ -930,9 +946,13 @@ let maybe_checkpoint t =
    roles. Wall-clock cycles never rewind — re-execution is *new* time,
    which is exactly the recovery latency the campaign measures. Returns
    the restore stall charged to the survivors. *)
-let perform_rollback t (snap : Checkpoint.snap) =
+let perform_rollback t ck (snap : Checkpoint.snap) =
   Array.iter (fun r -> tp_end t r) t.replicas;
-  Checkpoint.restore_memory (mem t) t.lay snap;
+  Checkpoint.restore_memory (mem t) t.lay ck snap;
+  (* Memory now equals the restored snapshot: it is the baseline the
+     next delta capture is relative to. *)
+  if t.cfg.Config.checkpoint_mode = Config.Incremental then
+    Mem.clear_dirty (mem t);
   List.iter
     (fun (img : Checkpoint.replica_image) ->
       let r = t.replicas.(img.Checkpoint.i_rid) in
@@ -955,7 +975,9 @@ let perform_rollback t (snap : Checkpoint.snap) =
   t.ticks <- snap.Checkpoint.s_ticks;
   t.phase <- Ph_idle;
   t.next_tick <- now t + t.cfg.Config.tick_interval;
-  let cost = ckpt_copy_cost snap.Checkpoint.s_words in
+  (* Restore writes the whole cut back regardless of how it was
+     captured, so the stall scales with the resolved size. *)
+  let cost = ckpt_copy_cost (Checkpoint.total_words snap) in
   List.iter (fun r -> charge r cost) (live_replicas t);
   cost
 
@@ -984,7 +1006,7 @@ let try_rollback t =
             t.retries_at_newest <- t.retries_at_newest + 1;
             observe_detection t;
             let detected_at = now t in
-            let cost = perform_rollback t snap in
+            let cost = perform_rollback t ck snap in
             Metrics.incr t.ms.m_rollbacks;
             (* Recovery latency: the re-execution distance plus the
                restore stall. *)

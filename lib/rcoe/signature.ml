@@ -19,7 +19,35 @@ let add_word mem ~base w =
   let c1 = (Mem.read mem (base + 2) + c0) mod modulus in
   Mem.write mem (base + 2) c1
 
-let add_words mem ~base ws = Array.iter (add_word mem ~base) ws
+(* Bulk accumulation: read the accumulators once, run the recurrence in
+   registers with the reduction deferred across a block (linear mod m,
+   so per-block reduction is value-identical to the per-word form; the
+   block bound keeps the sums inside a 63-bit int — see
+   [Rcoe_checksum.Fletcher.reduce_block]), write back once. The single
+   write-back still marks the signature page dirty for write tracking,
+   exactly like the per-word loop did. *)
+let reduce_block = 4096
+
+let add_words mem ~base ws =
+  let n = Array.length ws in
+  if n > 0 then begin
+    let c0 = ref (Mem.read mem (base + 1)) in
+    let c1 = ref (Mem.read mem (base + 2)) in
+    let i = ref 0 in
+    while !i < n do
+      let stop = min n (!i + reduce_block) in
+      let a0 = ref !c0 and a1 = ref !c1 in
+      for j = !i to stop - 1 do
+        a0 := !a0 + (Array.unsafe_get ws j land modulus);
+        a1 := !a1 + !a0
+      done;
+      c0 := !a0 mod modulus;
+      c1 := !a1 mod modulus;
+      i := stop
+    done;
+    Mem.write mem (base + 1) !c0;
+    Mem.write mem (base + 2) !c1
+  end
 
 let read mem ~base =
   (Mem.read mem base, Mem.read mem (base + 1), Mem.read mem (base + 2))

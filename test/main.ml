@@ -20,6 +20,7 @@ let () =
       ("masking-cc", Test_masking_cc.suite);
       ("properties", Test_properties.suite);
       ("recovery", Test_recovery.suite);
+      ("ckpt-incr", Test_ckpt_incr.suite);
       ("engine-par", Test_engine_par.suite);
       ("system-smoke", Test_system_smoke.suite);
       ("workloads", Test_workloads.suite);

@@ -1,0 +1,399 @@
+(* Tests for dirty-page incremental checkpointing: Mem write tracking
+   and its first-out-of-range Abort payloads, the page-table dirty
+   mirror, the deferred-reduction checksum fast paths, delta-chain ring
+   eviction (fold-on-evict), and the acceptance sweep proving that
+   Config.Incremental restores bit-for-bit identically to Config.Full
+   across LC/CC x DMR/TMR on both engines, at strictly lower charged
+   checkpoint cost. *)
+
+open Rcoe_machine
+open Rcoe_core
+open Rcoe_workloads
+open Rcoe_harness
+module Fletcher = Rcoe_checksum.Fletcher
+module Metrics = Rcoe_obs.Metrics
+
+let x86 = Arch.X86
+let psz = Mem.page_size
+
+(* --- Mem dirty bitmap ---------------------------------------------------- *)
+
+let dirty_pages m = Mem.snapshot_dirty m ~addr:0 ~len:(Mem.size m)
+
+let test_dirty_bitmap () =
+  let m = Mem.create (8 * psz) in
+  (* A fresh memory is fully clean. *)
+  Alcotest.(check (list int)) "fresh is clean" [] (dirty_pages m);
+  Alcotest.(check bool) "page_is_dirty clean" false
+    (Mem.page_is_dirty m ~addr:0);
+  (* write marks exactly the containing page. *)
+  Mem.write m (2 * psz) 7;
+  Alcotest.(check (list int)) "write marks its page" [ 2 * psz ]
+    (dirty_pages m);
+  Alcotest.(check bool) "page_is_dirty anywhere in page" true
+    (Mem.page_is_dirty m ~addr:((2 * psz) + psz - 1));
+  (* write_block spanning a page boundary marks both pages; results stay
+     ascending and page-aligned. *)
+  Mem.write_block m ((5 * psz) - 2) (Array.make 4 1);
+  Alcotest.(check (list int)) "block marks span ascending"
+    [ 2 * psz; 4 * psz; 5 * psz ]
+    (dirty_pages m);
+  Mem.clear_dirty m;
+  Alcotest.(check (list int)) "clear_dirty" [] (dirty_pages m);
+  (* fill, blit, and flip_bit go through the same tracking. *)
+  Mem.fill m ~addr:psz ~len:1 3;
+  Mem.blit m ~src:0 ~dst:(6 * psz) ~len:2;
+  Mem.flip_bit m ~addr:(3 * psz) ~bit:0;
+  Alcotest.(check (list int)) "fill/blit/flip all tracked"
+    [ psz; 3 * psz; 6 * psz ]
+    (dirty_pages m);
+  (* snapshot_dirty windows: only pages intersecting [addr, addr+len). *)
+  Alcotest.(check (list int)) "windowed snapshot" [ 3 * psz ]
+    (Mem.snapshot_dirty m ~addr:(2 * psz) ~len:(2 * psz));
+  Alcotest.(check (list int)) "empty window" []
+    (Mem.snapshot_dirty m ~addr:0 ~len:0);
+  (* Zero-length block ops at the end boundary are legal and clean. *)
+  Mem.clear_dirty m;
+  Mem.write_block m (Mem.size m) [||];
+  Alcotest.(check (list int)) "empty write_block clean" [] (dirty_pages m);
+  Alcotest.check_raises "snapshot_dirty bounds"
+    (Invalid_argument "Mem.snapshot_dirty") (fun () ->
+      ignore (Mem.snapshot_dirty m ~addr:0 ~len:(Mem.size m + 1)))
+
+(* --- Abort payloads on block operations (regression) --------------------- *)
+
+let test_block_abort_payloads () =
+  let m = Mem.create 100 in
+  (* A block op that starts in range but runs off the end must report
+     the first out-of-range address, not the (valid) start address. *)
+  Alcotest.check_raises "write_block overrun" (Mem.Abort 100) (fun () ->
+      Mem.write_block m 90 (Array.make 20 0));
+  Alcotest.check_raises "read_block overrun" (Mem.Abort 100) (fun () ->
+      ignore (Mem.read_block m 95 10));
+  Alcotest.check_raises "fill overrun" (Mem.Abort 100) (fun () ->
+      Mem.fill m ~addr:99 ~len:2 0);
+  Alcotest.check_raises "blit src overrun" (Mem.Abort 100) (fun () ->
+      Mem.blit m ~src:98 ~dst:0 ~len:5);
+  Alcotest.check_raises "blit dst overrun" (Mem.Abort 100) (fun () ->
+      Mem.blit m ~src:0 ~dst:97 ~len:5);
+  (* A start address beyond the end is itself the first bad address. *)
+  Alcotest.check_raises "start past end" (Mem.Abort 140) (fun () ->
+      Mem.write_block m 140 (Array.make 4 0));
+  (* Negative start addresses keep reporting the start address. *)
+  Alcotest.check_raises "negative start" (Mem.Abort (-3)) (fun () ->
+      Mem.write_block m (-3) (Array.make 4 0));
+  Alcotest.check_raises "negative len" (Mem.Abort 5) (fun () ->
+      ignore (Mem.read_block m 5 (-1)));
+  (* None of the failed ops may have dirtied anything. *)
+  Alcotest.(check (list int)) "failed ops leave memory clean" []
+    (dirty_pages m)
+
+(* --- page-table dirty mirror --------------------------------------------- *)
+
+let test_pte_dirty_mirror () =
+  let m = Mem.create (16 * psz) in
+  let t = { Page_table.base = 8; npages = 4 } in
+  Page_table.clear m t;
+  let pte ?(valid = true) ?(device = false) ppn =
+    { Page_table.valid; writable = true; dma = false; device; ppn }
+  in
+  Page_table.set m t ~vpn:0 (pte 2);
+  Page_table.set m t ~vpn:1 (pte 3);
+  Page_table.set m t ~vpn:2 (pte ~device:true 4);
+  Page_table.set m t ~vpn:3 (pte ~valid:false 5);
+  Mem.clear_dirty m;
+  (* Dirty the frames of vpn 0 (mirrorable), vpn 2 (device - skipped)
+     and vpn 3 (invalid - skipped). *)
+  Mem.write m (2 * psz) 1;
+  Mem.write m (4 * psz) 1;
+  Mem.write m (5 * psz) 1;
+  Alcotest.(check int) "mirrors only valid non-device frames" 1
+    (Page_table.mirror_dirty m t);
+  Alcotest.(check bool) "vpn 0 mirrored" true (Page_table.is_dirty m t ~vpn:0);
+  Alcotest.(check bool) "vpn 1 clean frame" false
+    (Page_table.is_dirty m t ~vpn:1);
+  Alcotest.(check bool) "device vpn skipped" false
+    (Page_table.is_dirty m t ~vpn:2);
+  Alcotest.(check bool) "invalid vpn skipped" false
+    (Page_table.is_dirty m t ~vpn:3);
+  (* Already-mirrored entries are not counted twice. *)
+  Alcotest.(check int) "idempotent" 0 (Page_table.mirror_dirty m t);
+  (* The software bit is invisible to encode/decode and a set rebuilds
+     the word, clearing the mirror - like an OS-managed spare PTE bit. *)
+  Alcotest.(check bool) "decode ignores mirror bit" true
+    (Page_table.get m t ~vpn:0 = pte 2);
+  Page_table.set m t ~vpn:0 (pte 2);
+  Alcotest.(check bool) "set clears mirror" false
+    (Page_table.is_dirty m t ~vpn:0);
+  Page_table.set_dirty m t ~vpn:1;
+  Page_table.set_dirty m t ~vpn:2;
+  Page_table.clear_all_dirty m t;
+  for vpn = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "clear_all_dirty vpn %d" vpn)
+      false
+      (Page_table.is_dirty m t ~vpn)
+  done
+
+(* --- deferred-reduction checksum identity -------------------------------- *)
+
+(* Sizes straddling the reduction block boundary, plus degenerate ones. *)
+let checksum_sizes = [ 0; 1; 7; 4095; 4096; 4097; 9000 ]
+
+let mk_words n =
+  (* Deterministic, full-32-bit-range values (including ones whose low
+     bits look "negative" to a naive masking bug). *)
+  Array.init n (fun i -> (i * 0x9E3779B9) land 0xFFFFFFFF)
+
+let test_fletcher_add_words_identity () =
+  List.iter
+    (fun n ->
+      let ws = mk_words n in
+      let bulk = Fletcher.create () and ref_ = Fletcher.create () in
+      (* Non-zero starting state so carried accumulators are exercised. *)
+      Fletcher.add_word bulk 0xDEADBEEF;
+      Fletcher.add_word ref_ 0xDEADBEEF;
+      Fletcher.add_words bulk ws;
+      Array.iter (Fletcher.add_word ref_) ws;
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "fletcher identical at n=%d" n)
+        (Fletcher.value ref_) (Fletcher.value bulk))
+    checksum_sizes
+
+let test_signature_add_words_identity () =
+  List.iter
+    (fun n ->
+      let ws = mk_words n in
+      let ma = Mem.create 8 and mb = Mem.create 8 in
+      Signature.reset ma ~base:0;
+      Signature.reset mb ~base:0;
+      Signature.add_word ma ~base:0 0xDEADBEEF;
+      Signature.add_word mb ~base:0 0xDEADBEEF;
+      Signature.add_words ma ~base:0 ws;
+      Array.iter (Signature.add_word mb ~base:0) ws;
+      Alcotest.(check bool)
+        (Printf.sprintf "signature identical at n=%d" n)
+        true
+        (Signature.equal3 (Signature.read ma ~base:0)
+           (Signature.read mb ~base:0));
+      (* The bulk path must keep the signature page write-tracked. *)
+      if n > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "bulk path marks dirty at n=%d" n)
+          true
+          (Mem.page_is_dirty ma ~addr:0))
+    checksum_sizes
+
+(* --- delta-chain ring eviction (fold-on-evict) --------------------------- *)
+
+(* Drive a real workload through three quiescent cuts, capturing each
+   cut both as Full (reference) and incrementally (engine protocol:
+   Full base, then deltas, clearing dirty flags). Pushing the third
+   incremental snapshot into a depth-2 ring evicts the base and folds
+   it into the middle delta, which must then restore bit-for-bit like
+   the Full snapshot of the same cut. *)
+let test_ring_eviction_folds_base () =
+  let config =
+    {
+      (Runner.config_for ~mode:Config.CC ~nreplicas:2 ~arch:x86 ~seed:9 ())
+      with
+      Config.exception_barriers = true;
+    }
+  in
+  let program =
+    Md5sum.program ~message_words:96 ~iters:8 ~seed:6 ~branch_count:false ()
+  in
+  let sys = System.create ~config ~program in
+  let mem = (System.machine sys).Machine.mem in
+  let lay = System.layout sys in
+  let capture ?clear_dirty ~kind () =
+    let replicas =
+      List.map
+        (fun rid -> (rid, System.kernel sys rid, System.replica_done sys rid))
+        (System.live sys)
+    in
+    Checkpoint.capture ?clear_dirty mem lay ~kind ~cycle:(System.now sys)
+      ~round_seq:0 ~ticks:0 ~prim:(System.primary sys) ~replicas
+  in
+  let fullring = Checkpoint.create ~depth:3 in
+  let incr = Checkpoint.create ~depth:2 in
+  let cuts =
+    List.map
+      (fun i ->
+        System.run sys ~max_cycles:30_000;
+        Alcotest.(check bool)
+          (Printf.sprintf "cut %d is mid-run" i)
+          true
+          ((not (System.finished sys)) && System.halted sys = None);
+        let f = capture ~clear_dirty:false ~kind:Checkpoint.Full () in
+        Checkpoint.push fullring f;
+        let kind =
+          if Checkpoint.count incr = 0 then Checkpoint.Full
+          else Checkpoint.Delta
+        in
+        let d = capture ~kind () in
+        Checkpoint.push incr d;
+        (f, d))
+      [ 1; 2; 3 ]
+  in
+  (* Depth 2 held: the base was evicted and folded into cut 2's delta. *)
+  Alcotest.(check int) "ring bounded" 2 (Checkpoint.count incr);
+  (match Checkpoint.to_list incr with
+  | [ newest; folded ] ->
+      Alcotest.(check bool) "newest still a delta" true
+        (Checkpoint.kind newest = Checkpoint.Delta);
+      Alcotest.(check bool) "folded base is self-contained" true
+        (Checkpoint.kind folded = Checkpoint.Full)
+  | l -> Alcotest.failf "ring holds %d snapshots" (List.length l));
+  (* The surviving ring snapshots (the fold replaced cut 2's delta with
+     a new self-contained snap, so resolve through the ring itself)
+     restore the same replica partitions as the Full snapshots of their
+     cuts - including the folded base, which absorbed cut 1's pages. *)
+  let f2, _ = List.nth cuts 1 and f3, _ = List.nth cuts 2 in
+  let ring_newest, ring_folded =
+    match Checkpoint.to_list incr with
+    | [ a; b ] -> (a, b)
+    | _ -> assert false
+  in
+  List.iter
+    (fun (label, f, d) ->
+      List.iter
+        (fun rid ->
+          let a = Checkpoint.resolve_partition fullring f ~rid in
+          let b = Checkpoint.resolve_partition incr d ~rid in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s replica %d identical" label rid)
+            true (a = b))
+        (System.live sys))
+    [ ("folded cut 2", f2, ring_folded); ("cut 3", f3, ring_newest) ];
+  (* And a memory-level restore agrees end-to-end, not just per slot. *)
+  Checkpoint.restore_memory mem lay fullring f3;
+  let img_full = Mem.read_block mem 0 (Mem.size mem) in
+  Checkpoint.restore_memory mem lay incr ring_newest;
+  let img_incr = Mem.read_block mem 0 (Mem.size mem) in
+  Alcotest.(check bool) "restored memory identical" true
+    (img_full = img_incr);
+  (* The O(dirty) claim: the delta captures copied strictly fewer words
+     than their Full twins, and accounting balances. *)
+  List.iteri
+    (fun i (f, d) ->
+      Alcotest.(check int)
+        (Printf.sprintf "cut %d words accounting" (i + 1))
+        (Checkpoint.total_words f)
+        (Checkpoint.total_words d);
+      if i > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "cut %d delta is smaller" (i + 1))
+          true
+          (Checkpoint.words d < Checkpoint.words f))
+    cuts
+
+(* --- acceptance: Full vs Incremental, LC/CC x DMR/TMR, both engines ------ *)
+
+let sum_hist sys name =
+  match Metrics.find_histogram (System.metrics sys) name with
+  | None -> 0.
+  | Some h -> List.fold_left ( +. ) 0. (Metrics.samples h)
+
+(* One faulty run: checkpointing on, a transient signature corruption
+   mid-run, recovery by rollback. masking = false so TMR also recovers
+   by rollback instead of masking the fault away. *)
+let faulty_run ~mode ~nreplicas ~engine ~ckpt_mode =
+  let config =
+    {
+      (Runner.config_for ~mode ~nreplicas ~arch:x86 ~seed:11 ())
+      with
+      Config.engine;
+      exception_barriers = true;
+      masking = false;
+      barrier_timeout = 600_000;
+      checkpoint_every = 2;
+      checkpoint_depth = 3;
+      max_rollbacks = 8;
+      checkpoint_mode = ckpt_mode;
+    }
+  in
+  let program =
+    Md5sum.program ~message_words:96 ~iters:8 ~seed:6 ~branch_count:false ()
+  in
+  let sys = System.create ~config ~program in
+  System.run sys ~max_cycles:60_000;
+  Mem.flip_bit (System.machine sys).Machine.mem
+    ~addr:(System.sig_base sys 1 + 1) ~bit:7;
+  System.run sys ~max_cycles:60_000_000;
+  sys
+
+let check_engines_identical ~label a b =
+  Alcotest.(check int) (label ^ ": final cycle") (System.now a) (System.now b);
+  Alcotest.(check bool) (label ^ ": rollbacks") true
+    (System.rollbacks a = System.rollbacks b);
+  Alcotest.(check int)
+    (label ^ ": checkpoints")
+    (System.checkpoints_taken a)
+    (System.checkpoints_taken b);
+  List.iter
+    (fun rid ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s: output r%d" label rid)
+        (System.output a rid) (System.output b rid))
+    (System.live a)
+
+let sweep_config ~mode ~nreplicas () =
+  let name =
+    Printf.sprintf "%s-%d" (Config.mode_to_string mode) nreplicas
+  in
+  let run engine ckpt_mode = faulty_run ~mode ~nreplicas ~engine ~ckpt_mode in
+  let sf = run Config.Sequential Config.Full in
+  let pf = run Config.Parallel Config.Full in
+  let si = run Config.Sequential Config.Incremental in
+  let pi = run Config.Parallel Config.Incremental in
+  List.iter
+    (fun (l, sys) ->
+      Alcotest.(check bool) (name ^ l ^ ": finished") true
+        (System.finished sys);
+      Alcotest.(check bool) (name ^ l ^ ": recovered, no halt") true
+        (System.halted sys = None);
+      Alcotest.(check bool) (name ^ l ^ ": rolled back") true
+        (System.rollbacks sys <> []);
+      Alcotest.(check string) (name ^ l ^ ": correct output") "........"
+        (System.output sys 0))
+    [ ("/seq-full", sf); ("/par-full", pf); ("/seq-incr", si);
+      ("/par-incr", pi) ];
+  (* Both engines agree bit-for-bit within each checkpoint mode. *)
+  check_engines_identical ~label:(name ^ "/full seq=par") sf pf;
+  check_engines_identical ~label:(name ^ "/incr seq=par") si pi;
+  (* Incremental is observably equivalent to Full: same recovered
+     outputs on every replica. (Cycle counts legitimately differ - the
+     capture stall is mode-dependent.) *)
+  List.iter
+    (fun rid ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s: full=incr output r%d" name rid)
+        (System.output sf rid) (System.output si rid))
+    (System.live sf);
+  (* And strictly cheaper: fewer charged checkpoint cycles end-to-end. *)
+  Alcotest.(check bool) (name ^ ": incremental charges less") true
+    (sum_hist si "ckpt.cost_cycles" < sum_hist sf "ckpt.cost_cycles")
+
+let test_sweep_lc_dmr () = sweep_config ~mode:Config.LC ~nreplicas:2 ()
+let test_sweep_lc_tmr () = sweep_config ~mode:Config.LC ~nreplicas:3 ()
+let test_sweep_cc_dmr () = sweep_config ~mode:Config.CC ~nreplicas:2 ()
+let test_sweep_cc_tmr () = sweep_config ~mode:Config.CC ~nreplicas:3 ()
+
+let suite =
+  [
+    Alcotest.test_case "dirty bitmap semantics" `Quick test_dirty_bitmap;
+    Alcotest.test_case "block-op abort payloads" `Quick
+      test_block_abort_payloads;
+    Alcotest.test_case "page-table dirty mirror" `Quick test_pte_dirty_mirror;
+    Alcotest.test_case "fletcher add_words identity" `Quick
+      test_fletcher_add_words_identity;
+    Alcotest.test_case "signature add_words identity" `Quick
+      test_signature_add_words_identity;
+    Alcotest.test_case "ring eviction folds base" `Quick
+      test_ring_eviction_folds_base;
+    Alcotest.test_case "full=incr sweep LC-DMR" `Slow test_sweep_lc_dmr;
+    Alcotest.test_case "full=incr sweep LC-TMR" `Slow test_sweep_lc_tmr;
+    Alcotest.test_case "full=incr sweep CC-DMR" `Slow test_sweep_cc_dmr;
+    Alcotest.test_case "full=incr sweep CC-TMR" `Slow test_sweep_cc_tmr;
+  ]
