@@ -111,8 +111,12 @@ let parallel_arg =
 
 (* Switch a configuration to the parallel engine, or explain — in the
    style of a lint finding — why this configuration cannot hold the
-   engine's determinism contract, and exit non-zero. *)
-let apply_engine ~parallel config =
+   engine's determinism contract, and exit non-zero. Networked
+   configurations are eligible only with a footprint proof over the
+   actual guest [program]: pass the one the run will assemble and the
+   analyzer's verdict (with instruction-address provenance on
+   rejection) decides. *)
+let apply_engine ?program ~parallel config =
   if not parallel then config
   else
     let config =
@@ -124,10 +128,26 @@ let apply_engine ~parallel config =
           || config.Config.mode <> Config.Base;
       }
     in
-    match Config.parallel_ineligibility config with
+    let elig =
+      match program with
+      | Some p when config.Config.with_net ->
+          Some (Eligibility.check ~config ~program:p)
+      | _ -> None
+    in
+    let net_ok =
+      match elig with Some e -> Eligibility.eligible e | None -> false
+    in
+    match Config.parallel_ineligibility ~net_ok config with
     | None -> config
     | Some reason ->
         Printf.eprintf "parallel:   rejected: %s\n" reason;
+        (match elig with
+        | Some e when not (Eligibility.eligible e) ->
+            List.iter
+              (fun d ->
+                Printf.eprintf "parallel:     %s\n" d.Eligibility.d_message)
+              (Eligibility.diags e)
+        | _ -> ());
         exit 1
 
 let mk_config ?(fast_catchup = false) ?(masking = false) ?(checkpoint_every = 0)
@@ -176,7 +196,7 @@ let run_cmd =
     let branch_count = Wl.branch_count_for arch in
     let program = program_of_name wl ~branch_count in
     let config =
-      apply_engine ~parallel
+      apply_engine ~program ~parallel
         {
           (mk_config ~fast_catchup ~checkpoint_every ~checkpoint_mode
              ~max_rollbacks mode n arch vm level seed ~with_net:false)
@@ -251,8 +271,13 @@ let kv_cmd =
          & info [ "masking" ]
              ~doc:"enable TMR->DMR error masking (requires -n 3)")
   in
-  let run mode n arch level seed wl records operations masking =
-    let config = mk_config ~masking mode n arch false level seed ~with_net:true in
+  let run mode n arch level seed wl records operations masking parallel =
+    let base = mk_config ~masking mode n arch false level seed ~with_net:true in
+    let config =
+      apply_engine ~parallel
+        ~program:(Kv_run.program_for ~config:base ~records ~operations)
+        base
+    in
     let res =
       Kv_run.run ~config ~workload:(Ycsb.workload_of_string wl) ~records
         ~operations ()
@@ -263,6 +288,14 @@ let kv_cmd =
       (Rcoe_machine.Arch.to_string arch)
       (Config.sync_level_to_string level)
       wl;
+    Printf.printf "engine:      %s\n"
+      (Config.engine_to_string config.Config.engine);
+    (match System.eligibility res.Kv_run.sys with
+    | Some e ->
+        Printf.printf "analyzer:    %s\n"
+          (if Eligibility.eligible e then "parallel-eligible"
+           else "parallel-ineligible")
+    | None -> ());
     Printf.printf "throughput:  %.1f kops/s (run phase: %d ops, %d cycles)\n"
       res.Kv_run.kops_per_sec res.Kv_run.ops_completed res.Kv_run.elapsed_cycles;
     Printf.printf "client:      %d issued, %d completed, %d corrupted, %d errors\n"
@@ -274,7 +307,7 @@ let kv_cmd =
   Cmd.v (Cmd.info "kv" ~doc)
     Term.(
       const run $ mode_arg $ replicas_arg $ arch_arg $ level_arg $ seed_arg
-      $ ycsb_arg $ records_arg $ ops_arg $ masking_arg)
+      $ ycsb_arg $ records_arg $ ops_arg $ masking_arg $ parallel_arg)
 
 let trace_cmd =
   let doc =
@@ -307,23 +340,24 @@ let trace_cmd =
        `trace -w whetstone --mode cc` works without an explicit -n. *)
     let n = if mode = Config.Base then max 1 n else max 2 n in
     let with_net = String.equal wl "kvstore" in
+    let records = 48 and operations = 96 in
     let base =
       mk_config ~fast_catchup ~checkpoint_every ~checkpoint_mode ~max_rollbacks
         mode n arch vm level seed ~with_net
     in
+    let program =
+      if with_net then Kv_run.program_for ~config:base ~records ~operations
+      else program_of_name wl ~branch_count:(Wl.branch_count_for arch)
+    in
     let config =
-      apply_engine ~parallel
+      apply_engine ~program ~parallel
         { base with Config.trace = Some { Rcoe_obs.Trace.capacity } }
     in
     let sys =
       if with_net then
-        let res =
-          Kv_run.run ~config ~workload:Ycsb.A ~records:48 ~operations:96 ()
-        in
+        let res = Kv_run.run ~config ~workload:Ycsb.A ~records ~operations () in
         res.Kv_run.sys
       else
-        let branch_count = Wl.branch_count_for arch in
-        let program = program_of_name wl ~branch_count in
         let r = Runner.run_program ~config ~program () in
         r.Runner.sys
     in
@@ -411,10 +445,30 @@ let disasm_cmd =
   in
   Cmd.v (Cmd.info "disasm" ~doc) Term.(const run $ wl_arg $ counted_arg)
 
+(* Parallel-eligibility verdicts for the lint front end: every workload
+   is judged as the guest of a networked configuration under each
+   coupling mode — exactly what decides whether `--parallel` would
+   admit it (see [Eligibility]). The CC/LC verdicts can differ because
+   the analyzer models the `get_info` driver-mode constant and prunes
+   the path the mode never takes. *)
+let elig_modes = [ ("cc", Config.CC); ("lc", Config.LC); ("base", Config.Base) ]
+
+let elig_config mode =
+  {
+    Config.default with
+    Config.mode;
+    nreplicas = (if mode = Config.Base then 1 else 2);
+    with_net = true;
+    exception_barriers = true;
+  }
+
+let eligibility_of program mode =
+  Eligibility.check ~config:(elig_config mode) ~program
+
 let lint_cmd =
   let doc =
     "statically analyze workloads for replication safety (LC_safe / \
-     CC_required / Rejected)"
+     CC_required / Rejected) and parallel-engine eligibility"
   in
   let wl_arg =
     Arg.(value & opt (some string) None
@@ -425,6 +479,18 @@ let lint_cmd =
          & info [ "branch-count" ]
              ~doc:"apply the branch-counting pass before analyzing")
   in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"emit the report as machine-readable JSON on stdout")
+  in
+  let sweep_arg =
+    Arg.(value & flag
+         & info [ "sweep" ]
+             ~doc:"one deterministic line per bundled workload: lint \
+                   verdicts plus per-mode parallel-eligibility — the \
+                   format the @lint-sweep expectations file pins")
+  in
   let verdict_str r =
     Rcoe_isa.Lint.verdict_to_string r.Rcoe_isa.Lint.verdict
   in
@@ -433,6 +499,68 @@ let lint_cmd =
       (List.filter
          (fun f -> f.Rcoe_isa.Lint.f_severity = sev)
          r.Rcoe_isa.Lint.findings)
+  in
+  let json_of_finding f =
+    Rcoe_obs.Json.Obj
+      [
+        ( "addr",
+          match f.Rcoe_isa.Lint.f_addr with
+          | Some a -> Rcoe_obs.Json.Int a
+          | None -> Rcoe_obs.Json.Null );
+        ("rule", Rcoe_obs.Json.String f.Rcoe_isa.Lint.f_rule);
+        ( "severity",
+          Rcoe_obs.Json.String
+            (Rcoe_isa.Lint.severity_to_string f.Rcoe_isa.Lint.f_severity) );
+        ("message", Rcoe_obs.Json.String f.Rcoe_isa.Lint.f_message);
+      ]
+  in
+  (* Timing ([host_us]) is deliberately excluded: the JSON report, like
+     the sweep lines, is bit-reproducible for a given build. *)
+  let json_of_elig e =
+    Rcoe_obs.Json.Obj
+      [
+        ("eligible", Rcoe_obs.Json.Bool (Eligibility.eligible e));
+        ("accesses", Rcoe_obs.Json.Int e.Eligibility.n_accesses);
+        ("rounds", Rcoe_obs.Json.Int e.Eligibility.rounds);
+        ( "diagnostics",
+          Rcoe_obs.Json.List
+            (List.map
+               (fun d ->
+                 Rcoe_obs.Json.Obj
+                   [
+                     ( "addr",
+                       match d.Eligibility.d_addr with
+                       | Some a -> Rcoe_obs.Json.Int a
+                       | None -> Rcoe_obs.Json.Null );
+                     ("message", Rcoe_obs.Json.String d.Eligibility.d_message);
+                   ])
+               (Eligibility.diags e)) );
+      ]
+  in
+  let json_of_workload name counted =
+    let program = lintable_program name ~branch_count:counted in
+    let r = analyze_program program in
+    ( r,
+      Rcoe_obs.Json.Obj
+        [
+          ("workload", Rcoe_obs.Json.String name);
+          ("branch_counted", Rcoe_obs.Json.Bool counted);
+          ("verdict", Rcoe_obs.Json.String (verdict_str r));
+          ( "findings",
+            Rcoe_obs.Json.List
+              (List.map json_of_finding r.Rcoe_isa.Lint.findings) );
+          ( "parallel_eligibility",
+            Rcoe_obs.Json.Obj
+              (List.map
+                 (fun (label, mode) ->
+                   (label, json_of_elig (eligibility_of program mode)))
+                 elig_modes) );
+        ] )
+  in
+  let elig_label e =
+    if Eligibility.eligible e then "eligible"
+    else
+      Printf.sprintf "ineligible:%d" (List.length (Eligibility.diags e))
   in
   let lint_one name counted =
     let program = lintable_program name ~branch_count:counted in
@@ -468,23 +596,52 @@ let lint_cmd =
               ])
           fs;
         Rcoe_util.Table.print t);
+    print_newline ();
+    print_endline "parallel eligibility (as a networked guest):";
+    List.iter
+      (fun (label, mode) ->
+        let e = eligibility_of program mode in
+        (match e.Eligibility.verdict with
+        | Eligibility.Eligible ->
+            Printf.printf
+              "  %-5s eligible (%d accesses proven device-clean, %d summary \
+               rounds)\n"
+              (label ^ ":") e.Eligibility.n_accesses e.Eligibility.rounds
+        | Eligibility.Ineligible ds ->
+            Printf.printf "  %-5s ineligible (%d diagnostic%s)\n" (label ^ ":")
+              (List.length ds)
+              (if List.length ds = 1 then "" else "s");
+            List.iter
+              (fun d -> Printf.printf "        %s\n" d.Eligibility.d_message)
+              ds))
+      elig_modes;
     r.Rcoe_isa.Lint.verdict <> Rcoe_isa.Lint.Rejected
   in
   let lint_all () =
     let t =
       Rcoe_util.Table.create
         ~headers:
-          [ "workload"; "verdict"; "counted verdict"; "warnings"; "infos" ]
+          [ "workload"; "verdict"; "counted verdict"; "warnings"; "infos";
+            "par-eligible" ]
     in
     let ok = ref true in
     List.iter
       (fun name ->
-        let plain = analyze_program (lintable_program name ~branch_count:false) in
+        let program = lintable_program name ~branch_count:false in
+        let plain = analyze_program program in
         let counted = analyze_program (lintable_program name ~branch_count:true) in
         if
           plain.Rcoe_isa.Lint.verdict = Rcoe_isa.Lint.Rejected
           || counted.Rcoe_isa.Lint.verdict = Rcoe_isa.Lint.Rejected
         then ok := false;
+        let par =
+          List.filter_map
+            (fun (label, mode) ->
+              if Eligibility.eligible (eligibility_of program mode) then
+                Some label
+              else None)
+            elig_modes
+        in
         Rcoe_util.Table.add_row t
           [
             name;
@@ -492,18 +649,85 @@ let lint_cmd =
             verdict_str counted;
             string_of_int (count Rcoe_isa.Lint.Warning plain);
             string_of_int (count Rcoe_isa.Lint.Info plain);
+            (if par = [] then "-" else String.concat "," par);
           ])
       lintable_names;
     Rcoe_util.Table.print t;
     !ok
   in
-  let run wl counted =
+  (* One line per workload, no timing, fixed field order: the format the
+     checked-in @lint-sweep expectations file pins, so any verdict drift
+     — lint or eligibility — shows up as a diff. *)
+  let lint_sweep () =
+    let ok = ref true in
+    List.iter
+      (fun name ->
+        let program = lintable_program name ~branch_count:false in
+        let plain = analyze_program program in
+        let counted = analyze_program (lintable_program name ~branch_count:true) in
+        if
+          plain.Rcoe_isa.Lint.verdict = Rcoe_isa.Lint.Rejected
+          || counted.Rcoe_isa.Lint.verdict = Rcoe_isa.Lint.Rejected
+        then ok := false;
+        Printf.printf "%s verdict=%s counted=%s warnings=%d infos=%d %s\n" name
+          (verdict_str plain) (verdict_str counted)
+          (count Rcoe_isa.Lint.Warning plain)
+          (count Rcoe_isa.Lint.Info plain)
+          (String.concat " "
+             (List.map
+                (fun (label, mode) ->
+                  Printf.sprintf "par.%s=%s" label
+                    (elig_label (eligibility_of program mode)))
+                elig_modes)))
+      lintable_names;
+    !ok
+  in
+  let lint_json wl counted =
+    match wl with
+    | Some name ->
+        let r, j = json_of_workload name counted in
+        print_endline (Rcoe_obs.Json.to_string j);
+        r.Rcoe_isa.Lint.verdict <> Rcoe_isa.Lint.Rejected
+    | None ->
+        let ok = ref true in
+        let js =
+          List.map
+            (fun name ->
+              let r, j = json_of_workload name false in
+              let counted =
+                analyze_program (lintable_program name ~branch_count:true)
+              in
+              if
+                r.Rcoe_isa.Lint.verdict = Rcoe_isa.Lint.Rejected
+                || counted.Rcoe_isa.Lint.verdict = Rcoe_isa.Lint.Rejected
+              then ok := false;
+              match j with
+              | Rcoe_obs.Json.Obj fields ->
+                  Rcoe_obs.Json.Obj
+                    (fields
+                    @ [
+                        ( "counted_verdict",
+                          Rcoe_obs.Json.String (verdict_str counted) );
+                      ])
+              | other -> other)
+            lintable_names
+        in
+        print_endline
+          (Rcoe_obs.Json.to_string
+             (Rcoe_obs.Json.Obj [ ("workloads", Rcoe_obs.Json.List js) ]));
+        !ok
+  in
+  let run wl counted json sweep =
     let ok =
-      match wl with Some name -> lint_one name counted | None -> lint_all ()
+      if sweep then lint_sweep ()
+      else if json then lint_json wl counted
+      else
+        match wl with Some name -> lint_one name counted | None -> lint_all ()
     in
     if not ok then exit 1
   in
-  Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ wl_arg $ counted_arg)
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(const run $ wl_arg $ counted_arg $ json_arg $ sweep_arg)
 
 let () =
   let doc = "redundant co-execution on a simulated COTS multicore" in

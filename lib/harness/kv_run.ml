@@ -10,15 +10,16 @@ type result = {
   sys : System.t;
 }
 
+let program_for ~config ~records ~operations =
+  let branch_count = Wl.branch_count_for config.Config.arch in
+  Kvstore.program ~max_records:(records + operations + 64) ~net_dpn:0
+    ~branch_count ()
+
 let run ~config ~workload ~records ~operations ?(window = 8) ?(gen_seed = 11)
     ?(chunk = 400) ?(stall_limit = 3_000_000) ?(max_cycles = 600_000_000)
     ?inject ?(stop_on_error = false) () =
   let config = { config with Config.with_net = true } in
-  let branch_count = Wl.branch_count_for config.Config.arch in
-  let program =
-    Kvstore.program ~max_records:(records + operations + 64) ~net_dpn:0
-      ~branch_count ()
-  in
+  let program = program_for ~config ~records ~operations in
   let sys = System.create ~config ~program in
   let net =
     match System.netdev sys with

@@ -16,6 +16,16 @@ type result = {
   sys : Rcoe_core.System.t;
 }
 
+val program_for :
+  config:Rcoe_core.Config.t ->
+  records:int ->
+  operations:int ->
+  Rcoe_isa.Program.t
+(** The exact guest program [run] assembles for this configuration and
+    workload size — exposed so front ends can pre-flight it (e.g. the
+    footprint analyzer's parallel-eligibility verdict) without
+    duplicating the sizing arithmetic. *)
+
 val run :
   config:Rcoe_core.Config.t ->
   workload:Rcoe_workloads.Ycsb.workload ->

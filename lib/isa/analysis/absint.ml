@@ -1,0 +1,671 @@
+(* Interprocedural interval/stride abstract interpretation over the
+   integer registers.
+
+   The domain is a reduced product of intervals with a congruence
+   anchored at the lower bound: an {!ival} [{lo; hi; stride}] denotes
+   the set { lo + k*stride | k >= 0 } intersected with [lo, hi] when
+   [lo] is finite and [stride >= 1]; [stride = 0] marks a singleton.
+   Bounds saturate to symbolic infinities well below the native word
+   range, so interval arithmetic never wraps; a finite upper bound is
+   therefore a true bound on the concrete value (the property the
+   footprint classifier relies on).
+
+   Loop termination comes from threshold widening: the widening ladder
+   is the set of immediate constants appearing in the program (plus
+   their neighbours and the data-segment limits), so a counting loop
+   guarded by [b lt rX, #8] stabilises at 8 instead of escaping to
+   infinity. Interprocedural precision comes from call-site-sensitive
+   entry environments (the [Call] edge carries the caller's registers
+   into the callee) combined with per-function exit summaries
+   substituted at [Retsite] edges, iterated to an outer fixpoint. *)
+
+(* --- intervals -------------------------------------------------------- *)
+
+let neg_inf = -max_int
+let pos_inf = max_int
+
+(* Saturation threshold: any computed bound beyond this collapses to an
+   infinity, keeping all finite interval arithmetic wrap-free. *)
+let big = 1 lsl 55
+let is_fin v = v > neg_inf && v < pos_inf
+let norm v = if v >= big then pos_inf else if v <= -big then neg_inf else v
+
+type ival = { lo : int; hi : int; stride : int }
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let gcd a b = gcd (abs a) (abs b)
+
+let mk ?(stride = 1) lo hi =
+  let lo = norm lo and hi = norm hi in
+  if lo = hi then { lo; hi; stride = 0 }
+  else if not (is_fin lo) then { lo; hi; stride = 1 }
+  else
+    let stride = if stride < 1 then 1 else stride in
+    let hi = if is_fin hi then lo + ((hi - lo) / stride * stride) else hi in
+    if lo = hi then { lo; hi; stride = 0 } else { lo; hi; stride }
+
+let top = mk neg_inf pos_inf
+let const n = mk (norm n) (norm n)
+let is_top iv = iv.lo = neg_inf && iv.hi = pos_inf
+let is_const iv = iv.lo = iv.hi && is_fin iv.lo
+
+let to_const iv = if is_const iv then Some iv.lo else None
+
+let join_iv a b =
+  let lo = min a.lo b.lo and hi = max a.hi b.hi in
+  if not (is_fin lo) then mk lo hi
+  else
+    let s = gcd (gcd a.stride b.stride) (abs (a.lo - b.lo)) in
+    mk ~stride:(if s = 0 then 1 else s) lo hi
+
+let meet_iv a b =
+  let lo = max a.lo b.lo and hi = min a.hi b.hi in
+  if lo > hi then None
+  else
+    let cong =
+      let cand x =
+        if is_fin x.lo && x.stride >= 1 then Some (x.lo, x.stride) else None
+      in
+      match (cand a, cand b) with
+      | Some (aa, sa), Some (ab, sb) ->
+          if sa >= sb then Some (aa, sa) else Some (ab, sb)
+      | (Some _ as c), None | None, (Some _ as c) -> c
+      | None, None -> None
+    in
+    match cong with
+    | Some (anchor, s) when s > 1 && is_fin lo && is_fin hi ->
+        let up v = v + ((((anchor - v) mod s) + s) mod s) in
+        let down v = v - ((((v - anchor) mod s) + s) mod s) in
+        let lo = up lo and hi = down hi in
+        if lo > hi then None else Some (mk ~stride:s lo hi)
+    | _ -> Some (mk lo hi)
+
+(* Saturating bound arithmetic; on conflicting infinities the suffix
+   names which way to resolve (towards the bound being computed). *)
+let add_lo a b =
+  if a = neg_inf || b = neg_inf then neg_inf
+  else if a = pos_inf || b = pos_inf then pos_inf
+  else norm (a + b)
+
+let add_hi a b =
+  if a = pos_inf || b = pos_inf then pos_inf
+  else if a = neg_inf || b = neg_inf then neg_inf
+  else norm (a + b)
+
+let neg_b v = if v = pos_inf then neg_inf else if v = neg_inf then pos_inf else -v
+
+let add_iv a b =
+  let s = gcd a.stride b.stride in
+  mk ~stride:(if s = 0 then 1 else s) (add_lo a.lo b.lo) (add_hi a.hi b.hi)
+
+let neg_iv a = mk ~stride:(max a.stride 1) (neg_b a.hi) (neg_b a.lo)
+let sub_iv a b = add_iv a (neg_iv b)
+
+(* Multiplication: exact for singletons; scaled for interval-times-const
+   when the bounds are small enough that the product cannot wrap; top
+   otherwise (native [( * )] wraps, so a partial claim would be
+   unsound). *)
+let small v = is_fin v && abs v <= 1 lsl 30
+
+let mul_iv a b =
+  match (to_const a, to_const b) with
+  | Some x, Some y -> const (x * y)
+  | _ -> (
+      let by_const iv c =
+        if c = 0 then Some (const 0)
+        else if not (small iv.lo && small iv.hi && abs c <= 1 lsl 30) then None
+        else
+          let s = max iv.stride 1 * abs c in
+          let s = if s > 1 lsl 30 then 1 else s in
+          if c > 0 then Some (mk ~stride:s (iv.lo * c) (iv.hi * c))
+          else Some (mk ~stride:s (iv.hi * c) (iv.lo * c))
+      in
+      match (to_const b, to_const a) with
+      | Some c, _ -> ( match by_const a c with Some r -> r | None -> top)
+      | _, Some c -> ( match by_const b c with Some r -> r | None -> top)
+      | _ -> top)
+
+let div_iv a b =
+  match (to_const a, to_const b) with
+  | Some x, Some y when y <> 0 -> const (x / y)
+  | _ ->
+      if b.lo >= 1 && a.lo >= 0 && is_fin b.lo then
+        mk (if is_fin a.lo && is_fin b.hi then a.lo / b.hi else 0)
+          (if is_fin a.hi then a.hi / b.lo else pos_inf)
+      else top
+
+let rem_iv a b =
+  match (to_const a, to_const b) with
+  | Some x, Some y when y <> 0 -> const (x mod y)
+  | _, Some k when k <> 0 ->
+      let k = abs k in
+      if a.lo >= 0 then
+        if is_fin a.hi && a.hi < k then a
+        else mk 0 (if is_fin a.hi then min a.hi (k - 1) else k - 1)
+      else mk (-(k - 1)) (k - 1)
+  | _ ->
+      if b.lo >= 1 && a.lo >= 0 then
+        mk 0 (if is_fin b.hi then b.hi - 1 else pos_inf)
+      else top
+
+let and_iv a b =
+  match (to_const a, to_const b) with
+  | Some x, Some y -> const (x land y)
+  | _, Some m when m >= 0 ->
+      mk 0 (if a.lo >= 0 && is_fin a.hi then min m a.hi else m)
+  | Some m, _ when m >= 0 ->
+      mk 0 (if b.lo >= 0 && is_fin b.hi then min m b.hi else m)
+  | _ -> if a.lo >= 0 && b.lo >= 0 then mk 0 (min a.hi b.hi) else top
+
+let next_pow2_minus1 v =
+  let rec go p = if p - 1 >= v then p - 1 else go (p * 2) in
+  if v >= 1 lsl 40 then pos_inf else go 1
+
+let orx_iv exact a b =
+  match (to_const a, to_const b) with
+  | Some x, Some y -> const (exact x y)
+  | _ ->
+      if a.lo >= 0 && b.lo >= 0 && is_fin a.hi && is_fin b.hi then
+        mk 0 (next_pow2_minus1 (max a.hi b.hi))
+      else top
+
+(* Shift semantics mirror {!Core.alu}: the amount is masked to 10 bits
+   and amounts >= 63 yield 0 (62 for [Asr]). *)
+let shift_amount n = n land 1023
+
+let shl_iv a b =
+  match (to_const a, to_const b) with
+  | Some x, Some y ->
+      let s = shift_amount y in
+      const (if s >= 63 then 0 else x lsl s)
+  | _, Some y ->
+      let s = shift_amount y in
+      if s >= 63 then const 0
+      else if s <= 30 then mul_iv a (const (1 lsl s))
+      else top
+  | _ -> top
+
+let shr_iv a b =
+  match (to_const a, to_const b) with
+  | Some x, Some y ->
+      let s = shift_amount y in
+      const (if s >= 63 then 0 else x lsr s)
+  | _, Some y when a.lo >= 0 ->
+      let s = shift_amount y in
+      if s >= 63 then const 0
+      else
+        mk (if is_fin a.lo then a.lo lsr s else 0)
+          (if is_fin a.hi then a.hi lsr s else pos_inf)
+  | _ -> top
+
+let asr_iv a b =
+  match to_const b with
+  | Some y ->
+      let s = min (shift_amount y) 62 in
+      mk
+        (if is_fin a.lo then a.lo asr s else neg_inf)
+        (if is_fin a.hi then a.hi asr s else pos_inf)
+  | None -> top
+
+let alu_iv op a b =
+  match (op : Instr.alu) with
+  | Instr.Add -> add_iv a b
+  | Instr.Sub -> sub_iv a b
+  | Instr.Mul -> mul_iv a b
+  | Instr.Div -> div_iv a b
+  | Instr.Rem -> rem_iv a b
+  | Instr.And -> and_iv a b
+  | Instr.Or -> orx_iv ( lor ) a b
+  | Instr.Xor -> orx_iv ( lxor ) a b
+  | Instr.Shl -> shl_iv a b
+  | Instr.Shr -> shr_iv a b
+  | Instr.Asr -> asr_iv a b
+
+let iv_to_string iv =
+  let b v =
+    if v = neg_inf then "-inf"
+    else if v = pos_inf then "+inf"
+    else Printf.sprintf "0x%x" v
+  in
+  if is_top iv then "top"
+  else if is_const iv then b iv.lo
+  else if iv.stride > 1 then
+    Printf.sprintf "[%s,%s]/%d" (b iv.lo) (b iv.hi) iv.stride
+  else Printf.sprintf "[%s,%s]" (b iv.lo) (b iv.hi)
+
+(* --- register environments -------------------------------------------- *)
+
+type env = Bot | Env of ival array
+
+let env_equal a b =
+  match (a, b) with
+  | Bot, Bot -> true
+  | Env x, Env y ->
+      let ok = ref true in
+      for i = 0 to Reg.count - 1 do
+        if x.(i) <> y.(i) then ok := false
+      done;
+      !ok
+  | _ -> false
+
+let env_join a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Env x, Env y -> Env (Array.init Reg.count (fun i -> join_iv x.(i) y.(i)))
+
+let sp_i = Reg.index Reg.sp
+
+(* All registers unknown except the stack pointer — what a [Retsite]
+   falls back to when the callee cannot be resolved. *)
+let havoc v =
+  let r = Array.make Reg.count top in
+  r.(sp_i) <- v.(sp_i);
+  Env r
+
+module Lat = struct
+  type t = env
+
+  let equal = env_equal
+  let join = env_join
+end
+
+module Flow = Dataflow.Make (Lat)
+
+(* --- widening thresholds ---------------------------------------------- *)
+
+let thresholds_of program =
+  let tbl = Hashtbl.create 64 in
+  let add n =
+    if is_fin (norm n) then begin
+      Hashtbl.replace tbl (n - 1) ();
+      Hashtbl.replace tbl n ();
+      Hashtbl.replace tbl (n + 1) ()
+    end
+  in
+  add 0;
+  add Program.data_base;
+  add (Program.data_base + program.Program.data_words);
+  Array.iter
+    (fun ins ->
+      match (ins : Instr.t) with
+      | Instr.Mov (_, Instr.Imm n)
+      | Instr.Alu (_, _, _, Instr.Imm n)
+      | Instr.B (_, _, Instr.Imm n, _)
+      | Instr.Atomic_add (_, _, Instr.Imm n) ->
+          add n
+      | Instr.Ld (_, _, off) | Instr.St (_, _, off) -> add off
+      | _ -> ())
+    program.Program.code;
+  let ts = Hashtbl.fold (fun k () acc -> k :: acc) tbl [] in
+  Array.of_list (List.sort compare ts)
+
+(* Smallest threshold >= v (else +inf) / largest <= v (else -inf). *)
+let thr_up ts v =
+  let n = Array.length ts in
+  let rec bs lo hi =
+    if lo >= hi then if lo < n && ts.(lo) >= v then ts.(lo) else pos_inf
+    else
+      let m = (lo + hi) / 2 in
+      if ts.(m) >= v then bs lo m else bs (m + 1) hi
+  in
+  bs 0 n
+
+let thr_down ts v =
+  let n = Array.length ts in
+  let rec bs lo hi =
+    if lo >= hi then if lo - 1 >= 0 && ts.(lo - 1) <= v then ts.(lo - 1) else neg_inf
+    else
+      let m = (lo + hi) / 2 in
+      if ts.(m) <= v then bs (m + 1) hi else bs lo m
+  in
+  bs 0 n
+
+let widen_iv ts old j =
+  if old = j then j
+  else
+    let lo_grew = j.lo < old.lo in
+    let lo = if lo_grew then thr_down ts j.lo else j.lo in
+    let hi = if j.hi > old.hi then thr_up ts j.hi else j.hi in
+    (* Re-anchoring the congruence at a widened lower bound would change
+       its residue class, so drop the stride in that case. *)
+    mk ~stride:(if lo_grew then 1 else max j.stride 1) lo hi
+
+(* --- branch refinement ------------------------------------------------ *)
+
+(* Meet [v] with the fact implied by [r cond op] holding (or its
+   negation on the fall edge). *)
+let negate = function
+  | Instr.Eq -> Instr.Ne
+  | Instr.Ne -> Instr.Eq
+  | Instr.Lt -> Instr.Ge
+  | Instr.Le -> Instr.Gt
+  | Instr.Gt -> Instr.Le
+  | Instr.Ge -> Instr.Lt
+
+let cond_range cond c =
+  match (cond : Instr.cond) with
+  | Instr.Eq -> Some (const c)
+  | Instr.Ne -> None
+  | Instr.Lt -> Some (mk neg_inf (c - 1))
+  | Instr.Le -> Some (mk neg_inf c)
+  | Instr.Gt -> Some (mk (c + 1) pos_inf)
+  | Instr.Ge -> Some (mk c pos_inf)
+
+let refine_ne iv c =
+  if is_const iv && iv.lo = c then None
+  else if is_fin iv.lo && iv.lo = c then Some (mk ~stride:iv.stride (c + 1) iv.hi)
+  else if is_fin iv.hi && iv.hi = c then Some (mk ~stride:iv.stride iv.lo (c - 1))
+  else Some iv
+
+let assume cond r op v =
+  let ri = Reg.index r in
+  let against_const v ri cond c =
+    match (cond : Instr.cond) with
+    | Instr.Ne -> (
+        match refine_ne v.(ri) c with
+        | None -> None
+        | Some iv ->
+            let v' = Array.copy v in
+            v'.(ri) <- iv;
+            Some v')
+    | _ -> (
+        match cond_range cond c with
+        | None -> Some v
+        | Some range -> (
+            match meet_iv v.(ri) range with
+            | None -> None
+            | Some iv ->
+                let v' = Array.copy v in
+                v'.(ri) <- iv;
+                Some v'))
+  in
+  match op with
+  | Instr.Imm c -> against_const v ri cond c
+  | Instr.Reg r2 ->
+      let oi = Reg.index r2 in
+      let a = v.(ri) and b = v.(oi) in
+      (* Refine each side against the other's bounds; apply both. *)
+      let step v =
+        match (cond : Instr.cond) with
+        | Instr.Eq -> (
+            match meet_iv v.(ri) v.(oi) with
+            | None -> None
+            | Some m ->
+                let v' = Array.copy v in
+                v'.(ri) <- m;
+                v'.(oi) <- m;
+                Some v')
+        | Instr.Ne ->
+            if is_const a && is_const b && a.lo = b.lo then None else Some v
+        | Instr.Lt | Instr.Le | Instr.Gt | Instr.Ge ->
+            let upper, strict_u =
+              (* constraint: ri <= bound (maybe strict) *)
+              match cond with
+              | Instr.Lt -> (b.hi, true)
+              | Instr.Le -> (b.hi, false)
+              | _ -> (pos_inf, false)
+            and lower, strict_l =
+              match cond with
+              | Instr.Gt -> (b.lo, true)
+              | Instr.Ge -> (b.lo, false)
+              | _ -> (neg_inf, false)
+            in
+            let hi_c =
+              if upper = pos_inf then pos_inf
+              else if strict_u then upper - 1
+              else upper
+            and lo_c =
+              if lower = neg_inf then neg_inf
+              else if strict_l then lower + 1
+              else lower
+            in
+            (match meet_iv v.(ri) (mk lo_c hi_c) with
+            | None -> None
+            | Some ra -> (
+                (* mirrored constraint on the other register *)
+                let lo_o, hi_o =
+                  match cond with
+                  | Instr.Lt -> ((if is_fin a.lo then a.lo + 1 else neg_inf), pos_inf)
+                  | Instr.Le -> (a.lo, pos_inf)
+                  | Instr.Gt -> (neg_inf, if is_fin a.hi then a.hi - 1 else pos_inf)
+                  | Instr.Ge -> (neg_inf, a.hi)
+                  | _ -> (neg_inf, pos_inf)
+                in
+                match meet_iv v.(oi) (mk lo_o hi_o) with
+                | None -> None
+                | Some rb ->
+                    let v' = Array.copy v in
+                    v'.(ri) <- ra;
+                    v'.(oi) <- rb;
+                    Some v'))
+      in
+      step v
+
+(* --- transfer function ------------------------------------------------ *)
+
+type syscall_model = sysno:int -> r0:ival -> ival
+
+let default_syscall : syscall_model = fun ~sysno:_ ~r0:_ -> top
+
+let transfer_of program (syscall : syscall_model) =
+  let eval v = function
+    | Instr.Imm n -> const n
+    | Instr.Reg r -> v.(Reg.index r)
+  in
+  fun _addr ins env ->
+    match env with
+    | Bot -> Bot
+    | Env v -> (
+        let set r iv =
+          let v' = Array.copy v in
+          v'.(Reg.index r) <- iv;
+          Env v'
+        in
+        match (ins : Instr.t) with
+        | Instr.Nop | Instr.Halt | Instr.St _ | Instr.Ret | Instr.Jmp _
+        | Instr.B _ | Instr.Jr _ | Instr.Fb _ | Instr.Falu _ | Instr.Funop _
+        | Instr.Fldi _ | Instr.Fld _ | Instr.Fst _ | Instr.Itof _ ->
+            env
+        | Instr.Mov (rd, o) -> set rd (eval v o)
+        | Instr.La (rd, l) -> set rd (const (Program.data_addr program l))
+        | Instr.Alu (op, rd, rs, o) ->
+            set rd (alu_iv op v.(Reg.index rs) (eval v o))
+        | Instr.Not (rd, rs) -> (
+            match to_const v.(Reg.index rs) with
+            | Some x -> set rd (const (lnot x))
+            | None -> set rd top)
+        | Instr.Ld (rd, _, _) -> set rd top
+        | Instr.Push _ ->
+            set Reg.sp (sub_iv v.(sp_i) (const 1))
+        | Instr.Pop rd ->
+            let v' = Array.copy v in
+            v'.(Reg.index rd) <- top;
+            v'.(sp_i) <- add_iv v.(sp_i) (const 1);
+            if Reg.equal rd Reg.sp then v'.(sp_i) <- top;
+            Env v'
+        | Instr.Jal _ -> set Reg.lr top
+        | Instr.Syscall n -> set Reg.R0 (syscall ~sysno:n ~r0:v.(Reg.index Reg.R0))
+        | Instr.Rep_movs ->
+            let v' = Array.copy v in
+            let r0 = Reg.index Reg.R0
+            and r1 = Reg.index Reg.R1
+            and r2 = Reg.index Reg.R2 in
+            let cnt = v.(r2) in
+            (* count <= 0 copies nothing and leaves r0/r1 unchanged *)
+            let cnt_eff = join_iv (const 0) cnt in
+            v'.(r0) <- add_iv v.(r0) cnt_eff;
+            v'.(r1) <- add_iv v.(r1) cnt_eff;
+            v'.(r2) <- const 0;
+            Env v'
+        | Instr.Ldex (rd, _) -> set rd top
+        | Instr.Stex (rres, _, _) -> set rres (mk 0 1)
+        | Instr.Atomic_add (rd, _, _) -> set rd top
+        | Instr.Cas (rd, _, _, _) -> set rd top
+        | Instr.Cntinc -> set Reg.branch_counter top
+        | Instr.Ftoi (rd, _) -> set rd top)
+
+(* --- interprocedural driver ------------------------------------------- *)
+
+type result = {
+  cfg : Cfg.t;
+  before : env array;
+  after : env array;
+  rounds : int;  (** Outer summary-fixpoint iterations. *)
+  diverged : int option;
+      (** Address of a non-stabilising block if the inner solver tripped
+          its iteration guard (analysis facts are then top-degraded and
+          must be treated as "don't know"). *)
+}
+
+let reg_of before addr r =
+  match before.(addr) with
+  | Bot -> None
+  | Env v -> Some v.(Reg.index r)
+
+let analyze ?(syscall = default_syscall) ?init cfg =
+  let program = cfg.Cfg.program in
+  let code = program.Program.code in
+  let n = Array.length code in
+  let nb = Array.length cfg.Cfg.blocks in
+  let ts = thresholds_of program in
+  let init_env =
+    match init with
+    | Some e -> Env e
+    | None -> Env (Array.make Reg.count top)
+  in
+  (* Widening points: every target of an address-retreating edge — any
+     control-flow cycle contains at least one such edge. *)
+  let widen_pts = Hashtbl.create 16 in
+  Array.iter
+    (fun b ->
+      List.iter
+        (fun (p, _) ->
+          if cfg.Cfg.blocks.(p).Cfg.first >= b.Cfg.first then
+            Hashtbl.replace widen_pts b.Cfg.first ())
+        b.Cfg.preds)
+    cfg.Cfg.blocks;
+  let widen ~at ~old inflow =
+    let j = env_join old inflow in
+    if not (Hashtbl.mem widen_pts at) then j
+    else
+      match (old, j) with
+      | Bot, _ | _, Bot -> j
+      | Env o, Env x ->
+          Env (Array.init Reg.count (fun i -> widen_iv ts o.(i) x.(i)))
+  in
+  (* Call graph: call site -> callee entry; callee entry -> its Ret
+     addresses (found by walking instruction successors without
+     descending through further Call edges). *)
+  let call_target src =
+    List.find_map
+      (fun (k, t) -> if k = Cfg.Call then Some t else None)
+      cfg.Cfg.insn_succs.(src)
+  in
+  let callees = Hashtbl.create 8 in
+  Array.iteri
+    (fun a ins ->
+      match (ins : Instr.t) with
+      | Instr.Jal _ -> (
+          match call_target a with
+          | Some e when not (Hashtbl.mem callees e) ->
+              let seen = Array.make n false in
+              let q = Queue.create () in
+              Queue.add e q;
+              if e >= 0 && e < n then seen.(e) <- true;
+              let rets = ref [] in
+              while not (Queue.is_empty q) do
+                let a = Queue.pop q in
+                (match code.(a) with
+                | Instr.Ret -> rets := a :: !rets
+                | _ -> ());
+                List.iter
+                  (fun (k, s) ->
+                    if k <> Cfg.Call && s >= 0 && s < n && not (seen.(s))
+                    then begin
+                      seen.(s) <- true;
+                      Queue.add s q
+                    end)
+                  cfg.Cfg.insn_succs.(a)
+              done;
+              Hashtbl.replace callees e !rets
+          | _ -> ())
+      | _ -> ())
+    code;
+  let summaries = Hashtbl.create 8 in
+  let summary e = try Hashtbl.find summaries e with Not_found -> Bot in
+  let transfer = transfer_of program syscall in
+  let refine_edge src k v =
+    match code.(src) with
+    | Instr.B (cond, r, op, _) -> (
+        let cond = if k = Cfg.Jump then cond else negate cond in
+        match assume cond r op v with None -> Bot | Some v' -> Env v')
+    | _ -> Env v
+  in
+  let edge_at ~src k x =
+    match x with
+    | Bot -> Bot
+    | Env v -> (
+        match (k : Cfg.edge_kind) with
+        | Cfg.Call -> x
+        | Cfg.Retsite -> (
+            match call_target src with
+            | Some e -> (
+                match summary e with
+                | Bot -> Bot
+                | Env s ->
+                    let r = Array.copy s in
+                    (* balanced callee: sp on return = sp at the call *)
+                    r.(sp_i) <- v.(sp_i);
+                    Env r)
+            | None -> havoc v)
+        | Cfg.Fall | Cfg.Jump -> refine_edge src k v
+        | Cfg.Indirect -> x)
+  in
+  let max_rounds = 64 in
+  let solve () =
+    Flow.solve ~cfg ~direction:Dataflow.Forward ~init:init_env ~bottom:Bot
+      ~transfer ~edge_at ~widen
+      ~max_visits:(4096 * (nb + 8))
+      ()
+  in
+  let diverged = ref None in
+  let rec iterate round r =
+    let changed = ref false in
+    Hashtbl.iter
+      (fun e rets ->
+        let s =
+          List.fold_left
+            (fun acc a -> env_join acc r.Flow.after.(a))
+            (summary e) rets
+        in
+        if not (env_equal s (summary e)) then begin
+          changed := true;
+          Hashtbl.replace summaries e s
+        end)
+      callees;
+    if not !changed then (r, round)
+    else if round >= max_rounds then begin
+      (* Summaries still growing: facts would be unsound if trusted. *)
+      diverged := Some (-1);
+      (r, round)
+    end
+    else
+      match solve () with
+      | r' -> iterate (round + 1) r'
+      | exception Dataflow.Diverged a ->
+          diverged := Some a;
+          (r, round)
+  in
+  match solve () with
+  | r ->
+      let r, rounds = iterate 1 r in
+      { cfg; before = r.Flow.before; after = r.Flow.after; rounds;
+        diverged = !diverged }
+  | exception Dataflow.Diverged a ->
+      {
+        cfg;
+        before = Array.make n (Env (Array.make Reg.count top));
+        after = Array.make n (Env (Array.make Reg.count top));
+        rounds = 0;
+        diverged = Some a;
+      }

@@ -1,0 +1,102 @@
+(** Interprocedural interval/stride abstract interpretation.
+
+    Computes, for every instruction, a sound over-approximation of each
+    integer register's value as an interval with an optional congruence
+    (stride) anchored at the lower bound. Built on the {!Dataflow}
+    worklist solver over the {!Cfg}:
+
+    - {b Widening}: loop heads (targets of address-retreating edges)
+      are widened against a threshold ladder made of the program's
+      immediate constants, so bounded loops keep their bounds while
+      unbounded chains terminate at infinity.
+    - {b Branch refinement}: [Fall]/[Jump] edges meet the flowing
+      environment with the branch condition (or its negation),
+      including register-register comparisons; an empty meet yields the
+      unreachable environment [Bot], pruning dead paths such as the
+      not-taken arm of a configuration test against a constant.
+    - {b Interprocedural}: [Call] edges carry the caller's registers
+      into the callee (entry facts join over call sites); [Retsite]
+      edges substitute the callee's exit summary with the caller's
+      stack pointer (callees are balanced); summaries are iterated to
+      an outer fixpoint.
+
+    Saturating arithmetic keeps every finite bound a true bound on the
+    concrete word value — the property {!Footprint} relies on to bound
+    memory accesses. *)
+
+(** {2 Intervals} *)
+
+val neg_inf : int
+val pos_inf : int
+(** Symbolic infinities: bounds saturate here well before the native
+    word range, so interval arithmetic never wraps. *)
+
+type ival = { lo : int; hi : int; stride : int }
+(** [{lo; hi; stride}] denotes [{ lo + k*stride | k >= 0 }] within
+    [\[lo, hi\]] when [lo] is finite and [stride >= 1]; [stride = 0]
+    marks a singleton; infinite [lo] carries no congruence. *)
+
+val top : ival
+val const : int -> ival
+val mk : ?stride:int -> int -> int -> ival
+(** [mk lo hi] with bound normalisation and stride reduction. *)
+
+val is_top : ival -> bool
+val is_const : ival -> bool
+val to_const : ival -> int option
+val join_iv : ival -> ival -> ival
+val meet_iv : ival -> ival -> ival option
+(** [None] when the intersection is empty. *)
+
+val add_iv : ival -> ival -> ival
+val sub_iv : ival -> ival -> ival
+val mul_iv : ival -> ival -> ival
+val alu_iv : Instr.alu -> ival -> ival -> ival
+(** Abstract counterpart of the machine ALU (matching its shift masking
+    and truncating division). *)
+
+val widen_iv : int array -> ival -> ival -> ival
+(** [widen_iv thresholds old joined]: extrapolate bounds that grew past
+    [old] to the nearest threshold (sorted ascending), or infinity. *)
+
+val iv_to_string : ival -> string
+
+(** {2 Register environments} *)
+
+type env = Bot | Env of ival array  (** [Bot] = unreachable. *)
+
+val env_equal : env -> env -> bool
+val env_join : env -> env -> env
+
+(** {2 Whole-program analysis} *)
+
+type syscall_model = sysno:int -> r0:ival -> ival
+(** Abstract return value (the kernel only writes [r0]) given the
+    syscall number and the abstract pre-state of [r0]. *)
+
+val default_syscall : syscall_model
+(** Returns {!top} for everything. *)
+
+type result = {
+  cfg : Cfg.t;
+  before : env array;  (** Per-instruction pre-state. *)
+  after : env array;  (** Per-instruction post-state. *)
+  rounds : int;  (** Outer summary-fixpoint iterations. *)
+  diverged : int option;
+      (** [Some addr] if the solver tripped its iteration guard (or
+          [-1] if function summaries failed to stabilise): the facts
+          are then top-degraded and must be treated as "don't know". *)
+}
+
+val analyze :
+  ?syscall:syscall_model -> ?init:ival array -> Cfg.t -> result
+(** [init] seeds the registers at every thread root (default: all
+    {!top}); pass a bounded stack pointer to get bounded stack
+    footprints. *)
+
+val thresholds_of : Program.t -> int array
+(** The widening ladder {!analyze} uses, exposed for tests. *)
+
+val reg_of : env array -> int -> Reg.t -> ival option
+(** [reg_of facts addr r]: the interval of [r] in [facts.(addr)], or
+    [None] when the point is unreachable ([Bot]). *)

@@ -1,5 +1,7 @@
 type direction = Forward | Backward
 
+exception Diverged of int
+
 module type LATTICE = sig
   type t
 
@@ -11,11 +13,14 @@ module Make (L : LATTICE) = struct
   type result = { before : L.t array; after : L.t array }
 
   let solve ~cfg ~direction ~init ~bottom ~transfer ?(edge = fun _ x -> x)
-      ?entries () =
+      ?edge_at ?widen ?max_visits ?entries () =
     let blocks = cfg.Cfg.blocks in
     let code = cfg.Cfg.program.Program.code in
     let n = Array.length code in
     let nb = Array.length blocks in
+    let budget =
+      ref (match max_visits with Some m -> m | None -> 256 * (nb + 8))
+    in
     let block_transfer b x =
       match direction with
       | Forward ->
@@ -66,16 +71,36 @@ module Make (L : LATTICE) = struct
         Queue.add id work
       end
     in
+    (* The edge adjustment, addressed by the control-transfer instruction
+       owning the edge: for P -> S that is always the last instruction of
+       the source block P (the pred under Forward, [b] itself under
+       Backward). *)
+    let edge_fn ~src k x =
+      match edge_at with Some f -> f ~src k x | None -> edge k x
+    in
     Array.iter (fun b -> push b.Cfg.id) blocks;
     while not (Queue.is_empty work) do
       let id = Queue.pop work in
       on_list.(id) <- false;
       let b = blocks.(id) in
+      if !budget <= 0 then raise (Diverged b.Cfg.first);
+      decr budget;
       let boundary = if is_entry b then init else bottom in
       let inflow =
         List.fold_left
-          (fun acc (p, k) -> L.join acc (edge k finish.(p)))
+          (fun acc (p, k) ->
+            let src =
+              match direction with
+              | Forward -> blocks.(p).Cfg.last
+              | Backward -> b.Cfg.last
+            in
+            L.join acc (edge_fn ~src k finish.(p)))
           boundary (in_neighbours b)
+      in
+      let inflow =
+        match widen with
+        | Some w -> w ~at:b.Cfg.first ~old:start.(id) inflow
+        | None -> inflow
       in
       start.(id) <- inflow;
       let out = block_transfer b inflow in

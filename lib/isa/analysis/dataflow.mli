@@ -12,6 +12,12 @@
 
 type direction = Forward | Backward
 
+exception Diverged of int
+(** Raised by [Make.solve] when the worklist has not stabilised within
+    its iteration budget — the payload is the first address of the block
+    still changing. Finite-height lattices never trip the guard; infinite
+    ascending chains (e.g. an interval domain without widening) do. *)
+
 module type LATTICE = sig
   type t
 
@@ -34,6 +40,9 @@ module Make (L : LATTICE) : sig
     bottom:L.t ->
     transfer:(int -> Instr.t -> L.t -> L.t) ->
     ?edge:(Cfg.edge_kind -> L.t -> L.t) ->
+    ?edge_at:(src:int -> Cfg.edge_kind -> L.t -> L.t) ->
+    ?widen:(at:int -> old:L.t -> L.t -> L.t) ->
+    ?max_visits:int ->
     ?entries:int list ->
     unit ->
     result
@@ -43,7 +52,22 @@ module Make (L : LATTICE) : sig
       default, every block with no successors. [bottom] must be a
       neutral element of [join]. [transfer addr instr fact] is applied
       in execution order for [Forward] and reverse order for
-      [Backward]. *)
+      [Backward].
+
+      [edge_at] supersedes [edge] when given: it additionally receives
+      the address of the control-transfer instruction owning the edge
+      (the last instruction of the source block), letting clients
+      resolve e.g. which [Jal] a [Retsite] edge belongs to, or refine
+      facts by the branch condition at [src].
+
+      [widen ~at ~old fact] is applied to every block's joined inflow
+      ([at] is the block's first address, [old] the previous boundary
+      fact, bottom on the first visit); return [fact] unchanged for a
+      plain join. Supplying an extrapolating widening is what guarantees
+      termination on infinite-ascending-chain lattices.
+
+      [max_visits] bounds total block recomputations (default
+      [256 * (blocks + 8)]); exceeding it raises {!Diverged}. *)
 end
 
 val live_in : Cfg.t -> Reg.t list array

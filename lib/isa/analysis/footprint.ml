@@ -1,0 +1,114 @@
+(* Memory footprints from abstract-interpretation facts.
+
+   Every reachable data access of the program is summarised as an
+   address range derived from the {!Absint} pre-state of its base
+   register — [ld]/[st]/float variants, [push]/[pop], the exclusive and
+   atomic operations, and [rep_movs] (whose source/destination ranges
+   span the whole copy, using the pre-state count). Ranges are then
+   classified against caller-supplied memory regions; the classifier is
+   deliberately region-agnostic so that the ISA layer stays independent
+   of the kernel's {!Layout} — the RCoE layer supplies the region table
+   and the policy (which classes are device-owned). *)
+
+type kind = Read | Write
+
+type access = {
+  a_addr : int;  (** Instruction address (provenance). *)
+  a_kind : kind;
+  a_what : string;  (** Human label: "store", "rep-movs source", ... *)
+  a_range : Absint.ival;  (** Abstract address range of the access. *)
+}
+
+type region = {
+  rg_name : string;
+  rg_lo : int;  (** First word address (inclusive). *)
+  rg_hi : int;  (** Last word address (inclusive). *)
+}
+
+let kind_to_string = function Read -> "read" | Write -> "write"
+
+let range_to_string (iv : Absint.ival) =
+  if Absint.is_const iv then Printf.sprintf "0x%x" iv.Absint.lo
+  else
+    let b v =
+      if v <= Absint.neg_inf then "-inf"
+      else if v >= Absint.pos_inf then "+inf"
+      else Printf.sprintf "0x%x" v
+    in
+    Printf.sprintf "[%s,%s]" (b iv.Absint.lo) (b iv.Absint.hi)
+
+let access_to_string a =
+  Printf.sprintf "%s at %d may %s %s" a.a_what a.a_addr
+    (kind_to_string a.a_kind) (range_to_string a.a_range)
+
+let overlaps (iv : Absint.ival) rg =
+  iv.Absint.lo <= rg.rg_hi && iv.Absint.hi >= rg.rg_lo
+
+let classify ~regions a = List.filter (overlaps a.a_range) regions
+
+(* --- extraction ------------------------------------------------------- *)
+
+let of_result (r : Absint.result) =
+  let code = r.Absint.cfg.Cfg.program.Program.code in
+  let out = ref [] in
+  let reg v rg = v.(Reg.index rg) in
+  let emit addr kind what range = out := { a_addr = addr; a_kind = kind; a_what = what; a_range = range } :: !out in
+  Array.iteri
+    (fun addr ins ->
+      if Cfg.reachable r.Absint.cfg addr then
+        match r.Absint.before.(addr) with
+        | Absint.Bot -> ()
+        | Absint.Env v -> (
+            let base rg off = Absint.add_iv (reg v rg) (Absint.const off) in
+            match (ins : Instr.t) with
+            | Instr.Ld (_, rs, off) -> emit addr Read "load" (base rs off)
+            | Instr.St (rb, _, off) -> emit addr Write "store" (base rb off)
+            | Instr.Fld (_, rs, off) -> emit addr Read "fp load" (base rs off)
+            | Instr.Fst (_, rs, off) -> emit addr Write "fp store" (base rs off)
+            | Instr.Push _ ->
+                emit addr Write "push" (Absint.sub_iv (reg v Reg.sp) (Absint.const 1))
+            | Instr.Pop _ -> emit addr Read "pop" (reg v Reg.sp)
+            | Instr.Ldex (_, rs) -> emit addr Read "exclusive load" (base rs 0)
+            | Instr.Stex (_, _, ra) ->
+                emit addr Write "exclusive store" (base ra 0)
+            | Instr.Atomic_add (_, ra, _) ->
+                let rg = base ra 0 in
+                emit addr Read "atomic add" rg;
+                emit addr Write "atomic add" rg
+            | Instr.Cas (_, ra, _, _) ->
+                let rg = base ra 0 in
+                emit addr Read "cas" rg;
+                emit addr Write "cas" rg
+            | Instr.Rep_movs ->
+                let cnt = reg v Reg.R2 in
+                (* count <= 0 copies nothing; otherwise the range spans
+                   [base, base + count - 1] using the pre-state count *)
+                if cnt.Absint.hi >= 1 then begin
+                  let span b =
+                    let last =
+                      Absint.add_iv b (Absint.sub_iv cnt (Absint.const 1))
+                    in
+                    Absint.mk b.Absint.lo last.Absint.hi
+                  in
+                  emit addr Write "rep-movs destination" (span (reg v Reg.R0));
+                  emit addr Read "rep-movs source" (span (reg v Reg.R1))
+                end
+            | _ -> ()))
+    code;
+  List.sort
+    (fun a b ->
+      match compare a.a_addr b.a_addr with 0 -> compare a.a_kind b.a_kind | c -> c)
+    !out
+
+type violation = { v_access : access; v_region : region }
+
+let violation_to_string v =
+  Printf.sprintf "%s at %d may %s %s %s" v.v_access.a_what v.v_access.a_addr
+    (kind_to_string v.v_access.a_kind) v.v_region.rg_name
+    (Printf.sprintf "[0x%x,0x%x]" v.v_region.rg_lo v.v_region.rg_hi)
+
+let violations ~forbidden accesses =
+  List.concat_map
+    (fun a ->
+      List.map (fun rg -> { v_access = a; v_region = rg }) (classify ~regions:forbidden a))
+    accesses

@@ -508,11 +508,31 @@ let analyze ?exit_syscalls ?spawn_syscall (p : Program.t) =
               (List.map (fun (a, _) -> string_of_int a) xs))));
   findings := List.rev_append (List.rev (race_findings cfg)) !findings;
   let findings = List.rev !findings in
+  (* Several passes can rediscover the same issue (e.g. one racy address
+     reached from two thread roots); report each diagnostic once. *)
+  let findings =
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun f ->
+        if Hashtbl.mem seen f then false
+        else begin
+          Hashtbl.add seen f ();
+          true
+        end)
+      findings
+  in
   let rank f =
     match f.f_severity with Error -> 0 | Warning -> 1 | Info -> 2
   in
+  (* Deterministic order: severity, then instruction address (findings
+     without one lead their severity class), discovery order breaking
+     the remaining ties — so reports diff cleanly across runs and code
+     shifts move a finding, not the whole list. *)
+  let key f =
+    (rank f, match f.f_addr with None -> (0, 0) | Some a -> (1, a))
+  in
   let findings =
-    List.stable_sort (fun a b -> compare (rank a) (rank b)) findings
+    List.stable_sort (fun a b -> compare (key a) (key b)) findings
   in
   let verdict =
     if List.exists (fun f -> f.f_severity = Error) findings then Rejected

@@ -38,7 +38,10 @@ type finding = {
 
 type report = {
   verdict : verdict;
-  findings : finding list;  (** Errors first, then warnings, then infos. *)
+  findings : finding list;
+      (** Deduplicated; errors first, then warnings, then infos, and
+          within a severity sorted by instruction address (address-less
+          findings first). *)
   cfg : Cfg.t;  (** The graph the verdict was computed on. *)
 }
 

@@ -53,6 +53,9 @@ let tick t =
   Array.iter Bus.tick t.buses;
   Array.iter (fun d -> d.Device.dev_tick ~now:t.now) t.devices
 
+let tick_devices t =
+  Array.iter (fun d -> d.Device.dev_tick ~now:t.now) t.devices
+
 let bus_lane t ~core_id = t.buses.(core_id)
 
 let bus_utilisation t =

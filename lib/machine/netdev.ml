@@ -92,6 +92,22 @@ let dev_tick t ~now =
   in
   drain ()
 
+(* The earliest cycle strictly after [after] at which this device could
+   change observable machine state on its own: the head of the host
+   queue becoming deliverable (bounded below by the next tick), or
+   [after] itself when the interrupt line is already up. [None] when the
+   device is quiescent — wedged, queue empty, or the RX ring full (a
+   full ring defers all deliveries to a driver consume, which user code
+   triggers, so no spontaneous activity can happen). *)
+let next_event t ~after =
+  if t.wedged then None
+  else if t.irq_line then Some after
+  else if Queue.length t.rx_ring >= t.nslots then None
+  else
+    match Queue.peek_opt t.host_q with
+    | None -> None
+    | Some (at, _) -> Some (max (after + 1) at)
+
 let read_reg t off =
   if off = reg_rx_count then Queue.length t.rx_ring
   else if off = reg_rx_addr then

@@ -49,6 +49,16 @@ val take_tx : t -> (int * int array) list
 (** Drain transmitted packets as [(completion_cycle, payload)] in
     transmission order. *)
 
+val next_event : t -> after:int -> int option
+(** The earliest cycle [>= after] at which the device could spontaneously
+    change machine state or demand attention: [after] itself if the
+    interrupt line is already raised, else the delivery cycle of the
+    queued head packet (clamped to [after + 1]); [None] when quiescent
+    (wedged, nothing queued, or the RX ring full — deliveries then wait
+    on a driver consume, which only user code triggers). The parallel
+    engine uses this to clip execution windows so that device activity
+    lands on the same cycle as under sequential stepping. *)
+
 val set_wedged : t -> bool -> unit
 (** A wedged NIC stops delivering queued packets and raising interrupts
     (the overclocking campaigns use this for catastrophic I/O-path

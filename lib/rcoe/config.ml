@@ -71,12 +71,22 @@ let checkpoint_mode_to_string = function
    parallel engine runs replicas concurrently only between sync points,
    so any feature that couples partitions *within* a round, at cycle
    granularity, keeps the configuration sequential. Returns the reason
-   the configuration cannot run in parallel, or [None] if it can. *)
-let parallel_ineligibility t =
-  if t.with_net then
+   the configuration cannot run in parallel, or [None] if it can.
+
+   [net_ok] is the footprint analyzer's per-workload verdict (see
+   [Eligibility]): a networked configuration is only admitted when the
+   caller proved that the program reaches device state exclusively
+   through the kernel-serialised syscall paths. Config alone cannot know
+   that — it never sees the program — so the default stays the blanket
+   rejection. *)
+let parallel_ineligibility ?(net_ok = false) t =
+  if t.with_net && not net_ok then
     Some
       "with_net: device DMA and IRQ delivery touch shared machine state \
-       every cycle, so replica cycles cannot be re-ordered across a window"
+       every cycle, so replica cycles cannot be re-ordered across a window \
+       unless the workload's memory footprint proves all device-ring \
+       accesses are kernel-serialised (run `rcoe_run lint` for the \
+       per-workload verdict)"
   else if t.mode <> Base && not t.exception_barriers then
     Some
       "exception_barriers=false under replication: an uncontrolled kernel \
@@ -90,7 +100,7 @@ let sync_level_to_string = function
   | Sync_args -> "A"
   | Sync_vote -> "S"
 
-let validate t =
+let validate ?net_ok t =
   let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
   if t.mode = Base && t.nreplicas <> 1 then
     err "Base mode requires exactly 1 replica (got %d)" t.nreplicas
@@ -122,7 +132,7 @@ let validate t =
     match t.engine with
     | Sequential -> Ok ()
     | Parallel -> (
-        match parallel_ineligibility t with
+        match parallel_ineligibility ?net_ok t with
         | None -> Ok ()
         | Some reason -> err "parallel engine ineligible: %s" reason)
 

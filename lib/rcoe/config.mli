@@ -100,20 +100,27 @@ type t = {
 val default : t
 (** Base mode, one replica, x86, [Sync_args], no VM, sane intervals. *)
 
-val validate : t -> (unit, string) result
+val validate : ?net_ok:bool -> t -> (unit, string) result
 (** Reject inconsistent configurations: [Base] with replicas <> 1, LC/CC
     with fewer than 2, masking with fewer than 3, VM on Arm (the paper's
     seL4 version lacks Arm hypervisor mode), CC masking on Arm (no spare
-    page-table bit — Section IV-A). *)
+    page-table bit — Section IV-A). [net_ok] is forwarded to
+    {!parallel_ineligibility}. *)
 
-val parallel_ineligibility : t -> string option
+val parallel_ineligibility : ?net_ok:bool -> t -> string option
 (** Lint-style eligibility check for the parallel engine: [Some reason]
     when the configuration genuinely cannot run domain-parallel —
-    currently [with_net] (per-cycle cross-partition DMA/IRQ traffic) and
-    replicated modes without [exception_barriers] (an uncontrolled
-    kernel abort halts the whole system mid-round). [None] means
-    [engine = Parallel] is valid. {!validate} rejects ineligible
-    parallel configurations with this reason. *)
+    [with_net] without a footprint proof (per-cycle cross-partition
+    DMA/IRQ traffic), and replicated modes without [exception_barriers]
+    (an uncontrolled kernel abort halts the whole system mid-round).
+    [None] means [engine = Parallel] is valid. {!validate} rejects
+    ineligible parallel configurations with this reason.
+
+    [net_ok] (default [false]) is the per-workload verdict of the
+    footprint analyzer ([Eligibility.check]): pass [true] only when the
+    analysis proved the program touches device state exclusively through
+    the kernel-serialised syscall paths — [System.create] does this
+    automatically for networked parallel configurations. *)
 
 val replicas_label : t -> string
 (** "Base", "LC-D", "LC-T", "CC-D", "CC-T", … as the paper labels

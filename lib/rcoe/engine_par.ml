@@ -122,6 +122,12 @@ let rec worker_loop t barrier slot r =
      timeout deadline fire before the window ends.
    - [Ph_rdv]: exactly up to the timeout deadline — the first cycle at
      which [advance_phase] declares the timeout.
+   In [Ph_idle] with a NIC attached, also no further than the device's
+   next spontaneous event: [advance_phase] polls the interrupt line only
+   in that phase, so the window must end exactly at the cycle where a
+   delivery (or an already-raised line) would make the sequential
+   engine's poll fire. During [Ph_rdv] the poll is dormant and deliveries
+   are replayed by the window-end device catch-up, so no clip is needed.
    Always clipped to the run budget and, when a [~stop] predicate is
    installed, to the next multiple-of-128 polling cycle. *)
 let window_cap t ~s ~start ~max_cycles ~has_stop =
@@ -129,8 +135,16 @@ let window_cap t ~s ~start ~max_cycles ~has_stop =
     match t.phase with
     | Ph_async _ -> s
     | Ph_idle ->
-        if t.cfg.Config.mode = Config.Base then t.next_tick
-        else min t.next_tick (s + 1 + t.cfg.Config.barrier_timeout)
+        let cap =
+          if t.cfg.Config.mode = Config.Base then t.next_tick
+          else min t.next_tick (s + 1 + t.cfg.Config.barrier_timeout)
+        in
+        (match t.net with
+        | Some nd -> (
+            match Netdev.next_event nd ~after:s with
+            | Some e -> min cap e
+            | None -> cap)
+        | None -> cap)
     | Ph_rdv { rdv_started } ->
         rdv_started + t.cfg.Config.barrier_timeout + 1
   in
@@ -270,6 +284,13 @@ let window t slots barrier ~s ~cap =
         ~cycles:(max 0 (span - ticked)))
     t.replicas;
   t.mach.Machine.now <- w_actual;
+  (* Device catch-up: one bulk tick at the window-end cycle drains
+     everything the per-cycle ticks of the sequential engine would have
+     delivered by now (delivery order, slot assignment and timestamps
+     depend only on the host queue and [now], so the result is
+     identical), before [advance_phase] polls the interrupt line or a
+     completed rendezvous consumes device state. *)
+  Machine.tick_devices t.mach;
   (* Commit per-replica trace buffers into the shared ring in
      deterministic order, then settle deferred metrics. *)
   let bufs =

@@ -195,6 +195,10 @@ type t = {
   mach : Machine.t;
   lay : Layout.t;
   lint : Rcoe_isa.Lint.report;
+  elig : Eligibility.t option;
+      (* Footprint-analyzer eligibility report; computed for every
+         networked configuration (on both engines, so the obs metric
+         sets stay identical), [None] otherwise. *)
   replicas : replica array;
   net : Netdev.t option;
   net_dpn : int;
@@ -241,6 +245,8 @@ let config t = t.cfg
 let machine t = t.mach
 
 let lint_report t = t.lint
+
+let eligibility t = t.elig
 
 let lint_warnings t =
   List.filter_map
@@ -433,9 +439,34 @@ let lint_program cfg (program : Rcoe_isa.Program.t) =
   lint
 
 let create ~config:cfg ~program =
-  (match Config.validate cfg with
+  (* Networked configurations get the footprint analyzer's per-workload
+     verdict up front — on both engines, so the metrics registered below
+     (and hence the bit-for-bit Seq/Par identity over metric names and
+     counter values) do not depend on the engine. The verdict feeds
+     [Config.validate ~net_ok]: a proof that all device-ring accesses
+     stay inside the kernel-serialised syscall paths lifts the blanket
+     with_net rejection for the parallel engine. *)
+  let elig =
+    if cfg.Config.with_net then Some (Eligibility.check ~config:cfg ~program)
+    else None
+  in
+  let net_ok =
+    match elig with Some e -> Eligibility.eligible e | None -> false
+  in
+  (match Config.validate ~net_ok cfg with
   | Ok () -> ()
-  | Error msg -> invalid_arg ("System.create: " ^ msg));
+  | Error msg ->
+      let msg =
+        (* When the one failing check is net eligibility, attach the
+           analyzer's instruction-address provenance. *)
+        match elig with
+        | Some e
+          when (not (Eligibility.eligible e))
+               && Config.validate ~net_ok:true cfg = Ok () ->
+            msg ^ "; analyzer verdict: " ^ Eligibility.describe e
+        | _ -> msg
+      in
+      invalid_arg ("System.create: " ^ msg));
   check_program cfg program;
   let lint = lint_program cfg program in
   let profile = Arch.profile_of cfg.Config.arch in
@@ -465,6 +496,25 @@ let create ~config:cfg ~program =
   in
   let metrics = Metrics.create () in
   let ms = make_metric_set metrics in
+  (* Analyzer observability. Counter values are part of the Seq/Par
+     bit-for-bit contract, so only deterministic quantities (verdicts,
+     access and diagnostic counts, summary rounds) become counters; the
+     host-side wall clock is a gauge, whose name — not value — the
+     identity test compares. *)
+  (match elig with
+  | None -> ()
+  | Some e ->
+      Metrics.set (Metrics.gauge metrics "absint_host_us") e.Eligibility.host_us;
+      Metrics.incr
+        ~by:(if Eligibility.eligible e then 1 else 0)
+        (Metrics.counter metrics "absint_eligible");
+      Metrics.incr
+        ~by:(List.length (Eligibility.diags e))
+        (Metrics.counter metrics "absint_diags");
+      Metrics.incr ~by:e.Eligibility.n_accesses
+        (Metrics.counter metrics "absint_accesses");
+      Metrics.incr ~by:e.Eligibility.rounds
+        (Metrics.counter metrics "absint_rounds"));
   let tref = ref None in
   let callbacks =
     {
@@ -548,6 +598,7 @@ let create ~config:cfg ~program =
       mach;
       lay;
       lint;
+      elig;
       replicas;
       net;
       net_dpn;

@@ -68,10 +68,15 @@ val create : config:Config.t -> program:Rcoe_isa.Program.t -> t
     program), runs the static analyzer ({!Rcoe_isa.Lint.analyze}),
     builds the machine, partitions memory, sets up one kernel per
     replica with role-dependent device mappings, and spawns the
-    program's main thread everywhere. Raises [Invalid_argument] on an
-    invalid configuration — including, when {!Config.strict_lint} is
-    set, a lint-rejected program or a racy ({!Rcoe_isa.Lint.CC_required})
-    program under LC coupling. *)
+    program's main thread everywhere. Networked configurations
+    additionally run the footprint analyzer ({!Eligibility.check});
+    its verdict decides whether [with_net] may use the parallel engine.
+    Raises [Invalid_argument] on an invalid configuration — including,
+    when {!Config.strict_lint} is set, a lint-rejected program or a racy
+    ({!Rcoe_isa.Lint.CC_required}) program under LC coupling, and, for
+    [engine = Parallel] with [with_net], a program whose footprint the
+    analyzer could not prove free of raw device-ring accesses (the
+    message carries the per-instruction provenance). *)
 
 val lint_report : t -> Rcoe_isa.Lint.report
 (** The static-analysis report computed at [create] time. *)
@@ -79,6 +84,14 @@ val lint_report : t -> Rcoe_isa.Lint.report
 val lint_warnings : t -> string list
 (** Warning-severity lint messages (data races, unresolvable spawns) —
     what an LC run should surface before silently risking divergence. *)
+
+val eligibility : t -> Eligibility.t option
+(** The footprint analyzer's parallel-eligibility report, computed at
+    [create] time for every networked configuration regardless of
+    engine ([None] when [with_net] is off). An [Eligible] verdict is
+    what admitted a networked configuration to the parallel engine; an
+    [Ineligible] one carries instruction-address provenance for each
+    device-region access the analysis could not rule out. *)
 
 val config : t -> Config.t
 val machine : t -> Rcoe_machine.Machine.t

@@ -41,6 +41,16 @@ let program ?(max_records = 8192) ?(net_dpn = 0) ~branch_count () =
     Asm.movi a R0 key;
     sys Rcoe_kernel.Syscall.sys_get_info
   in
+  (* Defensive handle validation: a node handle read from the table is
+     1-based with 0 = nil; anything outside [0, max_records] means the
+     chain word was corrupted, and treating it as nil keeps every walk
+     inside the node array. This also gives the footprint analyzer a
+     hard bound on chain-derived addresses, which is what proves the
+     serving loop parallel-eligible. *)
+  let clamp_handle r =
+    Asm.if_ a Instr.Lt r (Instr.Imm 0) (fun () -> Asm.movi a r 0);
+    Asm.if_ a Instr.Gt r (Instr.Imm max_records) (fun () -> Asm.movi a r 0)
+  in
 
   (* lookup: in R4 = key; out R6 = bucket, R7 = node address (0 if absent).
      Clobbers R12, R15. *)
@@ -49,6 +59,7 @@ let program ?(max_records = 8192) ?(net_dpn = 0) ~branch_count () =
       Asm.la a R7 "htab";
       Asm.add a R7 R7 R6;
       Asm.ld a R7 R7 0;
+      clamp_handle R7;
       Asm.label a "kvl_loop";
       Asm.b a Instr.Eq R7 (Instr.Imm 0) "kvl_done";
       Asm.la a R15 "nodes";
@@ -58,6 +69,7 @@ let program ?(max_records = 8192) ?(net_dpn = 0) ~branch_count () =
       Asm.ld a R12 R15 0;
       Asm.b a Instr.Eq R12 (Instr.Reg R4) "kvl_hit";
       Asm.ld a R7 R15 1;
+      clamp_handle R7;
       Asm.jmp a "kvl_loop";
       Asm.label a "kvl_hit";
       Asm.mov a R7 R15;
@@ -112,6 +124,9 @@ let program ?(max_records = 8192) ?(net_dpn = 0) ~branch_count () =
       (* allocate a node *)
       Asm.la a R8 "nfree";
       Asm.ld a R12 R8 0;
+      (* a corrupted (negative) allocation count reads as "table full" *)
+      Asm.if_ a Instr.Lt R12 (Instr.Imm 0) (fun () ->
+          Asm.movi a R12 max_records);
       Asm.b a Instr.Lt R12 (Instr.Imm max_records) "kvp_put_alloc";
       Asm.movi a R15 2;
       (* table full *)
@@ -160,6 +175,7 @@ let program ?(max_records = 8192) ?(net_dpn = 0) ~branch_count () =
       Asm.la a R7 "htab";
       Asm.add a R7 R7 R12;
       Asm.ld a R7 R7 0;
+      clamp_handle R7;
       Asm.label a "kvp_scan_chain";
       Asm.b a Instr.Eq R7 (Instr.Imm 0) "kvp_scan_next";
       Asm.b a Instr.Ge R5 (Instr.Reg R8) "kvp_scan_done";
@@ -174,6 +190,7 @@ let program ?(max_records = 8192) ?(net_dpn = 0) ~branch_count () =
       Asm.addi a R5 R5 1;
       Asm.ld a R7 R15 1;
       (* next *)
+      clamp_handle R7;
       Asm.jmp a "kvp_scan_chain";
       Asm.label a "kvp_scan_next";
       Asm.addi a R12 R12 1;

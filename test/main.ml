@@ -7,6 +7,7 @@ let () =
       ("checksum", Test_checksum.suite);
       ("isa", Test_isa.suite);
       ("analysis", Test_analysis.suite);
+      ("absint", Test_absint.suite);
       ("machine", Test_machine.suite);
       ("kernel", Test_kernel.suite);
       ("rcoe", Test_rcoe.suite);

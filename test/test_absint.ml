@@ -1,0 +1,415 @@
+(* The interprocedural interval/stride analysis (Absint), the footprint
+   extraction built on it (Footprint), and the parallel-eligibility
+   verdicts they power (Eligibility) — including the headline claim: an
+   analysis-approved networked kvstore runs on the parallel engine
+   bit-for-bit identical to the sequential one, while a crafted raw
+   DMA-ring store is rejected with instruction-address provenance. *)
+
+open Rcoe_isa
+open Rcoe_core
+module Layout = Rcoe_kernel.Layout
+module Metrics = Rcoe_obs.Metrics
+module Kv_run = Rcoe_harness.Kv_run
+module Ycsb = Rcoe_workloads.Ycsb
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let iv = Alcotest.testable
+    (fun fmt v -> Format.pp_print_string fmt (Absint.iv_to_string v))
+    ( = )
+
+(* --- Interval domain --------------------------------------------------- *)
+
+let test_ival_ops () =
+  let open Absint in
+  let j = join_iv (const 4) (const 10) in
+  Alcotest.check iv "join of constants keeps the gap as stride"
+    (mk ~stride:6 4 10) j;
+  (match meet_iv (mk ~stride:4 0 100) (mk 10 20) with
+  | None -> Alcotest.fail "meet should be non-empty"
+  | Some m ->
+      Alcotest.(check int) "meet lo aligned up" 12 m.lo;
+      Alcotest.(check int) "meet hi aligned down" 20 m.hi;
+      Alcotest.(check int) "meet keeps congruence" 4 m.stride);
+  Alcotest.(check bool) "disjoint constants meet empty" true
+    (meet_iv (const 3) (const 4) = None);
+  Alcotest.check iv "add shifts both bounds" (mk 5 15)
+    (add_iv (mk 0 10) (const 5));
+  Alcotest.(check int) "add saturates at the symbolic infinity" pos_inf
+    (add_iv (mk 0 pos_inf) (const 1)).hi;
+  Alcotest.check iv "singleton multiply is exact" (const 42)
+    (mul_iv (const 6) (const 7));
+  Alcotest.(check bool) "huge multiply degrades to top" true
+    (is_top (mul_iv top top));
+  (* The abstract ALU must match the machine's shift masking (amount
+     land 1023, >= 63 clears) and truncating division. *)
+  Alcotest.check iv "shift by 70 clears like the core" (const 0)
+    (alu_iv Instr.Shl (const 1) (const 70));
+  Alcotest.check iv "division truncates toward zero" (const (-3))
+    (alu_iv Instr.Div (const 7) (const (-2)))
+
+let test_widen_thresholds () =
+  let open Absint in
+  let ts = [| 0; 10; 100 |] in
+  let w = widen_iv ts (mk 0 5) (mk 0 7) in
+  Alcotest.(check int) "growing hi jumps to the next threshold" 10 w.hi;
+  Alcotest.(check int) "stable lo untouched" 0 w.lo;
+  let w = widen_iv ts (mk 0 10) (mk 0 101) in
+  Alcotest.(check int) "past the ladder goes to infinity" pos_inf w.hi;
+  let w = widen_iv ts (mk 5 10) (mk 3 10) in
+  Alcotest.(check int) "shrinking lo drops to the next threshold down" 0 w.lo
+
+(* A bounded counting loop must keep its bound: the loop constant is in
+   the threshold ladder, so widening lands exactly on it instead of
+   extrapolating to infinity — the precision/termination trade the
+   analyzer makes (and the regression for interval chains that
+   previously could only converge by degrading to top). *)
+let test_loop_widening_precise () =
+  let a = Asm.create "loop10" in
+  Asm.movi a Reg.R1 0;
+  Asm.while_ a Instr.Lt Reg.R1 (Instr.Imm 10) (fun () ->
+      Asm.addi a Reg.R1 Reg.R1 1);
+  Asm.halt a;
+  let p = Asm.assemble a in
+  let r = Absint.analyze (Cfg.build p) in
+  Alcotest.(check bool) "converged" true (r.Absint.diverged = None);
+  let halt_addr =
+    let found = ref (-1) in
+    Array.iteri (fun i ins -> if ins = Instr.Halt then found := i)
+      p.Program.code;
+    !found
+  in
+  match Absint.reg_of r.Absint.before halt_addr Reg.R1 with
+  | None -> Alcotest.fail "halt unreachable?"
+  | Some v ->
+      Alcotest.(check int) "exit refinement gives the exact lower bound" 10
+        v.Absint.lo;
+      Alcotest.(check bool)
+        (Printf.sprintf "upper bound stays tight (got %s)"
+           (Absint.iv_to_string v))
+        true
+        (v.Absint.hi <= 11)
+
+(* The Dataflow iteration guard: an interval-like lattice over an
+   unbounded counting loop is an infinite ascending chain — without
+   widening the solver must refuse to spin forever and raise Diverged;
+   the same instance converges once a widening is supplied. *)
+let test_dataflow_divergence_guard () =
+  let a = Asm.create "count-forever" in
+  Asm.movi a Reg.R1 0;
+  Asm.while_ a Instr.Ge Reg.R1 (Instr.Imm 0) (fun () ->
+      Asm.addi a Reg.R1 Reg.R1 1);
+  Asm.halt a;
+  let p = Asm.assemble a in
+  let cfg = Cfg.build p in
+  let module L = struct
+    type t = Absint.ival option (* abstract value of R1; None = bottom *)
+
+    let equal = ( = )
+
+    let join x y =
+      match (x, y) with
+      | None, v | v, None -> v
+      | Some x, Some y -> Some (Absint.join_iv x y)
+  end in
+  let module F = Dataflow.Make (L) in
+  let transfer _addr ins fact =
+    match fact with
+    | None -> None
+    | Some v -> (
+        match ins with
+        | Instr.Mov (Reg.R1, Instr.Imm n) -> Some (Absint.const n)
+        | Instr.Alu (Instr.Add, Reg.R1, Reg.R1, Instr.Imm n) ->
+            Some (Absint.add_iv v (Absint.const n))
+        | _ -> Some v)
+  in
+  let solve ?widen () =
+    F.solve ~cfg ~direction:Dataflow.Forward ~init:(Some Absint.top)
+      ~bottom:None ~transfer ?widen ()
+  in
+  (match solve () with
+  | _ -> Alcotest.fail "expected Dataflow.Diverged without widening"
+  | exception Dataflow.Diverged _ -> ());
+  let widen ~at:_ ~old j =
+    match (old, j) with
+    | Some o, Some jv -> Some (Absint.widen_iv [| 0; 1 |] o jv)
+    | _ -> j
+  in
+  let r = solve ~widen () in
+  Alcotest.(check int) "widened solve converges over every instruction"
+    (Array.length p.Program.code)
+    (Array.length r.F.before)
+
+(* --- Footprints -------------------------------------------------------- *)
+
+let test_footprint_accesses () =
+  let a = Asm.create "touch" in
+  Asm.space a "buf" 8;
+  Asm.la a Reg.R1 "buf";
+  Asm.ld a Reg.R2 Reg.R1 0;
+  Asm.st a Reg.R1 Reg.R2 4;
+  Asm.halt a;
+  let r = Absint.analyze (Cfg.build (Asm.assemble a)) in
+  match Footprint.of_result r with
+  | [ rd; wr ] ->
+      Alcotest.(check bool) "first is the load" true
+        (rd.Footprint.a_kind = Footprint.Read);
+      Alcotest.(check bool) "second is the store" true
+        (wr.Footprint.a_kind = Footprint.Write);
+      Alcotest.(check bool) "both addresses are exact" true
+        (Absint.is_const rd.Footprint.a_range
+        && Absint.is_const wr.Footprint.a_range);
+      let base = rd.Footprint.a_range.Absint.lo in
+      Alcotest.(check int) "store offset resolved" (base + 4)
+        wr.Footprint.a_range.Absint.lo;
+      let hit =
+        { Footprint.rg_name = "window"; rg_lo = base + 4; rg_hi = base + 4 }
+      in
+      (match Footprint.violations ~forbidden:[ hit ] [ rd; wr ] with
+      | [ v ] ->
+          Alcotest.(check int) "violation carries the store's address"
+            wr.Footprint.a_addr v.Footprint.v_access.Footprint.a_addr
+      | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs));
+      let miss = { Footprint.rg_name = "far"; rg_lo = 1; rg_hi = 2 } in
+      Alcotest.(check int) "disjoint region is clean" 0
+        (List.length (Footprint.violations ~forbidden:[ miss ] [ rd; wr ]))
+  | acc -> Alcotest.failf "expected 2 accesses, got %d" (List.length acc)
+
+(* --- Eligibility ------------------------------------------------------- *)
+
+let net_config ?(engine = Config.Sequential) mode =
+  {
+    Config.default with
+    Config.engine;
+    mode;
+    nreplicas = (if mode = Config.Base then 1 else 2);
+    with_net = true;
+    exception_barriers = true;
+  }
+
+(* A workload that stores straight into the DMA receive ring must be
+   rejected, and the diagnostic must say which instruction. *)
+let test_raw_dma_store_rejected () =
+  let a = Asm.create "rawdma" in
+  Asm.movi a Reg.R1 Layout.va_dma;
+  Asm.movi a Reg.R2 7;
+  Asm.st a Reg.R1 Reg.R2 0;
+  Asm.movi a Reg.R0 0;
+  Asm.syscall a Rcoe_kernel.Syscall.sys_exit;
+  let e =
+    Eligibility.check ~config:(net_config Config.CC)
+      ~program:(Asm.assemble a)
+  in
+  Alcotest.(check bool) "rejected" false (Eligibility.eligible e);
+  match Eligibility.diags e with
+  | [ d ] ->
+      Alcotest.(check (option int)) "provenance is the store instruction"
+        (Some 2) d.Eligibility.d_addr;
+      Alcotest.(check bool)
+        (Printf.sprintf "names the ring (got %S)" d.Eligibility.d_message)
+        true
+        (contains d.Eligibility.d_message "DMA RX ring"
+        && contains d.Eligibility.d_message "store")
+  | ds -> Alcotest.failf "expected 1 diagnostic, got %d" (List.length ds)
+
+let test_raw_mmio_load_rejected () =
+  let a = Asm.create "rawmmio" in
+  Asm.movi a Reg.R1 Layout.va_mmio;
+  Asm.ld a Reg.R2 Reg.R1 1;
+  Asm.movi a Reg.R0 0;
+  Asm.syscall a Rcoe_kernel.Syscall.sys_exit;
+  let e =
+    Eligibility.check ~config:(net_config Config.CC)
+      ~program:(Asm.assemble a)
+  in
+  Alcotest.(check bool) "rejected" false (Eligibility.eligible e);
+  let d = List.hd (Eligibility.diags e) in
+  Alcotest.(check (option int)) "provenance is the load" (Some 1)
+    d.Eligibility.d_addr;
+  Alcotest.(check bool) "names the MMIO window" true
+    (contains d.Eligibility.d_message "MMIO window")
+
+(* The kvstore guest: CC interacts with the NIC only through the FT
+   syscalls (the analyzer prunes the LC driver path via the get_info
+   mode constant), LC polls the rings from user code, Base is
+   categorically out. *)
+let test_kvstore_verdicts () =
+  let program = Rcoe_workloads.Kvstore.program ~branch_count:false () in
+  let cc = Eligibility.check ~config:(net_config Config.CC) ~program in
+  Alcotest.(check bool) "CC eligible" true (Eligibility.eligible cc);
+  Alcotest.(check bool) "CC examined real accesses" true
+    (cc.Eligibility.n_accesses > 0);
+  Alcotest.(check bool) "interprocedural rounds ran" true
+    (cc.Eligibility.rounds >= 1);
+  let lc = Eligibility.check ~config:(net_config Config.LC) ~program in
+  Alcotest.(check bool) "LC ineligible" false (Eligibility.eligible lc);
+  let ds = Eligibility.diags lc in
+  Alcotest.(check bool) "LC diagnostics exist" true (ds <> []);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "every LC diagnostic has an address" true
+        (d.Eligibility.d_addr <> None))
+    ds;
+  Alcotest.(check bool) "LC driver touches the MMIO window" true
+    (List.exists
+       (fun d -> contains d.Eligibility.d_message "MMIO window")
+       ds);
+  let base = Eligibility.check ~config:(net_config Config.Base) ~program in
+  Alcotest.(check bool) "Base ineligible" false (Eligibility.eligible base)
+
+let test_system_gating () =
+  let program = Rcoe_workloads.Kvstore.program ~branch_count:false () in
+  (* LC + parallel + net: rejected, and the exception carries the
+     analyzer's verdict on top of the config-level reason. *)
+  (match
+     System.create
+       ~config:(net_config ~engine:Config.Parallel Config.LC)
+       ~program
+   with
+  | _ -> Alcotest.fail "LC parallel with_net must be rejected"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rejection carries the analyzer verdict (got %S)" msg)
+        true
+        (contains msg "with_net" && contains msg "analyzer verdict"));
+  (* CC + parallel + net: the footprint proof lifts the blanket ban. *)
+  let sys =
+    System.create ~config:(net_config ~engine:Config.Parallel Config.CC)
+      ~program
+  in
+  (match System.eligibility sys with
+  | Some e -> Alcotest.(check bool) "report eligible" true (Eligibility.eligible e)
+  | None -> Alcotest.fail "networked system must expose the report");
+  (* The report (and its metrics) exist on the sequential engine too —
+     that is what keeps the metric registries engine-independent. *)
+  let seq = System.create ~config:(net_config Config.CC) ~program in
+  Alcotest.(check bool) "sequential engine also analyzed" true
+    (System.eligibility seq <> None);
+  let dry =
+    System.create
+      ~config:{ Config.default with Config.mode = Config.CC; nreplicas = 2 }
+      ~program:(Rcoe_workloads.Dhrystone.program ~branch_count:false ())
+  in
+  Alcotest.(check bool) "no net, no report" true
+    (System.eligibility dry = None)
+
+let test_absint_metrics () =
+  let program = Rcoe_workloads.Kvstore.program ~branch_count:false () in
+  let sys = System.create ~config:(net_config Config.CC) ~program in
+  let m = System.metrics sys in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " registered") true
+        (List.mem n (Metrics.names m)))
+    [
+      "absint_host_us"; "absint_eligible"; "absint_diags"; "absint_accesses";
+      "absint_rounds";
+    ];
+  let count n =
+    match Metrics.find_counter m n with
+    | Some c -> Metrics.count c
+    | None -> -1
+  in
+  Alcotest.(check int) "verdict counter" 1 (count "absint_eligible");
+  Alcotest.(check int) "no diagnostics" 0 (count "absint_diags");
+  Alcotest.(check bool) "accesses counted" true (count "absint_accesses" > 0)
+
+(* --- The headline differential ----------------------------------------- *)
+
+(* An analysis-approved networked workload on the parallel engine is
+   bit-for-bit the sequential run: same cycles, same responses, same
+   outputs, same metric names and counter values. *)
+let test_seq_par_identical () =
+  let run engine =
+    Kv_run.run
+      ~config:(net_config ~engine Config.CC)
+      ~workload:Ycsb.A ~records:16 ~operations:24 ()
+  in
+  let a = run Config.Sequential in
+  let b = run Config.Parallel in
+  Alcotest.(check int) "run-phase cycles" a.Kv_run.elapsed_cycles
+    b.Kv_run.elapsed_cycles;
+  Alcotest.(check int) "ops completed" a.Kv_run.ops_completed
+    b.Kv_run.ops_completed;
+  Alcotest.(check int) "final cycle" (System.now a.Kv_run.sys)
+    (System.now b.Kv_run.sys);
+  Alcotest.(check bool) "no halt" true
+    (System.halted a.Kv_run.sys = None && System.halted b.Kv_run.sys = None);
+  for rid = 0 to 1 do
+    Alcotest.(check string)
+      (Printf.sprintf "replica %d output" rid)
+      (System.output a.Kv_run.sys rid)
+      (System.output b.Kv_run.sys rid)
+  done;
+  let ma = System.metrics a.Kv_run.sys and mb = System.metrics b.Kv_run.sys in
+  Alcotest.(check (list string)) "metric names" (Metrics.names ma)
+    (Metrics.names mb);
+  List.iter
+    (fun n ->
+      match (Metrics.find_counter ma n, Metrics.find_counter mb n) with
+      | Some ca, Some cb ->
+          Alcotest.(check int) ("counter " ^ n) (Metrics.count ca)
+            (Metrics.count cb)
+      | _ -> ())
+    (Metrics.names ma)
+
+(* --- Lint report hygiene (dedupe + deterministic order) ----------------- *)
+
+let test_lint_report_order () =
+  let rank f =
+    match f.Lint.f_severity with
+    | Lint.Error -> 0
+    | Lint.Warning -> 1
+    | Lint.Info -> 2
+  in
+  let key f =
+    (rank f, match f.Lint.f_addr with None -> (0, 0) | Some a -> (1, a))
+  in
+  List.iter
+    (fun (name, p) ->
+      let fs = (Lint.analyze p).Lint.findings in
+      Alcotest.(check int)
+        (name ^ ": findings unique")
+        (List.length fs)
+        (List.length (List.sort_uniq compare fs));
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> key a <= key b && sorted rest
+        | _ -> true
+      in
+      Alcotest.(check bool)
+        (name ^ ": sorted by severity then address")
+        true (sorted fs))
+    [
+      ("kvstore", Rcoe_workloads.Kvstore.program ~branch_count:false ());
+      ("datarace", Rcoe_workloads.Datarace.program ~branch_count:false ());
+      ("md5sum", Rcoe_workloads.Md5sum.program ~branch_count:true ());
+      ("splash:radix", Rcoe_workloads.Splash.program "radix" ~branch_count:false ());
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "interval ops" `Quick test_ival_ops;
+    Alcotest.test_case "threshold widening" `Quick test_widen_thresholds;
+    Alcotest.test_case "bounded loop stays bounded" `Quick
+      test_loop_widening_precise;
+    Alcotest.test_case "dataflow divergence guard" `Quick
+      test_dataflow_divergence_guard;
+    Alcotest.test_case "footprint accesses + classification" `Quick
+      test_footprint_accesses;
+    Alcotest.test_case "raw DMA-ring store rejected" `Quick
+      test_raw_dma_store_rejected;
+    Alcotest.test_case "raw MMIO load rejected" `Quick
+      test_raw_mmio_load_rejected;
+    Alcotest.test_case "kvstore: CC eligible, LC/Base not" `Quick
+      test_kvstore_verdicts;
+    Alcotest.test_case "System.create gates on the verdict" `Quick
+      test_system_gating;
+    Alcotest.test_case "analyzer obs metrics" `Quick test_absint_metrics;
+    Alcotest.test_case "net kvstore: Seq == Par bit-for-bit" `Slow
+      test_seq_par_identical;
+    Alcotest.test_case "lint findings deduped and ordered" `Quick
+      test_lint_report_order;
+  ]
