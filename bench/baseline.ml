@@ -17,7 +17,13 @@
    of full vs incremental capture, and the simulated ckpt.cost_cycles
    both modes charge end-to-end.
 
-   The result is written as JSON (schema `rcoe-bench-baseline/v2`,
+   The baseline further embeds serving rows ([Loadgen]): a closed-loop
+   YCSB run through the NIC and a fault-campaign variant that recovers
+   through rollback, each recording the simulated run-phase cycles,
+   request outcome digest, completion and rollback counts (all exact),
+   wall time under both engines, and the engines-agree determinism bit.
+
+   The result is written as JSON (schema `rcoe-bench-baseline/v3`,
    documented in EXPERIMENTS.md) — commit it as BENCH_baseline.json.
 
    `dune exec bench/main.exe -- baseline-check [PATH]` re-measures and
@@ -32,6 +38,9 @@
    - a checkpoint row drifts: copied words or charged ckpt.cost_cycles
      differ at all, or the incremental capture wall time regresses by
      more than the same tolerance;
+   - a serve row drifts: simulated cycles, outcome digest, completion
+     or rollback counts differ at all, or either engine's wall time
+     regresses beyond the tolerance;
    - the engines disagree (determinism failure — never tolerated).
 
    Wall times are host-dependent: regenerate the baseline when moving
@@ -172,6 +181,145 @@ let measure_workload wl =
   { r_name = wl.wname; r_base_cycles = base.m_cycles; r_base_wall = base.m_wall;
     r_configs = rows }
 
+(* --- serving rows ------------------------------------------------------- *)
+
+type serve_row = {
+  s_name : string;
+  s_requests : int;
+  s_cycles : int;  (* simulated run-phase cycles — exact *)
+  s_completed : int;
+  s_digest : int;  (* CRC-32 of the request outcome log — exact *)
+  s_rollbacks : int;
+  s_wall_seq : float;
+  s_wall_par : float;
+  s_deterministic : bool;
+}
+
+let serve_records = 64
+let serve_requests = 1_000
+let serve_chunk = 8_000
+
+let serve_cases =
+  [
+    ("serve-closed", None);
+    ("serve-fault", Some { Loadgen.fault_after = 200; fault_bit = 7 });
+  ]
+
+let serve_config ~engine ~fault =
+  {
+    (Runner.config_for ~mode:Config.CC ~nreplicas:2
+       ~arch:Rcoe_machine.Arch.X86 ~with_net:true ~seed:5 ())
+    with
+    Config.engine;
+    exception_barriers = true;
+    checkpoint_every = (if fault then 2 else 0);
+    max_rollbacks = 3;
+  }
+
+let measure_serve_engine ~engine ~fault =
+  let one () =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Loadgen.run
+        ~config:(serve_config ~engine ~fault:(fault <> None))
+        ~workload:Ycsb.A ~records:serve_records ~requests:serve_requests
+        ~chunk:serve_chunk ?fault ()
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    if r.Loadgen.stalled then failwith "baseline: serve run stalled";
+    (r, wall)
+  in
+  let runs = List.init reps (fun _ -> one ()) in
+  let first, _ = List.hd runs in
+  List.iter
+    (fun ((r : Loadgen.result), _) ->
+      if
+        r.Loadgen.outcome_digest <> first.Loadgen.outcome_digest
+        || r.Loadgen.elapsed_cycles <> first.Loadgen.elapsed_cycles
+      then failwith "baseline: serve run is not run-to-run deterministic")
+    runs;
+  let walls = List.sort compare (List.map snd runs) in
+  (first, List.nth walls (reps / 2))
+
+let measure_serve () =
+  Printf.printf "  serving   %!";
+  let rows =
+    List.map
+      (fun (name, fault) ->
+        Printf.printf " %s%!" name;
+        let seq, wall_seq =
+          measure_serve_engine ~engine:Config.Sequential ~fault
+        in
+        let par, wall_par =
+          measure_serve_engine ~engine:Config.Parallel ~fault
+        in
+        {
+          s_name = name;
+          s_requests = serve_requests;
+          s_cycles = seq.Loadgen.elapsed_cycles;
+          s_completed = seq.Loadgen.completed;
+          s_digest = seq.Loadgen.outcome_digest;
+          s_rollbacks = seq.Loadgen.rollbacks;
+          s_wall_seq = wall_seq;
+          s_wall_par = wall_par;
+          s_deterministic =
+            seq.Loadgen.outcome_digest = par.Loadgen.outcome_digest
+            && seq.Loadgen.end_sigs = par.Loadgen.end_sigs
+            && System.now seq.Loadgen.sys = System.now par.Loadgen.sys;
+        })
+      serve_cases
+  in
+  print_newline ();
+  let broken = List.filter (fun s -> not s.s_deterministic) rows in
+  if broken <> [] then begin
+    List.iter
+      (fun s ->
+        Printf.eprintf
+          "baseline: DETERMINISM FAILURE: %s: parallel != sequential\n"
+          s.s_name)
+      broken;
+    exit 1
+  end;
+  rows
+
+let print_serve_table rows =
+  let t =
+    Rcoe_util.Table.create
+      ~headers:
+        [ "serve"; "requests"; "cycles"; "completed"; "rollbacks";
+          "seq wall"; "par wall"; "deterministic" ]
+  in
+  List.iter
+    (fun s ->
+      Rcoe_util.Table.add_row t
+        [
+          s.s_name; string_of_int s.s_requests; string_of_int s.s_cycles;
+          string_of_int s.s_completed; string_of_int s.s_rollbacks;
+          Printf.sprintf "%.3fs" s.s_wall_seq;
+          Printf.sprintf "%.3fs" s.s_wall_par;
+          (if s.s_deterministic then "yes" else "NO");
+        ])
+    rows;
+  Rcoe_util.Table.print t
+
+let serve_json rows =
+  Json.List
+    (List.map
+       (fun s ->
+         Json.Obj
+           [
+             ("name", Json.String s.s_name);
+             ("requests", Json.Int s.s_requests);
+             ("cycles", Json.Int s.s_cycles);
+             ("completed", Json.Int s.s_completed);
+             ("digest", Json.Int s.s_digest);
+             ("rollbacks", Json.Int s.s_rollbacks);
+             ("wall_seq_s", Json.Float s.s_wall_seq);
+             ("wall_par_s", Json.Float s.s_wall_par);
+             ("deterministic", Json.Bool s.s_deterministic);
+           ])
+       rows)
+
 let host_json () =
   Json.Obj
     [
@@ -181,13 +329,14 @@ let host_json () =
       ("os_type", Json.String Sys.os_type);
     ]
 
-let to_json rows ckpt_rows =
+let to_json rows ckpt_rows serve_rows =
   Json.Obj
     [
-      ("schema", Json.String "rcoe-bench-baseline/v2");
+      ("schema", Json.String "rcoe-bench-baseline/v3");
       ("host", host_json ());
       ("reps", Json.Int reps);
       ("ckpt", Ckpt_bench.to_json ckpt_rows);
+      ("serve", serve_json serve_rows);
       ( "workloads",
         Json.List
           (List.map
@@ -280,11 +429,17 @@ let write ?(path = default_path) () =
   let rows = measure_all () in
   let ckpt_rows = Ckpt_bench.measure_all () in
   Ckpt_bench.print_table ckpt_rows;
+  let serve_rows = measure_serve () in
+  print_serve_table serve_rows;
   let oc = open_out path in
-  output_string oc (Json.to_string (to_json rows ckpt_rows));
+  output_string oc (Json.to_string (to_json rows ckpt_rows serve_rows));
   output_char oc '\n';
   close_out oc;
   Printf.printf "wrote %s\n" path
+
+let serve_table () =
+  let rows = measure_serve () in
+  print_serve_table rows
 
 (* --- comparison mode ---------------------------------------------------- *)
 
@@ -339,7 +494,13 @@ let check ?(path = default_path) () =
         exit 1
   in
   (match jstring (jmember "schema" committed) with
-  | "rcoe-bench-baseline/v2" -> ()
+  | "rcoe-bench-baseline/v3" -> ()
+  | "rcoe-bench-baseline/v2" ->
+      Printf.eprintf
+        "baseline-check: %s uses schema v2 (no serve rows)\n\
+         regenerate with `dune exec bench/main.exe -- baseline`\n"
+        path;
+      exit 1
   | other ->
       Printf.eprintf "baseline-check: unknown schema %S in %s\n" other path;
       exit 1);
@@ -434,6 +595,41 @@ let check ?(path = default_path) () =
               r.Ckpt_bench.k_name r.Ckpt_bench.k_incr_wall (100. *. tol)
               committed_wall)
     fresh_ckpt;
+  (* Serving rows: simulated quantities exactly, walls within the
+     tolerance. *)
+  let fresh_serve = measure_serve () in
+  print_serve_table fresh_serve;
+  let committed_serve = jlist (jmember "serve" committed) in
+  List.iter
+    (fun s ->
+      match
+        List.find_opt
+          (fun j -> jstring (jmember "name" j) = s.s_name)
+          committed_serve
+      with
+      | None -> fail "serve %s: not present in committed baseline" s.s_name
+      | Some j ->
+          let exact what fresh_v committed_v =
+            if fresh_v <> committed_v then
+              fail "serve %s: %s %d != committed %d" s.s_name what fresh_v
+                committed_v
+          in
+          exact "requests" s.s_requests (jint (jmember "requests" j));
+          exact "cycles" s.s_cycles (jint (jmember "cycles" j));
+          exact "completed" s.s_completed (jint (jmember "completed" j));
+          exact "digest" s.s_digest (jint (jmember "digest" j));
+          exact "rollbacks" s.s_rollbacks (jint (jmember "rollbacks" j));
+          let wall_check what fresh_w committed_w =
+            if fresh_w > committed_w *. (1. +. tol) then
+              fail
+                "serve %s: %s wall time %.3fs regressed >%.0f%% over \
+                 committed %.3fs"
+                s.s_name what fresh_w (100. *. tol) committed_w
+          in
+          wall_check "sequential" s.s_wall_seq
+            (jfloat (jmember "wall_seq_s" j));
+          wall_check "parallel" s.s_wall_par (jfloat (jmember "wall_par_s" j)))
+    fresh_serve;
   match !failures with
   | [] ->
       Printf.printf "baseline-check: ok (tolerance %.0f%%, vs %s)\n"

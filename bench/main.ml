@@ -4,7 +4,7 @@
 
    Usage:  dune exec bench/main.exe -- [target ...]
    Targets: e1 table2 table3 table4 table5 fig3 table7x86 table7arm
-            table8 table9 table10 fig4 micro ckpt quick all
+            table8 table9 table10 fig4 micro serve ckpt quick all
    Default (no argument): quick. *)
 
 open Rcoe_harness
@@ -100,6 +100,7 @@ let run_target = function
   | "table10" -> Perf_experiments.table10 ()
   | "fig4" -> Perf_experiments.fig4 ()
   | "micro" -> micro ()
+  | "serve" -> Baseline.serve_table ()
   | "ckpt" -> Ckpt_bench.run ()
   | "baseline" -> Baseline.write ()
   | "baseline-check" -> Baseline.check ()
@@ -109,7 +110,7 @@ let run_target = function
       Printf.eprintf
         "unknown target %S\n\
          targets: e1 table2 table3 table4 table5 fig3 table7x86 table7arm \
-         table8 table9 table10 fig4 latency micro ckpt baseline \
+         table8 table9 table10 fig4 latency micro serve ckpt baseline \
          baseline-check quick all\n"
         other;
       exit 1

@@ -373,6 +373,16 @@ let trace_cmd =
       (Rcoe_obs.Trace.total tr)
       (Rcoe_obs.Trace.dropped tr)
       (Rcoe_obs.Trace.capacity tr);
+    (match System.netdev sys with
+    | Some nd ->
+        Printf.printf
+          "net:        rx_dropped=%d rx_ring_hwm=%d tx_pending_hwm=%d \
+           tx_sent=%d\n"
+          (Rcoe_machine.Netdev.rx_dropped nd)
+          (Rcoe_machine.Netdev.rx_ring_hwm nd)
+          (Rcoe_machine.Netdev.tx_pending_hwm nd)
+          (Rcoe_machine.Netdev.tx_sent nd)
+    | None -> ());
     Printf.printf "wrote:      %s\n" out;
     Rcoe_util.Table.print (Rcoe_obs.Export.summary_table tr);
     if check then begin
@@ -400,6 +410,240 @@ let trace_cmd =
       $ level_arg $ seed_arg $ fast_catchup_arg $ checkpoint_every_arg
       $ checkpoint_mode_arg $ max_rollbacks_arg $ parallel_arg $ out_arg
       $ capacity_arg $ check_arg)
+
+let serve_cmd =
+  let doc =
+    "serve a KV request stream through the NIC with request-level \
+     observability: HDR latency histograms, per-request lifecycle \
+     tracing, stall attribution, and an optional fault campaign"
+  in
+  let ycsb_arg =
+    Arg.(value & opt string "A" & info [ "workload" ] ~doc:"YCSB workload A-F")
+  in
+  let records_arg =
+    Arg.(value & opt int 256 & info [ "records" ] ~doc:"record count (load phase)")
+  in
+  let requests_arg =
+    Arg.(value & opt int 10_000
+         & info [ "requests" ] ~doc:"run-phase request count")
+  in
+  let window_arg =
+    Arg.(value & opt int 8
+         & info [ "window" ] ~doc:"closed-loop outstanding-request window")
+  in
+  let open_rate_arg =
+    Arg.(value & opt int 0
+         & info [ "open-interval" ]
+             ~doc:"open-loop mode: one arrival every N device-clock \
+                   cycles (0 = closed loop)")
+  in
+  let max_queue_arg =
+    Arg.(value & opt int 256
+         & info [ "max-queue" ]
+             ~doc:"open-loop bound on outstanding requests")
+  in
+  let fault_arg =
+    Arg.(value & flag
+         & info [ "fault" ]
+             ~doc:"fault campaign: flip a signature bit on replica 1 \
+                   mid-run and measure detection latency and recovery \
+                   stalls (enables checkpointing if off)")
+  in
+  let fault_after_arg =
+    Arg.(value & opt int 100
+         & info [ "fault-after" ]
+             ~doc:"inject after this many completed run-phase requests")
+  in
+  let fault_bit_arg =
+    Arg.(value & opt int 7 & info [ "fault-bit" ] ~doc:"bit index to flip")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~doc:"write the JSON report here (- for stdout)")
+  in
+  let trace_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ]
+             ~doc:"export a Chrome/Perfetto trace with per-request \
+                   tracks to this path")
+  in
+  let check_arg =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"run the same serve on both engines and fail unless \
+                   the request outcome logs, end-state signatures and \
+                   cycle counts are bit-for-bit identical")
+  in
+  let chunk_arg =
+    Arg.(value & opt int 400
+         & info [ "chunk" ]
+             ~doc:"harness poll granularity in cycles (drain/top-up \
+                   period); larger chunks amortise per-call engine \
+                   overhead on the parallel engine")
+  in
+  let run mode n arch level seed wl records requests window open_rate max_queue
+      checkpoint_every checkpoint_mode max_rollbacks fault fault_after
+      fault_bit parallel json_out trace_out check chunk =
+    let n = if mode = Config.Base then max 1 n else max 2 n in
+    let workload = Ycsb.workload_of_string wl in
+    let pacing =
+      if open_rate > 0 then
+        Loadgen.Open { interval = open_rate; max_queue }
+      else Loadgen.Closed { window }
+    in
+    let fault_spec =
+      if fault then Some { Loadgen.fault_after; fault_bit } else None
+    in
+    (* A fault campaign without recovery would fail-stop at detection;
+       default to the recovery-trial cadence. *)
+    let checkpoint_every =
+      if fault && checkpoint_every = 0 then 2 else checkpoint_every
+    in
+    let base =
+      mk_config ~checkpoint_every ~checkpoint_mode ~max_rollbacks mode n arch
+        false level seed ~with_net:true
+    in
+    let serve config =
+      Loadgen.run ~config ~workload ~records ~requests ~pacing ~chunk
+        ?fault:fault_spec ()
+    in
+    let print_summary tag (r : Loadgen.result) =
+      let e2e = Rcoe_obs.Reqtrace.e2e r.Loadgen.rt in
+      Printf.printf
+        "%s:%s %.1f kops/s, %d/%d requests, p50=%d p99=%d p99.9=%d max=%d \
+         cycles\n"
+        tag
+        (String.make (max 1 (11 - String.length tag)) ' ')
+        r.Loadgen.kops_per_sec r.Loadgen.completed r.Loadgen.issued
+        (Rcoe_obs.Hdr.percentile e2e 50.0)
+        (Rcoe_obs.Hdr.percentile e2e 99.0)
+        (Rcoe_obs.Hdr.percentile e2e 99.9)
+        (Rcoe_obs.Hdr.max_value e2e)
+    in
+    let print_detail (r : Loadgen.result) =
+      let attribution = Rcoe_obs.Reqtrace.attribution r.Loadgen.rt in
+      let total =
+        max 1 (List.assoc "total_cycles" attribution)
+      in
+      Printf.printf "breakdown:  %s\n"
+        (String.concat ", "
+           (List.filter_map
+              (fun (k, v) ->
+                if k = "total_cycles" then None
+                else
+                  Some
+                    (Printf.sprintf "%s %.1f%%" k
+                       (100.0 *. float_of_int v /. float_of_int total)))
+              attribution));
+      (match System.netdev r.Loadgen.sys with
+      | Some nd ->
+          Printf.printf
+            "net:        rx_dropped=%d rx_ring_hwm=%d tx_pending_hwm=%d \
+             tx_sent=%d\n"
+            (Rcoe_machine.Netdev.rx_dropped nd)
+            (Rcoe_machine.Netdev.rx_ring_hwm nd)
+            (Rcoe_machine.Netdev.tx_pending_hwm nd)
+            (Rcoe_machine.Netdev.tx_sent nd)
+      | None -> ());
+      let tr = System.trace r.Loadgen.sys in
+      Printf.printf "trace:      %d events, %d dropped; open-req hwm %d\n"
+        (Rcoe_obs.Trace.total tr)
+        (Rcoe_obs.Trace.dropped tr)
+        (Rcoe_obs.Reqtrace.open_hwm r.Loadgen.rt);
+      if fault then begin
+        let d = Rcoe_obs.Reqtrace.detect_hdr r.Loadgen.rt in
+        let s = Rcoe_obs.Reqtrace.stall_hdr r.Loadgen.rt in
+        Printf.printf "detect:     %s\n" (Rcoe_obs.Hdr.summary d);
+        Printf.printf "stall:      %s\n" (Rcoe_obs.Hdr.summary s);
+        Printf.printf "recovery:   %d rollbacks\n" r.Loadgen.rollbacks
+      end;
+      if r.Loadgen.stalled then Printf.printf "stalled:    true\n";
+      match System.halted r.Loadgen.sys with
+      | Some h ->
+          Printf.printf "halted:     %s\n" (System.halt_reason_to_string h)
+      | None -> ()
+    in
+    let emit_artifacts (r : Loadgen.result) ~engine =
+      (match json_out with
+      | Some "-" ->
+          print_endline
+            (Rcoe_obs.Json.to_string (Loadgen.report_json r ~engine))
+      | Some path ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              output_string oc
+                (Rcoe_obs.Json.to_string (Loadgen.report_json r ~engine)));
+          Printf.printf "wrote:      %s\n" path
+      | None -> ());
+      match trace_out with
+      | Some path ->
+          Rcoe_obs.Export.write_chrome
+            ~extra:(Rcoe_obs.Reqtrace.chrome_events r.Loadgen.rt)
+            ~path
+            (System.trace r.Loadgen.sys);
+          Printf.printf "wrote:      %s\n" path
+      | None -> ()
+    in
+    Printf.printf "config:     %s on %s, level %s, YCSB-%s, %s\n"
+      (Config.replicas_label base)
+      (Rcoe_machine.Arch.to_string arch)
+      (Config.sync_level_to_string level)
+      wl
+      (match pacing with
+      | Loadgen.Closed { window } -> Printf.sprintf "closed window %d" window
+      | Loadgen.Open { interval; _ } ->
+          Printf.sprintf "open 1/%d cycles" interval);
+    if check then begin
+      let program =
+        Loadgen.program_for ~config:base ~workload ~records ~requests
+      in
+      let par_cfg = apply_engine ~program ~parallel:true base in
+      let seq_res = serve base in
+      let par_res = serve par_cfg in
+      print_summary "sequential" seq_res;
+      print_summary "parallel" par_res;
+      print_detail seq_res;
+      let fail = ref [] in
+      if seq_res.Loadgen.outcome_log <> par_res.Loadgen.outcome_log then
+        fail :=
+          Printf.sprintf "outcome logs differ (digest %08x vs %08x)"
+            seq_res.Loadgen.outcome_digest par_res.Loadgen.outcome_digest
+          :: !fail;
+      if seq_res.Loadgen.end_sigs <> par_res.Loadgen.end_sigs then
+        fail := "end-state signatures differ" :: !fail;
+      if
+        System.now seq_res.Loadgen.sys <> System.now par_res.Loadgen.sys
+      then fail := "cycle counts differ" :: !fail;
+      emit_artifacts seq_res ~engine:"sequential";
+      match !fail with
+      | [] ->
+          Printf.printf "check:      ok (%d outcomes identical across engines)\n"
+            (List.length seq_res.Loadgen.outcome_log)
+      | msgs ->
+          List.iter (fun m -> Printf.eprintf "check:      DIVERGED: %s\n" m) msgs;
+          exit 1
+    end
+    else begin
+      let config =
+        apply_engine
+          ~program:(Loadgen.program_for ~config:base ~workload ~records ~requests)
+          ~parallel base
+      in
+      let res = serve config in
+      print_summary (Config.engine_to_string config.Config.engine) res;
+      print_detail res;
+      emit_artifacts res ~engine:(Config.engine_to_string config.Config.engine)
+    end
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ mode_arg $ replicas_arg $ arch_arg $ level_arg $ seed_arg
+      $ ycsb_arg $ records_arg $ requests_arg $ window_arg $ open_rate_arg
+      $ max_queue_arg $ checkpoint_every_arg $ checkpoint_mode_arg
+      $ max_rollbacks_arg $ fault_arg $ fault_after_arg $ fault_bit_arg
+      $ parallel_arg $ json_arg $ trace_out_arg $ check_arg $ chunk_arg)
 
 let recover_cmd =
   let doc =
@@ -735,5 +979,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; kv_cmd; trace_cmd; recover_cmd; disasm_cmd;
+          [ list_cmd; run_cmd; kv_cmd; serve_cmd; trace_cmd; recover_cmd; disasm_cmd;
             lint_cmd ]))

@@ -26,6 +26,17 @@ type t = {
   mutable dropped : int;
   mutable now_cache : int;
   mutable wedged : bool;
+  (* Host-side observability. The observer callbacks are invoked with
+     the device-clock cycle and the packet payload at the three ring
+     transitions (RX delivery, driver consume, TX doorbell); they are
+     pure observers — the simulation takes the same steps, on the same
+     cycles, whether or not they are installed. *)
+  mutable rx_hwm : int;
+  mutable tx_hwm : int;
+  mutable tx_sent : int;
+  mutable on_rx : (now:int -> int array -> unit) option;
+  mutable on_consume : (now:int -> int array -> unit) option;
+  mutable on_tx : (now:int -> int array -> unit) option;
 }
 
 let create ~mem ~dma_base ~dma_words =
@@ -46,7 +57,18 @@ let create ~mem ~dma_base ~dma_words =
     dropped = 0;
     now_cache = 0;
     wedged = false;
+    rx_hwm = 0;
+    tx_hwm = 0;
+    tx_sent = 0;
+    on_rx = None;
+    on_consume = None;
+    on_tx = None;
   }
+
+let set_observers t ?on_rx ?on_consume ?on_tx () =
+  (match on_rx with Some _ -> t.on_rx <- on_rx | None -> ());
+  (match on_consume with Some _ -> t.on_consume <- on_consume | None -> ());
+  match on_tx with Some _ -> t.on_tx <- on_tx | None -> ()
 
 let inject t ~now payload =
   if Array.length payload > slot_words then
@@ -61,6 +83,9 @@ let take_tx t =
   out
 
 let rx_dropped t = t.dropped
+let rx_ring_hwm t = t.rx_hwm
+let tx_pending_hwm t = t.tx_hwm
+let tx_sent t = t.tx_sent
 
 let rx_region_bounds t = (t.dma_base, t.nslots * slot_words)
 
@@ -72,6 +97,9 @@ let deliver t payload =
     let offset = slot * slot_words in
     Mem.write_block t.mem (t.dma_base + offset) payload;
     Queue.add { slot_offset = offset; len = Array.length payload } t.rx_ring;
+    let occ = Queue.length t.rx_ring in
+    if occ > t.rx_hwm then t.rx_hwm <- occ;
+    (match t.on_rx with Some f -> f ~now:t.now_cache payload | None -> ());
     t.irq_line <- true
   end
 
@@ -120,13 +148,26 @@ let read_reg t off =
   else 0
 
 let write_reg t off v =
-  if off = reg_rx_consume then ignore (Queue.take_opt t.rx_ring)
+  if off = reg_rx_consume then begin
+    (match Queue.take_opt t.rx_ring with
+    | Some d ->
+        (match t.on_consume with
+        | Some f ->
+            let payload = Mem.read_block t.mem (t.dma_base + d.slot_offset) d.len in
+            f ~now:t.now_cache payload
+        | None -> ())
+    | None -> ())
+  end
   else if off = reg_tx_addr then t.tx_addr <- v
   else if off = reg_tx_len then t.tx_len <- v
   else if off = reg_tx_doorbell then begin
     let len = max 0 (min t.tx_len (t.dma_words - t.tx_addr)) in
     let payload = Mem.read_block t.mem (t.dma_base + t.tx_addr) len in
-    t.tx_done <- (t.now_cache, payload) :: t.tx_done
+    t.tx_done <- (t.now_cache, payload) :: t.tx_done;
+    t.tx_sent <- t.tx_sent + 1;
+    let occ = List.length t.tx_done in
+    if occ > t.tx_hwm then t.tx_hwm <- occ;
+    match t.on_tx with Some f -> f ~now:t.now_cache payload | None -> ()
   end
 
 let device t =

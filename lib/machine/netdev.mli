@@ -67,6 +67,33 @@ val set_wedged : t -> bool -> unit
 val rx_dropped : t -> int
 (** Packets dropped because the RX ring was full (diagnostic). *)
 
+val rx_ring_hwm : t -> int
+(** High-water mark of RX ring occupancy (slots in use after a
+    delivery). *)
+
+val tx_pending_hwm : t -> int
+(** High-water mark of transmitted-but-undrained packets sitting in the
+    TX completion list between [take_tx] calls. *)
+
+val tx_sent : t -> int
+(** Total TX doorbell transmissions. *)
+
+val set_observers :
+  t ->
+  ?on_rx:(now:int -> int array -> unit) ->
+  ?on_consume:(now:int -> int array -> unit) ->
+  ?on_tx:(now:int -> int array -> unit) ->
+  unit ->
+  unit
+(** Install host-side packet observers, called with the device-clock
+    cycle and payload when a packet is DMA'd into the RX ring
+    ([on_rx]), popped by the driver via RX_CONSUME ([on_consume]), and
+    transmitted via TX_DOORBELL ([on_tx]). Observers already installed
+    are kept when the corresponding argument is omitted. They are pure
+    taps for request tracing: the device takes the same steps on the
+    same cycles whether or not they are installed, so Seq/Par
+    determinism is unaffected. *)
+
 val rx_region_bounds : t -> int * int
 (** [(base, words)] of the RX slot area within physical memory — the
     part of the DMA region the device writes; used by the fault injector

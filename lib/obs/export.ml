@@ -183,11 +183,29 @@ let trace_events tr =
   in
   meta @ List.rev !out
 
-let to_chrome_json tr =
+let to_chrome_json ?(extra = []) tr =
+  (* A wrapped ring silently lost its oldest events; surface the loss
+     inside the timeline itself (not just otherData, which the Perfetto
+     UI hides) as an instant at the earliest surviving timestamp. *)
+  let truncation =
+    let d = Trace.dropped tr in
+    if d = 0 then []
+    else
+      let first_ts =
+        match Trace.events tr with e :: _ -> e.Trace.ts | [] -> 0
+      in
+      [
+        instant
+          ~name:(Printf.sprintf "trace-truncated: %d events lost" d)
+          ~pid:pid_machine ~tid:0 ~ts:first_ts
+          ~args:[ ("dropped_events", Json.Int d) ]
+          ();
+      ]
+  in
   Json.to_string
     (Json.Obj
        [
-         ("traceEvents", Json.List (trace_events tr));
+         ("traceEvents", Json.List (truncation @ trace_events tr @ extra));
          ("displayTimeUnit", Json.String "ms");
          ( "otherData",
            Json.Obj
@@ -198,11 +216,11 @@ let to_chrome_json tr =
              ] );
        ])
 
-let write_chrome ~path tr =
+let write_chrome ?extra ~path tr =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_chrome_json tr))
+    (fun () -> output_string oc (to_chrome_json ?extra tr))
 
 let all_phases =
   [

@@ -9,12 +9,17 @@
     point-like events become "i" (instant) events. Load the file at
     [ui.perfetto.dev] or [chrome://tracing]. *)
 
-val to_chrome_json : Trace.t -> string
+val to_chrome_json : ?extra:Json.t list -> Trace.t -> string
 (** The whole ring as [{"traceEvents": [...], ...}]. Phase pairs are
     matched per replica; a phase still open when the trace ends is
-    closed at the last timestamp seen. *)
+    closed at the last timestamp seen. When the ring wrapped, a
+    [trace-truncated] instant stating the number of lost events is
+    emitted at the earliest surviving timestamp (the loss is also in
+    [otherData.dropped_events]). [extra] events (e.g.
+    {!Reqtrace.chrome_events} request tracks) are appended to
+    [traceEvents]. *)
 
-val write_chrome : path:string -> Trace.t -> unit
+val write_chrome : ?extra:Json.t list -> path:string -> Trace.t -> unit
 
 val summary_table : Trace.t -> Rcoe_util.Table.t
 (** Per-replica totals: occurrences and total cycles of each sync

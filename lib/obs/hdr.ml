@@ -1,0 +1,144 @@
+(* Log-linear bucketing: values in [0, 256) are exact (unit-width
+   buckets); each later power-of-two magnitude [256*2^(b-1), 256*2^b)
+   is split into 128 sub-buckets of width 2^b. Worst-case relative
+   error of a bucket midpoint is (2^b / 2) / (128 * 2^b) < 0.5%. The
+   top magnitude reachable from [max_int] (62 bits) gives b = 54, so
+   the whole range fits in 256 + 54*128 = 7168 buckets. *)
+
+let sub_bits = 8
+let sub_count = 1 lsl sub_bits (* 256 *)
+let sub_half = sub_count / 2 (* 128 *)
+let n_buckets = sub_count + ((62 - sub_bits) * sub_half)
+
+type t = {
+  counts : int array;
+  mutable total : int;
+  mutable vsum : int;
+  mutable vmin : int;
+  mutable vmax : int;
+}
+
+let create () =
+  { counts = Array.make n_buckets 0; total = 0; vsum = 0; vmin = max_int; vmax = 0 }
+
+let bit_len v =
+  let n = ref 0 and v = ref v in
+  if !v lsr 32 <> 0 then (n := !n + 32; v := !v lsr 32);
+  if !v lsr 16 <> 0 then (n := !n + 16; v := !v lsr 16);
+  if !v lsr 8 <> 0 then (n := !n + 8; v := !v lsr 8);
+  if !v lsr 4 <> 0 then (n := !n + 4; v := !v lsr 4);
+  if !v lsr 2 <> 0 then (n := !n + 2; v := !v lsr 2);
+  if !v lsr 1 <> 0 then (n := !n + 1; v := !v lsr 1);
+  !n + !v
+
+let index_of v =
+  if v < sub_count then v
+  else
+    let b = bit_len v - sub_bits in
+    let slot = (v lsr b) - sub_half in
+    sub_count + ((b - 1) * sub_half) + slot
+
+(* Inclusive lower edge and exclusive upper edge of bucket [i]. *)
+let bounds_of i =
+  if i < sub_count then (i, i + 1)
+  else
+    let b = ((i - sub_count) / sub_half) + 1 in
+    let slot = (i - sub_count) mod sub_half in
+    let lower = (sub_half + slot) lsl b in
+    (lower, lower + (1 lsl b))
+
+let representative t i =
+  let lower, upper = bounds_of i in
+  let mid = lower + ((upper - lower) / 2) in
+  let mid = if mid > t.vmax then t.vmax else mid in
+  if mid < t.vmin then t.vmin else mid
+
+let record_n t v ~n =
+  if n > 0 then begin
+    let v = if v < 0 then 0 else v in
+    t.counts.(index_of v) <- t.counts.(index_of v) + n;
+    t.total <- t.total + n;
+    t.vsum <- t.vsum + (v * n);
+    if v < t.vmin then t.vmin <- v;
+    if v > t.vmax then t.vmax <- v
+  end
+
+let record t v = record_n t v ~n:1
+let count t = t.total
+let min_value t = if t.total = 0 then 0 else t.vmin
+let max_value t = if t.total = 0 then 0 else t.vmax
+let sum t = t.vsum
+let mean t = if t.total = 0 then 0.0 else float_of_int t.vsum /. float_of_int t.total
+
+let quantile t q =
+  if t.total = 0 then 0
+  else if q >= 1.0 then t.vmax
+  else begin
+    let q = if q < 0.0 then 0.0 else q in
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int t.total)) in
+      if r < 1 then 1 else if r > t.total then t.total else r
+    in
+    let res = ref t.vmax and cum = ref 0 and i = ref 0 in
+    (try
+       while !i < n_buckets do
+         let c = t.counts.(!i) in
+         if c > 0 then begin
+           cum := !cum + c;
+           if !cum >= rank then begin
+             res := representative t !i;
+             raise Exit
+           end
+         end;
+         incr i
+       done
+     with Exit -> ());
+    !res
+  end
+
+let percentile t p = quantile t (p /. 100.0)
+
+let merge_into ~into src =
+  if src.total > 0 then begin
+    Array.iteri
+      (fun i c -> if c > 0 then into.counts.(i) <- into.counts.(i) + c)
+      src.counts;
+    into.total <- into.total + src.total;
+    into.vsum <- into.vsum + src.vsum;
+    if src.vmin < into.vmin then into.vmin <- src.vmin;
+    if src.vmax > into.vmax then into.vmax <- src.vmax
+  end
+
+let merge a b =
+  let t = create () in
+  merge_into ~into:t a;
+  merge_into ~into:t b;
+  t
+
+let fold_nonzero f init t =
+  let acc = ref init in
+  for i = 0 to n_buckets - 1 do
+    let c = t.counts.(i) in
+    if c > 0 then begin
+      let lower, upper = bounds_of i in
+      acc := f ~acc:!acc ~lower ~upper ~count:c
+    end
+  done;
+  !acc
+
+let to_json t =
+  Json.Obj
+    [
+      ("count", Json.Int t.total);
+      ("min", Json.Int (min_value t));
+      ("max", Json.Int (max_value t));
+      ("mean", Json.Float (mean t));
+      ("p50", Json.Int (percentile t 50.0));
+      ("p90", Json.Int (percentile t 90.0));
+      ("p99", Json.Int (percentile t 99.0));
+      ("p999", Json.Int (percentile t 99.9));
+    ]
+
+let summary t =
+  Printf.sprintf "n=%d p50=%d p99=%d p99.9=%d max=%d" t.total
+    (percentile t 50.0) (percentile t 99.0) (percentile t 99.9) (max_value t)

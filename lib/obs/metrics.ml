@@ -7,7 +7,11 @@ type histogram = {
   hbuckets : float list option;
 }
 
-type instrument = Counter of counter | Gauge of gauge | Histogram of histogram
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+  | Hdr of Hdr.t
 
 type t = { mutable instruments : (string * instrument) list (* newest first *) }
 
@@ -33,6 +37,11 @@ let histogram ?buckets t name =
   register t name (Histogram h);
   h
 
+let hdr t name =
+  let h = Hdr.create () in
+  register t name (Hdr h);
+  h
+
 let incr ?(by = 1) c = c.c <- c.c + by
 let set g v = g.g <- v
 
@@ -56,6 +65,13 @@ let find_counter t name =
 
 let find_histogram t name =
   match find t name with Some (Histogram h) -> Some h | _ -> None
+
+let find_gauge t name =
+  match find t name with Some (Gauge g) -> Some g | _ -> None
+
+let find_hdr t name = match find t name with Some (Hdr h) -> Some h | _ -> None
+
+let gauge_or t name = match find_gauge t name with Some g -> g | None -> gauge t name
 
 let to_table t =
   let open Rcoe_util in
@@ -83,6 +99,19 @@ let to_table t =
                 Printf.sprintf "%.1f" (Stats.percentile 50.0 xs);
                 Printf.sprintf "%.1f" (Stats.percentile 95.0 xs);
                 Printf.sprintf "%.1f" s.Stats.max;
+              ]
+      | Hdr h ->
+          if Hdr.count h = 0 then Table.add_row tbl [ name; "hdr"; "0" ]
+          else
+            Table.add_row tbl
+              [
+                name;
+                "hdr";
+                string_of_int (Hdr.count h);
+                Printf.sprintf "%.1f" (Hdr.mean h);
+                string_of_int (Hdr.percentile h 50.0);
+                string_of_int (Hdr.percentile h 95.0);
+                string_of_int (Hdr.max_value h);
               ])
     (List.rev t.instruments);
   tbl

@@ -24,6 +24,16 @@ val histogram : ?buckets:float list -> t -> string -> histogram
 (** [buckets] are the upper bounds handed to {!Rcoe_util.Stats.histogram}
     when rendering; sample storage is exact regardless. *)
 
+val hdr : t -> string -> Hdr.t
+(** Bounded-memory log-linear latency histogram ({!Hdr}); preferred over
+    [histogram] for per-request latency recording, whose sample count
+    grows with the run length. *)
+
+val gauge_or : t -> string -> gauge
+(** Find-or-register: returns the existing gauge of that name, or
+    registers a fresh one. For refresh-on-read metrics (the [net.] and
+    [trace.] families) that are set every time the registry is read. *)
+
 (** {2 Hot path} *)
 
 val incr : ?by:int -> counter -> unit
@@ -42,7 +52,9 @@ val names : t -> string list
 (** Registration order. *)
 
 val find_counter : t -> string -> counter option
+val find_gauge : t -> string -> gauge option
 val find_histogram : t -> string -> histogram option
+val find_hdr : t -> string -> Hdr.t option
 
 val to_table : t -> Rcoe_util.Table.t
 (** One row per instrument: name, kind, count/value/n, and for

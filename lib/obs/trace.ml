@@ -237,6 +237,21 @@ let events t =
     !acc
   end
 
+let events_since t since =
+  if not t.enabled then []
+  else begin
+    let cap = Array.length t.ring in
+    let n = t.total - since in
+    let n = if n > t.total then t.total else n in
+    let n = if n > cap then cap else n in
+    let acc = ref [] in
+    for i = 1 to n do
+      let idx = (t.next - i + (2 * cap)) mod cap in
+      match t.ring.(idx) with Some e -> acc := e :: !acc | None -> ()
+    done;
+    !acc
+  end
+
 let total t = t.total
 let dropped t = max 0 (t.total - Array.length t.ring)
 let last_injection t = if t.last_inject < 0 then None else Some t.last_inject

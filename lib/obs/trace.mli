@@ -151,6 +151,14 @@ val events : t -> event list
 (** Oldest first. At most [capacity] events; when the ring wrapped,
     these are the newest [capacity]. *)
 
+val events_since : t -> int -> event list
+(** [events_since t n] with [n] a previously observed {!total}: the
+    events emitted after that point, oldest first — O(result), not
+    O(capacity), so a harness can poll incrementally from a hot loop.
+    When more than [capacity] events arrived since [n], only the newest
+    [capacity] survive (the caller can detect the gap by comparing
+    [total t - n] with the result length). *)
+
 val total : t -> int
 (** Events emitted over the trace's lifetime (recorded + dropped). *)
 

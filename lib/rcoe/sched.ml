@@ -272,7 +272,30 @@ let stats t =
     rendezvous = Metrics.count t.ms.m_rendezvous;
   }
 
-let metrics t = t.metrics
+(* Refresh-on-read gauges over device and trace-ring state. Gauges are
+   outside the Seq/Par value-identity contract (names only), which is
+   what lets net.tx_pending_hwm depend on how often the host harness
+   drains TX completions. *)
+let metrics t =
+  Metrics.set
+    (Metrics.gauge_or t.metrics "trace.dropped_events")
+    (float_of_int (Trace.dropped t.trace));
+  (match t.net with
+  | Some nd ->
+      Metrics.set
+        (Metrics.gauge_or t.metrics "net.rx_dropped")
+        (float_of_int (Netdev.rx_dropped nd));
+      Metrics.set
+        (Metrics.gauge_or t.metrics "net.rx_ring_hwm")
+        (float_of_int (Netdev.rx_ring_hwm nd));
+      Metrics.set
+        (Metrics.gauge_or t.metrics "net.tx_pending_hwm")
+        (float_of_int (Netdev.tx_pending_hwm nd));
+      Metrics.set
+        (Metrics.gauge_or t.metrics "net.tx_sent")
+        (float_of_int (Netdev.tx_sent nd))
+  | None -> ());
+  t.metrics
 let trace t = t.trace
 let halted t = t.halt
 let downgrades t = t.downgrade_log

@@ -69,6 +69,11 @@ let finished t =
 
 let outstanding t = Hashtbl.length t.in_flight
 
+let pending t ~seq =
+  match Hashtbl.find_opt t.in_flight seq with
+  | Some p -> Some (p.p_op, p.p_key)
+  | None -> None
+
 let counters t = t.ctr
 
 (* The value payload: deterministic contents with an embedded CRC of the

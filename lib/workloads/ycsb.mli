@@ -56,6 +56,11 @@ val on_response : t -> int array -> unit
 
 val outstanding : t -> int
 
+val pending : t -> seq:int -> (int * int) option
+(** [(op, key)] of an in-flight request, looked up by wire sequence id —
+    available until {!on_response} retires it. The serving harness uses
+    this to label outcome-log entries with the operation. *)
+
 val counters : t -> counters
 
 val value_for : t -> key:int -> version:int -> int array

@@ -4,6 +4,7 @@ let () =
       ("rng", Test_rng.suite);
       ("stats", Test_stats.suite);
       ("obs", Test_obs.suite);
+      ("hdr", Test_hdr.suite);
       ("checksum", Test_checksum.suite);
       ("isa", Test_isa.suite);
       ("analysis", Test_analysis.suite);
@@ -25,4 +26,5 @@ let () =
       ("engine-par", Test_engine_par.suite);
       ("system-smoke", Test_system_smoke.suite);
       ("workloads", Test_workloads.suite);
+      ("serve", Test_serve.suite);
     ]

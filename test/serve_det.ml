@@ -1,0 +1,102 @@
+(* Seq/Par determinism of the serving harness at scale: a 10k-request
+   YCSB run through the NIC must produce bit-for-bit identical request
+   outcome logs, end-state signatures, and cycle counts on both
+   engines — including a run that injects a fault and recovers through
+   rollback, where the harness additionally exercises client-side
+   retransmission over the DMA hole. Kept in its own binary because
+   each pair costs tens of seconds; the fast serve checks live in the
+   main suite ([test_serve.ml]). *)
+
+open Rcoe_core
+open Rcoe_harness
+open Rcoe_workloads
+module Arch = Rcoe_machine.Arch
+
+(* Chunk 16000 amortises the parallel engine's per-[System.run] domain
+   spawn/join over 40x more cycles than the CLI default; determinism
+   only needs the two engines to share the same chunk. *)
+let chunk = 16_000
+let records = 128
+let requests = 10_000
+
+let base_config ~checkpoint_every () =
+  {
+    (Runner.config_for ~mode:Config.CC ~nreplicas:2 ~arch:Arch.X86
+       ~with_net:true ~seed:5 ())
+    with
+    Config.checkpoint_every;
+    max_rollbacks = 3;
+  }
+
+let parallel_config cfg =
+  let cfg =
+    { cfg with Config.engine = Config.Parallel; exception_barriers = true }
+  in
+  let program =
+    Loadgen.program_for ~config:cfg ~workload:Ycsb.A ~records ~requests
+  in
+  let elig = Eligibility.check ~config:cfg ~program in
+  Alcotest.(check bool) "kv server parallel-eligible" true
+    (Eligibility.eligible elig);
+  (match Config.parallel_ineligibility ~net_ok:true cfg with
+  | None -> ()
+  | Some reason -> Alcotest.failf "parallel rejected: %s" reason);
+  cfg
+
+let serve ?fault config =
+  Loadgen.run ~config ~workload:Ycsb.A ~records ~requests ~chunk ?fault ()
+
+let check_pair ~label (seq : Loadgen.result) (par : Loadgen.result) =
+  Alcotest.(check bool) (label ^ ": seq finished") false seq.Loadgen.stalled;
+  Alcotest.(check bool) (label ^ ": par finished") false par.Loadgen.stalled;
+  Alcotest.(check int)
+    (label ^ ": all answered")
+    seq.Loadgen.issued seq.Loadgen.completed;
+  Alcotest.(check int)
+    (label ^ ": outcome digest")
+    seq.Loadgen.outcome_digest par.Loadgen.outcome_digest;
+  Alcotest.(check bool)
+    (label ^ ": outcome logs identical")
+    true
+    (seq.Loadgen.outcome_log = par.Loadgen.outcome_log);
+  Alcotest.(check bool)
+    (label ^ ": end-state signatures identical")
+    true
+    (seq.Loadgen.end_sigs = par.Loadgen.end_sigs);
+  Alcotest.(check int)
+    (label ^ ": cycle counts identical")
+    (System.now seq.Loadgen.sys)
+    (System.now par.Loadgen.sys);
+  Alcotest.(check int)
+    (label ^ ": rollback counts identical")
+    seq.Loadgen.rollbacks par.Loadgen.rollbacks
+
+let test_identity_10k () =
+  let base = base_config ~checkpoint_every:0 () in
+  let seq = serve base in
+  let par = serve (parallel_config base) in
+  Alcotest.(check int) "10k run-phase ops" requests seq.Loadgen.run_ops;
+  check_pair ~label:"healthy" seq par
+
+let test_identity_10k_fault_rollback () =
+  let fault = { Loadgen.fault_after = 2_000; fault_bit = 7 } in
+  let base = base_config ~checkpoint_every:8 () in
+  let seq = serve ~fault base in
+  let par = serve ~fault (parallel_config base) in
+  Alcotest.(check bool) "fault rolled back" true (seq.Loadgen.rollbacks >= 1);
+  Alcotest.(check int) "retransmissions identical" seq.Loadgen.retransmits
+    par.Loadgen.retransmits;
+  Alcotest.(check int) "dup responses identical" seq.Loadgen.dup_responses
+    par.Loadgen.dup_responses;
+  check_pair ~label:"fault" seq par
+
+let () =
+  Alcotest.run "serve-determinism"
+    [
+      ( "serve-det",
+        [
+          Alcotest.test_case "seq = par, 10k requests" `Slow test_identity_10k;
+          Alcotest.test_case "seq = par, 10k requests + fault/rollback" `Slow
+            test_identity_10k_fault_rollback;
+        ] );
+    ]

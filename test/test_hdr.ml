@@ -1,0 +1,216 @@
+(* Quantile accuracy, merge algebra, and edge cases of the log-linear
+   HDR histogram, checked against an exact sorted-sample oracle. *)
+
+module Hdr = Rcoe_obs.Hdr
+module Rng = Rcoe_util.Rng
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else String.sub haystack i nn = needle || go (i + 1)
+  in
+  nn = 0 || go 0
+
+(* The oracle uses the same rank convention as [Hdr.quantile]: the
+   value at rank [ceil (q * n)] of the sorted samples. *)
+let oracle_quantile samples q =
+  let n = Array.length samples in
+  if n = 0 then 0
+  else if q >= 1.0 then samples.(n - 1)
+  else
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+    samples.(min (n - 1) (rank - 1))
+
+(* Relative quantile error bound: each magnitude-[b] bucket spans
+   1/128 of its lower bound, and representatives sit at midpoints, so
+   |approx - exact| <= exact/128 always holds (plus 1 for rounding). *)
+let check_quantiles ~label samples h =
+  Array.sort compare samples;
+  List.iter
+    (fun q ->
+      let exact = oracle_quantile samples q in
+      let approx = Hdr.quantile h q in
+      let tol = (exact / 128) + 1 in
+      if abs (approx - exact) > tol then
+        Alcotest.failf "%s q=%.3f: hdr %d vs oracle %d (tol %d)" label q
+          approx exact tol)
+    [ 0.25; 0.5; 0.9; 0.99; 0.999; 1.0 ]
+
+let fill_hdr samples =
+  let h = Hdr.create () in
+  Array.iter (Hdr.record h) samples;
+  h
+
+let test_accuracy_uniform () =
+  let rng = Rng.create 42 in
+  let samples = Array.init 20_000 (fun _ -> Rng.int rng 1_000_000) in
+  let h = fill_hdr samples in
+  Alcotest.(check int) "count" 20_000 (Hdr.count h);
+  check_quantiles ~label:"uniform" samples h
+
+let test_accuracy_zipf () =
+  (* Heavy tail over ~9 decades: magnitude uniform, mantissa uniform. *)
+  let rng = Rng.create 7 in
+  let samples =
+    Array.init 20_000 (fun _ ->
+        let mag = Rng.int rng 30 in
+        (1 lsl mag) + Rng.int rng (1 lsl mag))
+  in
+  let h = fill_hdr samples in
+  check_quantiles ~label:"zipf" samples h
+
+let test_accuracy_bimodal () =
+  (* Fast path around 300 cycles, stall mode around 5M: the shape a
+     rollback-afflicted latency distribution takes. *)
+  let rng = Rng.create 13 in
+  let samples =
+    Array.init 20_000 (fun _ ->
+        if Rng.int rng 100 < 90 then 200 + Rng.int rng 200
+        else 5_000_000 + Rng.int rng 1_000_000)
+  in
+  let h = fill_hdr samples in
+  check_quantiles ~label:"bimodal" samples h;
+  (* p50 must sit in the fast mode, p99 in the stall mode. *)
+  Alcotest.(check bool) "p50 fast" true (Hdr.quantile h 0.5 < 1_000);
+  Alcotest.(check bool) "p99 stalled" true (Hdr.quantile h 0.99 > 4_000_000)
+
+let hdr_fingerprint h =
+  ( Hdr.count h,
+    Hdr.sum h,
+    Hdr.min_value h,
+    Hdr.max_value h,
+    List.rev
+      (Hdr.fold_nonzero
+         (fun ~acc ~lower ~upper ~count -> (lower, upper, count) :: acc)
+         [] h) )
+
+let test_merge_associative () =
+  let rng = Rng.create 99 in
+  let part () =
+    let h = Hdr.create () in
+    for _ = 1 to 3_000 do
+      Hdr.record h (Rng.int rng 10_000_000)
+    done;
+    h
+  in
+  let a = part () and b = part () and c = part () in
+  let left = Hdr.merge (Hdr.merge a b) c in
+  let right = Hdr.merge a (Hdr.merge b c) in
+  Alcotest.(check bool) "associative" true
+    (hdr_fingerprint left = hdr_fingerprint right);
+  let ba = Hdr.merge b a in
+  Alcotest.(check bool) "commutative" true
+    (hdr_fingerprint (Hdr.merge a b) = hdr_fingerprint ba);
+  (* Merging partials equals recording everything into one histogram. *)
+  let whole = Hdr.create () in
+  List.iter
+    (fun h -> Hdr.merge_into ~into:whole h)
+    [ a; b; c ];
+  Alcotest.(check bool) "merge = replay" true
+    (hdr_fingerprint whole = hdr_fingerprint left);
+  Alcotest.(check int) "merged count" 9_000 (Hdr.count whole)
+
+let test_merge_leaves_inputs () =
+  let a = Hdr.create () and b = Hdr.create () in
+  Hdr.record a 10;
+  Hdr.record b 20;
+  ignore (Hdr.merge a b);
+  Alcotest.(check int) "a unchanged" 1 (Hdr.count a);
+  Alcotest.(check int) "b unchanged" 1 (Hdr.count b)
+
+let test_empty () =
+  let h = Hdr.create () in
+  Alcotest.(check int) "count" 0 (Hdr.count h);
+  Alcotest.(check int) "min" 0 (Hdr.min_value h);
+  Alcotest.(check int) "max" 0 (Hdr.max_value h);
+  Alcotest.(check int) "quantile" 0 (Hdr.quantile h 0.99)
+
+let test_degenerate_exact () =
+  (* A single value reports exactly at every quantile, wherever it
+     lands in the bucket lattice. *)
+  List.iter
+    (fun v ->
+      let h = Hdr.create () in
+      Hdr.record h v;
+      List.iter
+        (fun q ->
+          Alcotest.(check int)
+            (Printf.sprintf "v=%d q=%.2f" v q)
+            v (Hdr.quantile h q))
+        [ 0.0; 0.5; 0.999; 1.0 ])
+    [ 0; 1; 255; 256; 257; 4095; 4096; max_int ]
+
+let test_small_values_exact () =
+  (* Values below 256 are stored exactly, not just within tolerance. *)
+  let h = Hdr.create () in
+  for v = 0 to 255 do
+    Hdr.record h v
+  done;
+  Alcotest.(check int) "p50" 127 (Hdr.quantile h 0.5);
+  Alcotest.(check int) "max" 255 (Hdr.max_value h);
+  Alcotest.(check int) "sum" (255 * 256 / 2) (Hdr.sum h)
+
+let test_bucket_edges () =
+  (* Lower bucket bounds at each magnitude boundary: the index math
+     must keep [lower <= v < upper]. *)
+  let h = Hdr.create () in
+  let edges =
+    [ 255; 256; 511; 512; 1 lsl 16; (1 lsl 16) - 1; 1 lsl 30; 1 lsl 45 ]
+  in
+  List.iter (Hdr.record h) edges;
+  let ok =
+    Hdr.fold_nonzero
+      (fun ~acc ~lower ~upper ~count:_ -> acc && lower < upper)
+      true h
+  in
+  Alcotest.(check bool) "bounds ordered" true ok;
+  Alcotest.(check int) "all present" (List.length edges) (Hdr.count h);
+  Alcotest.(check int) "max exact" (1 lsl 45) (Hdr.max_value h)
+
+let test_negative_clamps () =
+  let h = Hdr.create () in
+  Hdr.record h (-5);
+  Alcotest.(check int) "clamped to 0" 0 (Hdr.max_value h);
+  Alcotest.(check int) "counted" 1 (Hdr.count h)
+
+let test_record_n () =
+  let a = Hdr.create () and b = Hdr.create () in
+  Hdr.record_n a 1234 ~n:1000;
+  for _ = 1 to 1000 do
+    Hdr.record b 1234
+  done;
+  Alcotest.(check bool) "record_n = n records" true
+    (hdr_fingerprint a = hdr_fingerprint b);
+  Alcotest.(check int) "sum" (1234 * 1000) (Hdr.sum a)
+
+let test_json_and_summary () =
+  let h = Hdr.create () in
+  for i = 1 to 100 do
+    Hdr.record h (i * 100)
+  done;
+  let j = Rcoe_obs.Json.to_string (Hdr.to_json h) in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (key ^ " in json") true
+        (contains j ("\"" ^ key ^ "\"")))
+    [ "count"; "min"; "max"; "mean"; "p50"; "p90"; "p99"; "p999" ];
+  Alcotest.(check bool) "summary mentions count" true
+    (contains (Hdr.summary h) "n=100")
+
+let suite =
+  [
+    Alcotest.test_case "accuracy: uniform" `Quick test_accuracy_uniform;
+    Alcotest.test_case "accuracy: heavy tail" `Quick test_accuracy_zipf;
+    Alcotest.test_case "accuracy: bimodal" `Quick test_accuracy_bimodal;
+    Alcotest.test_case "merge associative/commutative" `Quick
+      test_merge_associative;
+    Alcotest.test_case "merge leaves inputs" `Quick test_merge_leaves_inputs;
+    Alcotest.test_case "empty histogram" `Quick test_empty;
+    Alcotest.test_case "degenerate exact" `Quick test_degenerate_exact;
+    Alcotest.test_case "small values exact" `Quick test_small_values_exact;
+    Alcotest.test_case "bucket edges" `Quick test_bucket_edges;
+    Alcotest.test_case "negative clamps" `Quick test_negative_clamps;
+    Alcotest.test_case "record_n" `Quick test_record_n;
+    Alcotest.test_case "json and summary" `Quick test_json_and_summary;
+  ]
