@@ -180,7 +180,12 @@ let run ~config ~workload ~records ~requests ?(pacing = Closed { window = 8 })
           done
       | Open { interval; max_queue } ->
           (* Schedule fixed-rate arrivals up to one chunk ahead; the
-             device clock delivers each at its exact arrival cycle. *)
+             device clock delivers each at its exact arrival cycle.
+             The arrival clock never resyncs to [now]: when the
+             generator falls behind (max_queue bound, stalled chunk)
+             the backlog drains as an immediate burst at the configured
+             rate's schedule, so the queueing delay appears in the
+             latency histograms instead of being coordinated away. *)
           let continue = ref true in
           while
             !continue && !next_arrival <= now + chunk
@@ -189,7 +194,7 @@ let run ~config ~workload ~records ~requests ?(pacing = Closed { window = 8 })
             match Ycsb.next_request gen with
             | Some req ->
                 inject_req req ~at:(max now !next_arrival);
-                next_arrival := max !next_arrival now + interval
+                next_arrival := !next_arrival + interval
             | None -> continue := false
           done
   in

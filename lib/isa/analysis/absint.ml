@@ -353,7 +353,14 @@ let cond_range cond c =
 
 let refine_ne iv c =
   if is_const iv && iv.lo = c then None
-  else if is_fin iv.lo && iv.lo = c then Some (mk ~stride:iv.stride (c + 1) iv.hi)
+  else if is_fin iv.lo && iv.lo = c then
+    (* Advance the lower bound by the stride so the congruence stays in
+       the same residue class ({c+s, c+2s, ...}); anchoring at c+1 would
+       shift the class and drop real values (e.g. [0,8]/4 refined by
+       !=0 must keep {4, 8}, not become {1, 5}). The hi edge below is
+       already sound: the anchor is unchanged and [mk] rounds hi down
+       onto it. *)
+    Some (mk ~stride:iv.stride (c + max 1 iv.stride) iv.hi)
   else if is_fin iv.hi && iv.hi = c then Some (mk ~stride:iv.stride iv.lo (c - 1))
   else Some iv
 

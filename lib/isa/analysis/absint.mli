@@ -59,6 +59,12 @@ val widen_iv : int array -> ival -> ival -> ival
 (** [widen_iv thresholds old joined]: extrapolate bounds that grew past
     [old] to the nearest threshold (sorted ascending), or infinity. *)
 
+val refine_ne : ival -> int -> ival option
+(** Refine by the branch fact [<> c]: [None] for the singleton [c]; a
+    bound equal to [c] advances (lo) or retreats (hi) by the stride so
+    the congruence keeps its residue class; an interior [c] leaves the
+    interval unchanged. Exposed for tests. *)
+
 val iv_to_string : ival -> string
 
 (** {2 Register environments} *)

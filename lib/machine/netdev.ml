@@ -65,10 +65,13 @@ let create ~mem ~dma_base ~dma_words =
     on_tx = None;
   }
 
+(* One call replaces all three taps: an omitted argument clears that
+   observer, so a device reused across runs never keeps a stale
+   callback into a dead trace sink. *)
 let set_observers t ?on_rx ?on_consume ?on_tx () =
-  (match on_rx with Some _ -> t.on_rx <- on_rx | None -> ());
-  (match on_consume with Some _ -> t.on_consume <- on_consume | None -> ());
-  match on_tx with Some _ -> t.on_tx <- on_tx | None -> ()
+  t.on_rx <- on_rx;
+  t.on_consume <- on_consume;
+  t.on_tx <- on_tx
 
 let inject t ~now payload =
   if Array.length payload > slot_words then

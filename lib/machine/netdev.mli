@@ -88,10 +88,12 @@ val set_observers :
 (** Install host-side packet observers, called with the device-clock
     cycle and payload when a packet is DMA'd into the RX ring
     ([on_rx]), popped by the driver via RX_CONSUME ([on_consume]), and
-    transmitted via TX_DOORBELL ([on_tx]). Observers already installed
-    are kept when the corresponding argument is omitted. They are pure
-    taps for request tracing: the device takes the same steps on the
-    same cycles whether or not they are installed, so Seq/Par
+    transmitted via TX_DOORBELL ([on_tx]). One call replaces all three:
+    an omitted argument {e clears} that observer, so
+    [set_observers t ()] resets the device to untapped and a reused
+    device never retains callbacks into a dead trace sink. They are
+    pure taps for request tracing: the device takes the same steps on
+    the same cycles whether or not they are installed, so Seq/Par
     determinism is unaffected. *)
 
 val rx_region_bounds : t -> int * int

@@ -51,6 +51,68 @@ let test_ival_ops () =
   Alcotest.check iv "division truncates toward zero" (const (-3))
     (alu_iv Instr.Div (const 7) (const (-2)))
 
+(* Branch refinement by [!= c] on a strided interval must stay an
+   over-approximation: {0,4,8} minus 0 is {4,8}, so the lower bound
+   advances by the stride. Re-anchoring at c+1 would yield {1,5} — an
+   under-approximation that once let Footprint shrink address bounds
+   on countdown/pointer-walk loops ([p != base] with [p -= stride]). *)
+let test_refine_ne_strided () =
+  let open Absint in
+  (match refine_ne (mk ~stride:4 0 8) 0 with
+  | None -> Alcotest.fail "lo-edge refine of a non-singleton must not be empty"
+  | Some r ->
+      Alcotest.check iv "lo edge advances by the stride" (mk ~stride:4 4 8) r);
+  (match refine_ne (mk ~stride:4 0 8) 8 with
+  | None -> Alcotest.fail "hi-edge refine of a non-singleton must not be empty"
+  | Some r ->
+      Alcotest.check iv "hi edge rounds down onto the anchor"
+        (mk ~stride:4 0 4) r);
+  (match refine_ne (mk ~stride:4 0 8) 4 with
+  | None -> Alcotest.fail "interior refine must not be empty"
+  | Some r -> Alcotest.check iv "interior constant kept" (mk ~stride:4 0 8) r);
+  Alcotest.(check bool) "singleton equal to c is unreachable" true
+    (refine_ne (const 5) 5 = None);
+  (match refine_ne (mk 0 1) 0 with
+  | None -> Alcotest.fail "stride-1 lo-edge refine must not be empty"
+  | Some r -> Alcotest.check iv "stride-1 lo edge advances by 1" (const 1) r)
+
+(* End-to-end soundness of the same refinement: in a stride-4 countdown
+   loop the abstract value at the body must cover every concrete value
+   (8 and 4), and the exit refinement must pin the counter at 0. *)
+let test_countdown_stride_loop_sound () =
+  let a = Asm.create "countdown4" in
+  Asm.movi a Reg.R1 8;
+  Asm.while_ a Instr.Ne Reg.R1 (Instr.Imm 0) (fun () ->
+      Asm.addi a Reg.R1 Reg.R1 (-4));
+  Asm.halt a;
+  let p = Asm.assemble a in
+  let r = Absint.analyze (Cfg.build p) in
+  Alcotest.(check bool) "converged" true (r.Absint.diverged = None);
+  let find ins_pred =
+    let found = ref (-1) in
+    Array.iteri (fun i ins -> if ins_pred ins then found := i) p.Program.code;
+    !found
+  in
+  let body =
+    find (function
+      | Instr.Alu (Instr.Add, Reg.R1, Reg.R1, Instr.Imm (-4)) -> true
+      | _ -> false)
+  in
+  let halt_addr = find (( = ) Instr.Halt) in
+  (match Absint.reg_of r.Absint.before body Reg.R1 with
+  | None -> Alcotest.fail "loop body unreachable?"
+  | Some v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "body value covers {4, 8} (got %s)"
+           (Absint.iv_to_string v))
+        true
+        (v.Absint.lo <= 4 && v.Absint.hi >= 8));
+  match Absint.reg_of r.Absint.before halt_addr Reg.R1 with
+  | None -> Alcotest.fail "halt unreachable?"
+  | Some v ->
+      Alcotest.check iv "exit refinement pins the counter at 0"
+        (Absint.const 0) v
+
 let test_widen_thresholds () =
   let open Absint in
   let ts = [| 0; 10; 100 |] in
@@ -392,6 +454,10 @@ let test_lint_report_order () =
 let suite =
   [
     Alcotest.test_case "interval ops" `Quick test_ival_ops;
+    Alcotest.test_case "Ne refinement keeps strided congruence" `Quick
+      test_refine_ne_strided;
+    Alcotest.test_case "stride-4 countdown loop sound" `Quick
+      test_countdown_stride_loop_sound;
     Alcotest.test_case "threshold widening" `Quick test_widen_thresholds;
     Alcotest.test_case "bounded loop stays bounded" `Quick
       test_loop_widening_precise;
