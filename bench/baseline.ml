@@ -18,12 +18,16 @@
    both modes charge end-to-end.
 
    The baseline further embeds serving rows ([Loadgen]): a closed-loop
-   YCSB run through the NIC and a fault-campaign variant that recovers
-   through rollback, each recording the simulated run-phase cycles,
-   request outcome digest, completion and rollback counts (all exact),
-   wall time under both engines, and the engines-agree determinism bit.
+   YCSB run through the NIC, a fault-campaign variant that recovers
+   through rollback, and three ingress-checksum rows (fault-free
+   checked run pricing the per-frame FT_Mem_Rep verification, plus the
+   DMA-buffer flip campaign with checking off and on), each recording
+   the simulated run-phase cycles, request outcome digests, completion
+   / rollback / corruption / ingress-drop / redelivery counts (all
+   exact), wall time under both engines, and the engines-agree
+   determinism bit.
 
-   The result is written as JSON (schema `rcoe-bench-baseline/v3`,
+   The result is written as JSON (schema `rcoe-bench-baseline/v4`,
    documented in EXPERIMENTS.md) — commit it as BENCH_baseline.json.
 
    `dune exec bench/main.exe -- baseline-check [PATH]` re-measures and
@@ -185,11 +189,17 @@ let measure_workload wl =
 
 type serve_row = {
   s_name : string;
+  s_ingress : bool;  (* FT_Mem_Rep ingress checksum path on? *)
   s_requests : int;
   s_cycles : int;  (* simulated run-phase cycles — exact *)
   s_completed : int;
   s_digest : int;  (* CRC-32 of the request outcome log — exact *)
+  s_sorted_digest : int;  (* order-insensitive digest — exact *)
   s_rollbacks : int;
+  s_corrupted : int;  (* client-visible value corruption — exact *)
+  s_checked : int;  (* frames checksum-verified at ingress — exact *)
+  s_dropped : int;  (* corrupt frames dropped/NACKed — exact *)
+  s_redelivered : int;  (* dropped frames redelivered by client — exact *)
   s_wall_seq : float;
   s_wall_par : float;
   s_deterministic : bool;
@@ -199,29 +209,60 @@ let serve_records = 64
 let serve_requests = 1_000
 let serve_chunk = 8_000
 
+(* serve-closed / serve-fault are the PR 7 rows (ingress checking off;
+   the fault row recovers through rollback plus client retransmission).
+   The three ingress rows quantify the server-side DMA-hole closure:
+
+   - serve-checked prices the per-frame FT_Mem_Rep checksum on a
+     fault-free run (overhead = cycles vs serve-closed, exact);
+   - serve-dma-silent flips a bit in a queued DMA frame with checking
+     off — the corruption sails into the store and surfaces only as
+     client-visible value corruption (exact count, > 0 by contract);
+   - serve-dma-recover runs the same campaign with checking on — the
+     frame is dropped at ingress, the client redelivers, no client
+     corruption, and the order-insensitive outcome digest equals the
+     fault-free serve-checked row's. *)
+(* fault_after chosen so the corrupted PUT's key is GET again before
+   its next overwrite under this workload/seed — the silent row's
+   corruption must be client-visible, or the contract below trips. *)
+let dma_fault =
+  { Loadgen.fault_after = 100; fault_bit = 9;
+    fault_target = Loadgen.Dma_frame }
+
 let serve_cases =
   [
-    ("serve-closed", None);
-    ("serve-fault", Some { Loadgen.fault_after = 200; fault_bit = 7 });
+    ("serve-closed", false, None);
+    ( "serve-fault", false,
+      Some { Loadgen.fault_after = 200; fault_bit = 7;
+             fault_target = Loadgen.Sig_word } );
+    ("serve-checked", true, None);
+    ("serve-dma-silent", false, Some dma_fault);
+    ("serve-dma-recover", true, Some dma_fault);
   ]
 
-let serve_config ~engine ~fault =
+let serve_config ~engine ~ingress ~fault =
+  let rollback_fault =
+    match fault with
+    | Some { Loadgen.fault_target = Loadgen.Sig_word; _ } -> true
+    | _ -> false
+  in
   {
     (Runner.config_for ~mode:Config.CC ~nreplicas:2
        ~arch:Rcoe_machine.Arch.X86 ~with_net:true ~seed:5 ())
     with
     Config.engine;
     exception_barriers = true;
-    checkpoint_every = (if fault then 2 else 0);
+    ingress_check = ingress;
+    checkpoint_every = (if rollback_fault then 2 else 0);
     max_rollbacks = 3;
   }
 
-let measure_serve_engine ~engine ~fault =
+let measure_serve_engine ~engine ~ingress ~fault =
   let one () =
     let t0 = Unix.gettimeofday () in
     let r =
       Loadgen.run
-        ~config:(serve_config ~engine ~fault:(fault <> None))
+        ~config:(serve_config ~engine ~ingress ~fault)
         ~workload:Ycsb.A ~records:serve_records ~requests:serve_requests
         ~chunk:serve_chunk ?fault ()
     in
@@ -245,27 +286,34 @@ let measure_serve () =
   Printf.printf "  serving   %!";
   let rows =
     List.map
-      (fun (name, fault) ->
+      (fun (name, ingress, fault) ->
         Printf.printf " %s%!" name;
         let seq, wall_seq =
-          measure_serve_engine ~engine:Config.Sequential ~fault
+          measure_serve_engine ~engine:Config.Sequential ~ingress ~fault
         in
         let par, wall_par =
-          measure_serve_engine ~engine:Config.Parallel ~fault
+          measure_serve_engine ~engine:Config.Parallel ~ingress ~fault
         in
         {
           s_name = name;
+          s_ingress = ingress;
           s_requests = serve_requests;
           s_cycles = seq.Loadgen.elapsed_cycles;
           s_completed = seq.Loadgen.completed;
           s_digest = seq.Loadgen.outcome_digest;
+          s_sorted_digest = seq.Loadgen.outcome_sorted_digest;
           s_rollbacks = seq.Loadgen.rollbacks;
+          s_corrupted = seq.Loadgen.counters.Ycsb.corrupted;
+          s_checked = seq.Loadgen.ingress_checked;
+          s_dropped = seq.Loadgen.ingress_dropped;
+          s_redelivered = seq.Loadgen.redelivered;
           s_wall_seq = wall_seq;
           s_wall_par = wall_par;
           s_deterministic =
             seq.Loadgen.outcome_digest = par.Loadgen.outcome_digest
             && seq.Loadgen.end_sigs = par.Loadgen.end_sigs
-            && System.now seq.Loadgen.sys = System.now par.Loadgen.sys;
+            && System.now seq.Loadgen.sys = System.now par.Loadgen.sys
+            && seq.Loadgen.ingress_dropped = par.Loadgen.ingress_dropped;
         })
       serve_cases
   in
@@ -280,21 +328,64 @@ let measure_serve () =
       broken;
     exit 1
   end;
+  (* Cross-row campaign contract: the same DMA-buffer flip must be
+     client-visible with checking off and absorbed with it on — with
+     the post-recovery outcome log (order-insensitive) matching the
+     fault-free checked run bit for bit. *)
+  let find n = List.find (fun s -> s.s_name = n) rows in
+  let checked = find "serve-checked" in
+  let silent = find "serve-dma-silent" in
+  let recover = find "serve-dma-recover" in
+  let contract = ref [] in
+  if silent.s_corrupted < 1 then
+    contract :=
+      "serve-dma-silent: DMA flip was not client-visible (corrupted = 0)"
+      :: !contract;
+  if silent.s_dropped <> 0 then
+    contract :=
+      "serve-dma-silent: frames dropped with checking off" :: !contract;
+  if recover.s_dropped < 1 then
+    contract :=
+      "serve-dma-recover: ingress check never dropped the corrupt frame"
+      :: !contract;
+  if recover.s_corrupted <> 0 then
+    contract :=
+      "serve-dma-recover: corruption leaked past the ingress check"
+      :: !contract;
+  if recover.s_sorted_digest <> checked.s_sorted_digest then
+    contract :=
+      "serve-dma-recover: outcome digest differs from fault-free run"
+      :: !contract;
+  if !contract <> [] then begin
+    List.iter
+      (fun m -> Printf.eprintf "baseline: CAMPAIGN FAILURE: %s\n" m)
+      (List.rev !contract);
+    exit 1
+  end;
+  Printf.printf
+    "  ingress checksum overhead: %+d cycles (%.2f cycles/request)\n"
+    (checked.s_cycles - (find "serve-closed").s_cycles)
+    (float_of_int (checked.s_cycles - (find "serve-closed").s_cycles)
+    /. float_of_int serve_requests);
   rows
 
 let print_serve_table rows =
   let t =
     Rcoe_util.Table.create
       ~headers:
-        [ "serve"; "requests"; "cycles"; "completed"; "rollbacks";
-          "seq wall"; "par wall"; "deterministic" ]
+        [ "serve"; "ingress"; "cycles"; "completed"; "rollbacks";
+          "corrupted"; "dropped"; "redeliv"; "seq wall"; "par wall";
+          "deterministic" ]
   in
   List.iter
     (fun s ->
       Rcoe_util.Table.add_row t
         [
-          s.s_name; string_of_int s.s_requests; string_of_int s.s_cycles;
-          string_of_int s.s_completed; string_of_int s.s_rollbacks;
+          s.s_name;
+          (if s.s_ingress then "on" else "off");
+          string_of_int s.s_cycles; string_of_int s.s_completed;
+          string_of_int s.s_rollbacks; string_of_int s.s_corrupted;
+          string_of_int s.s_dropped; string_of_int s.s_redelivered;
           Printf.sprintf "%.3fs" s.s_wall_seq;
           Printf.sprintf "%.3fs" s.s_wall_par;
           (if s.s_deterministic then "yes" else "NO");
@@ -303,21 +394,42 @@ let print_serve_table rows =
   Rcoe_util.Table.print t
 
 let serve_json rows =
+  let closed_cycles =
+    match List.find_opt (fun s -> s.s_name = "serve-closed") rows with
+    | Some s -> Some s.s_cycles
+    | None -> None
+  in
   Json.List
     (List.map
        (fun s ->
          Json.Obj
-           [
-             ("name", Json.String s.s_name);
-             ("requests", Json.Int s.s_requests);
-             ("cycles", Json.Int s.s_cycles);
-             ("completed", Json.Int s.s_completed);
-             ("digest", Json.Int s.s_digest);
-             ("rollbacks", Json.Int s.s_rollbacks);
-             ("wall_seq_s", Json.Float s.s_wall_seq);
-             ("wall_par_s", Json.Float s.s_wall_par);
-             ("deterministic", Json.Bool s.s_deterministic);
-           ])
+           ([
+              ("name", Json.String s.s_name);
+              ("ingress_check", Json.Bool s.s_ingress);
+              ("requests", Json.Int s.s_requests);
+              ("cycles", Json.Int s.s_cycles);
+              ("completed", Json.Int s.s_completed);
+              ("digest", Json.Int s.s_digest);
+              ("sorted_digest", Json.Int s.s_sorted_digest);
+              ("rollbacks", Json.Int s.s_rollbacks);
+              ("corrupted", Json.Int s.s_corrupted);
+              ("ingress_checked", Json.Int s.s_checked);
+              ("ingress_dropped", Json.Int s.s_dropped);
+              ("redelivered", Json.Int s.s_redelivered);
+              ("wall_seq_s", Json.Float s.s_wall_seq);
+              ("wall_par_s", Json.Float s.s_wall_par);
+              ("deterministic", Json.Bool s.s_deterministic);
+            ]
+           @
+           match (s.s_name, closed_cycles) with
+           | "serve-checked", Some c ->
+               [
+                 ( "csum_overhead_cycles_per_req",
+                   Json.Float
+                     (float_of_int (s.s_cycles - c)
+                     /. float_of_int s.s_requests) );
+               ]
+           | _ -> []))
        rows)
 
 let host_json () =
@@ -332,7 +444,7 @@ let host_json () =
 let to_json rows ckpt_rows serve_rows =
   Json.Obj
     [
-      ("schema", Json.String "rcoe-bench-baseline/v3");
+      ("schema", Json.String "rcoe-bench-baseline/v4");
       ("host", host_json ());
       ("reps", Json.Int reps);
       ("ckpt", Ckpt_bench.to_json ckpt_rows);
@@ -494,10 +606,11 @@ let check ?(path = default_path) () =
         exit 1
   in
   (match jstring (jmember "schema" committed) with
-  | "rcoe-bench-baseline/v3" -> ()
-  | "rcoe-bench-baseline/v2" ->
+  | "rcoe-bench-baseline/v4" -> ()
+  | "rcoe-bench-baseline/v2" | "rcoe-bench-baseline/v3" ->
       Printf.eprintf
-        "baseline-check: %s uses schema v2 (no serve rows)\n\
+        "baseline-check: %s uses a pre-ingress schema (no ingress serve \
+         rows)\n\
          regenerate with `dune exec bench/main.exe -- baseline`\n"
         path;
       exit 1
@@ -618,7 +731,16 @@ let check ?(path = default_path) () =
           exact "cycles" s.s_cycles (jint (jmember "cycles" j));
           exact "completed" s.s_completed (jint (jmember "completed" j));
           exact "digest" s.s_digest (jint (jmember "digest" j));
+          exact "sorted_digest" s.s_sorted_digest
+            (jint (jmember "sorted_digest" j));
           exact "rollbacks" s.s_rollbacks (jint (jmember "rollbacks" j));
+          exact "corrupted" s.s_corrupted (jint (jmember "corrupted" j));
+          exact "ingress_checked" s.s_checked
+            (jint (jmember "ingress_checked" j));
+          exact "ingress_dropped" s.s_dropped
+            (jint (jmember "ingress_dropped" j));
+          exact "redelivered" s.s_redelivered
+            (jint (jmember "redelivered" j));
           let wall_check what fresh_w committed_w =
             if fresh_w > committed_w *. (1. +. tol) then
               fail

@@ -4,7 +4,8 @@
 
    Usage:  dune exec bench/main.exe -- [target ...]
    Targets: e1 table2 table3 table4 table5 fig3 table7x86 table7arm
-            table8 table9 table10 fig4 micro serve ckpt quick all
+            table8 table9 table10 fig4 latency ingress micro serve
+            ckpt quick all
    Default (no argument): quick. *)
 
 open Rcoe_harness
@@ -97,6 +98,7 @@ let run_target = function
   | "table8" -> Fault_experiments.table8 ()
   | "table9" -> Fault_experiments.table9 ()
   | "latency" -> Fault_experiments.detection_latency ()
+  | "ingress" -> ignore (Fault_experiments.ingress_table ())
   | "table10" -> Perf_experiments.table10 ()
   | "fig4" -> Perf_experiments.fig4 ()
   | "micro" -> micro ()
@@ -110,8 +112,8 @@ let run_target = function
       Printf.eprintf
         "unknown target %S\n\
          targets: e1 table2 table3 table4 table5 fig3 table7x86 table7arm \
-         table8 table9 table10 fig4 latency micro serve ckpt baseline \
-         baseline-check quick all\n"
+         table8 table9 table10 fig4 latency ingress micro serve ckpt \
+         baseline baseline-check quick all\n"
         other;
       exit 1
 

@@ -445,9 +445,9 @@ let serve_cmd =
   let fault_arg =
     Arg.(value & flag
          & info [ "fault" ]
-             ~doc:"fault campaign: flip a signature bit on replica 1 \
-                   mid-run and measure detection latency and recovery \
-                   stalls (enables checkpointing if off)")
+             ~doc:"fault campaign: flip a bit mid-run (see --fault-target) \
+                   and measure detection latency and recovery stalls \
+                   (signature faults enable checkpointing if off)")
   in
   let fault_after_arg =
     Arg.(value & opt int 100
@@ -456,6 +456,25 @@ let serve_cmd =
   in
   let fault_bit_arg =
     Arg.(value & opt int 7 & info [ "fault-bit" ] ~doc:"bit index to flip")
+  in
+  let fault_target_arg =
+    let target_conv =
+      Arg.enum [ ("sig", Loadgen.Sig_word); ("dma", Loadgen.Dma_frame) ]
+    in
+    Arg.(value & opt target_conv Loadgen.Sig_word
+         & info [ "fault-target" ]
+             ~doc:"sig: replica 1's signature word (inside the SoR; \
+                   detected by voting, repaired by rollback); dma: a \
+                   value word of an in-flight RX PUT frame (outside the \
+                   SoR; only the ingress-checksum path can catch it)")
+  in
+  let ingress_check_arg =
+    Arg.(value & flag
+         & info [ "ingress-check" ]
+             ~doc:"verify each consumed frame against the NIC's \
+                   enqueue-time checksum (RX_CSUM) and NACK mismatches \
+                   for client retransmission — closes the DMA ingress \
+                   hole server-side")
   in
   let json_arg =
     Arg.(value & opt (some string) None
@@ -483,7 +502,8 @@ let serve_cmd =
   in
   let run mode n arch level seed wl records requests window open_rate max_queue
       checkpoint_every checkpoint_mode max_rollbacks fault fault_after
-      fault_bit parallel json_out trace_out check chunk =
+      fault_bit fault_target ingress_check parallel json_out trace_out check
+      chunk =
     let n = if mode = Config.Base then max 1 n else max 2 n in
     let workload = Ycsb.workload_of_string wl in
     let pacing =
@@ -492,16 +512,25 @@ let serve_cmd =
       else Loadgen.Closed { window }
     in
     let fault_spec =
-      if fault then Some { Loadgen.fault_after; fault_bit } else None
+      if fault then Some { Loadgen.fault_after; fault_bit; fault_target }
+      else None
     in
-    (* A fault campaign without recovery would fail-stop at detection;
-       default to the recovery-trial cadence. *)
+    (* A signature-fault campaign without recovery would fail-stop at
+       detection; default to the recovery-trial cadence. A DMA-frame
+       fault needs no checkpoints — rollback cannot repair it anyway;
+       the ingress path's drop-and-redeliver lane is the recovery. *)
     let checkpoint_every =
-      if fault && checkpoint_every = 0 then 2 else checkpoint_every
+      if fault && fault_target = Loadgen.Sig_word && checkpoint_every = 0
+      then 2
+      else checkpoint_every
     in
     let base =
-      mk_config ~checkpoint_every ~checkpoint_mode ~max_rollbacks mode n arch
-        false level seed ~with_net:true
+      {
+        (mk_config ~checkpoint_every ~checkpoint_mode ~max_rollbacks mode n
+           arch false level seed ~with_net:true)
+        with
+        Config.ingress_check;
+      }
     in
     let serve config =
       Loadgen.run ~config ~workload ~records ~requests ~pacing ~chunk
@@ -550,6 +579,15 @@ let serve_cmd =
         (Rcoe_obs.Trace.total tr)
         (Rcoe_obs.Trace.dropped tr)
         (Rcoe_obs.Reqtrace.open_hwm r.Loadgen.rt);
+      if ingress_check || r.Loadgen.ingress_dropped > 0 then begin
+        Printf.printf
+          "ingress:    checked=%d dropped=%d redelivered=%d retransmits=%d\n"
+          r.Loadgen.ingress_checked r.Loadgen.ingress_dropped
+          r.Loadgen.redelivered r.Loadgen.retransmits;
+        if r.Loadgen.ingress_dropped > 0 then
+          Printf.printf "ingress-stall: %s\n"
+            (Rcoe_obs.Hdr.summary (Rcoe_obs.Reqtrace.ingress_hdr r.Loadgen.rt))
+      end;
       if fault then begin
         let d = Rcoe_obs.Reqtrace.detect_hdr r.Loadgen.rt in
         let s = Rcoe_obs.Reqtrace.stall_hdr r.Loadgen.rt in
@@ -643,7 +681,8 @@ let serve_cmd =
       $ ycsb_arg $ records_arg $ requests_arg $ window_arg $ open_rate_arg
       $ max_queue_arg $ checkpoint_every_arg $ checkpoint_mode_arg
       $ max_rollbacks_arg $ fault_arg $ fault_after_arg $ fault_bit_arg
-      $ parallel_arg $ json_arg $ trace_out_arg $ check_arg $ chunk_arg)
+      $ fault_target_arg $ ingress_check_arg $ parallel_arg $ json_arg
+      $ trace_out_arg $ check_arg $ chunk_arg)
 
 let recover_cmd =
   let doc =
@@ -661,10 +700,18 @@ let recover_cmd =
   in
   let run trials ci =
     let uncontrolled = Fault_experiments.recovery_table ~trials () in
+    (* The DMA-corruption leg: the rollback campaign above covers faults
+       inside the SoR; this pair demonstrates the residual outside it is
+       silent without the ingress-checksum path and contained with it. *)
+    let ingress_fails = Fault_experiments.ingress_quick () in
     if ci then
-      if uncontrolled = 0 then print_endline "faultquick: ok (0 uncontrolled)"
+      if uncontrolled = 0 && ingress_fails = 0 then
+        print_endline "faultquick: ok (0 uncontrolled, ingress pair held)"
       else begin
-        Printf.eprintf "faultquick: %d uncontrolled outcome(s)\n" uncontrolled;
+        Printf.eprintf
+          "faultquick: %d uncontrolled outcome(s), %d ingress expectation(s) \
+           violated\n"
+          uncontrolled ingress_fails;
         exit 1
       end
   in
@@ -697,17 +744,18 @@ let disasm_cmd =
    the path the mode never takes. *)
 let elig_modes = [ ("cc", Config.CC); ("lc", Config.LC); ("base", Config.Base) ]
 
-let elig_config mode =
+let elig_config ?(ingress_check = false) mode =
   {
     Config.default with
     Config.mode;
     nreplicas = (if mode = Config.Base then 1 else 2);
     with_net = true;
     exception_barriers = true;
+    ingress_check;
   }
 
-let eligibility_of program mode =
-  Eligibility.check ~config:(elig_config mode) ~program
+let eligibility_of ?ingress_check program mode =
+  Eligibility.check ~config:(elig_config ?ingress_check mode) ~program
 
 let lint_cmd =
   let doc =
@@ -922,7 +970,24 @@ let lint_cmd =
                 (fun (label, mode) ->
                   Printf.sprintf "par.%s=%s" label
                     (elig_label (eligibility_of program mode)))
-                elig_modes)))
+                elig_modes));
+        (* The KV guest is the one workload whose footprint is
+           configuration-dependent: the analyzer models the get_info
+           ingress flag, so the checksum loop (and its MMIO reads) only
+           exists in checked configurations. Pin that verdict too. *)
+        if String.equal name "kvstore" then
+          Printf.printf
+            "%s+ingress verdict=%s counted=%s warnings=%d infos=%d %s\n" name
+            (verdict_str plain) (verdict_str counted)
+            (count Rcoe_isa.Lint.Warning plain)
+            (count Rcoe_isa.Lint.Info plain)
+            (String.concat " "
+               (List.map
+                  (fun (label, mode) ->
+                    Printf.sprintf "par.%s=%s" label
+                      (elig_label
+                         (eligibility_of ~ingress_check:true program mode)))
+                  elig_modes)))
       lintable_names;
     !ok
   in

@@ -59,6 +59,22 @@ let equal a b = a.c0 = b.c0 && a.c1 = b.c1
 
 let copy t = { c0 = t.c0; c1 = t.c1 }
 
+(* Per-frame ingress checksum over machine words. Deliberately restricted
+   to add/rem on small constants so the kvstore driver can compute the
+   same digest in guest code (whose [Rem] is OCaml's [mod]) and the
+   abstract interpreter can bound the accumulators: both sums live in
+   [0, 65534] after each step, and the packed digest fits 32 bits. *)
+let frame ws =
+  let n = Array.length ws in
+  let rec go i c0 c1 =
+    if i >= n then (c1 * 65536) + c0
+    else
+      let c0 = (c0 + (ws.(i) mod 65535)) mod 65535 in
+      let c1 = (c1 + c0) mod 65535 in
+      go (i + 1) c0 c1
+  in
+  go 0 0 0
+
 let fletcher32 s =
   let n = String.length s in
   let block_at i =

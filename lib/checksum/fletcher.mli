@@ -38,3 +38,11 @@ val copy : t -> t
 val fletcher32 : string -> int
 (** One-shot classical Fletcher-32 of a byte string (16-bit blocks,
     modulo 65535); used by tests as an independent reference. *)
+
+val frame : int array -> int
+(** One-shot per-frame checksum over machine words (each word reduced
+    mod 65535 before the classical Fletcher recurrence; result packed as
+    [c1 * 65536 + c0]). Used as the NIC's wire-side ground truth for the
+    ingress-verification path: it is computable with only add/rem
+    operations, so the kvstore guest driver mirrors it exactly and the
+    {!Rcoe_isa.Absint} interval domain can bound the accumulators. *)

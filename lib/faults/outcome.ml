@@ -11,13 +11,14 @@ type t =
   | Signature_mismatch
   | Masked
   | Recovered
+  | Ingress_dropped
   | System_reboot
 
 let all =
   [
     No_error; Ycsb_corruption; Ycsb_error; User_mem_fault; User_other_fault;
     Kernel_exception; Barrier_timeout; Signature_mismatch; Masked;
-    Recovered; System_reboot;
+    Recovered; Ingress_dropped; System_reboot;
   ]
 
 let to_string = function
@@ -31,10 +32,12 @@ let to_string = function
   | Signature_mismatch -> "Signature mismatches"
   | Masked -> "Masked (downgraded)"
   | Recovered -> "Recovered (rolled back)"
+  | Ingress_dropped -> "Ingress dropped (redelivered)"
   | System_reboot -> "System reboots"
 
 let controlled = function
-  | No_error | Masked | Recovered | Barrier_timeout | Signature_mismatch ->
+  | No_error | Masked | Recovered | Ingress_dropped | Barrier_timeout
+  | Signature_mismatch ->
       true
   | Ycsb_corruption | Ycsb_error | User_mem_fault | User_other_fault
   | Kernel_exception | System_reboot ->
@@ -52,6 +55,20 @@ let classify ~sys ~client_corrupt ~client_error =
       (System.events sys)
   in
   let had_downgrade = System.downgrades sys <> [] in
+  (* The kernel-side counter covers the CC (FT_Mem_Rep) path; the
+     device's NACK count also covers LC, where the guest drops frames
+     over MMIO without the scheduler ever seeing it. *)
+  let had_ingress_drop =
+    (match
+       Rcoe_obs.Metrics.find_counter (System.metrics sys) "net.ingress_dropped"
+     with
+    | Some c -> Rcoe_obs.Metrics.count c > 0
+    | None -> false)
+    ||
+    match System.netdev sys with
+    | Some nd -> Rcoe_machine.Netdev.rx_nacked nd > 0
+    | None -> false
+  in
   match System.halted sys with
   | Some (System.H_kernel_exception _) -> Kernel_exception
   | Some System.H_timeout -> Barrier_timeout
@@ -72,6 +89,7 @@ let classify ~sys ~client_corrupt ~client_error =
           then Kernel_exception
           else User_mem_fault
         else if client_error then Ycsb_error
+        else if had_ingress_drop then Ingress_dropped
         else No_error
       end
       else if client_corrupt then Ycsb_corruption
@@ -82,6 +100,11 @@ let classify ~sys ~client_corrupt ~client_error =
            clean *because* it was rewound. *)
         Recovered
       else if had System.E_mismatch then Signature_mismatch
+      else if had_ingress_drop then
+        (* Ingress verification caught the corruption before it entered
+           the sphere of replication; the client's retransmission
+           re-delivered the request and the run ended clean. *)
+        Ingress_dropped
       else No_error
 
 type tally = (t, int) Hashtbl.t

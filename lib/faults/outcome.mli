@@ -23,12 +23,20 @@ type t =
       (** Checkpoint rollback re-execution; the run finished with
           correct output after at least one detection was recovered
           instead of halting. *)
+  | Ingress_dropped
+      (** Ingress-checksum verification dropped at least one corrupted
+          DMA frame and the client's retransmission re-delivered it; the
+          run finished clean. The drop-and-redeliver analogue of
+          [Recovered] for corruption outside the sphere of
+          replication — rollback cannot rewind a DMA buffer that no
+          checkpoint covers. *)
   | System_reboot  (** Overclocking: catastrophic multi-component burst. *)
 
 val to_string : t -> string
 
 val controlled : t -> bool
-(** [No_error], [Masked] and [Recovered] count as controlled. *)
+(** [No_error], [Masked], [Recovered] and [Ingress_dropped] count as
+    controlled. *)
 
 val classify :
   sys:Rcoe_core.System.t ->

@@ -539,6 +539,175 @@ let recovery_table ?(trials = 12) () =
      EXPERIMENTS.md)\n%!";
   !uncontrolled_total
 
+(* -------------------------------------------- DMA ingress campaign -- *)
+
+(* One serving trial with a bit flipped inside an in-flight RX DMA
+   frame — the paper's Table VII residual: the frame sits outside the
+   sphere of replication, so voting never sees the flip and no
+   checkpoint covers the ring, leaving rollback powerless. With
+   [ingress_check] off the corrupted PUT is stored and served silently
+   until a later GET trips the client's embedded CRC; with it on, the
+   consume path recomputes the frame checksum against the NIC's
+   enqueue-time RX_CSUM, NACKs the frame, and the client's
+   retransmission re-delivers the pristine payload. *)
+let ingress_trial ~mode ~n ~ingress_check ~fault ~seed =
+  let config =
+    {
+      (Runner.config_for ~mode ~nreplicas:n ~arch:x86 ~with_net:true
+         ~seed:(13 * seed) ())
+      with
+      Config.ingress_check;
+      barrier_timeout = 200_000;
+    }
+  in
+  let fault_spec =
+    if fault then
+      Some
+        {
+          Loadgen.fault_after = 8;
+          fault_bit = seed;
+          fault_target = Loadgen.Dma_frame;
+        }
+    else None
+  in
+  (* YCSB-B (95% reads): a corrupted PUT's key is overwhelmingly
+     likely to be GET before the next overwrite, so the checking-off
+     rows surface the corruption client-side instead of silently
+     erasing the evidence under write-heavy churn. *)
+  let res =
+    Loadgen.run ~config ~workload:Ycsb.B ~records:40 ~requests:200
+      ~gen_seed:700 ~stall_limit:1_500_000 ~max_cycles:60_000_000
+      ~retry_after:60_000 ?fault:fault_spec ()
+  in
+  let c = res.Loadgen.counters in
+  let outcome =
+    Outcome.classify ~sys:res.Loadgen.sys
+      ~client_corrupt:(c.Ycsb.corrupted > 0)
+      ~client_error:(c.Ycsb.client_errors > 0 || res.Loadgen.stalled)
+  in
+  (outcome, res)
+
+let ingress_table ?(trials = 6) () =
+  header
+    "DMA ingress campaign: in-flight RX frame corruption, checksum path \
+     off vs on"
+    "off: the flip is served silently until a later GET trips the \
+     client CRC (YCSB corruption, uncontrolled) - detection by \
+     replication is structurally impossible since the frame is outside \
+     the SoR; on: the consume path drops the frame against RX_CSUM and \
+     the client retransmission re-delivers it (controlled), with the \
+     seq-sorted outcome digest matching the fault-free reference";
+  let tbl =
+    Table.create
+      ~headers:
+        [
+          "config"; "ingress"; "trials"; "fired"; "dropped"; "redeliv";
+          "silent-corru"; "ingress-drop"; "no-error"; "UNCONTROLLED";
+          "digest=ref";
+        ]
+  in
+  let uncontrolled_total = ref 0 in
+  let row label mode n ingress_check =
+    (* Fault-free reference: the seq-sorted outcome digest is invariant
+       under drop-induced completion reordering, so one reference run
+       serves every trial of the row. *)
+    let _, refr = ingress_trial ~mode ~n ~ingress_check ~fault:false ~seed:1 in
+    let tally = Outcome.tally_create () in
+    let fired = ref 0 and dropped = ref 0 and redeliv = ref 0 in
+    let corrupt = ref 0 and digest_ok = ref 0 in
+    for seed = 1 to trials do
+      let outcome, res =
+        ingress_trial ~mode ~n ~ingress_check ~fault:true ~seed
+      in
+      Outcome.tally_add tally outcome;
+      if res.Loadgen.fault_fired then incr fired;
+      dropped := !dropped + res.Loadgen.ingress_dropped;
+      redeliv := !redeliv + res.Loadgen.redelivered;
+      corrupt := !corrupt + res.Loadgen.counters.Ycsb.corrupted;
+      if
+        res.Loadgen.outcome_sorted_digest = refr.Loadgen.outcome_sorted_digest
+        && res.Loadgen.completed = refr.Loadgen.completed
+      then incr digest_ok
+    done;
+    (* The off rows are *expected* to be uncontrolled — that is the
+       hole being demonstrated; only the checking-on rows gate. *)
+    if ingress_check then
+      uncontrolled_total :=
+        !uncontrolled_total + Outcome.tally_uncontrolled tally;
+    let open Outcome in
+    Table.add_row tbl
+      [
+        label;
+        (if ingress_check then "on" else "off");
+        string_of_int trials;
+        string_of_int !fired;
+        string_of_int !dropped;
+        string_of_int !redeliv;
+        string_of_int (tally_get tally Ycsb_corruption);
+        string_of_int (tally_get tally Ingress_dropped);
+        string_of_int (tally_get tally No_error);
+        string_of_int (tally_uncontrolled tally);
+        Printf.sprintf "%d/%d" !digest_ok trials;
+      ]
+  in
+  row "LC-D" Config.LC 2 false;
+  row "LC-D" Config.LC 2 true;
+  row "CC-D" Config.CC 2 false;
+  row "CC-D" Config.CC 2 true;
+  Table.print tbl;
+  Printf.printf
+    "(silent-corru counts trials whose corruption reached the client; \
+     ingress-drop counts trials where the frame was dropped and \
+     redelivered; digest=ref compares the seq-sorted outcome digest \
+     against a fault-free reference run)\n%!";
+  !uncontrolled_total
+
+(* The @faultquick gate's DMA-corruption leg: one deterministic off/on
+   pair on CC-D. Returns the number of violated expectations. *)
+let ingress_quick ?(seed = 3) () =
+  let fails = ref 0 in
+  let expect cond msg =
+    if not cond then begin
+      incr fails;
+      Printf.printf "ingress-quick: FAILED: %s\n" msg
+    end
+  in
+  let off_outcome, off =
+    ingress_trial ~mode:Config.CC ~n:2 ~ingress_check:false ~fault:true ~seed
+  in
+  let on_outcome, on_ =
+    ingress_trial ~mode:Config.CC ~n:2 ~ingress_check:true ~fault:true ~seed
+  in
+  Printf.printf
+    "ingress-quick: off => %s (corrupted=%d), on => %s (checked=%d \
+     dropped=%d redelivered=%d)\n%!"
+    (Outcome.to_string off_outcome)
+    off.Loadgen.counters.Rcoe_workloads.Ycsb.corrupted
+    (Outcome.to_string on_outcome)
+    on_.Loadgen.ingress_checked on_.Loadgen.ingress_dropped
+    on_.Loadgen.redelivered;
+  expect off.Loadgen.fault_fired "checking off: DMA flip did not land";
+  expect
+    (off.Loadgen.counters.Rcoe_workloads.Ycsb.corrupted > 0)
+    "checking off: corruption should reach the client (silent until the \
+     CRC trips)";
+  expect
+    (off_outcome = Outcome.Ycsb_corruption)
+    "checking off: outcome should classify as YCSB corruption";
+  expect on_.Loadgen.fault_fired "checking on: DMA flip did not land";
+  expect
+    (on_.Loadgen.ingress_dropped >= 1)
+    "checking on: the corrupted frame should be dropped at ingress";
+  expect
+    (on_.Loadgen.counters.Rcoe_workloads.Ycsb.corrupted = 0)
+    "checking on: no corruption may reach the client";
+  expect
+    (on_outcome = Outcome.Ingress_dropped)
+    "checking on: outcome should classify as controlled ingress drop";
+  expect (not on_.Loadgen.stalled)
+    "checking on: redelivery should finish the run";
+  !fails
+
 let all ~quick =
   let t = if quick then 25 else 80 in
   table7 ~trials:t ~variant:`X86 ();
@@ -546,4 +715,5 @@ let all ~quick =
   table8 ~trials:(if quick then 20 else 60) ();
   table9 ~trials:(if quick then 20 else 60) ();
   ignore (recovery_table ~trials:(if quick then 6 else 16) ());
+  ignore (ingress_table ~trials:(if quick then 3 else 8) ());
   detection_latency ~runs:(if quick then 3 else 8) ()

@@ -50,6 +50,32 @@ val recovery_table : ?trials:int -> unit -> int
     number of uncontrolled trials (0 expected) — the [@faultquick] CI
     gate. *)
 
+val ingress_trial :
+  mode:Rcoe_core.Config.mode ->
+  n:int ->
+  ingress_check:bool ->
+  fault:bool ->
+  seed:int ->
+  Rcoe_faults.Outcome.t * Loadgen.result
+(** One serving trial with (optionally) a bit flipped inside an
+    in-flight RX DMA frame — the paper's Table VII residual, outside
+    the sphere of replication. Exposed for tests. *)
+
+val ingress_table : ?trials:int -> unit -> int
+(** The DMA-hole coverage flip: identical fault schedules with the
+    ingress-checksum path off (silent YCSB corruption — detection by
+    replication is structurally impossible) and on (frame dropped
+    against RX_CSUM, client retransmission re-delivers; seq-sorted
+    outcome digest matches a fault-free reference). Returns the number
+    of uncontrolled trials in the checking-on rows' world — nonzero
+    only if the path failed to contain a corruption. *)
+
+val ingress_quick : ?seed:int -> unit -> int
+(** The @faultquick gate's DMA-corruption leg: one deterministic off/on
+    trial pair on CC-D; returns the number of violated expectations
+    (0 = the hole demonstrably exists without the path and is closed
+    with it). *)
+
 val detection_latency : ?runs:int -> unit -> unit
 (** The paper's performance-safety trade-off made explicit (Sections
     III-C and V-B): error-detection latency as a function of the kernel

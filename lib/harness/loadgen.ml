@@ -10,7 +10,14 @@ type pacing =
   | Closed of { window : int }
   | Open of { interval : int; max_queue : int }
 
-type fault_spec = { fault_after : int; fault_bit : int }
+type fault_target = Sig_word | Dma_frame
+
+type fault_spec = {
+  fault_after : int;
+  fault_bit : int;
+  fault_target : fault_target;
+}
+
 type outcome = { o_seq : int; o_op : int; o_status : int }
 
 (* Client-side reliability over the DMA hole. A rollback rewinds the
@@ -41,6 +48,11 @@ type result = {
   rollbacks : int;
   retransmits : int;
   dup_responses : int;
+  ingress_checked : int;
+  ingress_dropped : int;
+  redelivered : int;
+  outcome_sorted_digest : int;
+  fault_fired : bool;
   sys : System.t;
 }
 
@@ -135,6 +147,10 @@ let run ~config ~workload ~records ~requests ?(pacing = Closed { window = 8 })
   in
   let retransmits = ref 0 in
   let dup_responses = ref 0 in
+  (* Sequence ids that were ever retransmitted: a receipt for one of
+     them is a re-delivery — the drop-and-redeliver lane completing. *)
+  let retried : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let redelivered = ref 0 in
   (* Open-loop arrival clock: armed when the run phase starts. *)
   let next_arrival = ref max_int in
   let inject_req req ~at =
@@ -148,12 +164,13 @@ let run ~config ~workload ~records ~requests ?(pacing = Closed { window = 8 })
   let retransmit_overdue () =
     let now = System.now sys in
     Hashtbl.iter
-      (fun _ (req, last_sent, timeout) ->
+      (fun seq (req, last_sent, timeout) ->
         if now - !last_sent > !timeout then begin
           Netdev.inject net ~now req;
           last_sent := now;
           timeout := 2 * !timeout;
-          incr retransmits
+          incr retransmits;
+          Hashtbl.replace retried seq ()
         end)
       pending_reqs
   in
@@ -225,6 +242,7 @@ let run ~config ~workload ~records ~requests ?(pacing = Closed { window = 8 })
             in
             outcomes := { o_seq = seq; o_op = op; o_status = status } :: !outcomes;
             mark_done seq;
+            if Hashtbl.mem retried seq then incr redelivered;
             Hashtbl.remove pending_reqs seq;
             Reqtrace.receipt rt ~id:seq ~now ~status;
             if !run_start <> None then incr run_completed;
@@ -240,19 +258,48 @@ let run ~config ~workload ~records ~requests ?(pacing = Closed { window = 8 })
       next_arrival := now;
       last_progress := now
     end;
-    (* Fault campaign: one transient signature flip on replica 1, at the
-       first chunk boundary after [fault_after] run-phase completions.
-       Trigger and target are simulated-state functions, so the flip
-       lands on the same cycle under either engine. *)
+    (* Fault campaign: one transient flip at a chunk boundary once
+       [fault_after] run-phase completions have drained. Trigger and
+       target are simulated-state functions, so the flip lands on the
+       same cycle under either engine.
+
+       [Sig_word] flips replica 1's published signature word — inside
+       the sphere of replication, where voting detects it and rollback
+       repairs it. [Dma_frame] flips a bit in a PUT request sitting in
+       the RX ring — after the NIC checksummed it at enqueue, before
+       the guest consumed it. That is the paper's Table VII residual:
+       no checkpoint covers the ring, so rollback cannot repair it;
+       only the ingress-checksum path (drop + client retransmission)
+       can. *)
     (match fault with
-    | Some { fault_after; fault_bit }
+    | Some { fault_after; fault_bit; fault_target }
       when (not !fault_fired) && !run_start <> None
-           && !run_completed >= fault_after ->
-        let addr = System.sig_base sys 1 + 1 in
-        let bit = fault_bit mod 30 in
-        Rcoe_machine.Mem.flip_bit mem ~addr ~bit;
-        Trace.injection (System.trace sys) ~addr ~bit;
-        fault_fired := true
+           && !run_completed >= fault_after -> (
+        match fault_target with
+        | Sig_word ->
+            let addr = System.sig_base sys 1 + 1 in
+            let bit = fault_bit mod 30 in
+            Rcoe_machine.Mem.flip_bit mem ~addr ~bit;
+            Trace.injection (System.trace sys) ~addr ~bit;
+            fault_fired := true
+        | Dma_frame -> (
+            (* Fires at the first chunk boundary where the ring's head
+               frame is an unconsumed PUT: flipping a value word breaks
+               the client's embedded CRC, so without ingress checking
+               the corruption is silent until a later GET trips the
+               client-side check. *)
+            match Netdev.head_rx net with
+            | Some (off, len) when len >= 5 ->
+                let base, _ = Netdev.rx_region_bounds net in
+                if Rcoe_machine.Mem.read mem (base + off + 2) = Kvstore.op_put
+                then begin
+                  let addr = base + off + 4 in
+                  let bit = fault_bit mod 30 in
+                  Rcoe_machine.Mem.flip_bit mem ~addr ~bit;
+                  Trace.injection (System.trace sys) ~addr ~bit;
+                  fault_fired := true
+                end
+            | _ -> ()))
     | _ -> ());
     if now - !last_progress > stall_limit then stalled := true
   done;
@@ -272,6 +319,16 @@ let run ~config ~workload ~records ~requests ?(pacing = Closed { window = 8 })
         Signature.read mem ~base:(System.sig_base sys rid))
   in
   let outcome_log = List.rev !outcomes in
+  (* Completion-order digest vs. seq-sorted digest: an ingress drop
+     reorders completions (the retransmitted request finishes late) but
+     must not change the outcome *set* — the sorted digest is the
+     order-independent identity a recovered run is checked against. *)
+  let sorted =
+    List.sort
+      (fun a b ->
+        compare (a.o_seq, a.o_op, a.o_status) (b.o_seq, b.o_op, b.o_status))
+      outcome_log
+  in
   {
     issued = c.Ycsb.issued;
     completed = c.Ycsb.completed;
@@ -288,6 +345,11 @@ let run ~config ~workload ~records ~requests ?(pacing = Closed { window = 8 })
     rollbacks = List.length (System.rollbacks sys);
     retransmits = !retransmits;
     dup_responses = !dup_responses;
+    ingress_checked = Netdev.rx_csum_reads net;
+    ingress_dropped = Netdev.rx_nacked net;
+    redelivered = !redelivered;
+    outcome_sorted_digest = digest_outcomes sorted;
+    fault_fired = !fault_fired;
     sys;
   }
 
@@ -300,6 +362,7 @@ let report_json r ~engine =
         Json.Obj
           [
             ("rx_dropped", Json.Int (Netdev.rx_dropped nd));
+            ("rx_nacked", Json.Int (Netdev.rx_nacked nd));
             ("rx_ring_hwm", Json.Int (Netdev.rx_ring_hwm nd));
             ("tx_pending_hwm", Json.Int (Netdev.tx_pending_hwm nd));
             ("tx_sent", Json.Int (Netdev.tx_sent nd));
@@ -308,7 +371,8 @@ let report_json r ~engine =
   in
   Json.Obj
     [
-      ("schema", Json.String "rcoe-serve-report/v1");
+      ("schema", Json.String "rcoe-serve-report/v2");
+      ("ingress_check", Json.Bool cfg.Config.ingress_check);
       ("engine", Json.String engine);
       ("mode", Json.String (Config.mode_to_string cfg.Config.mode));
       ("issued", Json.Int r.issued);
@@ -320,7 +384,11 @@ let report_json r ~engine =
       ("rollbacks", Json.Int r.rollbacks);
       ("retransmits", Json.Int r.retransmits);
       ("dup_responses", Json.Int r.dup_responses);
+      ("ingress_checked", Json.Int r.ingress_checked);
+      ("ingress_dropped", Json.Int r.ingress_dropped);
+      ("redelivered", Json.Int r.redelivered);
       ("outcome_digest", Json.Int r.outcome_digest);
+      ("outcome_sorted_digest", Json.Int r.outcome_sorted_digest);
       ( "end_sigs",
         Json.List
           (Array.to_list r.end_sigs

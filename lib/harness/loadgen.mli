@@ -23,14 +23,26 @@ type pacing =
           injection pauses while [max_queue] requests are outstanding
           (bounding memory, at the price of coordinated omission). *)
 
+type fault_target =
+  | Sig_word
+      (** Replica 1's published signature word — inside the sphere of
+          replication; voting detects it and rollback repairs it. *)
+  | Dma_frame
+      (** A value word of a PUT request sitting in the RX ring — the
+          paper's Table VII residual. No checkpoint covers the ring, so
+          rollback cannot repair it; only ingress-checksum verification
+          (drop + client retransmission) can. Without it the corruption
+          is silent until a later GET trips the client's embedded CRC. *)
+
 type fault_spec = {
   fault_after : int;
       (** Flip after this many completed run-phase operations. *)
   fault_bit : int;  (** Bit index (0..29) flipped in the word. *)
+  fault_target : fault_target;
 }
-(** A transient flip of replica 1's published signature word — the
-    {!Fault_experiments} recovery idiom — applied at a chunk boundary
-    once [fault_after] run-phase responses have drained. Trigger and
+(** A transient flip applied at a chunk boundary once [fault_after]
+    run-phase responses have drained (for [Dma_frame], at the first such
+    boundary where the ring head is an unconsumed PUT). Trigger and
     effect are functions of simulated state only, so a fault run is
     still bit-for-bit identical across engines. *)
 
@@ -59,6 +71,23 @@ type result = {
       (** Responses dropped because their sequence id had already
           completed — a rollback replays TX doorbells issued after the
           restored checkpoint. *)
+  ingress_checked : int;
+      (** Frames verified against RX_CSUM (device-level: covers both the
+          LC guest-MMIO and CC kernel-mediated check). *)
+  ingress_dropped : int;
+      (** Frames NACKed on checksum mismatch, awaiting retransmission. *)
+  redelivered : int;
+      (** Completions whose sequence id had been retransmitted at least
+          once — the drop-and-redeliver lane finishing the job. *)
+  outcome_sorted_digest : int;
+      (** CRC-32 over the outcome log sorted by sequence id: an ingress
+          drop delays one request's completion (reordering the log) but
+          must not change the outcome set, so a recovered run's sorted
+          digest equals the fault-free one even when [outcome_digest]
+          differs. *)
+  fault_fired : bool;
+      (** Whether the configured fault actually landed ([Dma_frame]
+          requires an unconsumed PUT at the ring head). *)
   sys : System.t;
 }
 

@@ -6,24 +6,37 @@ let reg_tx_addr = 4
 let reg_tx_len = 5
 let reg_tx_doorbell = 6
 let reg_irq_status = 7
+let reg_rx_csum = 8
+let reg_rx_nack = 9
 
 let slot_words = 64
 
-type rx_desc = { slot_offset : int; len : int }
+(* [csum] is computed at enqueue time in [inject], before the payload
+   ever touches the DMA region — wire-side ground truth that survives
+   any fault injected into the buffer afterwards. *)
+type rx_desc = { slot_offset : int; len : int; csum : int }
 
 type t = {
   mem : Mem.t;
   dma_base : int;
   dma_words : int;
   nslots : int;
-  host_q : (int * int array) Queue.t; (* deliver_at, payload *)
+  host_q : (int * int array * int) Queue.t; (* deliver_at, payload, csum *)
   rx_ring : rx_desc Queue.t;
-  mutable next_slot : int;
+  (* Slot accounting. [free_slots] holds slots available for delivery;
+     a consumed frame's slot returns immediately, a NACKed frame's slot
+     is quarantined until the driver next reads RX_COUNT — otherwise a
+     queued delivery could overwrite the dropped frame's slot before the
+     driver has observed the drop (seen post-drop ring state). *)
+  free_slots : int Queue.t;
+  mutable quarantined : int list; (* NACKed slots, newest first *)
   mutable irq_line : bool;
   mutable tx_addr : int;
   mutable tx_len : int;
   mutable tx_done : (int * int array) list; (* reversed *)
   mutable dropped : int;
+  mutable nacked : int;
+  mutable csum_reads : int;
   mutable now_cache : int;
   mutable wedged : bool;
   (* Host-side observability. The observer callbacks are invoked with
@@ -42,6 +55,10 @@ type t = {
 let create ~mem ~dma_base ~dma_words =
   let nslots = dma_words / 2 / slot_words in
   if nslots < 2 then invalid_arg "Netdev.create: DMA region too small";
+  let free_slots = Queue.create () in
+  for s = 0 to nslots - 1 do
+    Queue.add s free_slots
+  done;
   {
     mem;
     dma_base;
@@ -49,12 +66,15 @@ let create ~mem ~dma_base ~dma_words =
     nslots;
     host_q = Queue.create ();
     rx_ring = Queue.create ();
-    next_slot = 0;
+    free_slots;
+    quarantined = [];
     irq_line = false;
     tx_addr = 0;
     tx_len = 0;
     tx_done = [];
     dropped = 0;
+    nacked = 0;
+    csum_reads = 0;
     now_cache = 0;
     wedged = false;
     rx_hwm = 0;
@@ -76,7 +96,7 @@ let set_observers t ?on_rx ?on_consume ?on_tx () =
 let inject t ~now payload =
   if Array.length payload > slot_words then
     invalid_arg "Netdev.inject: packet too long";
-  Queue.add (now, payload) t.host_q
+  Queue.add (now, payload, Rcoe_checksum.Fletcher.frame payload) t.host_q
 
 let pending_host_packets t = Queue.length t.host_q
 
@@ -86,25 +106,32 @@ let take_tx t =
   out
 
 let rx_dropped t = t.dropped
+let rx_nacked t = t.nacked
+let rx_csum_reads t = t.csum_reads
 let rx_ring_hwm t = t.rx_hwm
 let tx_pending_hwm t = t.tx_hwm
 let tx_sent t = t.tx_sent
 
 let rx_region_bounds t = (t.dma_base, t.nslots * slot_words)
 
-let deliver t payload =
-  if Queue.length t.rx_ring >= t.nslots then t.dropped <- t.dropped + 1
-  else begin
-    let slot = t.next_slot in
-    t.next_slot <- (t.next_slot + 1) mod t.nslots;
-    let offset = slot * slot_words in
-    Mem.write_block t.mem (t.dma_base + offset) payload;
-    Queue.add { slot_offset = offset; len = Array.length payload } t.rx_ring;
-    let occ = Queue.length t.rx_ring in
-    if occ > t.rx_hwm then t.rx_hwm <- occ;
-    (match t.on_rx with Some f -> f ~now:t.now_cache payload | None -> ());
-    t.irq_line <- true
-  end
+let head_rx t =
+  match Queue.peek_opt t.rx_ring with
+  | Some d -> Some (d.slot_offset, d.len)
+  | None -> None
+
+let deliver t payload csum =
+  match Queue.take_opt t.free_slots with
+  | None -> t.dropped <- t.dropped + 1
+  | Some slot ->
+      let offset = slot * slot_words in
+      Mem.write_block t.mem (t.dma_base + offset) payload;
+      Queue.add
+        { slot_offset = offset; len = Array.length payload; csum }
+        t.rx_ring;
+      let occ = Queue.length t.rx_ring in
+      if occ > t.rx_hwm then t.rx_hwm <- occ;
+      (match t.on_rx with Some f -> f ~now:t.now_cache payload | None -> ());
+      t.irq_line <- true
 
 let set_wedged t w = t.wedged <- w
 
@@ -114,10 +141,10 @@ let dev_tick t ~now =
   else
   let rec drain () =
     match Queue.peek_opt t.host_q with
-    | Some (at, payload)
-      when at <= now && Queue.length t.rx_ring < t.nslots ->
+    | Some (at, payload, csum)
+      when at <= now && not (Queue.is_empty t.free_slots) ->
         ignore (Queue.pop t.host_q);
-        deliver t payload;
+        deliver t payload csum;
         drain ()
     | Some _ | None -> ()
   in
@@ -127,26 +154,45 @@ let dev_tick t ~now =
    change observable machine state on its own: the head of the host
    queue becoming deliverable (bounded below by the next tick), or
    [after] itself when the interrupt line is already up. [None] when the
-   device is quiescent — wedged, queue empty, or the RX ring full (a
-   full ring defers all deliveries to a driver consume, which user code
-   triggers, so no spontaneous activity can happen). *)
+   device is quiescent — wedged, queue empty, or no free RX slot (ring
+   full, or every vacancy quarantined behind a NACK): deliveries then
+   wait on a driver consume or ring-state read, which only user code
+   triggers, so no spontaneous activity can happen. *)
 let next_event t ~after =
   if t.wedged then None
   else if t.irq_line then Some after
-  else if Queue.length t.rx_ring >= t.nslots then None
+  else if Queue.is_empty t.free_slots then None
   else
     match Queue.peek_opt t.host_q with
     | None -> None
-    | Some (at, _) -> Some (max (after + 1) at)
+    | Some (at, _, _) -> Some (max (after + 1) at)
+
+(* A NACKed slot re-arms only once the driver reads RX_COUNT: the read
+   is the first point at which the driver has observed the post-drop
+   ring state, so no queued delivery can overwrite the dropped frame
+   before then. Release order is oldest-first to keep delivery slot
+   order a pure function of ring history. *)
+let release_quarantine t =
+  List.iter (fun s -> Queue.add s t.free_slots) (List.rev t.quarantined);
+  t.quarantined <- []
 
 let read_reg t off =
-  if off = reg_rx_count then Queue.length t.rx_ring
+  if off = reg_rx_count then begin
+    release_quarantine t;
+    Queue.length t.rx_ring
+  end
   else if off = reg_rx_addr then
     match Queue.peek_opt t.rx_ring with
     | Some d -> d.slot_offset
     | None -> -1
   else if off = reg_rx_len then
     match Queue.peek_opt t.rx_ring with Some d -> d.len | None -> 0
+  else if off = reg_rx_csum then begin
+    (* Each RX_CSUM read is one ingress verification, whichever driver
+       flavour performs it (guest MMIO in LC, kernel-mediated in CC). *)
+    t.csum_reads <- t.csum_reads + 1;
+    match Queue.peek_opt t.rx_ring with Some d -> d.csum | None -> 0
+  end
   else if off = reg_irq_status then if t.irq_line then 1 else 0
   else 0
 
@@ -154,12 +200,20 @@ let write_reg t off v =
   if off = reg_rx_consume then begin
     (match Queue.take_opt t.rx_ring with
     | Some d ->
+        Queue.add (d.slot_offset / slot_words) t.free_slots;
         (match t.on_consume with
         | Some f ->
             let payload = Mem.read_block t.mem (t.dma_base + d.slot_offset) d.len in
             f ~now:t.now_cache payload
         | None -> ())
     | None -> ())
+  end
+  else if off = reg_rx_nack then begin
+    match Queue.take_opt t.rx_ring with
+    | Some d ->
+        t.quarantined <- (d.slot_offset / slot_words) :: t.quarantined;
+        t.nacked <- t.nacked + 1
+    | None -> ()
   end
   else if off = reg_tx_addr then t.tx_addr <- v
   else if off = reg_tx_len then t.tx_len <- v

@@ -7,6 +7,17 @@
     flips in DMA buffers are invisible to the replication machinery and
     surface as silent data corruption (Table VII "YCSB corruptions").
 
+    The ingress-verification extension narrows (but does not close) the
+    hole: [inject] computes a per-frame Fletcher checksum at enqueue
+    time — before the payload ever reaches the DMA region — and exposes
+    it through the RX_CSUM descriptor register, so a consumer that
+    recomputes the checksum over the buffer it actually read can detect
+    corruption between DMA write and consume. RX_NACK drops the head
+    frame without consuming it; its slot re-arms only once the driver
+    has observed the drop (next RX_COUNT read), so a queued delivery
+    can never overwrite a dropped frame the driver still believes is
+    the ring head.
+
     Register map (word offsets within the device page):
     - 0 [RX_COUNT] (r): packets waiting in the RX ring
     - 1 [RX_ADDR] (r): DMA-region word offset of the head packet
@@ -15,7 +26,9 @@
     - 4 [TX_ADDR] (w): DMA-region word offset of the packet to send
     - 5 [TX_LEN] (w): its length
     - 6 [TX_DOORBELL] (w): transmit
-    - 7 [IRQ_STATUS] (r): 1 if the interrupt line is raised *)
+    - 7 [IRQ_STATUS] (r): 1 if the interrupt line is raised
+    - 8 [RX_CSUM] (r): enqueue-time Fletcher checksum of the head packet
+    - 9 [RX_NACK] (w): drop the head packet; quarantine its slot *)
 
 type t
 
@@ -27,6 +40,8 @@ val reg_tx_addr : int
 val reg_tx_len : int
 val reg_tx_doorbell : int
 val reg_irq_status : int
+val reg_rx_csum : int
+val reg_rx_nack : int
 
 val slot_words : int
 (** Fixed RX slot size (64 words); injected packets must fit. *)
@@ -66,6 +81,20 @@ val set_wedged : t -> bool -> unit
 
 val rx_dropped : t -> int
 (** Packets dropped because the RX ring was full (diagnostic). *)
+
+val rx_nacked : t -> int
+(** Frames dropped by the driver via RX_NACK (ingress-checksum
+    mismatches); each awaits client retransmission. *)
+
+val rx_csum_reads : t -> int
+(** RX_CSUM register reads — one per ingress verification, whichever
+    driver flavour performs it (guest MMIO in LC, kernel-mediated
+    [FT_Mem_Rep] in CC). *)
+
+val head_rx : t -> (int * int) option
+(** [(slot_offset, len)] of the head RX frame, if any — the frame the
+    driver will consume next. Used by the fault injector to target an
+    in-flight DMA buffer ("input buffers outside the SoR"). *)
 
 val rx_ring_hwm : t -> int
 (** High-water mark of RX ring occupancy (slots in use after a

@@ -158,6 +158,16 @@ let trace_events tr =
           emit
             (complete ~name:"rollback" ~pid:pid_machine ~tid:1 ~ts ~dur:cost
                ~args:[ ("to_cycle", Json.Int to_cycle) ]
+               ())
+      | Trace.Ingress_drop { id; expect; got } ->
+          emit
+            (instant ~name:"ingress-drop" ~pid:pid_machine ~tid:1 ~ts
+               ~args:
+                 [
+                   ("id", Json.Int id);
+                   ("expect", Json.Int expect);
+                   ("got", Json.Int got);
+                 ]
                ()))
     events;
   (* Close phases left open at trace end. *)

@@ -3,7 +3,7 @@ type phase = Queue | Ring | Service | Drain
 (* Stall classes chargeable against an open request. Compute is never
    stored: it is defined as the end-to-end remainder at receipt, which
    is what makes the attribution sum exact by construction. *)
-type cls = Sync | Vote | Ckpt | Roll
+type cls = Sync | Vote | Ckpt | Roll | Ingress
 
 type record = {
   id : int;
@@ -12,11 +12,13 @@ type record = {
   mutable t_consume : int;
   mutable t_tx : int;
   mutable t_done : int;
+  mutable t_drop : int;  (* cycle of the last ingress drop of this id *)
   mutable status : int;
   mutable a_sync : int;
   mutable a_vote : int;
   mutable a_ckpt : int;
   mutable a_roll : int;
+  mutable a_ingress : int;
   mutable a_compute : int;
 }
 
@@ -34,10 +36,12 @@ type t = {
   h_drain : Hdr.t;
   h_detect : Hdr.t;
   h_stall : Hdr.t;
+  h_ingress : Hdr.t;
   mutable ag_sync : int;
   mutable ag_vote : int;
   mutable ag_ckpt : int;
   mutable ag_roll : int;
+  mutable ag_ingress : int;
   mutable ag_compute : int;
   mutable ag_total : int;
   (* Trace-absorption state. *)
@@ -62,10 +66,12 @@ let create ?(keep = 4096) () =
     h_drain = Hdr.create ();
     h_detect = Hdr.create ();
     h_stall = Hdr.create ();
+    h_ingress = Hdr.create ();
     ag_sync = 0;
     ag_vote = 0;
     ag_ckpt = 0;
     ag_roll = 0;
+    ag_ingress = 0;
     ag_compute = 0;
     ag_total = 0;
     seen_events = 0;
@@ -84,11 +90,13 @@ let inject t ~id ~now =
         t_consume = -1;
         t_tx = -1;
         t_done = -1;
+        t_drop = -1;
         status = -1;
         a_sync = 0;
         a_vote = 0;
         a_ckpt = 0;
         a_roll = 0;
+        a_ingress = 0;
         a_compute = 0;
       };
     let n = Hashtbl.length t.open_reqs in
@@ -113,6 +121,7 @@ let charge r c cycles =
     | Vote -> r.a_vote <- r.a_vote + cycles
     | Ckpt -> r.a_ckpt <- r.a_ckpt + cycles
     | Roll -> r.a_roll <- r.a_roll + cycles
+    | Ingress -> r.a_ingress <- r.a_ingress + cycles
 
 (* A closed stall span [start, stop): each open request is charged its
    overlap with the span (from its inject time on). *)
@@ -174,6 +183,17 @@ let absorb_event t { Trace.ts; rid; body } =
       if down = followed t then close_span t ts;
       Hashtbl.replace t.removed down ();
       apply_cost t Roll cost
+  | Trace.Ingress_drop { id; _ } -> (
+      (* The drop is itself a detection (the injected corruption became
+         observable at consume), and opens a redelivery stall for the
+         dropped request: from the drop until the retransmitted frame is
+         consumed. The id comes from the corrupt frame, so it may be
+         unparseable (-1) or itself damaged — then no request matches
+         and only the detection is recorded. *)
+      record_detection t ts;
+      match Hashtbl.find_opt t.open_reqs id with
+      | Some r -> r.t_drop <- ts
+      | None -> ())
   | Trace.Injection _ -> t.last_inj <- ts
   | _ -> ()
 
@@ -200,22 +220,34 @@ let receipt t ~id ~now ~status =
       if r.t_consume >= 0 && r.t_tx >= 0 then
         Hdr.record t.h_service (max 0 (r.t_tx - r.t_consume));
       if r.t_tx >= 0 then Hdr.record t.h_drain (max 0 (now - r.t_tx));
+      (* An ingress drop stalls its request from the drop until the
+         retransmitted frame is finally consumed (or, failing that,
+         until receipt): the redelivery wait the checksum path trades
+         rollback for. *)
+      if r.t_drop >= 0 then begin
+        let stop = if r.t_consume > r.t_drop then r.t_consume else now in
+        charge r Ingress (stop - r.t_drop)
+      end;
       (* Clamp stall charges into the request's own window, then define
-         compute as the remainder: the five classes sum to [total]
+         compute as the remainder: the six classes sum to [total]
          exactly. *)
-      let s = r.a_sync + r.a_vote + r.a_ckpt + r.a_roll in
+      let s = r.a_sync + r.a_vote + r.a_ckpt + r.a_roll + r.a_ingress in
       if s > total && s > 0 then begin
         r.a_sync <- r.a_sync * total / s;
         r.a_vote <- r.a_vote * total / s;
         r.a_ckpt <- r.a_ckpt * total / s;
-        r.a_roll <- r.a_roll * total / s
+        r.a_roll <- r.a_roll * total / s;
+        r.a_ingress <- r.a_ingress * total / s
       end;
-      r.a_compute <- total - (r.a_sync + r.a_vote + r.a_ckpt + r.a_roll);
+      r.a_compute <-
+        total - (r.a_sync + r.a_vote + r.a_ckpt + r.a_roll + r.a_ingress);
       if r.a_roll > 0 then Hdr.record t.h_stall r.a_roll;
+      if r.a_ingress > 0 then Hdr.record t.h_ingress r.a_ingress;
       t.ag_sync <- t.ag_sync + r.a_sync;
       t.ag_vote <- t.ag_vote + r.a_vote;
       t.ag_ckpt <- t.ag_ckpt + r.a_ckpt;
       t.ag_roll <- t.ag_roll + r.a_roll;
+      t.ag_ingress <- t.ag_ingress + r.a_ingress;
       t.ag_compute <- t.ag_compute + r.a_compute;
       t.ag_total <- t.ag_total + total;
       t.n_completed <- t.n_completed + 1;
@@ -244,11 +276,13 @@ let attribution t =
     ("vote", t.ag_vote);
     ("checkpoint", t.ag_ckpt);
     ("rollback_stall", t.ag_roll);
+    ("ingress_stall", t.ag_ingress);
     ("total_cycles", t.ag_total);
   ]
 
 let detect_hdr t = t.h_detect
 let stall_hdr t = t.h_stall
+let ingress_hdr t = t.h_ingress
 
 let to_json t =
   Json.Obj
@@ -269,6 +303,7 @@ let to_json t =
         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (attribution t)) );
       ("detect", Hdr.to_json t.h_detect);
       ("rollback_stall", Hdr.to_json t.h_stall);
+      ("ingress_stall", Hdr.to_json t.h_ingress);
     ]
 
 let pid_requests = 2
@@ -320,6 +355,7 @@ let chrome_events t =
                   ("vote", Json.Int r.a_vote);
                   ("checkpoint", Json.Int r.a_ckpt);
                   ("rollback_stall", Json.Int r.a_roll);
+                  ("ingress_stall", Json.Int r.a_ingress);
                 ] );
           ])
       t.retained

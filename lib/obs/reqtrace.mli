@@ -6,11 +6,11 @@
     receipt. From the stamps come the per-phase breakdowns (queue /
     ring / service / drain), and from the engine's {!Trace} span events
     comes an attribution of each request's latency to
-    {compute, sync-wait, vote, checkpoint, rollback-stall}: stall spans
-    of the followed (lowest live) replica are clipped against the
-    windows of the requests open while they ran, and compute is the
-    remainder, so the five attribution classes always sum exactly to
-    the end-to-end total.
+    {compute, sync-wait, vote, checkpoint, rollback-stall,
+    ingress-stall}: stall spans of the followed (lowest live) replica
+    are clipped against the windows of the requests open while they
+    ran, and compute is the remainder, so the six attribution classes
+    always sum exactly to the end-to-end total.
 
     The store is bounded: aggregates go to {!Hdr} histograms, and only
     the most recent [keep] completed records are retained for Perfetto
@@ -56,8 +56,9 @@ val phase_hdr : t -> phase -> Hdr.t
 
 val attribution : t -> (string * int) list
 (** Aggregate cycles per class over completed requests —
-    [compute; sync_wait; vote; checkpoint; rollback_stall] — summing
-    exactly to [total_cycles] (also included, last). *)
+    [compute; sync_wait; vote; checkpoint; rollback_stall;
+    ingress_stall] — summing exactly to [total_cycles] (also included,
+    last). *)
 
 val detect_hdr : t -> Hdr.t
 (** Per-request detection latency: for every request open when a
@@ -67,6 +68,12 @@ val detect_hdr : t -> Hdr.t
 val stall_hdr : t -> Hdr.t
 (** Per-request recovery stall: total rollback-restore cycles attributed
     to each affected request. *)
+
+val ingress_hdr : t -> Hdr.t
+(** Per-request ingress-drop stall: for each request whose frame was
+    dropped at ingress verification, the cycles from the drop until the
+    retransmitted frame was consumed — the drop-and-redeliver recovery
+    lane's analogue of {!stall_hdr}. *)
 
 val to_json : t -> Json.t
 

@@ -39,6 +39,7 @@ type body =
   | Reintegrate of { rid : int; cost : int }
   | Checkpoint of { words : int; skipped : int; cost : int }
   | Rollback of { to_cycle : int; cost : int }
+  | Ingress_drop of { id : int; expect : int; got : int }
 
 type event = { ts : int; rid : int; body : body }
 
@@ -214,6 +215,9 @@ let checkpoint t ~words ~skipped ~cost =
 
 let rollback t ~to_cycle ~cost =
   if t.enabled then push t (-1) (Rollback { to_cycle; cost })
+
+let ingress_drop t ~id ~expect ~got =
+  if t.enabled then push t (-1) (Ingress_drop { id; expect; got })
 
 let injection t ~addr ~bit =
   (* The mark must survive a disabled ring: detection latency is

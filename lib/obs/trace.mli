@@ -58,6 +58,12 @@ type body =
   | Rollback of { to_cycle : int; cost : int }
       (** Machine scope: recovery rewind to the checkpoint captured at
           [to_cycle]; [cost] is the state-restore stall charged. *)
+  | Ingress_drop of { id : int; expect : int; got : int }
+      (** Machine scope: an RX frame failed ingress-checksum
+          verification at consume and was dropped/NACKed for client
+          retransmission. [id] is the request sequence id parsed from
+          the (corrupt) frame, or [-1] when unparseable; [expect]/[got]
+          are the enqueue-time and recomputed checksums. *)
 
 type event = {
   ts : int;  (** Machine cycle at emission. *)
@@ -139,6 +145,7 @@ val downgrade : t -> rid:int -> cost:int -> unit
 val reintegrate : t -> rid:int -> cost:int -> unit
 val checkpoint : t -> words:int -> skipped:int -> cost:int -> unit
 val rollback : t -> to_cycle:int -> cost:int -> unit
+val ingress_drop : t -> id:int -> expect:int -> got:int -> unit
 
 val injection : t -> addr:int -> bit:int -> unit
 (** Also records the injection cycle (see {!last_injection}) even when

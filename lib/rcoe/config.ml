@@ -23,6 +23,7 @@ type t = {
   fast_catchup : bool;
   trace_output : bool;
   with_net : bool;
+  ingress_check : bool;
   strict_lint : bool;
   trace : Rcoe_obs.Trace.config option;
   checkpoint_every : int;
@@ -49,6 +50,7 @@ let default =
     fast_catchup = false;
     trace_output = true;
     with_net = false;
+    ingress_check = false;
     strict_lint = false;
     trace = None;
     checkpoint_every = 0;

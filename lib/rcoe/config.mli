@@ -68,6 +68,17 @@ type t = {
       (** Honour [FT_Add_Trace] (the LC-*-N rows of Table VII set this
           to false to show the cost of losing driver output voting). *)
   with_net : bool;  (** Attach the network device. *)
+  ingress_check : bool;
+      (** Verify DMA ingress payloads against the NIC's enqueue-time
+          checksum (RX_CSUM) before they are consumed: [FT_Mem_Rep]
+          recomputes the frame checksum over the buffer it actually
+          read, folds the verified digest into every replica's
+          signature, and on mismatch drops the frame via RX_NACK
+          instead of delivering it — the corruption sits outside every
+          checkpoint, so rollback cannot repair it; client
+          retransmission re-delivers the frame instead. Off by default:
+          the unchecked path preserves the paper's Table VII residual
+          vulnerability for comparison. *)
   strict_lint : bool;
       (** Fail {!System.create} when the static analyzer rejects the
           program, or when it requires CC and the configuration couples

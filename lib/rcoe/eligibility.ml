@@ -84,6 +84,12 @@ let syscall_model (config : Config.t) : Absint.syscall_model =
     | Some 1 -> Absint.const config.Config.nreplicas
     | Some 3 ->
         Absint.const (if config.Config.mode = Config.CC then 1 else 0)
+    | Some 6 ->
+        (* Ingress-check flag: modelling it precisely both prunes the
+           guest checksum loop out of unchecked configurations and keeps
+           the model honest when the loop is live — a blanket 0 here
+           would unsoundly prove the checked driver never runs it. *)
+        Absint.const (if config.Config.ingress_check then 1 else 0)
     | Some key when key > 5 -> Absint.const 0
     | _ -> Absint.top
   else Absint.top

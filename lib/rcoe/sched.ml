@@ -33,6 +33,7 @@ type event_kind =
   | E_downgrade of int
   | E_reintegrate of int
   | E_rollback of int
+  | E_ingress_drop of int
 
 type stats = {
   mutable ticks_delivered : int;
@@ -64,6 +65,8 @@ type metric_set = {
   m_ckpt_taken : Metrics.counter;
   m_ckpt_words_copied : Metrics.counter;
   m_ckpt_words_skipped : Metrics.counter;
+  m_ingress_checked : Metrics.counter;
+  m_ingress_dropped : Metrics.counter;
   m_catchup_dist : Metrics.histogram;
   m_catchup_cycles : Metrics.histogram;
   m_barrier_wait : Metrics.histogram;
@@ -90,6 +93,8 @@ let make_metric_set reg =
     m_ckpt_taken = Metrics.counter reg "ckpt.taken";
     m_ckpt_words_copied = Metrics.counter reg "ckpt.words_copied";
     m_ckpt_words_skipped = Metrics.counter reg "ckpt.words_skipped";
+    m_ingress_checked = Metrics.counter reg "net.ingress_checked";
+    m_ingress_dropped = Metrics.counter reg "net.ingress_dropped";
     m_catchup_dist =
       Metrics.histogram reg "catchup.distance_branches"
         ~buckets:[ 1.; 8.; 32.; 128.; 512.; 2048.; 8192. ];
@@ -293,7 +298,10 @@ let metrics t =
         (float_of_int (Netdev.tx_pending_hwm nd));
       Metrics.set
         (Metrics.gauge_or t.metrics "net.tx_sent")
-        (float_of_int (Netdev.tx_sent nd))
+        (float_of_int (Netdev.tx_sent nd));
+      Metrics.set
+        (Metrics.gauge_or t.metrics "net.rx_nacked")
+        (float_of_int (Netdev.rx_nacked nd))
   | None -> ());
   t.metrics
 let trace t = t.trace
@@ -553,6 +561,7 @@ let create ~config:cfg ~program =
               | 3 -> if t.cfg.Config.mode = Config.CC then 1 else 0
               | 4 -> Kernel.current_tid t.replicas.(rid).kern
               | 5 -> t.ticks
+              | 6 -> if t.cfg.Config.ingress_check then 1 else 0
               | _ -> 0));
       Kernel.cb_kernel_update =
         (fun rid words ->
@@ -815,19 +824,59 @@ let ft_stage t num args =
     let va = args.(0)
     and len = max 0 (min args.(1) sh.Layout.inbuf_words)
     and dma_off = max 0 args.(2) in
-    (* The primary's kernel copies the DMA buffer into the shared region;
-       every replica's kernel then copies it inward and folds it. *)
     let src = t.lay.Layout.dma_base + min dma_off (t.lay.Layout.dma_words - len) in
-    Mem.blit (mem t) ~src ~dst:sh.Layout.inbuf_base ~len;
-    let data = Mem.read_block (mem t) sh.Layout.inbuf_base len in
-    List.iter (fun r -> add_sig r data) live;
-    fun () ->
-      List.iter
-        (fun r ->
-          (try Kernel.write_user_block r.kern ~va data
-           with Kernel.User_mem_error _ -> ());
-          set_result r 0)
-        live
+    (* Ingress verification: each live replica recomputes the frame
+       checksum over the DMA buffer it is about to consume and compares
+       it against the NIC's enqueue-time ground truth (RX_CSUM). The
+       replicas read the same physical buffer, so the simulation
+       computes the digest once and charges each replica for the pass. *)
+    let verdict =
+      if t.cfg.Config.ingress_check && t.net <> None then begin
+        Metrics.incr t.ms.m_ingress_checked;
+        List.iter (fun r -> charge r (ft_word_cost * len)) live;
+        let data = Mem.read_block (mem t) src len in
+        let got = Rcoe_checksum.Fletcher.frame data in
+        let expect = Machine.dev_read t.mach t.net_dpn Netdev.reg_rx_csum in
+        if got = expect then `Verified got else `Corrupt (data, expect, got)
+      end
+      else `Unchecked
+    in
+    match verdict with
+    | `Corrupt (data, expect, got) ->
+        (* The corruption happened outside the sphere of replication, so
+           every replica sees the same bad bytes: fold an identical drop
+           marker (not the data) so the vote passes — rollback cannot
+           repair a buffer no checkpoint covers. Recovery is to NACK the
+           frame back to the device and let the client's retransmission
+           bridge re-deliver it. *)
+        let id = if Array.length data >= 2 then data.(1) else -1 in
+        List.iter (fun r -> add_sig r [| -2; expect; got |]) live;
+        Metrics.incr t.ms.m_ingress_dropped;
+        Trace.ingress_drop t.trace ~id ~expect ~got;
+        observe_detection t;
+        log_event t (E_ingress_drop id);
+        fun () ->
+          Machine.dev_write t.mach t.net_dpn Netdev.reg_rx_nack 1;
+          List.iter (fun r -> set_result r 1) live
+    | `Verified _ | `Unchecked ->
+        (* The primary's kernel copies the DMA buffer into the shared
+           region; every replica's kernel then copies it inward and
+           folds it — plus, on the checked path, the verified digest, so
+           the vote cross-checks the replicas' views of the ingress
+           data. *)
+        Mem.blit (mem t) ~src ~dst:sh.Layout.inbuf_base ~len;
+        let data = Mem.read_block (mem t) sh.Layout.inbuf_base len in
+        List.iter (fun r -> add_sig r data) live;
+        (match verdict with
+        | `Verified digest -> List.iter (fun r -> add_sig r [| digest |]) live
+        | _ -> ());
+        fun () ->
+          List.iter
+            (fun r ->
+              (try Kernel.write_user_block r.kern ~va data
+               with Kernel.User_mem_error _ -> ());
+              set_result r 0)
+            live
   end
   else begin
     (* input_wait: pure rendezvous. *)
@@ -863,12 +912,34 @@ let ft_base t r num args =
     and len = max 0 (min args.(1) t.lay.Layout.dma_words)
     and dma_off = max 0 args.(2) in
     let src = t.lay.Layout.dma_base + min dma_off (t.lay.Layout.dma_words - len) in
-    try
-      for i = 0 to len - 1 do
-        Kernel.write_user k ~va:(va + i) (Mem.read (mem t) (src + i))
-      done;
-      set 0
-    with Kernel.User_mem_error _ -> set (-1)
+    let drop =
+      t.cfg.Config.ingress_check && t.net <> None
+      && begin
+           Metrics.incr t.ms.m_ingress_checked;
+           charge r (ft_word_cost * len);
+           let data = Mem.read_block (mem t) src len in
+           let got = Rcoe_checksum.Fletcher.frame data in
+           let expect = Machine.dev_read t.mach t.net_dpn Netdev.reg_rx_csum in
+           if got = expect then false
+           else begin
+             let id = if Array.length data >= 2 then data.(1) else -1 in
+             Metrics.incr t.ms.m_ingress_dropped;
+             Trace.ingress_drop t.trace ~id ~expect ~got;
+             observe_detection t;
+             log_event t (E_ingress_drop id);
+             Machine.dev_write t.mach t.net_dpn Netdev.reg_rx_nack 1;
+             true
+           end
+         end
+    in
+    if drop then set 1
+    else
+      try
+        for i = 0 to len - 1 do
+          Kernel.write_user k ~va:(va + i) (Mem.read (mem t) (src + i))
+        done;
+        set 0
+      with Kernel.User_mem_error _ -> set (-1)
   end
   else set (-1)
 

@@ -49,6 +49,9 @@ type event_kind =
   | E_reintegrate of int  (** re-admitted rid *)
   | E_rollback of int
       (** Rollback recovery: cycle of the checkpoint rewound to. *)
+  | E_ingress_drop of int
+      (** Ingress-checksum mismatch: the request sequence id parsed from
+          the dropped frame ([-1] when unparseable). *)
 
 type stats = {
   mutable ticks_delivered : int;

@@ -227,6 +227,13 @@ let program ?(max_records = 8192) ?(net_dpn = 0) ~branch_count () =
   Asm.mov a R11 R0;
   get_info 2;
   Asm.sub a R11 R11 R0;
+  (* Ingress-check flag: when set, the consume sequence verifies each
+     frame against the NIC's enqueue-time checksum (RX_CSUM) before
+     consuming it, and NACKs mismatches for client retransmission.
+     Re-read per packet — R8 is the only register kv_process leaves
+     free, and only within one drain iteration. *)
+  get_info 6;
+  Asm.mov a R8 R0;
 
   Asm.b a Instr.Eq R10 (Instr.Imm 1) "rx_cc";
 
@@ -242,6 +249,13 @@ let program ?(max_records = 8192) ?(net_dpn = 0) ~branch_count () =
   Asm.ld a R6 R6 0;
   Asm.movi a R7 (mmio Nd.reg_rx_len);
   Asm.ld a R7 R7 0;
+  (* Clamp the device-reported length like [clamp_handle] clamps node
+     handles: a corrupted descriptor cannot push the copy or the
+     checksum loop past the slot, and the bound is what keeps the loop
+     inside the analyzer's interval domain. *)
+  Asm.if_ a Instr.Lt R7 (Instr.Imm 0) (fun () -> Asm.movi a R7 0);
+  Asm.if_ a Instr.Gt R7 (Instr.Imm Nd.slot_words) (fun () ->
+      Asm.movi a R7 Nd.slot_words);
   Asm.st a R15 R6 1;
   Asm.st a R15 R7 2;
   (* copy the packet out of the DMA ring into the shared buffer *)
@@ -250,6 +264,46 @@ let program ?(max_records = 8192) ?(net_dpn = 0) ~branch_count () =
   Asm.add a R1 R1 R6;
   Asm.mov a R2 R7;
   Asm.emit a Instr.Rep_movs;
+  Asm.b a Instr.Eq R8 (Instr.Imm 0) "rx_lc_ok";
+  (* Ingress verification (direct-driver flavour): recompute the frame
+     checksum over the copy just made — the same mod-65535 Fletcher
+     recurrence the NIC ran at enqueue — and compare against RX_CSUM.
+     All accumulators are re-bounded by [remi] every step, so the
+     analyzer's intervals stay finite. *)
+  Asm.movi a R2 (L.va_shared_in + 16);
+  Asm.add a R6 R2 R7;
+  Asm.movi a R0 0;
+  Asm.movi a R1 0;
+  Asm.label a "lc_ck_loop";
+  Asm.b a Instr.Ge R2 (Instr.Reg R6) "lc_ck_done";
+  Asm.ld a R4 R2 0;
+  Asm.remi a R4 R4 65535;
+  Asm.add a R0 R0 R4;
+  Asm.remi a R0 R0 65535;
+  Asm.add a R1 R1 R0;
+  Asm.remi a R1 R1 65535;
+  Asm.addi a R2 R2 1;
+  Asm.jmp a "lc_ck_loop";
+  Asm.label a "lc_ck_done";
+  Asm.muli a R1 R1 65536;
+  Asm.add a R1 R1 R0;
+  Asm.movi a R4 (mmio Nd.reg_rx_csum);
+  Asm.ld a R4 R4 0;
+  Asm.b a Instr.Eq R1 (Instr.Reg R4) "rx_lc_ok";
+  (* Mismatch: NACK the frame (drop + quarantined re-arm) and publish
+     the retry marker -1 instead of a packet — every replica then loops
+     back through the drain path, where the next RX_COUNT read observes
+     the drop and re-arms the slot. The client's retransmission
+     re-delivers the request; rollback could not, since no checkpoint
+     covers the DMA ring. *)
+  Asm.movi a R4 (mmio Nd.reg_rx_nack);
+  Asm.movi a R12 1;
+  Asm.st a R4 R12 0;
+  Asm.movi a R15 L.va_shared_in;
+  Asm.movi a R12 (-1);
+  Asm.st a R15 R12 0;
+  Asm.jmp a "rx_lc_wait";
+  Asm.label a "rx_lc_ok";
   Asm.movi a R15 (mmio Nd.reg_rx_consume);
   Asm.movi a R12 1;
   Asm.st a R15 R12 0;
@@ -258,6 +312,7 @@ let program ?(max_records = 8192) ?(net_dpn = 0) ~branch_count () =
   Asm.movi a R15 L.va_shared_in;
   Asm.ld a R4 R15 0;
   Asm.b a Instr.Eq R4 (Instr.Imm 0) "server_loop";
+  Asm.b a Instr.Lt R4 (Instr.Imm 0) "drain_loop";
   Asm.ld a R5 R15 2;
   (* packet length *)
   Asm.la a R0 "rxbuf";
@@ -291,6 +346,11 @@ let program ?(max_records = 8192) ?(net_dpn = 0) ~branch_count () =
   Asm.mov a R1 R5;
   Asm.mov a R2 R6;
   sys Rcoe_kernel.Syscall.sys_ft_mem_rep;
+  (* Verified consume: a non-zero result means the kernel's ingress
+     check failed and the frame was NACKed — skip the consume (the
+     descriptor is already gone) and re-poll the ring; the next
+     RX_COUNT read observes the drop and re-arms the slot. *)
+  Asm.b a Instr.Ne R0 (Instr.Imm 0) "drain_loop";
   Asm.movi a R0 1;
   Asm.movi a R1 (mmio Nd.reg_rx_consume);
   Asm.la a R2 "one";

@@ -26,5 +26,6 @@ let () =
       ("engine-par", Test_engine_par.suite);
       ("system-smoke", Test_system_smoke.suite);
       ("workloads", Test_workloads.suite);
+      ("ingress", Test_ingress.suite);
       ("serve", Test_serve.suite);
     ]

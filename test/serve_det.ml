@@ -79,7 +79,10 @@ let test_identity_10k () =
   check_pair ~label:"healthy" seq par
 
 let test_identity_10k_fault_rollback () =
-  let fault = { Loadgen.fault_after = 2_000; fault_bit = 7 } in
+  let fault =
+    { Loadgen.fault_after = 2_000; fault_bit = 7;
+      fault_target = Loadgen.Sig_word }
+  in
   let base = base_config ~checkpoint_every:8 () in
   let seq = serve ~fault base in
   let par = serve ~fault (parallel_config base) in
@@ -90,6 +93,30 @@ let test_identity_10k_fault_rollback () =
     par.Loadgen.dup_responses;
   check_pair ~label:"fault" seq par
 
+(* The ingress drop-and-redeliver lane is pure simulated state (the
+   NACK and re-consume happen at FT_Mem_Rep rendezvous, the
+   retransmission at a chunk boundary), so a run that drops a corrupted
+   DMA frame must still be bit-for-bit identical across engines. *)
+let test_identity_ingress_drop () =
+  let fault =
+    { Loadgen.fault_after = 2_000; fault_bit = 4;
+      fault_target = Loadgen.Dma_frame }
+  in
+  let base =
+    { (base_config ~checkpoint_every:0 ()) with Config.ingress_check = true }
+  in
+  let seq = serve ~fault base in
+  let par = serve ~fault (parallel_config base) in
+  Alcotest.(check bool) "frame dropped at ingress" true
+    (seq.Loadgen.ingress_dropped >= 1);
+  Alcotest.(check int) "no client corruption" 0
+    seq.Loadgen.counters.Ycsb.corrupted;
+  Alcotest.(check int) "ingress drops identical" seq.Loadgen.ingress_dropped
+    par.Loadgen.ingress_dropped;
+  Alcotest.(check int) "redeliveries identical" seq.Loadgen.redelivered
+    par.Loadgen.redelivered;
+  check_pair ~label:"ingress" seq par
+
 let () =
   Alcotest.run "serve-determinism"
     [
@@ -98,5 +125,7 @@ let () =
           Alcotest.test_case "seq = par, 10k requests" `Slow test_identity_10k;
           Alcotest.test_case "seq = par, 10k requests + fault/rollback" `Slow
             test_identity_10k_fault_rollback;
+          Alcotest.test_case "seq = par, 10k requests + ingress drop" `Slow
+            test_identity_ingress_drop;
         ] );
     ]

@@ -83,7 +83,9 @@ let test_fault_campaign_retransmission () =
   let r =
     Loadgen.run ~config:(config ~checkpoint_every:2 ()) ~workload:Ycsb.A
       ~records:64 ~requests:500
-      ~fault:{ Loadgen.fault_after = 200; fault_bit = 7 }
+      ~fault:
+        { Loadgen.fault_after = 200; fault_bit = 7;
+          fault_target = Loadgen.Sig_word }
       ()
   in
   Alcotest.(check bool) "recovered, not stalled" false r.Loadgen.stalled;
@@ -137,10 +139,12 @@ let test_report_json () =
     [
       "schema"; "engine"; "throughput_kops"; "outcome_digest"; "end_sigs";
       "requests"; "attribution"; "net"; "rx_dropped"; "dropped_events";
-      "retransmits"; "dup_responses";
+      "retransmits"; "dup_responses"; "ingress_check"; "ingress_checked";
+      "ingress_dropped"; "redelivered"; "outcome_sorted_digest"; "rx_nacked";
+      "ingress_stall";
     ];
   Alcotest.(check bool) "schema tagged" true
-    (contains j "rcoe-serve-report/v1")
+    (contains j "rcoe-serve-report/v2")
 
 let test_perfetto_request_track () =
   let r =
