@@ -27,7 +27,14 @@
    exact), wall time under both engines, and the engines-agree
    determinism bit.
 
-   The result is written as JSON (schema `rcoe-bench-baseline/v4`,
+   The baseline finally embeds execution-backend rows: per exec
+   workload, the wall time of the interpreter vs the block-compiled
+   backend (`Config.exec_backend`), the recorded speedup, and an
+   identity bit — simulated cycles and outputs must be bit-for-bit
+   identical across the backends, and the baseline write refuses to
+   commit a file whose best recorded speedup is below 2x.
+
+   The result is written as JSON (schema `rcoe-bench-baseline/v5`,
    documented in EXPERIMENTS.md) — commit it as BENCH_baseline.json.
 
    `dune exec bench/main.exe -- baseline-check [PATH]` re-measures and
@@ -96,11 +103,12 @@ let config_label mode n =
   Printf.sprintf "%s-%s" (Config.mode_to_string mode)
     (match n with 2 -> "DMR" | 3 -> "TMR" | n -> string_of_int n ^ "R")
 
-let mk_config ~mode ~nreplicas ~engine =
+let mk_config ?(exec_backend = Config.Interp) ~mode ~nreplicas ~engine () =
   {
     (Runner.config_for ~mode ~nreplicas ~arch:Rcoe_machine.Arch.X86 ~seed:3 ())
     with
     Config.engine;
+    exec_backend;
     exception_barriers = mode <> Config.Base;
   }
 
@@ -109,8 +117,8 @@ type measurement = { m_cycles : int; m_wall : float; m_out : string list }
 (* Median-of-[reps] wall time over fresh systems; cycle count and
    outputs must agree across reps (they always do — the simulator is
    deterministic — but check rather than assume). *)
-let measure ~mode ~nreplicas ~engine wl =
-  let config = mk_config ~mode ~nreplicas ~engine in
+let measure ?exec_backend ~mode ~nreplicas ~engine wl =
+  let config = mk_config ?exec_backend ~mode ~nreplicas ~engine () in
   let one () =
     let sys = System.create ~config ~program:(wl.program ()) in
     let t0 = Unix.gettimeofday () in
@@ -432,6 +440,146 @@ let serve_json rows =
            | _ -> []))
        rows)
 
+(* --- execution-backend rows --------------------------------------------- *)
+
+(* Interp vs Blocks, per workload. The contract is asymmetric on
+   purpose: simulated cycles and outputs must be IDENTICAL across the
+   backends (bit for bit — the block compiler is only allowed to be
+   faster, never different), while wall time is where the win shows up.
+
+   Sizings are larger than the baseline workloads above and include a
+   dispatch-bound kernel: per Amdahl, the backend can only compress the
+   decode/dispatch share of a cycle (Machine.tick, devices and sync
+   phases are backend-independent), so the speedup headline needs a
+   workload whose cycles are dominated by instruction execution. *)
+
+type exec_row = {
+  x_name : string;
+  x_cycles : int;  (* simulated cycles — exact, backend-identical *)
+  x_wall_interp : float;
+  x_wall_blocks : float;
+  x_speedup : float;  (* wall_interp / wall_blocks *)
+  x_identical : bool;  (* cycles and outputs agree across backends *)
+}
+
+(* A long straight-line ALU block in a tight loop: near-zero memory
+   traffic, near-zero kernel crossings — the pure decode/dispatch
+   stress test and the >=2x speedup candidate. *)
+let alu_tight () =
+  let open Rcoe_isa in
+  let a = Asm.create "alu-tight" in
+  Asm.label a "main";
+  Asm.movi a Reg.R4 0;
+  Asm.movi a Reg.R5 1;
+  Asm.movi a Reg.R6 2;
+  Asm.while_ a Instr.Lt Reg.R4 (Instr.Imm 40_000) (fun () ->
+      for _ = 1 to 16 do
+        Asm.add a Reg.R5 Reg.R5 Reg.R6;
+        Asm.xori a Reg.R6 Reg.R5 0x5bd1;
+        Asm.shri a Reg.R7 Reg.R5 3;
+        Asm.sub a Reg.R5 Reg.R5 Reg.R7
+      done;
+      Asm.addi a Reg.R4 Reg.R4 1);
+  Asm.syscall a Rcoe_kernel.Syscall.sys_exit;
+  Asm.assemble ~entry:"main" a
+
+let exec_workloads =
+  [
+    { wname = "alu-tight"; program = alu_tight };
+    {
+      wname = "md5sum-x";
+      program =
+        (fun () ->
+          Md5sum.program ~message_words:128 ~iters:96 ~seed:5
+            ~branch_count:false ());
+    };
+    {
+      wname = "dhrystone-x";
+      program =
+        (fun () -> Dhrystone.program ~loops:10_000 ~branch_count:false ());
+    };
+    {
+      wname = "whetstone-x";
+      program = (fun () -> Whetstone.program ~loops:1_600 ~branch_count:false ());
+    };
+  ]
+
+let measure_exec () =
+  Printf.printf "  exec      %!";
+  let rows =
+    List.map
+      (fun wl ->
+        Printf.printf " %s%!" wl.wname;
+        let interp =
+          measure ~exec_backend:Config.Interp ~mode:Config.Base ~nreplicas:1
+            ~engine:Config.Sequential wl
+        in
+        let blocks =
+          measure ~exec_backend:Config.Blocks ~mode:Config.Base ~nreplicas:1
+            ~engine:Config.Sequential wl
+        in
+        {
+          x_name = wl.wname;
+          x_cycles = interp.m_cycles;
+          x_wall_interp = interp.m_wall;
+          x_wall_blocks = blocks.m_wall;
+          x_speedup = interp.m_wall /. blocks.m_wall;
+          x_identical =
+            interp.m_cycles = blocks.m_cycles && interp.m_out = blocks.m_out;
+        })
+      exec_workloads
+  in
+  print_newline ();
+  let broken = List.filter (fun x -> not x.x_identical) rows in
+  if broken <> [] then begin
+    List.iter
+      (fun x ->
+        Printf.eprintf
+          "baseline: BACKEND IDENTITY FAILURE: %s: blocks != interp\n" x.x_name)
+      broken;
+    exit 1
+  end;
+  rows
+
+let print_exec_table rows =
+  let t =
+    Rcoe_util.Table.create
+      ~headers:
+        [ "exec"; "cycles"; "interp wall"; "blocks wall"; "speedup";
+          "identical" ]
+  in
+  List.iter
+    (fun x ->
+      Rcoe_util.Table.add_row t
+        [
+          x.x_name; string_of_int x.x_cycles;
+          Printf.sprintf "%.3fs" x.x_wall_interp;
+          Printf.sprintf "%.3fs" x.x_wall_blocks;
+          Printf.sprintf "%.2fx" x.x_speedup;
+          (if x.x_identical then "yes" else "NO");
+        ])
+    rows;
+  Rcoe_util.Table.print t
+
+let exec_json rows =
+  Json.List
+    (List.map
+       (fun x ->
+         Json.Obj
+           [
+             ("name", Json.String x.x_name);
+             ("cycles", Json.Int x.x_cycles);
+             ("wall_interp_s", Json.Float x.x_wall_interp);
+             ("wall_blocks_s", Json.Float x.x_wall_blocks);
+             ("speedup", Json.Float x.x_speedup);
+             ("identical", Json.Bool x.x_identical);
+           ])
+       rows)
+
+let exec_table () =
+  let rows = measure_exec () in
+  print_exec_table rows
+
 let host_json () =
   Json.Obj
     [
@@ -441,14 +589,15 @@ let host_json () =
       ("os_type", Json.String Sys.os_type);
     ]
 
-let to_json rows ckpt_rows serve_rows =
+let to_json rows ckpt_rows serve_rows exec_rows =
   Json.Obj
     [
-      ("schema", Json.String "rcoe-bench-baseline/v4");
+      ("schema", Json.String "rcoe-bench-baseline/v5");
       ("host", host_json ());
       ("reps", Json.Int reps);
       ("ckpt", Ckpt_bench.to_json ckpt_rows);
       ("serve", serve_json serve_rows);
+      ("exec", exec_json exec_rows);
       ( "workloads",
         Json.List
           (List.map
@@ -543,8 +692,21 @@ let write ?(path = default_path) () =
   Ckpt_bench.print_table ckpt_rows;
   let serve_rows = measure_serve () in
   print_serve_table serve_rows;
+  let exec_rows = measure_exec () in
+  print_exec_table exec_rows;
+  (* The block compiler's reason to exist: refuse to commit a baseline
+     where it does not clearly win anywhere. *)
+  let best =
+    List.fold_left (fun m x -> max m x.x_speedup) 0.0 exec_rows
+  in
+  if best < 2.0 then begin
+    Printf.eprintf
+      "baseline: SPEEDUP FAILURE: best blocks-backend speedup %.2fx < 2x\n"
+      best;
+    exit 1
+  end;
   let oc = open_out path in
-  output_string oc (Json.to_string (to_json rows ckpt_rows serve_rows));
+  output_string oc (Json.to_string (to_json rows ckpt_rows serve_rows exec_rows));
   output_char oc '\n';
   close_out oc;
   Printf.printf "wrote %s\n" path
@@ -606,10 +768,11 @@ let check ?(path = default_path) () =
         exit 1
   in
   (match jstring (jmember "schema" committed) with
-  | "rcoe-bench-baseline/v4" -> ()
-  | "rcoe-bench-baseline/v2" | "rcoe-bench-baseline/v3" ->
+  | "rcoe-bench-baseline/v5" -> ()
+  | "rcoe-bench-baseline/v2" | "rcoe-bench-baseline/v3"
+  | "rcoe-bench-baseline/v4" ->
       Printf.eprintf
-        "baseline-check: %s uses a pre-ingress schema (no ingress serve \
+        "baseline-check: %s uses a pre-exec schema (no execution-backend \
          rows)\n\
          regenerate with `dune exec bench/main.exe -- baseline`\n"
         path;
@@ -667,8 +830,14 @@ let check ?(path = default_path) () =
                     (jfloat (jmember "wall_par_s" cj)))
             r.r_configs)
     fresh;
-  (* Checkpoint-capture rows: simulated quantities exactly, the
-     incremental capture wall within the same tolerance. *)
+  (* Checkpoint-capture rows: simulated quantities exactly. The wall
+     claim is judged as the full/incremental ratio against an absolute
+     floor, not against the committed times: the incremental capture
+     takes ~1-3ms, where host noise swamps any tolerance on absolute
+     walls and still moves the ratio by 2x between runs. Words copied
+     and cost_cycles are exact-checked above, so the real regression
+     guard is simulated; the wall floor only defends the qualitative
+     claim that incremental capture is decisively faster. *)
   let committed_ckpt = jlist (jmember "ckpt" committed) in
   List.iter
     (fun (r : Ckpt_bench.row) ->
@@ -700,13 +869,14 @@ let check ?(path = default_path) () =
             (jint (jmember "engine_checkpoints" full));
           exact "incremental engine_checkpoints" r.Ckpt_bench.k_incr_ckpts
             (jint (jmember "engine_checkpoints" incr));
-          let committed_wall = jfloat (jmember "wall_s" incr) in
-          if r.Ckpt_bench.k_incr_wall > committed_wall *. (1. +. tol) then
+          let fresh_ratio =
+            r.Ckpt_bench.k_full_wall /. r.Ckpt_bench.k_incr_wall
+          in
+          if fresh_ratio < 2.0 /. (1. +. tol) then
             fail
-              "ckpt %s: incremental capture wall %.4fs regressed >%.0f%% \
-               over committed %.4fs"
-              r.Ckpt_bench.k_name r.Ckpt_bench.k_incr_wall (100. *. tol)
-              committed_wall)
+              "ckpt %s: incremental capture no longer decisively faster \
+               than full (%.1fx, floor %.1fx)"
+              r.Ckpt_bench.k_name fresh_ratio (2.0 /. (1. +. tol)))
     fresh_ckpt;
   (* Serving rows: simulated quantities exactly, walls within the
      tolerance. *)
@@ -752,6 +922,34 @@ let check ?(path = default_path) () =
             (jfloat (jmember "wall_seq_s" j));
           wall_check "parallel" s.s_wall_par (jfloat (jmember "wall_par_s" j)))
     fresh_serve;
+  (* Execution-backend rows: cycles must match the committed baseline
+     exactly (and [measure_exec] has already verified Blocks == Interp
+     on this run — an identity failure exits before we get here). Wall
+     regression is judged on the interp/blocks *ratio*, not on either
+     absolute time: both backends run under the same host load, so the
+     ratio cancels machine noise that routinely pushes the sub-second
+     absolute times past any reasonable tolerance. *)
+  let fresh_exec = measure_exec () in
+  print_exec_table fresh_exec;
+  let committed_exec = jlist (jmember "exec" committed) in
+  List.iter
+    (fun x ->
+      match
+        List.find_opt
+          (fun j -> jstring (jmember "name" j) = x.x_name)
+          committed_exec
+      with
+      | None -> fail "exec %s: not present in committed baseline" x.x_name
+      | Some j ->
+          if jint (jmember "cycles" j) <> x.x_cycles then
+            fail "exec %s: cycles %d != committed %d" x.x_name x.x_cycles
+              (jint (jmember "cycles" j));
+          let committed_speedup = jfloat (jmember "speedup" j) in
+          if x.x_speedup < committed_speedup /. (1. +. tol) then
+            fail
+              "exec %s: speedup %.2fx regressed >%.0f%% below committed %.2fx"
+              x.x_name x.x_speedup (100. *. tol) committed_speedup)
+    fresh_exec;
   match !failures with
   | [] ->
       Printf.printf "baseline-check: ok (tolerance %.0f%%, vs %s)\n"

@@ -5,7 +5,7 @@
    Usage:  dune exec bench/main.exe -- [target ...]
    Targets: e1 table2 table3 table4 table5 fig3 table7x86 table7arm
             table8 table9 table10 fig4 latency ingress micro serve
-            ckpt quick all
+            exec ckpt quick all
    Default (no argument): quick. *)
 
 open Rcoe_harness
@@ -103,6 +103,7 @@ let run_target = function
   | "fig4" -> Perf_experiments.fig4 ()
   | "micro" -> micro ()
   | "serve" -> Baseline.serve_table ()
+  | "exec" -> Baseline.exec_table ()
   | "ckpt" -> Ckpt_bench.run ()
   | "baseline" -> Baseline.write ()
   | "baseline-check" -> Baseline.check ()
@@ -112,7 +113,7 @@ let run_target = function
       Printf.eprintf
         "unknown target %S\n\
          targets: e1 table2 table3 table4 table5 fig3 table7x86 table7arm \
-         table8 table9 table10 fig4 latency ingress micro serve ckpt \
+         table8 table9 table10 fig4 latency ingress micro serve exec ckpt \
          baseline baseline-check quick all\n"
         other;
       exit 1

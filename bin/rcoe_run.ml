@@ -109,6 +109,17 @@ let parallel_arg =
                  points (bit-for-bit identical to the sequential engine; \
                  implies exception barriers under replication)")
 
+let exec_backend_arg =
+  let backend_conv =
+    Arg.enum [ ("interp", Config.Interp); ("blocks", Config.Blocks) ]
+  in
+  Arg.(value & opt backend_conv Config.Interp
+       & info [ "exec-backend" ]
+           ~doc:"interp | blocks: decode every instruction every cycle \
+                 (the oracle), or pre-decode each code page once into \
+                 closures (bit-for-bit and cycle-for-cycle identical, \
+                 just faster)")
+
 (* Switch a configuration to the parallel engine, or explain — in the
    style of a lint finding — why this configuration cannot hold the
    engine's determinism contract, and exit non-zero. Networked
@@ -151,8 +162,8 @@ let apply_engine ?program ~parallel config =
         exit 1
 
 let mk_config ?(fast_catchup = false) ?(masking = false) ?(checkpoint_every = 0)
-    ?(checkpoint_mode = Config.Incremental) ?(max_rollbacks = 3) mode n arch vm
-    level seed ~with_net =
+    ?(checkpoint_mode = Config.Incremental) ?(max_rollbacks = 3)
+    ?(exec_backend = Config.Interp) mode n arch vm level seed ~with_net =
   {
     (Runner.config_for ~mode ~nreplicas:n ~arch ~vm ~sync_level:level ~seed
        ~with_net ())
@@ -162,6 +173,7 @@ let mk_config ?(fast_catchup = false) ?(masking = false) ?(checkpoint_every = 0)
     checkpoint_every;
     checkpoint_mode;
     max_rollbacks;
+    exec_backend;
   }
 
 (* --- commands ---------------------------------------------------------- *)
@@ -192,14 +204,15 @@ let run_cmd =
                    histograms) after the run")
   in
   let run wl mode n arch vm level seed fast_catchup checkpoint_every
-      checkpoint_mode max_rollbacks parallel strict_lint metrics =
+      checkpoint_mode max_rollbacks parallel exec_backend strict_lint metrics =
     let branch_count = Wl.branch_count_for arch in
     let program = program_of_name wl ~branch_count in
     let config =
       apply_engine ~program ~parallel
         {
           (mk_config ~fast_catchup ~checkpoint_every ~checkpoint_mode
-             ~max_rollbacks mode n arch vm level seed ~with_net:false)
+             ~max_rollbacks ~exec_backend mode n arch vm level seed
+             ~with_net:false)
           with
           Config.strict_lint;
         }
@@ -223,8 +236,9 @@ let run_cmd =
       (Rcoe_machine.Arch.to_string arch)
       (if vm then " (VM)" else "")
       (Config.sync_level_to_string level);
-    Printf.printf "engine:     %s\n"
-      (Config.engine_to_string config.Config.engine);
+    Printf.printf "engine:     %s, %s backend\n"
+      (Config.engine_to_string config.Config.engine)
+      (Config.exec_backend_to_string config.Config.exec_backend);
     Printf.printf "finished:   %b\n" r.Runner.finished;
     (match r.Runner.halted with
     | Some h -> Printf.printf "halted:     %s\n" (System.halt_reason_to_string h)
@@ -253,7 +267,7 @@ let run_cmd =
       const run $ wl_arg $ mode_arg $ replicas_arg $ arch_arg $ vm_arg
       $ level_arg $ seed_arg $ fast_catchup_arg $ checkpoint_every_arg
       $ checkpoint_mode_arg $ max_rollbacks_arg $ parallel_arg
-      $ strict_lint_arg $ metrics_arg)
+      $ exec_backend_arg $ strict_lint_arg $ metrics_arg)
 
 let kv_cmd =
   let doc = "run the KV server under a YCSB workload" in
@@ -271,8 +285,12 @@ let kv_cmd =
          & info [ "masking" ]
              ~doc:"enable TMR->DMR error masking (requires -n 3)")
   in
-  let run mode n arch level seed wl records operations masking parallel =
-    let base = mk_config ~masking mode n arch false level seed ~with_net:true in
+  let run mode n arch level seed wl records operations masking parallel
+      exec_backend =
+    let base =
+      mk_config ~masking ~exec_backend mode n arch false level seed
+        ~with_net:true
+    in
     let config =
       apply_engine ~parallel
         ~program:(Kv_run.program_for ~config:base ~records ~operations)
@@ -307,7 +325,8 @@ let kv_cmd =
   Cmd.v (Cmd.info "kv" ~doc)
     Term.(
       const run $ mode_arg $ replicas_arg $ arch_arg $ level_arg $ seed_arg
-      $ ycsb_arg $ records_arg $ ops_arg $ masking_arg $ parallel_arg)
+      $ ycsb_arg $ records_arg $ ops_arg $ masking_arg $ parallel_arg
+      $ exec_backend_arg)
 
 let trace_cmd =
   let doc =
@@ -335,7 +354,7 @@ let trace_cmd =
                    and contains trace events")
   in
   let run wl mode n arch vm level seed fast_catchup checkpoint_every
-      checkpoint_mode max_rollbacks parallel out capacity check =
+      checkpoint_mode max_rollbacks parallel exec_backend out capacity check =
     (* Replicated modes need at least a DMR pair; bump silently so
        `trace -w whetstone --mode cc` works without an explicit -n. *)
     let n = if mode = Config.Base then max 1 n else max 2 n in
@@ -343,7 +362,7 @@ let trace_cmd =
     let records = 48 and operations = 96 in
     let base =
       mk_config ~fast_catchup ~checkpoint_every ~checkpoint_mode ~max_rollbacks
-        mode n arch vm level seed ~with_net
+        ~exec_backend mode n arch vm level seed ~with_net
     in
     let program =
       if with_net then Kv_run.program_for ~config:base ~records ~operations
@@ -408,8 +427,8 @@ let trace_cmd =
     Term.(
       const run $ wl_arg $ mode_arg $ replicas_arg $ arch_arg $ vm_arg
       $ level_arg $ seed_arg $ fast_catchup_arg $ checkpoint_every_arg
-      $ checkpoint_mode_arg $ max_rollbacks_arg $ parallel_arg $ out_arg
-      $ capacity_arg $ check_arg)
+      $ checkpoint_mode_arg $ max_rollbacks_arg $ parallel_arg
+      $ exec_backend_arg $ out_arg $ capacity_arg $ check_arg)
 
 let serve_cmd =
   let doc =
@@ -502,8 +521,8 @@ let serve_cmd =
   in
   let run mode n arch level seed wl records requests window open_rate max_queue
       checkpoint_every checkpoint_mode max_rollbacks fault fault_after
-      fault_bit fault_target ingress_check parallel json_out trace_out check
-      chunk =
+      fault_bit fault_target ingress_check parallel exec_backend json_out
+      trace_out check chunk =
     let n = if mode = Config.Base then max 1 n else max 2 n in
     let workload = Ycsb.workload_of_string wl in
     let pacing =
@@ -526,8 +545,8 @@ let serve_cmd =
     in
     let base =
       {
-        (mk_config ~checkpoint_every ~checkpoint_mode ~max_rollbacks mode n
-           arch false level seed ~with_net:true)
+        (mk_config ~checkpoint_every ~checkpoint_mode ~max_rollbacks
+           ~exec_backend mode n arch false level seed ~with_net:true)
         with
         Config.ingress_check;
       }
@@ -681,8 +700,8 @@ let serve_cmd =
       $ ycsb_arg $ records_arg $ requests_arg $ window_arg $ open_rate_arg
       $ max_queue_arg $ checkpoint_every_arg $ checkpoint_mode_arg
       $ max_rollbacks_arg $ fault_arg $ fault_after_arg $ fault_bit_arg
-      $ fault_target_arg $ ingress_check_arg $ parallel_arg $ json_arg
-      $ trace_out_arg $ check_arg $ chunk_arg)
+      $ fault_target_arg $ ingress_check_arg $ parallel_arg $ exec_backend_arg
+      $ json_arg $ trace_out_arg $ check_arg $ chunk_arg)
 
 let recover_cmd =
   let doc =

@@ -422,7 +422,8 @@ let detection_latency ?(runs = 5) () =
    next vote). [`Transient] flips once; [`Persistent] re-flips after
    every rollback, modelling a stuck-at fault the recovery cannot outrun.
    Without checkpointing every such detection halts the system. *)
-let recovery_trial ~checkpointing ~fault ~seed =
+let recovery_trial ?(exec_backend = Config.Interp) ~checkpointing ~fault ~seed
+    () =
   let config =
     {
       (Runner.config_for ~mode:Config.CC ~nreplicas:2 ~arch:x86
@@ -432,6 +433,7 @@ let recovery_trial ~checkpointing ~fault ~seed =
       checkpoint_every = (if checkpointing then 2 else 0);
       checkpoint_depth = 3;
       max_rollbacks = 8;
+      exec_backend;
     }
   in
   let program =
@@ -505,7 +507,7 @@ let recovery_table ?(trials = 12) () =
     let tally = Outcome.tally_create () in
     let rollbacks = ref 0 and ckpts = ref 0 and lats = ref [] in
     for seed = 1 to trials do
-      let outcome, rb, ck, ls = recovery_trial ~checkpointing ~fault ~seed in
+      let outcome, rb, ck, ls = recovery_trial ~checkpointing ~fault ~seed () in
       Outcome.tally_add tally outcome;
       rollbacks := !rollbacks + rb;
       ckpts := !ckpts + ck;
@@ -550,7 +552,8 @@ let recovery_table ?(trials = 12) () =
    consume path recomputes the frame checksum against the NIC's
    enqueue-time RX_CSUM, NACKs the frame, and the client's
    retransmission re-delivers the pristine payload. *)
-let ingress_trial ~mode ~n ~ingress_check ~fault ~seed =
+let ingress_trial ?(exec_backend = Config.Interp) ~mode ~n ~ingress_check
+    ~fault ~seed () =
   let config =
     {
       (Runner.config_for ~mode ~nreplicas:n ~arch:x86 ~with_net:true
@@ -558,6 +561,7 @@ let ingress_trial ~mode ~n ~ingress_check ~fault ~seed =
       with
       Config.ingress_check;
       barrier_timeout = 200_000;
+      exec_backend;
     }
   in
   let fault_spec =
@@ -611,13 +615,13 @@ let ingress_table ?(trials = 6) () =
     (* Fault-free reference: the seq-sorted outcome digest is invariant
        under drop-induced completion reordering, so one reference run
        serves every trial of the row. *)
-    let _, refr = ingress_trial ~mode ~n ~ingress_check ~fault:false ~seed:1 in
+    let _, refr = ingress_trial ~mode ~n ~ingress_check ~fault:false ~seed:1 () in
     let tally = Outcome.tally_create () in
     let fired = ref 0 and dropped = ref 0 and redeliv = ref 0 in
     let corrupt = ref 0 and digest_ok = ref 0 in
     for seed = 1 to trials do
       let outcome, res =
-        ingress_trial ~mode ~n ~ingress_check ~fault:true ~seed
+        ingress_trial ~mode ~n ~ingress_check ~fault:true ~seed ()
       in
       Outcome.tally_add tally outcome;
       if res.Loadgen.fault_fired then incr fired;
@@ -673,10 +677,10 @@ let ingress_quick ?(seed = 3) () =
     end
   in
   let off_outcome, off =
-    ingress_trial ~mode:Config.CC ~n:2 ~ingress_check:false ~fault:true ~seed
+    ingress_trial ~mode:Config.CC ~n:2 ~ingress_check:false ~fault:true ~seed ()
   in
   let on_outcome, on_ =
-    ingress_trial ~mode:Config.CC ~n:2 ~ingress_check:true ~fault:true ~seed
+    ingress_trial ~mode:Config.CC ~n:2 ~ingress_check:true ~fault:true ~seed ()
   in
   Printf.printf
     "ingress-quick: off => %s (corrupted=%d), on => %s (checked=%d \

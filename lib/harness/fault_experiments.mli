@@ -32,13 +32,18 @@ val table9 : ?trials:int -> unit -> unit
     paths remain externally visible failures. *)
 
 val recovery_trial :
+  ?exec_backend:Rcoe_core.Config.exec_backend ->
   checkpointing:bool ->
   fault:[ `Transient | `Persistent ] ->
   seed:int ->
+  unit ->
   Rcoe_faults.Outcome.t * int * int * float list
 (** Single recovery-campaign trial (exposed for tests): md5sum on CC-D
     with one injected signature corruption. Returns (outcome, rollbacks,
-    checkpoints taken, recovery-latency samples). *)
+    checkpoints taken, recovery-latency samples). [exec_backend]
+    (default [Interp]) selects the execution backend — the
+    interp/blocks differential suite runs the same trial on both and
+    requires identical results. *)
 
 val recovery_table : ?trials:int -> unit -> int
 (** The fail-stop vs fail-recover comparison: identical DMR
@@ -51,15 +56,19 @@ val recovery_table : ?trials:int -> unit -> int
     gate. *)
 
 val ingress_trial :
+  ?exec_backend:Rcoe_core.Config.exec_backend ->
   mode:Rcoe_core.Config.mode ->
   n:int ->
   ingress_check:bool ->
   fault:bool ->
   seed:int ->
+  unit ->
   Rcoe_faults.Outcome.t * Loadgen.result
 (** One serving trial with (optionally) a bit flipped inside an
     in-flight RX DMA frame — the paper's Table VII residual, outside
-    the sphere of replication. Exposed for tests. *)
+    the sphere of replication. Exposed for tests. [exec_backend]
+    (default [Interp]) selects the execution backend, for the
+    interp/blocks differential suite. *)
 
 val ingress_table : ?trials:int -> unit -> int
 (** The DMA-hole coverage flip: identical fault schedules with the

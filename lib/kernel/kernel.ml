@@ -36,6 +36,14 @@ type t = {
   klayout : Layout.t;
   kpart : Layout.partition;
   kprogram : Rcoe_isa.Program.t;
+  kcode : Rcoe_isa.Instr.t array;
+      (* This kernel's private copy of the program code. Replicas must
+         not share a mutable code image: a self-modifying patch in one
+         replica reaching the others through aliasing would be exactly
+         the silent common-mode corruption RCoE exists to detect. *)
+  korig : Rcoe_isa.Instr.t array; (* pristine image, for rollback *)
+  mutable kpatched : bool; (* kcode differs (or ever differed) from korig *)
+  kbc : Blockc.t option; (* Some iff backend = Blocks *)
   pt : Page_table.table;
   kenv : Core.env;
   cb : callbacks;
@@ -55,17 +63,40 @@ let upd_pte = 1
 let upd_spawn = 2
 let upd_switch = 3
 let upd_exit = 4
+let upd_code = 5
 
 let rid t = t.krid
 let core t = t.kcore
 let env t = t.kenv
+let block_cache t = t.kbc
+
+(* One architectural cycle through whichever backend this kernel was
+   created with. The interpreter is the oracle; the block compiler is
+   observably identical to it (enforced by test/test_exec_blocks.ml). *)
+let step t =
+  match t.kbc with
+  | None -> Core.step t.kcore t.kenv
+  | Some bc -> Blockc.step bc
+
+(* Overwrite one instruction in this kernel's private code image and
+   drop any compiled block for its page. The only legal way code
+   changes at runtime — user stores cannot reach the Harvard-separate
+   code array. *)
+let patch_code t ~addr instr =
+  if addr < 0 || addr >= Array.length t.kcode then
+    invalid_arg (Printf.sprintf "Kernel.patch_code: bad address %d" addr);
+  t.kcode.(addr) <- instr;
+  t.kpatched <- true;
+  match t.kbc with
+  | Some bc -> Blockc.invalidate_addr bc addr
+  | None -> ()
 let layout t = t.klayout
 let partition t = t.kpart
 let program t = t.kprogram
 let output t = t.kout
 
-let create ?trace ~machine ~rid:krid ~core_id ~layout:klayout ~program:kprogram
-    ~callbacks () =
+let create ?trace ?(backend = Blockc.Interp) ~machine ~rid:krid ~core_id
+    ~layout:klayout ~program:kprogram ~callbacks () =
   let kpart = klayout.Layout.partitions.(krid) in
   let pt = { Page_table.base = kpart.Layout.pt_base; npages = Layout.va_pages } in
   let mem = machine.Machine.mem in
@@ -79,9 +110,11 @@ let create ?trace ~machine ~rid:krid ~core_id ~layout:klayout ~program:kprogram
   let ktrace =
     match trace with Some tr -> tr | None -> machine.Machine.trace
   in
+  let korig = kprogram.Rcoe_isa.Program.code in
+  let kcode = Array.copy korig in
   let kenv =
     {
-      Core.code = kprogram.Rcoe_isa.Program.code;
+      Core.code = kcode;
       mem;
       translate = (fun ~vaddr ~write -> Page_table.translate mem pt ~vaddr ~write);
       dev_read = Machine.dev_read machine;
@@ -98,6 +131,13 @@ let create ?trace ~machine ~rid:krid ~core_id ~layout:klayout ~program:kprogram
     klayout;
     kpart;
     kprogram;
+    kcode;
+    korig;
+    kpatched = false;
+    kbc =
+      (match backend with
+      | Blockc.Interp -> None
+      | Blockc.Blocks -> Some (Blockc.create kcore kenv));
     pt;
     kenv;
     cb = callbacks;
@@ -422,6 +462,37 @@ let handle_syscall t num =
         block_current t (T_blocked_join target)
       end
     end
+    else if num = Syscall.sys_code_patch then begin
+      let addr = arg t 0
+      and kind = arg t 1
+      and rd = arg t 2
+      and imm = arg t 3 in
+      let instr =
+        if addr < 0 || addr >= Array.length t.kcode then None
+        else
+          match kind with
+          | 0 -> Some Rcoe_isa.Instr.Nop
+          | 1 when rd >= 0 && rd < Rcoe_isa.Reg.count ->
+              Some
+                (Rcoe_isa.Instr.Mov
+                   (Rcoe_isa.Reg.of_index rd, Rcoe_isa.Instr.Imm imm))
+          | 2 when rd >= 0 && rd < Rcoe_isa.Reg.count ->
+              let r = Rcoe_isa.Reg.of_index rd in
+              Some (Rcoe_isa.Instr.Alu (Rcoe_isa.Instr.Add, r, r, Rcoe_isa.Instr.Imm imm))
+          | 3 when imm >= 0 && imm < Array.length t.kcode ->
+              Some (Rcoe_isa.Instr.Jmp (Rcoe_isa.Instr.Abs imm))
+          | _ -> None
+      in
+      match instr with
+      | Some i ->
+          patch_code t ~addr i;
+          (* Fold the patch into the signature: replicas that patch
+             different words (or one patches and one does not) must
+             diverge detectably. *)
+          t.cb.cb_kernel_update t.krid [| upd_code; addr; kind; rd; imm |];
+          set_result t 0
+      | None -> kill_current t (Core.Bad_ip t.kcore.Core.ip)
+    end
     else if num = Syscall.sys_ticks then set_result t (t.cb.cb_info t.krid 5)
     else if num = Syscall.sys_wait_irq then begin
       let dpn = arg t 0 in
@@ -501,6 +572,10 @@ type snapshot = {
   sn_next_free_word : int;
   sn_high_free_word : int;
   sn_last_fault : (int * Core.fault) option;
+  sn_code : Rcoe_isa.Instr.t array option;
+      (* Copy of the (patched) code image — [None] when the code is
+         still pristine, which is the overwhelmingly common case and
+         keeps snapshots O(dirty) rather than O(code). *)
   sn_core : core_snapshot;
 }
 
@@ -518,6 +593,7 @@ let snapshot t =
     sn_next_free_word = t.next_free_word;
     sn_high_free_word = t.high_free_word;
     sn_last_fault = t.last_fault;
+    sn_code = (if t.kpatched then Some (Array.copy t.kcode) else None);
     sn_core =
       {
         cs_ip = c.Core.ip;
@@ -548,6 +624,20 @@ let restore t s =
   t.next_free_word <- s.sn_next_free_word;
   t.high_free_word <- s.sn_high_free_word;
   t.last_fault <- s.sn_last_fault;
+  (* Rewind the code image across any patches between the snapshot and
+     now; the block cache may hold blocks compiled from the newer code,
+     so it is dropped wholesale whenever the image changes. *)
+  (match s.sn_code with
+  | Some code ->
+      Array.blit code 0 t.kcode 0 (Array.length code);
+      t.kpatched <- true;
+      Option.iter Blockc.invalidate_all t.kbc
+  | None ->
+      if t.kpatched then begin
+        Array.blit t.korig 0 t.kcode 0 (Array.length t.korig);
+        t.kpatched <- false;
+        Option.iter Blockc.invalidate_all t.kbc
+      end);
   let c = t.kcore and cs = s.sn_core in
   Array.blit cs.cs_regs 0 c.Core.regs 0 (Array.length cs.cs_regs);
   Array.blit cs.cs_fregs 0 c.Core.fregs 0 (Array.length cs.cs_fregs);
@@ -583,6 +673,14 @@ let adopt_runtime_from t ~src =
   t.next_free_word <- src.next_free_word + delta;
   t.high_free_word <- src.high_free_word + delta;
   t.last_fault <- None;
+  (* Adopt the source's code image if either side has ever diverged from
+     the pristine program; the reintegrated replica must execute exactly
+     the code the survivors execute. *)
+  if src.kpatched || t.kpatched then begin
+    Array.blit src.kcode 0 t.kcode 0 (Array.length src.kcode);
+    t.kpatched <- src.kpatched;
+    Option.iter Blockc.invalidate_all t.kbc
+  end;
   (* Adopt the source core's architectural state. *)
   let sc = src.kcore and dc = t.kcore in
   Array.blit sc.Core.regs 0 dc.Core.regs 0 (Array.length sc.Core.regs);

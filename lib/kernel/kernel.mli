@@ -55,6 +55,7 @@ type fault_disposition =
 
 val create :
   ?trace:Rcoe_obs.Trace.t ->
+  ?backend:Rcoe_machine.Blockc.backend ->
   machine:Rcoe_machine.Machine.t ->
   rid:int ->
   core_id:int ->
@@ -69,7 +70,31 @@ val create :
     per-replica child trace ({!Rcoe_obs.Trace.child}) so replicas can
     record events concurrently from separate domains. The kernel's core
     uses the machine's per-core bus lane
-    ({!Rcoe_machine.Machine.bus_lane}). *)
+    ({!Rcoe_machine.Machine.bus_lane}).
+
+    [backend] selects the execution backend {!step} dispatches to:
+    the oracle interpreter ([Interp], default) or the block compiler
+    ([Blocks]) — observably identical, cycle for cycle. The kernel also
+    takes a private copy of the program's code array at creation, so
+    self-modifying patches ({!patch_code}) stay replica-local. *)
+
+val step : t -> Rcoe_machine.Core.step_result
+(** Advance this kernel's core by one architectural cycle through the
+    configured execution backend. Engines must call this instead of
+    [Core.step] directly so backend selection applies uniformly
+    (including catch-up replay). *)
+
+val block_cache : t -> Rcoe_machine.Blockc.t option
+(** The block-compiler cache, when the [Blocks] backend is active —
+    diagnostic surface for tests and benches ({!Rcoe_machine.Blockc.stats}). *)
+
+val patch_code : t -> addr:int -> Rcoe_isa.Instr.t -> unit
+(** Overwrite one instruction in this kernel's private code image and
+    invalidate the block cache for its page. Raises [Invalid_argument]
+    out of code bounds. Guests reach this through the
+    {!Syscall.sys_code_patch} syscall; checkpoint {!restore} and
+    {!adopt_runtime_from} undo/adopt patches as part of their
+    contract. *)
 
 val rid : t -> int
 val core : t -> Rcoe_machine.Core.t

@@ -7,6 +7,7 @@ let sys_get_info = 5
 let sys_join = 6
 let sys_ticks = 7
 let sys_wait_irq = 8
+let sys_code_patch = 9
 let sys_ft_add_trace = 16
 let sys_ft_mem_access = 17
 let sys_ft_mem_rep = 18
@@ -22,6 +23,7 @@ let name n =
   else if n = sys_join then "join"
   else if n = sys_ticks then "ticks"
   else if n = sys_wait_irq then "wait_irq"
+  else if n = sys_code_patch then "code_patch"
   else if n = sys_ft_add_trace then "ft_add_trace"
   else if n = sys_ft_mem_access then "ft_mem_access"
   else if n = sys_ft_mem_rep then "ft_mem_rep"
@@ -38,5 +40,5 @@ let arg_count n =
           || n = sys_wait_irq then 1
   else if n = sys_spawn || n = sys_ft_add_trace then 2
   else if n = sys_ft_mem_rep then 3
-  else if n = sys_atomic || n = sys_ft_mem_access then 4
+  else if n = sys_atomic || n = sys_ft_mem_access || n = sys_code_patch then 4
   else 4

@@ -37,6 +37,18 @@ val sys_ticks : int
 val sys_wait_irq : int
 (** r0 = device page id; blocks until an interrupt is delivered. *)
 
+val sys_code_patch : int
+(** Self-modifying code, kernel-mediated (guest code lives outside the
+    simulated data memory, so stores cannot reach it). r0 = code
+    address, r1 = patch kind (0 [Nop], 1 [Mov rd, #imm], 2
+    [Add rd, rd, #imm], 3 [Jmp #abs]), r2 = destination register index,
+    r3 = immediate. The kernel writes its private code array and
+    invalidates the block-compiler cache for the patched page; an
+    out-of-range address or unknown kind kills the thread. Local (every
+    replica patches its own copy deterministically), but the patch words
+    are folded into the state signature so replicas diverging on what
+    they patched is detectable. *)
+
 val sys_ft_add_trace : int
 (** r0 = va, r1 = nwords: add user data to the state signature (drivers
     use it to contribute output data — Section III-C). *)

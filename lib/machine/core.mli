@@ -108,3 +108,39 @@ val add_stall : t -> int -> unit
 val rep_in_progress : t -> env -> bool
 (** True if [ip] points at a partially-executed [Rep_movs] — the case
     where a breakpoint cannot name a unique logical time. *)
+
+(** {2 Execution-backend support}
+
+    The pieces of the interpreter that alternative execution backends
+    ({!Blockc}) reuse so that their per-instruction semantics are the
+    interpreter's own, not a re-implementation. {!step} remains the
+    oracle: any backend must be observably identical to it, cycle for
+    cycle. *)
+
+exception Take_fault of fault
+(** Raised by instruction execution when the access faults; {!step}
+    turns it into [Event (Ev_fault f)] and clears the bus-wait run. *)
+
+exception Bus_busy
+(** Raised when a bus token cannot be acquired this cycle — before any
+    stall or memory effect; {!step} turns it into a [Stalled] cycle and
+    extends the bus-wait run. *)
+
+val exec : t -> env -> Rcoe_isa.Instr.t -> event option
+(** Execute exactly one instruction (or one word of a rep-string) with
+    full architectural effect. Raises {!Take_fault} / {!Bus_busy}.
+    Backends call this directly for stateful instructions they do not
+    specialise. *)
+
+val load : t -> env -> int -> int
+(** One data-memory read at a virtual address: translation, bus
+    acquisition, memory-stall charge, then the access. Raises
+    {!Take_fault} / {!Bus_busy}. *)
+
+val store : t -> env -> int -> int -> unit
+(** One data-memory write at a virtual address; same contract as
+    {!load} (including dirty-bit marking via [Mem.write]). *)
+
+val flush_bus_wait : t -> env -> unit
+(** Emit any accumulated bus-contention run as a single trace span and
+    reset it; called on every successfully executed instruction. *)

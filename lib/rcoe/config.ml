@@ -6,6 +6,8 @@ type engine = Sequential | Parallel
 
 type checkpoint_mode = Full | Incremental
 
+type exec_backend = Interp | Blocks
+
 type t = {
   engine : engine;
   mode : mode;
@@ -30,6 +32,7 @@ type t = {
   checkpoint_depth : int;
   checkpoint_mode : checkpoint_mode;
   max_rollbacks : int;
+  exec_backend : exec_backend;
 }
 
 let default =
@@ -57,6 +60,7 @@ let default =
     checkpoint_depth = 2;
     checkpoint_mode = Incremental;
     max_rollbacks = 3;
+    exec_backend = Interp;
   }
 
 let mode_to_string = function Base -> "Base" | LC -> "LC" | CC -> "CC"
@@ -68,6 +72,8 @@ let engine_to_string = function
 let checkpoint_mode_to_string = function
   | Full -> "full"
   | Incremental -> "incremental"
+
+let exec_backend_to_string = function Interp -> "interp" | Blocks -> "blocks"
 
 (* Lint-style eligibility check for the domain-parallel engine. The
    parallel engine runs replicas concurrently only between sync points,

@@ -25,6 +25,21 @@ type engine =
           between sync points; barriers, voting, IPIs, and all shared
           machine state stay on the orchestrating domain. *)
 
+(** Execution backend for every replica core (see
+    {!Rcoe_machine.Blockc}). Both backends compute the same simulation:
+    [Blocks] is required to be bit-for-bit and cycle-for-cycle identical
+    to [Interp] — same cycle counts, signatures, votes, outcomes,
+    breakpoint/IRQ delivery points, trace events, and dirty bits — it
+    only removes the per-cycle decode/dispatch work. The interpreter is
+    the oracle; [test/test_exec_blocks.ml] and the [bench exec] baseline
+    rows hold the two identical. Orthogonal to {!engine}: either backend
+    composes with either engine. *)
+type exec_backend =
+  | Interp  (** Decode every instruction on every cycle ([Core.step]). *)
+  | Blocks
+      (** Pre-decode each code page once into closures with operands
+          resolved; invalidated on self-modifying patches. *)
+
 (** How {!checkpoint_every} captures state. *)
 type checkpoint_mode =
   | Full  (** Copy every live partition + shared + DMA outright. *)
@@ -106,6 +121,8 @@ type t = {
   max_rollbacks : int;
       (** Total rollback budget per run (>= 1). A persistent fault
           exhausts it and the system fail-stops as before. *)
+  exec_backend : exec_backend;
+      (** Execution backend for every replica; default [Interp]. *)
 }
 
 val default : t
@@ -141,3 +158,4 @@ val mode_to_string : mode -> string
 val sync_level_to_string : sync_level -> string
 val engine_to_string : engine -> string
 val checkpoint_mode_to_string : checkpoint_mode -> string
+val exec_backend_to_string : exec_backend -> string

@@ -14,7 +14,20 @@ let run ?stop t ~max_cycles =
     && (not (finished t))
     && now t - start < max_cycles
   do
-    classic_cycle t;
+    (* Block-compiled backend: burn quiescent stretches in one burst
+       (see [Sched.burst_cycles] for the bit-identity argument). The
+       budget never crosses [max_cycles], and with a [stop] callback it
+       also never crosses a 128-cycle poll boundary, so the polls below
+       fire at exactly the cycles per-cycle stepping would poll at. *)
+    let budget = max_cycles - (now t - start) in
+    let budget =
+      match stop with
+      | Some _ -> min budget (128 - (now t land 127))
+      | None -> budget
+    in
+    (match burst_cycles t ~budget with
+    | Some _ -> ()
+    | None -> classic_cycle t);
     (match stop with
     | Some f when now t land 127 = 0 -> if f t then continue_ := false
     | _ -> ())

@@ -578,9 +578,14 @@ let create ~config:cfg ~program =
            core emit through it too, so everything a replica records can
            be buffered per-domain by the parallel engine. *)
         let rtrace = Trace.child trace in
+        let backend =
+          match cfg.Config.exec_backend with
+          | Config.Interp -> Rcoe_machine.Blockc.Interp
+          | Config.Blocks -> Rcoe_machine.Blockc.Blocks
+        in
         let kern =
-          Kernel.create ~trace:rtrace ~machine:mach ~rid ~core_id:rid
-            ~layout:lay ~program ~callbacks ()
+          Kernel.create ~trace:rtrace ~backend ~machine:mach ~rid
+            ~core_id:rid ~layout:lay ~program ~callbacks ()
         in
         {
           rid;
@@ -1672,7 +1677,7 @@ let run_user t r =
   if (Kernel.core r.kern).Core.halted then ()
   else if Kernel.current_tid r.kern < 0 then ()
   else
-    match Core.step (Kernel.core r.kern) (Kernel.env r.kern) with
+    match Kernel.step r.kern with
     | Core.Ran | Core.Stalled -> (
         (* Deferred publication: a replica IPI'd at a rep-string first
            steps past it (Section III-D). *)
@@ -1740,7 +1745,7 @@ let step_catchup t r cu =
              over the leader's address; arm the breakpoint only for the
              final stretch. *)
           if cu.pmu_active then begin
-            (match Core.step core (Kernel.env r.kern) with
+            (match Kernel.step r.kern with
             | Core.Ran | Core.Stalled -> ()
             | Core.Event (Core.Ev_syscall n) ->
                 on_syscall t r n;
@@ -1776,7 +1781,7 @@ let step_catchup t r cu =
           if Clock.equal_position here leader then arrive t r
         end
         else
-          match Core.step core (Kernel.env r.kern) with
+          match Kernel.step r.kern with
           | Core.Ran | Core.Stalled -> ()
           | Core.Event Core.Ev_breakpoint ->
               Metrics.incr t.ms.m_bp_fires;
@@ -1951,6 +1956,67 @@ let classic_cycle t =
   Machine.tick t.mach;
   Array.iter (fun r -> step_replica t r) t.replicas;
   advance_phase t
+
+(* Quiescent-burst fast path for the block-compiled backend. An
+   unreplicated machine spends almost every cycle in the same
+   configuration: phase [Ph_idle], the one replica in [Rs_run] with no
+   breakpoint armed, no devices attached, no IPI in flight, tracing off,
+   and the next preemption tick thousands of cycles away. Every
+   per-cycle check [classic_cycle] performs is loop-invariant across
+   such a stretch, and [advance_phase] is provably a no-op until the
+   cycle whose post-tick [now] reaches [next_tick]. When the
+   block-compiled backend is active we exploit this: hand [Blockc.run] a
+   fuel budget that stops strictly short of the tick boundary, let it
+   burn cycles in a tight loop that refills the bus lanes inline, then
+   account the elapsed time to [Machine.now] and handle the terminating
+   event exactly as [run_user] would have. The burst is bit-identical to
+   running [classic_cycle] [consumed] times — the differential suite and
+   the [bench exec] identity gate hold the two paths equal — and the
+   engine falls back to [classic_cycle] whenever any precondition fails.
+   Returns the number of cycles consumed, or [None] if ineligible. *)
+let burst_cycles t ~budget =
+  if
+    t.cfg.Config.mode <> Config.Base
+    || Array.length t.mach.Machine.devices > 0
+    || t.cfg.Config.trace <> None
+  then None
+  else
+    let r = t.replicas.(0) in
+    let core = Kernel.core r.kern in
+    match r.state with
+    | Rs_run
+      when (not r.finished)
+           && (not core.Core.halted)
+           && core.Core.bp = None
+           && (not core.Core.bp_suppress)
+           && Kernel.current_tid r.kern >= 0
+           && not (Machine.ipi_visible t.mach ~core_id:0) -> (
+        match Kernel.block_cache r.kern with
+        | None -> None
+        | Some bc ->
+            (* Stay strictly short of the tick boundary: the cycle whose
+               post-tick [now] equals [next_tick] must run through
+               [classic_cycle] so [advance_phase] delivers the tick. *)
+            let fuel = min budget (t.next_tick - now t - 1) in
+            if fuel <= 0 then None
+            else begin
+              let consumed, ev =
+                Blockc.run bc ~buses:t.mach.Machine.buses ~fuel
+              in
+              t.mach.Machine.now <- t.mach.Machine.now + consumed;
+              (match ev with
+              | None -> ()
+              | Some (Core.Ev_syscall n) -> on_syscall t r n
+              | Some (Core.Ev_fault f) -> on_fault t r f
+              | Some Core.Ev_halt ->
+                  Kernel.exit_current r.kern;
+                  if Kernel.all_exited r.kern then r.finished <- true
+              | Some Core.Ev_breakpoint ->
+                  (* Unreachable: [bp = None] is a burst precondition. *)
+                  core.Core.bp <- None);
+              Some consumed
+            end)
+    | _ -> None
 
 let replica_state_name t rid =
   let r = t.replicas.(rid) in

@@ -5,8 +5,10 @@
    a `dune build @doc` run would: every `{!reference}` in a doc comment
    must name a module that exists in the tree (a library wrapper like
    [Rcoe_obs] or a compilation unit like [Config]), references must be
-   non-empty, and braces inside doc comments must balance. Exits
-   non-zero listing every offence as file:line. *)
+   non-empty, braces inside doc comments must balance, and every
+   interface file must carry at least one odoc comment — a bare `.mli`
+   is a public surface with no documentation at all. Exits non-zero
+   listing every offence as file:line. *)
 
 let wrappers =
   [
@@ -112,10 +114,24 @@ let check_comment_braces path content =
   if !depth <> 0 then
     err path !open_line "unclosed '{' in doc comment"
 
+(* Interfaces are the documentation surface: an `.mli` with no odoc
+   opener anywhere ships an undocumented public API. Implementation
+   files are exempt — plain commentary there is a style choice. *)
+let check_mli_documented path content =
+  let n = String.length content in
+  let has_doc = ref false in
+  for i = 0 to n - 3 do
+    if content.[i] = '(' && content.[i + 1] = '*' && content.[i + 2] = '*'
+    then has_doc := true
+  done;
+  if not !has_doc then
+    err path 1 "interface has no odoc comment (no `(**` anywhere)"
+
 let check_file ~known path =
   let ic = open_in_bin path in
   let content = really_input_string ic (in_channel_length ic) in
   close_in ic;
+  if Filename.check_suffix path ".mli" then check_mli_documented path content;
   check_comment_braces path content;
   let line_no = ref 0 in
   String.split_on_char '\n' content

@@ -28,4 +28,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("ingress", Test_ingress.suite);
       ("serve", Test_serve.suite);
+      ("exec-blocks", Test_exec_blocks.suite);
     ]

@@ -1,0 +1,390 @@
+(* Differential suite for the block-compiled execution backend
+   ([Rcoe_machine.Blockc]): the interpreter is the oracle, and [Blocks]
+   must be bit-for-bit and cycle-for-cycle identical to it — final
+   cycle, outputs, sync stats, metrics, event logs and cycle-stamped
+   trace events — across LC/CC x DMR/TMR on both engines, under fault
+   injection with rollback recovery, and through the ingress-checksum
+   drop path. Plus the backend-specific hazards: a twin-core lockstep
+   run against [Core.step] (including a breakpoint planted on a
+   compiled block and the bp_suppress single-step resume), an
+   interrupt that lands mid-[Rep_movs] under CC catch-up, and the
+   self-modifying-code invalidation regression through the
+   [code_patch] syscall. *)
+
+open Rcoe_machine
+open Rcoe_kernel
+open Rcoe_isa
+open Rcoe_core
+open Rcoe_workloads
+open Rcoe_harness
+module Trace = Rcoe_obs.Trace
+module Metrics = Rcoe_obs.Metrics
+module Outcome = Rcoe_faults.Outcome
+
+let x86 = Arch.X86
+
+(* --- twin-core lockstep against the oracle ------------------------------ *)
+
+(* Two identical kernels on two identical machines, one per backend,
+   stepped strictly in lockstep: after every single cycle the step
+   results and the full architectural core state must agree. This is
+   the finest-grained oracle check — a divergence surfaces at the exact
+   cycle it happens, not at the end of a run. *)
+
+let lockstep_program =
+  let a = Asm.create "lockstep" in
+  Asm.space a "buf" 16;
+  Asm.label a "main";
+  Asm.movi a Reg.R4 0;
+  Asm.la a Reg.R5 "buf";
+  Asm.for_up a Reg.R7 ~start:0 ~stop:(Instr.Imm 40) (fun () ->
+      Asm.label a "hot";
+      Asm.addi a Reg.R4 Reg.R4 3;
+      Asm.andi a Reg.R8 Reg.R4 15;
+      Asm.add a Reg.R8 Reg.R8 Reg.R5;
+      Asm.st a Reg.R8 Reg.R4 0;
+      Asm.ld a Reg.R6 Reg.R8 0;
+      Asm.push a Reg.R6;
+      Asm.pop a Reg.R6;
+      Asm.xori a Reg.R4 Reg.R4 0x11);
+  Asm.andi a Reg.R0 Reg.R4 15;
+  Asm.addi a Reg.R0 Reg.R0 65;
+  Asm.syscall a Syscall.sys_putchar;
+  Asm.syscall a Syscall.sys_exit;
+  Asm.assemble ~entry:"main" a
+
+let null_callbacks =
+  { Kernel.cb_info = (fun _ _ -> 0); cb_kernel_update = (fun _ _ -> ()) }
+
+let mk_twin backend =
+  let lay = Layout.compute ~nreplicas:1 ~user_words:16384 in
+  let machine =
+    Machine.create ~profile:Arch.x86 ~mem_words:lay.Layout.total_words
+      ~ncores:1 ~seed:5 ()
+  in
+  let k =
+    Kernel.create ~backend ~machine ~rid:0 ~core_id:0 ~layout:lay
+      ~program:lockstep_program ~callbacks:null_callbacks ()
+  in
+  Kernel.setup_address_space k;
+  ignore (Kernel.spawn k ~entry:lockstep_program.Program.entry ~arg:0);
+  Kernel.start k;
+  (machine, k)
+
+let check_cores_equal ~cycle ca cb =
+  let fail what = Alcotest.failf "lockstep diverged at cycle %d: %s" cycle what in
+  if ca.Core.ip <> cb.Core.ip then fail "ip";
+  if ca.Core.cycles <> cb.Core.cycles then fail "cycles";
+  if ca.Core.instret <> cb.Core.instret then fail "instret";
+  if ca.Core.stall <> cb.Core.stall then fail "stall";
+  if ca.Core.bus_wait <> cb.Core.bus_wait then fail "bus_wait";
+  if ca.Core.hw_branches <> cb.Core.hw_branches then fail "hw_branches";
+  if ca.Core.last_was_cntinc <> cb.Core.last_was_cntinc then fail "cntinc flag";
+  if ca.Core.bp_suppress <> cb.Core.bp_suppress then fail "bp_suppress";
+  if ca.Core.halted <> cb.Core.halted then fail "halted";
+  if ca.Core.regs <> cb.Core.regs then fail "registers";
+  if ca.Core.fregs <> cb.Core.fregs then fail "fp registers"
+
+let test_lockstep_oracle () =
+  let ma, ka = mk_twin Blockc.Interp and mb, kb = mk_twin Blockc.Blocks in
+  let ca = Kernel.core ka and cb = Kernel.core kb in
+  let hot = Program.label_addr lockstep_program "hot" in
+  let bp_fired = ref 0 and suppressed = ref 0 in
+  let exited = ref false in
+  let cycle = ref 0 in
+  while (not !exited) && !cycle < 20_000 do
+    incr cycle;
+    Machine.tick ma;
+    Machine.tick mb;
+    let ra = Kernel.step ka and rb = Kernel.step kb in
+    if ra <> rb then
+      Alcotest.failf "lockstep diverged at cycle %d: step results differ"
+        !cycle;
+    check_cores_equal ~cycle:!cycle ca cb;
+    (match ra with
+    | Core.Ran | Core.Stalled -> ()
+    | Core.Event (Core.Ev_syscall n) ->
+        if n = Syscall.sys_exit then exited := true
+        else begin
+          ignore (Kernel.handle_syscall ka n);
+          ignore (Kernel.handle_syscall kb n)
+        end
+    | Core.Event Core.Ev_breakpoint ->
+        (* The engine's single-step resume pair: suppress, step past,
+           let the re-arm logic clear the flag — on both backends. *)
+        incr bp_fired;
+        ca.Core.bp_suppress <- true;
+        cb.Core.bp_suppress <- true;
+        incr suppressed;
+        if !bp_fired >= 2 then begin
+          ca.Core.bp <- None;
+          cb.Core.bp <- None
+        end
+    | Core.Event (Core.Ev_fault _) ->
+        Alcotest.failf "unexpected fault at cycle %d" !cycle
+    | Core.Event Core.Ev_halt -> exited := true);
+    (* Plant a breakpoint on the (by now compiled) loop body mid-run. *)
+    if !cycle = 120 then begin
+      ca.Core.bp <- Some hot;
+      cb.Core.bp <- Some hot
+    end
+  done;
+  Alcotest.(check bool) "program completed" true !exited;
+  Alcotest.(check bool)
+    (Printf.sprintf "breakpoint on compiled block fired (%d)" !bp_fired)
+    true (!bp_fired >= 2);
+  Alcotest.(check bool) "single-step resume exercised" true (!suppressed >= 2);
+  Alcotest.(check string) "same console output"
+    (Buffer.contents (Kernel.output ka))
+    (Buffer.contents (Kernel.output kb));
+  (* The Blocks twin actually compiled something. *)
+  match Kernel.block_cache kb with
+  | None -> Alcotest.fail "Blocks kernel has no cache"
+  | Some bc ->
+      let st = Blockc.stats bc in
+      Alcotest.(check bool) "pages compiled" true (st.Blockc.pages_decoded >= 1);
+      Alcotest.(check bool) "blocks discovered" true
+        (st.Blockc.blocks_compiled >= 3)
+
+(* --- full-system sweep: LC/CC x DMR/TMR x Seq/Par ----------------------- *)
+
+let backend_cfg backend cfg =
+  {
+    cfg with
+    Config.exec_backend = backend;
+    trace = Some { Trace.capacity = 1 lsl 16 };
+  }
+
+let sweep_program () =
+  Md5sum.program ~message_words:48 ~iters:4 ~seed:2 ~branch_count:false ()
+
+let run_sweep cfg backend =
+  let sys =
+    System.create ~config:(backend_cfg backend cfg) ~program:(sweep_program ())
+  in
+  System.run sys ~max_cycles:80_000_000;
+  sys
+
+let backend_pair ~label cfg =
+  let a = run_sweep cfg Config.Interp and b = run_sweep cfg Config.Blocks in
+  Alcotest.(check bool) (label ^ ": interp run completed") true
+    (System.finished a || System.halted a <> None);
+  Test_engine_par.check_identical ~label a b;
+  (a, b)
+
+let sweep_cfg ~mode ~nreplicas ~engine =
+  {
+    (Runner.config_for ~mode ~nreplicas ~arch:x86 ~seed:7 ()) with
+    Config.engine;
+    (* Parallel replication requires exception barriers; keep both
+       engines' rows apples-to-apples. *)
+    exception_barriers = (mode <> Config.Base);
+  }
+
+let test_sweep_seq () =
+  List.iter
+    (fun (mode, n) ->
+      let label =
+        Printf.sprintf "%s-%d/seq" (Config.mode_to_string mode) n
+      in
+      ignore
+        (backend_pair ~label (sweep_cfg ~mode ~nreplicas:n ~engine:Config.Sequential)))
+    [
+      (Config.Base, 1);
+      (Config.LC, 2);
+      (Config.LC, 3);
+      (Config.CC, 2);
+      (Config.CC, 3);
+    ]
+
+let test_sweep_par () =
+  List.iter
+    (fun (mode, n) ->
+      let label =
+        Printf.sprintf "%s-%d/par" (Config.mode_to_string mode) n
+      in
+      ignore
+        (backend_pair ~label (sweep_cfg ~mode ~nreplicas:n ~engine:Config.Parallel)))
+    [ (Config.LC, 3); (Config.CC, 2) ]
+
+let test_sweep_exercises_catchup () =
+  (* The CC rows must actually have used breakpoints and single-steps
+     on compiled blocks, or the sweep proves less than it claims. A
+     short tick interval on a jittery branch-heavy workload forces the
+     laggard-catch-up machinery on nearly every tick. *)
+  let cfg =
+    {
+      (sweep_cfg ~mode:Config.CC ~nreplicas:2 ~engine:Config.Sequential) with
+      Config.tick_interval = 20_000;
+      barrier_timeout = 2_000_000;
+    }
+  in
+  let program = Whetstone.program ~loops:60 ~branch_count:false () in
+  let run backend =
+    let sys = System.create ~config:(backend_cfg backend cfg) ~program in
+    System.run sys ~max_cycles:50_000_000;
+    sys
+  in
+  let a = run Config.Interp and b = run Config.Blocks in
+  Alcotest.(check bool) "interp run completed" true (System.finished a);
+  Test_engine_par.check_identical ~label:"CC-2/seq-catchup" a b;
+  let count name =
+    match Metrics.find_counter (System.metrics b) name with
+    | Some c -> Metrics.count c
+    | None -> 0
+  in
+  Alcotest.(check bool) "bp fires on compiled blocks" true
+    (count "catchup.bp_fires" > 0);
+  Alcotest.(check bool) "single-step resumes on compiled blocks" true
+    (count "catchup.single_steps" > 0)
+
+(* --- fault injection + rollback recovery -------------------------------- *)
+
+let test_recovery_differential () =
+  List.iter
+    (fun fault ->
+      let run backend =
+        Fault_experiments.recovery_trial ~exec_backend:backend
+          ~checkpointing:true ~fault ~seed:2 ()
+      in
+      let oa, ra, ca, la = run Config.Interp in
+      let ob, rb, cb, lb = run Config.Blocks in
+      let tag =
+        match fault with `Transient -> "transient" | `Persistent -> "persistent"
+      in
+      Alcotest.(check string) (tag ^ ": outcome") (Outcome.to_string oa)
+        (Outcome.to_string ob);
+      Alcotest.(check int) (tag ^ ": rollbacks") ra rb;
+      Alcotest.(check int) (tag ^ ": checkpoints") ca cb;
+      Alcotest.(check (list (float 0.0))) (tag ^ ": recovery latencies") la lb)
+    [ `Transient; `Persistent ]
+
+(* --- ingress-checksum drop ---------------------------------------------- *)
+
+let test_ingress_drop_differential () =
+  let run backend =
+    Fault_experiments.ingress_trial ~exec_backend:backend ~mode:Config.CC
+      ~n:2 ~ingress_check:true ~fault:true ~seed:3 ()
+  in
+  let oa, ra = run Config.Interp and ob, rb = run Config.Blocks in
+  Alcotest.(check string) "outcome" (Outcome.to_string oa)
+    (Outcome.to_string ob);
+  Alcotest.(check int) "completions" ra.Loadgen.completed rb.Loadgen.completed;
+  Alcotest.(check int) "run-phase cycles" ra.Loadgen.elapsed_cycles
+    rb.Loadgen.elapsed_cycles;
+  Alcotest.(check int) "outcome digest" ra.Loadgen.outcome_sorted_digest
+    rb.Loadgen.outcome_sorted_digest;
+  Alcotest.(check int) "ingress checks" ra.Loadgen.ingress_checked
+    rb.Loadgen.ingress_checked;
+  Alcotest.(check int) "ingress drops" ra.Loadgen.ingress_dropped
+    rb.Loadgen.ingress_dropped;
+  Alcotest.(check bool) "counters" true
+    (ra.Loadgen.counters = rb.Loadgen.counters);
+  Alcotest.(check bool) "the drop path actually fired" true
+    (ra.Loadgen.ingress_dropped > 0)
+
+(* --- interrupt mid-Rep_movs under CC catch-up --------------------------- *)
+
+let test_mid_rep_movs_differential () =
+  (* A rep-string-heavy workload with a short tick interval: IPIs land
+     while a replica sits mid-[Rep_movs], forcing the step-past-and-
+     defer-publish path (paper Section III-D) through the compiled
+     backend's oracle fallback. *)
+  let cfg =
+    Runner.config_for ~mode:Config.CC ~nreplicas:2 ~arch:x86 ~seed:9
+      ~tick_interval:2_000 ()
+  in
+  let program = Membw.program ~buffer_words:1024 ~reps:3 ~branch_count:false () in
+  let run backend =
+    let sys = System.create ~config:(backend_cfg backend cfg) ~program in
+    System.run sys ~max_cycles:80_000_000;
+    sys
+  in
+  let a = run Config.Interp and b = run Config.Blocks in
+  Alcotest.(check bool) "finished" true (System.finished a);
+  Test_engine_par.check_identical ~label:"mid-rep" a b;
+  let rep_steps sys =
+    match Metrics.find_counter (System.metrics sys) "catchup.rep_steps" with
+    | Some c -> Metrics.count c
+    | None -> 0
+  in
+  Alcotest.(check bool) "an IPI landed mid-rep-string" true (rep_steps a > 0)
+
+(* --- self-modifying code: invalidation regression ------------------------ *)
+
+(* A function returns a constant baked into a [Mov]; the program calls
+   it, patches that very instruction through the [code_patch] syscall,
+   and calls it again. A stale pre-decoded closure would keep returning
+   the old constant — output "BB" instead of "BJ" — so this pins the
+   patch -> invalidate -> recompile chain. Two-pass assembly: the slot
+   address is read off a first assembly of the identical program. *)
+
+let smc_program ~slot_addr =
+  let a = Asm.create "smc" in
+  Asm.label a "main";
+  Asm.jal a "f";
+  Asm.addi a Reg.R0 Reg.R0 65;
+  Asm.syscall a Syscall.sys_putchar;
+  Asm.movi a Reg.R0 slot_addr;
+  Asm.movi a Reg.R1 1 (* kind: Mov rd, #imm *);
+  Asm.movi a Reg.R2 0 (* rd = r0 *);
+  Asm.movi a Reg.R3 9;
+  Asm.syscall a Syscall.sys_code_patch;
+  Asm.jal a "f";
+  Asm.addi a Reg.R0 Reg.R0 65;
+  Asm.syscall a Syscall.sys_putchar;
+  Asm.syscall a Syscall.sys_exit;
+  Asm.label a "f";
+  Asm.label a "slot";
+  Asm.movi a Reg.R0 1;
+  Asm.ret a;
+  Asm.assemble ~entry:"main" a
+
+let test_smc_invalidation () =
+  let slot_addr = Program.label_addr (smc_program ~slot_addr:0) "slot" in
+  let program = smc_program ~slot_addr in
+  Alcotest.(check int) "two-pass slot address stable" slot_addr
+    (Program.label_addr program "slot");
+  let run backend =
+    let cfg =
+      backend_cfg backend
+        (Runner.config_for ~mode:Config.Base ~nreplicas:1 ~arch:x86 ())
+    in
+    let sys = System.create ~config:cfg ~program in
+    System.run sys ~max_cycles:2_000_000;
+    sys
+  in
+  let a = run Config.Interp and b = run Config.Blocks in
+  Alcotest.(check bool) "finished" true (System.finished a);
+  Test_engine_par.check_identical ~label:"smc" a b;
+  Alcotest.(check string) "patched constant visible" "BJ"
+    (System.output b 0);
+  match Kernel.block_cache (System.kernel b 0) with
+  | None -> Alcotest.fail "Blocks run has no cache"
+  | Some bc ->
+      let st = Blockc.stats bc in
+      Alcotest.(check bool) "patch invalidated the page" true
+        (st.Blockc.invalidations >= 1);
+      Alcotest.(check bool) "page recompiled after the patch" true
+        (st.Blockc.pages_decoded >= 2)
+
+let suite =
+  [
+    Alcotest.test_case
+      "twin-core lockstep vs oracle (+ breakpoint on compiled block)" `Quick
+      test_lockstep_oracle;
+    Alcotest.test_case "healthy sweep: Base/LC/CC x DMR/TMR, sequential"
+      `Slow test_sweep_seq;
+    Alcotest.test_case "healthy sweep: LC-T/CC-D, parallel engine" `Slow
+      test_sweep_par;
+    Alcotest.test_case "CC sweep exercises catch-up breakpoints" `Slow
+      test_sweep_exercises_catchup;
+    Alcotest.test_case "fault + rollback recovery differential" `Slow
+      test_recovery_differential;
+    Alcotest.test_case "ingress-drop differential" `Slow
+      test_ingress_drop_differential;
+    Alcotest.test_case "interrupt mid-Rep_movs under CC catch-up" `Slow
+      test_mid_rep_movs_differential;
+    Alcotest.test_case "self-modifying code invalidation regression" `Quick
+      test_smc_invalidation;
+  ]

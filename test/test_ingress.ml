@@ -149,7 +149,7 @@ let test_repeated_nack_oldest_first () =
 let test_campaign_off_silent_corruption () =
   let outcome, res =
     Fault_experiments.ingress_trial ~mode:Config.CC ~n:2 ~ingress_check:false
-      ~fault:true ~seed:3
+      ~fault:true ~seed:3 ()
   in
   Alcotest.(check bool) "fault landed" true res.Loadgen.fault_fired;
   Alcotest.(check int) "nothing checked" 0 res.Loadgen.ingress_checked;
@@ -165,14 +165,14 @@ let test_campaign_off_silent_corruption () =
 let test_campaign_on_detects_and_recovers () =
   let ref_outcome, refr =
     Fault_experiments.ingress_trial ~mode:Config.CC ~n:2 ~ingress_check:true
-      ~fault:false ~seed:1
+      ~fault:false ~seed:1 ()
   in
   Alcotest.(check string) "reference run clean"
     (Outcome.to_string Outcome.No_error)
     (Outcome.to_string ref_outcome);
   let outcome, res =
     Fault_experiments.ingress_trial ~mode:Config.CC ~n:2 ~ingress_check:true
-      ~fault:true ~seed:3
+      ~fault:true ~seed:3 ()
   in
   Alcotest.(check bool) "fault landed" true res.Loadgen.fault_fired;
   Alcotest.(check bool) "frame dropped at ingress" true
@@ -199,7 +199,7 @@ let test_campaign_lc_guest_checksum () =
      same. *)
   let outcome, res =
     Fault_experiments.ingress_trial ~mode:Config.LC ~n:2 ~ingress_check:true
-      ~fault:true ~seed:3
+      ~fault:true ~seed:3 ()
   in
   Alcotest.(check bool) "fault landed" true res.Loadgen.fault_fired;
   Alcotest.(check bool) "guest checksum loop ran" true

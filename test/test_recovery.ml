@@ -120,7 +120,7 @@ let test_transient_fault_recovered () =
      correct output and classify as Recovered. *)
   let outcome, rollbacks, ckpts, latencies =
     Fault_experiments.recovery_trial ~checkpointing:true ~fault:`Transient
-      ~seed:2
+      ~seed:2 ()
   in
   Alcotest.(check string) "outcome" "Recovered (rolled back)"
     (Outcome.to_string outcome);
@@ -136,7 +136,7 @@ let test_transient_fault_recovered () =
 let test_same_fault_halts_without_checkpointing () =
   let outcome, rollbacks, ckpts, _ =
     Fault_experiments.recovery_trial ~checkpointing:false ~fault:`Transient
-      ~seed:2
+      ~seed:2 ()
   in
   Alcotest.(check bool) "fail-stop" true (outcome = Outcome.Signature_mismatch);
   Alcotest.(check int) "no rollbacks" 0 rollbacks;
@@ -148,7 +148,7 @@ let test_persistent_fault_exhausts_budget () =
      finally fail-stop — never loop forever, never emit bad output. *)
   let outcome, rollbacks, _, _ =
     Fault_experiments.recovery_trial ~checkpointing:true ~fault:`Persistent
-      ~seed:1
+      ~seed:1 ()
   in
   Alcotest.(check bool) "still fail-stops" true
     (outcome = Outcome.Signature_mismatch);
