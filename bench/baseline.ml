@@ -34,7 +34,16 @@
    identical across the backends, and the baseline write refuses to
    commit a file whose best recorded speedup is below 2x.
 
-   The result is written as JSON (schema `rcoe-bench-baseline/v5`,
+   The baseline also embeds replay-detection rows: per compute
+   workload, the unreplicated replay primary's simulated cycles and
+   overhead over Base next to lockstep CC-DMR's sync overhead (the
+   write refuses a file where replay is not strictly cheaper), chunk
+   and verdict counts, the maximum detection lag against the
+   chunk_span x queue_depth pipeline bound, Interp/Blocks identity,
+   and a transient fault campaign that must recover through rollback
+   to the fault-free output.
+
+   The result is written as JSON (schema `rcoe-bench-baseline/v6`,
    documented in EXPERIMENTS.md) — commit it as BENCH_baseline.json.
 
    `dune exec bench/main.exe -- baseline-check [PATH]` re-measures and
@@ -580,6 +589,293 @@ let exec_table () =
   let rows = measure_exec () in
   print_exec_table rows
 
+(* --- replay-detection rows ---------------------------------------------- *)
+
+(* Asynchronous replay-based detection priced against both endpoints:
+   the unreplicated Base run it shadows and the lockstep CC-DMR run it
+   replaces. The headline claim is simulated: the replay primary's
+   overhead over Base (per-chunk checkpoint capture stalls plus any
+   queue backpressure) must be strictly below lockstep DMR's
+   synchronisation overhead on the same workload — that asymmetry is
+   the paper's reason to tolerate a detection lag at all, and the
+   baseline write refuses to commit a file where it does not hold.
+   Cycle counts, chunk/verdict counts and the maximum detection lag
+   are exact; the backends must agree bit for bit; and the fault
+   campaign must recover through rollback to the fault-free output
+   with every verdict inside the chunk_span x queue_depth pipeline
+   bound. *)
+
+type replay_fault_row = {
+  f_cycles : int;  (* simulated — exact (includes re-execution) *)
+  f_chunks : int;
+  f_mismatches : int;
+  f_rollbacks : int;
+  f_max_lag : int;  (* cycles from chunk end to verdict — exact *)
+  f_output_matches : bool;  (* output = fault-free run's *)
+}
+
+type replay_row = {
+  p_name : string;
+  p_base_cycles : int;
+  p_cycles : int;  (* replay primary, simulated — exact *)
+  p_overhead : float;  (* (p_cycles - base) / base *)
+  p_dmr_cycles : int;  (* lockstep CC-DMR, Sequential *)
+  p_dmr_overhead : float;
+  p_chunks : int;
+  p_verified : int;
+  p_max_lag : int;
+  p_lag_bound : int;  (* chunk span x queue depth *)
+  p_wall_interp : float;
+  p_wall_blocks : float;
+  p_identical : bool;  (* cycles and output agree across backends *)
+  p_fault : replay_fault_row;
+}
+
+(* The compute-bound pair from [workloads]: both finish, so the run
+   loop's terminal drain harvests every chunk and verified == chunks
+   exactly. *)
+let replay_workloads =
+  List.filter (fun w -> w.wname <> "whetstone") workloads
+
+(* 4-tick chunks: the per-cut capture stall is the primary's only
+   overhead, so chunk length is the overhead-vs-lag dial — at the
+   1-tick default the stall alone (~1.9k cycles per 50k-cycle tick,
+   ~3.9%) already exceeds lockstep DMR's sync overhead on dhrystone
+   (~1.9%), defeating the point of detaching detection. Four ticks
+   amortise it to ~1% while the lag bound grows to
+   4 ticks x 50k cycles x queue_depth. *)
+let replay_chunk_ticks = 4
+
+let replay_config ~backend () =
+  {
+    (Runner.config_for ~mode:Config.Base ~nreplicas:1
+       ~arch:Rcoe_machine.Arch.X86 ~seed:3 ())
+    with
+    Config.detection = Config.Replay;
+    replay_chunk_ticks;
+    exec_backend = backend;
+    max_rollbacks = 3;
+  }
+
+let replay_counter sys name =
+  match Rcoe_obs.Metrics.find_counter (System.metrics sys) name with
+  | Some c -> Rcoe_obs.Metrics.count c
+  | None -> failwith ("baseline: metric " ^ name ^ " not registered")
+
+let replay_max_lag sys =
+  match
+    Rcoe_obs.Metrics.find_histogram (System.metrics sys) "replay.lag_cycles"
+  with
+  | None -> failwith "baseline: replay.lag_cycles not registered"
+  | Some h ->
+      List.fold_left
+        (fun m s -> max m (int_of_float s))
+        0
+        (Rcoe_obs.Metrics.samples h)
+
+(* The transient campaign: run to [fault_at], flip one bit in the
+   primary's signature accumulator word, keep running. Detection is
+   asynchronous — the checker replaying that chunk disagrees on the
+   end-of-chunk signature — and recovery rolls back to the chunk's
+   start, before the flip. *)
+let replay_fault_at = 120_000
+let replay_fault_bit = 7
+
+let measure_replay_engine ?fault ~backend wl =
+  let config = replay_config ~backend () in
+  let one () =
+    let sys = System.create ~config ~program:(wl.program ()) in
+    let t0 = Unix.gettimeofday () in
+    (match fault with
+    | Some (at, bit) ->
+        System.run sys ~max_cycles:at;
+        let addr = System.sig_base sys 0 + 1 in
+        Rcoe_machine.Mem.flip_bit
+          (System.machine sys).Rcoe_machine.Machine.mem ~addr ~bit;
+        Rcoe_obs.Trace.injection (System.trace sys) ~addr ~bit
+    | None -> ());
+    System.run sys ~max_cycles;
+    let wall = Unix.gettimeofday () -. t0 in
+    if not (System.finished sys) then
+      failwith
+        (Printf.sprintf "baseline: replay %s did not finish (%s)" wl.wname
+           (match System.halted sys with
+           | Some h -> System.halt_reason_to_string h
+           | None -> "ran out of cycles"));
+    (sys, wall)
+  in
+  let runs = List.init reps (fun _ -> one ()) in
+  let first, _ = List.hd runs in
+  List.iter
+    (fun (sys, _) ->
+      if
+        System.now sys <> System.now first
+        || System.output sys 0 <> System.output first 0
+        || replay_counter sys "replay.chunks"
+           <> replay_counter first "replay.chunks"
+      then
+        failwith
+          (Printf.sprintf
+             "baseline: replay %s is not run-to-run deterministic" wl.wname))
+    runs;
+  let walls = List.sort compare (List.map snd runs) in
+  (first, List.nth walls (reps / 2))
+
+let measure_replay () =
+  Printf.printf "  replay    %!";
+  let rows =
+    List.map
+      (fun wl ->
+        Printf.printf " %s%!" wl.wname;
+        let base =
+          measure ~mode:Config.Base ~nreplicas:1 ~engine:Config.Sequential wl
+        in
+        let dmr =
+          measure ~mode:Config.CC ~nreplicas:2 ~engine:Config.Sequential wl
+        in
+        let interp, wall_interp =
+          measure_replay_engine ~backend:Config.Interp wl
+        in
+        let blocks, wall_blocks =
+          measure_replay_engine ~backend:Config.Blocks wl
+        in
+        let fault_sys, _ =
+          measure_replay_engine
+            ~fault:(replay_fault_at, replay_fault_bit)
+            ~backend:Config.Interp wl
+        in
+        let cfg = replay_config ~backend:Config.Interp () in
+        let span = cfg.Config.replay_chunk_ticks * cfg.Config.tick_interval in
+        let over c =
+          float_of_int (c - base.m_cycles) /. float_of_int base.m_cycles
+        in
+        {
+          p_name = wl.wname;
+          p_base_cycles = base.m_cycles;
+          p_cycles = System.now interp;
+          p_overhead = over (System.now interp);
+          p_dmr_cycles = dmr.m_cycles;
+          p_dmr_overhead = over dmr.m_cycles;
+          p_chunks = replay_counter interp "replay.chunks";
+          p_verified = replay_counter interp "replay.chunks_verified";
+          p_max_lag = replay_max_lag interp;
+          p_lag_bound = span * cfg.Config.replay_queue_depth;
+          p_wall_interp = wall_interp;
+          p_wall_blocks = wall_blocks;
+          p_identical =
+            System.now interp = System.now blocks
+            && System.output interp 0 = System.output blocks 0;
+          p_fault =
+            {
+              f_cycles = System.now fault_sys;
+              f_chunks = replay_counter fault_sys "replay.chunks";
+              f_mismatches = replay_counter fault_sys "replay.mismatches";
+              f_rollbacks = List.length (System.rollbacks fault_sys);
+              f_max_lag = replay_max_lag fault_sys;
+              f_output_matches =
+                System.output fault_sys 0 = System.output interp 0;
+            };
+        })
+      replay_workloads
+  in
+  print_newline ();
+  (* Detection/recovery contract — checked on every measurement, write
+     and check alike. The overhead-vs-DMR gate lives in [write]. *)
+  let broken = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> broken := s :: !broken) fmt in
+  List.iter
+    (fun p ->
+      if not p.p_identical then
+        fail "replay %s: blocks != interp" p.p_name;
+      if p.p_verified <> p.p_chunks then
+        fail "replay %s: %d/%d chunks unverified at exit" p.p_name
+          (p.p_chunks - p.p_verified) p.p_chunks;
+      if p.p_max_lag > p.p_lag_bound then
+        fail "replay %s: detection lag %d exceeds pipeline bound %d" p.p_name
+          p.p_max_lag p.p_lag_bound;
+      let f = p.p_fault in
+      if f.f_mismatches < 1 then
+        fail "replay %s fault: no mismatch detected" p.p_name;
+      if f.f_rollbacks < 1 then
+        fail "replay %s fault: recovered without a rollback" p.p_name;
+      if not f.f_output_matches then
+        fail "replay %s fault: output differs from fault-free run" p.p_name;
+      if f.f_max_lag > p.p_lag_bound then
+        fail "replay %s fault: detection lag %d exceeds pipeline bound %d"
+          p.p_name f.f_max_lag p.p_lag_bound)
+    rows;
+  if !broken <> [] then begin
+    List.iter
+      (fun m -> Printf.eprintf "baseline: REPLAY FAILURE: %s\n" m)
+      (List.rev !broken);
+    exit 1
+  end;
+  rows
+
+let print_replay_table rows =
+  let t =
+    Rcoe_util.Table.create
+      ~headers:
+        [ "replay"; "base cyc"; "primary cyc"; "overhead"; "DMR overhead";
+          "chunks"; "max lag"; "bound"; "interp wall"; "blocks wall";
+          "fault" ]
+  in
+  List.iter
+    (fun p ->
+      Rcoe_util.Table.add_row t
+        [
+          p.p_name;
+          string_of_int p.p_base_cycles;
+          string_of_int p.p_cycles;
+          Printf.sprintf "%+.2f%%" (100. *. p.p_overhead);
+          Printf.sprintf "%+.2f%%" (100. *. p.p_dmr_overhead);
+          string_of_int p.p_chunks;
+          string_of_int p.p_max_lag;
+          string_of_int p.p_lag_bound;
+          Printf.sprintf "%.3fs" p.p_wall_interp;
+          Printf.sprintf "%.3fs" p.p_wall_blocks;
+          Printf.sprintf "%d mism/%d rb"
+            p.p_fault.f_mismatches p.p_fault.f_rollbacks;
+        ])
+    rows;
+  Rcoe_util.Table.print t
+
+let replay_json rows =
+  Json.List
+    (List.map
+       (fun p ->
+         Json.Obj
+           [
+             ("name", Json.String p.p_name);
+             ("base_cycles", Json.Int p.p_base_cycles);
+             ("cycles", Json.Int p.p_cycles);
+             ("primary_overhead", Json.Float p.p_overhead);
+             ("lockstep_dmr_cycles", Json.Int p.p_dmr_cycles);
+             ("lockstep_dmr_overhead", Json.Float p.p_dmr_overhead);
+             ("chunks", Json.Int p.p_chunks);
+             ("chunks_verified", Json.Int p.p_verified);
+             ("max_lag_cycles", Json.Int p.p_max_lag);
+             ("lag_bound_cycles", Json.Int p.p_lag_bound);
+             ("wall_interp_s", Json.Float p.p_wall_interp);
+             ("wall_blocks_s", Json.Float p.p_wall_blocks);
+             ("identical", Json.Bool p.p_identical);
+             ( "fault",
+               Json.Obj
+                 [
+                   ("cycles", Json.Int p.p_fault.f_cycles);
+                   ("chunks", Json.Int p.p_fault.f_chunks);
+                   ("mismatches", Json.Int p.p_fault.f_mismatches);
+                   ("rollbacks", Json.Int p.p_fault.f_rollbacks);
+                   ("max_lag_cycles", Json.Int p.p_fault.f_max_lag);
+                   ("output_matches", Json.Bool p.p_fault.f_output_matches);
+                 ] );
+           ])
+       rows)
+
+let replay_table () =
+  let rows = measure_replay () in
+  print_replay_table rows
+
 let host_json () =
   Json.Obj
     [
@@ -589,15 +885,16 @@ let host_json () =
       ("os_type", Json.String Sys.os_type);
     ]
 
-let to_json rows ckpt_rows serve_rows exec_rows =
+let to_json rows ckpt_rows serve_rows exec_rows replay_rows =
   Json.Obj
     [
-      ("schema", Json.String "rcoe-bench-baseline/v5");
+      ("schema", Json.String "rcoe-bench-baseline/v6");
       ("host", host_json ());
       ("reps", Json.Int reps);
       ("ckpt", Ckpt_bench.to_json ckpt_rows);
       ("serve", serve_json serve_rows);
       ("exec", exec_json exec_rows);
+      ("replay", replay_json replay_rows);
       ( "workloads",
         Json.List
           (List.map
@@ -694,6 +991,8 @@ let write ?(path = default_path) () =
   print_serve_table serve_rows;
   let exec_rows = measure_exec () in
   print_exec_table exec_rows;
+  let replay_rows = measure_replay () in
+  print_replay_table replay_rows;
   (* The block compiler's reason to exist: refuse to commit a baseline
      where it does not clearly win anywhere. *)
   let best =
@@ -705,8 +1004,22 @@ let write ?(path = default_path) () =
       best;
     exit 1
   end;
+  (* Replay detection's reason to exist: the unreplicated primary must
+     run decisively closer to Base than lockstep DMR does — refuse a
+     baseline where the simulated overhead ordering is violated. *)
+  List.iter
+    (fun p ->
+      if p.p_overhead >= p.p_dmr_overhead then begin
+        Printf.eprintf
+          "baseline: REPLAY OVERHEAD FAILURE: %s: primary overhead %+.2f%% \
+           not below lockstep DMR sync overhead %+.2f%%\n"
+          p.p_name (100. *. p.p_overhead) (100. *. p.p_dmr_overhead);
+        exit 1
+      end)
+    replay_rows;
   let oc = open_out path in
-  output_string oc (Json.to_string (to_json rows ckpt_rows serve_rows exec_rows));
+  output_string oc
+    (Json.to_string (to_json rows ckpt_rows serve_rows exec_rows replay_rows));
   output_char oc '\n';
   close_out oc;
   Printf.printf "wrote %s\n" path
@@ -768,11 +1081,11 @@ let check ?(path = default_path) () =
         exit 1
   in
   (match jstring (jmember "schema" committed) with
-  | "rcoe-bench-baseline/v5" -> ()
+  | "rcoe-bench-baseline/v6" -> ()
   | "rcoe-bench-baseline/v2" | "rcoe-bench-baseline/v3"
-  | "rcoe-bench-baseline/v4" ->
+  | "rcoe-bench-baseline/v4" | "rcoe-bench-baseline/v5" ->
       Printf.eprintf
-        "baseline-check: %s uses a pre-exec schema (no execution-backend \
+        "baseline-check: %s uses a pre-replay schema (no replay-detection \
          rows)\n\
          regenerate with `dune exec bench/main.exe -- baseline`\n"
         path;
@@ -950,6 +1263,62 @@ let check ?(path = default_path) () =
               "exec %s: speedup %.2fx regressed >%.0f%% below committed %.2fx"
               x.x_name x.x_speedup (100. *. tol) committed_speedup)
     fresh_exec;
+  (* Replay-detection rows: every simulated quantity exactly (cycles,
+     chunk/verdict counts, detection lags, the fault campaign), walls
+     within the tolerance. [measure_replay] has already enforced the
+     detection/recovery contract — backend identity, verified ==
+     chunks, lag bound, fault Recovered — on this fresh run. *)
+  let fresh_replay = measure_replay () in
+  print_replay_table fresh_replay;
+  let committed_replay = jlist (jmember "replay" committed) in
+  List.iter
+    (fun p ->
+      match
+        List.find_opt
+          (fun j -> jstring (jmember "name" j) = p.p_name)
+          committed_replay
+      with
+      | None -> fail "replay %s: not present in committed baseline" p.p_name
+      | Some j ->
+          let exact what fresh_v committed_v =
+            if fresh_v <> committed_v then
+              fail "replay %s: %s %d != committed %d" p.p_name what fresh_v
+                committed_v
+          in
+          exact "base cycles" p.p_base_cycles (jint (jmember "base_cycles" j));
+          exact "cycles" p.p_cycles (jint (jmember "cycles" j));
+          exact "lockstep DMR cycles" p.p_dmr_cycles
+            (jint (jmember "lockstep_dmr_cycles" j));
+          exact "chunks" p.p_chunks (jint (jmember "chunks" j));
+          exact "chunks_verified" p.p_verified
+            (jint (jmember "chunks_verified" j));
+          exact "max_lag_cycles" p.p_max_lag
+            (jint (jmember "max_lag_cycles" j));
+          exact "lag_bound_cycles" p.p_lag_bound
+            (jint (jmember "lag_bound_cycles" j));
+          let fault = jmember "fault" j in
+          exact "fault cycles" p.p_fault.f_cycles
+            (jint (jmember "cycles" fault));
+          exact "fault chunks" p.p_fault.f_chunks
+            (jint (jmember "chunks" fault));
+          exact "fault mismatches" p.p_fault.f_mismatches
+            (jint (jmember "mismatches" fault));
+          exact "fault rollbacks" p.p_fault.f_rollbacks
+            (jint (jmember "rollbacks" fault));
+          exact "fault max_lag_cycles" p.p_fault.f_max_lag
+            (jint (jmember "max_lag_cycles" fault));
+          let wall_check what fresh_w committed_w =
+            if fresh_w > committed_w *. (1. +. tol) then
+              fail
+                "replay %s: %s wall time %.3fs regressed >%.0f%% over \
+                 committed %.3fs"
+                p.p_name what fresh_w (100. *. tol) committed_w
+          in
+          wall_check "interp" p.p_wall_interp
+            (jfloat (jmember "wall_interp_s" j));
+          wall_check "blocks" p.p_wall_blocks
+            (jfloat (jmember "wall_blocks_s" j)))
+    fresh_replay;
   match !failures with
   | [] ->
       Printf.printf "baseline-check: ok (tolerance %.0f%%, vs %s)\n"

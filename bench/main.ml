@@ -5,7 +5,7 @@
    Usage:  dune exec bench/main.exe -- [target ...]
    Targets: e1 table2 table3 table4 table5 fig3 table7x86 table7arm
             table8 table9 table10 fig4 latency ingress micro serve
-            exec ckpt quick all
+            exec replay ckpt quick all
    Default (no argument): quick. *)
 
 open Rcoe_harness
@@ -104,6 +104,7 @@ let run_target = function
   | "micro" -> micro ()
   | "serve" -> Baseline.serve_table ()
   | "exec" -> Baseline.exec_table ()
+  | "replay" -> Baseline.replay_table ()
   | "ckpt" -> Ckpt_bench.run ()
   | "baseline" -> Baseline.write ()
   | "baseline-check" -> Baseline.check ()
@@ -113,8 +114,8 @@ let run_target = function
       Printf.eprintf
         "unknown target %S\n\
          targets: e1 table2 table3 table4 table5 fig3 table7x86 table7arm \
-         table8 table9 table10 fig4 latency ingress micro serve exec ckpt \
-         baseline baseline-check quick all\n"
+         table8 table9 table10 fig4 latency ingress micro serve exec replay \
+         ckpt baseline baseline-check quick all\n"
         other;
       exit 1
 

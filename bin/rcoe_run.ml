@@ -120,6 +120,87 @@ let exec_backend_arg =
                  closures (bit-for-bit and cycle-for-cycle identical, \
                  just faster)")
 
+let detection_arg =
+  let det_conv =
+    Arg.enum [ ("lockstep", Config.Lockstep); ("replay", Config.Replay) ]
+  in
+  Arg.(value & opt det_conv Config.Lockstep
+       & info [ "detection" ]
+           ~doc:"lockstep: replicas execute in near-lockstep and vote \
+                 signatures at sync points (the default); replay: an \
+                 unreplicated primary runs ahead at near-Base speed while \
+                 checker domains re-execute input-logged chunks from \
+                 pinned checkpoints and compare end-of-chunk signatures \
+                 asynchronously (forces mode base, -n 1, the sequential \
+                 engine; recovery rolls back to the mismatching chunk's \
+                 start)")
+
+let replay_chunk_ticks_arg =
+  Arg.(value & opt int 1
+       & info [ "replay-chunk-ticks" ]
+           ~doc:"replay chunk length in scheduler ticks — the \
+                 overhead-vs-lag dial: longer chunks amortise the \
+                 per-cut capture stall, shorter ones tighten the \
+                 detection-lag bound (chunk span x queue depth)")
+
+let replay_queue_depth_arg =
+  Arg.(value & opt int 4
+       & info [ "replay-queue-depth" ]
+           ~doc:"bound on in-flight unverified chunks; a full queue \
+                 stalls the primary (backpressure, never drop)")
+
+let replay_checkers_arg =
+  Arg.(value & opt int 2
+       & info [ "replay-checkers" ]
+           ~doc:"checker domains replaying chunks concurrently")
+
+(* Rewrite a configuration for replay detection: the primary is an
+   unreplicated Base-mode system on the sequential engine (validation
+   enforces all three), and the round-cadence checkpoint ring is owned
+   by the chunk cuts. *)
+let apply_detection ~detection ~replay_chunk_ticks ~replay_queue_depth
+    ~replay_checkers config =
+  if detection <> Config.Replay then config
+  else begin
+    if config.Config.mode <> Config.Base || config.Config.nreplicas > 1 then
+      Printf.eprintf
+        "detection:  replay runs an unreplicated primary; forcing mode \
+         base, -n 1\n";
+    {
+      config with
+      Config.detection = Config.Replay;
+      mode = Config.Base;
+      nreplicas = 1;
+      engine = Config.Sequential;
+      checkpoint_every = 0;
+      replay_chunk_ticks;
+      replay_queue_depth;
+      replay_checkers;
+      max_rollbacks = max 1 config.Config.max_rollbacks;
+    }
+  end
+
+let reject_parallel_under_replay ~detection ~parallel =
+  if detection = Config.Replay && parallel then begin
+    Printf.eprintf
+      "parallel:   rejected: replay detection owns the checker domains \
+       (the primary itself is sequential)\n";
+    exit 1
+  end
+
+let print_replay_summary sys =
+  let c name =
+    match Rcoe_obs.Metrics.find_counter (System.metrics sys) name with
+    | Some c -> Rcoe_obs.Metrics.count c
+    | None -> 0
+  in
+  Printf.printf
+    "replay:     %d chunks, %d verified, %d mismatches, %d rollbacks\n"
+    (c "replay.chunks")
+    (c "replay.chunks_verified")
+    (c "replay.mismatches")
+    (List.length (System.rollbacks sys))
+
 (* Switch a configuration to the parallel engine, or explain — in the
    style of a lint finding — why this configuration cannot hold the
    engine's determinism contract, and exit non-zero. Networked
@@ -204,18 +285,23 @@ let run_cmd =
                    histograms) after the run")
   in
   let run wl mode n arch vm level seed fast_catchup checkpoint_every
-      checkpoint_mode max_rollbacks parallel exec_backend strict_lint metrics =
+      checkpoint_mode max_rollbacks parallel exec_backend detection
+      replay_chunk_ticks replay_queue_depth replay_checkers strict_lint
+      metrics =
+    reject_parallel_under_replay ~detection ~parallel;
     let branch_count = Wl.branch_count_for arch in
     let program = program_of_name wl ~branch_count in
     let config =
-      apply_engine ~program ~parallel
-        {
-          (mk_config ~fast_catchup ~checkpoint_every ~checkpoint_mode
-             ~max_rollbacks ~exec_backend mode n arch vm level seed
-             ~with_net:false)
-          with
-          Config.strict_lint;
-        }
+      apply_detection ~detection ~replay_chunk_ticks ~replay_queue_depth
+        ~replay_checkers
+        (apply_engine ~program ~parallel
+           {
+             (mk_config ~fast_catchup ~checkpoint_every ~checkpoint_mode
+                ~max_rollbacks ~exec_backend mode n arch vm level seed
+                ~with_net:false)
+             with
+             Config.strict_lint;
+           })
     in
     let r = Runner.run_program ~config ~program () in
     List.iter
@@ -256,6 +342,8 @@ let run_cmd =
         (System.checkpoints_taken r.Runner.sys)
         (Config.checkpoint_mode_to_string config.Config.checkpoint_mode)
         (List.length (System.rollbacks r.Runner.sys));
+    if config.Config.detection = Config.Replay then
+      print_replay_summary r.Runner.sys;
     let out = System.output r.Runner.sys 0 in
     if out <> "" then Printf.printf "output:     %S\n" out;
     if metrics then
@@ -267,7 +355,9 @@ let run_cmd =
       const run $ wl_arg $ mode_arg $ replicas_arg $ arch_arg $ vm_arg
       $ level_arg $ seed_arg $ fast_catchup_arg $ checkpoint_every_arg
       $ checkpoint_mode_arg $ max_rollbacks_arg $ parallel_arg
-      $ exec_backend_arg $ strict_lint_arg $ metrics_arg)
+      $ exec_backend_arg $ detection_arg $ replay_chunk_ticks_arg
+      $ replay_queue_depth_arg $ replay_checkers_arg $ strict_lint_arg
+      $ metrics_arg)
 
 let kv_cmd =
   let doc = "run the KV server under a YCSB workload" in
@@ -521,8 +611,17 @@ let serve_cmd =
   in
   let run mode n arch level seed wl records requests window open_rate max_queue
       checkpoint_every checkpoint_mode max_rollbacks fault fault_after
-      fault_bit fault_target ingress_check parallel exec_backend json_out
+      fault_bit fault_target ingress_check parallel exec_backend detection
+      replay_chunk_ticks replay_queue_depth replay_checkers json_out
       trace_out check chunk =
+    reject_parallel_under_replay ~detection ~parallel;
+    if detection = Config.Replay && check then begin
+      Printf.eprintf
+        "check:      rejected: --check compares the two lockstep engines; \
+         for the replay-detection determinism pair use `dune build \
+         @replay-diff`\n";
+      exit 1
+    end;
     let n = if mode = Config.Base then max 1 n else max 2 n in
     let workload = Ycsb.workload_of_string wl in
     let pacing =
@@ -537,19 +636,25 @@ let serve_cmd =
     (* A signature-fault campaign without recovery would fail-stop at
        detection; default to the recovery-trial cadence. A DMA-frame
        fault needs no checkpoints — rollback cannot repair it anyway;
-       the ingress path's drop-and-redeliver lane is the recovery. *)
+       the ingress path's drop-and-redeliver lane is the recovery.
+       Replay detection cuts its own per-chunk checkpoints, so the
+       round-cadence default must stay off there. *)
     let checkpoint_every =
-      if fault && fault_target = Loadgen.Sig_word && checkpoint_every = 0
+      if
+        fault && fault_target = Loadgen.Sig_word && checkpoint_every = 0
+        && detection <> Config.Replay
       then 2
       else checkpoint_every
     in
     let base =
-      {
-        (mk_config ~checkpoint_every ~checkpoint_mode ~max_rollbacks
-           ~exec_backend mode n arch false level seed ~with_net:true)
-        with
-        Config.ingress_check;
-      }
+      apply_detection ~detection ~replay_chunk_ticks ~replay_queue_depth
+        ~replay_checkers
+        {
+          (mk_config ~checkpoint_every ~checkpoint_mode ~max_rollbacks
+             ~exec_backend mode n arch false level seed ~with_net:true)
+          with
+          Config.ingress_check;
+        }
     in
     let serve config =
       Loadgen.run ~config ~workload ~records ~requests ~pacing ~chunk
@@ -614,6 +719,8 @@ let serve_cmd =
         Printf.printf "stall:      %s\n" (Rcoe_obs.Hdr.summary s);
         Printf.printf "recovery:   %d rollbacks\n" r.Loadgen.rollbacks
       end;
+      if base.Config.detection = Config.Replay then
+        print_replay_summary r.Loadgen.sys;
       if r.Loadgen.stalled then Printf.printf "stalled:    true\n";
       match System.halted r.Loadgen.sys with
       | Some h ->
@@ -701,7 +808,8 @@ let serve_cmd =
       $ max_queue_arg $ checkpoint_every_arg $ checkpoint_mode_arg
       $ max_rollbacks_arg $ fault_arg $ fault_after_arg $ fault_bit_arg
       $ fault_target_arg $ ingress_check_arg $ parallel_arg $ exec_backend_arg
-      $ json_arg $ trace_out_arg $ check_arg $ chunk_arg)
+      $ detection_arg $ replay_chunk_ticks_arg $ replay_queue_depth_arg
+      $ replay_checkers_arg $ json_arg $ trace_out_arg $ check_arg $ chunk_arg)
 
 let recover_cmd =
   let doc =

@@ -89,6 +89,11 @@ let classify ~sys ~client_corrupt ~client_error =
           then Kernel_exception
           else User_mem_fault
         else if client_error then Ycsb_error
+        else if System.rollbacks sys <> [] then
+          (* Replay detection: a checker verdict rewound the
+             unreplicated primary to a chunk start — the run ended
+             clean *because* it was rewound. *)
+          Recovered
         else if had_ingress_drop then Ingress_dropped
         else No_error
       end

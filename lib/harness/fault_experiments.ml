@@ -487,6 +487,87 @@ let recovery_trial ?(exec_backend = Config.Interp) ~checkpointing ~fault ~seed
   (outcome, List.length (System.rollbacks sys),
    System.checkpoints_taken sys, latencies)
 
+(* The same signature-corruption campaign on an unreplicated primary
+   under asynchronous replay detection ([Config.Replay]): detection is
+   a checker's end-of-chunk signature disagreement rather than a
+   lockstep vote, and recovery rolls back to the mismatching chunk's
+   pinned start checkpoint. A transient must end [Recovered] with the
+   fault-free reference output — on both execution backends; a
+   persistent fault re-asserts after the rollback, and the repeat
+   verdict against the same chunk fail-stops: replay re-executed the
+   chunk from a clean snapshot and it *still* mismatched, so the
+   fault is deterministic and retrying cannot help. *)
+let replay_recovery_trial ?(exec_backend = Config.Interp) ~fault ~seed () =
+  let config =
+    {
+      (Runner.config_for ~mode:Config.Base ~nreplicas:1 ~arch:x86
+         ~seed:(seed * 17) ())
+      with
+      Config.detection = Config.Replay;
+      replay_chunk_ticks = 2;
+      checkpoint_depth = 3;
+      max_rollbacks = 8;
+      exec_backend;
+    }
+  in
+  let program =
+    Md5sum.program ~message_words:96 ~iters:12 ~seed:(seed * 3)
+      ~branch_count:false ()
+  in
+  (* Fault-free reference output: recovery must reproduce it exactly. *)
+  let reference =
+    let sys =
+      System.create
+        ~config:{ config with Config.detection = Config.Lockstep } ~program
+    in
+    System.run sys ~max_cycles:10_000_000;
+    System.output sys 0
+  in
+  let sys = System.create ~config ~program in
+  System.run sys ~max_cycles:150_000;
+  let mem = (System.machine sys).Rcoe_machine.Machine.mem in
+  let flip () =
+    let addr = System.sig_base sys 0 + 1 and bit = seed mod 30 in
+    Rcoe_machine.Mem.flip_bit mem ~addr ~bit;
+    Rcoe_obs.Trace.injection (System.trace sys) ~addr ~bit
+  in
+  flip ();
+  let window, budget =
+    match fault with
+    | `Transient -> (100_000, ref 200)
+    | `Persistent -> (10_000, ref 600)
+  in
+  let rollbacks_seen = ref (List.length (System.rollbacks sys)) in
+  while
+    (not (System.finished sys)) && System.halted sys = None && !budget > 0
+  do
+    decr budget;
+    System.run sys ~max_cycles:window;
+    let rb = List.length (System.rollbacks sys) in
+    if fault = `Persistent && rb > !rollbacks_seen then begin
+      rollbacks_seen := rb;
+      if System.halted sys = None && not (System.finished sys) then flip ()
+    end
+  done;
+  let out = System.output sys 0 in
+  let outcome =
+    Outcome.classify ~sys
+      ~client_corrupt:(System.finished sys && out <> reference)
+      ~client_error:(not (System.finished sys) && System.halted sys = None)
+  in
+  let latencies =
+    match
+      Rcoe_obs.Metrics.find_histogram (System.metrics sys)
+        "recover.latency_cycles"
+    with
+    | Some h -> Rcoe_obs.Metrics.samples h
+    | None -> []
+  in
+  ( outcome,
+    List.length (System.rollbacks sys),
+    System.checkpoints_taken sys,
+    latencies )
+
 let recovery_table ?(trials = 12) () =
   header "Recovery campaign: DMR halt vs DMR rollback on md5sum (CC-D, x86)"
     "without checkpoints every injected signature corruption halts the \
@@ -531,15 +612,65 @@ let recovery_table ?(trials = 12) () =
         | ls -> Printf.sprintf "%.0f" (Rcoe_util.Stats.mean ls));
       ]
   in
+  (* Replay-detection rows ride the same campaign: the transient rows
+     must be 100% Recovered (a fail-stop would be controlled but
+     defeats replay's point — count it against the CI gate), the
+     persistent row must fail-stop: a second verdict against the same
+     re-executed chunk escalates past the lone chunk-start snapshot
+     (the fault is deterministic under replay, so retrying cannot
+     help) and halts with the ring empty. *)
+  let replay_failures = ref 0 in
+  let replay_row label ~exec_backend ~fault =
+    let tally = Outcome.tally_create () in
+    let rollbacks = ref 0 and ckpts = ref 0 and lats = ref [] in
+    for seed = 1 to trials do
+      let outcome, rb, ck, ls =
+        replay_recovery_trial ~exec_backend ~fault ~seed ()
+      in
+      Outcome.tally_add tally outcome;
+      if fault = `Transient && outcome <> Outcome.Recovered then
+        incr replay_failures;
+      rollbacks := !rollbacks + rb;
+      ckpts := !ckpts + ck;
+      lats := ls @ !lats
+    done;
+    uncontrolled_total :=
+      !uncontrolled_total + Outcome.tally_uncontrolled tally;
+    let open Outcome in
+    Table.add_row tbl
+      [
+        label;
+        (match fault with
+        | `Transient -> "transient"
+        | `Persistent -> "persistent");
+        string_of_int trials;
+        string_of_int (tally_get tally Recovered);
+        string_of_int (tally_get tally Signature_mismatch);
+        string_of_int (tally_get tally No_error);
+        string_of_int (tally_uncontrolled tally);
+        string_of_int !ckpts;
+        string_of_int !rollbacks;
+        (match !lats with
+        | [] -> "n/a"
+        | ls -> Printf.sprintf "%.0f" (Rcoe_util.Stats.mean ls));
+      ]
+  in
   row "CC-D halt" ~checkpointing:false ~fault:`Transient;
   row "CC-D rollback" ~checkpointing:true ~fault:`Transient;
   row "CC-D rollback" ~checkpointing:true ~fault:`Persistent;
+  replay_row "Replay interp" ~exec_backend:Config.Interp ~fault:`Transient;
+  replay_row "Replay blocks" ~exec_backend:Config.Blocks ~fault:`Transient;
+  replay_row "Replay interp" ~exec_backend:Config.Interp ~fault:`Persistent;
   Table.print tbl;
+  if !replay_failures > 0 then
+    Printf.printf
+      "REPLAY: %d transient trial(s) did not end Recovered\n" !replay_failures;
   Printf.printf
     "(recovery latency = re-execution distance back to the detection \
-     point plus the restore stall; scaled trial counts as in \
-     EXPERIMENTS.md)\n%!";
-  !uncontrolled_total
+     point plus the restore stall; replay rows recover an unreplicated \
+     primary from chunk-start checkpoints after an asynchronous checker \
+     verdict; scaled trial counts as in EXPERIMENTS.md)\n%!";
+  !uncontrolled_total + !replay_failures
 
 (* -------------------------------------------- DMA ingress campaign -- *)
 

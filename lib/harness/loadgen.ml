@@ -277,7 +277,10 @@ let run ~config ~workload ~records ~requests ?(pacing = Closed { window = 8 })
            && !run_completed >= fault_after -> (
         match fault_target with
         | Sig_word ->
-            let addr = System.sig_base sys 1 + 1 in
+            (* Replica 1 under replication; the lone primary (rid 0)
+               when unreplicated — the replay-detection campaign. *)
+            let rid = if config.Config.nreplicas > 1 then 1 else 0 in
+            let addr = System.sig_base sys rid + 1 in
             let bit = fault_bit mod 30 in
             Rcoe_machine.Mem.flip_bit mem ~addr ~bit;
             Trace.injection (System.trace sys) ~addr ~bit;
@@ -303,6 +306,11 @@ let run ~config ~workload ~records ~requests ?(pacing = Closed { window = 8 })
     | _ -> ());
     if now - !last_progress > stall_limit then stalled := true
   done;
+  (* Under replay detection the guest service never "finishes" — the
+     loop above ends on the client side — so harvest the in-flight
+     verification pipeline here; otherwise the final report would leave
+     the last [replay_queue_depth - 1] chunks unverified. *)
+  System.replay_drain sys;
   Reqtrace.absorb rt (System.trace sys);
   let c = Ycsb.counters gen in
   if System.finished sys && not (Ycsb.finished gen) then stalled := true;

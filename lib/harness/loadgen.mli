@@ -25,8 +25,10 @@ type pacing =
 
 type fault_target =
   | Sig_word
-      (** Replica 1's published signature word — inside the sphere of
-          replication; voting detects it and rollback repairs it. *)
+      (** A published signature word (replica 1's under replication;
+          the lone primary's when [nreplicas = 1], the replay-detection
+          campaign) — inside the sphere of replication; lockstep voting
+          or replay verification detects it and rollback repairs it. *)
   | Dma_frame
       (** A value word of a PUT request sitting in the RX ring — the
           paper's Table VII residual. No checkpoint covers the ring, so

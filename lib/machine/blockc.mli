@@ -87,10 +87,16 @@ val run : t -> buses:Bus.t array -> fuel:int -> int * Core.event option
 
     Preconditions, checked by the caller: the core is not halted, no
     breakpoint is armed ([bp = None], [bp_suppress] clear), tracing is
-    disabled, and no device tick, IPI delivery or preemption tick can
-    fall within [fuel] cycles. Under those conditions a burst of [n]
-    cycles is bit-identical to [n] successive [Machine.tick] + {!step}
-    pairs — the per-cycle checks it hoists are all loop-invariant. *)
+    disabled, and no device-visible activity (frame delivery, raised
+    IRQ line), IPI delivery or preemption tick can fall within [fuel]
+    cycles. Devices may exist: a per-cycle [dev_tick] over a quiescent
+    window only refreshes the device's cycle cache, so the caller clips
+    [fuel] strictly short of [Netdev.next_event] and runs
+    [Machine.tick_devices] once after accounting the consumed cycles —
+    before dispatching a terminating event, whose handler may touch
+    device registers. Under those conditions a burst of [n] cycles is
+    bit-identical to [n] successive [Machine.tick] + {!step} pairs —
+    the per-cycle checks it hoists are all loop-invariant. *)
 
 val invalidate_addr : t -> int -> unit
 (** Drop the compiled page containing the given code address (no-op if

@@ -34,5 +34,15 @@ let advance t ~cycles =
 
 let rate t = t.bus_rate
 
+type state = { st_credit : float; st_offered : float; st_consumed : int }
+
+let state t =
+  { st_credit = t.credit; st_offered = t.offered; st_consumed = t.consumed }
+
+let set_state t s =
+  t.credit <- s.st_credit;
+  t.offered <- s.st_offered;
+  t.consumed <- s.st_consumed
+
 let utilisation t =
   if t.offered <= 0.0 then 0.0 else float_of_int t.consumed /. t.offered

@@ -29,3 +29,15 @@ val rate : t -> float
 
 val utilisation : t -> float
 (** Fraction of offered credits consumed since creation (diagnostic). *)
+
+type state
+(** The lane's mutable credit/accounting state at a point in time. *)
+
+val state : t -> state
+(** Capture the lane's state. Replay checkers save this at a chunk cut:
+    credit refill is floating-point and path-dependent, so a shadow
+    machine must restart from the exact saved values to stay
+    cycle-identical with the primary. *)
+
+val set_state : t -> state -> unit
+(** Restore a previously captured state. *)

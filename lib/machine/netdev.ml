@@ -50,6 +50,10 @@ type t = {
   mutable on_rx : (now:int -> int array -> unit) option;
   mutable on_consume : (now:int -> int array -> unit) option;
   mutable on_tx : (now:int -> int array -> unit) option;
+  (* Host-boundary tap: fires on [inject] — the one host action that
+     mutates device state the guest can observe. The replay engine's
+     input log hangs off this. Pure observer, like the three above. *)
+  mutable on_inject : (now:int -> int array -> unit) option;
 }
 
 let create ~mem ~dma_base ~dma_words =
@@ -83,6 +87,7 @@ let create ~mem ~dma_base ~dma_words =
     on_rx = None;
     on_consume = None;
     on_tx = None;
+    on_inject = None;
   }
 
 (* One call replaces all three taps: an omitted argument clears that
@@ -93,10 +98,13 @@ let set_observers t ?on_rx ?on_consume ?on_tx () =
   t.on_consume <- on_consume;
   t.on_tx <- on_tx
 
+let set_host_tap t ?on_inject () = t.on_inject <- on_inject
+
 let inject t ~now payload =
   if Array.length payload > slot_words then
     invalid_arg "Netdev.inject: packet too long";
-  Queue.add (now, payload, Rcoe_checksum.Fletcher.frame payload) t.host_q
+  Queue.add (now, payload, Rcoe_checksum.Fletcher.frame payload) t.host_q;
+  match t.on_inject with Some f -> f ~now payload | None -> ()
 
 let pending_host_packets t = Queue.length t.host_q
 
@@ -226,6 +234,70 @@ let write_reg t off v =
     if occ > t.tx_hwm then t.tx_hwm <- occ;
     match t.on_tx with Some f -> f ~now:t.now_cache payload | None -> ()
   end
+
+(* Full device-state snapshot for the replay engine's shadow machines.
+   Payload arrays are shared, not copied: a payload is never mutated
+   after [inject] (delivery copies it into DMA memory), so sharing is
+   safe and keeps a snapshot O(queued descriptors). *)
+type snapshot = {
+  sn_host_q : (int * int array * int) list;
+  sn_rx_ring : rx_desc list;
+  sn_free_slots : int list;
+  sn_quarantined : int list;
+  sn_irq_line : bool;
+  sn_tx_addr : int;
+  sn_tx_len : int;
+  sn_tx_done : (int * int array) list;
+  sn_dropped : int;
+  sn_nacked : int;
+  sn_csum_reads : int;
+  sn_now_cache : int;
+  sn_wedged : bool;
+  sn_rx_hwm : int;
+  sn_tx_hwm : int;
+  sn_tx_sent : int;
+}
+
+let snapshot t =
+  {
+    sn_host_q = List.of_seq (Queue.to_seq t.host_q);
+    sn_rx_ring = List.of_seq (Queue.to_seq t.rx_ring);
+    sn_free_slots = List.of_seq (Queue.to_seq t.free_slots);
+    sn_quarantined = t.quarantined;
+    sn_irq_line = t.irq_line;
+    sn_tx_addr = t.tx_addr;
+    sn_tx_len = t.tx_len;
+    sn_tx_done = t.tx_done;
+    sn_dropped = t.dropped;
+    sn_nacked = t.nacked;
+    sn_csum_reads = t.csum_reads;
+    sn_now_cache = t.now_cache;
+    sn_wedged = t.wedged;
+    sn_rx_hwm = t.rx_hwm;
+    sn_tx_hwm = t.tx_hwm;
+    sn_tx_sent = t.tx_sent;
+  }
+
+let restore t s =
+  Queue.clear t.host_q;
+  List.iter (fun e -> Queue.add e t.host_q) s.sn_host_q;
+  Queue.clear t.rx_ring;
+  List.iter (fun d -> Queue.add d t.rx_ring) s.sn_rx_ring;
+  Queue.clear t.free_slots;
+  List.iter (fun sl -> Queue.add sl t.free_slots) s.sn_free_slots;
+  t.quarantined <- s.sn_quarantined;
+  t.irq_line <- s.sn_irq_line;
+  t.tx_addr <- s.sn_tx_addr;
+  t.tx_len <- s.sn_tx_len;
+  t.tx_done <- s.sn_tx_done;
+  t.dropped <- s.sn_dropped;
+  t.nacked <- s.sn_nacked;
+  t.csum_reads <- s.sn_csum_reads;
+  t.now_cache <- s.sn_now_cache;
+  t.wedged <- s.sn_wedged;
+  t.rx_hwm <- s.sn_rx_hwm;
+  t.tx_hwm <- s.sn_tx_hwm;
+  t.tx_sent <- s.sn_tx_sent
 
 let device t =
   {

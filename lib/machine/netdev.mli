@@ -129,3 +129,26 @@ val rx_region_bounds : t -> int * int
 (** [(base, words)] of the RX slot area within physical memory — the
     part of the DMA region the device writes; used by the fault injector
     to target "input buffers outside the SoR". *)
+
+val set_host_tap : t -> ?on_inject:(now:int -> int array -> unit) -> unit -> unit
+(** Install (or, omitted, clear) the host-boundary tap: [on_inject]
+    fires on every {!inject} with inject's own arguments. [inject] is
+    the single host action whose effect the guest can observe, so
+    logging it is sufficient to replay a run's entire external input —
+    this is what feeds the replay engine's [Inputlog]. A pure observer,
+    separate
+    from {!set_observers} so request tracing and input logging can
+    coexist. *)
+
+type snapshot
+(** Complete device state at a point in time (rings, queues, slot
+    accounting, IRQ line, TX latch, counters). Payload arrays are
+    shared with the live device — safe, as payloads are immutable after
+    [inject]. *)
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+(** The replay engine snapshots the primary's device at each chunk cut
+    and restores it into a shadow machine's device, so a replayed chunk
+    sees bit-identical device behaviour — delivery cycles included —
+    without the device itself being inside the sphere of replication. *)

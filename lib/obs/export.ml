@@ -168,6 +168,19 @@ let trace_events tr =
                    ("expect", Json.Int expect);
                    ("got", Json.Int got);
                  ]
+               ())
+      | Trace.Replay_cut { seq } ->
+          emit
+            (instant ~name:"replay-cut" ~pid:pid_machine ~tid:2 ~ts
+               ~args:[ ("seq", Json.Int seq) ]
+               ())
+      | Trace.Replay_verdict { seq; chunk_end; lag; ok } ->
+          (* Span the detection window: chunk execution end to verdict. *)
+          emit
+            (complete
+               ~name:(if ok then "replay-verify" else "replay-mismatch")
+               ~pid:pid_machine ~tid:2 ~ts:chunk_end ~dur:lag
+               ~args:[ ("seq", Json.Int seq); ("ok", Json.Bool ok) ]
                ()))
     events;
   (* Close phases left open at trace end. *)
@@ -185,6 +198,7 @@ let trace_events tr =
     :: metadata ~name:"process_name" ~pid:pid_machine ~tid:0 ~value:"machine"
     :: metadata ~name:"thread_name" ~pid:pid_machine ~tid:0 ~value:"engine"
     :: metadata ~name:"thread_name" ~pid:pid_machine ~tid:1 ~value:"recovery"
+    :: metadata ~name:"thread_name" ~pid:pid_machine ~tid:2 ~value:"replay"
     :: (Hashtbl.fold (fun rid () acc -> rid :: acc) rids []
        |> List.sort compare
        |> List.map (fun rid ->

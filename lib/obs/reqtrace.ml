@@ -3,7 +3,7 @@ type phase = Queue | Ring | Service | Drain
 (* Stall classes chargeable against an open request. Compute is never
    stored: it is defined as the end-to-end remainder at receipt, which
    is what makes the attribution sum exact by construction. *)
-type cls = Sync | Vote | Ckpt | Roll | Ingress
+type cls = Sync | Vote | Ckpt | Roll | Ingress | Replay
 
 type record = {
   id : int;
@@ -19,6 +19,7 @@ type record = {
   mutable a_ckpt : int;
   mutable a_roll : int;
   mutable a_ingress : int;
+  mutable a_replay : int;
   mutable a_compute : int;
 }
 
@@ -42,6 +43,7 @@ type t = {
   mutable ag_ckpt : int;
   mutable ag_roll : int;
   mutable ag_ingress : int;
+  mutable ag_replay : int;
   mutable ag_compute : int;
   mutable ag_total : int;
   (* Trace-absorption state. *)
@@ -72,6 +74,7 @@ let create ?(keep = 4096) () =
     ag_ckpt = 0;
     ag_roll = 0;
     ag_ingress = 0;
+    ag_replay = 0;
     ag_compute = 0;
     ag_total = 0;
     seen_events = 0;
@@ -97,6 +100,7 @@ let inject t ~id ~now =
         a_ckpt = 0;
         a_roll = 0;
         a_ingress = 0;
+        a_replay = 0;
         a_compute = 0;
       };
     let n = Hashtbl.length t.open_reqs in
@@ -122,6 +126,7 @@ let charge r c cycles =
     | Ckpt -> r.a_ckpt <- r.a_ckpt + cycles
     | Roll -> r.a_roll <- r.a_roll + cycles
     | Ingress -> r.a_ingress <- r.a_ingress + cycles
+    | Replay -> r.a_replay <- r.a_replay + cycles
 
 (* A closed stall span [start, stop): each open request is charged its
    overlap with the span (from its inject time on). *)
@@ -194,6 +199,18 @@ let absorb_event t { Trace.ts; rid; body } =
       match Hashtbl.find_opt t.open_reqs id with
       | Some r -> r.t_drop <- ts
       | None -> ())
+  | Trace.Replay_verdict { chunk_end; ok; _ } ->
+      (* A mismatch verdict closes a detection-lag window: the fault was
+         live on the primary from the chunk's end until the checker
+         caught it. Requests open during that window were served (or
+         queued) under undetected-fault shadow and are about to be
+         replayed past the rollback — charge them the lag span. Clean
+         verdicts cost the open requests nothing (checkers run on host
+         domains, off the simulated clock). *)
+      if not ok then begin
+        record_detection t ts;
+        apply_span t Replay chunk_end ts
+      end
   | Trace.Injection _ -> t.last_inj <- ts
   | _ -> ()
 
@@ -231,16 +248,20 @@ let receipt t ~id ~now ~status =
       (* Clamp stall charges into the request's own window, then define
          compute as the remainder: the six classes sum to [total]
          exactly. *)
-      let s = r.a_sync + r.a_vote + r.a_ckpt + r.a_roll + r.a_ingress in
+      let s =
+        r.a_sync + r.a_vote + r.a_ckpt + r.a_roll + r.a_ingress + r.a_replay
+      in
       if s > total && s > 0 then begin
         r.a_sync <- r.a_sync * total / s;
         r.a_vote <- r.a_vote * total / s;
         r.a_ckpt <- r.a_ckpt * total / s;
         r.a_roll <- r.a_roll * total / s;
-        r.a_ingress <- r.a_ingress * total / s
+        r.a_ingress <- r.a_ingress * total / s;
+        r.a_replay <- r.a_replay * total / s
       end;
       r.a_compute <-
-        total - (r.a_sync + r.a_vote + r.a_ckpt + r.a_roll + r.a_ingress);
+        total
+        - (r.a_sync + r.a_vote + r.a_ckpt + r.a_roll + r.a_ingress + r.a_replay);
       if r.a_roll > 0 then Hdr.record t.h_stall r.a_roll;
       if r.a_ingress > 0 then Hdr.record t.h_ingress r.a_ingress;
       t.ag_sync <- t.ag_sync + r.a_sync;
@@ -248,6 +269,7 @@ let receipt t ~id ~now ~status =
       t.ag_ckpt <- t.ag_ckpt + r.a_ckpt;
       t.ag_roll <- t.ag_roll + r.a_roll;
       t.ag_ingress <- t.ag_ingress + r.a_ingress;
+      t.ag_replay <- t.ag_replay + r.a_replay;
       t.ag_compute <- t.ag_compute + r.a_compute;
       t.ag_total <- t.ag_total + total;
       t.n_completed <- t.n_completed + 1;
@@ -277,6 +299,7 @@ let attribution t =
     ("checkpoint", t.ag_ckpt);
     ("rollback_stall", t.ag_roll);
     ("ingress_stall", t.ag_ingress);
+    ("replay_lag", t.ag_replay);
     ("total_cycles", t.ag_total);
   ]
 
@@ -356,6 +379,7 @@ let chrome_events t =
                   ("checkpoint", Json.Int r.a_ckpt);
                   ("rollback_stall", Json.Int r.a_roll);
                   ("ingress_stall", Json.Int r.a_ingress);
+                  ("replay_lag", Json.Int r.a_replay);
                 ] );
           ])
       t.retained

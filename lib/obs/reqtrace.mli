@@ -7,10 +7,13 @@
     ring / service / drain), and from the engine's {!Trace} span events
     comes an attribution of each request's latency to
     {compute, sync-wait, vote, checkpoint, rollback-stall,
-    ingress-stall}: stall spans of the followed (lowest live) replica
-    are clipped against the windows of the requests open while they
-    ran, and compute is the remainder, so the six attribution classes
-    always sum exactly to the end-to-end total.
+    ingress-stall, replay-lag}: stall spans of the followed (lowest
+    live) replica are clipped against the windows of the requests open
+    while they ran, and compute is the remainder, so the attribution
+    classes always sum exactly to the end-to-end total. Under replay
+    detection, a mismatch verdict's detection-lag window (chunk end to
+    verdict) is charged as [replay_lag] to the requests open during it
+    — the time they were served under an undetected fault.
 
     The store is bounded: aggregates go to {!Hdr} histograms, and only
     the most recent [keep] completed records are retained for Perfetto
@@ -57,8 +60,8 @@ val phase_hdr : t -> phase -> Hdr.t
 val attribution : t -> (string * int) list
 (** Aggregate cycles per class over completed requests —
     [compute; sync_wait; vote; checkpoint; rollback_stall;
-    ingress_stall] — summing exactly to [total_cycles] (also included,
-    last). *)
+    ingress_stall; replay_lag] — summing exactly to [total_cycles]
+    (also included, last). *)
 
 val detect_hdr : t -> Hdr.t
 (** Per-request detection latency: for every request open when a

@@ -40,6 +40,8 @@ type body =
   | Checkpoint of { words : int; skipped : int; cost : int }
   | Rollback of { to_cycle : int; cost : int }
   | Ingress_drop of { id : int; expect : int; got : int }
+  | Replay_cut of { seq : int }
+  | Replay_verdict of { seq : int; chunk_end : int; lag : int; ok : bool }
 
 type event = { ts : int; rid : int; body : body }
 
@@ -218,6 +220,11 @@ let rollback t ~to_cycle ~cost =
 
 let ingress_drop t ~id ~expect ~got =
   if t.enabled then push t (-1) (Ingress_drop { id; expect; got })
+
+let replay_cut t ~seq = if t.enabled then push t (-1) (Replay_cut { seq })
+
+let replay_verdict t ~seq ~chunk_end ~lag ~ok =
+  if t.enabled then push t (-1) (Replay_verdict { seq; chunk_end; lag; ok })
 
 let injection t ~addr ~bit =
   (* The mark must survive a disabled ring: detection latency is

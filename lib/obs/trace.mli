@@ -64,6 +64,15 @@ type body =
           retransmission. [id] is the request sequence id parsed from
           the (corrupt) frame, or [-1] when unparseable; [expect]/[got]
           are the enqueue-time and recomputed checksums. *)
+  | Replay_cut of { seq : int }
+      (** Machine scope: replay detection closed chunk [seq] at this
+          cycle and queued it for verification. *)
+  | Replay_verdict of { seq : int; chunk_end : int; lag : int; ok : bool }
+      (** Machine scope: chunk [seq]'s replay verdict was processed.
+          [chunk_end] is the cycle the chunk's execution completed on
+          the primary; [lag] is the detection lag ([ts - chunk_end]) —
+          the window during which a fault inside the chunk was present
+          but undetected. *)
 
 type event = {
   ts : int;  (** Machine cycle at emission. *)
@@ -146,6 +155,11 @@ val reintegrate : t -> rid:int -> cost:int -> unit
 val checkpoint : t -> words:int -> skipped:int -> cost:int -> unit
 val rollback : t -> to_cycle:int -> cost:int -> unit
 val ingress_drop : t -> id:int -> expect:int -> got:int -> unit
+
+val replay_cut : t -> seq:int -> unit
+
+val replay_verdict :
+  t -> seq:int -> chunk_end:int -> lag:int -> ok:bool -> unit
 
 val injection : t -> addr:int -> bit:int -> unit
 (** Also records the injection cycle (see {!last_injection}) even when

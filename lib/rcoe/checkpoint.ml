@@ -29,13 +29,17 @@ type snap = {
 
 type t = {
   depth : int;
-  mutable snaps : snap list; (* newest first, length <= depth *)
+  mutable snaps : snap list;
+      (* newest first; length <= depth unless pins defer eviction *)
   mutable taken : int;
+  mutable pins : (snap * int ref) list;
+      (* physical-identity refcounts; non-empty only while a consumer
+         (replay checker, diagnostic) holds a snapshot handle *)
 }
 
 let create ~depth =
   if depth < 1 then invalid_arg "Checkpoint.create: depth must be >= 1";
-  { depth; snaps = []; taken = 0 }
+  { depth; snaps = []; taken = 0; pins = [] }
 
 let depth t = t.depth
 let count t = List.length t.snaps
@@ -102,18 +106,40 @@ let fold_into ~evicted snap =
         snap.s_replicas;
   }
 
+let pinned t snap = List.exists (fun (s, _) -> s == snap) t.pins
+
+let pin t snap =
+  match List.find_opt (fun (s, _) -> s == snap) t.pins with
+  | Some (_, r) -> incr r
+  | None -> t.pins <- (snap, ref 1) :: t.pins
+
+(* Eviction folds the oldest snapshot's arrays into its successor —
+   mutating the one and replacing the other — so both are off-limits
+   while any consumer holds a handle to them. Pinned tails simply defer
+   eviction: the ring grows past [depth] and shrinks back as soon as the
+   pins are released. *)
+let rec shrink t =
+  if List.length t.snaps > t.depth then
+    match List.rev t.snaps with
+    | oldest :: next :: rest
+      when (not (pinned t oldest)) && not (pinned t next) ->
+        t.snaps <- List.rev (fold_into ~evicted:oldest next :: rest);
+        shrink t
+    | _ -> ()
+
+let unpin t snap =
+  match List.find_opt (fun (s, _) -> s == snap) t.pins with
+  | None -> invalid_arg "Checkpoint.unpin: snapshot is not pinned"
+  | Some (_, r) ->
+      decr r;
+      if !r = 0 then
+        t.pins <- List.filter (fun (s, _) -> not (s == snap)) t.pins;
+      shrink t
+
 let push t snap =
-  let snaps = snap :: t.snaps in
-  if List.length snaps > t.depth then begin
-    let rec fold_last = function
-      | [ next; oldest ] -> [ fold_into ~evicted:oldest next ]
-      | x :: rest -> x :: fold_last rest
-      | [] -> assert false
-    in
-    t.snaps <- fold_last snaps
-  end
-  else t.snaps <- snaps;
-  t.taken <- t.taken + 1
+  t.snaps <- snap :: t.snaps;
+  t.taken <- t.taken + 1;
+  shrink t
 
 let newest t = match t.snaps with [] -> None | s :: _ -> Some s
 

@@ -88,7 +88,25 @@ val push : t -> snap -> unit
 (** Store as newest. When the ring is full the oldest snapshot is
     evicted and folded into its successor, which becomes the new
     self-contained base (its arrays absorb the evicted base's, so the
-    fold is O(delta)). *)
+    fold is O(delta)). Eviction is deferred while either of the two
+    oldest snapshots is pinned (see {!pin}): the ring then grows past
+    [depth] and shrinks back when the pins release. *)
+
+val pin : t -> snap -> unit
+(** Hold [snap] against eviction. Folding mutates the evicted base's
+    arrays in place and replaces its successor record, both of which
+    silently invalidate a handle a long-running consumer (a replay
+    checker verifying a chunk, a diagnostic resolving an old image)
+    still holds — so such a consumer must pin the snapshot for as long
+    as it keeps the handle. Pins are refcounted per snapshot (physical
+    identity). *)
+
+val unpin : t -> snap -> unit
+(** Release one {!pin}. When the last pin on a tail snapshot drops, any
+    deferred evictions run immediately. Raises [Invalid_argument] if
+    [snap] is not pinned. *)
+
+val pinned : t -> snap -> bool
 
 val newest : t -> snap option
 

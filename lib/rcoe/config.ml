@@ -8,6 +8,8 @@ type checkpoint_mode = Full | Incremental
 
 type exec_backend = Interp | Blocks
 
+type detection = Lockstep | Replay
+
 type t = {
   engine : engine;
   mode : mode;
@@ -33,6 +35,10 @@ type t = {
   checkpoint_mode : checkpoint_mode;
   max_rollbacks : int;
   exec_backend : exec_backend;
+  detection : detection;
+  replay_chunk_ticks : int;
+  replay_queue_depth : int;
+  replay_checkers : int;
 }
 
 let default =
@@ -61,6 +67,10 @@ let default =
     checkpoint_mode = Incremental;
     max_rollbacks = 3;
     exec_backend = Interp;
+    detection = Lockstep;
+    replay_chunk_ticks = 1;
+    replay_queue_depth = 4;
+    replay_checkers = 2;
   }
 
 let mode_to_string = function Base -> "Base" | LC -> "LC" | CC -> "CC"
@@ -74,6 +84,8 @@ let checkpoint_mode_to_string = function
   | Incremental -> "incremental"
 
 let exec_backend_to_string = function Interp -> "interp" | Blocks -> "blocks"
+
+let detection_to_string = function Lockstep -> "lockstep" | Replay -> "replay"
 
 (* Lint-style eligibility check for the domain-parallel engine. The
    parallel engine runs replicas concurrently only between sync points,
@@ -135,6 +147,29 @@ let validate ?net_ok t =
   else if t.checkpoint_every > 0 && t.checkpoint_depth < 1 then
     err "checkpoint_depth must be >= 1"
   else if t.checkpoint_every > 0 && t.max_rollbacks < 1 then
+    err "max_rollbacks must be >= 1"
+  else if t.detection = Replay && t.mode <> Base then
+    err
+      "replay detection runs an unreplicated primary (mode Base); %s \
+       lockstep replication already detects at every sync point"
+      (mode_to_string t.mode)
+  else if t.detection = Replay && t.engine = Parallel then
+    err
+      "replay detection owns the checker domains itself; the primary \
+       runs on the sequential engine"
+  else if t.detection = Replay && t.checkpoint_every > 0 then
+    err
+      "replay detection cuts its own per-chunk checkpoints; \
+       checkpoint_every must be 0"
+  else if t.detection = Replay && t.replay_chunk_ticks < 1 then
+    err "replay_chunk_ticks must be >= 1"
+  else if t.detection = Replay && t.replay_queue_depth < 1 then
+    err "replay_queue_depth must be >= 1"
+  else if t.detection = Replay && t.replay_checkers < 1 then
+    err "replay_checkers must be >= 1"
+  else if t.detection = Replay && t.checkpoint_depth < 1 then
+    err "checkpoint_depth must be >= 1"
+  else if t.detection = Replay && t.max_rollbacks < 1 then
     err "max_rollbacks must be >= 1"
   else
     match t.engine with

@@ -40,6 +40,26 @@ type exec_backend =
       (** Pre-decode each code page once into closures with operands
           resolved; invalidated on self-modifying patches. *)
 
+(** How divergence is detected (the two ends of the paper's sync-cost
+    trade-off curve, the second populated by RepTFD-style replay). *)
+type detection =
+  | Lockstep
+      (** Replicas synchronise and vote at every round — detection is
+          immediate, sync cost sits on the critical path of every
+          redundant cycle. The default; all replicated modes use it. *)
+  | Replay
+      (** An unreplicated primary (mode [Base]) runs ahead at native
+          speed, cutting its execution into chunks at preemption-tick
+          boundaries. Each chunk is a (delta-checkpoint, input-log)
+          pair pushed into a bounded queue; checker [Domain.t]s restore
+          the chunk's start state into a shadow machine, replay the
+          logged host inputs, and compare end-of-chunk Fletcher
+          signatures. A mismatch rolls the primary back to the chunk's
+          start checkpoint via the existing budgeted rollback path.
+          Sync overhead ~0; detection lag is bounded by
+          [replay_chunk_ticks * tick_interval * replay_queue_depth].
+          See {!Engine_replay}. *)
+
 (** How {!checkpoint_every} captures state. *)
 type checkpoint_mode =
   | Full  (** Copy every live partition + shared + DMA outright. *)
@@ -123,6 +143,24 @@ type t = {
           exhausts it and the system fail-stops as before. *)
   exec_backend : exec_backend;
       (** Execution backend for every replica; default [Interp]. *)
+  detection : detection;
+      (** Detection strategy; default [Lockstep]. [Replay] requires
+          [mode = Base], [engine = Sequential] (the checker domains are
+          owned by the replay engine itself), and [checkpoint_every = 0]
+          (chunks cut their own checkpoints). *)
+  replay_chunk_ticks : int;
+      (** Replay chunk length in preemption ticks (>= 1, default 1):
+          a chunk spans [replay_chunk_ticks * tick_interval] cycles. *)
+  replay_queue_depth : int;
+      (** Maximum chunks in flight, including the one being accumulated
+          (>= 1, default 4). The primary harvests the oldest verdict —
+          blocking on its checker if necessary — before opening a chunk
+          that would exceed this, so memory stays bounded and detection
+          lag never exceeds [replay_queue_depth] chunks. *)
+  replay_checkers : int;
+      (** Concurrent checker domains (>= 1, default 2). Fewer checkers
+          than [replay_queue_depth] lets verification batch up behind
+          the queue; more than the queue depth is never useful. *)
 }
 
 val default : t
@@ -159,3 +197,4 @@ val sync_level_to_string : sync_level -> string
 val engine_to_string : engine -> string
 val checkpoint_mode_to_string : checkpoint_mode -> string
 val exec_backend_to_string : exec_backend -> string
+val detection_to_string : detection -> string

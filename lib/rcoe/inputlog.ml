@@ -1,0 +1,30 @@
+type event = { ev_at : int; ev_deliver_at : int; ev_payload : int array }
+
+type t = { mutable events : event list (* newest first *) }
+
+let create () = { events = [] }
+
+let record t ~at ~deliver_at payload =
+  t.events <-
+    { ev_at = at; ev_deliver_at = deliver_at; ev_payload = Array.copy payload }
+    :: t.events
+
+let cut t =
+  let out = List.rev t.events in
+  t.events <- [];
+  out
+
+let pending t = List.length t.events
+
+let clear t = t.events <- []
+
+let replay_onto net events ~upto =
+  let rec go = function
+    | ev :: rest when ev.ev_at <= upto ->
+        Rcoe_machine.Netdev.inject net ~now:ev.ev_deliver_at ev.ev_payload;
+        go rest
+    | rest -> rest
+  in
+  go events
+
+let next_at = function [] -> None | ev :: _ -> Some ev.ev_at

@@ -1,0 +1,55 @@
+(** The replay engine's input log: every host-boundary event the
+    primary absorbed during a chunk, cycle-stamped, in arrival order.
+
+    Replay-based detection (RepTFD; see {!Config.detection}) only works
+    if a chunk's execution is a pure function of its start state plus
+    its external inputs. Inside the simulator that holds by
+    construction — ticks, IRQs, DMA delivery and MMIO are all
+    deterministic consequences of machine state — so the only genuine
+    inputs are the host's [Netdev.inject] calls (client packets and
+    retransmissions). Each log entry records the primary's cycle at the
+    moment of the call plus inject's own arguments; a checker replays a
+    chunk by stepping a shadow machine to each entry's cycle and
+    re-issuing the inject against the shadow device, which reproduces
+    the primary's device timeline bit-for-bit (delivery cycles
+    included, because the shadow's [Netdev.next_event] then sees the
+    same queue).
+
+    Fault-injector flips ([Mem.flip_bit]) are deliberately {e not}
+    inputs: the checker replays the fault-free execution, which is
+    exactly what makes the end-of-chunk comparison detect the flip. *)
+
+type event = {
+  ev_at : int;
+      (** Primary cycle when the host issued the inject (the machine is
+          quiescent between [run] calls, so this is exact). *)
+  ev_deliver_at : int;  (** Inject's [~now] argument (arrival cycle). *)
+  ev_payload : int array;  (** Copied at record time. *)
+}
+
+type t
+
+val create : unit -> t
+
+val record : t -> at:int -> deliver_at:int -> int array -> unit
+(** Append one event (copies the payload). *)
+
+val cut : t -> event list
+(** Drain and return everything recorded since the previous [cut], in
+    record order — the input log of the chunk just closed. *)
+
+val pending : t -> int
+(** Events recorded since the last {!cut}. *)
+
+val clear : t -> unit
+(** Drop all recorded events (pipeline reset after a rollback). *)
+
+val replay_onto :
+  Rcoe_machine.Netdev.t -> event list -> upto:int -> event list
+(** [replay_onto net events ~upto] applies every event with
+    [ev_at <= upto] to [net] (in order) and returns the rest — the
+    checker calls this each time its shadow machine reaches the next
+    event boundary. *)
+
+val next_at : event list -> int option
+(** The cycle stamp of the first pending event, if any. *)

@@ -73,6 +73,10 @@ type metric_set = {
   m_detect_latency : Metrics.histogram;
   m_ckpt_cost : Metrics.histogram;
   m_recover_latency : Metrics.histogram;
+  m_replay_chunks : Metrics.counter;
+  m_replay_verified : Metrics.counter;
+  m_replay_mismatch : Metrics.counter;
+  m_replay_lag : Metrics.histogram;
 }
 
 let make_metric_set reg =
@@ -113,6 +117,12 @@ let make_metric_set reg =
     m_recover_latency =
       Metrics.histogram reg "recover.latency_cycles"
         ~buckets:[ 10_000.; 100_000.; 1_000_000.; 10_000_000. ];
+    m_replay_chunks = Metrics.counter reg "replay.chunks";
+    m_replay_verified = Metrics.counter reg "replay.chunks_verified";
+    m_replay_mismatch = Metrics.counter reg "replay.mismatches";
+    m_replay_lag =
+      Metrics.histogram reg "replay.lag_cycles"
+        ~buckets:[ 10_000.; 50_000.; 200_000.; 1_000_000. ];
   }
 
 (* Pending events delivered at the end of an asynchronous round. *)
@@ -195,6 +205,48 @@ and async_round = {
   mutable round_started : int;
 }
 
+(* ---------------------------------------------------------------------- *)
+(* Replay-based detection (RepTFD) pipeline state                          *)
+(* ---------------------------------------------------------------------- *)
+
+(* A chunk cut: everything a shadow machine needs to restart execution
+   at this exact point, bit for bit. The ring snapshot covers the
+   replicated memory cut; the fields here additionally freeze the
+   outside-SoR state the ring deliberately does not capture — device
+   queues, the floating-point bus credit, the jitter RNG — which replay
+   needs but lockstep rollback does not (re-execution after a lockstep
+   rollback is *new* time; a replayed chunk re-lives the *same* time).
+   All arrays are private copies resolved on the primary's domain at cut
+   time, so checker domains never touch the (mutable) checkpoint ring. *)
+type cut_state = {
+  cs_cycle : int;
+  cs_ticks : int;
+  cs_round_seq : int;
+  cs_next_tick : int;
+  cs_finished : bool;
+  cs_kernel : Kernel.snapshot;  (* taken after the cut's stall charge *)
+  cs_part : int array;  (* primary partition image *)
+  cs_shared : int array;
+  cs_dma : int array;
+  cs_cycles : int;  (* core active-cycle / instret counters *)
+  cs_instret : int;
+  cs_jitter : Rcoe_util.Rng.t;  (* private copy of the core's jitter RNG *)
+  cs_bus : Bus.state;
+  cs_net : Netdev.snapshot option;
+  cs_sig : int;  (* Fletcher digest over partition ++ shared *)
+}
+
+(* A closed chunk: start state, the host inputs absorbed while it ran,
+   and the end state to compare a replay against. Immutable once built,
+   so it can be handed to a checker domain without synchronisation. *)
+type chunk = {
+  ch_seq : int;
+  ch_start : cut_state;
+  ch_snap : Checkpoint.snap;  (* pinned ring entry at [ch_start] *)
+  ch_log : Inputlog.event list;
+  ch_end : cut_state;
+}
+
 type t = {
   cfg : Config.t;
   mach : Machine.t;
@@ -232,6 +284,41 @@ type t = {
   metrics : Metrics.t;
   ms : metric_set;
   trace : Trace.t;
+  (* Replay-based detection pipeline; [Some] iff
+     [cfg.detection = Replay]. Types are mutually recursive with [t]
+     because checkers verify chunks against full shadow *systems*. *)
+  mutable rp : replay option;
+}
+
+(* An in-flight chunk: queued for (or undergoing) verification.
+   [if_domain]/[if_shadow] are only ever touched on the primary's
+   domain; the checker domain sees just the immutable chunk and its
+   private shadow system. *)
+and inflight = {
+  if_chunk : chunk;
+  mutable if_domain : bool Domain.t option;
+  mutable if_shadow : t option;
+}
+
+(* The primary-side pipeline: the accumulating chunk's start state, the
+   bounded in-flight queue (oldest first), and a pool of reusable
+   shadow systems ([Engine_replay] creates them lazily — creation runs
+   program lint and layout, too costly per chunk). All fields are
+   primary-domain-only; the only cross-domain traffic is the immutable
+   chunk handed to [Domain.spawn] and the [bool] verdict joined back. *)
+and replay = {
+  rp_ring : Checkpoint.t;
+  rp_log : Inputlog.t;
+  rp_span : int;  (* nominal chunk length, cycles *)
+  mutable rp_seq : int;  (* sequence number of the accumulating chunk *)
+  mutable rp_cut : cut_state;  (* its start *)
+  mutable rp_snap : Checkpoint.snap;  (* its pinned start snapshot *)
+  mutable rp_next_cut : int;  (* tick count that triggers the next cut *)
+  mutable rp_inflight : inflight list;  (* oldest first *)
+  mutable rp_shadows : t list;  (* idle shadow systems *)
+  mutable rp_shadows_made : int;
+  mutable rp_hwm : int;  (* in-flight queue high-water mark *)
+  mutable rp_idle_cycles : int;  (* checker idle, simulated cycles *)
 }
 
 (* The notable-events list is bounded: campaigns run for millions of
@@ -302,6 +389,15 @@ let metrics t =
       Metrics.set
         (Metrics.gauge_or t.metrics "net.rx_nacked")
         (float_of_int (Netdev.rx_nacked nd))
+  | None -> ());
+  (match t.rp with
+  | Some rp ->
+      Metrics.set
+        (Metrics.gauge_or t.metrics "net.replay_queue_hwm")
+        (float_of_int rp.rp_hwm);
+      Metrics.set
+        (Metrics.gauge_or t.metrics "replay.checker_idle_cycles")
+        (float_of_int rp.rp_idle_cycles)
   | None -> ());
   t.metrics
 let trace t = t.trace
@@ -407,6 +503,87 @@ let tp_begin t r ph =
     Trace.phase_begin r.rtrace ~rid:r.rid ph;
     r.tr_phase <- Some ph
   end
+
+(* ---------------------------------------------------------------------- *)
+(* Replay detection: cut-state capture                                     *)
+(* ---------------------------------------------------------------------- *)
+
+(* Fletcher digest over the replicated memory a replayed chunk must
+   reproduce: the primary partition plus the shared region. The DMA
+   window is deliberately excluded — the device writes it outside the
+   sphere of replication, so the paper's residual DMA vulnerability is
+   preserved under replay detection exactly as under lockstep. *)
+let replay_region_sig t =
+  let f = Rcoe_checksum.Fletcher.create () in
+  let p = t.lay.Layout.partitions.(0) in
+  Rcoe_checksum.Fletcher.add_words f
+    (Mem.read_block (mem t) p.Layout.p_base p.Layout.p_words);
+  let sh = t.lay.Layout.shared in
+  Rcoe_checksum.Fletcher.add_words f
+    (Mem.read_block (mem t) sh.Layout.s_base sh.Layout.s_words);
+  Rcoe_checksum.Fletcher.digest f
+
+(* Freeze the complete execution point. Runs on the primary's domain at
+   a quiescent inter-cycle boundary; the copies it takes are what lets
+   checker domains work without ever touching live or ring state. Call
+   only after any stall for the cut itself has been charged, so the
+   frozen core state already contains it. *)
+let replay_cut_state t =
+  let r = t.replicas.(0) in
+  let core = Kernel.core r.kern in
+  let p = t.lay.Layout.partitions.(0) in
+  let sh = t.lay.Layout.shared in
+  {
+    cs_cycle = now t;
+    cs_ticks = t.ticks;
+    cs_round_seq = t.round_seq;
+    cs_next_tick = t.next_tick;
+    cs_finished = r.finished;
+    cs_kernel = Kernel.snapshot r.kern;
+    cs_part = Mem.read_block (mem t) p.Layout.p_base p.Layout.p_words;
+    cs_shared = Mem.read_block (mem t) sh.Layout.s_base sh.Layout.s_words;
+    cs_dma =
+      Mem.read_block (mem t) t.lay.Layout.dma_base t.lay.Layout.dma_words;
+    cs_cycles = core.Core.cycles;
+    cs_instret = core.Core.instret;
+    cs_jitter = Rcoe_util.Rng.copy core.Core.jitter;
+    cs_bus = Bus.state t.mach.Machine.buses.(0);
+    cs_net = Option.map Netdev.snapshot t.net;
+    cs_sig = replay_region_sig t;
+  }
+
+(* Restore a cut into [sys] — the shadow side of [replay_cut_state],
+   also used to rewind the primary's outside-SoR state after a
+   replay-detected rollback. Leaves [sys] exactly as the captured
+   system stood at the cut, ready to re-execute the chunk. *)
+let replay_restore_cut sys (cs : cut_state) =
+  let r = sys.replicas.(0) in
+  let p = sys.lay.Layout.partitions.(0) in
+  let sh = sys.lay.Layout.shared in
+  Mem.write_block (mem sys) p.Layout.p_base cs.cs_part;
+  Mem.write_block (mem sys) sh.Layout.s_base cs.cs_shared;
+  Mem.write_block (mem sys) sys.lay.Layout.dma_base cs.cs_dma;
+  Kernel.restore r.kern cs.cs_kernel;
+  r.finished <- cs.cs_finished;
+  r.pending_ft <- None;
+  r.joined <- false;
+  r.defer_publish <- false;
+  r.state <- Rs_run;
+  let core = Kernel.core r.kern in
+  core.Core.cycles <- cs.cs_cycles;
+  core.Core.instret <- cs.cs_instret;
+  Rcoe_util.Rng.assign ~dst:core.Core.jitter ~src:cs.cs_jitter;
+  Bus.set_state sys.mach.Machine.buses.(0) cs.cs_bus;
+  (match (sys.net, cs.cs_net) with
+  | Some nd, Some sn -> Netdev.restore nd sn
+  | _ -> ());
+  Machine.clear_ipi sys.mach ~core_id:0;
+  sys.mach.Machine.now <- cs.cs_cycle;
+  sys.next_tick <- cs.cs_next_tick;
+  sys.ticks <- cs.cs_ticks;
+  sys.round_seq <- cs.cs_round_seq;
+  sys.phase <- Ph_idle;
+  sys.halt <- None
 
 (* ---------------------------------------------------------------------- *)
 (* Construction                                                            *)
@@ -654,8 +831,11 @@ let create ~config:cfg ~program =
       reintegration_log = [];
       event_log_len = 0;
       ckpts =
-        (if cfg.Config.checkpoint_every > 0 then
-           Some (Checkpoint.create ~depth:cfg.Config.checkpoint_depth)
+        (* Replay detection owns the ring too: chunk-start snapshots
+           live in it so a mismatch rolls back through the same
+           budgeted [try_rollback] escalation as a lockstep vote. *)
+        (if cfg.Config.checkpoint_every > 0 || cfg.Config.detection = Config.Replay
+         then Some (Checkpoint.create ~depth:cfg.Config.checkpoint_depth)
          else None);
       rounds_since_ckpt = 0;
       rollbacks_done = 0;
@@ -665,6 +845,7 @@ let create ~config:cfg ~program =
       metrics;
       ms;
       trace;
+      rp = None;
     }
   in
   tref := Some t;
@@ -733,6 +914,48 @@ let create ~config:cfg ~program =
       Signature.reset (mem t) ~base:(sig_base t r.rid))
     replicas;
   Machine.route_irqs_to mach t.prim;
+  (* Replay-based detection: log every host inject from the first
+     cycle (the harness may feed the device before it first runs the
+     system), and take the cycle-0 base checkpoint the first chunk is
+     relative to. Shadow systems are created lazily by
+     [Engine_replay]. *)
+  if cfg.Config.detection = Config.Replay then begin
+    let ring =
+      match t.ckpts with Some ck -> ck | None -> assert false
+    in
+    let ilog = Inputlog.create () in
+    (match net with
+    | Some nd ->
+        Netdev.set_host_tap nd
+          ~on_inject:(fun ~now:deliver_at payload ->
+            Inputlog.record ilog ~at:(now t) ~deliver_at payload)
+          ()
+    | None -> ());
+    let r0 = t.replicas.(0) in
+    let snap =
+      Checkpoint.capture (mem t) lay ~kind:Checkpoint.Full ~cycle:(now t)
+        ~round_seq:t.round_seq ~ticks:t.ticks ~prim:t.prim
+        ~replicas:[ (0, r0.kern, r0.finished) ]
+    in
+    Checkpoint.push ring snap;
+    Checkpoint.pin ring snap;
+    t.rp <-
+      Some
+        {
+          rp_ring = ring;
+          rp_log = ilog;
+          rp_span = cfg.Config.replay_chunk_ticks * cfg.Config.tick_interval;
+          rp_seq = 0;
+          rp_cut = replay_cut_state t;
+          rp_snap = snap;
+          rp_next_cut = cfg.Config.replay_chunk_ticks;
+          rp_inflight = [];
+          rp_shadows = [];
+          rp_shadows_made = 0;
+          rp_hwm = 0;
+          rp_idle_cycles = 0;
+        }
+  end;
   t
 
 (* ---------------------------------------------------------------------- *)
@@ -1083,6 +1306,10 @@ let take_checkpoint t ck =
 let maybe_checkpoint t =
   match t.ckpts with
   | None -> ()
+  (* Under replay detection the ring is fed by the chunk cuts
+     ([Engine_replay.do_cut]); round-interval captures would interleave
+     unpinned snapshots with the pinned chunk starts. *)
+  | Some _ when t.cfg.Config.detection = Config.Replay -> ()
   | Some ck ->
       if t.halt = None && not (finished t) then begin
         t.rounds_since_ckpt <- t.rounds_since_ckpt + 1;
@@ -1977,8 +2204,9 @@ let classic_cycle t =
 let burst_cycles t ~budget =
   if
     t.cfg.Config.mode <> Config.Base
-    || Array.length t.mach.Machine.devices > 0
     || t.cfg.Config.trace <> None
+    || Array.length t.mach.Machine.devices
+       > (match t.net with Some _ -> 1 | None -> 0)
   then None
   else
     let r = t.replicas.(0) in
@@ -1998,12 +2226,39 @@ let burst_cycles t ~budget =
                post-tick [now] equals [next_tick] must run through
                [classic_cycle] so [advance_phase] delivers the tick. *)
             let fuel = min budget (t.next_tick - now t - 1) in
+            (* A networked machine may burst too (the replay primary's
+               common case): clip the fuel so no device-visible
+               activity falls inside the window. [Netdev.next_event] is
+               the first cycle the device could deliver a frame or has
+               its IRQ line up; stopping strictly short of it leaves
+               that cycle to [classic_cycle], whose [Machine.tick] runs
+               the delivery and whose [advance_phase] delivers the IRQ
+               on exactly the cycles per-cycle stepping would. Guest
+               device access cannot happen mid-burst: MMIO is
+               syscall-mediated ([translate_mmio]), and a syscall
+               terminates the burst. *)
+            let fuel =
+              match t.net with
+              | None -> fuel
+              | Some nd -> (
+                  match Netdev.next_event nd ~after:(now t) with
+                  | None -> fuel
+                  | Some at -> min fuel (at - now t - 1))
+            in
             if fuel <= 0 then None
             else begin
               let consumed, ev =
                 Blockc.run bc ~buses:t.mach.Machine.buses ~fuel
               in
               t.mach.Machine.now <- t.mach.Machine.now + consumed;
+              (* Refresh the device clock before dispatching the event:
+                 a terminating syscall may read or write device
+                 registers, and their completion stamps must carry the
+                 post-burst cycle exactly as under per-cycle stepping
+                 (where [dev_tick] runs every cycle). Nothing can be
+                 due for delivery — the fuel clip above guarantees the
+                 window is device-quiescent. *)
+              Machine.tick_devices t.mach;
               (match ev with
               | None -> ()
               | Some (Core.Ev_syscall n) -> on_syscall t r n

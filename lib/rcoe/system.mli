@@ -143,6 +143,16 @@ val run : ?stop:(t -> bool) -> t -> max_cycles:int -> unit
     (parked at a barrier) whenever round logic — including
     {!Checkpoint} capture/restore — executes. *)
 
+val replay_drain : t -> unit
+(** Under {!Config.Replay} detection, close the accumulating chunk and
+    block until every in-flight chunk's verdict has been harvested —
+    the pipeline is empty on return. Serving harnesses call this once
+    the client is done: the guest service loops forever, so [run]'s
+    terminal drain never fires and up to [replay_queue_depth - 1]
+    chunks would otherwise end the session unverified. A mismatch
+    found here recovers (or halts) through the normal rollback path.
+    No-op under [Lockstep] detection. *)
+
 val finished : t -> bool
 val halted : t -> halt_reason option
 

@@ -19,6 +19,8 @@ let split t =
 
 let copy t = { state = t.state }
 
+let assign ~dst ~src = dst.state <- src.state
+
 let next t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
 
 let int t bound =

@@ -18,6 +18,11 @@ val split : t -> t
 val copy : t -> t
 (** [copy t] duplicates the current state (same future stream). *)
 
+val assign : dst:t -> src:t -> unit
+(** [assign ~dst ~src] overwrites [dst]'s state with [src]'s, giving
+    [dst] the same future stream in place — what a replay checker uses
+    to rewind a core's embedded jitter stream to a chunk boundary. *)
+
 val next : t -> int
 (** [next t] is a uniform 62-bit non-negative integer. *)
 

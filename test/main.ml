@@ -29,4 +29,5 @@ let () =
       ("ingress", Test_ingress.suite);
       ("serve", Test_serve.suite);
       ("exec-blocks", Test_exec_blocks.suite);
+      ("replay", Test_replay.suite);
     ]

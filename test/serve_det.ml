@@ -117,6 +117,111 @@ let test_identity_ingress_drop () =
     par.Loadgen.redelivered;
   check_pair ~label:"ingress" seq par
 
+(* --- replay detection: input-log determinism at scale -------------------- *)
+
+(* A 10k-request serve under replay detection is one long record/replay
+   session: every host inject is logged, every chunk is re-executed from
+   its delta checkpoint with the logged inputs re-injected at their
+   recorded cycles, and a single non-deterministic step anywhere would
+   surface as a chunk mismatch. Zero mismatches over 10k requests IS the
+   input-log determinism property; running the whole session twice per
+   execution backend (and across backends) then pins the bit-for-bit
+   half: identical outcome logs, end signatures, and cycle counts. *)
+
+let replay_serve_config ~backend =
+  {
+    (Runner.config_for ~mode:Config.Base ~nreplicas:1 ~arch:Arch.X86
+       ~with_net:true ~seed:5 ())
+    with
+    Config.detection = Config.Replay;
+    replay_chunk_ticks = 2;
+    replay_queue_depth = 3;
+    replay_checkers = 2;
+    checkpoint_depth = 4;
+    max_rollbacks = 3;
+    exec_backend = backend;
+  }
+
+let replay_serve ?fault ~backend () =
+  Loadgen.run
+    ~config:(replay_serve_config ~backend)
+    ~workload:Ycsb.A ~records ~requests ~chunk ?fault ()
+
+let replay_counter sys name =
+  match Rcoe_obs.Metrics.find_counter (System.metrics sys) name with
+  | Some c -> Rcoe_obs.Metrics.count c
+  | None -> Alcotest.failf "metric %s not registered" name
+
+let check_replay_clean ~label (r : Loadgen.result) =
+  Alcotest.(check bool) (label ^ ": finished") false r.Loadgen.stalled;
+  Alcotest.(check int)
+    (label ^ ": all answered")
+    r.Loadgen.issued r.Loadgen.completed;
+  Alcotest.(check int)
+    (label ^ ": every chunk verified")
+    (replay_counter r.Loadgen.sys "replay.chunks")
+    (replay_counter r.Loadgen.sys "replay.chunks_verified");
+  Alcotest.(check int)
+    (label ^ ": zero mismatches")
+    0
+    (replay_counter r.Loadgen.sys "replay.mismatches")
+
+let check_replay_pair ~label (a : Loadgen.result) (b : Loadgen.result) =
+  Alcotest.(check int)
+    (label ^ ": outcome digest")
+    a.Loadgen.outcome_digest b.Loadgen.outcome_digest;
+  Alcotest.(check bool)
+    (label ^ ": outcome logs identical")
+    true
+    (a.Loadgen.outcome_log = b.Loadgen.outcome_log);
+  Alcotest.(check bool)
+    (label ^ ": end-state signatures identical")
+    true
+    (a.Loadgen.end_sigs = b.Loadgen.end_sigs);
+  Alcotest.(check int)
+    (label ^ ": cycle counts identical")
+    (System.now a.Loadgen.sys)
+    (System.now b.Loadgen.sys)
+
+let test_replay_identity_10k () =
+  let i1 = replay_serve ~backend:Config.Interp () in
+  let i2 = replay_serve ~backend:Config.Interp () in
+  let b1 = replay_serve ~backend:Config.Blocks () in
+  let b2 = replay_serve ~backend:Config.Blocks () in
+  Alcotest.(check int) "10k run-phase ops" requests i1.Loadgen.run_ops;
+  check_replay_clean ~label:"interp" i1;
+  check_replay_clean ~label:"blocks" b1;
+  check_replay_pair ~label:"interp run-to-run" i1 i2;
+  check_replay_pair ~label:"blocks run-to-run" b1 b2;
+  check_replay_pair ~label:"interp = blocks" i1 b1;
+  (* Same service as the lockstep reference: request outcomes must agree
+     with a CC-DMR serve of the same load (completion *order* differs
+     with the timing, the outcome set must not). *)
+  let lockstep = serve (base_config ~checkpoint_every:0 ()) in
+  Alcotest.(check int) "outcome set = lockstep reference"
+    lockstep.Loadgen.outcome_sorted_digest i1.Loadgen.outcome_sorted_digest
+
+let test_replay_fault_10k () =
+  let fault =
+    { Loadgen.fault_after = 2_000; fault_bit = 7;
+      fault_target = Loadgen.Sig_word }
+  in
+  let a = replay_serve ~fault ~backend:Config.Interp () in
+  let b = replay_serve ~fault ~backend:Config.Interp () in
+  Alcotest.(check bool) "fault fired" true a.Loadgen.fault_fired;
+  Alcotest.(check bool) "mismatch detected" true
+    (replay_counter a.Loadgen.sys "replay.mismatches" >= 1);
+  Alcotest.(check bool) "rolled back" true (a.Loadgen.rollbacks >= 1);
+  Alcotest.(check bool) "finished" false a.Loadgen.stalled;
+  Alcotest.(check int) "all answered" a.Loadgen.issued a.Loadgen.completed;
+  Alcotest.(check int) "no client corruption" 0
+    a.Loadgen.counters.Ycsb.corrupted;
+  (* Recovered run serves the same outcome set as a fault-free one. *)
+  let clean = replay_serve ~backend:Config.Interp () in
+  Alcotest.(check int) "outcome set = fault-free reference"
+    clean.Loadgen.outcome_sorted_digest a.Loadgen.outcome_sorted_digest;
+  check_replay_pair ~label:"fault run-to-run" a b
+
 let () =
   Alcotest.run "serve-determinism"
     [
@@ -127,5 +232,12 @@ let () =
             test_identity_10k_fault_rollback;
           Alcotest.test_case "seq = par, 10k requests + ingress drop" `Slow
             test_identity_ingress_drop;
+        ] );
+      ( "replay-det",
+        [
+          Alcotest.test_case "record/replay determinism, 10k requests" `Slow
+            test_replay_identity_10k;
+          Alcotest.test_case "record/replay fault campaign, 10k requests"
+            `Slow test_replay_fault_10k;
         ] );
     ]

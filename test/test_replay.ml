@@ -1,0 +1,311 @@
+(* Replay-based detection (Config.detection = Replay): the unreplicated
+   primary runs ahead cutting (delta-checkpoint, input-log) chunks that
+   checker domains re-execute and compare by memory digest. These tests
+   cover the checkpoint-ring pin discipline the pipeline depends on,
+   healthy-run verification, the transient-fault -> Recovered acceptance
+   scenario with its detection-lag bound, run-to-run and Interp/Blocks
+   determinism, and the replay metrics/trace surface. *)
+
+open Rcoe_machine
+open Rcoe_core
+open Rcoe_workloads
+open Rcoe_harness
+module Trace = Rcoe_obs.Trace
+module Metrics = Rcoe_obs.Metrics
+
+let x86 = Arch.X86
+
+(* --- checkpoint-ring pin discipline (regression) ------------------------- *)
+
+let mk_snap cycle =
+  {
+    Checkpoint.s_kind = Checkpoint.Full;
+    s_cycle = cycle;
+    s_round_seq = 0;
+    s_ticks = 0;
+    s_prim = 0;
+    s_shared = Checkpoint.R_full [||];
+    s_dma = Checkpoint.R_full [||];
+    s_replicas = [];
+    s_words = 0;
+    s_skipped_words = 0;
+  }
+
+let test_pin_refcount () =
+  (* A pinned tail defers eviction; pins are refcounted per snapshot, so
+     a double pin must survive a single unpin (the regression: a second
+     pin used to be forgotten, letting a fold invalidate a checker's
+     chunk mid-verification). *)
+  let ck = Checkpoint.create ~depth:2 in
+  let s1 = mk_snap 100 in
+  Checkpoint.push ck s1;
+  Checkpoint.pin ck s1;
+  Checkpoint.pin ck s1;
+  Checkpoint.push ck (mk_snap 200);
+  Checkpoint.push ck (mk_snap 300);
+  (* Eviction of the pinned oldest is deferred: the ring grows. *)
+  Alcotest.(check int) "ring grew past depth" 3 (Checkpoint.count ck);
+  Checkpoint.unpin ck s1;
+  Alcotest.(check bool) "still pinned after one unpin" true
+    (Checkpoint.pinned ck s1);
+  Alcotest.(check int) "still deferred" 3 (Checkpoint.count ck);
+  Checkpoint.unpin ck s1;
+  Alcotest.(check bool) "released" false (Checkpoint.pinned ck s1);
+  Alcotest.(check int) "deferred evictions ran" 2 (Checkpoint.count ck);
+  Alcotest.check_raises "unpin of unpinned raises"
+    (Invalid_argument "Checkpoint.unpin: snapshot is not pinned") (fun () ->
+      Checkpoint.unpin ck s1)
+
+(* --- configuration ------------------------------------------------------- *)
+
+let replay_config ?(chunk_ticks = 2) ?(queue_depth = 2) ?(checkers = 2)
+    ?(backend = Config.Interp) ?(depth = 4) ?(seed = 7) ?trace () =
+  {
+    (Runner.config_for ~mode:Config.Base ~nreplicas:1 ~arch:x86 ~seed
+       ~tick_interval:10_000 ())
+    with
+    Config.detection = Config.Replay;
+    replay_chunk_ticks = chunk_ticks;
+    replay_queue_depth = queue_depth;
+    replay_checkers = checkers;
+    checkpoint_depth = depth;
+    max_rollbacks = 6;
+    exec_backend = backend;
+    trace;
+  }
+
+let test_config_validation () =
+  (match Config.validate (replay_config ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "valid replay config rejected: %s" e);
+  let expect_err label cfg =
+    match Config.validate cfg with
+    | Error _ -> ()
+    | Ok () -> Alcotest.failf "%s must be rejected" label
+  in
+  expect_err "replay under replication"
+    { (replay_config ()) with Config.mode = Config.CC; nreplicas = 2 };
+  expect_err "replay on the parallel engine"
+    { (replay_config ()) with Config.engine = Config.Parallel };
+  expect_err "replay with lockstep checkpointing"
+    { (replay_config ()) with Config.checkpoint_every = 4 };
+  expect_err "zero chunk ticks"
+    { (replay_config ()) with Config.replay_chunk_ticks = 0 };
+  expect_err "zero queue depth"
+    { (replay_config ()) with Config.replay_queue_depth = 0 };
+  expect_err "zero checkers"
+    { (replay_config ()) with Config.replay_checkers = 0 }
+
+let md5 () =
+  Md5sum.program ~message_words:96 ~iters:8 ~seed:6 ~branch_count:false ()
+
+let counter sys name =
+  match Metrics.find_counter (System.metrics sys) name with
+  | Some c -> Metrics.count c
+  | None -> Alcotest.failf "metric %s not registered" name
+
+(* --- healthy run: every chunk verifies, output is Base's ----------------- *)
+
+let test_healthy_run_verifies () =
+  let sys = System.create ~config:(replay_config ()) ~program:(md5 ()) in
+  System.run sys ~max_cycles:200_000_000;
+  Alcotest.(check bool) "finished" true (System.finished sys);
+  Alcotest.(check bool) "not halted" true (System.halted sys = None);
+  Alcotest.(check string) "correct output" "........" (System.output sys 0);
+  let chunks = counter sys "replay.chunks" in
+  Alcotest.(check bool) "pipelined (several chunks)" true (chunks >= 3);
+  Alcotest.(check int) "every chunk verified" chunks
+    (counter sys "replay.chunks_verified");
+  Alcotest.(check int) "no mismatches" 0 (counter sys "replay.mismatches");
+  Alcotest.(check int) "no rollbacks" 0 (List.length (System.rollbacks sys));
+  (* The reference semantics: a plain Base run of the same program. *)
+  let base =
+    Runner.run_program
+      ~config:(Runner.config_for ~mode:Config.Base ~nreplicas:1 ~arch:x86 ())
+      ~program:(md5 ()) ()
+  in
+  Alcotest.(check string) "output = Base output" (System.output base.sys 0)
+    (System.output sys 0)
+
+(* --- determinism: run-to-run and across execution backends --------------- *)
+
+let replay_run ?(backend = Config.Interp) ?fault () =
+  let sys =
+    System.create ~config:(replay_config ~backend ()) ~program:(md5 ())
+  in
+  (match fault with
+  | Some (at, bit) ->
+      System.run sys ~max_cycles:at;
+      let addr = System.sig_base sys 0 + 1 in
+      Mem.flip_bit (System.machine sys).Machine.mem ~addr ~bit;
+      Trace.injection (System.trace sys) ~addr ~bit
+  | None -> ());
+  System.run sys ~max_cycles:200_000_000;
+  sys
+
+let fingerprint sys =
+  ( System.now sys,
+    System.output sys 0,
+    System.finished sys,
+    System.halted sys = None,
+    counter sys "replay.chunks",
+    counter sys "replay.chunks_verified",
+    counter sys "replay.mismatches",
+    List.length (System.rollbacks sys) )
+
+let test_deterministic_across_runs_and_backends () =
+  let a = fingerprint (replay_run ~backend:Config.Interp ()) in
+  let b = fingerprint (replay_run ~backend:Config.Interp ()) in
+  let c = fingerprint (replay_run ~backend:Config.Blocks ()) in
+  Alcotest.(check bool) "run-to-run identical" true (a = b);
+  Alcotest.(check bool) "interp = blocks" true (a = c)
+
+(* --- transient fault: detected by replay, recovered by rollback ---------- *)
+
+let test_transient_fault_recovered () =
+  let fault = (60_000, 7) in
+  let sys = replay_run ~fault () in
+  Alcotest.(check bool) "finished" true (System.finished sys);
+  Alcotest.(check bool) "recovered, not halted" true (System.halted sys = None);
+  Alcotest.(check bool) "mismatch detected" true
+    (counter sys "replay.mismatches" >= 1);
+  Alcotest.(check bool) "rolled back" true
+    (List.length (System.rollbacks sys) >= 1);
+  Alcotest.(check bool) "mismatch event logged" true
+    (List.exists
+       (fun (_, k) -> k = System.E_mismatch)
+       (System.events sys));
+  (* Recovered output is bit-for-bit the fault-free run's. *)
+  let clean = replay_run () in
+  Alcotest.(check string) "digest equals fault-free reference"
+    (System.output clean 0) (System.output sys 0);
+  (* Fault runs are deterministic too. *)
+  Alcotest.(check bool) "fault run deterministic" true
+    (fingerprint sys = fingerprint (replay_run ~fault ()))
+
+(* --- detection-lag bound ------------------------------------------------- *)
+
+let test_detection_lag_bound () =
+  (* Chunk [j]'s verdict is processed no later than the cut closing
+     chunk [j + depth - 1]: with the traced run's [Replay_cut] /
+     [Replay_verdict] events the pipelining bound is exact. The cycle
+     form (lag <= depth * chunk span) needs slack for capture stalls,
+     which stretch a chunk's wall-cycles past its nominal span. *)
+  let chunk_ticks = 2 and queue_depth = 2 in
+  let config =
+    replay_config ~chunk_ticks ~queue_depth
+      ~trace:{ Trace.capacity = 1 lsl 16 }
+      ()
+  in
+  let sys = System.create ~config ~program:(md5 ()) in
+  System.run sys ~max_cycles:200_000_000;
+  Alcotest.(check bool) "finished" true (System.finished sys);
+  let events = Trace.events (System.trace sys) in
+  let cut_ts = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      match e.Trace.body with
+      | Trace.Replay_cut { seq } -> Hashtbl.replace cut_ts seq e.Trace.ts
+      | _ -> ())
+    events;
+  let verdicts =
+    List.filter_map
+      (fun e ->
+        match e.Trace.body with
+        | Trace.Replay_verdict { seq; chunk_end; lag; ok } ->
+            Some (e.Trace.ts, seq, chunk_end, lag, ok)
+        | _ -> None)
+      events
+  in
+  Alcotest.(check bool) "verdicts present" true (verdicts <> []);
+  List.iter
+    (fun (ts, seq, chunk_end, lag, ok) ->
+      Alcotest.(check bool) "healthy chunk verified" true ok;
+      Alcotest.(check int) "lag = verdict ts - chunk end" (ts - chunk_end) lag;
+      Alcotest.(check bool) "lag non-negative" true (lag >= 0);
+      (* Exact pipelining bound: the verdict precedes (or coincides
+         with) the cut that closes chunk [seq + depth - 1], i.e. the
+         cut event of seq [seq + depth - 1], when the run got there. *)
+      match Hashtbl.find_opt cut_ts (seq + queue_depth - 1) with
+      | Some bound_ts ->
+          Alcotest.(check bool)
+            (Printf.sprintf "verdict %d within pipeline bound" seq)
+            true (ts <= bound_ts)
+      | None -> ())
+    verdicts
+
+(* --- netted burst eligibility: cycle identity vs the classic path -------- *)
+
+let test_netted_burst_cycle_identity () =
+  (* The replay primary is the one configuration that is both netted and
+     burst-eligible (Base mode, no tracing): [Sched.burst_cycles] clips
+     fuel short of [Netdev.next_event] and refreshes the device clock
+     after accounting. Identity check: a Blocks run with tracing off
+     (bursts engaged) must land on exactly the cycles of the classic
+     per-cycle paths — the same run under Interp, and under Blocks with
+     a trace ring (which disables bursts but, per the Trace contract,
+     never perturbs simulated time). *)
+  let kv ~backend ~traced =
+    let config =
+      {
+        (replay_config ~backend
+           ?trace:(if traced then Some { Trace.capacity = 1 lsl 16 } else None)
+           ())
+        with
+        Config.with_net = true;
+      }
+    in
+    let r =
+      Kv_run.run ~config ~workload:Ycsb.A ~records:32 ~operations:300 ()
+    in
+    Alcotest.(check bool) "served to completion" false r.Kv_run.stalled;
+    Alcotest.(check int) "no mismatches" 0
+      (counter r.Kv_run.sys "replay.mismatches");
+    ( System.now r.Kv_run.sys,
+      r.Kv_run.elapsed_cycles,
+      r.Kv_run.ops_completed,
+      r.Kv_run.counters,
+      counter r.Kv_run.sys "replay.chunks" )
+  in
+  let burst = kv ~backend:Config.Blocks ~traced:false in
+  let interp = kv ~backend:Config.Interp ~traced:false in
+  let classic = kv ~backend:Config.Blocks ~traced:true in
+  Alcotest.(check bool) "blocks burst = interp classic" true (burst = interp);
+  Alcotest.(check bool) "blocks burst = blocks traced" true (burst = classic)
+
+(* --- replay metrics and gauges ------------------------------------------- *)
+
+let test_replay_gauges () =
+  let sys = System.create ~config:(replay_config ()) ~program:(md5 ()) in
+  System.run sys ~max_cycles:200_000_000;
+  let m = System.metrics sys in
+  (match Metrics.find_gauge m "net.replay_queue_hwm" with
+  | Some g ->
+      Alcotest.(check bool) "queue hwm positive" true (Metrics.value g >= 1.0)
+  | None -> Alcotest.fail "net.replay_queue_hwm not registered");
+  (match Metrics.find_gauge m "replay.checker_idle_cycles" with
+  | Some g ->
+      Alcotest.(check bool) "idle cycles non-negative" true
+        (Metrics.value g >= 0.0)
+  | None -> Alcotest.fail "replay.checker_idle_cycles not registered");
+  match Metrics.find_histogram m "replay.lag_cycles" with
+  | Some h ->
+      Alcotest.(check bool) "one lag sample per chunk" true
+        (List.length (Metrics.samples h) = counter sys "replay.chunks")
+  | None -> Alcotest.fail "replay.lag_cycles not registered"
+
+let suite =
+  [
+    Alcotest.test_case "checkpoint pin refcount" `Quick test_pin_refcount;
+    Alcotest.test_case "config validation" `Quick test_config_validation;
+    Alcotest.test_case "healthy run verifies every chunk" `Quick
+      test_healthy_run_verifies;
+    Alcotest.test_case "deterministic across runs and backends" `Quick
+      test_deterministic_across_runs_and_backends;
+    Alcotest.test_case "transient fault recovered" `Quick
+      test_transient_fault_recovered;
+    Alcotest.test_case "detection-lag bound" `Quick test_detection_lag_bound;
+    Alcotest.test_case "netted burst cycle identity" `Quick
+      test_netted_burst_cycle_identity;
+    Alcotest.test_case "replay metrics and gauges" `Quick test_replay_gauges;
+  ]
